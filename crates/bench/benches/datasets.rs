@@ -1,0 +1,81 @@
+//! Benchmarks of the substrate models and dataset machinery behind
+//! Figures 1 and 2: per-point surrogate evaluation, full characterization
+//! sweeps and dataset queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nautilus_fft::FftModel;
+use nautilus_ga::Direction;
+use nautilus_noc::connect::NocModel;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, Dataset, MetricExpr};
+
+fn bench_model_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_eval");
+    let router = RouterModel::swept();
+    let g = router.space().genome_at(12_345);
+    group.bench_function("router_swept", |b| {
+        b.iter(|| black_box(router.evaluate(black_box(&g))));
+    });
+
+    let full = RouterModel::full();
+    let gf = full.space().genome_at(987_654_321);
+    group.bench_function("router_full_42_params", |b| {
+        b.iter(|| black_box(full.evaluate(black_box(&gf))));
+    });
+
+    let fft = FftModel::new();
+    let gfft = fft.space().genome_at(4_242);
+    group.bench_function("fft", |b| {
+        b.iter(|| black_box(fft.evaluate(black_box(&gfft))));
+    });
+
+    let noc = NocModel::new(64);
+    let gn = noc.space().genome_at(123);
+    group.bench_function("connect_64", |b| {
+        b.iter(|| black_box(noc.evaluate(black_box(&gn))));
+    });
+    group.finish();
+}
+
+/// Figure 1's preparatory step: characterize the router sub-space.
+fn bench_fig1_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    let router = RouterModel::swept();
+    group.bench_function("fig1_router_27648pts_8thr", |b| {
+        b.iter(|| black_box(Dataset::characterize(&router, 8).expect("characterizes")));
+    });
+    // Figure 2's network sweep is small enough to run single-threaded.
+    let noc = NocModel::new(64);
+    group.bench_function("fig2_connect_720pts_1thr", |b| {
+        b.iter(|| black_box(Dataset::characterize(&noc, 1).expect("characterizes")));
+    });
+    group.finish();
+}
+
+fn bench_dataset_queries(c: &mut Criterion) {
+    let router = RouterModel::swept();
+    let d = Dataset::characterize(&router, 8).expect("characterizes");
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("metric"));
+    let mut group = c.benchmark_group("dataset_query");
+    group.bench_function("best_of_27648", |b| {
+        b.iter(|| black_box(d.best(&fmax, Direction::Maximize)));
+    });
+    group.bench_function("quality_pct", |b| {
+        b.iter(|| black_box(d.quality_pct(&fmax, Direction::Maximize, 200.0)));
+    });
+    group.bench_function("top_fraction_threshold_1pct", |b| {
+        b.iter(|| black_box(d.top_fraction_threshold(&fmax, Direction::Maximize, 0.01)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_evaluation,
+    bench_fig1_characterization,
+    bench_dataset_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Microbenchmarks of the GA substrate: genetic operators, selection and
+//! full engine generations, baseline vs. guided.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nautilus::{Confidence, GuidedMutation, HintSet};
+use nautilus_ga::ops::{CrossoverOp, MutationOp, OpCtx};
+use nautilus_ga::{
+    Direction, FnFitness, GaEngine, GaSettings, Genome, OnePointCrossover, ParamSpace,
+    ScoredGenome, Selector, Tournament, UniformCrossover, UniformMutation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn space() -> ParamSpace {
+    nautilus_noc::router::swept_space()
+}
+
+fn hints() -> HintSet {
+    nautilus_noc::hints::fmax_hints().with_confidence(Confidence::STRONG)
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let space = space();
+    let mut group = c.benchmark_group("mutation");
+    let ctx = OpCtx::new(10, 80);
+
+    let uniform = UniformMutation::default();
+    group.bench_function("uniform_rate_0.1", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let genome = space.random_genome(&mut rng);
+        b.iter_batched(
+            || genome.clone(),
+            |mut g| {
+                uniform.mutate(&mut g, &space, &ctx, &mut rng);
+                black_box(g)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let guided = GuidedMutation::resolve(&hints(), &space, Direction::Maximize)
+        .expect("hints resolve");
+    group.bench_function("nautilus_guided_rate_0.1", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let genome = space.random_genome(&mut rng);
+        b.iter_batched(
+            || genome.clone(),
+            |mut g| {
+                guided.mutate(&mut g, &space, &ctx, &mut rng);
+                black_box(g)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let space = space();
+    let ctx = OpCtx::new(0, 80);
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = space.random_genome(&mut rng);
+    let b_parent = space.random_genome(&mut rng);
+    let mut group = c.benchmark_group("crossover");
+    group.bench_function("one_point", |bch| {
+        bch.iter(|| {
+            black_box(OnePointCrossover.crossover(
+                black_box(&a),
+                black_box(&b_parent),
+                &space,
+                &ctx,
+                &mut rng,
+            ))
+        });
+    });
+    group.bench_function("uniform", |bch| {
+        let op = UniformCrossover::default();
+        bch.iter(|| {
+            black_box(op.crossover(black_box(&a), black_box(&b_parent), &space, &ctx, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let space = space();
+    let mut rng = StdRng::seed_from_u64(4);
+    let ranked: Vec<ScoredGenome> = (0..10)
+        .map(|i| ScoredGenome { genome: space.random_genome(&mut rng), score: -(i as f64) })
+        .collect();
+    c.bench_function("selection/tournament_k2_pop10", |b| {
+        let sel = Tournament::default();
+        b.iter(|| black_box(sel.select(&ranked, &mut rng)));
+    });
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    // Full 80-generation run over a cheap closed-form fitness: measures the
+    // engine overhead itself (selection, breeding, caching).
+    let space = ParamSpace::builder()
+        .int("a", 0, 31, 1)
+        .int("b", 0, 31, 1)
+        .int("c", 0, 31, 1)
+        .build()
+        .expect("static space");
+    let fitness = FnFitness::new(Direction::Minimize, |g: &Genome| {
+        Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+    });
+    c.bench_function("engine/run_pop10_gen80", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let engine = GaEngine::new(&space, &fitness)
+                .with_settings(GaSettings { generations: 80, ..GaSettings::default() });
+            black_box(engine.run(seed).expect("run succeeds"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_mutation, bench_crossover, bench_selection, bench_engine_run);
+criterion_main!(benches);

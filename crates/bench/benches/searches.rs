@@ -1,0 +1,157 @@
+//! One benchmark per search figure (Figures 3–7): a single baseline run
+//! and a single guided run of each figure's query, at the paper's GA
+//! settings, replayed over the pre-characterized datasets.
+//!
+//! These measure the *search machinery* cost per figure; the wall-clock of
+//! the full figures (40 averaged runs) is reported by the `experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nautilus::{Confidence, Nautilus, Query};
+use nautilus_bench::data::{fft_dataset, router_dataset};
+use nautilus_synth::MetricExpr;
+
+fn bench_fig3(c: &mut Criterion) {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("metric"));
+    let query = Query::minimize("luts", luts);
+    let engine = Nautilus::new(&model);
+    let hints = nautilus_fft::hints::bias_only_hints(2);
+    let mut group = c.benchmark_group("fig3_bias_hints");
+    let mut seed = 0u64;
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_baseline(&query, seed).expect("runs"))
+        });
+    });
+    group.bench_function("nautilus_2_bias_hints_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_guided(&query, &hints, None, seed).expect("runs"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("metric"));
+    let query = Query::maximize("fmax", fmax);
+    let engine = Nautilus::new(&model);
+    let hints = nautilus_noc::hints::fmax_hints();
+    let mut group = c.benchmark_group("fig4_noc_fmax");
+    let mut seed = 0u64;
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_baseline(&query, seed).expect("runs"))
+        });
+    });
+    group.bench_function("nautilus_strong_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                engine
+                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+                    .expect("runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let d = router_dataset();
+    let model = d.as_model();
+    let adp = MetricExpr::area_delay(
+        d.catalog().require("fmax").expect("metric"),
+        d.catalog().require("luts").expect("metric"),
+    );
+    let query = Query::minimize("area_delay", adp);
+    let engine = Nautilus::new(&model);
+    let hints = nautilus_noc::hints::area_delay_hints();
+    let mut group = c.benchmark_group("fig5_noc_adp");
+    let mut seed = 0u64;
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_baseline(&query, seed).expect("runs"))
+        });
+    });
+    group.bench_function("nautilus_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                engine
+                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+                    .expect("runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("metric"));
+    let query = Query::minimize("luts", luts);
+    let engine = Nautilus::new(&model);
+    let hints = nautilus_fft::hints::min_luts_hints();
+    let mut group = c.benchmark_group("fig6_fft_luts");
+    let mut seed = 0u64;
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_baseline(&query, seed).expect("runs"))
+        });
+    });
+    group.bench_function("nautilus_strong_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                engine
+                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+                    .expect("runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let tpl = MetricExpr::metric(d.catalog().require("throughput").expect("metric"))
+        / MetricExpr::metric(d.catalog().require("luts").expect("metric"));
+    let query = Query::maximize("throughput_per_lut", tpl);
+    let engine = Nautilus::new(&model);
+    let hints = nautilus_fft::hints::throughput_per_lut_hints();
+    let mut group = c.benchmark_group("fig7_fft_tpl");
+    let mut seed = 0u64;
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine.run_baseline(&query, seed).expect("runs"))
+        });
+    });
+    group.bench_function("nautilus_strong_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                engine
+                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+                    .expect("runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

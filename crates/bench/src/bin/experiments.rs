@@ -1,0 +1,116 @@
+//! Regenerates every figure and table of the Nautilus DAC'15 paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--no-csv] [fig1 fig2 ... | all]
+//! ```
+//!
+//! Prints each experiment's paper-vs-measured headlines and data table,
+//! writes the plotted series as CSV into `results/`, and finishes with
+//! "Table A", the aggregate of all in-text convergence-cost claims.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nautilus_bench::{
+    abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,
+    abl_wrong_hints, fig1, fig2, fig3, fig4, fig5, fig6, fig7, render_table_a, Scale,
+};
+
+const ALL: [&str; 7] = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];
+const ABLATIONS: [&str; 6] = [
+    "abl-hint-classes",
+    "abl-confidence",
+    "abl-wrong-hints",
+    "abl-decay",
+    "abl-operators",
+    "abl-metaheuristics",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_csv = args.iter().any(|a| a == "--no-csv");
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() {
+        wanted = ALL.to_vec();
+    }
+    if wanted.contains(&"all") {
+        wanted.retain(|w| *w != "all");
+        for id in ALL {
+            if !wanted.contains(&id) {
+                wanted.push(id);
+            }
+        }
+    }
+    if wanted.contains(&"ablations") {
+        wanted.retain(|w| *w != "ablations");
+        for id in ABLATIONS {
+            if !wanted.contains(&id) {
+                wanted.push(id);
+            }
+        }
+    }
+    for id in &wanted {
+        if !ALL.contains(id) && !ABLATIONS.contains(id) {
+            eprintln!(
+                "unknown experiment `{id}`; known: {} {} `ablations` or `all`",
+                ALL.join(" "),
+                ABLATIONS.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    println!(
+        "Nautilus DAC'15 reproduction — {} scale ({} runs/strategy, {} generations)\n",
+        if quick { "quick" } else { "paper" },
+        scale.runs,
+        scale.generations
+    );
+
+    let results_dir = Path::new("results");
+    let mut reports = Vec::new();
+    for id in &wanted {
+        let start = Instant::now();
+        let report = match *id {
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(scale),
+            "fig4" => fig4(scale),
+            "fig5" => fig5(scale),
+            "fig6" => fig6(scale),
+            "fig7" => fig7(scale),
+            "abl-hint-classes" => abl_hint_classes(scale),
+            "abl-confidence" => abl_confidence(scale),
+            "abl-wrong-hints" => abl_wrong_hints(scale),
+            "abl-decay" => abl_decay(scale),
+            "abl-operators" => abl_operators(scale),
+            "abl-metaheuristics" => abl_metaheuristics(scale),
+            _ => unreachable!("validated above"),
+        };
+        println!("{report}");
+        if !no_csv {
+            match report.write_csv(results_dir) {
+                Ok(files) => {
+                    for f in files {
+                        println!("wrote {f}");
+                    }
+                }
+                Err(e) => eprintln!("could not write CSV for {id}: {e}"),
+            }
+        }
+        println!("({id} regenerated in {:.1}s)\n", start.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+
+    println!("{}", render_table_a(&reports));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,61 @@
+//! Lazily characterized, process-wide datasets.
+//!
+//! The paper characterizes each IP's swept sub-space once, offline, and
+//! replays every search against the result. These accessors do the same
+//! per process: the first caller pays the (multi-threaded, sub-second)
+//! sweep; everyone else shares the dataset.
+
+use std::sync::OnceLock;
+
+use nautilus_fft::FftModel;
+use nautilus_noc::connect::NocModel;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::Dataset;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The 27,648-point router dataset (paper: "approximately 30,000").
+pub fn router_dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        Dataset::characterize(&RouterModel::swept(), threads())
+            .expect("router space characterizes")
+    })
+}
+
+/// The ~10,500-point FFT dataset (paper: "approximately 12,000").
+pub fn fft_dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        Dataset::characterize(&FftModel::new(), threads()).expect("fft space characterizes")
+    })
+}
+
+/// The 64-endpoint CONNECT network dataset (720 configurations).
+pub fn connect_dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        Dataset::characterize(&NocModel::new(64), threads())
+            .expect("connect space characterizes")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_build_and_are_cached() {
+        let a = router_dataset() as *const _;
+        let b = router_dataset() as *const _;
+        assert_eq!(a, b, "second call must reuse the first dataset");
+        assert_eq!(router_dataset().len(), 27_648);
+        assert!(fft_dataset().len() > 9_000);
+        assert_eq!(
+            connect_dataset().len() as u128,
+            nautilus_synth::CostModel::space(&NocModel::new(64)).cardinality()
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! The paper motivates several design choices — hint classes are
+//! complementary, confidence balances guidance against stochasticity,
+//! wrong hints must not break the search (footnote 1), importance decay
+//! trades coarse navigation for fine-tuning — without isolating them
+//! experimentally. These studies do, on the same datasets and accounting:
+//!
+//! * [`abl_hint_classes`] — each hint class alone vs. the full set.
+//! * [`abl_confidence`] — a confidence sweep from 0 (baseline) to 1.
+//! * [`abl_wrong_hints`] — deliberately inverted hints: the stochastic
+//!   core must degrade gracefully, not diverge.
+//! * [`abl_decay`] — estimated hints with and without importance decay.
+//! * [`abl_operators`] — guided mutation alone vs. adding the guided
+//!   crossover extension.
+//! * [`abl_metaheuristics`] — the GA family vs. simulated annealing,
+//!   hill climbing and random sampling.
+
+use nautilus::{
+    compare, estimate_hints, AnnealConfig, Confidence, EstimateConfig, ParamHint, Query,
+    Strategy, ValueHint,
+};
+use nautilus_fft::hints::min_luts_hints;
+use nautilus_ga::Direction;
+use nautilus_noc::hints::fmax_hints;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::MetricExpr;
+
+use crate::data::{fft_dataset, router_dataset};
+use crate::figures::Scale;
+use crate::report::{ExperimentReport, Headline};
+
+/// Convergence headline for one strategy of a comparison.
+fn reach_line(
+    cmp: &nautilus::Comparison,
+    name: &str,
+    threshold: f64,
+    paper: &str,
+    label: &str,
+) -> Headline {
+    let stats = cmp
+        .result(name)
+        .expect("strategy ran")
+        .reach_stats(cmp.direction, threshold);
+    let measured = stats.censored_mean_evals.map_or("n/a".to_owned(), |e| {
+        format!("{e:.0} jobs ({}/{})", stats.reached, stats.total)
+    });
+    Headline::new(label.to_owned(), paper.to_owned(), measured)
+}
+
+/// Hint-class ablation on the Figure 6 query (FFT, minimize LUTs):
+/// importance-only, bias-only, target-only and the full expert set.
+///
+/// # Panics
+///
+/// Panics if an underlying comparison fails (it cannot for packaged data).
+#[must_use]
+pub fn abl_hint_classes(scale: Scale) -> ExperimentReport {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("fft metric"));
+    let query = Query::minimize("luts", luts.clone());
+
+    let full = min_luts_hints();
+    let importance_only =
+        full.map_hints(|_, h| Some(ParamHint { value: None, ..h.clone() }));
+    let bias_only = full.map_hints(|_, h| match &h.value {
+        Some(ValueHint::Bias(_)) => Some(ParamHint {
+            importance: None,
+            decay: None,
+            ..h.clone()
+        }),
+        _ => None,
+    });
+    let target_only = full.map_hints(|_, h| match &h.value {
+        Some(ValueHint::Target(_)) => Some(ParamHint {
+            importance: None,
+            decay: None,
+            ..h.clone()
+        }),
+        _ => None,
+    });
+
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("importance-only", importance_only, Some(Confidence::STRONG)),
+        Strategy::guided("bias-only", bias_only, Some(Confidence::STRONG)),
+        Strategy::guided("target-only", target_only, Some(Confidence::STRONG)),
+        Strategy::guided("full-hints", full, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xAB_01);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    let (_, best) = d.best(&luts, Direction::Minimize);
+    let threshold = 1.05 * best;
+    let headlines = strategies
+        .iter()
+        .map(|s| {
+            reach_line(
+                &cmp,
+                s.name(),
+                threshold,
+                "full <= any single class",
+                &format!("{}: jobs to within 5% of min LUTs", s.name()),
+            )
+        })
+        .collect();
+
+    ExperimentReport {
+        id: "abl-hint-classes",
+        title: "Ablation: hint classes in isolation (FFT min-LUTs)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_hint_classes.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Confidence sweep on the Figure 4 query: 0.0 (baseline-equivalent) to
+/// 1.0 (fully directed), one hint set.
+///
+/// # Panics
+///
+/// Panics if an underlying comparison fails.
+#[must_use]
+pub fn abl_confidence(scale: Scale) -> ExperimentReport {
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let query = Query::maximize("fmax", fmax.clone());
+    let hints = fmax_hints();
+
+    let levels = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    let strategies: Vec<Strategy> = levels
+        .iter()
+        .map(|&c| {
+            Strategy::guided(
+                format!("confidence-{c:.2}"),
+                hints.clone(),
+                Some(Confidence::new(c).expect("static confidence")),
+            )
+        })
+        .collect();
+    let cfg = scale.compare_config(scale.runs, 0xAB_02);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    let (_, best) = d.best(&fmax, Direction::Maximize);
+    let threshold = 0.98 * best;
+    let headlines = strategies
+        .iter()
+        .map(|s| {
+            reach_line(
+                &cmp,
+                s.name(),
+                threshold,
+                "cost decreases with confidence",
+                &format!("{}: jobs to within 2% of best Fmax", s.name()),
+            )
+        })
+        .collect();
+
+    ExperimentReport {
+        id: "abl-confidence",
+        title: "Ablation: confidence sweep (NoC max-Fmax)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_confidence.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Wrong-hints robustness (paper footnote 1): every bias inverted, the
+/// target flipped. The guided search must still converge — slower than the
+/// baseline, but never diverging — because hints are probabilistic.
+///
+/// # Panics
+///
+/// Panics if an underlying comparison fails.
+#[must_use]
+pub fn abl_wrong_hints(scale: Scale) -> ExperimentReport {
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let query = Query::maximize("fmax", fmax.clone());
+
+    let good = fmax_hints();
+    // Invert every bias; drop targets (their inverses are undefined).
+    let wrong = good.map_hints(|_, h| {
+        let value = match &h.value {
+            Some(ValueHint::Bias(b)) => {
+                Some(ValueHint::Bias(nautilus::Bias::new(-b.get()).expect("negation in range")))
+            }
+            _ => None,
+        };
+        Some(ParamHint { value, ..h.clone() })
+    });
+
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("good-hints-strong", good, Some(Confidence::STRONG)),
+        Strategy::guided("wrong-hints-weak", wrong.clone(), Some(Confidence::WEAK)),
+        Strategy::guided("wrong-hints-strong", wrong, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xAB_03);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    // Even misled searches must deliver a decent design by the end.
+    let mut headlines: Vec<Headline> = strategies
+        .iter()
+        .map(|s| {
+            let r = cmp.result(s.name()).expect("strategy ran");
+            Headline::new(
+                format!("{}: mean final best Fmax (MHz)", s.name()),
+                "wrong hints degrade, never break",
+                format!("{:.1}", r.mean_best()),
+            )
+        })
+        .collect();
+    let (_, best) = d.best(&fmax, Direction::Maximize);
+    headlines.push(reach_line(
+        &cmp,
+        "wrong-hints-strong",
+        0.95 * best,
+        "slower than baseline, still reaches",
+        "wrong-hints-strong: jobs to within 5% of best",
+    ));
+    headlines.push(reach_line(
+        &cmp,
+        "baseline",
+        0.95 * best,
+        "reference",
+        "baseline: jobs to within 5% of best",
+    ));
+
+    ExperimentReport {
+        id: "abl-wrong-hints",
+        title: "Ablation: deliberately wrong hints (NoC max-Fmax)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_wrong_hints.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Importance-decay ablation on estimated hints (Figure 5 methodology):
+/// concentrated estimated importances with and without the decay schedule.
+///
+/// # Panics
+///
+/// Panics if estimation or a comparison fails.
+#[must_use]
+pub fn abl_decay(scale: Scale) -> ExperimentReport {
+    let d = router_dataset();
+    let model_direct = RouterModel::swept();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("router metric"));
+    let query = Query::minimize("luts", luts.clone());
+
+    let with_decay =
+        estimate_hints(&model_direct, &query, EstimateConfig::default(), 0xAB_04)
+            .expect("estimation succeeds");
+    let no_decay = estimate_hints(
+        &model_direct,
+        &query,
+        EstimateConfig { decay: 1.0, ..EstimateConfig::default() },
+        0xAB_04,
+    )
+    .expect("estimation succeeds");
+
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("estimated-no-decay", no_decay.hints, Some(Confidence::STRONG)),
+        Strategy::guided("estimated-with-decay", with_decay.hints, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xAB_04);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    let (_, best) = d.best(&luts, Direction::Minimize);
+    let threshold = 1.02 * best;
+    let headlines = strategies
+        .iter()
+        .map(|s| {
+            reach_line(
+                &cmp,
+                s.name(),
+                threshold,
+                "decay improves late fine-tuning",
+                &format!("{}: jobs to within 2% of min LUTs", s.name()),
+            )
+        })
+        .collect();
+
+    ExperimentReport {
+        id: "abl-decay",
+        title: "Ablation: importance decay on estimated hints (NoC min-LUTs)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_decay.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Operator ablation: guided mutation alone (the paper's design) vs. the
+/// guided-crossover extension on top.
+///
+/// # Panics
+///
+/// Panics if an underlying comparison fails.
+#[must_use]
+pub fn abl_operators(scale: Scale) -> ExperimentReport {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("fft metric"));
+    let query = Query::minimize("luts", luts.clone());
+    let hints = min_luts_hints();
+
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("guided-mutation", hints.clone(), Some(Confidence::STRONG)),
+        Strategy::guided_full("guided-mut+xover", hints, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xAB_05);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    let (_, best) = d.best(&luts, Direction::Minimize);
+    let threshold = 1.02 * best;
+    let headlines = strategies
+        .iter()
+        .map(|s| {
+            reach_line(
+                &cmp,
+                s.name(),
+                threshold,
+                "extension: at least no regression",
+                &format!("{}: jobs to within 2% of min LUTs", s.name()),
+            )
+        })
+        .collect();
+
+    ExperimentReport {
+        id: "abl-operators",
+        title: "Ablation: guided crossover extension (FFT min-LUTs)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_operators.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Metaheuristic comparison: baseline GA, guided GA, simulated annealing,
+/// hill climbing and random sampling on the Figure 6 query with matched
+/// evaluation budgets.
+///
+/// # Panics
+///
+/// Panics if an underlying comparison fails.
+#[must_use]
+pub fn abl_metaheuristics(scale: Scale) -> ExperimentReport {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("fft metric"));
+    let query = Query::minimize("luts", luts.clone());
+
+    // Budget matched to what the GA spends in this generation budget.
+    let budget = u64::from(scale.generations) * 6 + 10;
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("nautilus-strong", min_luts_hints(), Some(Confidence::STRONG)),
+        Strategy::anneal(AnnealConfig { budget, ..AnnealConfig::default() }),
+        Strategy::hill_climb(budget, 30),
+        Strategy::random(budget),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xAB_06);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("ablation comparison");
+
+    let headlines = strategies
+        .iter()
+        .map(|s| {
+            let r = cmp.result(s.name()).expect("strategy ran");
+            Headline::new(
+                format!("{}: mean final best LUTs", s.name()),
+                "guided GA wins at equal budget",
+                format!("{:.0} ({:.0} jobs)", r.mean_best(), r.mean_evals()),
+            )
+        })
+        .collect();
+
+    ExperimentReport {
+        id: "abl-metaheuristics",
+        title: "Ablation: metaheuristic comparison at matched budgets (FFT min-LUTs)".into(),
+        headlines,
+        table: cmp.render_table(10),
+        csv: vec![("abl_metaheuristics.csv".into(), cmp.to_csv())],
+    }
+}
+
+/// Runs every ablation study.
+#[must_use]
+pub fn all_ablations(scale: Scale) -> Vec<ExperimentReport> {
+    vec![
+        abl_hint_classes(scale),
+        abl_confidence(scale),
+        abl_wrong_hints(scale),
+        abl_decay(scale),
+        abl_operators(scale),
+        abl_metaheuristics(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_class_ablation_reports_every_variant() {
+        let r = abl_hint_classes(Scale::quick());
+        assert_eq!(r.headlines.len(), 5);
+        assert!(r.table.contains("bias-only"));
+        assert!(r.table.contains("target-only"));
+    }
+
+    #[test]
+    fn wrong_hints_never_break_the_search() {
+        let r = abl_wrong_hints(Scale::quick());
+        // All four strategies produced finite mean final quality.
+        for h in &r.headlines[..4] {
+            let v: f64 = h.measured.parse().unwrap();
+            assert!(v > 100.0, "{}: {}", h.label, v);
+        }
+    }
+
+    #[test]
+    fn metaheuristic_ablation_covers_five_strategies() {
+        let r = abl_metaheuristics(Scale::quick());
+        assert_eq!(r.headlines.len(), 5);
+        assert!(r.table.contains("simulated-annealing"));
+        assert!(r.table.contains("hill-climb"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 1: LUT usage and maximum frequency for ~30,000 router variants.
+
+use nautilus_ga::{spearman, Summary};
+use nautilus_synth::MetricExpr;
+
+use crate::data::router_dataset;
+use crate::report::{ExperimentReport, Headline};
+
+/// Regenerates Figure 1's scatter: every characterized router design's
+/// `(LUTs, Fmax)` pair, plus distribution summaries.
+#[must_use]
+pub fn fig1() -> ExperimentReport {
+    let d = router_dataset();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("router metric"));
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let luts_all = d.eval_all(&luts);
+    let fmax_all = d.eval_all(&fmax);
+
+    let mut csv = String::from("luts,fmax_mhz\n");
+    for (l, f) in luts_all.iter().zip(&fmax_all) {
+        csv.push_str(&format!("{l:.0},{f:.2}\n"));
+    }
+
+    let ls = Summary::of(&luts_all).expect("non-empty dataset");
+    let fs = Summary::of(&fmax_all).expect("non-empty dataset");
+    let rho = spearman(&luts_all, &fmax_all).unwrap_or(0.0);
+
+    let table = format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}\n{:<12} {:>12.0} {:>12.0} {:>12.0} {:>12.0}\n{:<12} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+        "metric", "min", "mean", "max", "std",
+        "LUTs", ls.min, ls.mean, ls.max, ls.std_dev,
+        "Fmax (MHz)", fs.min, fs.mean, fs.max, fs.std_dev,
+    );
+
+    ExperimentReport {
+        id: "fig1",
+        title: "Frequency vs. Area for Virtual-Channel Router Variants".into(),
+        headlines: vec![
+            Headline::new("characterized router design points", "~30,000", d.len().to_string()),
+            Headline::new(
+                "LUT range across variants",
+                "~0.3k – ~25k",
+                format!("{:.0} – {:.0}", ls.min, ls.max),
+            ),
+            Headline::new(
+                "Fmax range across variants (MHz)",
+                "~60 – ~200",
+                format!("{:.0} – {:.0}", fs.min, fs.max),
+            ),
+            Headline::new(
+                "area/frequency rank correlation",
+                "negative",
+                format!("{rho:.2}"),
+            ),
+        ],
+        table,
+        csv: vec![("fig1_router_scatter.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_report_shape() {
+        let r = fig1();
+        assert_eq!(r.id, "fig1");
+        assert_eq!(r.headlines.len(), 4);
+        let (name, csv) = &r.csv[0];
+        assert_eq!(name, "fig1_router_scatter.csv");
+        assert_eq!(csv.lines().count(), 27_648 + 1);
+        assert!(csv.starts_with("luts,fmax_mhz\n"));
+    }
+
+    #[test]
+    fn fig1_correlation_is_negative() {
+        // Bigger routers clock slower: the figure's scatter trends downward.
+        let r = fig1();
+        let rho: f64 = r.headlines[3].measured.parse().unwrap();
+        assert!(rho < -0.1, "rho = {rho}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 2: area, power and performance of 64-endpoint CONNECT NoCs.
+
+use std::collections::BTreeMap;
+
+use nautilus_noc::connect::sim::{saturation_rate, Network};
+use nautilus_noc::connect::{NocModel, Topology};
+use nautilus_synth::MetricExpr;
+
+use crate::data::connect_dataset;
+use crate::report::{ExperimentReport, Headline};
+
+/// Regenerates Figure 2: per-design `(topology, area mm², power mW, peak
+/// bisection bandwidth Gbps)`, with per-family clusters and the figure's
+/// orders-of-magnitude spread.
+#[must_use]
+pub fn fig2() -> ExperimentReport {
+    let d = connect_dataset();
+    let model = NocModel::new(64);
+    let area = d.catalog().require("area_mm2").expect("connect metric");
+    let power = d.catalog().require("power_mw").expect("connect metric");
+    let bw = d.catalog().require("bisection_gbps").expect("connect metric");
+
+    let mut csv = String::from("topology,area_mm2,power_mw,bisection_gbps\n");
+    // family -> (count, area sum, power sum, bw sum, bw min, bw max)
+    let mut families: BTreeMap<&str, (usize, f64, f64, f64, f64, f64)> = BTreeMap::new();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (g, m) in d.iter() {
+        let t = model.topology_of(g).label();
+        let (a, p, b) = (m.get(area), m.get(power), m.get(bw));
+        csv.push_str(&format!("{t},{a:.3},{p:.1},{b:.1}\n"));
+        let e = families.entry(t).or_insert((0, 0.0, 0.0, 0.0, f64::INFINITY, 0.0));
+        e.0 += 1;
+        e.1 += a;
+        e.2 += p;
+        e.3 += b;
+        e.4 = e.4.min(b);
+        e.5 = e.5.max(b);
+        lo = lo.min(b);
+        hi = hi.max(b);
+    }
+
+    // Dynamic cross-check: simulated saturation throughput per family
+    // (uniform random traffic, flit-level simulation). Computed once per
+    // process — the bisection search costs a few seconds.
+    static SATURATION: std::sync::OnceLock<std::collections::HashMap<&str, f64>> =
+        std::sync::OnceLock::new();
+    let saturation = SATURATION.get_or_init(|| {
+        Topology::ALL
+            .iter()
+            .map(|&t| (t.label(), saturation_rate(&Network::build(t, 64), 2)))
+            .collect()
+    });
+
+    let mut table = format!(
+        "{:<26} {:>6} {:>12} {:>12} {:>16} {:>20} {:>12}\n",
+        "topology family", "n", "mean mm^2", "mean mW", "mean Gbps", "Gbps range", "sim sat f/c"
+    );
+    for (t, (n, a, p, b, bmin, bmax)) in &families {
+        let n_f = *n as f64;
+        table.push_str(&format!(
+            "{:<26} {:>6} {:>12.2} {:>12.0} {:>16.0} {:>9.0} – {:>8.0} {:>12.3}\n",
+            t,
+            n,
+            a / n_f,
+            p / n_f,
+            b / n_f,
+            bmin,
+            bmax,
+            saturation[*t],
+        ));
+    }
+
+    let bw_expr = MetricExpr::metric(bw);
+    let area_expr = MetricExpr::metric(area);
+    let power_expr = MetricExpr::metric(power);
+    let spread = |e: &MetricExpr| {
+        let (_, lo) = d.best(e, nautilus_ga::Direction::Minimize);
+        let (_, hi) = d.best(e, nautilus_ga::Direction::Maximize);
+        (hi / lo).log10()
+    };
+
+    ExperimentReport {
+        id: "fig2",
+        title: "CONNECT NoC Area/Power vs. Performance (64 endpoints, 65nm)".into(),
+        headlines: vec![
+            Headline::new("topology families plotted", "8", families.len().to_string()),
+            Headline::new(
+                "bisection-bandwidth spread (orders of magnitude)",
+                "2–3",
+                format!("{:.1}", spread(&bw_expr)),
+            ),
+            Headline::new(
+                "area spread (orders of magnitude)",
+                "~2",
+                format!("{:.1}", spread(&area_expr)),
+            ),
+            Headline::new(
+                "power spread (orders of magnitude)",
+                "~2",
+                format!("{:.1}", spread(&power_expr)),
+            ),
+            Headline::new(
+                "simulated saturation tracks bisection (ring<mesh<torus~fat tree)",
+                "consistent",
+                if saturation["Ring"] < saturation["Mesh"]
+                    && saturation["Mesh"] < saturation["Fat Tree"]
+                {
+                    "consistent".to_owned()
+                } else {
+                    "violated".to_owned()
+                },
+            ),
+        ],
+        table,
+        csv: vec![("fig2_connect_scatter.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_report_covers_all_families() {
+        let r = fig2();
+        for family in nautilus_noc::connect::Topology::ALL {
+            assert!(
+                r.table.contains(family.label()),
+                "missing family {}",
+                family.label()
+            );
+        }
+        assert_eq!(r.headlines[0].measured, "8");
+    }
+
+    #[test]
+    fn fig2_spread_spans_orders_of_magnitude() {
+        let r = fig2();
+        let bw_spread: f64 = r.headlines[1].measured.parse().unwrap();
+        assert!(bw_spread >= 2.0, "bandwidth spread {bw_spread}");
+    }
+
+    #[test]
+    fn fig2_csv_has_one_row_per_design() {
+        let r = fig2();
+        let rows = r.csv[0].1.lines().count() - 1;
+        assert_eq!(rows, connect_dataset().len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 3: baseline GA vs. Nautilus with only one or two "bias" hints.
+
+use nautilus::{compare, Query, Strategy};
+use nautilus_fft::hints::bias_only_hints;
+use nautilus_ga::Direction;
+use nautilus_synth::MetricExpr;
+
+use crate::data::fft_dataset;
+use crate::figures::Scale;
+use crate::report::{ExperimentReport, Headline};
+
+/// Regenerates Figure 3: design-solution score (normalized 0–100%) per
+/// generation for the baseline GA and Nautilus with 1 or 2 bias hints on
+/// an FFT query, averaged over 20 runs.
+///
+/// Paper: "the baseline GA takes 56 generations to find a solution within
+/// the top 1%, while Nautilus can reach the same quality of results within
+/// 15 to 23 generations, depending on how many hints are provided."
+///
+/// # Panics
+///
+/// Panics if the underlying comparison fails (it cannot for the packaged
+/// dataset and hints).
+#[must_use]
+pub fn fig3(scale: Scale) -> ExperimentReport {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let luts = MetricExpr::metric(d.catalog().require("luts").expect("fft metric"));
+    let query = Query::minimize("luts", luts.clone());
+
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("nautilus-1-bias-hint", bias_only_hints(1), None),
+        Strategy::guided("nautilus-2-bias-hints", bias_only_hints(2), None),
+    ];
+    let cfg = scale.compare_config(scale.fig3_runs, 0xF1_63);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("figure 3 comparison");
+
+    // The figure's y-axis: normalized score of the best-so-far value.
+    let mut csv = String::from("generation,baseline_score,one_hint_score,two_hint_score\n");
+    let mut table = format!(
+        "{:<6} {:>16} {:>16} {:>16}   (design solution score, %)\n",
+        "gen", "baseline", "1 bias hint", "2 bias hints"
+    );
+    let gens = cmp.results[0].averaged.len();
+    for i in 0..gens {
+        let scores: Vec<f64> = cmp
+            .results
+            .iter()
+            .map(|r| {
+                d.normalized_score(&luts, Direction::Minimize, r.averaged[i].mean_best_so_far)
+            })
+            .collect();
+        csv.push_str(&format!(
+            "{i},{:.3},{:.3},{:.3}\n",
+            scores[0], scores[1], scores[2]
+        ));
+        if i % 5 == 0 || i + 1 == gens {
+            table.push_str(&format!(
+                "{:<6} {:>16.2} {:>16.2} {:>16.2}\n",
+                i, scores[0], scores[1], scores[2]
+            ));
+        }
+    }
+
+    // Convergence to the top 1% of the dataset.
+    let top1 = d.top_fraction_threshold(&luts, Direction::Minimize, 0.01);
+    let gens_to = |name: &str| {
+        let r = cmp.result(name).expect("strategy ran");
+        r.reach_stats(Direction::Minimize, top1).censored_mean_generations
+    };
+    let base = gens_to("baseline");
+    let one = gens_to("nautilus-1-bias-hint");
+    let two = gens_to("nautilus-2-bias-hints");
+
+    ExperimentReport {
+        id: "fig3",
+        title: "Baseline GA vs. Nautilus with 1–2 bias hints (FFT)".into(),
+        headlines: vec![
+            Headline::new(
+                "baseline: generations to top-1% solution",
+                "56",
+                crate::report::fmt_mean(base),
+            ),
+            Headline::new(
+                "nautilus (1 bias hint): generations to top-1%",
+                "15–23",
+                crate::report::fmt_mean(one),
+            ),
+            Headline::new(
+                "nautilus (2 bias hints): generations to top-1%",
+                "15–23",
+                crate::report::fmt_mean(two),
+            ),
+        ],
+        table,
+        csv: vec![("fig3_bias_hints.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_quick_scale_shows_hints_helping() {
+        let r = fig3(Scale::quick());
+        assert_eq!(r.id, "fig3");
+        assert_eq!(r.headlines.len(), 3);
+        // CSV has one row per generation plus a header.
+        assert_eq!(
+            r.csv[0].1.lines().count(),
+            Scale::quick().generations as usize + 1 + 1
+        );
+        // Scores are valid percentages and mostly increasing for baseline.
+        let last = r.csv[0].1.lines().last().unwrap().to_owned();
+        let cols: Vec<f64> =
+            last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        for s in &cols {
+            assert!((0.0..=100.0).contains(s), "score {s}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 4: maximizing frequency in the NoC design space.
+
+use nautilus::{compare, Confidence, Query, Strategy};
+use nautilus_ga::Direction;
+use nautilus_noc::hints::fmax_hints;
+use nautilus_synth::MetricExpr;
+
+use crate::data::router_dataset;
+use crate::figures::Scale;
+use crate::report::{ExperimentReport, Headline};
+
+/// Regenerates Figure 4: best Fmax vs. number of designs synthesized for
+/// the baseline GA and weakly/strongly guided Nautilus with *non-expert*
+/// hints, averaged over 40 runs.
+///
+/// Paper: "The baseline GA requires about 2.8x and 1.8x the number of
+/// synthesis jobs to converge to a solution within 1% of the best
+/// solution" (vs. strongly and weakly guided Nautilus respectively).
+///
+/// # Panics
+///
+/// Panics if the underlying comparison fails (it cannot for the packaged
+/// dataset and hints).
+#[must_use]
+pub fn fig4(scale: Scale) -> ExperimentReport {
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let query = Query::maximize("fmax", fmax.clone());
+
+    let hints = fmax_hints();
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("nautilus-weak", hints.clone(), Some(Confidence::WEAK)),
+        Strategy::guided("nautilus-strong", hints, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xF1_64);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("figure 4 comparison");
+
+    // Within 1% of the dataset's best frequency.
+    let (_, best) = d.best(&fmax, Direction::Maximize);
+    let threshold = 0.99 * best;
+    let stats = |name: &str| {
+        cmp.result(name).expect("strategy ran").reach_stats(Direction::Maximize, threshold)
+    };
+    let evals = |name: &str| {
+        let s = stats(name);
+        s.censored_mean_evals.map_or("n/a".to_owned(), |e| {
+            format!("{e:.0} ({}/{})", s.reached, s.total)
+        })
+    };
+    let ratio_strong = cmp.evals_ratio("baseline", "nautilus-strong", threshold);
+    let ratio_weak = cmp.evals_ratio("baseline", "nautilus-weak", threshold);
+
+    ExperimentReport {
+        id: "fig4",
+        title: "NoC: Maximize Frequency (non-expert hints)".into(),
+        headlines: vec![
+            Headline::new(
+                "baseline/strong synthesis-job ratio to within-1%-of-best",
+                "2.8x",
+                crate::report::fmt_ratio(ratio_strong),
+            ),
+            Headline::new(
+                "baseline/weak synthesis-job ratio to within-1%-of-best",
+                "1.8x",
+                crate::report::fmt_ratio(ratio_weak),
+            ),
+            Headline::new(
+                "baseline mean jobs to within-1%-of-best (reached/runs)",
+                "~350-400",
+                evals("baseline"),
+            ),
+            Headline::new(
+                "strong mean jobs to within-1%-of-best (reached/runs)",
+                "~130",
+                evals("nautilus-strong"),
+            ),
+        ],
+        table: cmp.render_table(5),
+        csv: vec![("fig4_noc_fmax.csv".into(), cmp.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_quick_scale_runs_and_orders_strategies() {
+        let r = fig4(Scale::quick());
+        assert_eq!(r.id, "fig4");
+        assert!(r.table.contains("nautilus-strong"));
+        assert!(r.csv[0].1.contains("baseline_evals"));
+    }
+}

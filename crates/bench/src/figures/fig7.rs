@@ -1,0 +1,105 @@
+//! Figure 7: maximizing throughput per LUT in the FFT design space.
+
+use nautilus::{compare, Confidence, Query, Strategy};
+use nautilus_fft::hints::throughput_per_lut_hints;
+use nautilus_ga::Direction;
+use nautilus_synth::MetricExpr;
+
+use crate::data::fft_dataset;
+use crate::figures::Scale;
+use crate::report::{ExperimentReport, Headline};
+
+/// Regenerates Figure 7: best throughput-per-LUT (MSPS/LUT) vs. designs
+/// synthesized, with the composite objective the paper highlights.
+///
+/// Paper: "the strongly guided Nautilus strategy is able to reach 1.45
+/// MSPS per LUT using 61.6 synthesis runs (on average), while the baseline
+/// GA requires more than 8x synthesis runs (501.4 on average) ...
+/// Moreover, Nautilus is able to reach high-quality solutions exhibiting
+/// more than 1.5 MSPS per LUT, which the baseline is never able to
+/// approach."
+///
+/// The paper's absolute 1.45/1.5 marks sit at ~90% and ~95% of its
+/// dataset's best value; we use the same relative marks against ours.
+///
+/// # Panics
+///
+/// Panics if the underlying comparison fails (it cannot for the packaged
+/// dataset and hints).
+#[must_use]
+pub fn fig7(scale: Scale) -> ExperimentReport {
+    let d = fft_dataset();
+    let model = d.as_model();
+    let tpl = MetricExpr::metric(d.catalog().require("throughput").expect("fft metric"))
+        / MetricExpr::metric(d.catalog().require("luts").expect("fft metric"));
+    let query = Query::maximize("throughput_per_lut", tpl.clone());
+
+    let hints = throughput_per_lut_hints();
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("nautilus-weak", hints.clone(), Some(Confidence::WEAK)),
+        Strategy::guided("nautilus-strong", hints, Some(Confidence::STRONG)),
+    ];
+    let cfg = scale.compare_config(scale.runs, 0xF1_67);
+    let cmp = compare(&model, &query, &strategies, &cfg).expect("figure 7 comparison");
+
+    let (_, best) = d.best(&tpl, Direction::Maximize);
+    let mark = 0.90 * best; // the paper's "1.45 MSPS/LUT" mark
+    let high = 0.95 * best; // the paper's "more than 1.5 MSPS/LUT" region
+
+    let stats = |name: &str, threshold: f64| {
+        cmp.result(name)
+            .expect("strategy ran")
+            .reach_stats(Direction::Maximize, threshold)
+    };
+    let ratio = cmp.evals_ratio("baseline", "nautilus-strong", mark);
+    let strong_high = stats("nautilus-strong", high);
+    let base_high = stats("baseline", high);
+
+    ExperimentReport {
+        id: "fig7",
+        title: "FFT: Maximize Throughput per LUT (expert hints)".into(),
+        headlines: vec![
+            Headline::new(
+                "strong mean jobs to the 90%-of-best mark (paper: 1.45)",
+                "61.6",
+                crate::report::fmt_mean(stats("nautilus-strong", mark).censored_mean_evals),
+            ),
+            Headline::new(
+                "baseline mean jobs to the same mark",
+                "501.4",
+                crate::report::fmt_mean(stats("baseline", mark).censored_mean_evals),
+            ),
+            Headline::new(
+                "baseline/strong synthesis-job ratio",
+                ">8x",
+                crate::report::fmt_ratio(ratio),
+            ),
+            Headline::new(
+                "strong runs reaching the high-quality region (>95% best)",
+                "reached",
+                format!("{}/{}", strong_high.reached, strong_high.total),
+            ),
+            Headline::new(
+                "baseline runs reaching the high-quality region",
+                "never",
+                format!("{}/{}", base_high.reached, base_high.total),
+            ),
+        ],
+        table: cmp.render_table(5),
+        csv: vec![("fig7_fft_tpl.csv".into(), cmp.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_reports_reach_fractions() {
+        let r = fig7(Scale::quick());
+        assert_eq!(r.headlines.len(), 5);
+        assert!(r.headlines[3].measured.contains('/'));
+        assert!(r.csv[0].1.contains("nautilus-strong_best"));
+    }
+}

@@ -1,0 +1,84 @@
+//! One module per regenerated figure, plus shared experiment plumbing.
+
+pub mod ablations;
+mod fig1;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+
+pub use ablations::{
+    abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,
+    abl_wrong_hints, all_ablations,
+};
+pub use fig1::fig1;
+pub use fig2::fig2;
+pub use fig3::fig3;
+pub use fig4::fig4;
+pub use fig5::fig5;
+pub use fig6::fig6;
+pub use fig7::fig7;
+
+use nautilus_ga::GaSettings;
+
+/// Experiment scale: the paper's full methodology or a fast smoke scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Runs per strategy (paper: 40).
+    pub runs: usize,
+    /// Runs for Figure 3 (paper: 20).
+    pub fig3_runs: usize,
+    /// GA generations (paper: 80).
+    pub generations: u32,
+}
+
+impl Scale {
+    /// The paper's methodology: 40 runs (20 for Figure 3), 80 generations.
+    #[must_use]
+    pub fn paper() -> Self {
+        Scale { runs: 40, fig3_runs: 20, generations: 80 }
+    }
+
+    /// A reduced scale for smoke tests and benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Scale { runs: 6, fig3_runs: 6, generations: 30 }
+    }
+
+    /// GA settings at this scale (population 10, mutation 0.1 as in the
+    /// paper; only the generation budget varies).
+    #[must_use]
+    pub fn settings(&self) -> GaSettings {
+        GaSettings { generations: self.generations, ..GaSettings::default() }
+    }
+
+    /// Comparison configuration at this scale.
+    #[must_use]
+    pub fn compare_config(&self, runs: usize, seed: u64) -> nautilus::CompareConfig {
+        nautilus::CompareConfig {
+            runs,
+            seed,
+            settings: self.settings(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_only_in_budget() {
+        let p = Scale::paper();
+        let q = Scale::quick();
+        assert_eq!(p.settings().population, 10);
+        assert_eq!(q.settings().population, 10);
+        assert_eq!(p.settings().generations, 80);
+        assert!(q.settings().generations < p.settings().generations);
+        assert_eq!(p.compare_config(5, 7).runs, 5);
+        assert_eq!(p.compare_config(5, 7).seed, 7);
+    }
+}

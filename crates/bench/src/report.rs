@@ -1,0 +1,166 @@
+//! Experiment reports: headline comparisons and CSV artifacts.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One paper-vs-measured headline claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// What is being compared, e.g. "baseline/strong synthesis-job ratio".
+    pub label: String,
+    /// The paper's reported value, as text (may be a range like "15–23").
+    pub paper: String,
+    /// Our measured value, as text.
+    pub measured: String,
+}
+
+impl Headline {
+    /// Builds a headline row.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Headline { label: label.into(), paper: paper.into(), measured: measured.into() }
+    }
+}
+
+/// The result of regenerating one figure or table.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "fig4".
+    pub id: &'static str,
+    /// Human title, e.g. "NoC: Maximize Frequency".
+    pub title: String,
+    /// Paper-vs-measured headline rows.
+    pub headlines: Vec<Headline>,
+    /// Rendered data table (series the figure plots).
+    pub table: String,
+    /// CSV artifacts: `(file name, contents)`.
+    pub csv: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Writes all CSV artifacts into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<Vec<String>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, contents) in &self.csv {
+            let path = dir.join(name);
+            fs::write(&path, contents)?;
+            written.push(path.display().to_string());
+        }
+        Ok(written)
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f)?;
+        if !self.headlines.is_empty() {
+            writeln!(f, "{:<58} {:>16} {:>16}", "claim", "paper", "measured")?;
+            for h in &self.headlines {
+                writeln!(f, "{:<58} {:>16} {:>16}", h.label, h.paper, h.measured)?;
+            }
+            writeln!(f)?;
+        }
+        if !self.table.is_empty() {
+            writeln!(f, "{}", self.table)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders Table A: every headline from every experiment, in order.
+#[must_use]
+pub fn render_table_a(reports: &[ExperimentReport]) -> String {
+    let mut out = String::from(
+        "== Table A — convergence-cost summary (collected in-text claims) ==\n\n",
+    );
+    out.push_str(&format!("{:<8} {:<58} {:>16} {:>16}\n", "exp", "claim", "paper", "measured"));
+    for r in reports {
+        for h in &r.headlines {
+            out.push_str(&format!(
+                "{:<8} {:<58} {:>16} {:>16}\n",
+                r.id, h.label, h.paper, h.measured
+            ));
+        }
+    }
+    out
+}
+
+/// Formats a ratio like "2.8x" (or "n/a").
+#[must_use]
+pub fn fmt_ratio(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.1}x"),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// Formats a mean count like "101.3" (or "n/a").
+#[must_use]
+pub fn fmt_mean(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "n/a".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        ExperimentReport {
+            id: "fig9",
+            title: "Test".into(),
+            headlines: vec![Headline::new("ratio", "2.8x", "3.0x")],
+            table: "gen | data".into(),
+            csv: vec![("fig9.csv".into(), "a,b\n1,2\n".into())],
+        }
+    }
+
+    #[test]
+    fn display_includes_headlines_and_table() {
+        let text = report().to_string();
+        assert!(text.contains("fig9"));
+        assert!(text.contains("2.8x"));
+        assert!(text.contains("3.0x"));
+        assert!(text.contains("gen | data"));
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join("nautilus_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = report().write_csv(&dir).unwrap();
+        assert_eq!(written.len(), 1);
+        let body = std::fs::read_to_string(dir.join("fig9.csv")).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_a_collects_all_headlines() {
+        let t = render_table_a(&[report(), report()]);
+        assert_eq!(t.matches("ratio").count(), 2);
+        assert!(t.contains("Table A"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(Some(2.84)), "2.8x");
+        assert_eq!(fmt_ratio(None), "n/a");
+        assert_eq!(fmt_mean(Some(101.33)), "101.3");
+        assert_eq!(fmt_mean(None), "n/a");
+    }
+}

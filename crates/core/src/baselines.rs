@@ -1,0 +1,257 @@
+//! Naive search baselines the paper compares against: random sampling and
+//! exhaustive (brute-force) search.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nautilus_ga::Genome;
+use nautilus_synth::{CostModel, Dataset, SynthJobRunner};
+
+use crate::error::{NautilusError, Result};
+use crate::query::Query;
+use crate::trace::{SearchOutcome, TracePoint};
+
+/// Uniform random sampling of the design space, evaluating through the
+/// synthesis cache until `budget` distinct feasible designs were
+/// synthesized.
+///
+/// A trace point is recorded every `window` distinct evaluations so random
+/// search plots on the same axes as the GA strategies (the paper's footnote
+/// 3 compares against exactly this strategy).
+///
+/// # Errors
+///
+/// Returns [`NautilusError::EmptyBudget`] for a zero budget.
+pub fn random_search(
+    model: &dyn CostModel,
+    query: &Query,
+    budget: u64,
+    window: u64,
+    seed: u64,
+) -> Result<SearchOutcome> {
+    if budget == 0 {
+        return Err(NautilusError::EmptyBudget);
+    }
+    let window = window.max(1);
+    let runner = SynthJobRunner::new(model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let direction = query.direction();
+
+    let mut best: Option<(Genome, f64)> = None;
+    let mut trace = Vec::new();
+    let mut window_values: Vec<f64> = Vec::new();
+    let mut step = 0u32;
+    // Attempt cap guards against models that are almost entirely infeasible.
+    let max_attempts = budget.saturating_mul(1000);
+    let mut attempts = 0u64;
+
+    while runner.distinct_jobs() < budget && attempts < max_attempts {
+        attempts += 1;
+        let g = model.space().random_genome(&mut rng);
+        let before = runner.distinct_jobs();
+        let value = runner.evaluate(&g).and_then(|m| query.objective(&m));
+        let was_new = runner.distinct_jobs() > before;
+        if let Some(v) = value {
+            if was_new {
+                window_values.push(v);
+            }
+            let better = match &best {
+                None => true,
+                Some((_, b)) => direction.is_better(v, *b),
+            };
+            if better {
+                best = Some((g, v));
+            }
+        }
+        let jobs = runner.distinct_jobs();
+        if was_new && jobs.is_multiple_of(window) {
+            push_point(&mut trace, step, jobs, &window_values, &best);
+            window_values.clear();
+            step += 1;
+        }
+    }
+    // Final partial window.
+    let jobs = runner.distinct_jobs();
+    if trace.last().is_none_or(|p: &TracePoint| p.evals != jobs) {
+        push_point(&mut trace, step, jobs, &window_values, &best);
+    }
+
+    let (best_genome, best_value) =
+        best.ok_or(NautilusError::Ga(nautilus_ga::GaError::NoFeasibleGenome {
+            attempts: attempts as usize,
+        }))?;
+    Ok(SearchOutcome {
+        strategy: "random".to_owned(),
+        trace,
+        best_genome,
+        best_value,
+        jobs: runner.stats(),
+    })
+}
+
+fn push_point(
+    trace: &mut Vec<TracePoint>,
+    step: u32,
+    evals: u64,
+    window_values: &[f64],
+    best: &Option<(Genome, f64)>,
+) {
+    let best_so_far = best.as_ref().map_or(f64::NAN, |(_, v)| *v);
+    let (best_in_gen, mean_in_gen) = if window_values.is_empty() {
+        (best_so_far, best_so_far)
+    } else {
+        let sum: f64 = window_values.iter().sum();
+        let mut best_w = window_values[0];
+        for &v in window_values {
+            // Window best in either direction is ambiguous; report the value
+            // closest to the overall best.
+            if (v - best_so_far).abs() < (best_w - best_so_far).abs() {
+                best_w = v;
+            }
+        }
+        (best_w, sum / window_values.len() as f64)
+    };
+    trace.push(TracePoint { generation: step, evals, best_in_gen, mean_in_gen, best_so_far });
+}
+
+/// Exhaustive search over a characterized dataset: the ground-truth optimum
+/// (at the cost the paper calls "prohibitive").
+///
+/// Returns `(genome, objective value, designs examined)`; constraint- or
+/// finiteness-infeasible entries are skipped.
+///
+/// # Errors
+///
+/// Returns [`NautilusError::Synth`] with
+/// [`nautilus_synth::SynthError::EmptyDataset`] if no entry satisfies the
+/// query.
+pub fn brute_force(dataset: &Dataset, query: &Query) -> Result<(Genome, f64, u64)> {
+    let direction = query.direction();
+    let mut best: Option<(Genome, f64)> = None;
+    let mut examined = 0u64;
+    for (g, m) in dataset.iter() {
+        examined += 1;
+        if let Some(v) = query.objective(m) {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => direction.is_better(v, *b),
+            };
+            if better {
+                best = Some((g.clone(), v));
+            }
+        }
+    }
+    best.map(|(g, v)| (g, v, examined))
+        .ok_or(NautilusError::Synth(nautilus_synth::SynthError::EmptyDataset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_ga::ParamSpace;
+    use nautilus_synth::{MetricCatalog, MetricExpr, MetricSet};
+
+    #[derive(Debug)]
+    struct Grid {
+        space: ParamSpace,
+        catalog: MetricCatalog,
+    }
+
+    impl Grid {
+        fn new() -> Self {
+            Grid {
+                space: ParamSpace::builder()
+                    .int("x", 0, 31, 1)
+                    .int("y", 0, 31, 1)
+                    .build()
+                    .unwrap(),
+                catalog: MetricCatalog::new([("v", "units")]).unwrap(),
+            }
+        }
+    }
+
+    impl CostModel for Grid {
+        fn name(&self) -> &str {
+            "grid"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn catalog(&self) -> &MetricCatalog {
+            &self.catalog
+        }
+        fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+            if g.gene_at(0) == 13 {
+                return None; // infeasible stripe
+            }
+            let v = f64::from(g.gene_at(0)) * 32.0 + f64::from(g.gene_at(1));
+            Some(self.catalog.set(vec![v]).unwrap())
+        }
+    }
+
+    fn q(model: &Grid) -> Query {
+        Query::minimize("v", MetricExpr::metric(model.catalog.require("v").unwrap()))
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_improves() {
+        let model = Grid::new();
+        let query = q(&model);
+        let out = random_search(&model, &query, 100, 10, 42).unwrap();
+        assert_eq!(out.jobs.jobs, 100);
+        assert_eq!(out.strategy, "random");
+        assert!(out.best_value < 100.0, "100 samples should find a decent point");
+        // Trace is monotone in both axes.
+        for w in out.trace.windows(2) {
+            assert!(w[1].evals >= w[0].evals);
+            assert!(w[1].best_so_far <= w[0].best_so_far);
+        }
+        assert_eq!(out.trace.last().unwrap().evals, 100);
+    }
+
+    #[test]
+    fn random_search_is_deterministic() {
+        let model = Grid::new();
+        let query = q(&model);
+        let a = random_search(&model, &query, 50, 5, 7).unwrap();
+        let b = random_search(&model, &query, 50, 5, 7).unwrap();
+        assert_eq!(a, b);
+        let c = random_search(&model, &query, 50, 5, 8).unwrap();
+        assert_ne!(a.best_genome, c.best_genome);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let model = Grid::new();
+        let query = q(&model);
+        assert_eq!(
+            random_search(&model, &query, 0, 5, 0).unwrap_err(),
+            NautilusError::EmptyBudget
+        );
+    }
+
+    #[test]
+    fn brute_force_finds_global_optimum() {
+        let model = Grid::new();
+        let query = q(&model);
+        let dataset = Dataset::characterize(&model, 4).unwrap();
+        let (g, v, examined) = brute_force(&dataset, &query).unwrap();
+        assert_eq!(v, 0.0);
+        assert_eq!(g.genes(), &[0, 0]);
+        assert_eq!(examined, 31 * 32); // one x stripe infeasible
+    }
+
+    #[test]
+    fn brute_force_respects_constraints() {
+        let model = Grid::new();
+        let vexpr = MetricExpr::metric(model.catalog.require("v").unwrap());
+        let query = Query::minimize("v", vexpr.clone()).with_constraint(
+            vexpr,
+            crate::query::ConstraintOp::Ge,
+            500.0,
+        );
+        let dataset = Dataset::characterize(&model, 2).unwrap();
+        let (_, v, _) = brute_force(&dataset, &query).unwrap();
+        assert_eq!(v, 500.0); // x=15, y=20 -> 15*32 + 20 = 500, the smallest feasible value
+    }
+}

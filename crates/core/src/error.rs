@@ -1,0 +1,112 @@
+//! Error types for hint construction and Nautilus runs.
+
+use std::error::Error;
+use std::fmt;
+
+use nautilus_ga::GaError;
+use nautilus_synth::SynthError;
+
+/// Errors produced while building hints or running Nautilus searches.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NautilusError {
+    /// A hint value was outside its documented range.
+    HintOutOfRange {
+        /// Which hint class ("importance", "bias", ...).
+        hint: &'static str,
+        /// Display form of the rejected value.
+        value: String,
+        /// The legal range.
+        range: &'static str,
+    },
+    /// Both a bias and a target hint were supplied for one parameter.
+    BiasAndTarget(String),
+    /// A hint referenced a parameter the space does not define.
+    UnknownParam(String),
+    /// A target hint value is not in its parameter's domain.
+    TargetNotInDomain {
+        /// Parameter the target was supplied for.
+        param: String,
+        /// Display form of the value.
+        value: String,
+    },
+    /// An ordering hint is not a permutation of the parameter's domain.
+    BadOrdering(String),
+    /// An underlying GA error.
+    Ga(GaError),
+    /// An underlying synthesis-substrate error.
+    Synth(SynthError),
+    /// A search was configured with an empty evaluation budget.
+    EmptyBudget,
+}
+
+impl fmt::Display for NautilusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NautilusError::HintOutOfRange { hint, value, range } => {
+                write!(f, "{hint} hint value {value} outside {range}")
+            }
+            NautilusError::BiasAndTarget(p) => {
+                write!(f, "parameter `{p}` has both bias and target hints (mutually exclusive)")
+            }
+            NautilusError::UnknownParam(p) => write!(f, "hint references unknown parameter `{p}`"),
+            NautilusError::TargetNotInDomain { param, value } => {
+                write!(f, "target value `{value}` is not in the domain of parameter `{param}`")
+            }
+            NautilusError::BadOrdering(p) => {
+                write!(f, "ordering hint for `{p}` is not a permutation of its domain")
+            }
+            NautilusError::Ga(e) => write!(f, "genetic algorithm error: {e}"),
+            NautilusError::Synth(e) => write!(f, "synthesis substrate error: {e}"),
+            NautilusError::EmptyBudget => write!(f, "search budget must be at least 1 evaluation"),
+        }
+    }
+}
+
+impl Error for NautilusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NautilusError::Ga(e) => Some(e),
+            NautilusError::Synth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GaError> for NautilusError {
+    fn from(e: GaError) -> Self {
+        NautilusError::Ga(e)
+    }
+}
+
+impl From<SynthError> for NautilusError {
+    fn from(e: SynthError) -> Self {
+        NautilusError::Synth(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NautilusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = NautilusError::HintOutOfRange { hint: "bias", value: "2".into(), range: "[-1, 1]" };
+        assert!(e.to_string().contains("bias"));
+        assert!(e.to_string().contains("[-1, 1]"));
+        assert!(NautilusError::BiasAndTarget("vcs".into()).to_string().contains("vcs"));
+        assert!(NautilusError::BadOrdering("alloc".into()).to_string().contains("alloc"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_source() {
+        let e = NautilusError::from(GaError::EmptySpace);
+        assert!(e.source().is_some());
+        let e = NautilusError::from(SynthError::EmptyDataset);
+        assert!(e.source().is_some());
+        assert!(NautilusError::EmptyBudget.source().is_none());
+    }
+}

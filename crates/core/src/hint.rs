@@ -1,0 +1,721 @@
+//! The Nautilus hint taxonomy (paper Section 3).
+//!
+//! Hints let an IP author embed design-space knowledge into the generator:
+//!
+//! * [`Importance`] (1–100) — how strongly a parameter affects the metric;
+//!   skews *which* genes mutate.
+//! * [`Decay`] (0–1) — lets importance differences fade over generations,
+//!   moving from coarse navigation to fine-tuning.
+//! * [`Bias`] (−1–1) — correlation between the parameter and the metric;
+//!   skews *what value* a mutating gene receives.
+//! * Target — "good solutions cluster around this value"; pulls mutations
+//!   toward it. Bias and target are mutually exclusive per parameter.
+//! * [`Confidence`] (0–1) — how much to trust the hints: 0 behaves like the
+//!   baseline GA, 1 is strongly directed search.
+//! * Auxiliary — a value *ordering* for categorical parameters (so bias has
+//!   a meaningful axis) and a mutation *stepping* limit.
+//!
+//! A [`HintSet`] collects per-parameter hints for **one** metric of
+//! interest; a [`HintBook`] maps metric names to hint sets and can merge
+//! them for composite queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nautilus_ga::{ParamSpace, ParamValue};
+
+use crate::error::{NautilusError, Result};
+
+/// Importance of a parameter for a metric, from 1 (irrelevant) to 100
+/// (dominant). Paper: "assigns values from 1 to 100 to each parameter that
+/// captures how drastically the parameter is expected to affect the metric".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Importance(u8);
+
+impl Importance {
+    /// Validates `value` into an importance hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] unless `1 <= value <= 100`.
+    pub fn new(value: u8) -> Result<Self> {
+        if (1..=100).contains(&value) {
+            Ok(Importance(value))
+        } else {
+            Err(NautilusError::HintOutOfRange {
+                hint: "importance",
+                value: value.to_string(),
+                range: "[1, 100]",
+            })
+        }
+    }
+
+    /// The raw 1–100 value.
+    #[must_use]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The neutral default used for parameters without an importance hint.
+    pub const DEFAULT: Importance = Importance(50);
+}
+
+impl fmt::Display for Importance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Importance-decay rate in `[0, 1]` per generation.
+///
+/// With decay `d`, a parameter's effective importance at generation `g` is
+/// `1 + (importance − 1) · d^g`: it relaxes toward the neutral floor so the
+/// search "initially focuses on parameters believed to be important ... and
+/// then gradually shifts focus to experimenting with less important
+/// parameters". `Decay(1.0)` means no decay.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Decay(f64);
+
+impl Decay {
+    /// Validates `value` into a decay hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] unless `0 <= value <= 1`.
+    pub fn new(value: f64) -> Result<Self> {
+        if (0.0..=1.0).contains(&value) {
+            Ok(Decay(value))
+        } else {
+            Err(NautilusError::HintOutOfRange {
+                hint: "importance decay",
+                value: value.to_string(),
+                range: "[0, 1]",
+            })
+        }
+    }
+
+    /// The raw rate.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// Correlation between a parameter and the metric being optimized, in
+/// `[-1, 1]`. Positive bias: increasing the parameter increases the metric.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bias(f64);
+
+impl Bias {
+    /// Validates `value` into a bias hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] unless `-1 <= value <= 1`.
+    pub fn new(value: f64) -> Result<Self> {
+        if (-1.0..=1.0).contains(&value) {
+            Ok(Bias(value))
+        } else {
+            Err(NautilusError::HintOutOfRange {
+                hint: "bias",
+                value: value.to_string(),
+                range: "[-1, 1]",
+            })
+        }
+    }
+
+    /// The raw correlation.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// Trust in the hint set, in `[0, 1]`.
+///
+/// "Setting low confidence values will make the algorithm behave more
+/// similarly to the baseline GA, while setting high confidence values ...
+/// will cause the algorithm to perform very directed optimization."
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Validates `value` into a confidence knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] unless `0 <= value <= 1`.
+    pub fn new(value: f64) -> Result<Self> {
+        if (0.0..=1.0).contains(&value) {
+            Ok(Confidence(value))
+        } else {
+            Err(NautilusError::HintOutOfRange {
+                hint: "confidence",
+                value: value.to_string(),
+                range: "[0, 1]",
+            })
+        }
+    }
+
+    /// The raw trust level.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The paper's "weakly guided" configuration.
+    pub const WEAK: Confidence = Confidence(0.5);
+    /// The paper's "strongly guided" configuration.
+    pub const STRONG: Confidence = Confidence(0.9);
+}
+
+/// The value-steering hint of one parameter: bias or target, never both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueHint {
+    /// Directional correlation with the metric.
+    Bias(Bias),
+    /// Good solutions cluster around this value.
+    Target(ParamValue),
+}
+
+/// All hints attached to a single parameter (for one metric).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParamHint {
+    /// How strongly this parameter affects the metric.
+    pub importance: Option<Importance>,
+    /// Per-parameter importance-decay rate.
+    pub decay: Option<Decay>,
+    /// Bias or target steering.
+    pub value: Option<ValueHint>,
+    /// Auxiliary: domain-index permutation ordering a categorical
+    /// parameter's choices along the metric axis (ascending). Entry `k` is
+    /// the domain index with rank `k`.
+    pub ordering: Option<Vec<u32>>,
+    /// Auxiliary: maximum mutation step along the (ordered) domain.
+    pub max_step: Option<usize>,
+}
+
+/// Per-parameter hints for one metric of interest, plus a confidence knob.
+///
+/// ```
+/// use nautilus::{HintSet, Confidence};
+/// use nautilus_ga::ParamValue;
+/// # fn main() -> Result<(), nautilus::NautilusError> {
+/// let hints = HintSet::for_metric("luts")
+///     .importance("transform_size", 90)?
+///     .bias("transform_size", 0.9)?          // bigger FFT -> more LUTs
+///     .target("arch", ParamValue::Sym("iterative".into()))?
+///     .confidence(Confidence::STRONG)
+///     .build();
+/// assert_eq!(hints.metric(), "luts");
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HintSet {
+    metric: String,
+    entries: HashMap<String, ParamHint>,
+    confidence: Confidence,
+}
+
+impl HintSet {
+    /// Starts building a hint set for `metric` (a metric or query name).
+    #[must_use]
+    pub fn for_metric(metric: impl Into<String>) -> HintSetBuilder {
+        HintSetBuilder {
+            set: HintSet {
+                metric: metric.into(),
+                entries: HashMap::new(),
+                confidence: Confidence::WEAK,
+            },
+        }
+    }
+
+    /// The metric or query these hints pertain to.
+    #[must_use]
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The trust level of this hint set.
+    #[must_use]
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// Returns a copy with a different confidence (how the paper derives its
+    /// "weakly" and "strongly" guided variants from one hint set).
+    #[must_use]
+    pub fn with_confidence(&self, confidence: Confidence) -> HintSet {
+        HintSet { confidence, ..self.clone() }
+    }
+
+    /// The hint entry for `param`, if any.
+    #[must_use]
+    pub fn get(&self, param: &str) -> Option<&ParamHint> {
+        self.entries.get(param)
+    }
+
+    /// Iterates over `(parameter name, hints)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamHint)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of hinted parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no parameter has hints (Nautilus falls back to baseline).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-opens the set for further edits (e.g. refining a merged set).
+    #[must_use]
+    pub fn into_builder(self) -> HintSetBuilder {
+        HintSetBuilder { set: self }
+    }
+
+    /// Derives a new set by transforming every per-parameter hint.
+    ///
+    /// `f` receives each parameter name and hint and returns the hint to
+    /// keep (or `None` to drop the parameter entirely). Used by ablation
+    /// studies to isolate hint classes, e.g. keep only importance:
+    ///
+    /// ```
+    /// use nautilus::{HintSet, ParamHint};
+    /// # fn main() -> Result<(), nautilus::NautilusError> {
+    /// let full = HintSet::for_metric("luts")
+    ///     .importance("size", 90)?
+    ///     .bias("size", 0.9)?
+    ///     .build();
+    /// let importance_only = full.map_hints(|_, h| {
+    ///     Some(ParamHint { value: None, ..h.clone() })
+    /// });
+    /// assert!(importance_only.get("size").unwrap().value.is_none());
+    /// assert!(importance_only.get("size").unwrap().importance.is_some());
+    /// # Ok(()) }
+    /// ```
+    #[must_use]
+    pub fn map_hints(
+        &self,
+        mut f: impl FnMut(&str, &ParamHint) -> Option<ParamHint>,
+    ) -> HintSet {
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|(name, hint)| f(name, hint).map(|h| (name.clone(), h)))
+            .collect();
+        HintSet { metric: self.metric.clone(), entries, confidence: self.confidence }
+    }
+
+    /// Validates every hint against `space`: all names must exist, targets
+    /// must be in-domain, orderings must be domain permutations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending hint's error.
+    pub fn validate(&self, space: &ParamSpace) -> Result<()> {
+        for (name, hint) in &self.entries {
+            let id = space
+                .id(name)
+                .ok_or_else(|| NautilusError::UnknownParam(name.clone()))?;
+            let domain = space.param(id).domain();
+            if let Some(ValueHint::Target(v)) = &hint.value {
+                if domain.index_of(v).is_none() {
+                    return Err(NautilusError::TargetNotInDomain {
+                        param: name.clone(),
+                        value: v.to_string(),
+                    });
+                }
+            }
+            if let Some(order) = &hint.ordering {
+                let card = domain.cardinality();
+                let mut seen = vec![false; card];
+                if order.len() != card {
+                    return Err(NautilusError::BadOrdering(name.clone()));
+                }
+                for &idx in order {
+                    if idx as usize >= card || seen[idx as usize] {
+                        return Err(NautilusError::BadOrdering(name.clone()));
+                    }
+                    seen[idx as usize] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges per-metric hint sets into one set for a composite query.
+    ///
+    /// `parts` pairs each hint set with the *sign* of its metric's
+    /// contribution to the composite: `+1.0` if the composite grows with the
+    /// metric (e.g. LUTs in area-delay product), `-1.0` if it shrinks
+    /// (e.g. Fmax in area-delay product). Merging takes the maximum
+    /// importance, the sign-weighted mean bias, the minimum decay and
+    /// max-step, keeps a target only when every supplying part agrees on
+    /// the same value (and no part biases the same parameter), and averages
+    /// confidence.
+    #[must_use]
+    pub fn merge(name: impl Into<String>, parts: &[(&HintSet, f64)]) -> HintSet {
+        let mut entries: HashMap<String, Vec<(&ParamHint, f64)>> = HashMap::new();
+        for (set, sign) in parts {
+            for (p, h) in set.iter() {
+                entries.entry(p.to_owned()).or_default().push((h, *sign));
+            }
+        }
+        let mut merged = HashMap::new();
+        for (p, hints) in entries {
+            let importance = hints.iter().filter_map(|(h, _)| h.importance).max();
+            let decay = hints
+                .iter()
+                .filter_map(|(h, _)| h.decay)
+                .min_by(|a, b| a.partial_cmp(b).expect("decay is never NaN"));
+            let max_step = hints.iter().filter_map(|(h, _)| h.max_step).min();
+            let ordering = hints.iter().find_map(|(h, _)| h.ordering.clone());
+            let biases: Vec<f64> = hints
+                .iter()
+                .filter_map(|(h, sign)| match &h.value {
+                    Some(ValueHint::Bias(b)) => Some(b.get() * sign),
+                    _ => None,
+                })
+                .collect();
+            let targets: Vec<&ParamValue> = hints
+                .iter()
+                .filter_map(|(h, _)| match &h.value {
+                    Some(ValueHint::Target(v)) => Some(v),
+                    _ => None,
+                })
+                .collect();
+            let value = if !biases.is_empty() {
+                let mean = biases.iter().sum::<f64>() / biases.len() as f64;
+                Some(ValueHint::Bias(Bias(mean.clamp(-1.0, 1.0))))
+            } else if !targets.is_empty() && targets.iter().all(|t| *t == targets[0]) {
+                Some(ValueHint::Target(targets[0].clone()))
+            } else {
+                None
+            };
+            merged.insert(p, ParamHint { importance, decay, value, ordering, max_step });
+        }
+        let confidence = if parts.is_empty() {
+            Confidence::WEAK
+        } else {
+            Confidence(
+                parts.iter().map(|(s, _)| s.confidence.get()).sum::<f64>() / parts.len() as f64,
+            )
+        };
+        HintSet { metric: name.into(), entries: merged, confidence }
+    }
+}
+
+/// Builder for [`HintSet`]; every hinted method validates its range.
+#[derive(Debug)]
+pub struct HintSetBuilder {
+    set: HintSet,
+}
+
+impl HintSetBuilder {
+    fn entry(&mut self, param: &str) -> &mut ParamHint {
+        self.set.entries.entry(param.to_owned()).or_default()
+    }
+
+    /// Sets the importance (1–100) of `param`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] for values outside 1–100.
+    pub fn importance(mut self, param: &str, value: u8) -> Result<Self> {
+        let imp = Importance::new(value)?;
+        self.entry(param).importance = Some(imp);
+        Ok(self)
+    }
+
+    /// Sets the importance-decay rate (0–1) of `param`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] for values outside 0–1.
+    pub fn decay(mut self, param: &str, value: f64) -> Result<Self> {
+        let d = Decay::new(value)?;
+        self.entry(param).decay = Some(d);
+        Ok(self)
+    }
+
+    /// Sets the bias (−1–1) of `param`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::HintOutOfRange`] for out-of-range values and
+    /// [`NautilusError::BiasAndTarget`] if a target is already set.
+    pub fn bias(mut self, param: &str, value: f64) -> Result<Self> {
+        let b = Bias::new(value)?;
+        let e = self.entry(param);
+        if matches!(e.value, Some(ValueHint::Target(_))) {
+            return Err(NautilusError::BiasAndTarget(param.to_owned()));
+        }
+        e.value = Some(ValueHint::Bias(b));
+        Ok(self)
+    }
+
+    /// Sets the target value of `param`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NautilusError::BiasAndTarget`] if a bias is already set.
+    /// (Domain membership is checked by [`HintSet::validate`].)
+    pub fn target(mut self, param: &str, value: ParamValue) -> Result<Self> {
+        let e = self.entry(param);
+        if matches!(e.value, Some(ValueHint::Bias(_))) {
+            return Err(NautilusError::BiasAndTarget(param.to_owned()));
+        }
+        e.value = Some(ValueHint::Target(value));
+        Ok(self)
+    }
+
+    /// Declares the metric-ascending ordering of a categorical parameter's
+    /// domain indices (auxiliary hint).
+    #[must_use]
+    pub fn ordering(mut self, param: &str, order: impl Into<Vec<u32>>) -> Self {
+        self.entry(param).ordering = Some(order.into());
+        self
+    }
+
+    /// Limits mutation stepping for `param` (auxiliary hint).
+    #[must_use]
+    pub fn max_step(mut self, param: &str, step: usize) -> Self {
+        self.entry(param).max_step = Some(step.max(1));
+        self
+    }
+
+    /// Sets the hint-set confidence.
+    #[must_use]
+    pub fn confidence(mut self, confidence: Confidence) -> Self {
+        self.set.confidence = confidence;
+        self
+    }
+
+    /// Finishes the hint set.
+    #[must_use]
+    pub fn build(self) -> HintSet {
+        self.set
+    }
+}
+
+/// Per-metric hint sets, packaged with an IP generator.
+///
+/// "These hints are calibrated by the IP author during the IP development
+/// phase and are packaged and provided along with Nautilus as part of the
+/// IP."
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HintBook {
+    sets: HashMap<String, HintSet>,
+}
+
+impl HintBook {
+    /// Creates an empty book.
+    #[must_use]
+    pub fn new() -> Self {
+        HintBook::default()
+    }
+
+    /// Adds (or replaces) the hint set for its metric.
+    pub fn insert(&mut self, set: HintSet) {
+        self.sets.insert(set.metric().to_owned(), set);
+    }
+
+    /// The hint set for `metric`, if the author provided one.
+    #[must_use]
+    pub fn get(&self, metric: &str) -> Option<&HintSet> {
+        self.sets.get(metric)
+    }
+
+    /// Number of hint sets in the book.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the book is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Metric names with hint sets, sorted for determinism.
+    #[must_use]
+    pub fn metrics(&self) -> Vec<&str> {
+        let mut m: Vec<&str> = self.sets.keys().map(String::as_str).collect();
+        m.sort_unstable();
+        m
+    }
+}
+
+impl FromIterator<HintSet> for HintBook {
+    fn from_iter<T: IntoIterator<Item = HintSet>>(iter: T) -> Self {
+        let mut book = HintBook::new();
+        for set in iter {
+            book.insert(set);
+        }
+        book
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_ga::ParamSpace;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .int("depth", 1, 8, 1)
+            .choices("alloc", ["rr", "matrix", "wavefront"])
+            .flag("spec")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ranges_are_enforced() {
+        assert!(Importance::new(0).is_err());
+        assert!(Importance::new(101).is_err());
+        assert_eq!(Importance::new(100).unwrap().get(), 100);
+        assert!(Decay::new(-0.1).is_err());
+        assert!(Decay::new(1.1).is_err());
+        assert!(Bias::new(1.5).is_err());
+        assert!(Bias::new(-1.0).is_ok());
+        assert!(Confidence::new(2.0).is_err());
+        assert_eq!(Confidence::STRONG.get(), 0.9);
+        assert_eq!(Confidence::WEAK.get(), 0.5);
+    }
+
+    #[test]
+    fn bias_and_target_are_mutually_exclusive() {
+        let err = HintSet::for_metric("luts")
+            .bias("depth", 0.5)
+            .unwrap()
+            .target("depth", ParamValue::Int(4));
+        assert_eq!(err.unwrap_err(), NautilusError::BiasAndTarget("depth".into()));
+        let err = HintSet::for_metric("luts")
+            .target("depth", ParamValue::Int(4))
+            .unwrap()
+            .bias("depth", 0.5);
+        assert_eq!(err.unwrap_err(), NautilusError::BiasAndTarget("depth".into()));
+    }
+
+    #[test]
+    fn validate_checks_names_targets_and_orderings() {
+        let s = space();
+        let ok = HintSet::for_metric("luts")
+            .importance("depth", 90)
+            .unwrap()
+            .bias("depth", -0.8)
+            .unwrap()
+            .target("alloc", ParamValue::Sym("matrix".into()))
+            .unwrap()
+            .ordering("alloc", [0, 2, 1])
+            .build();
+        assert!(ok.validate(&s).is_ok());
+
+        let unknown =
+            HintSet::for_metric("luts").importance("nope", 50).unwrap().build();
+        assert_eq!(
+            unknown.validate(&s).unwrap_err(),
+            NautilusError::UnknownParam("nope".into())
+        );
+
+        let bad_target = HintSet::for_metric("luts")
+            .target("alloc", ParamValue::Sym("xbar".into()))
+            .unwrap()
+            .build();
+        assert!(matches!(
+            bad_target.validate(&s).unwrap_err(),
+            NautilusError::TargetNotInDomain { .. }
+        ));
+
+        for order in [vec![0u32, 1], vec![0, 1, 1], vec![0, 1, 3]] {
+            let bad = HintSet::for_metric("luts").ordering("alloc", order).build();
+            assert_eq!(
+                bad.validate(&s).unwrap_err(),
+                NautilusError::BadOrdering("alloc".into())
+            );
+        }
+    }
+
+    #[test]
+    fn with_confidence_only_changes_confidence() {
+        let weak = HintSet::for_metric("fmax").bias("depth", 0.4).unwrap().build();
+        let strong = weak.with_confidence(Confidence::STRONG);
+        assert_eq!(strong.confidence(), Confidence::STRONG);
+        assert_eq!(strong.get("depth"), weak.get("depth"));
+        assert_eq!(strong.metric(), "fmax");
+    }
+
+    #[test]
+    fn merge_combines_importance_and_signed_bias() {
+        let luts = HintSet::for_metric("luts")
+            .importance("depth", 90)
+            .unwrap()
+            .bias("depth", 0.8) // deeper buffers -> more LUTs
+            .unwrap()
+            .confidence(Confidence::STRONG)
+            .build();
+        let fmax = HintSet::for_metric("fmax")
+            .importance("depth", 40)
+            .unwrap()
+            .bias("depth", -0.4) // deeper buffers -> slower clock
+            .unwrap()
+            .confidence(Confidence::WEAK)
+            .build();
+        // Area-delay product grows with LUTs (+1) and shrinks with fmax (-1).
+        let adp = HintSet::merge("adp", &[(&luts, 1.0), (&fmax, -1.0)]);
+        let h = adp.get("depth").unwrap();
+        assert_eq!(h.importance, Some(Importance::new(90).unwrap()));
+        match &h.value {
+            Some(ValueHint::Bias(b)) => {
+                // (0.8 * 1 + (-0.4) * -1) / 2 = 0.6: depth hurts ADP.
+                assert!((b.get() - 0.6).abs() < 1e-12);
+            }
+            other => panic!("expected merged bias, got {other:?}"),
+        }
+        assert!((adp.confidence().get() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_keeps_unique_target_and_drops_conflicts() {
+        let a = HintSet::for_metric("a")
+            .target("alloc", ParamValue::Sym("rr".into()))
+            .unwrap()
+            .build();
+        let b = HintSet::for_metric("b").importance("alloc", 60).unwrap().build();
+        let merged = HintSet::merge("ab", &[(&a, 1.0), (&b, 1.0)]);
+        assert!(matches!(
+            merged.get("alloc").unwrap().value,
+            Some(ValueHint::Target(_))
+        ));
+
+        let c = HintSet::for_metric("c")
+            .target("alloc", ParamValue::Sym("matrix".into()))
+            .unwrap()
+            .build();
+        let conflicted = HintSet::merge("ac", &[(&a, 1.0), (&c, 1.0)]);
+        assert_eq!(conflicted.get("alloc").unwrap().value, None);
+    }
+
+    #[test]
+    fn book_stores_and_lists_sets() {
+        let book: HintBook = [
+            HintSet::for_metric("luts").build(),
+            HintSet::for_metric("fmax").build(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.metrics(), vec!["fmax", "luts"]);
+        assert!(book.get("luts").is_some());
+        assert!(book.get("power").is_none());
+    }
+}

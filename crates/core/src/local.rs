@@ -1,0 +1,384 @@
+//! Local-search comparators: simulated annealing and stochastic hill
+//! climbing.
+//!
+//! The paper's related work notes that "simulated annealing has long been
+//! used in physical design automation problems"; these implementations let
+//! the evaluation compare Nautilus against the classic single-point
+//! metaheuristics on the same synthesis-job accounting.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use nautilus_ga::{Genome, ParamId};
+use nautilus_synth::{CostModel, SynthJobRunner};
+
+use crate::error::{NautilusError, Result};
+use crate::query::Query;
+use crate::trace::{SearchOutcome, TracePoint};
+
+/// Configuration of a simulated-annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Distinct-evaluation budget (synthesis jobs).
+    pub budget: u64,
+    /// Starting temperature, in units of the objective's score scale.
+    pub t_initial: f64,
+    /// Final temperature.
+    pub t_final: f64,
+    /// Trace window: record a point every this many distinct evaluations.
+    pub window: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig { budget: 400, t_initial: 50.0, t_final: 0.1, window: 10 }
+    }
+}
+
+/// Simulated annealing over a cost model's parameter lattice.
+///
+/// The move set perturbs one uniformly chosen gene to a random other
+/// value; acceptance follows Metropolis with a geometric cooling schedule
+/// across the evaluation budget. Infeasible proposals are rejected
+/// outright (they still count as infeasible attempts in the job stats, as
+/// a failed generator run would).
+///
+/// # Errors
+///
+/// Returns [`NautilusError::EmptyBudget`] for a zero budget and a
+/// feasibility error if no feasible starting point can be sampled.
+pub fn simulated_annealing(
+    model: &dyn CostModel,
+    query: &Query,
+    config: AnnealConfig,
+    seed: u64,
+) -> Result<SearchOutcome> {
+    if config.budget == 0 {
+        return Err(NautilusError::EmptyBudget);
+    }
+    let space = model.space();
+    let runner = SynthJobRunner::new(model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let direction = query.direction();
+    let score_of = |runner: &SynthJobRunner<'_>, g: &Genome| -> Option<f64> {
+        runner.evaluate(g).and_then(|m| query.objective(&m)).map(|v| direction.to_score(v))
+    };
+
+    // Feasible starting point.
+    let mut current = None;
+    for _ in 0..10_000 {
+        let g = space.random_genome(&mut rng);
+        if let Some(s) = score_of(&runner, &g) {
+            current = Some((g, s));
+            break;
+        }
+        if runner.distinct_jobs() >= config.budget {
+            break;
+        }
+    }
+    let (mut cur_g, mut cur_s) = current.ok_or(NautilusError::Ga(
+        nautilus_ga::GaError::NoFeasibleGenome { attempts: 10_000 },
+    ))?;
+    let (mut best_g, mut best_s) = (cur_g.clone(), cur_s);
+
+    let mut trace = Vec::new();
+    let mut step = 0u32;
+    let t0 = config.t_initial.max(1e-9);
+    let t1 = config.t_final.max(1e-12).min(t0);
+    let mut attempts: u64 = 0;
+    let max_attempts = config.budget.saturating_mul(1000);
+
+    while runner.distinct_jobs() < config.budget && attempts < max_attempts {
+        attempts += 1;
+        let progress =
+            (runner.distinct_jobs() as f64 / config.budget as f64).clamp(0.0, 1.0);
+        let temperature = t0 * (t1 / t0).powf(progress);
+
+        // Single-gene neighbor.
+        let mut neighbor = cur_g.clone();
+        let idx = rng.random_range(0..space.num_params());
+        let id = ParamId::try_from_index(space, idx).expect("index in range");
+        let card = space.param(id).cardinality();
+        if card > 1 {
+            let mut draw = rng.random_range(0..card - 1) as u32;
+            if draw >= neighbor.gene(id) {
+                draw += 1;
+            }
+            neighbor.set_gene(id, draw);
+        }
+
+        let before = runner.distinct_jobs();
+        let Some(s) = score_of(&runner, &neighbor) else {
+            continue;
+        };
+        let was_new = runner.distinct_jobs() > before;
+        let accept = s >= cur_s || rng.random::<f64>() < ((s - cur_s) / temperature).exp();
+        if accept {
+            cur_g = neighbor;
+            cur_s = s;
+            if cur_s > best_s {
+                best_s = cur_s;
+                best_g = cur_g.clone();
+            }
+        }
+        let jobs = runner.distinct_jobs();
+        if was_new && jobs.is_multiple_of(config.window.max(1)) {
+            trace.push(TracePoint {
+                generation: step,
+                evals: jobs,
+                best_in_gen: direction.from_score(cur_s),
+                mean_in_gen: direction.from_score(cur_s),
+                best_so_far: direction.from_score(best_s),
+            });
+            step += 1;
+        }
+    }
+    let jobs = runner.distinct_jobs();
+    if trace.last().is_none_or(|p| p.evals != jobs) {
+        trace.push(TracePoint {
+            generation: step,
+            evals: jobs,
+            best_in_gen: direction.from_score(cur_s),
+            mean_in_gen: direction.from_score(cur_s),
+            best_so_far: direction.from_score(best_s),
+        });
+    }
+
+    Ok(SearchOutcome {
+        strategy: "simulated-annealing".to_owned(),
+        trace,
+        best_genome: best_g,
+        best_value: direction.from_score(best_s),
+        jobs: runner.stats(),
+    })
+}
+
+/// Stochastic first-improvement hill climbing with random restarts.
+///
+/// From a random feasible start, repeatedly propose single-gene changes
+/// and accept any improvement; after `patience` consecutive rejected
+/// proposals the climber restarts from a fresh random point. Runs until
+/// the distinct-evaluation budget is spent.
+///
+/// # Errors
+///
+/// Returns [`NautilusError::EmptyBudget`] for a zero budget and a
+/// feasibility error if no feasible point is ever found.
+pub fn hill_climb(
+    model: &dyn CostModel,
+    query: &Query,
+    budget: u64,
+    patience: u32,
+    seed: u64,
+) -> Result<SearchOutcome> {
+    if budget == 0 {
+        return Err(NautilusError::EmptyBudget);
+    }
+    let space = model.space();
+    let runner = SynthJobRunner::new(model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let direction = query.direction();
+    let patience = patience.max(1);
+    let score_of = |runner: &SynthJobRunner<'_>, g: &Genome| -> Option<f64> {
+        runner.evaluate(g).and_then(|m| query.objective(&m)).map(|v| direction.to_score(v))
+    };
+
+    let mut best: Option<(Genome, f64)> = None;
+    let mut trace = Vec::new();
+    let mut step = 0u32;
+    let mut attempts: u64 = 0;
+    let max_attempts = budget.saturating_mul(1000);
+
+    'restarts: while runner.distinct_jobs() < budget && attempts < max_attempts {
+        // Fresh random start.
+        let mut cur: Option<(Genome, f64)> = None;
+        while cur.is_none() && attempts < max_attempts && runner.distinct_jobs() < budget {
+            attempts += 1;
+            let g = space.random_genome(&mut rng);
+            cur = score_of(&runner, &g).map(|s| (g, s));
+        }
+        let Some((mut cur_g, mut cur_s)) = cur else {
+            break 'restarts;
+        };
+        if best.as_ref().is_none_or(|(_, b)| cur_s > *b) {
+            best = Some((cur_g.clone(), cur_s));
+        }
+
+        let mut stuck = 0u32;
+        while stuck < patience && runner.distinct_jobs() < budget && attempts < max_attempts {
+            attempts += 1;
+            let mut neighbor = cur_g.clone();
+            let idx = rng.random_range(0..space.num_params());
+            let id = ParamId::try_from_index(space, idx).expect("index in range");
+            let card = space.param(id).cardinality();
+            if card > 1 {
+                let mut draw = rng.random_range(0..card - 1) as u32;
+                if draw >= neighbor.gene(id) {
+                    draw += 1;
+                }
+                neighbor.set_gene(id, draw);
+            }
+            let before = runner.distinct_jobs();
+            let improved = match score_of(&runner, &neighbor) {
+                Some(s) if s > cur_s => {
+                    cur_g = neighbor;
+                    cur_s = s;
+                    if best.as_ref().is_none_or(|(_, b)| s > *b) {
+                        best = Some((cur_g.clone(), s));
+                    }
+                    true
+                }
+                _ => false,
+            };
+            stuck = if improved { 0 } else { stuck + 1 };
+            let jobs = runner.distinct_jobs();
+            if runner.distinct_jobs() > before && jobs.is_multiple_of(10) {
+                let best_so_far =
+                    best.as_ref().map_or(f64::NAN, |(_, s)| direction.from_score(*s));
+                trace.push(TracePoint {
+                    generation: step,
+                    evals: jobs,
+                    best_in_gen: direction.from_score(cur_s),
+                    mean_in_gen: direction.from_score(cur_s),
+                    best_so_far,
+                });
+                step += 1;
+            }
+        }
+    }
+
+    let (best_genome, best_score) = best.ok_or(NautilusError::Ga(
+        nautilus_ga::GaError::NoFeasibleGenome { attempts: attempts as usize },
+    ))?;
+    let jobs = runner.distinct_jobs();
+    if trace.last().is_none_or(|p| p.evals != jobs) {
+        trace.push(TracePoint {
+            generation: step,
+            evals: jobs,
+            best_in_gen: direction.from_score(best_score),
+            mean_in_gen: direction.from_score(best_score),
+            best_so_far: direction.from_score(best_score),
+        });
+    }
+    Ok(SearchOutcome {
+        strategy: "hill-climb".to_owned(),
+        trace,
+        best_genome,
+        best_value: direction.from_score(best_score),
+        jobs: runner.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_ga::{Direction, ParamSpace};
+    use nautilus_synth::{MetricCatalog, MetricExpr, MetricSet};
+
+    /// Two-basin landscape: a deceptive local optimum at (0,0) and the
+    /// global optimum at (25, 25), separated by a ridge.
+    #[derive(Debug)]
+    struct TwoBasins {
+        space: ParamSpace,
+        catalog: MetricCatalog,
+    }
+
+    impl TwoBasins {
+        fn new() -> Self {
+            TwoBasins {
+                space: ParamSpace::builder()
+                    .int("x", 0, 31, 1)
+                    .int("y", 0, 31, 1)
+                    .build()
+                    .unwrap(),
+                catalog: MetricCatalog::new([("v", "units")]).unwrap(),
+            }
+        }
+    }
+
+    impl CostModel for TwoBasins {
+        fn name(&self) -> &str {
+            "two-basins"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn catalog(&self) -> &MetricCatalog {
+            &self.catalog
+        }
+        fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+            let x = f64::from(g.gene_at(0));
+            let y = f64::from(g.gene_at(1));
+            let local = 30.0 - ((x * x + y * y).sqrt());
+            let global = 45.0 - (((x - 25.0).powi(2) + (y - 25.0).powi(2)).sqrt());
+            Some(self.catalog.set(vec![local.max(global)]).unwrap())
+        }
+    }
+
+    fn q(model: &TwoBasins) -> Query {
+        Query::maximize("v", MetricExpr::metric(model.catalog.require("v").unwrap()))
+    }
+
+    #[test]
+    fn annealing_converges_and_respects_budget() {
+        let model = TwoBasins::new();
+        let out =
+            simulated_annealing(&model, &q(&model), AnnealConfig::default(), 3).unwrap();
+        assert!(out.jobs.jobs <= 400);
+        assert!(out.best_value > 35.0, "annealing stuck: {}", out.best_value);
+        for w in out.trace.windows(2) {
+            assert!(w[1].best_so_far >= w[0].best_so_far);
+            assert!(w[1].evals >= w[0].evals);
+        }
+        assert_eq!(out.strategy, "simulated-annealing");
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let model = TwoBasins::new();
+        let a = simulated_annealing(&model, &q(&model), AnnealConfig::default(), 9).unwrap();
+        let b = simulated_annealing(&model, &q(&model), AnnealConfig::default(), 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hill_climb_escapes_via_restarts() {
+        let model = TwoBasins::new();
+        let out = hill_climb(&model, &q(&model), 400, 40, 5).unwrap();
+        assert!(out.jobs.jobs <= 400);
+        // With restarts, the climber should find the global basin.
+        assert!(out.best_value > 40.0, "hill climb stuck: {}", out.best_value);
+        assert_eq!(out.strategy, "hill-climb");
+    }
+
+    #[test]
+    fn zero_budgets_are_rejected() {
+        let model = TwoBasins::new();
+        assert!(matches!(
+            simulated_annealing(
+                &model,
+                &q(&model),
+                AnnealConfig { budget: 0, ..AnnealConfig::default() },
+                0
+            ),
+            Err(NautilusError::EmptyBudget)
+        ));
+        assert!(matches!(
+            hill_climb(&model, &q(&model), 0, 10, 0),
+            Err(NautilusError::EmptyBudget)
+        ));
+    }
+
+    #[test]
+    fn minimization_works_for_both() {
+        let model = TwoBasins::new();
+        let query =
+            Query::minimize("v", MetricExpr::metric(model.catalog.require("v").unwrap()));
+        let sa = simulated_annealing(&model, &query, AnnealConfig::default(), 1).unwrap();
+        let hc = hill_climb(&model, &query, 300, 30, 1).unwrap();
+        // The grid minimum of max(local, global) is ~17.27, on the far
+        // edge between the two basins.
+        assert!(sa.best_value < 19.0, "sa: {}", sa.best_value);
+        assert!(hc.best_value < 19.0, "hc: {}", hc.best_value);
+    }
+}

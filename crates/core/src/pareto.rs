@@ -1,0 +1,331 @@
+//! Multi-objective exploration: Pareto fronts via ε-constraint sweeps.
+//!
+//! The paper positions Nautilus against active-learning work that models
+//! "the entire Pareto-optimal set of design points across a
+//! multi-objective space" and argues that answering *one query at a time*
+//! is cheaper. This module closes the loop: when an IP user does want a
+//! front (say area vs. bandwidth), Nautilus can approximate it by running
+//! a small sweep of constrained single-objective queries — each exactly
+//! the kind of query the engine is built for — and dominance-filtering
+//! the results.
+
+use nautilus_ga::{Direction, Genome};
+use nautilus_synth::{CostModel, Dataset, JobStats, MetricExpr};
+
+use crate::error::Result;
+use crate::hint::{Confidence, HintSet};
+use crate::query::{ConstraintOp, Query};
+use crate::Nautilus;
+
+/// One objective of a multi-objective exploration.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Display name.
+    pub name: String,
+    /// The metric expression.
+    pub expr: MetricExpr,
+    /// Which way is better.
+    pub direction: Direction,
+}
+
+impl Objective {
+    /// Creates an objective.
+    #[must_use]
+    pub fn new(name: impl Into<String>, expr: MetricExpr, direction: Direction) -> Self {
+        Objective { name: name.into(), expr, direction }
+    }
+}
+
+/// A design point with its objective values, in objective order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The design.
+    pub genome: Genome,
+    /// One value per objective.
+    pub values: Vec<f64>,
+}
+
+/// Whether `a` dominates `b`: at least as good everywhere, strictly better
+/// somewhere.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64], objectives: &[Objective]) -> bool {
+    assert_eq!(a.len(), b.len(), "value vectors must match objectives");
+    assert_eq!(a.len(), objectives.len(), "value vectors must match objectives");
+    let mut strictly_better = false;
+    for ((&va, &vb), o) in a.iter().zip(b).zip(objectives) {
+        if o.direction.is_better(vb, va) {
+            return false;
+        }
+        if o.direction.is_better(va, vb) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Keeps only mutually non-dominated points (first occurrence wins ties).
+#[must_use]
+pub fn dominance_filter(points: Vec<ParetoPoint>, objectives: &[Objective]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        if front.iter().any(|q| dominates(&q.values, &p.values, objectives) || q.values == p.values)
+        {
+            continue;
+        }
+        front.retain(|q| !dominates(&p.values, &q.values, objectives));
+        front.push(p);
+    }
+    front
+}
+
+/// The exact Pareto front of a characterized dataset (ground truth for
+/// evaluating approximations).
+#[must_use]
+pub fn dataset_front(dataset: &Dataset, objectives: &[Objective]) -> Vec<ParetoPoint> {
+    let points = dataset
+        .iter()
+        .filter_map(|(g, m)| {
+            let values: Vec<f64> = objectives.iter().map(|o| o.expr.eval(m)).collect();
+            values
+                .iter()
+                .all(|v| v.is_finite())
+                .then(|| ParetoPoint { genome: g.clone(), values })
+        })
+        .collect();
+    dominance_filter(points, objectives)
+}
+
+/// Approximates a two-objective Pareto front with an ε-constraint sweep.
+///
+/// Runs one unconstrained search per objective to bracket the second
+/// objective's range, then `sweeps` searches optimizing the first
+/// objective subject to progressively tighter bounds on the second. All
+/// winning designs are dominance-filtered. Returns the front plus the
+/// total synthesis-job accounting of the whole sweep.
+///
+/// Hints (if provided) must pertain to the *first* objective; the
+/// constrained queries inherit them.
+///
+/// # Errors
+///
+/// Propagates search errors from the underlying engine.
+///
+/// # Panics
+///
+/// Panics unless exactly two objectives are given.
+pub fn epsilon_constraint_front(
+    model: &dyn CostModel,
+    objectives: &[Objective],
+    hints: Option<&HintSet>,
+    sweeps: usize,
+    seed: u64,
+) -> Result<(Vec<ParetoPoint>, JobStats)> {
+    assert_eq!(objectives.len(), 2, "epsilon-constraint sweep is two-objective");
+    let (primary, secondary) = (&objectives[0], &objectives[1]);
+    let engine = Nautilus::new(model);
+    let mut total = JobStats::default();
+    let mut candidates: Vec<ParetoPoint> = Vec::new();
+
+    let run = |query: &Query, seed: u64, total: &mut JobStats| -> Result<Option<Genome>> {
+        let outcome = match hints {
+            Some(h) => engine.run_guided(query, h, Some(Confidence::WEAK), seed),
+            None => engine.run_baseline(query, seed),
+        };
+        match outcome {
+            Ok(o) => {
+                total.jobs += o.jobs.jobs;
+                total.infeasible += o.jobs.infeasible;
+                total.cache_hits += o.jobs.cache_hits;
+                total.simulated_tool_secs += o.jobs.simulated_tool_secs;
+                Ok(Some(o.best_genome))
+            }
+            // A constraint bound can make the whole space infeasible; that
+            // sweep step simply contributes nothing.
+            Err(crate::error::NautilusError::Ga(
+                nautilus_ga::GaError::NoFeasibleGenome { .. },
+            )) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    let push = |g: Genome, candidates: &mut Vec<ParetoPoint>| {
+        if let Some(m) = model.evaluate(&g) {
+            let values: Vec<f64> = objectives.iter().map(|o| o.expr.eval(&m)).collect();
+            if values.iter().all(|v| v.is_finite()) {
+                candidates.push(ParetoPoint { genome: g, values });
+            }
+        }
+    };
+
+    // Bracket the secondary objective's reachable range.
+    let q_primary = Query::maximize_or_minimize(&primary.name, primary.expr.clone(), primary.direction);
+    let q_secondary =
+        Query::maximize_or_minimize(&secondary.name, secondary.expr.clone(), secondary.direction);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, q) in [&q_primary, &q_secondary].iter().enumerate() {
+        if let Some(g) = run(q, seed.wrapping_add(i as u64), &mut total)? {
+            if let Some(m) = model.evaluate(&g) {
+                let v = secondary.expr.eval(&m);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            push(g, &mut candidates);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() || sweeps == 0 {
+        return Ok((dominance_filter(candidates, objectives), total));
+    }
+
+    // ε-constraint sweep across the secondary range.
+    for k in 0..sweeps {
+        let frac = (k as f64 + 1.0) / (sweeps as f64 + 1.0);
+        let bound = lo + (hi - lo) * frac;
+        let op = match secondary.direction {
+            Direction::Minimize => ConstraintOp::Le,
+            Direction::Maximize => ConstraintOp::Ge,
+        };
+        let q = Query::maximize_or_minimize(
+            format!("{}|{}@{bound:.3}", primary.name, secondary.name),
+            primary.expr.clone(),
+            primary.direction,
+        )
+        .with_constraint(secondary.expr.clone(), op, bound);
+        if let Some(g) = run(&q, seed.wrapping_add(100 + k as u64), &mut total)? {
+            push(g, &mut candidates);
+        }
+    }
+
+    Ok((dominance_filter(candidates, objectives), total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_ga::ParamSpace;
+    use nautilus_synth::{MetricCatalog, MetricSet};
+
+    fn obj(name: &str, id: nautilus_synth::MetricId, dir: Direction) -> Objective {
+        Objective::new(name, MetricExpr::metric(id), dir)
+    }
+
+    /// A model with an explicit trade-off: cost = x, gain = x - y*y/20
+    /// (higher x costs more but also yields more; y is pure waste).
+    #[derive(Debug)]
+    struct TradeOff {
+        space: ParamSpace,
+        catalog: MetricCatalog,
+    }
+
+    impl TradeOff {
+        fn new() -> Self {
+            TradeOff {
+                space: ParamSpace::builder()
+                    .int("x", 0, 30, 1)
+                    .int("y", 0, 10, 1)
+                    .build()
+                    .unwrap(),
+                catalog: MetricCatalog::new([("cost", "u"), ("gain", "u")]).unwrap(),
+            }
+        }
+    }
+
+    impl CostModel for TradeOff {
+        fn name(&self) -> &str {
+            "tradeoff"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn catalog(&self) -> &MetricCatalog {
+            &self.catalog
+        }
+        fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+            let x = f64::from(g.gene_at(0));
+            let y = f64::from(g.gene_at(1));
+            Some(self.catalog.set(vec![x + 1.0, x - y * y / 20.0]).unwrap())
+        }
+    }
+
+    fn objectives(model: &TradeOff) -> Vec<Objective> {
+        vec![
+            obj("gain", model.catalog.require("gain").unwrap(), Direction::Maximize),
+            obj("cost", model.catalog.require("cost").unwrap(), Direction::Minimize),
+        ]
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        // gain maximized, cost minimized.
+        assert!(dominates(&[5.0, 2.0], &[4.0, 3.0], &objs));
+        assert!(!dominates(&[4.0, 3.0], &[5.0, 2.0], &objs));
+        assert!(!dominates(&[5.0, 3.0], &[4.0, 2.0], &objs), "trade-off: no dominance");
+        assert!(!dominates(&[5.0, 2.0], &[5.0, 2.0], &objs), "equal: no strict dominance");
+    }
+
+    #[test]
+    fn filter_keeps_only_the_front() {
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        let mk = |g: f64, c: f64| ParetoPoint {
+            genome: Genome::from_genes(vec![0, 0]),
+            values: vec![g, c],
+        };
+        let front = dominance_filter(
+            vec![mk(5.0, 5.0), mk(3.0, 2.0), mk(4.0, 5.0), mk(1.0, 1.0), mk(3.0, 2.0)],
+            &objs,
+        );
+        let values: Vec<Vec<f64>> = front.iter().map(|p| p.values.clone()).collect();
+        assert_eq!(values, vec![vec![5.0, 5.0], vec![3.0, 2.0], vec![1.0, 1.0]]);
+    }
+
+    #[test]
+    fn dataset_front_is_exact_and_non_dominated() {
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        let dataset = Dataset::characterize(&model, 2).unwrap();
+        let front = dataset_front(&dataset, &objs);
+        // True front: y = 0, all x (gain = x, cost = x + 1) -> 31 points.
+        assert_eq!(front.len(), 31);
+        for p in &front {
+            assert_eq!(p.genome.gene_at(1), 0, "front points waste nothing");
+        }
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.values, &b.values, &objs) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_sweep_approximates_the_front() {
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        let (front, jobs) =
+            epsilon_constraint_front(&model, &objs, None, 6, 77).unwrap();
+        assert!(front.len() >= 3, "front too sparse: {}", front.len());
+        assert!(jobs.jobs > 0);
+        // Every approximated point must lie on or near the true front:
+        // y == 0 is exact; y <= 2 tolerates search noise.
+        for p in &front {
+            assert!(p.genome.gene_at(1) <= 2, "far from front: {}", p.genome);
+        }
+        // Mutually non-dominated by construction.
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.values, &b.values, &objs) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        let (a, _) = epsilon_constraint_front(&model, &objs, None, 4, 5).unwrap();
+        let (b, _) = epsilon_constraint_front(&model, &objs, None, 4, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Optimization queries: what the IP user asks Nautilus for.
+//!
+//! A query names an objective (a [`MetricExpr`] plus a direction) and
+//! optional constraints that fence off uninteresting regions of the design
+//! space ("the fitness function ... can also be adapted to constrain the
+//! algorithm to only explore specific portions of the solution space").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nautilus_ga::Direction;
+use nautilus_synth::{MetricCatalog, MetricExpr, MetricSet};
+
+/// Comparison operator of a [`Constraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// Expression must be `<=` the bound.
+    Le,
+    /// Expression must be `>=` the bound.
+    Ge,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+        })
+    }
+}
+
+/// A hard constraint on a metric expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    expr: MetricExpr,
+    op: ConstraintOp,
+    bound: f64,
+}
+
+impl Constraint {
+    /// Creates `expr op bound`.
+    #[must_use]
+    pub fn new(expr: MetricExpr, op: ConstraintOp, bound: f64) -> Self {
+        Constraint { expr, op, bound }
+    }
+
+    /// Whether `metrics` satisfies the constraint.
+    #[must_use]
+    pub fn is_satisfied(&self, metrics: &MetricSet) -> bool {
+        let v = self.expr.eval(metrics);
+        if !v.is_finite() {
+            return false;
+        }
+        match self.op {
+            ConstraintOp::Le => v <= self.bound,
+            ConstraintOp::Ge => v >= self.bound,
+        }
+    }
+}
+
+/// An optimization query over one IP generator's metric catalog.
+///
+/// ```
+/// use nautilus::Query;
+/// use nautilus_synth::{MetricCatalog, MetricExpr};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let catalog = MetricCatalog::new([("luts", "LUTs"), ("msps", "MSPS")])?;
+/// let luts = MetricExpr::metric(catalog.require("luts")?);
+/// let msps = MetricExpr::metric(catalog.require("msps")?);
+///
+/// // The paper's Figure 7 objective: throughput per LUT.
+/// let query = Query::maximize("throughput_per_lut", msps / luts);
+/// assert_eq!(query.name(), "throughput_per_lut");
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    name: String,
+    expr: MetricExpr,
+    direction: Direction,
+    constraints: Vec<Constraint>,
+}
+
+impl Query {
+    /// A query that maximizes `expr`.
+    #[must_use]
+    pub fn maximize(name: impl Into<String>, expr: MetricExpr) -> Self {
+        Query { name: name.into(), expr, direction: Direction::Maximize, constraints: Vec::new() }
+    }
+
+    /// A query that minimizes `expr`.
+    #[must_use]
+    pub fn minimize(name: impl Into<String>, expr: MetricExpr) -> Self {
+        Query { name: name.into(), expr, direction: Direction::Minimize, constraints: Vec::new() }
+    }
+
+    /// A query with a runtime-chosen direction (useful when sweeping
+    /// objectives programmatically).
+    #[must_use]
+    pub fn maximize_or_minimize(
+        name: impl Into<String>,
+        expr: MetricExpr,
+        direction: Direction,
+    ) -> Self {
+        Query { name: name.into(), expr, direction, constraints: Vec::new() }
+    }
+
+    /// Adds a hard constraint; violating designs are treated as infeasible.
+    #[must_use]
+    pub fn with_constraint(mut self, expr: MetricExpr, op: ConstraintOp, bound: f64) -> Self {
+        self.constraints.push(Constraint::new(expr, op, bound));
+        self
+    }
+
+    /// The query's name (also the key used to look up hint sets).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The objective expression.
+    #[must_use]
+    pub fn expr(&self) -> &MetricExpr {
+        &self.expr
+    }
+
+    /// The optimization direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective for one design's metrics.
+    ///
+    /// Returns `None` when a constraint is violated or the objective is
+    /// non-finite — both are treated as infeasible by the search.
+    #[must_use]
+    pub fn objective(&self, metrics: &MetricSet) -> Option<f64> {
+        if !self.constraints.iter().all(|c| c.is_satisfied(metrics)) {
+            return None;
+        }
+        let v = self.expr.eval(metrics);
+        v.is_finite().then_some(v)
+    }
+
+    /// Renders the query against `catalog` for reports.
+    #[must_use]
+    pub fn describe(&self, catalog: &MetricCatalog) -> String {
+        let verb = match self.direction {
+            Direction::Maximize => "maximize",
+            Direction::Minimize => "minimize",
+        };
+        let mut s = format!("{verb} {}", self.expr.display_with(catalog));
+        for c in &self.constraints {
+            s.push_str(&format!(" s.t. {} {} {}", c.expr.display_with(catalog), c.op, c.bound));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (MetricCatalog, MetricSet) {
+        let c = MetricCatalog::new([("luts", "LUTs"), ("fmax", "MHz")]).unwrap();
+        let m = c.set(vec![800.0, 150.0]).unwrap();
+        (c, m)
+    }
+
+    #[test]
+    fn objective_evaluates_expression() {
+        let (c, m) = fixture();
+        let q = Query::minimize("area", MetricExpr::metric(c.id("luts").unwrap()));
+        assert_eq!(q.objective(&m), Some(800.0));
+        assert_eq!(q.direction(), Direction::Minimize);
+    }
+
+    #[test]
+    fn violated_constraints_make_points_infeasible() {
+        let (c, m) = fixture();
+        let luts = MetricExpr::metric(c.id("luts").unwrap());
+        let fmax = MetricExpr::metric(c.id("fmax").unwrap());
+        let q = Query::minimize("area", luts.clone())
+            .with_constraint(fmax.clone(), ConstraintOp::Ge, 100.0);
+        assert_eq!(q.objective(&m), Some(800.0));
+        let q2 = Query::minimize("area", luts.clone())
+            .with_constraint(fmax, ConstraintOp::Ge, 200.0);
+        assert_eq!(q2.objective(&m), None);
+        let q3 = Query::minimize("area", luts.clone())
+            .with_constraint(luts, ConstraintOp::Le, 500.0);
+        assert_eq!(q3.objective(&m), None);
+    }
+
+    #[test]
+    fn non_finite_objective_is_infeasible() {
+        let (c, _) = fixture();
+        let m = c.set(vec![0.0, 150.0]).unwrap();
+        let q = Query::maximize(
+            "inv",
+            MetricExpr::constant(1.0) / MetricExpr::metric(c.id("luts").unwrap()),
+        );
+        assert_eq!(q.objective(&m), None);
+    }
+
+    #[test]
+    fn describe_renders_query() {
+        let (c, _) = fixture();
+        let luts = MetricExpr::metric(c.id("luts").unwrap());
+        let fmax = MetricExpr::metric(c.id("fmax").unwrap());
+        let q = Query::minimize("area", luts).with_constraint(fmax, ConstraintOp::Ge, 120.0);
+        assert_eq!(q.describe(&c), "minimize luts s.t. fmax >= 120");
+    }
+
+    #[test]
+    fn constraint_display_ops() {
+        assert_eq!(ConstraintOp::Le.to_string(), "<=");
+        assert_eq!(ConstraintOp::Ge.to_string(), ">=");
+    }
+}

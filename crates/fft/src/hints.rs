@@ -1,0 +1,168 @@
+//! Expert hint books for the FFT generator.
+//!
+//! For the FFT experiments "the Nautilus engine is expert-guided as the
+//! hints are provided from a member of the Spiral development team". Our
+//! "Spiral developer" is the author of the surrogate model, so these hints
+//! encode the true cost structure: transform size and streaming width
+//! dominate area; iterative datapaths with BRAM twiddles are smallest;
+//! streaming datapaths win throughput-per-LUT.
+
+use nautilus::{Confidence, HintSet};
+use nautilus_ga::ParamValue;
+
+/// Storage ordering by LUT cost (ascending): bram < dist < lut.
+/// Domain order is `[lut, bram, dist]`, so the rank permutation is
+/// `[1, 2, 0]`.
+const STORAGE_BY_LUTS: [u32; 3] = [1, 2, 0];
+
+/// Expert hints for the *minimize LUTs* query (paper Figure 6).
+///
+/// # Panics
+///
+/// Never panics; all hint values are statically in range.
+#[must_use]
+pub fn min_luts_hints() -> HintSet {
+    HintSet::for_metric("luts")
+        .importance("arch", 95)
+        .expect("static hint in range")
+        .target("arch", ParamValue::Sym("iterative".into()))
+        .expect("static hint in range")
+        .importance("transform_size", 90)
+        .expect("static hint in range")
+        .bias("transform_size", 0.9)
+        .expect("static hint in range")
+        .importance("streaming_width", 85)
+        .expect("static hint in range")
+        .bias("streaming_width", 0.8)
+        .expect("static hint in range")
+        .importance("data_width", 55)
+        .expect("static hint in range")
+        .bias("data_width", 0.6)
+        .expect("static hint in range")
+        .importance("twiddle_width", 40)
+        .expect("static hint in range")
+        .bias("twiddle_width", 0.4)
+        .expect("static hint in range")
+        .importance("twiddle_storage", 60)
+        .expect("static hint in range")
+        .ordering("twiddle_storage", STORAGE_BY_LUTS)
+        .bias("twiddle_storage", 0.7)
+        .expect("static hint in range")
+        .confidence(Confidence::STRONG)
+        .build()
+}
+
+/// Expert hints for the *maximize throughput-per-LUT* query (Figure 7).
+///
+/// A Spiral developer knows that fully spatial (unrolled) datapaths
+/// amortize all control and memory away, so at small transform sizes they
+/// dominate throughput-per-LUT, with maximal-width streaming datapaths
+/// close behind; narrow words and distributed-RAM twiddles keep the LUT
+/// denominator down.
+#[must_use]
+pub fn throughput_per_lut_hints() -> HintSet {
+    HintSet::for_metric("throughput_per_lut")
+        .importance("arch", 95)
+        .expect("static hint in range")
+        .target("arch", ParamValue::Sym("unrolled".into()))
+        .expect("static hint in range")
+        .importance("transform_size", 90)
+        .expect("static hint in range")
+        .bias("transform_size", -0.8)
+        .expect("static hint in range")
+        .importance("data_width", 65)
+        .expect("static hint in range")
+        .bias("data_width", -0.6)
+        .expect("static hint in range")
+        .importance("twiddle_width", 45)
+        .expect("static hint in range")
+        .bias("twiddle_width", -0.4)
+        .expect("static hint in range")
+        .importance("twiddle_storage", 55)
+        .expect("static hint in range")
+        .target("twiddle_storage", ParamValue::Sym("dist".into()))
+        .expect("static hint in range")
+        .importance("streaming_width", 30)
+        .expect("static hint in range")
+        .bias("streaming_width", 0.3)
+        .expect("static hint in range")
+        .confidence(Confidence::STRONG)
+        .build()
+}
+
+/// Bias-only hint sets for the paper's Figure 3 ablation, which compares
+/// the baseline GA against Nautilus "only using 1 or 2 bias hints" on the
+/// minimize-LUTs objective.
+///
+/// `count` = 1 biases the transform size; `count` = 2 adds the streaming
+/// width.
+///
+/// # Panics
+///
+/// Panics if `count` is not 1 or 2.
+#[must_use]
+pub fn bias_only_hints(count: usize) -> HintSet {
+    let b = HintSet::for_metric("luts")
+        .bias("transform_size", 0.9)
+        .expect("static hint in range");
+    let b = match count {
+        1 => b,
+        2 => b.bias("streaming_width", 0.8).expect("static hint in range"),
+        _ => panic!("figure 3 uses 1 or 2 bias hints, got {count}"),
+    };
+    b.confidence(Confidence::new(0.8).expect("static confidence")).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::space;
+    use nautilus::ValueHint;
+
+    #[test]
+    fn hint_books_validate_against_the_space() {
+        let s = space();
+        assert!(min_luts_hints().validate(&s).is_ok());
+        assert!(throughput_per_lut_hints().validate(&s).is_ok());
+        assert!(bias_only_hints(1).validate(&s).is_ok());
+        assert!(bias_only_hints(2).validate(&s).is_ok());
+    }
+
+    #[test]
+    fn bias_only_sets_have_exactly_the_advertised_hints() {
+        let one = bias_only_hints(1);
+        assert_eq!(one.len(), 1);
+        assert!(one.get("transform_size").is_some());
+        let two = bias_only_hints(2);
+        assert_eq!(two.len(), 2);
+        assert!(two.get("streaming_width").is_some());
+        // Bias-only means no importance or target hints.
+        for (_, h) in two.iter() {
+            assert!(h.importance.is_none());
+            assert!(matches!(h.value, Some(ValueHint::Bias(_))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 bias hints")]
+    fn bias_only_rejects_other_counts() {
+        let _ = bias_only_hints(3);
+    }
+
+    #[test]
+    fn storage_ordering_is_a_permutation() {
+        let mut sorted = STORAGE_BY_LUTS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2]);
+    }
+
+    #[test]
+    fn min_luts_hints_target_iterative_architecture() {
+        let h = min_luts_hints();
+        match h.get("arch").unwrap().value.as_ref().unwrap() {
+            ValueHint::Target(v) => assert_eq!(v, &ParamValue::Sym("iterative".into())),
+            other => panic!("expected target, got {other:?}"),
+        }
+        assert_eq!(h.confidence(), Confidence::STRONG);
+    }
+}

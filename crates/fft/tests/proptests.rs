@@ -1,0 +1,105 @@
+//! Property-based tests for the FFT substrate model.
+
+use nautilus_fft::{FftConfig, FftModel};
+use nautilus_synth::CostModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The model evaluates exactly the configurations its feasibility
+    /// predicate admits, deterministically, with sane metric values.
+    #[test]
+    fn evaluate_agrees_with_feasibility(seed in any::<u64>()) {
+        let model = FftModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let luts = model.catalog().require("luts").unwrap();
+        let fmax = model.catalog().require("fmax").unwrap();
+        let thr = model.catalog().require("throughput").unwrap();
+        let brams = model.catalog().require("brams").unwrap();
+        for _ in 0..24 {
+            let g = model.space().random_genome(&mut rng);
+            let cfg = FftConfig::decode(model.space(), &g);
+            match model.evaluate(&g) {
+                None => prop_assert!(!cfg.is_feasible()),
+                Some(m) => {
+                    prop_assert!(cfg.is_feasible());
+                    let again = model.evaluate(&g);
+                    prop_assert_eq!(again.as_ref(), Some(&m));
+                    prop_assert!(m.get(luts) >= 300.0, "LUTs {}", m.get(luts));
+                    prop_assert!((80.0..=500.0).contains(&m.get(fmax)));
+                    prop_assert!(m.get(thr) > 0.0);
+                    prop_assert!(m.get(brams) >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Throughput equals clock times samples-per-cycle for each
+    /// architecture's documented formula.
+    #[test]
+    fn throughput_formula_holds(seed in any::<u64>()) {
+        let model = FftModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fmax_id = model.catalog().require("fmax").unwrap();
+        let thr_id = model.catalog().require("throughput").unwrap();
+        for _ in 0..24 {
+            let g = model.space().random_genome(&mut rng);
+            let Some(m) = model.evaluate(&g) else { continue };
+            let cfg = FftConfig::decode(model.space(), &g);
+            let w = f64::from(1u32 << cfg.log2_width);
+            let size = f64::from(1u32 << cfg.log2_size);
+            let n = f64::from(cfg.log2_size);
+            let expected = match cfg.arch {
+                0 => m.get(fmax_id) * w / n,
+                1 => m.get(fmax_id) * w,
+                _ => m.get(fmax_id) * size,
+            };
+            prop_assert!((m.get(thr_id) - expected).abs() < 1e-6,
+                "throughput {} vs formula {}", m.get(thr_id), expected);
+        }
+    }
+
+    /// SNR grows with the narrower of the two word widths and shrinks
+    /// with transform size.
+    #[test]
+    fn snr_trends(seed in any::<u64>()) {
+        let model = FftModel::new();
+        let space = model.space();
+        let snr_id = model.catalog().require("snr").unwrap();
+        let b = space.id("data_width").unwrap();
+        let n = space.id("transform_size").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = space.random_genome(&mut rng);
+
+        let mut narrow = base.clone();
+        narrow.set_gene(b, 0); // 8-bit data
+        let mut wide = base.clone();
+        wide.set_gene(b, 6); // 24-bit data
+        if let (Some(mn), Some(mw)) = (model.evaluate(&narrow), model.evaluate(&wide)) {
+            prop_assert!(mw.get(snr_id) > mn.get(snr_id));
+        }
+
+        // Use the extreme sizes so the 1.4 dB/stage trend dominates the
+        // +-2% synthesis noise.
+        let mut small = base.clone();
+        small.set_gene(n, 0); // 16 points
+        let mut big = base;
+        big.set_gene(n, 8); // 4096 points
+        if let (Some(ms), Some(mb)) = (model.evaluate(&small), model.evaluate(&big)) {
+            prop_assert!(ms.get(snr_id) > mb.get(snr_id));
+        }
+    }
+}
+
+/// Deterministic regression pin of the dataset optimum (recalibrations of
+/// the surrogate must be conscious).
+#[test]
+fn fft_dataset_minimum_is_stable() {
+    let model = FftModel::new();
+    let d = nautilus_synth::Dataset::characterize(&model, 8).unwrap();
+    let luts = nautilus_synth::MetricExpr::metric(d.catalog().require("luts").unwrap());
+    let (_, min_luts) = d.best(&luts, nautilus_ga::Direction::Minimize);
+    assert_eq!(min_luts, 583.0);
+    assert_eq!(d.len(), 10_584);
+}

@@ -1,0 +1,192 @@
+//! Evaluation cache: the accounting heart of the reproduction.
+//!
+//! The paper measures search cost as the number of **distinct** design
+//! points evaluated, "since each evaluation requires running computationally
+//! expensive CAD tools"; a GA that revisits a previously synthesized point
+//! pays nothing. Every search strategy in this workspace evaluates through
+//! an [`EvalCache`] so those counts are directly comparable.
+
+use std::collections::HashMap;
+
+use crate::genome::Genome;
+
+/// Memoizes fitness evaluations and counts distinct evaluations.
+///
+/// `None` entries record *infeasible* points (the generator refused the
+/// parameter combination); these are tracked separately because a failed
+/// generator run is typically much cheaper than a full synthesis job.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    map: HashMap<Genome, Option<f64>>,
+    hits: u64,
+    feasible_misses: u64,
+    infeasible_misses: u64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Looks `genome` up, evaluating and memoizing with `eval` on a miss.
+    pub fn get_or_eval(
+        &mut self,
+        genome: &Genome,
+        eval: impl FnOnce(&Genome) -> Option<f64>,
+    ) -> Option<f64> {
+        if let Some(v) = self.map.get(genome) {
+            self.hits += 1;
+            return *v;
+        }
+        let v = eval(genome);
+        match v {
+            Some(_) => self.feasible_misses += 1,
+            None => self.infeasible_misses += 1,
+        }
+        self.map.insert(genome.clone(), v);
+        v
+    }
+
+    /// Returns the cached value without evaluating.
+    #[must_use]
+    pub fn peek(&self, genome: &Genome) -> Option<Option<f64>> {
+        self.map.get(genome).copied()
+    }
+
+    /// Number of distinct *feasible* design points evaluated so far.
+    ///
+    /// This is the paper's "# designs evaluated" x-axis: each one stands for
+    /// a synthesis job costing minutes to hours of EDA time.
+    #[must_use]
+    pub fn distinct_evals(&self) -> u64 {
+        self.feasible_misses
+    }
+
+    /// Number of distinct infeasible points encountered.
+    #[must_use]
+    pub fn infeasible_evals(&self) -> u64 {
+        self.infeasible_misses
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups (hits plus misses of both kinds).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.feasible_misses + self.infeasible_misses
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been evaluated yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// An immutable snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            distinct_evals: self.feasible_misses,
+            infeasible_evals: self.infeasible_misses,
+        }
+    }
+}
+
+/// Snapshot of [`EvalCache`] counters, attached to run results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered without an evaluation.
+    pub hits: u64,
+    /// Distinct feasible design points evaluated (synthesis jobs).
+    pub distinct_evals: u64,
+    /// Distinct infeasible design points encountered.
+    pub infeasible_evals: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u32) -> Genome {
+        Genome::from_genes(vec![x])
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_does_not_reevaluate() {
+        let mut c = EvalCache::new();
+        let mut calls = 0;
+        let v1 = c.get_or_eval(&g(1), |_| {
+            calls += 1;
+            Some(5.0)
+        });
+        let v2 = c.get_or_eval(&g(1), |_| {
+            calls += 1;
+            Some(99.0)
+        });
+        assert_eq!(v1, Some(5.0));
+        assert_eq!(v2, Some(5.0));
+        assert_eq!(calls, 1);
+        assert_eq!(c.distinct_evals(), 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.lookups(), 2);
+    }
+
+    #[test]
+    fn infeasible_points_are_memoized_and_counted_separately() {
+        let mut c = EvalCache::new();
+        assert_eq!(c.get_or_eval(&g(7), |_| None), None);
+        assert_eq!(c.get_or_eval(&g(7), |_| Some(1.0)), None, "memoized as infeasible");
+        assert_eq!(c.distinct_evals(), 0);
+        assert_eq!(c.infeasible_evals(), 1);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_counting_over_many_points() {
+        let mut c = EvalCache::new();
+        for i in 0..10 {
+            for _ in 0..3 {
+                c.get_or_eval(&g(i), |_| Some(f64::from(i)));
+            }
+        }
+        assert_eq!(c.distinct_evals(), 10);
+        assert_eq!(c.hits(), 20);
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count_as_lookup() {
+        let mut c = EvalCache::new();
+        assert_eq!(c.peek(&g(0)), None);
+        c.get_or_eval(&g(0), |_| Some(2.0));
+        assert_eq!(c.peek(&g(0)), Some(Some(2.0)));
+        assert_eq!(c.lookups(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let mut c = EvalCache::new();
+        c.get_or_eval(&g(0), |_| Some(1.0));
+        c.get_or_eval(&g(0), |_| Some(1.0));
+        c.get_or_eval(&g(1), |_| None);
+        let s = c.stats();
+        assert_eq!(
+            s,
+            CacheStats { hits: 1, distinct_evals: 1, infeasible_evals: 1 }
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! The generational GA engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::{CacheStats, EvalCache};
+use crate::error::{GaError, Result};
+use crate::fitness::FitnessFn;
+use crate::genome::Genome;
+use crate::ops::{CrossoverOp, MutationOp, OnePointCrossover, OpCtx, UniformMutation};
+use crate::select::{ScoredGenome, Selector, Tournament};
+use crate::space::ParamSpace;
+
+/// Scalar knobs of a GA run.
+///
+/// Defaults reproduce the paper's methodology: "an initial population of 10
+/// samples, a mutation rate of 0.1 ... and run for 80 generations".
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaSettings {
+    /// Population size (paper: 10).
+    pub population: usize,
+    /// Number of breeding generations (paper: 80).
+    pub generations: u32,
+    /// Probability that a selected pair recombines (vs. cloning).
+    pub crossover_rate: f64,
+    /// Number of best individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Attempts per slot when sampling a feasible initial population.
+    pub init_retries: usize,
+}
+
+impl Default for GaSettings {
+    fn default() -> Self {
+        GaSettings {
+            population: 10,
+            generations: 80,
+            crossover_rate: 0.9,
+            elitism: 2,
+            init_retries: 200,
+        }
+    }
+}
+
+impl GaSettings {
+    fn validate(&self) -> Result<()> {
+        if self.population == 0 {
+            return Err(GaError::InvalidConfig("population must be at least 1".into()));
+        }
+        if self.elitism >= self.population {
+            return Err(GaError::InvalidConfig(format!(
+                "elitism {} must be smaller than population {}",
+                self.elitism, self.population
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(GaError::InvalidConfig(format!(
+                "crossover_rate {} outside [0, 1]",
+                self.crossover_rate
+            )));
+        }
+        if self.init_retries == 0 {
+            return Err(GaError::InvalidConfig("init_retries must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-generation statistics recorded by [`GaEngine::run`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GenStats {
+    /// Generation number; 0 is the initial random population.
+    pub generation: u32,
+    /// Cumulative distinct feasible evaluations (synthesis jobs) so far.
+    pub distinct_evals: u64,
+    /// Best raw metric value among feasible members of this generation
+    /// (NaN if the generation has no feasible member).
+    pub best_value: f64,
+    /// Mean raw metric value over feasible members (NaN if none).
+    pub mean_value: f64,
+    /// Best raw metric value seen in any generation up to this one.
+    pub best_so_far: f64,
+}
+
+/// Result of one GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaRun {
+    /// Per-generation history (`generations + 1` entries; entry 0 is the
+    /// initial population).
+    pub history: Vec<GenStats>,
+    /// The best genome found across the whole run.
+    pub best_genome: Genome,
+    /// Its raw metric value.
+    pub best_value: f64,
+    /// Evaluation-cache counters for the run.
+    pub cache: CacheStats,
+}
+
+impl GaRun {
+    /// Cumulative distinct evaluations at the end of the run.
+    #[must_use]
+    pub fn total_evals(&self) -> u64 {
+        self.cache.distinct_evals
+    }
+
+    /// First generation whose `best_so_far` meets `pred`, with its
+    /// cumulative evaluation count.
+    pub fn first_generation_where(
+        &self,
+        mut pred: impl FnMut(f64) -> bool,
+    ) -> Option<(u32, u64)> {
+        self.history
+            .iter()
+            .find(|g| g.best_so_far.is_finite() && pred(g.best_so_far))
+            .map(|g| (g.generation, g.distinct_evals))
+    }
+}
+
+/// A generational genetic algorithm over a [`ParamSpace`].
+///
+/// The engine is deliberately oblivious (the paper's "baseline GA"): genes
+/// mutate uniformly and nothing biases value choice. Guided behaviour comes
+/// from swapping the operators — see the `nautilus` crate.
+///
+/// ```
+/// use nautilus_ga::{GaEngine, FnFitness, Direction, ParamSpace};
+/// # fn main() -> Result<(), nautilus_ga::GaError> {
+/// let space = ParamSpace::builder().int("x", 0, 31, 1).int("y", 0, 31, 1).build()?;
+/// // Minimize x^2 + y^2: optimum at (0, 0).
+/// let fitness = FnFitness::new(Direction::Minimize, |g: &nautilus_ga::Genome| {
+///     let (x, y) = (f64::from(g.gene_at(0)), f64::from(g.gene_at(1)));
+///     Some(x * x + y * y)
+/// });
+/// let run = GaEngine::new(&space, &fitness).run(42)?;
+/// assert!(run.best_value <= 2.0);
+/// # Ok(()) }
+/// ```
+pub struct GaEngine<'a> {
+    space: &'a ParamSpace,
+    fitness: &'a dyn FitnessFn,
+    settings: GaSettings,
+    mutation: Box<dyn MutationOp>,
+    crossover: Box<dyn CrossoverOp>,
+    selector: Box<dyn Selector>,
+}
+
+impl<'a> GaEngine<'a> {
+    /// Creates an engine with the paper's baseline defaults.
+    #[must_use]
+    pub fn new(space: &'a ParamSpace, fitness: &'a dyn FitnessFn) -> Self {
+        GaEngine {
+            space,
+            fitness,
+            settings: GaSettings::default(),
+            mutation: Box::new(UniformMutation::default()),
+            crossover: Box::new(OnePointCrossover),
+            selector: Box::new(Tournament::default()),
+        }
+    }
+
+    /// Replaces the scalar settings.
+    #[must_use]
+    pub fn with_settings(mut self, settings: GaSettings) -> Self {
+        self.settings = settings;
+        self
+    }
+
+    /// Replaces the mutation operator (how Nautilus installs guidance).
+    #[must_use]
+    pub fn with_mutation(mut self, op: Box<dyn MutationOp>) -> Self {
+        self.mutation = op;
+        self
+    }
+
+    /// Replaces the crossover operator.
+    #[must_use]
+    pub fn with_crossover(mut self, op: Box<dyn CrossoverOp>) -> Self {
+        self.crossover = op;
+        self
+    }
+
+    /// Replaces the parent selector.
+    #[must_use]
+    pub fn with_selector(mut self, sel: Box<dyn Selector>) -> Self {
+        self.selector = sel;
+        self
+    }
+
+    /// The engine's scalar settings.
+    #[must_use]
+    pub fn settings(&self) -> &GaSettings {
+        &self.settings
+    }
+
+    /// The parameter space being searched.
+    #[must_use]
+    pub fn space(&self) -> &ParamSpace {
+        self.space
+    }
+
+    /// Executes one full run with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::InvalidConfig`] for inconsistent settings and
+    /// [`GaError::NoFeasibleGenome`] if the initial population cannot find
+    /// any feasible design point within the retry budget.
+    pub fn run(&self, seed: u64) -> Result<GaRun> {
+        self.settings.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cache = EvalCache::new();
+        let direction = self.fitness.direction();
+
+        // --- Initial population -------------------------------------------
+        let mut population: Vec<Genome> = Vec::with_capacity(self.settings.population);
+        let max_attempts = self.settings.population * self.settings.init_retries;
+        let mut attempts = 0;
+        while population.len() < self.settings.population {
+            if attempts >= max_attempts {
+                if population.is_empty() {
+                    return Err(GaError::NoFeasibleGenome { attempts });
+                }
+                // Partial population: fill remaining slots with clones of
+                // what we found so we can still proceed.
+                while population.len() < self.settings.population {
+                    let idx = population.len() % population.len().max(1);
+                    population.push(population[idx].clone());
+                }
+                break;
+            }
+            attempts += 1;
+            let g = self.space.random_genome(&mut rng);
+            let feasible = cache.get_or_eval(&g, |g| self.fitness.fitness(g)).is_some();
+            if feasible {
+                population.push(g);
+            }
+        }
+
+        // --- Generational loop --------------------------------------------
+        let mut history = Vec::with_capacity(self.settings.generations as usize + 1);
+        let mut best_genome: Option<Genome> = None;
+        let mut best_value = direction.worst_value();
+
+        for generation in 0..=self.settings.generations {
+            // Score the population (cache makes revisits free).
+            let mut scored: Vec<ScoredGenome> = population
+                .iter()
+                .map(|g| {
+                    let raw = cache.get_or_eval(g, |g| self.fitness.fitness(g));
+                    let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                    ScoredGenome { genome: g.clone(), score }
+                })
+                .collect();
+            // Best-first, deterministic tie-break on the genome itself.
+            scored.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.genome.cmp(&b.genome))
+            });
+
+            let feasible: Vec<f64> = scored
+                .iter()
+                .filter(|s| s.score.is_finite())
+                .map(|s| direction.from_score(s.score))
+                .collect();
+            let gen_best = feasible.first().copied().unwrap_or(f64::NAN);
+            let gen_mean = if feasible.is_empty() {
+                f64::NAN
+            } else {
+                feasible.iter().sum::<f64>() / feasible.len() as f64
+            };
+            if let Some(first) = scored.first() {
+                if first.score.is_finite() {
+                    let raw = direction.from_score(first.score);
+                    if best_genome.is_none() || direction.is_better(raw, best_value) {
+                        best_value = raw;
+                        best_genome = Some(first.genome.clone());
+                    }
+                }
+            }
+            history.push(GenStats {
+                generation,
+                distinct_evals: cache.distinct_evals(),
+                best_value: gen_best,
+                mean_value: gen_mean,
+                best_so_far: if best_genome.is_some() { best_value } else { f64::NAN },
+            });
+
+            if generation == self.settings.generations {
+                break;
+            }
+
+            // Breed the next generation.
+            let ctx = OpCtx::new(generation, self.settings.generations);
+            let mut next: Vec<Genome> = scored
+                .iter()
+                .take(self.settings.elitism)
+                .map(|s| s.genome.clone())
+                .collect();
+            while next.len() < self.settings.population {
+                let pa = &scored[self.selector.select(&scored, &mut rng)].genome;
+                let pb = &scored[self.selector.select(&scored, &mut rng)].genome;
+                let (mut ca, mut cb) = if rand::RngExt::random_bool(&mut rng, self.settings.crossover_rate)
+                {
+                    self.crossover.crossover(pa, pb, self.space, &ctx, &mut rng)
+                } else {
+                    (pa.clone(), pb.clone())
+                };
+                self.mutation.mutate(&mut ca, self.space, &ctx, &mut rng);
+                next.push(ca);
+                if next.len() < self.settings.population {
+                    self.mutation.mutate(&mut cb, self.space, &ctx, &mut rng);
+                    next.push(cb);
+                }
+            }
+            population = next;
+        }
+
+        let best_genome = best_genome.ok_or(GaError::NoFeasibleGenome { attempts })?;
+        Ok(GaRun { history, best_genome, best_value, cache: cache.stats() })
+    }
+}
+
+impl std::fmt::Debug for GaEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaEngine")
+            .field("settings", &self.settings)
+            .field("mutation", &self.mutation.name())
+            .field("crossover", &self.crossover.name())
+            .field("selector", &self.selector.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::{Direction, FnFitness};
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .int("x", 0, 31, 1)
+            .int("y", 0, 31, 1)
+            .int("z", 0, 31, 1)
+            .build()
+            .unwrap()
+    }
+
+    fn sphere() -> FnFitness<impl Fn(&Genome) -> Option<f64> + Send + Sync> {
+        FnFitness::new(Direction::Minimize, |g: &Genome| {
+            Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+        })
+    }
+
+    #[test]
+    fn converges_on_separable_minimization() {
+        let s = space();
+        let f = sphere();
+        let run = GaEngine::new(&s, &f).run(1).unwrap();
+        assert!(run.best_value <= 10.0, "GA failed to converge: {}", run.best_value);
+        assert_eq!(run.history.len(), 81);
+        assert_eq!(run.history[0].generation, 0);
+        assert_eq!(run.history[80].generation, 80);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let s = space();
+        let f = sphere();
+        let e = GaEngine::new(&s, &f);
+        let a = e.run(7).unwrap();
+        let b = e.run(7).unwrap();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.best_genome, b.best_genome);
+        let c = e.run(8).unwrap();
+        assert_ne!(a.history, c.history, "different seeds should differ");
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_and_matches_result() {
+        let s = space();
+        let f = sphere();
+        let run = GaEngine::new(&s, &f).run(3).unwrap();
+        for w in run.history.windows(2) {
+            assert!(
+                w[1].best_so_far <= w[0].best_so_far,
+                "best_so_far worsened: {w:?}"
+            );
+        }
+        assert_eq!(run.history.last().unwrap().best_so_far, run.best_value);
+    }
+
+    #[test]
+    fn distinct_evals_are_monotone_and_bounded() {
+        let s = space();
+        let f = sphere();
+        let run = GaEngine::new(&s, &f).run(4).unwrap();
+        for w in run.history.windows(2) {
+            assert!(w[1].distinct_evals >= w[0].distinct_evals);
+        }
+        // At most pop + pop * generations evaluations (usually far fewer
+        // because the cache absorbs revisits).
+        assert!(run.total_evals() <= 10 + 10 * 80);
+        assert!(run.total_evals() >= 10);
+    }
+
+    #[test]
+    fn infeasible_regions_are_avoided() {
+        let s = space();
+        // Half the space (x < 16) is infeasible.
+        let f = FnFitness::new(Direction::Minimize, |g: &Genome| {
+            if g.gene_at(0) < 16 {
+                None
+            } else {
+                Some(f64::from(g.gene_at(0)) + f64::from(g.gene_at(1)))
+            }
+        });
+        let run = GaEngine::new(&s, &f).run(5).unwrap();
+        assert!(run.best_genome.gene_at(0) >= 16);
+        assert!(run.best_value >= 16.0);
+        assert!(run.cache.infeasible_evals > 0, "should have probed infeasible region");
+    }
+
+    #[test]
+    fn fully_infeasible_space_errors() {
+        let s = space();
+        let f = FnFitness::new(Direction::Minimize, |_: &Genome| None);
+        let err = GaEngine::new(&s, &f).run(6).unwrap_err();
+        assert!(matches!(err, GaError::NoFeasibleGenome { .. }));
+    }
+
+    #[test]
+    fn invalid_settings_are_rejected() {
+        let s = space();
+        let f = sphere();
+        let bad_pop = GaSettings { population: 0, ..GaSettings::default() };
+        assert!(matches!(
+            GaEngine::new(&s, &f).with_settings(bad_pop).run(0).unwrap_err(),
+            GaError::InvalidConfig(_)
+        ));
+        let bad_elite = GaSettings { population: 4, elitism: 4, ..GaSettings::default() };
+        assert!(matches!(
+            GaEngine::new(&s, &f).with_settings(bad_elite).run(0).unwrap_err(),
+            GaError::InvalidConfig(_)
+        ));
+        let bad_rate = GaSettings { crossover_rate: 1.5, ..GaSettings::default() };
+        assert!(matches!(
+            GaEngine::new(&s, &f).with_settings(bad_rate).run(0).unwrap_err(),
+            GaError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn maximization_works_too() {
+        let s = space();
+        let f = FnFitness::new(Direction::Maximize, |g: &Genome| {
+            Some(g.genes().iter().map(|&v| f64::from(v)).sum())
+        });
+        let run = GaEngine::new(&s, &f).run(9).unwrap();
+        assert!(run.best_value >= 85.0, "maximization too weak: {}", run.best_value);
+    }
+
+    #[test]
+    fn elitism_preserves_the_best_member() {
+        let s = space();
+        let f = sphere();
+        let run = GaEngine::new(&s, &f).run(10).unwrap();
+        // With elitism, per-generation best must never regress once found.
+        for w in run.history.windows(2) {
+            assert!(
+                w[1].best_value <= w[0].best_value + 1e-9,
+                "elite lost: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn first_generation_where_finds_threshold_crossing() {
+        let s = space();
+        let f = sphere();
+        let run = GaEngine::new(&s, &f).run(11).unwrap();
+        let hit = run.first_generation_where(|v| v <= 50.0);
+        assert!(hit.is_some());
+        let (generation, evals) = hit.unwrap();
+        assert!(evals >= 10);
+        assert!(u64::from(generation) <= 80);
+        assert!(run.first_generation_where(|v| v < -1.0).is_none());
+    }
+
+    #[test]
+    fn debug_output_names_operators() {
+        let s = space();
+        let f = sphere();
+        let text = format!("{:?}", GaEngine::new(&s, &f));
+        assert!(text.contains("uniform"));
+        assert!(text.contains("one-point"));
+        assert!(text.contains("tournament"));
+    }
+}

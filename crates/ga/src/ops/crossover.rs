@@ -1,0 +1,248 @@
+//! Crossover (recombination) operators.
+
+use rand::{Rng, RngExt};
+
+use crate::genome::Genome;
+use crate::ops::OpCtx;
+use crate::space::ParamSpace;
+
+/// A crossover operator: combines two parents into two children.
+///
+/// In IP-parameter terms, crossover mixes the parameter settings of two
+/// design points ("breeding" in the paper's description).
+pub trait CrossoverOp: Send + Sync {
+    /// Produces two children from `a` and `b`.
+    fn crossover(
+        &self,
+        a: &Genome,
+        b: &Genome,
+        space: &ParamSpace,
+        ctx: &OpCtx,
+        rng: &mut dyn Rng,
+    ) -> (Genome, Genome);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "crossover"
+    }
+}
+
+/// Uniform crossover: each gene is swapped between the children with
+/// probability `swap_prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformCrossover {
+    /// Per-gene swap probability in `[0, 1]`.
+    pub swap_prob: f64,
+}
+
+impl UniformCrossover {
+    /// Creates the operator; `swap_prob` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(swap_prob: f64) -> Self {
+        UniformCrossover { swap_prob: swap_prob.clamp(0.0, 1.0) }
+    }
+}
+
+impl Default for UniformCrossover {
+    fn default() -> Self {
+        UniformCrossover { swap_prob: 0.5 }
+    }
+}
+
+impl CrossoverOp for UniformCrossover {
+    fn crossover(
+        &self,
+        a: &Genome,
+        b: &Genome,
+        _space: &ParamSpace,
+        _ctx: &OpCtx,
+        rng: &mut dyn Rng,
+    ) -> (Genome, Genome) {
+        let mut ca = a.clone();
+        let mut cb = b.clone();
+        for i in 0..a.len() {
+            if rng.random_bool(self.swap_prob) {
+                let tmp = ca.gene_at(i);
+                ca.set_gene_at(i, cb.gene_at(i));
+                cb.set_gene_at(i, tmp);
+            }
+        }
+        (ca, cb)
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+/// Single-point crossover: children exchange all genes after a random cut.
+///
+/// This is the classic operator of PyEvolve-style GAs and the default of the
+/// paper's baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnePointCrossover;
+
+impl CrossoverOp for OnePointCrossover {
+    fn crossover(
+        &self,
+        a: &Genome,
+        b: &Genome,
+        _space: &ParamSpace,
+        _ctx: &OpCtx,
+        rng: &mut dyn Rng,
+    ) -> (Genome, Genome) {
+        let n = a.len();
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let cut = rng.random_range(1..n);
+        let mut ca = a.clone();
+        let mut cb = b.clone();
+        for i in cut..n {
+            ca.set_gene_at(i, b.gene_at(i));
+            cb.set_gene_at(i, a.gene_at(i));
+        }
+        (ca, cb)
+    }
+
+    fn name(&self) -> &str {
+        "one-point"
+    }
+}
+
+/// Two-point crossover: children exchange the gene segment between two cuts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoPointCrossover;
+
+impl CrossoverOp for TwoPointCrossover {
+    fn crossover(
+        &self,
+        a: &Genome,
+        b: &Genome,
+        _space: &ParamSpace,
+        _ctx: &OpCtx,
+        rng: &mut dyn Rng,
+    ) -> (Genome, Genome) {
+        let n = a.len();
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let x = rng.random_range(0..n);
+        let y = rng.random_range(0..n);
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let mut ca = a.clone();
+        let mut cb = b.clone();
+        for i in lo..=hi {
+            ca.set_gene_at(i, b.gene_at(i));
+            cb.set_gene_at(i, a.gene_at(i));
+        }
+        (ca, cb)
+    }
+
+    fn name(&self) -> &str {
+        "two-point"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space(n: usize) -> ParamSpace {
+        let mut b = ParamSpace::builder();
+        for i in 0..n {
+            b = b.int(format!("p{i}"), 0, 9, 1);
+        }
+        b.build().unwrap()
+    }
+
+    /// Children of any crossover must be a gene-wise permutation of the
+    /// parents: at each position, {child_a, child_b} == {parent_a, parent_b}.
+    fn assert_children_conserve_genes(op: &dyn CrossoverOp, seed: u64) {
+        let s = space(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let a = s.random_genome(&mut rng);
+            let b = s.random_genome(&mut rng);
+            let (ca, cb) = op.crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+            for i in 0..a.len() {
+                let parents = [a.gene_at(i), b.gene_at(i)];
+                let kids = [ca.gene_at(i), cb.gene_at(i)];
+                assert!(
+                    kids == parents || kids == [parents[1], parents[0]],
+                    "gene {i} not conserved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_conserves_genes() {
+        assert_children_conserve_genes(&UniformCrossover::default(), 10);
+    }
+
+    #[test]
+    fn one_point_conserves_genes() {
+        assert_children_conserve_genes(&OnePointCrossover, 11);
+    }
+
+    #[test]
+    fn two_point_conserves_genes() {
+        assert_children_conserve_genes(&TwoPointCrossover, 12);
+    }
+
+    #[test]
+    fn one_point_exchanges_contiguous_suffix() {
+        let s = space(6);
+        let a = Genome::from_genes(vec![0; 6]);
+        let b = Genome::from_genes(vec![9; 6]);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let (ca, _) = OnePointCrossover.crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+            // ca must be 0...0 9...9 (a prefix of a's genes then b's suffix).
+            let genes = ca.genes();
+            let first_nine = genes.iter().position(|&g| g == 9).unwrap();
+            assert!(first_nine >= 1, "cut must leave at least one leading gene");
+            assert!(genes[first_nine..].iter().all(|&g| g == 9));
+            assert!(genes[..first_nine].iter().all(|&g| g == 0));
+        }
+    }
+
+    #[test]
+    fn uniform_swap_prob_zero_is_identity() {
+        let s = space(5);
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = s.random_genome(&mut rng);
+        let b = s.random_genome(&mut rng);
+        let (ca, cb) =
+            UniformCrossover::new(0.0).crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+        assert_eq!(ca, a);
+        assert_eq!(cb, b);
+    }
+
+    #[test]
+    fn uniform_swap_prob_one_swaps_everything() {
+        let s = space(5);
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = s.random_genome(&mut rng);
+        let b = s.random_genome(&mut rng);
+        let (ca, cb) =
+            UniformCrossover::new(1.0).crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+        assert_eq!(ca, b);
+        assert_eq!(cb, a);
+    }
+
+    #[test]
+    fn single_gene_genomes_pass_through() {
+        let s = space(1);
+        let a = Genome::from_genes(vec![1]);
+        let b = Genome::from_genes(vec![2]);
+        let mut rng = StdRng::seed_from_u64(16);
+        let (ca, cb) = OnePointCrossover.crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+        assert_eq!((ca, cb), (a.clone(), b.clone()));
+        let (ca, cb) = TwoPointCrossover.crossover(&a, &b, &s, &OpCtx::new(0, 1), &mut rng);
+        assert_eq!((ca, cb), (a, b));
+    }
+}

@@ -1,0 +1,58 @@
+//! Genetic operators: mutation and crossover.
+//!
+//! Operators are trait objects so the Nautilus crate can drop in *guided*
+//! variants (importance-weighted gene selection, bias/target value sampling)
+//! without the engine knowing the difference.
+
+mod crossover;
+mod mutation;
+
+pub use crossover::{CrossoverOp, OnePointCrossover, TwoPointCrossover, UniformCrossover};
+pub use mutation::{MutationOp, StepMutation, UniformMutation};
+
+/// Per-operation context handed to genetic operators.
+///
+/// Carries the generation counter so operators can implement schedules (the
+/// Nautilus *importance decay* hint needs to know how far the run has
+/// progressed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCtx {
+    /// Zero-based generation currently being produced.
+    pub generation: u32,
+    /// Total number of generations the run will execute.
+    pub total_generations: u32,
+}
+
+impl OpCtx {
+    /// Context for generation `generation` of `total_generations`.
+    #[must_use]
+    pub fn new(generation: u32, total_generations: u32) -> Self {
+        OpCtx { generation, total_generations }
+    }
+
+    /// Run progress in `[0, 1]` (0 at the first generation).
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        if self.total_generations <= 1 {
+            0.0
+        } else {
+            f64::from(self.generation) / f64::from(self.total_generations - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_spans_zero_to_one() {
+        assert_eq!(OpCtx::new(0, 80).progress(), 0.0);
+        assert_eq!(OpCtx::new(79, 80).progress(), 1.0);
+        let mid = OpCtx::new(40, 81).progress();
+        assert!((mid - 0.5).abs() < 1e-12);
+        // Degenerate runs do not divide by zero.
+        assert_eq!(OpCtx::new(0, 1).progress(), 0.0);
+        assert_eq!(OpCtx::new(0, 0).progress(), 0.0);
+    }
+}

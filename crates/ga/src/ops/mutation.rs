@@ -1,0 +1,202 @@
+//! Mutation operators.
+
+use rand::{Rng, RngExt};
+
+use crate::genome::Genome;
+use crate::ops::OpCtx;
+use crate::space::ParamSpace;
+
+/// A mutation operator: perturbs a genome in place.
+///
+/// Implementations must keep every gene inside its parameter's domain.
+/// The baseline GA uses [`UniformMutation`]; Nautilus substitutes a guided
+/// operator that implements this same trait.
+pub trait MutationOp: Send + Sync {
+    /// Mutates `genome` in place.
+    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, ctx: &OpCtx, rng: &mut dyn Rng);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "mutation"
+    }
+}
+
+/// The classic per-gene uniform mutation of the baseline GA.
+///
+/// Each gene independently mutates with probability `rate` (the paper uses
+/// 0.1); a mutating gene is redrawn uniformly from the *other* values of its
+/// domain, so a mutation always changes the gene when the domain has more
+/// than one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformMutation {
+    /// Per-gene mutation probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl UniformMutation {
+    /// Creates the operator; `rate` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        UniformMutation { rate: rate.clamp(0.0, 1.0) }
+    }
+}
+
+impl Default for UniformMutation {
+    /// The paper's default per-gene rate of 0.1.
+    fn default() -> Self {
+        UniformMutation { rate: 0.1 }
+    }
+}
+
+impl MutationOp for UniformMutation {
+    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, _ctx: &OpCtx, rng: &mut dyn Rng) {
+        for id in space.param_ids() {
+            if rng.random_bool(self.rate) {
+                let card = space.param(id).cardinality();
+                if card <= 1 {
+                    continue;
+                }
+                let current = genome.gene(id);
+                // Draw from the other card-1 values uniformly.
+                let mut draw = rng.random_range(0..card - 1) as u32;
+                if draw >= current {
+                    draw += 1;
+                }
+                genome.set_gene(id, draw);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+/// Local "stepping" mutation: a mutating gene moves at most `max_step`
+/// positions within its ordered domain.
+///
+/// This models the Nautilus auxiliary *stepping* setting, which constrains
+/// how far a single genetic operation may travel along an ordered axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMutation {
+    /// Per-gene mutation probability in `[0, 1]`.
+    pub rate: f64,
+    /// Maximum displacement (in domain positions, at least 1).
+    pub max_step: usize,
+}
+
+impl StepMutation {
+    /// Creates the operator; `rate` is clamped to `[0, 1]` and `max_step`
+    /// raised to at least 1.
+    #[must_use]
+    pub fn new(rate: f64, max_step: usize) -> Self {
+        StepMutation { rate: rate.clamp(0.0, 1.0), max_step: max_step.max(1) }
+    }
+}
+
+impl MutationOp for StepMutation {
+    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, _ctx: &OpCtx, rng: &mut dyn Rng) {
+        for id in space.param_ids() {
+            if rng.random_bool(self.rate) {
+                let card = space.param(id).cardinality();
+                if card <= 1 {
+                    continue;
+                }
+                let current = genome.gene(id) as i64;
+                let step = rng.random_range(1..=self.max_step as i64);
+                let delta = if rng.random_bool(0.5) { step } else { -step };
+                let next = (current + delta).clamp(0, card as i64 - 1);
+                genome.set_gene(id, next as u32);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "step"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .int("a", 0, 9, 1)
+            .int("b", 0, 9, 1)
+            .choices("c", ["x"]) // single-valued: must never change
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rate_zero_never_mutates() {
+        let s = space();
+        let op = UniformMutation::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = s.random_genome(&mut rng);
+        let orig = g.clone();
+        for _ in 0..100 {
+            op.mutate(&mut g, &s, &OpCtx::new(0, 1), &mut rng);
+        }
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn rate_one_always_changes_multivalued_genes() {
+        let s = space();
+        let op = UniformMutation::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let mut g = s.random_genome(&mut rng);
+            let orig = g.clone();
+            op.mutate(&mut g, &s, &OpCtx::new(0, 1), &mut rng);
+            assert_ne!(g.gene_at(0), orig.gene_at(0));
+            assert_ne!(g.gene_at(1), orig.gene_at(1));
+            assert_eq!(g.gene_at(2), 0, "single-valued gene must not move");
+            assert!(s.contains(&g));
+        }
+    }
+
+    #[test]
+    fn mutation_rate_is_respected_statistically() {
+        let s = space();
+        let op = UniformMutation::new(0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let mut flips = 0usize;
+        for _ in 0..trials {
+            let mut g = Genome::from_genes(vec![5, 5, 0]);
+            op.mutate(&mut g, &s, &OpCtx::new(0, 1), &mut rng);
+            if g.gene_at(0) != 5 {
+                flips += 1;
+            }
+        }
+        let rate = flips as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn step_mutation_stays_local_and_in_bounds() {
+        let s = space();
+        let op = StepMutation::new(1.0, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let mut g = Genome::from_genes(vec![0, 9, 0]);
+            op.mutate(&mut g, &s, &OpCtx::new(0, 1), &mut rng);
+            assert!(s.contains(&g));
+            assert!(g.gene_at(0) <= 2, "step too large: {}", g.gene_at(0));
+            assert!(g.gene_at(1) >= 7, "step too large: {}", g.gene_at(1));
+        }
+    }
+
+    #[test]
+    fn constructors_clamp_inputs() {
+        assert_eq!(UniformMutation::new(7.0).rate, 1.0);
+        assert_eq!(UniformMutation::new(-1.0).rate, 0.0);
+        assert_eq!(StepMutation::new(0.5, 0).max_step, 1);
+        assert_eq!(UniformMutation::default().rate, 0.1);
+    }
+}

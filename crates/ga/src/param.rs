@@ -1,0 +1,349 @@
+//! Parameter definitions: identifiers and finite value domains.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GaError, Result};
+use crate::value::ParamValue;
+
+/// Index of a parameter within a [`crate::ParamSpace`].
+///
+/// `ParamId`s are only meaningful relative to the space that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Returns the zero-based position of this parameter in its space.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The id at position `index` of `space`, if in range.
+    ///
+    /// ```
+    /// use nautilus_ga::{ParamId, ParamSpace};
+    /// # fn main() -> Result<(), nautilus_ga::GaError> {
+    /// let space = ParamSpace::builder().flag("a").flag("b").build()?;
+    /// assert!(ParamId::try_from_index(&space, 1).is_some());
+    /// assert!(ParamId::try_from_index(&space, 2).is_none());
+    /// # Ok(()) }
+    /// ```
+    #[must_use]
+    pub fn try_from_index(space: &crate::space::ParamSpace, index: usize) -> Option<ParamId> {
+        (index < space.num_params()).then_some(ParamId(index))
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The finite, ordered domain of values a parameter ranges over.
+///
+/// Hardware IP parameter spaces are discrete lattices: integer ranges with a
+/// stride (buffer depths), power-of-two ranges (flit widths, FFT sizes),
+/// categorical choices (allocator microarchitectures), and boolean feature
+/// flags. Every domain enumerates its values in a fixed order; genomes store
+/// the *index* of the chosen value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ParamDomain {
+    /// Integers `lo, lo+step, ..., <= hi` (inclusive of `lo`, `hi` reached
+    /// only if aligned).
+    IntRange {
+        /// Smallest value.
+        lo: i64,
+        /// Largest admissible value.
+        hi: i64,
+        /// Positive stride between consecutive values.
+        step: i64,
+    },
+    /// Powers of two `2^lo_log2 ..= 2^hi_log2`.
+    Pow2 {
+        /// Exponent of the smallest value.
+        lo_log2: u32,
+        /// Exponent of the largest value.
+        hi_log2: u32,
+    },
+    /// An explicit list of integers, in the declared (author) order.
+    IntList(Vec<i64>),
+    /// Named categorical choices, in the declared (author) order.
+    Choices(Vec<String>),
+    /// A boolean flag; index 0 is `false`, index 1 is `true`.
+    Flag,
+}
+
+impl ParamDomain {
+    /// Number of distinct values in the domain.
+    ///
+    /// ```
+    /// use nautilus_ga::ParamDomain;
+    /// assert_eq!(ParamDomain::IntRange { lo: 1, hi: 16, step: 5 }.cardinality(), 4);
+    /// assert_eq!(ParamDomain::Pow2 { lo_log2: 4, hi_log2: 7 }.cardinality(), 4);
+    /// assert_eq!(ParamDomain::Flag.cardinality(), 2);
+    /// ```
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ParamDomain::IntRange { lo, hi, step } => {
+                if hi < lo || *step <= 0 {
+                    0
+                } else {
+                    ((hi - lo) / step + 1) as usize
+                }
+            }
+            ParamDomain::Pow2 { lo_log2, hi_log2 } => {
+                if hi_log2 < lo_log2 {
+                    0
+                } else {
+                    (hi_log2 - lo_log2 + 1) as usize
+                }
+            }
+            ParamDomain::IntList(vs) => vs.len(),
+            ParamDomain::Choices(cs) => cs.len(),
+            ParamDomain::Flag => 2,
+        }
+    }
+
+    /// The value at position `idx` in the domain's order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cardinality()`.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> ParamValue {
+        assert!(
+            idx < self.cardinality(),
+            "index {idx} out of bounds for domain of {} values",
+            self.cardinality()
+        );
+        match self {
+            ParamDomain::IntRange { lo, step, .. } => ParamValue::Int(lo + step * idx as i64),
+            ParamDomain::Pow2 { lo_log2, .. } => ParamValue::Int(1i64 << (lo_log2 + idx as u32)),
+            ParamDomain::IntList(vs) => ParamValue::Int(vs[idx]),
+            ParamDomain::Choices(cs) => ParamValue::Sym(cs[idx].clone()),
+            ParamDomain::Flag => ParamValue::Bool(idx == 1),
+        }
+    }
+
+    /// The position of `v` within the domain, if present.
+    #[must_use]
+    pub fn index_of(&self, v: &ParamValue) -> Option<usize> {
+        match (self, v) {
+            (ParamDomain::IntRange { lo, hi, step }, ParamValue::Int(x)) => {
+                if x < lo || x > hi || (x - lo) % step != 0 {
+                    None
+                } else {
+                    Some(((x - lo) / step) as usize)
+                }
+            }
+            (ParamDomain::Pow2 { lo_log2, hi_log2 }, ParamValue::Int(x)) => {
+                if *x <= 0 || (x & (x - 1)) != 0 {
+                    return None;
+                }
+                let l = x.trailing_zeros();
+                if l < *lo_log2 || l > *hi_log2 {
+                    None
+                } else {
+                    Some((l - lo_log2) as usize)
+                }
+            }
+            (ParamDomain::IntList(vs), ParamValue::Int(x)) => vs.iter().position(|v| v == x),
+            (ParamDomain::Choices(cs), ParamValue::Sym(s)) => cs.iter().position(|c| c == s),
+            (ParamDomain::Flag, ParamValue::Bool(b)) => Some(usize::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Whether the domain's declared order is numerically meaningful.
+    ///
+    /// Integer, power-of-two and flag domains are intrinsically ordered;
+    /// categorical [`ParamDomain::Choices`] are ordered only in the sense of
+    /// their declaration order, which an IP author may or may not intend as a
+    /// monotone axis (the Nautilus *ordering* auxiliary hint makes it so).
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, ParamDomain::Choices(_))
+    }
+
+    /// Validates internal consistency, reporting against parameter `name`.
+    pub(crate) fn validate(&self, name: &str) -> Result<()> {
+        match self {
+            ParamDomain::IntRange { lo, hi, step } => {
+                if *step <= 0 {
+                    return Err(GaError::InvalidRange {
+                        param: name.to_owned(),
+                        reason: format!("step {step} must be positive"),
+                    });
+                }
+                if hi < lo {
+                    return Err(GaError::InvalidRange {
+                        param: name.to_owned(),
+                        reason: format!("lo {lo} exceeds hi {hi}"),
+                    });
+                }
+                Ok(())
+            }
+            ParamDomain::Pow2 { lo_log2, hi_log2 } => {
+                if hi_log2 < lo_log2 {
+                    return Err(GaError::InvalidRange {
+                        param: name.to_owned(),
+                        reason: format!("lo_log2 {lo_log2} exceeds hi_log2 {hi_log2}"),
+                    });
+                }
+                if *hi_log2 >= 63 {
+                    return Err(GaError::InvalidRange {
+                        param: name.to_owned(),
+                        reason: "hi_log2 must be < 63".to_owned(),
+                    });
+                }
+                Ok(())
+            }
+            ParamDomain::IntList(vs) => {
+                if vs.is_empty() {
+                    return Err(GaError::EmptyDomain(name.to_owned()));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for v in vs {
+                    if !seen.insert(v) {
+                        return Err(GaError::InvalidRange {
+                            param: name.to_owned(),
+                            reason: format!("duplicate value {v}"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            ParamDomain::Choices(cs) => {
+                if cs.is_empty() {
+                    return Err(GaError::EmptyDomain(name.to_owned()));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for c in cs {
+                    if !seen.insert(c) {
+                        return Err(GaError::InvalidRange {
+                            param: name.to_owned(),
+                            reason: format!("duplicate choice `{c}`"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            ParamDomain::Flag => Ok(()),
+        }
+    }
+}
+
+/// A named parameter together with its value domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    name: String,
+    domain: ParamDomain,
+}
+
+impl ParamDef {
+    /// Creates a definition; validation happens when the space is built.
+    #[must_use]
+    pub fn new(name: impl Into<String>, domain: ParamDomain) -> Self {
+        ParamDef { name: name.into(), domain }
+    }
+
+    /// The parameter's name as shown to IP users.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's value domain.
+    #[must_use]
+    pub fn domain(&self) -> &ParamDomain {
+        &self.domain
+    }
+
+    /// Shorthand for `self.domain().cardinality()`.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.domain.cardinality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_enumeration_matches_cardinality() {
+        let d = ParamDomain::IntRange { lo: 2, hi: 11, step: 3 };
+        assert_eq!(d.cardinality(), 4);
+        let vals: Vec<i64> = (0..4).map(|i| d.value(i).as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![2, 5, 8, 11]);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(d.index_of(&ParamValue::Int(*v)), Some(i));
+        }
+        assert_eq!(d.index_of(&ParamValue::Int(3)), None); // off-stride
+        assert_eq!(d.index_of(&ParamValue::Int(14)), None); // out of range
+    }
+
+    #[test]
+    fn pow2_round_trips() {
+        let d = ParamDomain::Pow2 { lo_log2: 5, hi_log2: 8 };
+        assert_eq!(d.cardinality(), 4);
+        assert_eq!(d.value(0), ParamValue::Int(32));
+        assert_eq!(d.value(3), ParamValue::Int(256));
+        assert_eq!(d.index_of(&ParamValue::Int(64)), Some(1));
+        assert_eq!(d.index_of(&ParamValue::Int(48)), None);
+        assert_eq!(d.index_of(&ParamValue::Int(16)), None);
+        assert_eq!(d.index_of(&ParamValue::Int(512)), None);
+    }
+
+    #[test]
+    fn choices_round_trip_and_order() {
+        let d = ParamDomain::Choices(vec!["rr".into(), "matrix".into(), "wavefront".into()]);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.value(1), ParamValue::Sym("matrix".into()));
+        assert_eq!(d.index_of(&ParamValue::Sym("wavefront".into())), Some(2));
+        assert_eq!(d.index_of(&ParamValue::Sym("xbar".into())), None);
+        assert!(!d.is_numeric());
+    }
+
+    #[test]
+    fn int_list_preserves_author_order() {
+        let d = ParamDomain::IntList(vec![1, 2, 3, 4, 6, 8, 12, 16]);
+        assert_eq!(d.cardinality(), 8);
+        assert_eq!(d.value(4), ParamValue::Int(6));
+        assert_eq!(d.index_of(&ParamValue::Int(12)), Some(6));
+        assert_eq!(d.index_of(&ParamValue::Int(5)), None);
+        assert!(d.is_numeric());
+    }
+
+    #[test]
+    fn flag_values() {
+        let d = ParamDomain::Flag;
+        assert_eq!(d.value(0), ParamValue::Bool(false));
+        assert_eq!(d.value(1), ParamValue::Bool(true));
+        assert_eq!(d.index_of(&ParamValue::Bool(true)), Some(1));
+        assert_eq!(d.index_of(&ParamValue::Int(1)), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(ParamDomain::IntRange { lo: 5, hi: 1, step: 1 }.validate("x").is_err());
+        assert!(ParamDomain::IntRange { lo: 1, hi: 5, step: 0 }.validate("x").is_err());
+        assert!(ParamDomain::Pow2 { lo_log2: 4, hi_log2: 2 }.validate("x").is_err());
+        assert!(ParamDomain::Choices(vec![]).validate("x").is_err());
+        assert!(ParamDomain::IntList(vec![]).validate("x").is_err());
+        assert!(ParamDomain::IntList(vec![1, 2, 1]).validate("x").is_err());
+        assert!(ParamDomain::Choices(vec!["a".into(), "a".into()]).validate("x").is_err());
+        assert!(ParamDomain::Flag.validate("x").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn value_panics_out_of_bounds() {
+        ParamDomain::Flag.value(2);
+    }
+}

@@ -1,0 +1,526 @@
+//! Parameter spaces: the lattice of all design points an IP generator exposes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GaError, Result};
+use crate::genome::Genome;
+use crate::param::{ParamDef, ParamDomain, ParamId};
+use crate::value::ParamValue;
+
+/// An ordered collection of validated parameter definitions.
+///
+/// The space defines the genetic representation: a [`Genome`] holds one gene
+/// per parameter, each gene being an index into that parameter's domain.
+///
+/// ```
+/// use nautilus_ga::{ParamSpace, ParamDomain};
+/// # fn main() -> Result<(), nautilus_ga::GaError> {
+/// let space = ParamSpace::builder()
+///     .int("num_vcs", 1, 8, 1)
+///     .choices("allocator", ["round_robin", "matrix", "wavefront"])
+///     .flag("speculation")
+///     .build()?;
+/// assert_eq!(space.num_params(), 3);
+/// assert_eq!(space.cardinality(), 8 * 3 * 2);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "SpaceSerde", into = "SpaceSerde")]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+    by_name: HashMap<String, ParamId>,
+}
+
+/// Serialized form of [`ParamSpace`]; the name index is rebuilt on load.
+#[derive(Serialize, Deserialize)]
+struct SpaceSerde {
+    params: Vec<ParamDef>,
+}
+
+impl TryFrom<SpaceSerde> for ParamSpace {
+    type Error = GaError;
+
+    fn try_from(s: SpaceSerde) -> Result<Self> {
+        ParamSpace::from_defs(s.params)
+    }
+}
+
+impl From<ParamSpace> for SpaceSerde {
+    fn from(s: ParamSpace) -> Self {
+        SpaceSerde { params: s.params }
+    }
+}
+
+impl ParamSpace {
+    /// Starts building a space.
+    #[must_use]
+    pub fn builder() -> ParamSpaceBuilder {
+        ParamSpaceBuilder { params: Vec::new() }
+    }
+
+    fn from_defs(params: Vec<ParamDef>) -> Result<Self> {
+        if params.is_empty() {
+            return Err(GaError::EmptySpace);
+        }
+        let mut by_name = HashMap::with_capacity(params.len());
+        for (i, def) in params.iter().enumerate() {
+            def.domain().validate(def.name())?;
+            if by_name.insert(def.name().to_owned(), ParamId(i)).is_some() {
+                return Err(GaError::DuplicateParam(def.name().to_owned()));
+            }
+        }
+        Ok(ParamSpace { params, by_name })
+    }
+
+    /// Number of parameters (genome length).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// All parameter ids, in declaration order.
+    pub fn param_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// The definition of parameter `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this space.
+    #[must_use]
+    pub fn param(&self, id: ParamId) -> &ParamDef {
+        &self.params[id.0]
+    }
+
+    /// All parameter definitions, in declaration order.
+    #[must_use]
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Looks a parameter up by name.
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`ParamSpace::id`] but returns an error naming the parameter.
+    pub fn require(&self, name: &str) -> Result<ParamId> {
+        self.id(name).ok_or_else(|| GaError::UnknownParam(name.to_owned()))
+    }
+
+    /// Total number of design points: the product of domain cardinalities.
+    ///
+    /// Returned as `u128` because realistic IP spaces ("billions of design
+    /// points" for a 42-parameter router) overflow `u64` quickly.
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.cardinality() as u128)
+            .fold(1u128, u128::saturating_mul)
+    }
+
+    /// Draws a uniformly random genome.
+    pub fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> Genome {
+        self.params
+            .iter()
+            .map(|p| rng.random_range(0..p.cardinality()) as u32)
+            .collect()
+    }
+
+    /// Checks that every gene indexes into its parameter's domain.
+    #[must_use]
+    pub fn contains(&self, genome: &Genome) -> bool {
+        genome.len() == self.params.len()
+            && genome
+                .genes()
+                .iter()
+                .zip(&self.params)
+                .all(|(&g, p)| (g as usize) < p.cardinality())
+    }
+
+    /// Encodes named values into a genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::UnknownParam`] for names not in the space and
+    /// [`GaError::BadValue`] for values outside a parameter's domain.
+    /// All parameters must be given exactly once; missing parameters are
+    /// reported as [`GaError::UnknownParam`] with the missing name.
+    pub fn genome_from_values<'v>(
+        &self,
+        values: impl IntoIterator<Item = (&'v str, ParamValue)>,
+    ) -> Result<Genome> {
+        let mut genes: Vec<Option<u32>> = vec![None; self.params.len()];
+        for (name, value) in values {
+            let id = self.require(name)?;
+            let idx = self.params[id.0].domain().index_of(&value).ok_or_else(|| {
+                GaError::BadValue { param: name.to_owned(), value: value.to_string() }
+            })?;
+            genes[id.0] = Some(idx as u32);
+        }
+        genes
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g.ok_or_else(|| GaError::UnknownParam(self.params[i].name().to_owned())))
+            .collect::<Result<Vec<u32>>>()
+            .map(Genome::from_genes)
+    }
+
+    /// Decodes a genome into named values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome does not belong to this space.
+    #[must_use]
+    pub fn decode(&self, genome: &Genome) -> DesignPoint {
+        assert!(self.contains(genome), "genome does not belong to this space");
+        DesignPoint {
+            pairs: self
+                .params
+                .iter()
+                .zip(genome.genes())
+                .map(|(p, &g)| (p.name().to_owned(), p.domain().value(g as usize)))
+                .collect(),
+        }
+    }
+
+    /// Decodes a single parameter's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome or `id` do not belong to this space.
+    #[must_use]
+    pub fn value_of(&self, genome: &Genome, id: ParamId) -> ParamValue {
+        self.params[id.0].domain().value(genome.gene(id) as usize)
+    }
+
+    /// The flat lexicographic rank of a genome (first parameter varies
+    /// slowest). Inverse of [`ParamSpace::genome_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome does not belong to this space.
+    #[must_use]
+    pub fn flat_index(&self, genome: &Genome) -> u128 {
+        assert!(self.contains(genome), "genome does not belong to this space");
+        let mut idx: u128 = 0;
+        for (p, &g) in self.params.iter().zip(genome.genes()) {
+            idx = idx * p.cardinality() as u128 + g as u128;
+        }
+        idx
+    }
+
+    /// The genome at flat lexicographic rank `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cardinality()`.
+    #[must_use]
+    pub fn genome_at(&self, idx: u128) -> Genome {
+        assert!(idx < self.cardinality(), "flat index {idx} out of range");
+        let mut rem = idx;
+        let mut genes = vec![0u32; self.params.len()];
+        for (i, p) in self.params.iter().enumerate().rev() {
+            let c = p.cardinality() as u128;
+            genes[i] = (rem % c) as u32;
+            rem /= c;
+        }
+        Genome::from_genes(genes)
+    }
+
+    /// Iterates over the entire space in flat-index order.
+    ///
+    /// Intended for dataset characterization of *swept sub-spaces* (tens of
+    /// thousands of points), not for full IP spaces.
+    #[must_use]
+    pub fn iter_genomes(&self) -> FullSweep<'_> {
+        FullSweep { space: self, next: 0, total: self.cardinality() }
+    }
+}
+
+impl fmt::Display for ParamSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} parameters, {} design points", self.num_params(), self.cardinality())?;
+        for p in &self.params {
+            writeln!(f, "  {} : {} values", p.name(), p.cardinality())?;
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for ParamSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+    }
+}
+
+/// Iterator over every genome of a space, in flat-index order.
+///
+/// Produced by [`ParamSpace::iter_genomes`].
+#[derive(Debug, Clone)]
+pub struct FullSweep<'a> {
+    space: &'a ParamSpace,
+    next: u128,
+    total: u128,
+}
+
+impl Iterator for FullSweep<'_> {
+    type Item = Genome;
+
+    fn next(&mut self) -> Option<Genome> {
+        if self.next >= self.total {
+            return None;
+        }
+        let g = self.space.genome_at(self.next);
+        self.next += 1;
+        Some(g)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.next).min(usize::MAX as u128) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FullSweep<'_> {}
+
+/// A decoded design point: `(parameter name, value)` pairs in space order.
+///
+/// This is the user-facing report form of a genome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    pairs: Vec<(String, ParamValue)>,
+}
+
+impl DesignPoint {
+    /// The `(name, value)` pairs in parameter order.
+    #[must_use]
+    pub fn pairs(&self) -> &[(String, ParamValue)] {
+        &self.pairs
+    }
+
+    /// Looks up a value by parameter name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (n, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{n}={v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Incremental builder for [`ParamSpace`].
+///
+/// Convenience methods cover the domain kinds hardware generators need; the
+/// generic [`ParamSpaceBuilder::param`] accepts any [`ParamDomain`].
+#[derive(Debug, Default)]
+pub struct ParamSpaceBuilder {
+    params: Vec<ParamDef>,
+}
+
+impl ParamSpaceBuilder {
+    /// Adds a parameter with an arbitrary domain.
+    #[must_use]
+    pub fn param(mut self, name: impl Into<String>, domain: ParamDomain) -> Self {
+        self.params.push(ParamDef::new(name, domain));
+        self
+    }
+
+    /// Adds an integer-range parameter `lo..=hi` with stride `step`.
+    #[must_use]
+    pub fn int(self, name: impl Into<String>, lo: i64, hi: i64, step: i64) -> Self {
+        self.param(name, ParamDomain::IntRange { lo, hi, step })
+    }
+
+    /// Adds an explicit integer-list parameter (author-declared order).
+    #[must_use]
+    pub fn int_list(self, name: impl Into<String>, values: impl Into<Vec<i64>>) -> Self {
+        self.param(name, ParamDomain::IntList(values.into()))
+    }
+
+    /// Adds a power-of-two parameter `2^lo_log2 ..= 2^hi_log2`.
+    #[must_use]
+    pub fn pow2(self, name: impl Into<String>, lo_log2: u32, hi_log2: u32) -> Self {
+        self.param(name, ParamDomain::Pow2 { lo_log2, hi_log2 })
+    }
+
+    /// Adds a categorical parameter with named choices.
+    #[must_use]
+    pub fn choices<S: Into<String>>(
+        self,
+        name: impl Into<String>,
+        choices: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.param(
+            name,
+            ParamDomain::Choices(choices.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    /// Adds a boolean feature flag.
+    #[must_use]
+    pub fn flag(self, name: impl Into<String>) -> Self {
+        self.param(name, ParamDomain::Flag)
+    }
+
+    /// Validates and builds the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for duplicate names, empty or inverted domains, or a
+    /// space with no parameters.
+    pub fn build(self) -> Result<ParamSpace> {
+        ParamSpace::from_defs(self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_space() -> ParamSpace {
+        ParamSpace::builder()
+            .int("depth", 1, 4, 1) // 4
+            .choices("alloc", ["rr", "matrix"]) // 2
+            .flag("spec") // 2
+            .pow2("width", 5, 7) // 3
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cardinality_is_product_of_domains() {
+        assert_eq!(small_space().cardinality(), 4 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_empty() {
+        let err = ParamSpace::builder().int("a", 0, 1, 1).int("a", 0, 1, 1).build();
+        assert_eq!(err.unwrap_err(), GaError::DuplicateParam("a".into()));
+        assert_eq!(ParamSpace::builder().build().unwrap_err(), GaError::EmptySpace);
+        assert!(matches!(
+            ParamSpace::builder().int("a", 4, 1, 1).build().unwrap_err(),
+            GaError::InvalidRange { .. }
+        ));
+    }
+
+    #[test]
+    fn name_lookup() {
+        let s = small_space();
+        assert_eq!(s.id("alloc"), Some(ParamId(1)));
+        assert_eq!(s.id("nope"), None);
+        assert_eq!(s.require("nope").unwrap_err(), GaError::UnknownParam("nope".into()));
+    }
+
+    #[test]
+    fn flat_index_round_trips_over_whole_space() {
+        let s = small_space();
+        for i in 0..s.cardinality() {
+            let g = s.genome_at(i);
+            assert!(s.contains(&g));
+            assert_eq!(s.flat_index(&g), i);
+        }
+    }
+
+    #[test]
+    fn full_sweep_visits_everything_once() {
+        let s = small_space();
+        let all: Vec<Genome> = s.iter_genomes().collect();
+        assert_eq!(all.len() as u128, s.cardinality());
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+        assert_eq!(s.iter_genomes().len(), all.len());
+    }
+
+    #[test]
+    fn random_genomes_are_contained_and_varied() {
+        let s = small_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let g = s.random_genome(&mut rng);
+            assert!(s.contains(&g));
+            seen.insert(g);
+        }
+        assert!(seen.len() > 20, "random sampling too narrow: {}", seen.len());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = small_space();
+        let g = s
+            .genome_from_values([
+                ("depth", ParamValue::Int(3)),
+                ("alloc", ParamValue::Sym("matrix".into())),
+                ("spec", ParamValue::Bool(true)),
+                ("width", ParamValue::Int(64)),
+            ])
+            .unwrap();
+        let dp = s.decode(&g);
+        assert_eq!(dp.get("depth"), Some(&ParamValue::Int(3)));
+        assert_eq!(dp.get("alloc"), Some(&ParamValue::Sym("matrix".into())));
+        assert_eq!(dp.get("width"), Some(&ParamValue::Int(64)));
+        assert_eq!(dp.get("missing"), None);
+        assert_eq!(
+            dp.to_string(),
+            "{depth=3, alloc=matrix, spec=true, width=64}"
+        );
+    }
+
+    #[test]
+    fn encode_reports_missing_and_bad_values() {
+        let s = small_space();
+        let missing = s.genome_from_values([("depth", ParamValue::Int(1))]);
+        assert!(matches!(missing.unwrap_err(), GaError::UnknownParam(_)));
+        let bad = s.genome_from_values([
+            ("depth", ParamValue::Int(99)),
+            ("alloc", ParamValue::Sym("rr".into())),
+            ("spec", ParamValue::Bool(false)),
+            ("width", ParamValue::Int(32)),
+        ]);
+        assert!(matches!(bad.unwrap_err(), GaError::BadValue { .. }));
+    }
+
+    #[test]
+    fn contains_rejects_foreign_genomes() {
+        let s = small_space();
+        assert!(!s.contains(&Genome::from_genes(vec![0, 0])));
+        assert!(!s.contains(&Genome::from_genes(vec![9, 0, 0, 0])));
+        assert!(s.contains(&Genome::from_genes(vec![3, 1, 1, 2])));
+    }
+
+    #[test]
+    fn value_of_reads_single_parameter() {
+        let s = small_space();
+        let g = Genome::from_genes(vec![2, 1, 0, 1]);
+        assert_eq!(s.value_of(&g, s.id("width").unwrap()), ParamValue::Int(64));
+        assert_eq!(s.value_of(&g, s.id("depth").unwrap()), ParamValue::Int(3));
+    }
+
+    #[test]
+    fn display_summarizes_space() {
+        let text = small_space().to_string();
+        assert!(text.contains("4 parameters"));
+        assert!(text.contains("48 design points"));
+        assert!(text.contains("alloc"));
+    }
+}

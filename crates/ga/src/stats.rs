@@ -1,0 +1,177 @@
+//! Small numeric summaries used by run reports and experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of finite samples summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes the finite values of `values`.
+    ///
+    /// Non-finite entries (NaN, ±inf) are skipped. Returns `None` when no
+    /// finite values remain.
+    ///
+    /// ```
+    /// use nautilus_ga::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 3.0);
+    /// ```
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let n = finite.len();
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { n, mean, std_dev: var.sqrt(), min, max })
+    }
+}
+
+/// Spearman rank correlation between two equal-length samples.
+///
+/// Used by the automatic hint-estimation pass to turn "synthesize a few
+/// designs and observe trends" into bias hints. Ties receive average ranks.
+/// Returns `None` for samples shorter than 2 or with zero variance.
+///
+/// ```
+/// use nautilus_ga::spearman;
+/// let rho = spearman(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 25.0, 40.0]).unwrap();
+/// assert!((rho - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    if x.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation coefficient; `None` if either sample is constant.
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return None;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!((s.min, s.max, s.n), (2.0, 9.0, 8));
+    }
+
+    #[test]
+    fn summary_skips_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, f64::INFINITY, 3.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value_has_zero_std() {
+        let s = Summary::of(&[4.2]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 4.2);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relationships() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let inc = [2.0, 9.0, 11.0, 40.0, 41.0];
+        let dec = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&x, &inc).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &dec).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_constants() {
+        let x = [1.0, 1.0, 2.0, 2.0];
+        let y = [3.0, 3.0, 5.0, 5.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn pearson_of_linear_data_is_one() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 7.0, 9.0, 11.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

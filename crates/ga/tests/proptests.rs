@@ -1,0 +1,148 @@
+//! Property-based tests for the GA substrate's core invariants.
+
+use nautilus_ga::ops::{CrossoverOp, MutationOp, OpCtx};
+use nautilus_ga::{
+    Direction, FnFitness, GaEngine, GaSettings, Genome, OnePointCrossover, ParamDomain,
+    ParamSpace, ParamValue, StepMutation, TwoPointCrossover, UniformCrossover, UniformMutation,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing an arbitrary valid domain with 1..=12 values.
+fn arb_domain() -> impl Strategy<Value = ParamDomain> {
+    prop_oneof![
+        (0i64..50, 1usize..12, 1i64..5).prop_map(|(lo, n, step)| ParamDomain::IntRange {
+            lo,
+            hi: lo + step * (n as i64 - 1),
+            step,
+        }),
+        (0u32..8, 0u32..4).prop_map(|(lo, extra)| ParamDomain::Pow2 {
+            lo_log2: lo,
+            hi_log2: lo + extra,
+        }),
+        prop::collection::vec(-100i64..100, 1..10).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            ParamDomain::IntList(v)
+        }),
+        prop::collection::vec("[a-z]{1,6}", 1..6).prop_map(|mut v| {
+            v.sort();
+            v.dedup();
+            ParamDomain::Choices(v)
+        }),
+        Just(ParamDomain::Flag),
+    ]
+}
+
+/// Strategy producing a valid space of 1..=8 parameters.
+fn arb_space() -> impl Strategy<Value = ParamSpace> {
+    prop::collection::vec(arb_domain(), 1..8).prop_map(|domains| {
+        let mut b = ParamSpace::builder();
+        for (i, d) in domains.into_iter().enumerate() {
+            b = b.param(format!("p{i}"), d);
+        }
+        b.build().expect("generated domains are valid")
+    })
+}
+
+proptest! {
+    /// Every domain value round-trips through value() / index_of().
+    #[test]
+    fn domain_value_index_round_trip(domain in arb_domain()) {
+        for i in 0..domain.cardinality() {
+            let v = domain.value(i);
+            prop_assert_eq!(domain.index_of(&v), Some(i));
+        }
+    }
+
+    /// flat_index() and genome_at() are inverse bijections over the space.
+    #[test]
+    fn flat_index_bijection(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let g = space.random_genome(&mut rng);
+            let idx = space.flat_index(&g);
+            prop_assert!(idx < space.cardinality());
+            prop_assert_eq!(space.genome_at(idx), g);
+        }
+    }
+
+    /// decode() always produces values that re-encode to the same genome.
+    #[test]
+    fn decode_encode_round_trip(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = space.random_genome(&mut rng);
+        let dp = space.decode(&g);
+        let pairs: Vec<(&str, ParamValue)> =
+            dp.pairs().iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let g2 = space.genome_from_values(pairs).unwrap();
+        prop_assert_eq!(g2, g);
+    }
+
+    /// Mutation never leaves the space, at any rate.
+    #[test]
+    fn mutation_stays_in_space(
+        space in arb_space(),
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops: [Box<dyn MutationOp>; 2] =
+            [Box::new(UniformMutation::new(rate)), Box::new(StepMutation::new(rate, 3))];
+        for op in &ops {
+            let mut g = space.random_genome(&mut rng);
+            for gen in 0..16 {
+                op.mutate(&mut g, &space, &OpCtx::new(gen, 16), &mut rng);
+                prop_assert!(space.contains(&g), "{} left the space", op.name());
+            }
+        }
+    }
+
+    /// Crossover children are gene-wise permutations of their parents.
+    #[test]
+    fn crossover_conserves_gene_pool(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.random_genome(&mut rng);
+        let b = space.random_genome(&mut rng);
+        let ops: [Box<dyn CrossoverOp>; 3] = [
+            Box::new(OnePointCrossover),
+            Box::new(TwoPointCrossover),
+            Box::new(UniformCrossover::default()),
+        ];
+        for op in &ops {
+            let (ca, cb) = op.crossover(&a, &b, &space, &OpCtx::new(0, 1), &mut rng);
+            prop_assert!(space.contains(&ca));
+            prop_assert!(space.contains(&cb));
+            for i in 0..a.len() {
+                let parents = [a.gene_at(i), b.gene_at(i)];
+                let kids = [ca.gene_at(i), cb.gene_at(i)];
+                prop_assert!(
+                    kids == parents || kids == [parents[1], parents[0]],
+                    "{} lost genes at {}", op.name(), i
+                );
+            }
+        }
+    }
+
+    /// A full GA run is deterministic in its seed and its best_so_far curve
+    /// never regresses, on an arbitrary space with an arbitrary linear
+    /// fitness function.
+    #[test]
+    fn ga_run_invariants(space in arb_space(), seed in any::<u64>(), w in -5.0f64..5.0) {
+        let fitness = FnFitness::new(Direction::Minimize, move |g: &Genome| {
+            Some(g.genes().iter().enumerate().map(|(i, &v)| w * (i as f64 + 1.0) * f64::from(v)).sum())
+        });
+        let settings = GaSettings { generations: 12, ..GaSettings::default() };
+        let engine = GaEngine::new(&space, &fitness).with_settings(settings);
+        let r1 = engine.run(seed).unwrap();
+        let r2 = engine.run(seed).unwrap();
+        prop_assert_eq!(&r1.history, &r2.history);
+        prop_assert_eq!(&r1.best_genome, &r2.best_genome);
+        for pair in r1.history.windows(2) {
+            prop_assert!(pair[1].best_so_far <= pair[0].best_so_far);
+            prop_assert!(pair[1].distinct_evals >= pair[0].distinct_evals);
+        }
+        prop_assert!(space.contains(&r1.best_genome));
+    }
+}

@@ -1,0 +1,8 @@
+//! The CONNECT-style NoC generator: topologies and ASIC cost model.
+
+mod model;
+pub mod sim;
+mod topology;
+
+pub use model::NocModel;
+pub use topology::{Topology, TopologyStructure};

@@ -1,0 +1,525 @@
+//! Flit-level network simulation for CONNECT-style topologies.
+//!
+//! The paper's characterization runs "FPGA synthesis and/or simulations
+//! for each design instance"; the analytic [`super::NocModel`] covers the
+//! synthesis side, and this module covers the simulation side: a compact
+//! cycle-based, store-and-forward flit simulator over the topology graph,
+//! with shortest-path routing, per-channel capacity of one flit per cycle
+//! and round-robin channel arbitration. It measures average packet latency
+//! and delivered throughput under uniform random traffic, and locates the
+//! saturation point — the dynamic counterpart of the model's static peak
+//! bisection bandwidth.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::topology::Topology;
+
+/// A directed channel between two routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    from: usize,
+    to: usize,
+}
+
+/// The simulated network: routers, channels and routing tables.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    endpoints: usize,
+    edges: Vec<Edge>,
+    /// Outgoing edge indices per router.
+    out_edges: Vec<Vec<usize>>,
+    /// Router each endpoint attaches to.
+    attach: Vec<usize>,
+    /// `next_edges[router][dst_router]`: every minimal-distance edge
+    /// toward `dst_router` (empty when `router == dst_router`). Flits pick
+    /// among them at random (ECMP-style load balancing).
+    next_edges: Vec<Vec<Vec<usize>>>,
+}
+
+impl Network {
+    /// Builds the topology graph and shortest-path routing tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on endpoint counts [`Topology::structure`] rejects, and if
+    /// the topology graph fails to connect every endpoint pair (a bug
+    /// guard, not an expected outcome).
+    #[must_use]
+    pub fn build(topology: Topology, endpoints: usize) -> Network {
+        // Validates the endpoint count (panics on unsupported values).
+        let _ = topology.structure(endpoints);
+        let mut edges: Vec<Edge> = Vec::new();
+        fn both(edges: &mut Vec<Edge>, a: usize, b: usize) {
+            edges.push(Edge { from: a, to: b });
+            edges.push(Edge { from: b, to: a });
+        }
+
+        let routers;
+        let mut attach = Vec::with_capacity(endpoints);
+        match topology {
+            Topology::Ring | Topology::DoubleRing => {
+                routers = endpoints;
+                let lanes = if topology == Topology::DoubleRing { 2 } else { 1 };
+                for _ in 0..lanes {
+                    for r in 0..routers {
+                        both(&mut edges, r, (r + 1) % routers);
+                    }
+                }
+                attach.extend(0..endpoints);
+            }
+            Topology::ConcentratedRing | Topology::ConcentratedDoubleRing => {
+                routers = endpoints / 4;
+                let lanes =
+                    if topology == Topology::ConcentratedDoubleRing { 2 } else { 1 };
+                for _ in 0..lanes {
+                    for r in 0..routers {
+                        both(&mut edges, r, (r + 1) % routers);
+                    }
+                }
+                attach.extend((0..endpoints).map(|e| e / 4));
+            }
+            Topology::Mesh | Topology::Torus => {
+                routers = endpoints;
+                let side = (endpoints as f64).sqrt() as usize;
+                let id = |x: usize, y: usize| y * side + x;
+                for y in 0..side {
+                    for x in 0..side {
+                        if x + 1 < side {
+                            both(&mut edges, id(x, y), id(x + 1, y));
+                        }
+                        if y + 1 < side {
+                            both(&mut edges, id(x, y), id(x, y + 1));
+                        }
+                    }
+                }
+                if topology == Topology::Torus {
+                    for y in 0..side {
+                        both(&mut edges, id(side - 1, y), id(0, y));
+                    }
+                    for x in 0..side {
+                        both(&mut edges, id(x, side - 1), id(x, 0));
+                    }
+                }
+                attach.extend(0..endpoints);
+            }
+            Topology::FatTree | Topology::Butterfly => {
+                // log4(N) stages of N/4 radix-4 switches, connected by the
+                // base-4 digit-permutation butterfly pattern.
+                let per_stage = endpoints / 4;
+                let stages = {
+                    let mut s = 0;
+                    let mut n = endpoints;
+                    while n > 1 {
+                        n /= 4;
+                        s += 1;
+                    }
+                    s
+                };
+                routers = stages * per_stage;
+                let node = |stage: usize, idx: usize| stage * per_stage + idx;
+                for stage in 0..stages - 1 {
+                    // Between stage `stage` and `stage + 1`, vary base-4
+                    // digit `stage` of the switch index.
+                    let digit = 4usize.pow(stage as u32);
+                    for idx in 0..per_stage {
+                        let base = idx - (idx / digit % 4) * digit;
+                        for c in 0..4 {
+                            let peer = base + c * digit;
+                            if topology == Topology::FatTree {
+                                both(&mut edges, node(stage, idx), node(stage + 1, peer));
+                            } else {
+                                edges.push(Edge {
+                                    from: node(stage, idx),
+                                    to: node(stage + 1, peer),
+                                });
+                            }
+                        }
+                    }
+                }
+                if topology == Topology::Butterfly {
+                    // Unidirectional: traffic re-enters stage 0 after
+                    // ejecting at the last stage; model the wrap link.
+                    for idx in 0..per_stage {
+                        edges.push(Edge { from: node(stages - 1, idx), to: node(0, idx) });
+                    }
+                    // Endpoints inject at stage 0 and eject at the last
+                    // stage; attach them to stage-0 switches and treat the
+                    // matching last-stage switch as the delivery point via
+                    // the routing table below.
+                }
+                attach.extend((0..endpoints).map(|e| e / 4));
+            }
+        }
+
+        let mut out_edges = vec![Vec::new(); routers];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from].push(i);
+        }
+
+        // BFS per destination over reversed edges -> distance-decreasing
+        // next hops (lowest edge index wins, for determinism).
+        let mut in_edges = vec![Vec::new(); routers];
+        for (i, e) in edges.iter().enumerate() {
+            in_edges[e.to].push(i);
+        }
+        let mut next_edges = vec![vec![Vec::new(); routers]; routers];
+        for dst in 0..routers {
+            let mut dist = vec![u32::MAX; routers];
+            dist[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &ei in &in_edges[v] {
+                    let u = edges[ei].from;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+            for u in 0..routers {
+                if u == dst {
+                    continue;
+                }
+                assert!(
+                    dist[u] != u32::MAX,
+                    "{topology}: router {u} cannot reach {dst}"
+                );
+                for &ei in &out_edges[u] {
+                    let v = edges[ei].to;
+                    if dist[v] + 1 == dist[u] {
+                        next_edges[u][dst].push(ei);
+                    }
+                }
+            }
+        }
+
+        Network { topology, endpoints, edges, out_edges, attach, next_edges }
+    }
+
+    /// The simulated topology.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of routers in the graph.
+    #[must_use]
+    pub fn routers(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of unidirectional channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Hop distance between two endpoints' routers.
+    #[must_use]
+    pub fn hops(&self, src_endpoint: usize, dst_endpoint: usize) -> u32 {
+        let mut at = self.attach[src_endpoint];
+        let dst = self.attach[dst_endpoint];
+        let mut hops = 0;
+        while at != dst {
+            let e = self.next_edges[at][dst][0];
+            at = self.edges[e].to;
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Picks a minimal-path edge from `router` toward `dst`, spreading
+    /// load across equal-cost choices.
+    fn pick_edge(&self, router: usize, dst: usize, rng: &mut StdRng) -> usize {
+        let c = &self.next_edges[router][dst];
+        if c.len() == 1 {
+            c[0]
+        } else {
+            c[rng.random_range(0..c.len())]
+        }
+    }
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Per-endpoint injection probability (flits/cycle/endpoint).
+    pub injection_rate: f64,
+    /// Warmup cycles excluded from measurement.
+    pub warmup: u32,
+    /// Measured cycles.
+    pub measure: u32,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { injection_rate: 0.05, warmup: 500, measure: 2_000, seed: 0 }
+    }
+}
+
+/// Simulation measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Mean packet latency (cycles), injection to delivery.
+    pub avg_latency: f64,
+    /// Delivered flits per cycle per endpoint.
+    pub delivered_rate: f64,
+    /// Flits offered during the measurement window.
+    pub offered: u64,
+    /// Flits delivered during the measurement window.
+    pub delivered: u64,
+}
+
+/// A flit in flight.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    dst_router: usize,
+    injected_at: u64,
+    measured: bool,
+}
+
+/// Runs a uniform-random-traffic simulation over `network`.
+///
+/// Single-flit packets, store-and-forward, one flit per channel per cycle,
+/// round-robin arbitration via FIFO channel queues, infinite buffering
+/// (latency, not loss, signals congestion).
+#[must_use]
+pub fn simulate(network: &Network, config: &SimConfig) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = network.endpoints;
+    // One FIFO per channel, holding flits waiting to traverse it.
+    let mut queues: Vec<VecDeque<Flit>> = vec![VecDeque::new(); network.edges.len()];
+    let mut offered = 0u64;
+    let mut delivered = 0u64;
+    let mut latency_sum = 0u64;
+
+    let total = u64::from(config.warmup) + u64::from(config.measure);
+    for cycle in 0..total {
+        let measuring = cycle >= u64::from(config.warmup);
+        // Injection.
+        for src in 0..n {
+            if rng.random_bool(config.injection_rate.clamp(0.0, 1.0)) {
+                let dst = loop {
+                    let d = rng.random_range(0..n);
+                    if d != src {
+                        break d;
+                    }
+                };
+                if measuring {
+                    offered += 1;
+                }
+                let src_r = network.attach[src];
+                let dst_r = network.attach[dst];
+                if src_r == dst_r {
+                    // Same-router delivery: one hop through the crossbar.
+                    if measuring {
+                        delivered += 1;
+                        latency_sum += 1;
+                    }
+                    continue;
+                }
+                let e = network.pick_edge(src_r, dst_r, &mut rng);
+                queues[e].push_back(Flit {
+                    dst_router: dst_r,
+                    injected_at: cycle,
+                    measured: measuring,
+                });
+            }
+        }
+        // Channel traversal: one flit per channel per cycle.
+        let mut arrivals: Vec<(usize, Flit)> = Vec::new();
+        for (ei, q) in queues.iter_mut().enumerate() {
+            if let Some(f) = q.pop_front() {
+                arrivals.push((network.edges[ei].to, f));
+            }
+        }
+        for (router, flit) in arrivals {
+            if router == flit.dst_router {
+                if flit.measured {
+                    delivered += 1;
+                    latency_sum += cycle - flit.injected_at + 1;
+                }
+            } else {
+                let e = network.pick_edge(router, flit.dst_router, &mut rng);
+                queues[e].push_back(flit);
+            }
+        }
+    }
+
+    SimResult {
+        avg_latency: if delivered == 0 {
+            f64::NAN
+        } else {
+            latency_sum as f64 / delivered as f64
+        },
+        delivered_rate: delivered as f64 / f64::from(config.measure) / n as f64,
+        offered,
+        delivered,
+    }
+}
+
+/// Locates the saturation injection rate by bisection: the largest rate at
+/// which the network still delivers at least 95% of offered traffic within
+/// the simulated window.
+#[must_use]
+pub fn saturation_rate(network: &Network, seed: u64) -> f64 {
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for step in 0..8 {
+        let rate = (lo + hi) / 2.0;
+        let result = simulate(
+            network,
+            &SimConfig {
+                injection_rate: rate,
+                warmup: 500,
+                measure: 1_500,
+                seed: seed.wrapping_add(step),
+            },
+        );
+        let sustained = result.offered > 0
+            && result.delivered as f64 >= 0.95 * result.offered as f64;
+        if sustained {
+            lo = rate;
+        } else {
+            hi = rate;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_match_structural_arithmetic() {
+        for t in Topology::ALL {
+            let net = Network::build(t, 64);
+            let s = t.structure(64);
+            assert_eq!(net.routers(), s.routers, "{t}: router count");
+            // The wrap links added for the unidirectional butterfly are the
+            // only deviation from the structural channel count.
+            if t == Topology::Butterfly {
+                assert_eq!(net.channels(), s.channels + 16, "{t}: channels");
+            } else {
+                assert_eq!(net.channels(), s.channels, "{t}: channels");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_tables_reach_everywhere() {
+        for t in Topology::ALL {
+            let net = Network::build(t, 64);
+            // hops() loops forever on a broken table; bound it implicitly
+            // by the graph diameter.
+            let mut max_hops = 0;
+            for src in (0..64).step_by(7) {
+                for dst in (0..64).step_by(5) {
+                    if net.attach[src] != net.attach[dst] {
+                        max_hops = max_hops.max(net.hops(src, dst));
+                    }
+                }
+            }
+            assert!(max_hops >= 1);
+            assert!(max_hops <= 64, "{t}: diameter {max_hops}");
+        }
+    }
+
+    #[test]
+    fn mesh_hop_counts_are_manhattan() {
+        let net = Network::build(Topology::Mesh, 64);
+        // Endpoint e at router e, 8x8 grid.
+        assert_eq!(net.hops(0, 7), 7);
+        assert_eq!(net.hops(0, 56), 7);
+        assert_eq!(net.hops(0, 63), 14);
+        assert_eq!(net.hops(9, 18), 2);
+    }
+
+    #[test]
+    fn torus_wraparound_shortens_paths() {
+        let mesh = Network::build(Topology::Mesh, 64);
+        let torus = Network::build(Topology::Torus, 64);
+        assert_eq!(mesh.hops(0, 7), 7);
+        assert_eq!(torus.hops(0, 7), 1, "wraparound link");
+        assert_eq!(torus.hops(0, 63), 2);
+    }
+
+    #[test]
+    fn low_load_latency_tracks_hop_count() {
+        let net = Network::build(Topology::Mesh, 64);
+        let r = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
+        );
+        // 8x8 mesh uniform traffic: ~5.33 average hops, +1 ejection cycle.
+        assert!(
+            (5.0..8.0).contains(&r.avg_latency),
+            "zero-load latency {}",
+            r.avg_latency
+        );
+        // At 1% load everything is delivered.
+        assert!(r.delivered as f64 >= 0.95 * r.offered as f64);
+    }
+
+    #[test]
+    fn congestion_raises_latency() {
+        let net = Network::build(Topology::Ring, 64);
+        let light = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
+        );
+        let heavy = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.5, ..SimConfig::default() },
+        );
+        assert!(
+            heavy.avg_latency > 2.0 * light.avg_latency,
+            "no congestion: {} vs {}",
+            heavy.avg_latency,
+            light.avg_latency
+        );
+        assert!(heavy.delivered < heavy.offered, "ring cannot sustain 0.5");
+    }
+
+    #[test]
+    fn saturation_ordering_matches_bisection_ordering() {
+        let ring = saturation_rate(&Network::build(Topology::Ring, 64), 1);
+        let mesh = saturation_rate(&Network::build(Topology::Mesh, 64), 1);
+        let fat = saturation_rate(&Network::build(Topology::FatTree, 64), 1);
+        assert!(
+            ring < mesh && mesh < fat,
+            "saturation ordering broken: ring {ring:.3}, mesh {mesh:.3}, fat tree {fat:.3}"
+        );
+        // Uniform traffic bisection bounds: ring ~4/(64*0.5) = 0.125,
+        // mesh ~16/32 = 0.5; simulated saturation sits below the bound.
+        assert!(ring <= 0.14, "ring saturation {ring}");
+        assert!(mesh <= 0.55, "mesh saturation {mesh}");
+        assert!(fat > 0.4, "fat tree should sustain high load: {fat}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let net = Network::build(Topology::Torus, 64);
+        let cfg = SimConfig { injection_rate: 0.2, ..SimConfig::default() };
+        assert_eq!(simulate(&net, &cfg), simulate(&net, &cfg));
+    }
+
+    #[test]
+    fn concentrated_ring_delivers_local_traffic_fast() {
+        let net = Network::build(Topology::ConcentratedRing, 64);
+        // Endpoints 0..4 share a router: same-router traffic takes 1 cycle.
+        assert_eq!(net.attach[0], net.attach[3]);
+        let r = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.02, ..SimConfig::default() },
+        );
+        assert!(r.avg_latency < 10.0, "latency {}", r.avg_latency);
+    }
+}

@@ -1,0 +1,248 @@
+//! Network topologies of the CONNECT-style NoC generator.
+//!
+//! The paper's Figure 2 sweeps 64-endpoint CONNECT networks across eight
+//! topology families (different colors in the figure): ring, double ring,
+//! their concentrated variants, mesh, torus, fat tree and butterfly. This
+//! module captures each family's structural arithmetic: router count and
+//! radix, channel count, bisection channel count and average hop count.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A topology family, at a fixed endpoint count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Topology {
+    /// Single bidirectional ring, one endpoint per router.
+    Ring,
+    /// Two parallel bidirectional rings.
+    DoubleRing,
+    /// Ring with 4 endpoints concentrated per router.
+    ConcentratedRing,
+    /// Double ring with 4 endpoints per router.
+    ConcentratedDoubleRing,
+    /// 2-D mesh (√N × √N).
+    Mesh,
+    /// 2-D torus (√N × √N, wraparound links).
+    Torus,
+    /// Folded fat tree with full bisection bandwidth.
+    FatTree,
+    /// Unidirectional k-ary n-fly butterfly.
+    Butterfly,
+}
+
+impl Topology {
+    /// All families, in Figure 2's legend order.
+    pub const ALL: [Topology; 8] = [
+        Topology::ConcentratedRing,
+        Topology::ConcentratedDoubleRing,
+        Topology::Ring,
+        Topology::DoubleRing,
+        Topology::Mesh,
+        Topology::Torus,
+        Topology::FatTree,
+        Topology::Butterfly,
+    ];
+
+    /// Display name matching the figure's legend.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Ring => "Ring",
+            Topology::DoubleRing => "Double Ring",
+            Topology::ConcentratedRing => "Concentrated Ring",
+            Topology::ConcentratedDoubleRing => "Concentrated Double Ring",
+            Topology::Mesh => "Mesh",
+            Topology::Torus => "Torus",
+            Topology::FatTree => "Fat Tree",
+            Topology::Butterfly => "Butterfly",
+        }
+    }
+
+    /// Structural parameters for `endpoints` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `endpoints` is a power of four of at least 16 (the
+    /// concentrated, mesh and indirect families need it; 64 matches the
+    /// paper).
+    #[must_use]
+    pub fn structure(self, endpoints: usize) -> TopologyStructure {
+        assert!(
+            endpoints >= 16 && endpoints.is_power_of_two() && endpoints.ilog2().is_multiple_of(2),
+            "endpoints must be an even power of two >= 16, got {endpoints}"
+        );
+        let n = endpoints;
+        let side = (n as f64).sqrt() as usize; // √N, used by mesh/torus
+        match self {
+            Topology::Ring => TopologyStructure {
+                routers: n,
+                router_radix: 3, // 2 ring ports + 1 endpoint
+                channels: 2 * n, // n bidirectional ring links
+                bisection_channels: 4,
+                avg_hops: n as f64 / 4.0,
+            },
+            Topology::DoubleRing => TopologyStructure {
+                routers: n,
+                router_radix: 5, // 4 ring ports + 1 endpoint
+                channels: 4 * n,
+                bisection_channels: 8,
+                avg_hops: n as f64 / 4.0,
+            },
+            Topology::ConcentratedRing => {
+                let r = n / 4;
+                TopologyStructure {
+                    routers: r,
+                    router_radix: 6, // 2 ring + 4 endpoints
+                    channels: 2 * r,
+                    bisection_channels: 4,
+                    avg_hops: r as f64 / 4.0 + 1.0,
+                }
+            }
+            Topology::ConcentratedDoubleRing => {
+                let r = n / 4;
+                TopologyStructure {
+                    routers: r,
+                    router_radix: 8,
+                    channels: 4 * r,
+                    bisection_channels: 8,
+                    avg_hops: r as f64 / 4.0 + 1.0,
+                }
+            }
+            Topology::Mesh => TopologyStructure {
+                routers: n,
+                router_radix: 5,
+                channels: 2 * 2 * side * (side - 1),
+                bisection_channels: 2 * side,
+                avg_hops: 2.0 * side as f64 / 3.0,
+            },
+            Topology::Torus => TopologyStructure {
+                routers: n,
+                router_radix: 5,
+                channels: 2 * 2 * side * side,
+                bisection_channels: 4 * side,
+                avg_hops: side as f64 / 2.0,
+            },
+            Topology::FatTree => {
+                // Folded Clos from radix-4 building blocks: log4(N) levels of
+                // N/4 switches, full bisection.
+                let levels = (n as f64).log(4.0).ceil() as usize;
+                let per_level = n / 4;
+                TopologyStructure {
+                    routers: levels * per_level,
+                    router_radix: 8, // 4 down + 4 up
+                    // Inter-router channels only (endpoint links excluded,
+                    // matching the direct topologies' convention).
+                    channels: 2 * (levels - 1) * n,
+                    bisection_channels: n,
+                    avg_hops: 2.0 * levels as f64 * 0.75,
+                }
+            }
+            Topology::Butterfly => {
+                // Unidirectional radix-4 n-fly: log4(N) stages of N/4 switches.
+                let stages = (n as f64).log(4.0).ceil() as usize;
+                let per_stage = n / 4;
+                TopologyStructure {
+                    routers: stages * per_stage,
+                    router_radix: 4,
+                    channels: (stages - 1) * n,
+                    bisection_channels: n / 2,
+                    avg_hops: stages as f64,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Structural arithmetic of one topology instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStructure {
+    /// Number of routers.
+    pub routers: usize,
+    /// Network ports per router (endpoint ports included).
+    pub router_radix: usize,
+    /// Unidirectional inter-router channels.
+    pub channels: usize,
+    /// Unidirectional channels crossing the bisection cut.
+    pub bisection_channels: usize,
+    /// Average hop count under uniform random traffic.
+    pub avg_hops: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_ordering_matches_intuition_at_64() {
+        let bisect = |t: Topology| t.structure(64).bisection_channels;
+        assert!(bisect(Topology::Ring) < bisect(Topology::Mesh));
+        assert!(bisect(Topology::Mesh) < bisect(Topology::Torus));
+        assert!(bisect(Topology::Torus) < bisect(Topology::FatTree));
+        assert_eq!(bisect(Topology::Ring), 4);
+        assert_eq!(bisect(Topology::Mesh), 16);
+        assert_eq!(bisect(Topology::Torus), 32);
+        assert_eq!(bisect(Topology::FatTree), 64);
+        assert_eq!(bisect(Topology::Butterfly), 32);
+    }
+
+    #[test]
+    fn concentration_divides_router_count() {
+        assert_eq!(Topology::Ring.structure(64).routers, 64);
+        assert_eq!(Topology::ConcentratedRing.structure(64).routers, 16);
+        assert_eq!(Topology::ConcentratedDoubleRing.structure(64).routers, 16);
+    }
+
+    #[test]
+    fn mesh_and_torus_channel_counts() {
+        let mesh = Topology::Mesh.structure(64);
+        // 8x8 mesh: 2 dims * 8 rows * 7 links, bidirectional -> 224 channels.
+        assert_eq!(mesh.channels, 224);
+        let torus = Topology::Torus.structure(64);
+        assert_eq!(torus.channels, 256);
+        assert!(torus.avg_hops < mesh.avg_hops);
+    }
+
+    #[test]
+    fn indirect_networks_have_multiple_stages() {
+        let ft = Topology::FatTree.structure(64);
+        assert_eq!(ft.routers, 3 * 16);
+        let bf = Topology::Butterfly.structure(64);
+        assert_eq!(bf.routers, 3 * 16);
+        assert!(ft.channels > bf.channels, "fat tree is bidirectional");
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Topology::ALL {
+            assert!(!t.label().is_empty());
+            assert!(seen.insert(t.label()));
+            assert_eq!(t.to_string(), t.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even power of two")]
+    fn odd_endpoint_counts_are_rejected()
+    {
+        let _ = Topology::Mesh.structure(32);
+    }
+
+    #[test]
+    fn scaling_to_256_endpoints_works() {
+        for t in Topology::ALL {
+            let s = t.structure(256);
+            assert!(s.routers >= 16);
+            assert!(s.bisection_channels >= 4);
+            assert!(s.avg_hops > 0.0);
+        }
+    }
+}

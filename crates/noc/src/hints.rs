@@ -1,0 +1,168 @@
+//! Non-expert hint books for the router IP.
+//!
+//! For the NoC experiments the paper did *not* use expert hints: they were
+//! "estimated ... by synthesizing 80 designs and observing trends",
+//! equivalent to a knowledgeable user's gut intuition. These canned hint
+//! sets encode exactly that level of knowledge — coarse signs and rough
+//! importance, nothing the surrogate's fine structure would reveal. The
+//! automatic path ([`nautilus::estimate_hints`]) reproduces the estimation
+//! procedure itself; see the `hint_estimation` example.
+
+use nautilus::{Confidence, HintSet};
+use nautilus_ga::ParamValue;
+
+/// Non-expert hints for the *maximize Fmax* query (paper Figure 4).
+///
+/// Pipelining dominates frequency; wide datapaths, deep buffers and many
+/// VCs slow the clock; matrix allocators are the fastest of the three.
+///
+/// # Panics
+///
+/// Never panics; all hint values are statically in range.
+#[must_use]
+pub fn fmax_hints() -> HintSet {
+    HintSet::for_metric("fmax")
+        .importance("pipeline_stages", 90)
+        .expect("static hint in range")
+        .bias("pipeline_stages", 0.9)
+        .expect("static hint in range")
+        .importance("num_vcs", 70)
+        .expect("static hint in range")
+        .bias("num_vcs", -0.6)
+        .expect("static hint in range")
+        .importance("buffer_depth", 45)
+        .expect("static hint in range")
+        .bias("buffer_depth", -0.3)
+        .expect("static hint in range")
+        .importance("flit_width", 50)
+        .expect("static hint in range")
+        .bias("flit_width", -0.4)
+        .expect("static hint in range")
+        // A user who synthesized a handful of designs notices the allocator
+        // families order as wavefront < round-robin < matrix on frequency;
+        // the ordering is metric-ascending, so the bias along it is
+        // positive.
+        .importance("sa_alloc", 55)
+        .expect("static hint in range")
+        .ordering("sa_alloc", [2, 0, 1])
+        .bias("sa_alloc", 0.7)
+        .expect("static hint in range")
+        .importance("va_alloc", 60)
+        .expect("static hint in range")
+        .ordering("va_alloc", [2, 0, 1])
+        .bias("va_alloc", 0.7)
+        .expect("static hint in range")
+        .importance("speculation", 35)
+        .expect("static hint in range")
+        .target("speculation", ParamValue::Bool(false))
+        .expect("static hint in range")
+        .importance("buffer_type", 40)
+        .expect("static hint in range")
+        .target("buffer_type", ParamValue::Sym("lutram".into()))
+        .expect("static hint in range")
+        .confidence(Confidence::WEAK)
+        .build()
+}
+
+/// Non-expert hints for the *minimize LUTs* (area) query.
+///
+/// Buffer storage dominates: VCs × depth × width in LUTRAM mode. BRAM
+/// buffers move storage off the LUT budget.
+#[must_use]
+pub fn area_hints() -> HintSet {
+    HintSet::for_metric("luts")
+        .importance("num_vcs", 90)
+        .expect("static hint in range")
+        .bias("num_vcs", 0.8)
+        .expect("static hint in range")
+        .importance("buffer_depth", 85)
+        .expect("static hint in range")
+        .bias("buffer_depth", 0.7)
+        .expect("static hint in range")
+        .importance("flit_width", 80)
+        .expect("static hint in range")
+        .bias("flit_width", 0.7)
+        .expect("static hint in range")
+        .importance("buffer_type", 75)
+        .expect("static hint in range")
+        .target("buffer_type", ParamValue::Sym("bram".into()))
+        .expect("static hint in range")
+        .importance("pipeline_stages", 30)
+        .expect("static hint in range")
+        .bias("pipeline_stages", 0.3)
+        .expect("static hint in range")
+        .importance("speculation", 25)
+        .expect("static hint in range")
+        .target("speculation", ParamValue::Bool(false))
+        .expect("static hint in range")
+        .confidence(Confidence::WEAK)
+        .build()
+}
+
+/// Non-expert hints for the *minimize area-delay product* query (Figure 5).
+///
+/// The paper notes this query "also incorporates hints related to the
+/// importance and bias of IP parameters that affect area, such as
+/// virtual-channel buffer depth", on top of the frequency hints. ADP grows
+/// with LUTs and shrinks with Fmax, so the merge enters area hints with
+/// sign `+1` and frequency hints with sign `-1`.
+#[must_use]
+pub fn area_delay_hints() -> HintSet {
+    // The buffer_type targets conflict (area says BRAM, frequency says
+    // LUTRAM) and are rightly dropped by the merge: which storage wins the
+    // product depends on the rest of the configuration. The user only
+    // re-emphasizes buffer depth, which the paper calls out explicitly.
+    HintSet::merge("area_delay", &[(&area_hints(), 1.0), (&fmax_hints(), -1.0)])
+        .into_builder()
+        .importance("buffer_depth", 85)
+        .expect("static hint in range")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::swept_space;
+    use nautilus::ValueHint;
+
+    #[test]
+    fn hint_books_validate_against_the_swept_space() {
+        let space = swept_space();
+        assert!(fmax_hints().validate(&space).is_ok());
+        assert!(area_hints().validate(&space).is_ok());
+        assert!(area_delay_hints().validate(&space).is_ok());
+    }
+
+    #[test]
+    fn fmax_hints_prioritize_pipelining() {
+        let h = fmax_hints();
+        let stages = h.get("pipeline_stages").unwrap();
+        assert_eq!(stages.importance.unwrap().get(), 90);
+        match stages.value.as_ref().unwrap() {
+            ValueHint::Bias(b) => assert!(b.get() > 0.5),
+            other => panic!("expected bias, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn area_delay_merge_resolves_conflicting_biases() {
+        let h = area_delay_hints();
+        // num_vcs: area bias +0.8 (sign +1), fmax bias -0.6 (sign -1)
+        // -> merged (0.8 + 0.6) / 2 = 0.7: more VCs hurt ADP.
+        match h.get("num_vcs").unwrap().value.as_ref().unwrap() {
+            ValueHint::Bias(b) => assert!((b.get() - 0.7).abs() < 1e-12),
+            other => panic!("expected bias, got {other:?}"),
+        }
+        // pipeline_stages: area +0.3, fmax +0.9 with sign -1 -> (0.3 - 0.9)/2
+        // = -0.3: more stages mildly help ADP.
+        match h.get("pipeline_stages").unwrap().value.as_ref().unwrap() {
+            ValueHint::Bias(b) => assert!((b.get() + 0.3).abs() < 1e-12),
+            other => panic!("expected bias, got {other:?}"),
+        }
+        // Identical targets survive the merge.
+        assert!(matches!(
+            h.get("speculation").unwrap().value,
+            Some(ValueHint::Target(_))
+        ));
+    }
+}

@@ -1,0 +1,7 @@
+//! The virtual-channel router IP: parameter spaces and synthesis surrogate.
+
+mod model;
+mod space;
+
+pub use model::RouterModel;
+pub use space::{full_space, swept_space, SWEPT_PARAMS};

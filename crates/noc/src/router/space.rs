@@ -1,0 +1,149 @@
+//! Parameter spaces of the virtual-channel router IP.
+//!
+//! The paper's router is the Stanford open-source NoC router [Becker 2012],
+//! "a highly-parameterized state-of-the-art router IP block, which exposes
+//! 42 parameters"; its evaluation sweeps a 9-parameter sub-space of about
+//! 30,000 comparable design instances. [`swept_space`] reproduces that
+//! sub-space (27,648 points) and [`full_space`] the full 42-parameter
+//! surface (billions of points).
+
+use nautilus_ga::{ParamSpace, ParamSpaceBuilder};
+
+/// Names of the nine swept router parameters, in space order.
+pub const SWEPT_PARAMS: [&str; 9] = [
+    "num_vcs",
+    "buffer_depth",
+    "flit_width",
+    "pipeline_stages",
+    "sa_alloc",
+    "va_alloc",
+    "crossbar",
+    "speculation",
+    "buffer_type",
+];
+
+fn swept_params(b: ParamSpaceBuilder) -> ParamSpaceBuilder {
+    b.int_list("num_vcs", [1, 2, 4, 8])
+        .int_list("buffer_depth", [1, 2, 3, 4, 6, 8, 12, 16])
+        .pow2("flit_width", 4, 7) // 16..128 bits
+        .int("pipeline_stages", 1, 3, 1)
+        .choices("sa_alloc", ["round_robin", "matrix", "wavefront"])
+        .choices("va_alloc", ["round_robin", "matrix", "wavefront"])
+        .choices("crossbar", ["mux", "tristate"])
+        .flag("speculation")
+        .choices("buffer_type", ["lutram", "bram"])
+}
+
+/// The 9-parameter swept sub-space used for the characterized dataset
+/// (27,648 design points, matching the paper's "approximately 30,000").
+///
+/// ```
+/// let space = nautilus_noc::router::swept_space();
+/// assert_eq!(space.num_params(), 9);
+/// assert_eq!(space.cardinality(), 27_648);
+/// ```
+#[must_use]
+pub fn swept_space() -> ParamSpace {
+    swept_params(ParamSpace::builder()).build().expect("static space is valid")
+}
+
+/// The full 42-parameter router surface.
+///
+/// The nine swept parameters come first (so swept genomes prefix-embed),
+/// followed by 33 secondary micro-architecture knobs. The resulting design
+/// space has billions of points — the scale the paper's introduction
+/// motivates ("the design space of a single router already spans multiple
+/// billions of possible design points").
+///
+/// ```
+/// let space = nautilus_noc::router::full_space();
+/// assert_eq!(space.num_params(), 42);
+/// assert!(space.cardinality() > 1_000_000_000);
+/// ```
+#[must_use]
+pub fn full_space() -> ParamSpace {
+    swept_params(ParamSpace::builder())
+        // Datapath / topology-facing knobs.
+        .int("num_ports", 3, 8, 1)
+        .choices("routing_fn", ["dor_xy", "dor_yx", "west_first", "adaptive"])
+        .int("num_resource_classes", 1, 2, 1)
+        .int("num_message_classes", 1, 4, 1)
+        // Flow control.
+        .choices("flow_ctrl", ["credit", "on_off"])
+        .int("credit_delay", 0, 3, 1)
+        .flag("wait_for_tail_credit")
+        .int("max_payload_flits", 1, 8, 1)
+        // Input-queue management.
+        .choices("fb_mgmt", ["static", "dynamic"])
+        .flag("explicit_pipeline_register")
+        .flag("gate_buffer_write")
+        .flag("atomic_vc_allocation")
+        // Allocator micro-architecture details.
+        .choices("sw_arbiter", ["round_robin", "matrix"])
+        .choices("vc_arbiter", ["round_robin", "matrix"])
+        .int("sw_alloc_iterations", 1, 3, 1)
+        .flag("spec_mask_by_requests")
+        .choices("spec_type", ["conservative", "aggressive"])
+        // Crossbar / output path.
+        .flag("output_register")
+        .flag("dual_path_alloc")
+        .int("xbar_pipeline", 0, 1, 1)
+        // Error handling / reliability.
+        .flag("error_checking")
+        .choices("reset_type", ["async", "sync"])
+        .flag("ecc_links")
+        // Clocking and misc implementation knobs.
+        .flag("clock_gating")
+        .int("lookahead_depth", 0, 2, 1)
+        .flag("precompute_routing")
+        .flag("precompute_lar")
+        .choices("arbiter_encoding", ["onehot", "binary"])
+        .flag("elig_mask")
+        .int("packet_id_width", 0, 8, 4)
+        .flag("track_flits")
+        .flag("track_credits")
+        .flag("perf_counters")
+        .build()
+        .expect("static space is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swept_space_matches_paper_scale() {
+        let s = swept_space();
+        assert_eq!(s.num_params(), 9);
+        assert_eq!(s.cardinality(), 27_648);
+        for name in SWEPT_PARAMS {
+            assert!(s.id(name).is_some(), "missing parameter {name}");
+        }
+    }
+
+    #[test]
+    fn full_space_has_42_params_and_billions_of_points() {
+        let s = full_space();
+        assert_eq!(s.num_params(), 42);
+        assert!(
+            s.cardinality() > 1_000_000_000,
+            "only {} points",
+            s.cardinality()
+        );
+    }
+
+    #[test]
+    fn swept_params_prefix_embed_into_full_space() {
+        let swept = swept_space();
+        let full = full_space();
+        for (i, name) in SWEPT_PARAMS.iter().enumerate() {
+            assert_eq!(swept.id(name).map(|p| p.index()), Some(i));
+            assert_eq!(full.id(name).map(|p| p.index()), Some(i));
+            assert_eq!(
+                swept.param(swept.id(name).unwrap()).domain(),
+                full.param(full.id(name).unwrap()).domain(),
+                "domain mismatch for {name}"
+            );
+        }
+    }
+}

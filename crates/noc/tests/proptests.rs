@@ -1,0 +1,92 @@
+//! Property-based tests for the NoC substrate models.
+
+use nautilus_ga::Direction;
+use nautilus_noc::connect::{NocModel, Topology};
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::CostModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every swept router design synthesizes to sane, deterministic metrics.
+    #[test]
+    fn router_metrics_are_sane(seed in any::<u64>()) {
+        let model = RouterModel::swept();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let luts = model.catalog().require("luts").unwrap();
+        let fmax = model.catalog().require("fmax").unwrap();
+        let latency = model.catalog().require("latency").unwrap();
+        for _ in 0..16 {
+            let g = model.space().random_genome(&mut rng);
+            let m = model.evaluate(&g).expect("swept router points are feasible");
+            let again = model.evaluate(&g);
+            prop_assert_eq!(again.as_ref(), Some(&m), "non-deterministic");
+            prop_assert!(m.get(luts) >= 300.0, "LUTs {}", m.get(luts));
+            prop_assert!(m.get(luts) <= 40_000.0, "LUTs {}", m.get(luts));
+            prop_assert!(m.get(fmax) >= 55.0, "fmax {}", m.get(fmax));
+            prop_assert!(m.get(fmax) <= 400.0, "fmax {}", m.get(fmax));
+            prop_assert!((2.0..=6.0).contains(&m.get(latency)), "latency {}", m.get(latency));
+        }
+    }
+
+    /// The full 42-parameter model is total over its space.
+    #[test]
+    fn full_router_model_is_total(seed in any::<u64>()) {
+        let model = RouterModel::full();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let g = model.space().random_genome(&mut rng);
+            prop_assert!(model.evaluate(&g).is_some());
+        }
+    }
+
+    /// Topology structure invariants hold across endpoint scales.
+    #[test]
+    fn topology_structure_invariants(exp in 2u32..6) {
+        let endpoints = 1usize << (2 * exp); // 16, 64, 256, 1024
+        for t in Topology::ALL {
+            let s = t.structure(endpoints);
+            prop_assert!(s.routers > 0);
+            prop_assert!(s.router_radix >= 3);
+            prop_assert!(s.channels >= s.bisection_channels,
+                "{t}: {} channels < {} bisection", s.channels, s.bisection_channels);
+            prop_assert!(s.avg_hops >= 1.0);
+            // No router can terminate more links than its radix allows.
+            prop_assert!(s.channels <= s.routers * s.router_radix);
+        }
+    }
+
+    /// Network metrics scale coherently: a wider flit never lowers the
+    /// bisection bandwidth, all else equal.
+    #[test]
+    fn wider_flits_mean_more_bandwidth(seed in any::<u64>()) {
+        let model = NocModel::new(64);
+        let space = model.space();
+        let width = space.id("flit_width").unwrap();
+        let bw = model.catalog().require("bisection_gbps").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = space.random_genome(&mut rng);
+        let mut narrow = g.clone();
+        narrow.set_gene(width, 0);
+        let mut wide = g;
+        wide.set_gene(width, 4);
+        let b_narrow = model.evaluate(&narrow).unwrap().get(bw);
+        let b_wide = model.evaluate(&wide).unwrap().get(bw);
+        // 16x the wires at a mildly lower clock: at least 5x the bandwidth.
+        prop_assert!(b_wide > 5.0 * b_narrow, "{b_narrow} -> {b_wide}");
+    }
+}
+
+/// Deterministic regression: dataset-level figures stay stable.
+#[test]
+fn router_dataset_summary_is_stable() {
+    let model = RouterModel::swept();
+    let d = nautilus_synth::Dataset::characterize(&model, 8).unwrap();
+    assert_eq!(d.len(), 27_648);
+    let luts = nautilus_synth::MetricExpr::metric(d.catalog().require("luts").unwrap());
+    let (_, min_luts) = d.best(&luts, Direction::Minimize);
+    // Pin the exact surrogate output: any change to the cost model that
+    // shifts this value should be a conscious recalibration.
+    assert_eq!(min_luts, 851.0);
+}

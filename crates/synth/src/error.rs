@@ -1,0 +1,66 @@
+//! Error types for the synthesis substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by metric catalogs, datasets and job runners.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A metric name was looked up that the catalog does not define.
+    UnknownMetric(String),
+    /// Two metrics were declared with the same name.
+    DuplicateMetric(String),
+    /// A metric set was built with the wrong number of values.
+    ArityMismatch {
+        /// Values supplied.
+        got: usize,
+        /// Values the catalog expects.
+        expected: usize,
+    },
+    /// An operation requires a non-empty dataset.
+    EmptyDataset,
+    /// The design space is too large to characterize exhaustively.
+    SpaceTooLarge {
+        /// Cardinality of the offending space.
+        cardinality: u128,
+        /// Exhaustive-sweep limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::UnknownMetric(name) => write!(f, "unknown metric `{name}`"),
+            SynthError::DuplicateMetric(name) => write!(f, "duplicate metric name `{name}`"),
+            SynthError::ArityMismatch { got, expected } => {
+                write!(f, "metric set has {got} values but the catalog defines {expected}")
+            }
+            SynthError::EmptyDataset => write!(f, "dataset contains no feasible design points"),
+            SynthError::SpaceTooLarge { cardinality, limit } => write!(
+                f,
+                "space with {cardinality} points exceeds the exhaustive characterization limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, SynthError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(SynthError::UnknownMetric("luts".into()).to_string().contains("luts"));
+        assert!(SynthError::ArityMismatch { got: 2, expected: 3 }.to_string().contains('2'));
+        assert!(SynthError::SpaceTooLarge { cardinality: 10, limit: 5 }
+            .to_string()
+            .contains("10"));
+    }
+}

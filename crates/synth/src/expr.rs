@@ -1,0 +1,276 @@
+//! Metric expressions: the objective language of optimization queries.
+//!
+//! The paper optimizes raw metrics ("maximize frequency", "minimize LUTs")
+//! and *composite* metrics ("throughput in MSPS divided by the number of
+//! LUTs", "clock period × LUTs"). [`MetricExpr`] is a small arithmetic
+//! expression tree over catalog metrics that covers all of these.
+
+use std::fmt;
+use std::ops;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metric::{MetricCatalog, MetricId, MetricSet};
+
+/// An arithmetic expression over the metrics of one catalog.
+///
+/// ```
+/// use nautilus_synth::{MetricCatalog, MetricExpr};
+/// # fn main() -> Result<(), nautilus_synth::SynthError> {
+/// let catalog = MetricCatalog::new([("luts", "LUTs"), ("fmax", "MHz")])?;
+/// let luts = MetricExpr::metric(catalog.require("luts")?);
+/// let fmax = MetricExpr::metric(catalog.require("fmax")?);
+///
+/// // Area-delay product: clock period (ns) × LUTs.
+/// let adp = MetricExpr::constant(1000.0) / fmax * luts;
+///
+/// let m = catalog.set(vec![500.0, 200.0])?;
+/// assert_eq!(adp.eval(&m), 1000.0 / 200.0 * 500.0);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricExpr {
+    /// A raw metric value.
+    Metric(MetricId),
+    /// A constant.
+    Const(f64),
+    /// Sum of two sub-expressions.
+    Add(Box<MetricExpr>, Box<MetricExpr>),
+    /// Difference of two sub-expressions.
+    Sub(Box<MetricExpr>, Box<MetricExpr>),
+    /// Product of two sub-expressions.
+    Mul(Box<MetricExpr>, Box<MetricExpr>),
+    /// Quotient of two sub-expressions.
+    Div(Box<MetricExpr>, Box<MetricExpr>),
+}
+
+impl MetricExpr {
+    /// A raw metric leaf.
+    #[must_use]
+    pub fn metric(id: MetricId) -> Self {
+        MetricExpr::Metric(id)
+    }
+
+    /// A constant leaf.
+    #[must_use]
+    pub fn constant(v: f64) -> Self {
+        MetricExpr::Const(v)
+    }
+
+    /// Convenience: the ratio `a / b` (e.g. throughput per LUT).
+    #[must_use]
+    pub fn ratio(a: MetricExpr, b: MetricExpr) -> Self {
+        a / b
+    }
+
+    /// Convenience: `period_ns × area` from a frequency-in-MHz metric and an
+    /// area metric — the paper's Figure 5 objective.
+    #[must_use]
+    pub fn area_delay(fmax_mhz: MetricId, area: MetricId) -> Self {
+        MetricExpr::constant(1000.0) / MetricExpr::metric(fmax_mhz) * MetricExpr::metric(area)
+    }
+
+    /// Evaluates against one design's metric values.
+    ///
+    /// Division by zero follows IEEE semantics (yields ±inf or NaN); search
+    /// engines treat non-finite objective values as infeasible.
+    #[must_use]
+    pub fn eval(&self, m: &MetricSet) -> f64 {
+        match self {
+            MetricExpr::Metric(id) => m.get(*id),
+            MetricExpr::Const(c) => *c,
+            MetricExpr::Add(a, b) => a.eval(m) + b.eval(m),
+            MetricExpr::Sub(a, b) => a.eval(m) - b.eval(m),
+            MetricExpr::Mul(a, b) => a.eval(m) * b.eval(m),
+            MetricExpr::Div(a, b) => a.eval(m) / b.eval(m),
+        }
+    }
+
+    /// All metric ids referenced by the expression, in first-use order
+    /// without duplicates. Hint books use this to know which per-metric hint
+    /// vectors apply to a query.
+    #[must_use]
+    pub fn referenced_metrics(&self) -> Vec<MetricId> {
+        let mut out = Vec::new();
+        self.collect_metrics(&mut out);
+        out
+    }
+
+    fn collect_metrics(&self, out: &mut Vec<MetricId>) {
+        match self {
+            MetricExpr::Metric(id) => {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+            MetricExpr::Const(_) => {}
+            MetricExpr::Add(a, b)
+            | MetricExpr::Sub(a, b)
+            | MetricExpr::Mul(a, b)
+            | MetricExpr::Div(a, b) => {
+                a.collect_metrics(out);
+                b.collect_metrics(out);
+            }
+        }
+    }
+
+    /// Renders the expression with metric names from `catalog`.
+    #[must_use]
+    pub fn display_with<'a>(&'a self, catalog: &'a MetricCatalog) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, catalog }
+    }
+}
+
+/// Displays a [`MetricExpr`] with human-readable metric names.
+///
+/// Produced by [`MetricExpr::display_with`].
+#[derive(Debug)]
+pub struct ExprDisplay<'a> {
+    expr: &'a MetricExpr,
+    catalog: &'a MetricCatalog,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &MetricExpr, c: &MetricCatalog, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                MetricExpr::Metric(id) => f.write_str(c.def(*id).name()),
+                MetricExpr::Const(v) => write!(f, "{v}"),
+                MetricExpr::Add(a, b) => bin(a, "+", b, c, f),
+                MetricExpr::Sub(a, b) => bin(a, "-", b, c, f),
+                MetricExpr::Mul(a, b) => bin(a, "*", b, c, f),
+                MetricExpr::Div(a, b) => bin(a, "/", b, c, f),
+            }
+        }
+        fn bin(
+            a: &MetricExpr,
+            op: &str,
+            b: &MetricExpr,
+            c: &MetricCatalog,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            f.write_str("(")?;
+            go(a, c, f)?;
+            write!(f, " {op} ")?;
+            go(b, c, f)?;
+            f.write_str(")")
+        }
+        go(self.expr, self.catalog, f)
+    }
+}
+
+impl From<MetricId> for MetricExpr {
+    fn from(id: MetricId) -> Self {
+        MetricExpr::Metric(id)
+    }
+}
+
+impl From<f64> for MetricExpr {
+    fn from(v: f64) -> Self {
+        MetricExpr::Const(v)
+    }
+}
+
+impl ops::Add for MetricExpr {
+    type Output = MetricExpr;
+    fn add(self, rhs: MetricExpr) -> MetricExpr {
+        MetricExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for MetricExpr {
+    type Output = MetricExpr;
+    fn sub(self, rhs: MetricExpr) -> MetricExpr {
+        MetricExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for MetricExpr {
+    type Output = MetricExpr;
+    fn mul(self, rhs: MetricExpr) -> MetricExpr {
+        MetricExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Div for MetricExpr {
+    type Output = MetricExpr;
+    fn div(self, rhs: MetricExpr) -> MetricExpr {
+        MetricExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (MetricCatalog, MetricSet) {
+        let c = MetricCatalog::new([("luts", "LUTs"), ("fmax", "MHz"), ("msps", "MSPS")]).unwrap();
+        let m = c.set(vec![1000.0, 150.0, 600.0]).unwrap();
+        (c, m)
+    }
+
+    #[test]
+    fn leaves_evaluate() {
+        let (c, m) = fixture();
+        assert_eq!(MetricExpr::metric(c.id("fmax").unwrap()).eval(&m), 150.0);
+        assert_eq!(MetricExpr::constant(2.5).eval(&m), 2.5);
+    }
+
+    #[test]
+    fn operator_overloads_compose() {
+        let (c, m) = fixture();
+        let luts = MetricExpr::metric(c.id("luts").unwrap());
+        let msps = MetricExpr::metric(c.id("msps").unwrap());
+        let tpl = msps / luts.clone();
+        assert!((tpl.eval(&m) - 0.6).abs() < 1e-12);
+        let sum = luts.clone() + MetricExpr::constant(24.0);
+        assert_eq!(sum.eval(&m), 1024.0);
+        let diff = luts - MetricExpr::constant(1.0);
+        assert_eq!(diff.eval(&m), 999.0);
+    }
+
+    #[test]
+    fn area_delay_product_matches_definition() {
+        let (c, m) = fixture();
+        let adp = MetricExpr::area_delay(c.id("fmax").unwrap(), c.id("luts").unwrap());
+        // period = 1000/150 ns, ADP = period * 1000 LUTs.
+        assert!((adp.eval(&m) - (1000.0 / 150.0) * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn referenced_metrics_dedupes_in_order() {
+        let (c, _) = fixture();
+        let luts = c.id("luts").unwrap();
+        let fmax = c.id("fmax").unwrap();
+        let e = (MetricExpr::metric(fmax) * MetricExpr::metric(luts))
+            / (MetricExpr::metric(fmax) + MetricExpr::constant(1.0));
+        assert_eq!(e.referenced_metrics(), vec![fmax, luts]);
+    }
+
+    #[test]
+    fn division_by_zero_is_non_finite() {
+        let (c, _) = fixture();
+        let m = c.set(vec![0.0, 0.0, 0.0]).unwrap();
+        let tpl = MetricExpr::metric(c.id("msps").unwrap())
+            / MetricExpr::metric(c.id("luts").unwrap());
+        assert!(tpl.eval(&m).is_nan());
+        let inv = MetricExpr::constant(1.0) / MetricExpr::metric(c.id("luts").unwrap());
+        assert!(inv.eval(&m).is_infinite());
+    }
+
+    #[test]
+    fn display_uses_metric_names() {
+        let (c, _) = fixture();
+        let adp = MetricExpr::area_delay(c.id("fmax").unwrap(), c.id("luts").unwrap());
+        assert_eq!(adp.display_with(&c).to_string(), "((1000 / fmax) * luts)");
+    }
+
+    #[test]
+    fn conversions_from_leaves() {
+        let (c, m) = fixture();
+        let e: MetricExpr = c.id("luts").unwrap().into();
+        assert_eq!(e.eval(&m), 1000.0);
+        let k: MetricExpr = 3.0f64.into();
+        assert_eq!(k.eval(&m), 3.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The synthesis-job runner: a caching, accounting front-end to a cost model.
+//!
+//! Every search strategy evaluates through a [`SynthJobRunner`]. The runner
+//! memoizes results (re-visiting a previously synthesized design is free,
+//! as in the paper's methodology) and accounts both the number of distinct
+//! synthesis jobs and the *simulated* EDA tool time they would have cost.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use nautilus_ga::Genome;
+
+use crate::metric::MetricSet;
+use crate::model::CostModel;
+
+/// Counter snapshot of a [`SynthJobRunner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JobStats {
+    /// Distinct feasible design points synthesized.
+    pub jobs: u64,
+    /// Distinct infeasible design points attempted.
+    pub infeasible: u64,
+    /// Lookups served from the cache.
+    pub cache_hits: u64,
+    /// Accumulated simulated EDA tool time for all jobs, in seconds.
+    pub simulated_tool_secs: u64,
+}
+
+impl JobStats {
+    /// Simulated tool time as a [`Duration`].
+    #[must_use]
+    pub fn simulated_tool_time(&self) -> Duration {
+        Duration::from_secs(self.simulated_tool_secs)
+    }
+}
+
+/// A thread-safe caching evaluator over a [`CostModel`].
+///
+/// ```
+/// use nautilus_synth::{SynthJobRunner, CostModel};
+/// # use nautilus_ga::{ParamSpace, Genome};
+/// # struct M { space: ParamSpace, catalog: nautilus_synth::MetricCatalog }
+/// # impl CostModel for M {
+/// #     fn name(&self) -> &str { "m" }
+/// #     fn space(&self) -> &ParamSpace { &self.space }
+/// #     fn catalog(&self) -> &nautilus_synth::MetricCatalog { &self.catalog }
+/// #     fn evaluate(&self, g: &Genome) -> Option<nautilus_synth::MetricSet> {
+/// #         Some(self.catalog.set(vec![f64::from(g.gene_at(0))]).unwrap())
+/// #     }
+/// # }
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let model = M {
+/// #     space: ParamSpace::builder().int("x", 0, 3, 1).build()?,
+/// #     catalog: nautilus_synth::MetricCatalog::new([("v", "")])?,
+/// # };
+/// let runner = SynthJobRunner::new(&model);
+/// let g = Genome::from_genes(vec![2]);
+/// runner.evaluate(&g);
+/// runner.evaluate(&g); // cache hit: no new job
+/// assert_eq!(runner.stats().jobs, 1);
+/// assert_eq!(runner.stats().cache_hits, 1);
+/// # Ok(()) }
+/// ```
+pub struct SynthJobRunner<'m> {
+    model: &'m dyn CostModel,
+    cache: RwLock<HashMap<Genome, Option<MetricSet>>>,
+    stats: Mutex<JobStats>,
+}
+
+impl<'m> SynthJobRunner<'m> {
+    /// Creates a runner with an empty cache.
+    #[must_use]
+    pub fn new(model: &'m dyn CostModel) -> Self {
+        SynthJobRunner {
+            model,
+            cache: RwLock::new(HashMap::new()),
+            stats: Mutex::new(JobStats::default()),
+        }
+    }
+
+    /// The underlying cost model.
+    #[must_use]
+    pub fn model(&self) -> &'m dyn CostModel {
+        self.model
+    }
+
+    /// Evaluates `genome`, synthesizing on a cache miss.
+    ///
+    /// Returns `None` for infeasible design points.
+    pub fn evaluate(&self, genome: &Genome) -> Option<MetricSet> {
+        if let Some(cached) = self.cache.read().get(genome) {
+            self.stats.lock().cache_hits += 1;
+            return cached.clone();
+        }
+        let result = self.model.evaluate(genome);
+        let mut cache = self.cache.write();
+        // Double-checked: another thread may have inserted concurrently.
+        if let Some(cached) = cache.get(genome) {
+            self.stats.lock().cache_hits += 1;
+            return cached.clone();
+        }
+        cache.insert(genome.clone(), result.clone());
+        drop(cache);
+        let mut stats = self.stats.lock();
+        match &result {
+            Some(_) => {
+                stats.jobs += 1;
+                stats.simulated_tool_secs += self.model.synth_time(genome).as_secs();
+            }
+            None => stats.infeasible += 1,
+        }
+        result
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> JobStats {
+        *self.stats.lock()
+    }
+
+    /// Number of distinct feasible jobs run so far (the paper's
+    /// "# designs evaluated").
+    #[must_use]
+    pub fn distinct_jobs(&self) -> u64 {
+        self.stats.lock().jobs
+    }
+
+    /// Number of memoized entries (feasible and infeasible).
+    #[must_use]
+    pub fn cached_points(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+impl std::fmt::Debug for SynthJobRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthJobRunner")
+            .field("model", &self.model.name())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testing::BowlModel;
+
+    #[test]
+    fn distinct_jobs_counted_once() {
+        let model = BowlModel::new(0.0).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        let g = Genome::from_genes(vec![2, 3]);
+        for _ in 0..5 {
+            assert!(runner.evaluate(&g).is_some());
+        }
+        let s = runner.stats();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(runner.cached_points(), 1);
+    }
+
+    #[test]
+    fn infeasible_points_tracked_separately_and_cost_no_tool_time() {
+        let model = BowlModel::new(0.0).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        let bad = Genome::from_genes(vec![7, 0]);
+        assert!(runner.evaluate(&bad).is_none());
+        assert!(runner.evaluate(&bad).is_none());
+        let s = runner.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.infeasible, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.simulated_tool_secs, 0);
+    }
+
+    #[test]
+    fn simulated_tool_time_accumulates() {
+        let model = BowlModel::new(0.0).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        for x in 0..5u32 {
+            runner.evaluate(&Genome::from_genes(vec![x, x]));
+        }
+        let s = runner.stats();
+        assert_eq!(s.jobs, 5);
+        // Each job simulates 5-45 minutes of tool time.
+        assert!(s.simulated_tool_time() >= Duration::from_secs(5 * 5 * 60));
+        assert!(s.simulated_tool_time() <= Duration::from_secs(5 * 45 * 60));
+    }
+
+    #[test]
+    fn concurrent_evaluation_counts_each_point_once() {
+        let model = BowlModel::new(0.05).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        crossbeam::scope(|scope| {
+            for t in 0..8 {
+                let runner = &runner;
+                scope.spawn(move |_| {
+                    for i in 0..100u32 {
+                        // All threads hammer the same 20 points.
+                        let g = Genome::from_genes(vec![(i + t) % 5, i % 4]);
+                        runner.evaluate(&g);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = runner.stats();
+        // 5 x values x 4 y values = 20 distinct points.
+        assert_eq!(s.jobs, 20);
+        assert_eq!(
+            u64::from(runner.cached_points() as u32),
+            20,
+            "cache holds exactly the distinct points"
+        );
+        assert_eq!(s.cache_hits, 8 * 100 - 20);
+    }
+}

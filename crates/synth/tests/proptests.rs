@@ -1,0 +1,139 @@
+//! Property-based tests for the synthesis substrate: metric expressions
+//! and dataset rank/percentile queries.
+
+use nautilus_ga::{Direction, Genome, ParamSpace};
+use nautilus_synth::{CostModel, Dataset, MetricCatalog, MetricExpr, MetricSet};
+use proptest::prelude::*;
+
+/// A linear-ish model over a small 3-D grid, for dataset properties.
+#[derive(Debug)]
+struct Grid {
+    space: ParamSpace,
+    catalog: MetricCatalog,
+    w: [f64; 3],
+}
+
+impl Grid {
+    fn new(w: [f64; 3]) -> Self {
+        Grid {
+            space: ParamSpace::builder()
+                .int("a", 0, 7, 1)
+                .int("b", 0, 7, 1)
+                .int("c", 0, 7, 1)
+                .build()
+                .expect("static space"),
+            catalog: MetricCatalog::new([("m0", "u"), ("m1", "u")]).expect("static catalog"),
+            w,
+        }
+    }
+}
+
+impl CostModel for Grid {
+    fn name(&self) -> &str {
+        "grid"
+    }
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+        let v: f64 = g
+            .genes()
+            .iter()
+            .zip(self.w)
+            .map(|(&x, w)| w * f64::from(x))
+            .sum();
+        Some(self.catalog.set(vec![v, 100.0 - v]).expect("arity"))
+    }
+}
+
+/// Arbitrary small metric expression over a 2-metric catalog.
+fn arb_expr(depth: u32) -> BoxedStrategy<MetricExpr> {
+    let catalog = MetricCatalog::new([("m0", "u"), ("m1", "u")]).expect("static catalog");
+    let m0 = catalog.require("m0").expect("m0");
+    let m1 = catalog.require("m1").expect("m1");
+    let leaf = prop_oneof![
+        Just(MetricExpr::metric(m0)),
+        Just(MetricExpr::metric(m1)),
+        (-10.0f64..10.0).prop_map(MetricExpr::constant),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (inner.clone(), inner, 0u8..4).prop_map(|(a, b, op)| match op {
+            0 => a + b,
+            1 => a - b,
+            2 => a * b,
+            _ => a / b,
+        })
+    })
+    .boxed()
+}
+
+proptest! {
+    /// Expression evaluation is a pure function of the metric values.
+    #[test]
+    fn expr_eval_is_deterministic(expr in arb_expr(4), v0 in -50.0f64..50.0, v1 in -50.0f64..50.0) {
+        let catalog = MetricCatalog::new([("m0", "u"), ("m1", "u")]).unwrap();
+        let m = catalog.set(vec![v0, v1]).unwrap();
+        let a = expr.eval(&m);
+        let b = expr.eval(&m);
+        prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+    }
+
+    /// Constant-only expressions reference no metrics; others reference a
+    /// subset of the catalog.
+    #[test]
+    fn referenced_metrics_is_a_catalog_subset(expr in arb_expr(4)) {
+        let refs = expr.referenced_metrics();
+        prop_assert!(refs.len() <= 2);
+        for r in refs {
+            prop_assert!(r.index() < 2);
+        }
+    }
+
+    /// Dataset extremes, percentiles and thresholds are mutually
+    /// consistent for any model weights.
+    #[test]
+    fn dataset_rank_queries_are_consistent(
+        w0 in 0.5f64..5.0,
+        w1 in 0.5f64..5.0,
+        w2 in 0.5f64..5.0,
+        frac in 0.01f64..0.5,
+    ) {
+        let model = Grid::new([w0, w1, w2]);
+        let d = Dataset::characterize(&model, 2).unwrap();
+        let m0 = MetricExpr::metric(d.catalog().require("m0").unwrap());
+        for dir in [Direction::Minimize, Direction::Maximize] {
+            let (_, best) = d.best(&m0, dir);
+            let (_, worst) = d.worst(&m0, dir);
+            prop_assert!(!dir.is_better(worst, best));
+            prop_assert_eq!(d.quality_pct(&m0, dir, best), 100.0);
+            prop_assert!((d.normalized_score(&m0, dir, best) - 100.0).abs() < 1e-9);
+            prop_assert!(d.normalized_score(&m0, dir, worst).abs() < 1e-9);
+
+            // The top-`frac` threshold admits ~frac of the dataset.
+            let t = d.top_fraction_threshold(&m0, dir, frac);
+            let n = d.count_reaching(&m0, dir, t);
+            let observed = n as f64 / d.len() as f64;
+            prop_assert!(observed >= frac * 0.99, "threshold too tight: {observed} < {frac}");
+            // Ties can push the count above the ideal fraction, but the
+            // count just below the threshold must be smaller than asked.
+            prop_assert!(
+                d.expected_random_draws(&m0, dir, t).unwrap() <= 1.0 / frac * 1.01 + 1.0
+            );
+        }
+    }
+
+    /// quality_pct is monotone: improving the value never lowers the
+    /// percentile.
+    #[test]
+    fn quality_pct_is_monotone(w0 in 0.5f64..5.0, v in 0.0f64..60.0, delta in 0.0f64..20.0) {
+        let model = Grid::new([w0, 1.0, 1.0]);
+        let d = Dataset::characterize(&model, 2).unwrap();
+        let m0 = MetricExpr::metric(d.catalog().require("m0").unwrap());
+        let better = d.quality_pct(&m0, Direction::Minimize, v);
+        let worse = d.quality_pct(&m0, Direction::Minimize, v + delta);
+        prop_assert!(better >= worse);
+    }
+}

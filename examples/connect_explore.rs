@@ -1,0 +1,86 @@
+//! Explore the CONNECT-style network design space (the paper's Figure 2
+//! motivation): characterize all 64-endpoint networks, summarize the
+//! topology families, then answer a *constrained* query — "the most
+//! bandwidth within an area and power budget" — with Nautilus.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example connect_explore`
+
+use nautilus::{estimate_hints, Confidence, ConstraintOp, EstimateConfig, Nautilus, Query};
+use nautilus_ga::Direction;
+use nautilus_noc::connect::{NocModel, Topology};
+use nautilus_synth::{Dataset, MetricExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = NocModel::new(64);
+    let dataset = Dataset::characterize(&model, 4)?;
+    let area = MetricExpr::metric(dataset.catalog().require("area_mm2")?);
+    let power = MetricExpr::metric(dataset.catalog().require("power_mw")?);
+    let bw = MetricExpr::metric(dataset.catalog().require("bisection_gbps")?);
+
+    println!("{} 64-endpoint network configurations characterized\n", dataset.len());
+    println!("{:<26} {:>12} {:>12} {:>14}", "topology family", "mm^2", "mW", "Gbps");
+    for topo in Topology::ALL {
+        let (mut n, mut a, mut p, mut b) = (0usize, 0.0, 0.0, 0.0);
+        for (g, m) in dataset.iter() {
+            if model.topology_of(g) == topo {
+                n += 1;
+                a += area.eval(m);
+                p += power.eval(m);
+                b += bw.eval(m);
+            }
+        }
+        let nf = n as f64;
+        println!(
+            "{:<26} {:>12.2} {:>12.0} {:>14.0}",
+            topo.label(),
+            a / nf,
+            p / nf,
+            b / nf
+        );
+    }
+
+    // Constrained query: max bandwidth within 20 mm^2 and 8 W.
+    let query = Query::maximize("bandwidth_in_budget", bw.clone())
+        .with_constraint(area.clone(), ConstraintOp::Le, 20.0)
+        .with_constraint(power.clone(), ConstraintOp::Le, 8_000.0);
+    println!("\nquery: {}", query.describe(dataset.catalog()));
+
+    // No expert hints for this composite scenario: estimate them.
+    let est = estimate_hints(&model, &query, EstimateConfig::default(), 99)?;
+    let outcome = Nautilus::new(&model).run_guided(
+        &query,
+        &est.hints,
+        Some(Confidence::STRONG),
+        99,
+    )?;
+
+    let winner = dataset.space().decode(&outcome.best_genome);
+    println!(
+        "\nNautilus found {:.0} Gbps within budget after {} synthesis jobs \
+         ({} spent estimating hints)",
+        outcome.best_value,
+        outcome.total_evals(),
+        est.jobs.jobs,
+    );
+    println!("  {winner}");
+
+    // Sanity: how good is that against the ground truth?
+    let (g_best, truth) = {
+        let mut best: Option<(f64, &nautilus_ga::Genome)> = None;
+        for (g, m) in dataset.iter() {
+            if let Some(v) = query.objective(m) {
+                if best.is_none_or(|(b, _)| v > b) {
+                    best = Some((v, g));
+                }
+            }
+        }
+        let (v, g) = best.expect("some design fits the budget");
+        (g, v)
+    };
+    println!(
+        "ground truth within budget: {truth:.0} Gbps at {} (quality {:.1}%)",
+        dataset.space().decode(g_best),
+        dataset.quality_pct(&bw, Direction::Maximize, outcome.best_value),
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! The paper's non-expert path, end to end: estimate hints for a metric by
+//! synthesizing a small sample of designs ("80 designs, less than 0.3% of
+//! the design space") and observing trends, then verify the estimated
+//! hints accelerate the search like author-provided ones.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example hint_estimation`
+
+use nautilus::{
+    compare, estimate_hints, CompareConfig, Confidence, EstimateConfig, Query, Strategy,
+};
+use nautilus_ga::{Direction, GaSettings};
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, Dataset, MetricExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = RouterModel::swept();
+    let luts = MetricExpr::metric(model.catalog().require("luts")?);
+    let query = Query::minimize("luts", luts.clone());
+
+    // Step 1: spend a small synthesis budget probing trends.
+    let config = EstimateConfig { budget: 80, ..EstimateConfig::default() };
+    let estimated = estimate_hints(&model, &query, config, 11)?;
+    println!(
+        "estimated hints for `{}` from {} synthesis jobs (space: {} designs):\n",
+        query.name(),
+        estimated.jobs.jobs,
+        model.space().cardinality()
+    );
+    println!("{:<18} {:>8} {:>12}", "parameter", "bias", "importance");
+    for (name, bias, importance) in &estimated.diagnostics {
+        println!("{name:<18} {bias:>+8.2} {importance:>12}");
+    }
+
+    // Step 2: do the estimated hints actually help? Replay against the
+    // characterized dataset and compare with the baseline GA.
+    let dataset = Dataset::characterize(&model, 8)?;
+    let replay = dataset.as_model();
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("estimated-hints", estimated.hints.clone(), Some(Confidence::STRONG)),
+    ];
+    let cmp = compare(
+        &replay,
+        &query,
+        &strategies,
+        &CompareConfig {
+            runs: 20,
+            seed: 5,
+            settings: GaSettings::default(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        },
+    )?;
+
+    let (_, best) = dataset.best(&luts, Direction::Minimize);
+    let threshold = 1.01 * best;
+    println!("\nconvergence to within 1% of the smallest router ({best:.0} LUTs):");
+    for r in &cmp.results {
+        let s = r.reach_stats(Direction::Minimize, threshold);
+        println!(
+            "  {:<16} {}/{} runs, mean jobs {}",
+            r.name,
+            s.reached,
+            s.total,
+            s.mean_evals.map_or("n/a".to_owned(), |e| format!("{e:.0}")),
+        );
+    }
+    if let Some(ratio) = cmp.evals_ratio("baseline", "estimated-hints", threshold) {
+        println!(
+            "\nhints estimated from {} probe designs make the search {ratio:.1}x cheaper",
+            estimated.jobs.jobs
+        );
+    }
+    Ok(())
+}

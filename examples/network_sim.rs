@@ -1,0 +1,54 @@
+//! Dynamic network performance: drive the flit-level simulator across the
+//! CONNECT topology families and compare simulated saturation against the
+//! static peak-bisection-bandwidth metric the paper's Figure 2 plots.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example network_sim`
+
+use nautilus_noc::connect::sim::{saturation_rate, simulate, Network, SimConfig};
+use nautilus_noc::connect::Topology;
+
+fn main() {
+    println!(
+        "{:<26} {:>8} {:>10} {:>14} {:>14} {:>12}",
+        "topology", "routers", "channels", "0-load lat", "lat @ 0.08", "saturation"
+    );
+    for topo in Topology::ALL {
+        let net = Network::build(topo, 64);
+        let zero_load = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
+        );
+        let loaded = simulate(
+            &net,
+            &SimConfig { injection_rate: 0.08, ..SimConfig::default() },
+        );
+        let saturation = saturation_rate(&net, 7);
+        println!(
+            "{:<26} {:>8} {:>10} {:>11.1} cy {:>11.1} cy {:>9.3} f/c",
+            topo.label(),
+            net.routers(),
+            net.channels(),
+            zero_load.avg_latency,
+            loaded.avg_latency,
+            saturation,
+        );
+    }
+
+    println!(
+        "\nlatency-vs-load sweep for an 8x8 mesh (uniform random traffic):\n{:>12} {:>12} {:>12}",
+        "inj (f/c)", "latency", "delivered"
+    );
+    let mesh = Network::build(Topology::Mesh, 64);
+    for rate in [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let r = simulate(&mesh, &SimConfig { injection_rate: rate, ..SimConfig::default() });
+        println!(
+            "{rate:>12.2} {:>9.1} cy {:>12.3}",
+            r.avg_latency, r.delivered_rate
+        );
+    }
+    println!(
+        "\nThe static model's bisection ordering (ring < mesh < torus < fat tree)\n\
+         re-emerges dynamically as the saturation ordering above — the\n\
+         simulation side of the paper's \"synthesis and/or simulations\"."
+    );
+}

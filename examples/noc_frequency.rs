@@ -1,0 +1,62 @@
+//! The paper's Figure 4 scenario as a library user would run it:
+//! characterize the router sub-space once, then compare the baseline GA
+//! against weakly and strongly guided Nautilus on a maximize-frequency
+//! query, averaged over repeated runs.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example noc_frequency`
+
+use nautilus::{compare, CompareConfig, Confidence, Query, Strategy};
+use nautilus_ga::{Direction, GaSettings};
+use nautilus_noc::hints::fmax_hints;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{Dataset, MetricExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline characterization (the paper used a 200-core cluster for two
+    // weeks; the surrogate takes well under a second).
+    let model = RouterModel::swept();
+    let dataset = Dataset::characterize(&model, 8)?;
+    println!("characterized {} feasible router designs", dataset.len());
+
+    let fmax = MetricExpr::metric(dataset.catalog().require("fmax")?);
+    let (best_genome, best) = dataset.best(&fmax, Direction::Maximize);
+    println!("ground-truth best: {best:.1} MHz at {}", dataset.space().decode(best_genome));
+
+    // Replay searches against the dataset, like the paper's methodology.
+    let replay = dataset.as_model();
+    let query = Query::maximize("fmax", fmax.clone());
+    let hints = fmax_hints();
+    let strategies = [
+        Strategy::baseline(),
+        Strategy::guided("nautilus-weak", hints.clone(), Some(Confidence::WEAK)),
+        Strategy::guided("nautilus-strong", hints, Some(Confidence::STRONG)),
+    ];
+    let config = CompareConfig {
+        runs: 20,
+        seed: 4,
+        settings: GaSettings::default(),
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    let cmp = compare(&replay, &query, &strategies, &config)?;
+
+    println!("\n{}", cmp.render_table(10));
+
+    let threshold = 0.99 * best;
+    println!("convergence to within 1% of the best ({threshold:.1} MHz):");
+    for r in &cmp.results {
+        let stats = r.reach_stats(Direction::Maximize, threshold);
+        println!(
+            "  {:<16} reached in {}/{} runs, mean {} synthesis jobs",
+            r.name,
+            stats.reached,
+            stats.total,
+            stats
+                .mean_evals
+                .map_or("n/a".to_owned(), |e| format!("{e:.0}")),
+        );
+    }
+    if let Some(ratio) = cmp.evals_ratio("baseline", "nautilus-strong", threshold) {
+        println!("\nbaseline needs {ratio:.1}x the synthesis jobs of strongly guided Nautilus");
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Multi-objective extension: approximate the area-vs-bandwidth Pareto
+//! front of 64-endpoint CONNECT networks with an ε-constraint sweep of
+//! Nautilus queries, and compare it against the exact front computed from
+//! the characterized dataset.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example pareto_front`
+
+use nautilus::{dataset_front, dominates, epsilon_constraint_front, Objective};
+use nautilus_ga::Direction;
+use nautilus_noc::connect::NocModel;
+use nautilus_synth::{Dataset, MetricExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = NocModel::new(64);
+    let dataset = Dataset::characterize(&model, 4)?;
+    let objectives = vec![
+        Objective::new(
+            "bisection_gbps",
+            MetricExpr::metric(dataset.catalog().require("bisection_gbps")?),
+            Direction::Maximize,
+        ),
+        Objective::new(
+            "area_mm2",
+            MetricExpr::metric(dataset.catalog().require("area_mm2")?),
+            Direction::Minimize,
+        ),
+    ];
+
+    // Ground truth from the full characterization.
+    let exact = dataset_front(&dataset, &objectives);
+    println!("exact Pareto front: {} of {} designs", exact.len(), dataset.len());
+
+    // Approximation: a handful of constrained Nautilus searches.
+    let (approx, jobs) = epsilon_constraint_front(&model, &objectives, None, 8, 2024)?;
+    println!(
+        "approximated front: {} points from {} synthesis jobs ({:.1}% of the space)\n",
+        approx.len(),
+        jobs.jobs,
+        100.0 * jobs.jobs as f64 / dataset.len() as f64,
+    );
+
+    println!("{:>14} {:>10}   design", "Gbps", "mm^2");
+    let mut sorted = approx.clone();
+    sorted.sort_by(|a, b| a.values[1].partial_cmp(&b.values[1]).expect("finite areas"));
+    for p in &sorted {
+        println!(
+            "{:>14.0} {:>10.2}   {}",
+            p.values[0],
+            p.values[1],
+            dataset.space().decode(&p.genome)
+        );
+    }
+
+    // Quality: how many approximated points are dominated by the exact
+    // front (lower is better; 0 means every point is truly optimal)?
+    let dominated = approx
+        .iter()
+        .filter(|p| exact.iter().any(|q| dominates(&q.values, &p.values, &objectives)))
+        .count();
+    println!(
+        "\n{}/{} approximated points are strictly dominated by the exact front",
+        dominated,
+        approx.len()
+    );
+    println!(
+        "note: on this deliberately tiny demo space (720 designs) the sweep costs more \n         than exhaustive search — the paper's point exactly: modeling a whole Pareto \n         front is expensive, answering one query at a time is cheap. On the router's \n         27,648-point space the same sweep touches only a few percent."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: tune a NoC router IP's parameters automatically.
+//!
+//! An "IP user" wants the fastest router configuration without
+//! understanding the 9 swept micro-architecture parameters. The IP author
+//! shipped hints with the generator; Nautilus does the rest.
+//!
+//! Run with: `cargo run --release -p nautilus-bench --example quickstart`
+
+use nautilus::{Confidence, Nautilus, Query};
+use nautilus_noc::hints::fmax_hints;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, MetricExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The IP generator's synthesis backend (a surrogate for XST + Virtex-6).
+    let model = RouterModel::swept();
+    println!(
+        "router IP: {} parameters, {} possible configurations",
+        model.space().num_params(),
+        model.space().cardinality()
+    );
+
+    // The user's request: "give me the fastest router".
+    let fmax = MetricExpr::metric(model.catalog().require("fmax")?);
+    let query = Query::maximize("fmax", fmax);
+
+    // Baseline: an oblivious GA (paper Section 2).
+    let engine = Nautilus::new(&model);
+    let baseline = engine.run_baseline(&query, 2015)?;
+
+    // Nautilus: the same GA guided by the IP author's hints (Section 3).
+    let guided = engine.run_guided(&query, &fmax_hints(), Some(Confidence::STRONG), 2015)?;
+
+    println!("\n              best Fmax   synthesis jobs   simulated EDA time");
+    for run in [&baseline, &guided] {
+        println!(
+            "{:<12} {:>8.1} MHz   {:>14} {:>15.1} h",
+            run.strategy,
+            run.best_value,
+            run.total_evals(),
+            run.jobs.simulated_tool_time().as_secs_f64() / 3600.0,
+        );
+    }
+
+    println!("\nbest design found by Nautilus:");
+    println!("  {}", model.space().decode(&guided.best_genome));
+    println!(
+        "\nguided search reached {:.1} MHz using {} fewer synthesis jobs",
+        guided.best_value,
+        baseline.total_evals().saturating_sub(guided.total_evals()),
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Smoke tests of the full experiment harness: every figure regenerates at
+//! the quick scale with well-formed headlines and CSV artifacts.
+
+use nautilus_bench::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, render_table_a, Scale};
+
+fn all_reports() -> Vec<nautilus_bench::ExperimentReport> {
+    let scale = Scale::quick();
+    vec![
+        fig1(),
+        fig2(),
+        fig3(scale),
+        fig4(scale),
+        fig5(scale),
+        fig6(scale),
+        fig7(scale),
+    ]
+}
+
+#[test]
+fn every_figure_regenerates_with_headlines_and_csv() {
+    let reports = all_reports();
+    assert_eq!(reports.len(), 7);
+    for r in &reports {
+        assert!(!r.headlines.is_empty(), "{} has no headlines", r.id);
+        assert!(!r.csv.is_empty(), "{} writes no CSV", r.id);
+        for h in &r.headlines {
+            assert!(!h.paper.is_empty(), "{}: empty paper value", r.id);
+            assert!(!h.measured.is_empty(), "{}: empty measured value", r.id);
+        }
+        for (name, body) in &r.csv {
+            assert!(name.ends_with(".csv"), "{}: odd artifact name {name}", r.id);
+            let mut lines = body.lines();
+            let header = lines.next().expect("csv has a header");
+            let cols = header.split(',').count();
+            assert!(cols >= 2, "{}: csv header too narrow", r.id);
+            for (i, line) in lines.enumerate() {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "{}: ragged csv row {} in {name}",
+                    r.id,
+                    i + 1
+                );
+            }
+        }
+        // Reports render without panicking and name themselves.
+        let text = r.to_string();
+        assert!(text.contains(r.id));
+    }
+    let table = render_table_a(&reports);
+    for r in &reports {
+        if !r.headlines.is_empty() {
+            assert!(table.contains(r.id), "table A misses {}", r.id);
+        }
+    }
+}
+
+#[test]
+fn figure_search_experiments_preserve_strategy_order_and_win() {
+    // Quick-scale statistical sanity: in every search figure, the guided
+    // strategies' final mean best must be at least as good as the
+    // baseline's (allowing noise slack), matching the paper's ordering.
+    let scale = Scale::quick();
+    let fig4 = fig4(scale);
+    let last = fig4.csv[0]
+        .1
+        .lines()
+        .last()
+        .expect("csv has rows")
+        .split(',')
+        .map(str::to_owned)
+        .collect::<Vec<_>>();
+    // Columns: gen, baseline_evals, baseline_best, weak_evals, weak_best,
+    // strong_evals, strong_best. Fmax is maximized.
+    let base: f64 = last[2].parse().unwrap();
+    let strong: f64 = last[6].parse().unwrap();
+    assert!(
+        strong >= base - 5.0,
+        "strong guidance regressed final quality: {strong} vs {base}"
+    );
+}
+
+#[test]
+fn ablations_regenerate_at_quick_scale() {
+    let scale = Scale::quick();
+    let r = nautilus_bench::abl_wrong_hints(scale);
+    assert_eq!(r.id, "abl-wrong-hints");
+    assert!(r.headlines.len() >= 4);
+    let r = nautilus_bench::abl_operators(scale);
+    assert_eq!(r.headlines.len(), 3);
+    assert!(r.csv[0].0.ends_with(".csv"));
+}
+
+#[test]
+fn quick_and_paper_scales_share_structure() {
+    let q = fig3(Scale::quick());
+    assert_eq!(q.headlines.len(), 3);
+    assert!(q.csv[0].0.contains("fig3"));
+}

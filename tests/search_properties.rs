@@ -1,0 +1,157 @@
+//! Property-based tests over the full search stack: for arbitrary seeds,
+//! confidences and randomly-constructed (but valid) hint sets, searches
+//! must uphold their invariants.
+
+use nautilus::{Confidence, HintSet, Nautilus, Query};
+use nautilus_fft::FftModel;
+use nautilus_ga::GaSettings;
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, MetricExpr};
+use proptest::prelude::*;
+
+fn settings() -> GaSettings {
+    GaSettings { generations: 10, ..GaSettings::default() }
+}
+
+/// A strategy producing an arbitrary *valid* hint set for the router space.
+fn arb_router_hints() -> impl Strategy<Value = HintSet> {
+    let space = RouterModel::swept();
+    let names: Vec<String> =
+        space.space().params().iter().map(|p| p.name().to_owned()).collect();
+    let cards: Vec<usize> = space.space().params().iter().map(|p| p.cardinality()).collect();
+    let per_param = (any::<bool>(), 1u8..=100, -1.0f64..=1.0, any::<bool>(), 0.5f64..=1.0);
+    (
+        proptest::collection::vec(per_param, names.len()),
+        0.0f64..=1.0,
+    )
+        .prop_map(move |(entries, conf)| {
+            let mut b = HintSet::for_metric("prop");
+            for (i, (enabled, imp, bias, use_target, decay)) in entries.iter().enumerate() {
+                if !enabled {
+                    continue;
+                }
+                b = b.importance(&names[i], *imp).expect("in range");
+                b = b.decay(&names[i], *decay).expect("in range");
+                if *use_target {
+                    // Target the first domain value (always valid).
+                    let space = RouterModel::swept();
+                    let id = space.space().id(&names[i]).expect("name valid");
+                    let v = space.space().param(id).domain().value(0);
+                    b = b.target(&names[i], v).expect("no bias set");
+                } else {
+                    let _ = cards[i];
+                    b = b.bias(&names[i], *bias).expect("in range");
+                }
+            }
+            b.confidence(Confidence::new(conf).expect("in range")).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid hint set produces a well-formed, deterministic search.
+    #[test]
+    fn arbitrary_hints_never_break_the_search(hints in arb_router_hints(), seed in any::<u64>()) {
+        let model = RouterModel::swept();
+        let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
+        let query = Query::maximize("fmax", fmax);
+        let engine = Nautilus::new(&model).with_settings(settings());
+        let a = engine.run_guided(&query, &hints, None, seed).unwrap();
+        let b = engine.run_guided(&query, &hints, None, seed).unwrap();
+        prop_assert_eq!(&a, &b, "same seed must reproduce");
+        prop_assert!(model.space().contains(&a.best_genome));
+        prop_assert!(a.best_value.is_finite());
+        for w in a.trace.windows(2) {
+            prop_assert!(w[1].best_so_far >= w[0].best_so_far - 1e-9);
+            prop_assert!(w[1].evals >= w[0].evals);
+        }
+        prop_assert_eq!(a.trace.last().unwrap().evals, a.jobs.jobs);
+    }
+
+    /// Confidence sweeps smoothly between baseline-like and directed
+    /// behaviour without breaking anything.
+    #[test]
+    fn any_confidence_is_legal(conf in 0.0f64..=1.0, seed in any::<u64>()) {
+        let model = FftModel::new();
+        let luts = MetricExpr::metric(model.catalog().require("luts").unwrap());
+        let query = Query::minimize("luts", luts);
+        let hints = nautilus_fft::hints::min_luts_hints();
+        let outcome = Nautilus::new(&model)
+            .with_settings(settings())
+            .run_guided(&query, &hints, Some(Confidence::new(conf).unwrap()), seed)
+            .unwrap();
+        prop_assert!(outcome.best_value > 0.0);
+        // The search never reports an infeasible design as the winner.
+        prop_assert!(model.evaluate(&outcome.best_genome).is_some());
+    }
+
+    /// The FFT model's feasibility predicate and the search agree: every
+    /// design the search ever ranks best is elaborable.
+    #[test]
+    fn winners_are_always_elaborable(seed in any::<u64>()) {
+        let model = FftModel::new();
+        let tpl = MetricExpr::metric(model.catalog().require("throughput").unwrap())
+            / MetricExpr::metric(model.catalog().require("luts").unwrap());
+        let query = Query::maximize("tpl", tpl);
+        let outcome = Nautilus::new(&model)
+            .with_settings(settings())
+            .run_baseline(&query, seed)
+            .unwrap();
+        let cfg = nautilus_fft::FftConfig::decode(model.space(), &outcome.best_genome);
+        prop_assert!(cfg.is_feasible());
+    }
+}
+
+/// Domain sanity outside proptest: every hint class round-trips its range
+/// bounds exactly once (regression guard for the validated newtypes).
+#[test]
+fn hint_range_bounds() {
+    assert!(nautilus::Importance::new(1).is_ok());
+    assert!(nautilus::Importance::new(100).is_ok());
+    assert!(nautilus::Bias::new(-1.0).is_ok());
+    assert!(nautilus::Bias::new(1.0).is_ok());
+    assert!(nautilus::Decay::new(0.0).is_ok());
+    assert!(nautilus::Decay::new(1.0).is_ok());
+    assert!(nautilus::Confidence::new(0.0).is_ok());
+    assert!(nautilus::Confidence::new(1.0).is_ok());
+}
+
+/// Spot check: targets must be domain members for every shipped space.
+#[test]
+fn shipped_targets_are_domain_members() {
+    let router = RouterModel::swept();
+    for hints in [
+        nautilus_noc::hints::fmax_hints(),
+        nautilus_noc::hints::area_hints(),
+        nautilus_noc::hints::area_delay_hints(),
+    ] {
+        hints.validate(router.space()).unwrap();
+    }
+    let fft = FftModel::new();
+    for hints in [
+        nautilus_fft::hints::min_luts_hints(),
+        nautilus_fft::hints::throughput_per_lut_hints(),
+        nautilus_fft::hints::bias_only_hints(1),
+        nautilus_fft::hints::bias_only_hints(2),
+    ] {
+        hints.validate(fft.space()).unwrap();
+    }
+}
+
+/// The direction flip is symmetric: maximizing a metric and minimizing its
+/// negation must find designs of the same quality.
+#[test]
+fn direction_symmetry() {
+    let model = RouterModel::swept();
+    let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
+    let maximize = Query::maximize("fmax", fmax.clone());
+    let minimize =
+        Query::minimize("neg_fmax", MetricExpr::constant(0.0) - fmax);
+    let engine = Nautilus::new(&model).with_settings(settings());
+    let a = engine.run_baseline(&maximize, 31).unwrap();
+    let b = engine.run_baseline(&minimize, 31).unwrap();
+    // Identical seeds and equivalent objectives walk identical paths.
+    assert_eq!(a.best_genome, b.best_genome);
+    assert!((a.best_value + b.best_value).abs() < 1e-9);
+}
