@@ -40,8 +40,8 @@ fn bench_mutation(c: &mut Criterion) {
         );
     });
 
-    let guided = GuidedMutation::resolve(&hints(), &space, Direction::Maximize)
-        .expect("hints resolve");
+    let guided =
+        GuidedMutation::resolve(&hints(), &space, Direction::Maximize).expect("hints resolve");
     group.bench_function("nautilus_guided_rate_0.1", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         let genome = space.random_genome(&mut rng);

@@ -56,9 +56,7 @@ fn bench_fig4(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(
-                engine
-                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
-                    .expect("runs"),
+                engine.run_guided(&query, &hints, Some(Confidence::STRONG), seed).expect("runs"),
             )
         });
     });
@@ -87,9 +85,7 @@ fn bench_fig5(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(
-                engine
-                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
-                    .expect("runs"),
+                engine.run_guided(&query, &hints, Some(Confidence::STRONG), seed).expect("runs"),
             )
         });
     });
@@ -115,9 +111,7 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(
-                engine
-                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
-                    .expect("runs"),
+                engine.run_guided(&query, &hints, Some(Confidence::STRONG), seed).expect("runs"),
             )
         });
     });
@@ -144,9 +138,7 @@ fn bench_fig7(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(
-                engine
-                    .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
-                    .expect("runs"),
+                engine.run_guided(&query, &hints, Some(Confidence::STRONG), seed).expect("runs"),
             )
         });
     });

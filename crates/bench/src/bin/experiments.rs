@@ -3,12 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--no-csv] [fig1 fig2 ... | all]
+//! experiments [--quick] [--no-csv] [--telemetry DIR] [fig1 fig2 ... | all]
 //! ```
 //!
 //! Prints each experiment's paper-vs-measured headlines and data table,
 //! writes the plotted series as CSV into `results/`, and finishes with
 //! "Table A", the aggregate of all in-text convergence-cost claims.
+//!
+//! With `--telemetry DIR` (or the `NAUTILUS_TELEMETRY` environment
+//! variable) it additionally captures an exemplar baseline/guided run pair
+//! with full search telemetry: a JSONL event stream plus an aggregated
+//! run-report JSON per run, written into DIR.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -30,14 +35,23 @@ const ABLATIONS: [&str; 6] = [
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_dir = match args.iter().position(|a| a == "--telemetry") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--telemetry needs a directory argument");
+                return ExitCode::FAILURE;
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            Some(dir)
+        }
+        None => std::env::var("NAUTILUS_TELEMETRY").ok().filter(|d| !d.is_empty()),
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let no_csv = args.iter().any(|a| a == "--no-csv");
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     if wanted.is_empty() {
         wanted = ALL.to_vec();
     }
@@ -112,5 +126,24 @@ fn main() -> ExitCode {
     }
 
     println!("{}", render_table_a(&reports));
+
+    if let Some(dir) = telemetry_dir {
+        match nautilus_bench::capture_telemetry(Path::new(&dir), 0xDAC_2015) {
+            Ok(artifacts) => {
+                for a in artifacts {
+                    println!(
+                        "captured {} telemetry: {} + {}",
+                        a.strategy,
+                        a.events_path.display(),
+                        a.report_path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("could not capture telemetry into {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

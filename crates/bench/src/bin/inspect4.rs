@@ -6,7 +6,12 @@ fn main() {
     let (_, best) = d.best(&fmax, Direction::Maximize);
     for frac in [0.97, 0.98, 0.99, 0.995] {
         let n = d.count_reaching(&fmax, Direction::Maximize, frac * best);
-        println!("within {:.1}% of best ({:.1} MHz): {} designs (random: {:.0} draws)",
-            (1.0-frac)*100.0, frac*best, n, d.len() as f64 / n as f64);
+        println!(
+            "within {:.1}% of best ({:.1} MHz): {} designs (random: {:.0} draws)",
+            (1.0 - frac) * 100.0,
+            frac * best,
+            n,
+            d.len() as f64 / n as f64
+        );
     }
 }

@@ -20,8 +20,7 @@ fn threads() -> usize {
 pub fn router_dataset() -> &'static Dataset {
     static DATASET: OnceLock<Dataset> = OnceLock::new();
     DATASET.get_or_init(|| {
-        Dataset::characterize(&RouterModel::swept(), threads())
-            .expect("router space characterizes")
+        Dataset::characterize(&RouterModel::swept(), threads()).expect("router space characterizes")
     })
 }
 
@@ -37,8 +36,7 @@ pub fn fft_dataset() -> &'static Dataset {
 pub fn connect_dataset() -> &'static Dataset {
     static DATASET: OnceLock<Dataset> = OnceLock::new();
     DATASET.get_or_init(|| {
-        Dataset::characterize(&NocModel::new(64), threads())
-            .expect("connect space characterizes")
+        Dataset::characterize(&NocModel::new(64), threads()).expect("connect space characterizes")
     })
 }
 

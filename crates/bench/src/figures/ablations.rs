@@ -17,8 +17,8 @@
 //!   hill climbing and random sampling.
 
 use nautilus::{
-    compare, estimate_hints, AnnealConfig, Confidence, EstimateConfig, ParamHint, Query,
-    Strategy, ValueHint,
+    compare, estimate_hints, AnnealConfig, Confidence, EstimateConfig, ParamHint, Query, Strategy,
+    ValueHint,
 };
 use nautilus_fft::hints::min_luts_hints;
 use nautilus_ga::Direction;
@@ -38,13 +38,10 @@ fn reach_line(
     paper: &str,
     label: &str,
 ) -> Headline {
-    let stats = cmp
-        .result(name)
-        .expect("strategy ran")
-        .reach_stats(cmp.direction, threshold);
-    let measured = stats.censored_mean_evals.map_or("n/a".to_owned(), |e| {
-        format!("{e:.0} jobs ({}/{})", stats.reached, stats.total)
-    });
+    let stats = cmp.result(name).expect("strategy ran").reach_stats(cmp.direction, threshold);
+    let measured = stats
+        .censored_mean_evals
+        .map_or("n/a".to_owned(), |e| format!("{e:.0} jobs ({}/{})", stats.reached, stats.total));
     Headline::new(label.to_owned(), paper.to_owned(), measured)
 }
 
@@ -62,22 +59,15 @@ pub fn abl_hint_classes(scale: Scale) -> ExperimentReport {
     let query = Query::minimize("luts", luts.clone());
 
     let full = min_luts_hints();
-    let importance_only =
-        full.map_hints(|_, h| Some(ParamHint { value: None, ..h.clone() }));
+    let importance_only = full.map_hints(|_, h| Some(ParamHint { value: None, ..h.clone() }));
     let bias_only = full.map_hints(|_, h| match &h.value {
-        Some(ValueHint::Bias(_)) => Some(ParamHint {
-            importance: None,
-            decay: None,
-            ..h.clone()
-        }),
+        Some(ValueHint::Bias(_)) => Some(ParamHint { importance: None, decay: None, ..h.clone() }),
         _ => None,
     });
     let target_only = full.map_hints(|_, h| match &h.value {
-        Some(ValueHint::Target(_)) => Some(ParamHint {
-            importance: None,
-            decay: None,
-            ..h.clone()
-        }),
+        Some(ValueHint::Target(_)) => {
+            Some(ParamHint { importance: None, decay: None, ..h.clone() })
+        }
         _ => None,
     });
 
@@ -253,9 +243,8 @@ pub fn abl_decay(scale: Scale) -> ExperimentReport {
     let luts = MetricExpr::metric(d.catalog().require("luts").expect("router metric"));
     let query = Query::minimize("luts", luts.clone());
 
-    let with_decay =
-        estimate_hints(&model_direct, &query, EstimateConfig::default(), 0xAB_04)
-            .expect("estimation succeeds");
+    let with_decay = estimate_hints(&model_direct, &query, EstimateConfig::default(), 0xAB_04)
+        .expect("estimation succeeds");
     let no_decay = estimate_hints(
         &model_direct,
         &query,

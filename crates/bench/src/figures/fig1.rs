@@ -47,11 +47,7 @@ pub fn fig1() -> ExperimentReport {
                 "~60 – ~200",
                 format!("{:.0} – {:.0}", fs.min, fs.max),
             ),
-            Headline::new(
-                "area/frequency rank correlation",
-                "negative",
-                format!("{rho:.2}"),
-            ),
+            Headline::new("area/frequency rank correlation", "negative", format!("{rho:.2}")),
         ],
         table,
         csv: vec![("fig1_router_scatter.csv".into(), csv)],

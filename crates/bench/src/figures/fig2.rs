@@ -124,11 +124,7 @@ mod tests {
     fn fig2_report_covers_all_families() {
         let r = fig2();
         for family in nautilus_noc::connect::Topology::ALL {
-            assert!(
-                r.table.contains(family.label()),
-                "missing family {}",
-                family.label()
-            );
+            assert!(r.table.contains(family.label()), "missing family {}", family.label());
         }
         assert_eq!(r.headlines[0].measured, "8");
     }

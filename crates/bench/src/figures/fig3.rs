@@ -47,14 +47,9 @@ pub fn fig3(scale: Scale) -> ExperimentReport {
         let scores: Vec<f64> = cmp
             .results
             .iter()
-            .map(|r| {
-                d.normalized_score(&luts, Direction::Minimize, r.averaged[i].mean_best_so_far)
-            })
+            .map(|r| d.normalized_score(&luts, Direction::Minimize, r.averaged[i].mean_best_so_far))
             .collect();
-        csv.push_str(&format!(
-            "{i},{:.3},{:.3},{:.3}\n",
-            scores[0], scores[1], scores[2]
-        ));
+        csv.push_str(&format!("{i},{:.3},{:.3},{:.3}\n", scores[0], scores[1], scores[2]));
         if i % 5 == 0 || i + 1 == gens {
             table.push_str(&format!(
                 "{:<6} {:>16.2} {:>16.2} {:>16.2}\n",
@@ -108,14 +103,10 @@ mod tests {
         assert_eq!(r.id, "fig3");
         assert_eq!(r.headlines.len(), 3);
         // CSV has one row per generation plus a header.
-        assert_eq!(
-            r.csv[0].1.lines().count(),
-            Scale::quick().generations as usize + 1 + 1
-        );
+        assert_eq!(r.csv[0].1.lines().count(), Scale::quick().generations as usize + 1 + 1);
         // Scores are valid percentages and mostly increasing for baseline.
         let last = r.csv[0].1.lines().last().unwrap().to_owned();
-        let cols: Vec<f64> =
-            last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        let cols: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
         for s in &cols {
             assert!((0.0..=100.0).contains(s), "score {s}");
         }

@@ -45,9 +45,8 @@ pub fn fig4(scale: Scale) -> ExperimentReport {
     };
     let evals = |name: &str| {
         let s = stats(name);
-        s.censored_mean_evals.map_or("n/a".to_owned(), |e| {
-            format!("{e:.0} ({}/{})", s.reached, s.total)
-        })
+        s.censored_mean_evals
+            .map_or("n/a".to_owned(), |e| format!("{e:.0} ({}/{})", s.reached, s.total))
     };
     let ratio_strong = cmp.evals_ratio("baseline", "nautilus-strong", threshold);
     let ratio_weak = cmp.evals_ratio("baseline", "nautilus-weak", threshold);

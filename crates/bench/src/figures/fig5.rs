@@ -53,13 +53,9 @@ pub fn fig5(scale: Scale) -> ExperimentReport {
     let threshold = 1.02 * best; // within 2% of the optimal ADP
     let ratio = cmp.evals_ratio("baseline", "nautilus", threshold);
     let evals = |name: &str| {
-        let s = cmp
-            .result(name)
-            .expect("strategy ran")
-            .reach_stats(Direction::Minimize, threshold);
-        s.censored_mean_evals.map_or("n/a".to_owned(), |e| {
-            format!("{e:.0} ({}/{})", s.reached, s.total)
-        })
+        let s = cmp.result(name).expect("strategy ran").reach_stats(Direction::Minimize, threshold);
+        s.censored_mean_evals
+            .map_or("n/a".to_owned(), |e| format!("{e:.0} ({}/{})", s.reached, s.total))
     };
 
     ExperimentReport {

@@ -43,13 +43,9 @@ pub fn fig6(scale: Scale) -> ExperimentReport {
     let relaxed = 2.0 * best; // "relax the goal to ... twice the minimum"
 
     let evals = |name: &str, threshold: f64| {
-        let s = cmp
-            .result(name)
-            .expect("strategy ran")
-            .reach_stats(Direction::Minimize, threshold);
-        s.censored_mean_evals.map_or("n/a".to_owned(), |e| {
-            format!("{e:.0} ({}/{})", s.reached, s.total)
-        })
+        let s = cmp.result(name).expect("strategy ran").reach_stats(Direction::Minimize, threshold);
+        s.censored_mean_evals
+            .map_or("n/a".to_owned(), |e| format!("{e:.0} ({}/{})", s.reached, s.total))
     };
     let random_relaxed = d.expected_random_draws(&luts, Direction::Minimize, relaxed);
     let random_optimum = d.expected_random_draws(&luts, Direction::Minimize, near_optimal);
@@ -58,11 +54,7 @@ pub fn fig6(scale: Scale) -> ExperimentReport {
         id: "fig6",
         title: "FFT: Minimize # LUTs (expert hints)".into(),
         headlines: vec![
-            Headline::new(
-                "dataset optimum (LUTs)",
-                "~540",
-                format!("{best:.0}"),
-            ),
+            Headline::new("dataset optimum (LUTs)", "~540", format!("{best:.0}")),
             Headline::new(
                 "strong mean jobs to optimum (reached/runs)",
                 "101",

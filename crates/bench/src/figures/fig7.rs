@@ -48,9 +48,7 @@ pub fn fig7(scale: Scale) -> ExperimentReport {
     let high = 0.95 * best; // the paper's "more than 1.5 MSPS/LUT" region
 
     let stats = |name: &str, threshold: f64| {
-        cmp.result(name)
-            .expect("strategy ran")
-            .reach_stats(Direction::Maximize, threshold)
+        cmp.result(name).expect("strategy ran").reach_stats(Direction::Maximize, threshold)
     };
     let ratio = cmp.evals_ratio("baseline", "nautilus-strong", mark);
     let strong_high = stats("nautilus-strong", high);

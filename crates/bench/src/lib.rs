@@ -19,9 +19,11 @@
 pub mod data;
 pub mod figures;
 pub mod report;
+pub mod telemetry;
 
 pub use figures::{
     abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,
     abl_wrong_hints, all_ablations, fig1, fig2, fig3, fig4, fig5, fig6, fig7, Scale,
 };
 pub use report::{render_table_a, ExperimentReport, Headline};
+pub use telemetry::{capture_telemetry, TelemetryArtifacts};

@@ -82,9 +82,8 @@ impl fmt::Display for ExperimentReport {
 /// Renders Table A: every headline from every experiment, in order.
 #[must_use]
 pub fn render_table_a(reports: &[ExperimentReport]) -> String {
-    let mut out = String::from(
-        "== Table A — convergence-cost summary (collected in-text claims) ==\n\n",
-    );
+    let mut out =
+        String::from("== Table A — convergence-cost summary (collected in-text claims) ==\n\n");
     out.push_str(&format!("{:<8} {:<58} {:>16} {:>16}\n", "exp", "claim", "paper", "measured"));
     for r in reports {
         for h in &r.headlines {

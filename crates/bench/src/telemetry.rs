@@ -1,0 +1,108 @@
+//! Telemetry capture for the experiments binary.
+//!
+//! The figures aggregate thousands of runs and keep only averaged curves;
+//! this module does the opposite for a *pair* of exemplar runs (baseline
+//! vs. strongly guided on the router Fmax query): it streams every
+//! [`nautilus::SearchEvent`] to a JSONL file and writes the aggregated
+//! [`RunReport`] next to it, so the per-generation hint/mutation/cache
+//! dynamics behind the averaged figures can be inspected offline.
+//!
+//! Wired to `experiments --telemetry <dir>` (or the `NAUTILUS_TELEMETRY`
+//! environment variable).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use nautilus::{Confidence, JsonlSink, Nautilus, Query, RunReport, SearchOutcome};
+use nautilus_noc::hints::fmax_hints;
+use nautilus_synth::MetricExpr;
+
+use crate::data::router_dataset;
+
+/// Artifacts of one captured telemetry run.
+#[derive(Debug)]
+pub struct TelemetryArtifacts {
+    /// Strategy label of the captured run.
+    pub strategy: String,
+    /// Path of the JSONL event stream (one `SearchEvent` per line).
+    pub events_path: PathBuf,
+    /// Path of the aggregated run-report JSON.
+    pub report_path: PathBuf,
+    /// The run's outcome, for reconciliation against the report.
+    pub outcome: SearchOutcome,
+    /// The aggregated report.
+    pub report: RunReport,
+}
+
+/// Captures the exemplar telemetry pair into `dir` (created if missing):
+/// a baseline and a strongly guided run of the paper's *maximize Fmax*
+/// router query, both from `seed`.
+///
+/// Returns one [`TelemetryArtifacts`] per run.
+///
+/// # Errors
+///
+/// Returns any error creating the directory or writing the artifacts.
+///
+/// # Panics
+///
+/// Panics if the search itself fails, which the packaged router dataset
+/// and hints cannot cause.
+pub fn capture_telemetry(dir: &Path, seed: u64) -> io::Result<Vec<TelemetryArtifacts>> {
+    fs::create_dir_all(dir)?;
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let query = Query::maximize("fmax", fmax);
+    let hints = fmax_hints();
+
+    let mut artifacts = Vec::new();
+    for guided in [false, true] {
+        let tag = if guided { "guided-strong" } else { "baseline" };
+        let events_path = dir.join(format!("{tag}-seed{seed}.events.jsonl"));
+        let report_path = dir.join(format!("{tag}-seed{seed}.report.json"));
+        let sink = JsonlSink::create(&events_path)?;
+        let engine = Nautilus::new(&model).with_observer(&sink);
+        let (outcome, report) = if guided {
+            engine.run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+        } else {
+            engine.run_baseline_reported(&query, seed)
+        }
+        .expect("telemetry run over the packaged dataset");
+        sink.flush()?;
+        fs::write(&report_path, report.to_json())?;
+        artifacts.push(TelemetryArtifacts {
+            strategy: outcome.strategy.clone(),
+            events_path,
+            report_path,
+            outcome,
+            report,
+        });
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captured_artifacts_reconcile_and_parse() {
+        let dir = std::env::temp_dir().join("nautilus-telemetry-unit");
+        let artifacts = capture_telemetry(&dir, 9).unwrap();
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(artifacts[0].strategy, "baseline");
+        assert_eq!(artifacts[1].strategy, "nautilus-strong");
+        for a in &artifacts {
+            assert_eq!(a.report.strategy, a.strategy);
+            assert_eq!(a.report.evals.total_lookups(), a.outcome.jobs.total_lookups());
+            let events = fs::read_to_string(&a.events_path).unwrap();
+            assert!(events.lines().count() > 0, "event stream not empty");
+            let report = fs::read_to_string(&a.report_path).unwrap();
+            assert!(nautilus::obs::json::is_valid_json(&report));
+            let _ = fs::remove_file(&a.events_path);
+            let _ = fs::remove_file(&a.report_path);
+        }
+    }
+}

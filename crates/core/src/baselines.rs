@@ -160,11 +160,7 @@ mod tests {
     impl Grid {
         fn new() -> Self {
             Grid {
-                space: ParamSpace::builder()
-                    .int("x", 0, 31, 1)
-                    .int("y", 0, 31, 1)
-                    .build()
-                    .unwrap(),
+                space: ParamSpace::builder().int("x", 0, 31, 1).int("y", 0, 31, 1).build().unwrap(),
                 catalog: MetricCatalog::new([("v", "units")]).unwrap(),
             }
         }
@@ -224,10 +220,7 @@ mod tests {
     fn zero_budget_is_rejected() {
         let model = Grid::new();
         let query = q(&model);
-        assert_eq!(
-            random_search(&model, &query, 0, 5, 0).unwrap_err(),
-            NautilusError::EmptyBudget
-        );
+        assert_eq!(random_search(&model, &query, 0, 5, 0).unwrap_err(), NautilusError::EmptyBudget);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use nautilus_ga::rng::derive_seed;
 use nautilus_ga::{Direction, GaSettings};
+use nautilus_obs::SearchObserver;
 use nautilus_synth::CostModel;
 
 use crate::error::Result;
@@ -68,11 +69,7 @@ impl Strategy {
 
     /// A guided strategy with an explicit display name.
     #[must_use]
-    pub fn guided(
-        name: impl Into<String>,
-        hints: HintSet,
-        confidence: Option<Confidence>,
-    ) -> Self {
+    pub fn guided(name: impl Into<String>, hints: HintSet, confidence: Option<Confidence>) -> Self {
         Strategy { name: name.into(), kind: StrategyKind::Guided { hints, confidence } }
     }
 
@@ -228,10 +225,9 @@ impl Comparison {
             out.push_str(&i.to_string());
             for r in &self.results {
                 match r.averaged.get(i) {
-                    Some(p) => out.push_str(&format!(
-                        ",{:.2},{:.6}",
-                        p.mean_evals, p.mean_best_so_far
-                    )),
+                    Some(p) => {
+                        out.push_str(&format!(",{:.2},{:.6}", p.mean_evals, p.mean_best_so_far))
+                    }
                     None => out.push_str(",,"),
                 }
             }
@@ -289,6 +285,29 @@ pub fn compare(
     strategies: &[Strategy],
     config: &CompareConfig,
 ) -> Result<Comparison> {
+    compare_observed(model, query, strategies, config, nautilus_obs::noop())
+}
+
+/// [`compare`], streaming every GA run's telemetry to `observer`.
+///
+/// The observer sees one `RunStart`/`RunEnd` event pair per `(GA strategy,
+/// run)` cell; because cells execute in parallel, events from different
+/// runs interleave on the stream. Aggregating sinks like
+/// [`nautilus_obs::MetricsSink`] handle this natively; for per-run
+/// separation prefer [`crate::Nautilus::run_baseline_reported`] /
+/// `run_guided_reported` on individual runs. The non-GA strategies
+/// (random, annealing, hill climbing) are not event-instrumented.
+///
+/// # Errors
+///
+/// As [`compare`].
+pub fn compare_observed<'a>(
+    model: &'a dyn CostModel,
+    query: &Query,
+    strategies: &[Strategy],
+    config: &CompareConfig,
+    observer: &'a dyn SearchObserver,
+) -> Result<Comparison> {
     let mut jobs: Vec<(usize, usize)> = Vec::new();
     for s in 0..strategies.len() {
         for r in 0..config.runs {
@@ -304,12 +323,15 @@ pub fn compare(
         match strategy.kind() {
             StrategyKind::Baseline => Nautilus::new(model)
                 .with_settings(config.settings)
+                .with_observer(observer)
                 .run_baseline(query, seed),
             StrategyKind::Guided { hints, confidence } => Nautilus::new(model)
                 .with_settings(config.settings)
+                .with_observer(observer)
                 .run_guided(query, hints, *confidence, seed),
             StrategyKind::GuidedFull { hints, confidence } => Nautilus::new(model)
                 .with_settings(config.settings)
+                .with_observer(observer)
                 .with_guided_crossover(true)
                 .run_guided(query, hints, *confidence, seed),
             StrategyKind::Random { budget } => crate::baselines::random_search(
@@ -378,11 +400,7 @@ pub fn compare(
         })
         .collect();
 
-    Ok(Comparison {
-        query_name: query.name().to_owned(),
-        direction: query.direction(),
-        results,
-    })
+    Ok(Comparison { query_name: query.name().to_owned(), direction: query.direction(), results })
 }
 
 /// Extends every trace to the longest length by repeating its final point.
@@ -444,10 +462,7 @@ mod tests {
 
     fn fixture() -> (Slope, Query, HintSet) {
         let model = Slope::new();
-        let q = Query::minimize(
-            "cost",
-            MetricExpr::metric(model.catalog.require("cost").unwrap()),
-        );
+        let q = Query::minimize("cost", MetricExpr::metric(model.catalog.require("cost").unwrap()));
         let hints = HintSet::for_metric("cost")
             .bias("x", 1.0)
             .unwrap()
@@ -491,8 +506,7 @@ mod tests {
     #[test]
     fn comparison_is_thread_count_invariant() {
         let (model, q, hints) = fixture();
-        let strategies =
-            [Strategy::baseline(), Strategy::guided("g", hints, None)];
+        let strategies = [Strategy::baseline(), Strategy::guided("g", hints, None)];
         let mut c1 = small_config(4);
         c1.threads = 1;
         let mut c8 = small_config(4);
@@ -507,10 +521,8 @@ mod tests {
     #[test]
     fn evals_ratio_compares_convergence_cost() {
         let (model, q, hints) = fixture();
-        let strategies = [
-            Strategy::baseline(),
-            Strategy::guided("strong", hints, Some(Confidence::STRONG)),
-        ];
+        let strategies =
+            [Strategy::baseline(), Strategy::guided("strong", hints, Some(Confidence::STRONG))];
         let cmp = compare(&model, &q, &strategies, &small_config(8)).unwrap();
         let ratio = cmp.evals_ratio("baseline", "strong", 6.0);
         if let Some(r) = ratio {
@@ -530,6 +542,42 @@ mod tests {
         let table = cmp.render_table(5);
         assert!(table.contains("baseline"));
         assert!(table.contains("evals"));
+    }
+
+    #[test]
+    fn observed_comparison_streams_every_ga_run() {
+        use nautilus_obs::{InMemorySink, SearchEvent};
+
+        let (model, q, hints) = fixture();
+        let strategies =
+            [Strategy::baseline(), Strategy::guided("g", hints, Some(Confidence::STRONG))];
+        let sink = InMemorySink::new();
+        let cmp = compare_observed(&model, &q, &strategies, &small_config(3), &sink).unwrap();
+
+        let events = sink.events();
+        let run_starts =
+            events.iter().filter(|e| matches!(e, SearchEvent::RunStart { .. })).count();
+        let run_ends = events.iter().filter(|e| matches!(e, SearchEvent::RunEnd { .. })).count();
+        assert_eq!(run_starts, 2 * 3, "one RunStart per (GA strategy, run) cell");
+        assert_eq!(run_ends, run_starts);
+
+        // Per-lookup events across all interleaved runs reconcile with the
+        // summed job accounting of the outcomes.
+        let evals =
+            events.iter().filter(|e| matches!(e, SearchEvent::EvalCompleted { .. })).count() as u64;
+        let lookups: u64 = cmp
+            .results
+            .iter()
+            .flat_map(|r| r.outcomes.iter())
+            .map(|o| o.jobs.total_lookups())
+            .sum();
+        assert_eq!(evals, lookups);
+
+        // Observation must not perturb the comparison.
+        let plain = compare(&model, &q, &strategies, &small_config(3)).unwrap();
+        for (ra, rb) in cmp.results.iter().zip(&plain.results) {
+            assert_eq!(ra.outcomes, rb.outcomes);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Nautilus search engine: baseline or hint-guided GA over a cost model.
 
 use nautilus_ga::{Direction, FitnessFn, GaEngine, GaSettings, Genome, RankRoulette};
+use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver};
 use nautilus_synth::{CostModel, SynthJobRunner};
 
 use crate::error::Result;
@@ -51,6 +52,7 @@ pub struct Nautilus<'m> {
     settings: GaSettings,
     mutation_rate: f64,
     guided_crossover: bool,
+    observer: &'m dyn SearchObserver,
 }
 
 impl std::fmt::Debug for Nautilus<'_> {
@@ -60,6 +62,7 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("settings", &self.settings)
             .field("mutation_rate", &self.mutation_rate)
             .field("guided_crossover", &self.guided_crossover)
+            .field("observer_enabled", &self.observer.enabled())
             .finish()
     }
 }
@@ -72,7 +75,22 @@ impl<'m> Nautilus<'m> {
         // single elite; stronger selection would make the oblivious GA
         // unrealistically greedy and mask the value of guidance.
         let settings = GaSettings { elitism: 1, ..GaSettings::default() };
-        Nautilus { model, settings, mutation_rate: 0.1, guided_crossover: false }
+        Nautilus {
+            model,
+            settings,
+            mutation_rate: 0.1,
+            guided_crossover: false,
+            observer: nautilus_obs::noop(),
+        }
+    }
+
+    /// Routes the telemetry of every subsequent run to `observer`: GA
+    /// engine events, guided-operator hint events, and the synthesis-job
+    /// runner's per-lookup events all arrive on the same stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'m dyn SearchObserver) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Also installs the importance-aware [`GuidedCrossover`] operator on
@@ -135,12 +153,54 @@ impl<'m> Nautilus<'m> {
         confidence: Option<Confidence>,
         seed: u64,
     ) -> Result<SearchOutcome> {
-        let label = match confidence {
-            Some(c) if c >= Confidence::STRONG => "nautilus-strong",
-            Some(c) if c <= Confidence::WEAK => "nautilus-weak",
-            _ => "nautilus",
-        };
-        self.run_inner(query, Some((hints, confidence)), seed, label)
+        self.run_inner(query, Some((hints, confidence)), seed, guided_label(confidence))
+    }
+
+    /// [`Nautilus::run_baseline`], additionally aggregating the run's
+    /// telemetry into a [`RunReport`].
+    ///
+    /// The report captures what the plain outcome cannot: per-generation
+    /// mutation/hint dynamics, cache behaviour over time, and span timings.
+    /// Any observer installed with [`Nautilus::with_observer`] still
+    /// receives the event stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Nautilus::run_baseline`].
+    pub fn run_baseline_reported(
+        &self,
+        query: &Query,
+        seed: u64,
+    ) -> Result<(SearchOutcome, RunReport)> {
+        let report = ReportBuilder::new();
+        let fan = Fanout::pair(self.observer, &report);
+        let outcome = self.run_observed(query, None, seed, "baseline", &fan)?;
+        Ok((outcome, report.finish()))
+    }
+
+    /// [`Nautilus::run_guided`], additionally aggregating the run's
+    /// telemetry into a [`RunReport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Nautilus::run_guided`].
+    pub fn run_guided_reported(
+        &self,
+        query: &Query,
+        hints: &HintSet,
+        confidence: Option<Confidence>,
+        seed: u64,
+    ) -> Result<(SearchOutcome, RunReport)> {
+        let report = ReportBuilder::new();
+        let fan = Fanout::pair(self.observer, &report);
+        let outcome = self.run_observed(
+            query,
+            Some((hints, confidence)),
+            seed,
+            guided_label(confidence),
+            &fan,
+        )?;
+        Ok((outcome, report.finish()))
     }
 
     /// Runs with whatever the IP's packaged [`HintBook`] offers for this
@@ -164,9 +224,7 @@ impl<'m> Nautilus<'m> {
         seed: u64,
     ) -> Result<SearchOutcome> {
         match book.get(query.name()) {
-            Some(hints) if !hints.is_empty() => {
-                self.run_guided(query, hints, confidence, seed)
-            }
+            Some(hints) if !hints.is_empty() => self.run_guided(query, hints, confidence, seed),
             _ => self.run_baseline(query, seed),
         }
     }
@@ -178,16 +236,28 @@ impl<'m> Nautilus<'m> {
         seed: u64,
         label: &str,
     ) -> Result<SearchOutcome> {
-        let runner = SynthJobRunner::new(self.model);
+        self.run_observed(query, guidance, seed, label, self.observer)
+    }
+
+    fn run_observed(
+        &self,
+        query: &Query,
+        guidance: Option<(&HintSet, Option<Confidence>)>,
+        seed: u64,
+        label: &str,
+        observer: &dyn SearchObserver,
+    ) -> Result<SearchOutcome> {
+        let runner = SynthJobRunner::new(self.model).with_observer(observer);
         let fitness = QueryOverRunner { runner: &runner, query };
         let mut engine = GaEngine::new(self.model.space(), &fitness)
             .with_settings(self.settings)
             .with_selector(Box::new(RankRoulette::new(1.10)))
-            .with_mutation(Box::new(nautilus_ga::UniformMutation::new(self.mutation_rate)));
+            .with_mutation(Box::new(nautilus_ga::UniformMutation::new(self.mutation_rate)))
+            .with_observer(observer)
+            .with_run_label(label);
         if let Some((hints, confidence)) = guidance {
-            let mut guided =
-                GuidedMutation::resolve(hints, self.model.space(), query.direction())?
-                    .with_rate(self.mutation_rate);
+            let mut guided = GuidedMutation::resolve(hints, self.model.space(), query.direction())?
+                .with_rate(self.mutation_rate);
             if let Some(c) = confidence {
                 guided = guided.with_confidence(c.get());
             }
@@ -218,6 +288,16 @@ impl<'m> Nautilus<'m> {
             best_value: run.best_value,
             jobs: runner.stats(),
         })
+    }
+}
+
+/// Strategy label for a guided run, matching the paper's footnote-2 naming
+/// of the weakly / strongly guided variants.
+fn guided_label(confidence: Option<Confidence>) -> &'static str {
+    match confidence {
+        Some(c) if c >= Confidence::STRONG => "nautilus-strong",
+        Some(c) if c <= Confidence::WEAK => "nautilus-weak",
+        _ => "nautilus",
     }
 }
 
@@ -365,8 +445,11 @@ mod tests {
         let model = StructuredModel::new();
         let cost = MetricExpr::metric(model.catalog.require("cost").unwrap());
         // Keep cost >= 100: the optimum region becomes infeasible.
-        let q = Query::minimize("cost", cost.clone())
-            .with_constraint(cost, crate::query::ConstraintOp::Ge, 100.0);
+        let q = Query::minimize("cost", cost.clone()).with_constraint(
+            cost,
+            crate::query::ConstraintOp::Ge,
+            100.0,
+        );
         let engine = Nautilus::new(&model);
         let run = engine.run_baseline(&q, 3).unwrap();
         assert!(run.best_value >= 100.0, "constraint violated: {}", run.best_value);
@@ -383,6 +466,85 @@ mod tests {
         // the synthesis runner, so the runner sees each point exactly once.
         assert_eq!(run.jobs.cache_hits, 0);
         assert!(run.jobs.jobs < 10 + 10 * 80, "cache should absorb revisits");
+    }
+
+    #[test]
+    fn reported_runs_reconcile_with_job_stats() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let engine = Nautilus::new(&model);
+
+        let (outcome, report) = engine.run_baseline_reported(&q, 13).unwrap();
+        // The report's whole-run eval tally is rebuilt from the event stream
+        // alone; it must reconcile with the runner's own counters.
+        assert_eq!(report.evals.total_lookups(), outcome.jobs.total_lookups());
+        assert_eq!(report.evals.feasible, outcome.jobs.jobs);
+        assert_eq!(report.evals.cached, outcome.jobs.cache_hits);
+        assert_eq!(report.evals.infeasible, outcome.jobs.infeasible);
+        assert_eq!(report.evals.tool_secs, outcome.jobs.simulated_tool_secs);
+        assert_eq!(report.strategy, outcome.strategy);
+        assert_eq!(report.distinct_evals, outcome.jobs.jobs);
+        assert_eq!(report.best_value, outcome.best_value);
+        assert_eq!(report.generations.len(), 81);
+
+        // Attaching the report observer must not perturb the search itself.
+        let plain = engine.run_baseline(&q, 13).unwrap();
+        assert_eq!(outcome, plain);
+
+        let (guided, guided_report) =
+            engine.run_guided_reported(&q, &hints(), Some(Confidence::STRONG), 13).unwrap();
+        assert_eq!(guided_report.strategy, "nautilus-strong");
+        assert_eq!(guided_report.evals.total_lookups(), guided.jobs.total_lookups());
+        assert!(guided_report.importance_decays > 0, "guided runs decay importance");
+    }
+
+    #[test]
+    fn sink_events_reconstruct_per_generation_mutation_telemetry() {
+        use std::collections::BTreeMap;
+
+        use nautilus_obs::{HintKind, InMemorySink, SearchEvent};
+
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let sink = InMemorySink::new();
+        let engine = Nautilus::new(&model).with_observer(&sink);
+        let (_, report) =
+            engine.run_guided_reported(&q, &hints(), Some(Confidence::STRONG), 29).unwrap();
+
+        // Rebuild mutations-per-parameter and per-kind tallies for every
+        // generation straight from the raw event stream.
+        let num_params = report.params.len();
+        assert_eq!(num_params, 4);
+        let mut per_param: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        let mut per_kind: BTreeMap<u32, [u64; HintKind::ALL.len()]> = BTreeMap::new();
+        for event in sink.events() {
+            if let SearchEvent::MutationHintApplied { generation, param, hint_kind, .. } = event {
+                let row = per_param.entry(generation).or_insert_with(|| vec![0; num_params]);
+                row[param as usize] += 1;
+                let kinds = per_kind.entry(generation).or_default();
+                let idx = HintKind::ALL.iter().position(|k| *k == hint_kind).unwrap();
+                kinds[idx] += 1;
+            }
+        }
+
+        // The reconstruction must agree with the aggregated report row by row.
+        let mut total_slots = 0;
+        for row in &report.generations {
+            let rebuilt_params =
+                per_param.remove(&row.generation).unwrap_or_else(|| vec![0; num_params]);
+            assert_eq!(rebuilt_params, row.mutations_per_param, "gen {}", row.generation);
+            let rebuilt_kinds = per_kind.remove(&row.generation).unwrap_or_default();
+            assert_eq!(rebuilt_kinds, row.hints.counts, "gen {}", row.generation);
+            total_slots += row.hints.total();
+        }
+        assert!(per_param.is_empty(), "sink saw generations the report missed");
+        assert_eq!(total_slots, report.hints.total());
+
+        // A strongly guided run exercises the guided hint kinds: biased
+        // draws on x/y and target-rank draws on mode.
+        assert!(report.hints.count_of(HintKind::Bias) > 0);
+        assert!(report.hints.count_of(HintKind::Target) > 0);
+        assert!(report.hints.total() > 0);
     }
 
     #[test]
@@ -409,12 +571,8 @@ mod tests {
         // Book with hints for this query: identical to a guided run.
         let mut book = crate::hint::HintBook::new();
         book.insert(hints());
-        let via_book = engine
-            .run_with_book(&q, &book, Some(Confidence::STRONG), 21)
-            .unwrap();
-        let guided = engine
-            .run_guided(&q, &hints(), Some(Confidence::STRONG), 21)
-            .unwrap();
+        let via_book = engine.run_with_book(&q, &book, Some(Confidence::STRONG), 21).unwrap();
+        let guided = engine.run_guided(&q, &hints(), Some(Confidence::STRONG), 21).unwrap();
         assert_eq!(via_book, guided);
 
         // A hint set with zero entries also falls back.

@@ -88,8 +88,7 @@ pub fn estimate_hints(
     let per_param = (config.budget / (n_params * bases).max(1)).max(2);
 
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xE571));
-    let base_genomes: Vec<Genome> =
-        (0..bases).map(|_| space.random_genome(&mut rng)).collect();
+    let base_genomes: Vec<Genome> = (0..bases).map(|_| space.random_genome(&mut rng)).collect();
 
     // Per parameter, per base design: observations of (domain index,
     // objective). Sweeps from different bases have different offsets, so
@@ -152,11 +151,8 @@ pub fn estimate_hints(
         let sweeps = &observations[i];
 
         // Importance from relative effect size.
-        let importance = if max_effect > 0.0 {
-            (1.0 + 99.0 * effects[i] / max_effect).round() as u8
-        } else {
-            1
-        };
+        let importance =
+            if max_effect > 0.0 { (1.0 + 99.0 * effects[i] / max_effect).round() as u8 } else { 1 };
         let importance = importance.clamp(1, 100);
         builder = builder.importance(def.name(), importance)?;
         if config.decay < 1.0 {
@@ -280,11 +276,8 @@ mod tests {
             Some(ValueHint::Bias(bias)) => assert!(bias.get() < -0.8, "b bias {:?}", bias),
             other => panic!("b should have negative bias, got {other:?}"),
         }
-        let (ia, ib, ic) = (
-            a.importance.unwrap().get(),
-            b.importance.unwrap().get(),
-            c.importance.unwrap().get(),
-        );
+        let (ia, ib, ic) =
+            (a.importance.unwrap().get(), b.importance.unwrap().get(), c.importance.unwrap().get());
         assert!(ia > ib, "a ({ia}) should outrank b ({ib})");
         assert!(ib > ic, "b ({ib}) should outrank c ({ic})");
         assert_eq!(ic, 1, "irrelevant parameter gets floor importance");
@@ -306,7 +299,8 @@ mod tests {
         let model = TrendModel::new();
         let query =
             Query::minimize("cost", MetricExpr::metric(model.catalog.require("cost").unwrap()));
-        let cfg = EstimateConfig { budget: 80, bases: 2, confidence: Confidence::WEAK, decay: 0.93 };
+        let cfg =
+            EstimateConfig { budget: 80, bases: 2, confidence: Confidence::WEAK, decay: 0.93 };
         let est = estimate_hints(&model, &query, cfg, 3).unwrap();
         // Sweeps may revisit cached points, so distinct jobs <= budget plus
         // a small slack for the shared base designs.

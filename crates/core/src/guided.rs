@@ -15,10 +15,13 @@
 //!   design point remains reachable, so wrong hints degrade speed, not
 //!   correctness (paper footnote 1).
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use rand::{Rng, RngExt};
 
 use nautilus_ga::ops::{CrossoverOp, MutationOp, OpCtx};
 use nautilus_ga::{Direction, Genome, ParamSpace};
+use nautilus_obs::{HintKind, SearchEvent};
 
 use crate::error::Result;
 use crate::hint::{HintSet, Importance, ValueHint};
@@ -64,6 +67,9 @@ pub struct GuidedMutation {
     params: Vec<ResolvedParam>,
     /// Geometric continuation probability for steered steps.
     pull: f64,
+    /// Last generation an `ImportanceDecayed` event was emitted for, so an
+    /// observed run reports each generation's weights exactly once.
+    last_decay_gen: AtomicU32,
 }
 
 impl GuidedMutation {
@@ -85,8 +91,7 @@ impl GuidedMutation {
 
             let ordering = hint.and_then(|h| h.ordering.clone());
             let ordered = ordering.is_some() || domain.is_numeric();
-            let rank_to_idx: Vec<u32> =
-                ordering.unwrap_or_else(|| (0..card as u32).collect());
+            let rank_to_idx: Vec<u32> = ordering.unwrap_or_else(|| (0..card as u32).collect());
             let mut idx_to_rank = vec![0u32; card];
             for (rank, &idx) in rank_to_idx.iter().enumerate() {
                 idx_to_rank[idx as usize] = rank as u32;
@@ -132,6 +137,7 @@ impl GuidedMutation {
             confidence: hints.confidence().get(),
             params,
             pull: 0.5,
+            last_decay_gen: AtomicU32::new(u32::MAX),
         })
     }
 
@@ -195,29 +201,38 @@ impl GuidedMutation {
     }
 
     /// Mutates gene `i` of `genome` according to its steering.
+    ///
+    /// Returns which [`HintKind`] drove the new value and whether the gene
+    /// actually changed, or `None` for immovable (single-valued) genes.
     fn mutate_gene(
         &self,
         genome: &mut Genome,
         space: &ParamSpace,
         i: usize,
         rng: &mut dyn Rng,
-    ) {
+    ) -> Option<(HintKind, bool)> {
         let id = nautilus_ga::ParamId::try_from_index(space, i).expect("gene index in space");
         let card = space.param(id).cardinality();
         if card <= 1 {
-            return;
+            return None;
         }
         let p = &self.params[i];
         let current_idx = genome.gene(id);
         let guided = rng.random_bool(self.confidence) && !matches!(p.steer, Steer::None);
 
-        let new_idx = if !guided {
+        let (new_idx, kind) = if !guided {
             // Baseline behaviour: uniform redraw over the other values.
             let mut draw = rng.random_range(0..card - 1) as u32;
             if draw >= current_idx {
                 draw += 1;
             }
-            draw
+            let kind = if matches!(p.steer, Steer::None) {
+                HintKind::Uniform
+            } else {
+                // A value hint exists but the confidence gate declined it.
+                HintKind::Fallback
+            };
+            (draw, kind)
         } else {
             let current_rank = p.idx_to_rank[current_idx as usize] as i64;
             let max = card as i64 - 1;
@@ -254,9 +269,16 @@ impl GuidedMutation {
                 }
                 None => new_rank,
             };
-            p.rank_to_idx[new_rank as usize]
+            let kind = match &p.steer {
+                Steer::None => unreachable!("guided implies a steer"),
+                Steer::Toward(_) => HintKind::Bias,
+                Steer::TargetRank(_) => HintKind::Target,
+            };
+            (p.rank_to_idx[new_rank as usize], kind)
         };
+        let accepted = new_idx != current_idx;
         genome.set_gene(id, new_idx);
+        Some((kind, accepted))
     }
 }
 
@@ -264,12 +286,34 @@ impl MutationOp for GuidedMutation {
     fn mutate(&self, genome: &mut Genome, space: &ParamSpace, ctx: &OpCtx, rng: &mut dyn Rng) {
         debug_assert_eq!(space.num_params(), self.params.len(), "operator resolved elsewhere");
         let weights = self.weights(ctx.generation);
+        if ctx.observer.enabled()
+            && self.last_decay_gen.swap(ctx.generation, Ordering::Relaxed) != ctx.generation
+        {
+            let min = weights.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
+            ctx.observer.on_event(&SearchEvent::ImportanceDecayed {
+                generation: ctx.generation,
+                min_weight: min,
+                max_weight: max,
+                mean_weight: mean,
+            });
+        }
         // Same expected mutation count as the baseline (n trials at `rate`),
         // but each slot picks its gene from the importance distribution.
         for _ in 0..space.num_params() {
             if rng.random_bool(self.rate) {
                 let i = self.pick_gene(&weights, rng);
-                self.mutate_gene(genome, space, i, rng);
+                if let Some((hint_kind, accepted)) = self.mutate_gene(genome, space, i, rng) {
+                    if ctx.observer.enabled() {
+                        ctx.observer.on_event(&SearchEvent::MutationHintApplied {
+                            generation: ctx.generation,
+                            param: i as u32,
+                            hint_kind,
+                            accepted,
+                        });
+                    }
+                }
             }
         }
     }
@@ -320,10 +364,7 @@ impl GuidedCrossover {
         let decay = space
             .param_ids()
             .map(|id| {
-                hints
-                    .get(space.param(id).name())
-                    .and_then(|h| h.decay)
-                    .map_or(1.0, |d| d.get())
+                hints.get(space.param(id).name()).and_then(|h| h.decay).map_or(1.0, |d| d.get())
             })
             .collect();
         Ok(GuidedCrossover { confidence: hints.confidence().get(), weight, decay })
@@ -373,7 +414,7 @@ impl CrossoverOp for GuidedCrossover {
 mod tests {
     use super::*;
     use crate::hint::Confidence;
-    use nautilus_ga::{ParamValue, ParamId};
+    use nautilus_ga::{ParamId, ParamValue};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -416,17 +457,12 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![5, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 4000, 1);
         let a_moves = out.iter().filter(|g| g.gene_at(0) != 5).count();
         let b_moves = out.iter().filter(|g| g.gene_at(1) != 5).count();
-        assert!(
-            a_moves > 8 * b_moves.max(1),
-            "importance not respected: a={a_moves} b={b_moves}"
-        );
+        assert!(a_moves > 8 * b_moves.max(1), "importance not respected: a={a_moves} b={b_moves}");
     }
 
     #[test]
@@ -437,9 +473,7 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![5, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 4000, 2);
         let up = out.iter().filter(|g| g.gene_at(0) > 5).count();
@@ -455,9 +489,7 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![5, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 4000, 3);
         let up = out.iter().filter(|g| g.gene_at(0) > 5).count();
@@ -473,13 +505,10 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![1, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 4000, 4);
-        let moved: Vec<u32> =
-            out.iter().map(|g| g.gene_at(0)).filter(|&v| v != 1).collect();
+        let moved: Vec<u32> = out.iter().map(|g| g.gene_at(0)).filter(|&v| v != 1).collect();
         assert!(!moved.is_empty());
         let near = moved.iter().filter(|&&v| (6..=9).contains(&v)).count();
         let frac = near as f64 / moved.len() as f64;
@@ -494,13 +523,10 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![0, 0, 0]);
         let out = mutate_many(&op, &s, &start, 0, 2000, 5);
-        let moved: Vec<u32> =
-            out.iter().map(|g| g.gene_at(2)).filter(|&v| v != 0).collect();
+        let moved: Vec<u32> = out.iter().map(|g| g.gene_at(2)).filter(|&v| v != 0).collect();
         let to_target = moved.iter().filter(|&&v| v == 2).count();
         assert!(
             to_target as f64 / moved.len().max(1) as f64 > 0.95,
@@ -519,9 +545,7 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![0, 0, 0]); // c = "x" (middle rank)
         let out = mutate_many(&op, &s, &start, 0, 4000, 6);
         let to_y = out.iter().filter(|g| g.gene_at(2) == 1).count();
@@ -537,9 +561,7 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![0, 0, 0]);
         let out = mutate_many(&op, &s, &start, 0, 6000, 7);
         let to_y = out.iter().filter(|g| g.gene_at(2) == 1).count();
@@ -558,9 +580,7 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(0.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![5, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 6000, 8);
         // Gene selection must be uniform: all genes mutate equally often.
@@ -606,9 +626,7 @@ mod tests {
             .max_step("a", 1)
             .confidence(Confidence::new(1.0).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
         let start = Genome::from_genes(vec![5, 5, 1]);
         let out = mutate_many(&op, &s, &start, 0, 2000, 9);
         for g in &out {
@@ -619,8 +637,8 @@ mod tests {
         }
         // Single-trial distance is limited to 1: with rate 1.0 over 3 genes
         // the average displacement stays small.
-        let mean_abs: f64 = out.iter().map(|g| (g.gene_at(0) as f64 - 5.0).abs()).sum::<f64>()
-            / out.len() as f64;
+        let mean_abs: f64 =
+            out.iter().map(|g| (g.gene_at(0) as f64 - 5.0).abs()).sum::<f64>() / out.len() as f64;
         assert!(mean_abs <= 1.2, "mean travel {mean_abs}");
     }
 
@@ -637,15 +655,86 @@ mod tests {
             .unwrap()
             .confidence(Confidence::new(0.8).unwrap())
             .build();
-        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize)
-            .unwrap()
-            .with_rate(1.0);
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Minimize).unwrap().with_rate(1.0);
         let mut rng = StdRng::seed_from_u64(10);
         let mut g = Genome::from_genes(vec![9, 0, 2]);
         for gen in 0..500 {
             op.mutate(&mut g, &s, &OpCtx::new(gen % 80, 80), &mut rng);
             assert!(s.contains(&g), "left the space: {g}");
         }
+    }
+
+    #[test]
+    fn guided_mutation_reports_hint_kinds_and_decay() {
+        let s = space();
+        let hints = HintSet::for_metric("m")
+            .bias("a", 1.0)
+            .unwrap()
+            .target("b", ParamValue::Int(9))
+            .unwrap()
+            .confidence(Confidence::new(1.0).unwrap())
+            .build();
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
+        let sink = nautilus_obs::InMemorySink::new();
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut g = Genome::from_genes(vec![5, 5, 1]);
+        for _ in 0..100 {
+            op.mutate(&mut g, &s, &OpCtx::with_observer(3, 80, &sink), &mut rng);
+        }
+        let events = sink.events();
+        let decays: Vec<_> =
+            events.iter().filter(|e| matches!(e, SearchEvent::ImportanceDecayed { .. })).collect();
+        assert_eq!(decays.len(), 1, "one decay event per generation, not per call");
+        match decays[0] {
+            SearchEvent::ImportanceDecayed { generation, min_weight, max_weight, .. } => {
+                assert_eq!(*generation, 3);
+                assert!(min_weight <= max_weight);
+            }
+            _ => unreachable!(),
+        }
+        // At confidence 1.0: biased "a" -> Bias, targeted "b" -> Target,
+        // unhinted "c" -> Uniform; Fallback requires a declined gate.
+        let mut kind_of = std::collections::HashMap::new();
+        for e in &events {
+            if let SearchEvent::MutationHintApplied { param, hint_kind, .. } = e {
+                kind_of.entry(*param).or_insert_with(Vec::new).push(*hint_kind);
+            }
+        }
+        assert!(kind_of[&0].iter().all(|k| *k == HintKind::Bias));
+        assert!(kind_of[&1].iter().all(|k| *k == HintKind::Target));
+        assert!(kind_of[&2].iter().all(|k| *k == HintKind::Uniform));
+    }
+
+    #[test]
+    fn declined_confidence_gate_reports_fallback() {
+        let s = space();
+        let hints = HintSet::for_metric("m")
+            .bias("a", 1.0)
+            .unwrap()
+            .confidence(Confidence::new(0.0).unwrap())
+            .build();
+        let op = GuidedMutation::resolve(&hints, &s, Direction::Maximize).unwrap().with_rate(1.0);
+        let sink = nautilus_obs::InMemorySink::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut g = Genome::from_genes(vec![5, 5, 1]);
+        for _ in 0..50 {
+            op.mutate(&mut g, &s, &OpCtx::with_observer(0, 80, &sink), &mut rng);
+        }
+        let fallbacks = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SearchEvent::MutationHintApplied {
+                        param: 0,
+                        hint_kind: HintKind::Fallback,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(fallbacks > 0, "confidence 0 must gate every guided decision off");
     }
 
     #[test]

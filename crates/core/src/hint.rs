@@ -301,10 +301,7 @@ impl HintSet {
     /// # Ok(()) }
     /// ```
     #[must_use]
-    pub fn map_hints(
-        &self,
-        mut f: impl FnMut(&str, &ParamHint) -> Option<ParamHint>,
-    ) -> HintSet {
+    pub fn map_hints(&self, mut f: impl FnMut(&str, &ParamHint) -> Option<ParamHint>) -> HintSet {
         let entries = self
             .entries
             .iter()
@@ -321,9 +318,7 @@ impl HintSet {
     /// Returns the first offending hint's error.
     pub fn validate(&self, space: &ParamSpace) -> Result<()> {
         for (name, hint) in &self.entries {
-            let id = space
-                .id(name)
-                .ok_or_else(|| NautilusError::UnknownParam(name.clone()))?;
+            let id = space.id(name).ok_or_else(|| NautilusError::UnknownParam(name.clone()))?;
             let domain = space.param(id).domain();
             if let Some(ValueHint::Target(v)) = &hint.value {
                 if domain.index_of(v).is_none() {
@@ -620,12 +615,8 @@ mod tests {
             .build();
         assert!(ok.validate(&s).is_ok());
 
-        let unknown =
-            HintSet::for_metric("luts").importance("nope", 50).unwrap().build();
-        assert_eq!(
-            unknown.validate(&s).unwrap_err(),
-            NautilusError::UnknownParam("nope".into())
-        );
+        let unknown = HintSet::for_metric("luts").importance("nope", 50).unwrap().build();
+        assert_eq!(unknown.validate(&s).unwrap_err(), NautilusError::UnknownParam("nope".into()));
 
         let bad_target = HintSet::for_metric("luts")
             .target("alloc", ParamValue::Sym("xbar".into()))
@@ -638,10 +629,7 @@ mod tests {
 
         for order in [vec![0u32, 1], vec![0, 1, 1], vec![0, 1, 3]] {
             let bad = HintSet::for_metric("luts").ordering("alloc", order).build();
-            assert_eq!(
-                bad.validate(&s).unwrap_err(),
-                NautilusError::BadOrdering("alloc".into())
-            );
+            assert_eq!(bad.validate(&s).unwrap_err(), NautilusError::BadOrdering("alloc".into()));
         }
     }
 
@@ -686,16 +674,11 @@ mod tests {
 
     #[test]
     fn merge_keeps_unique_target_and_drops_conflicts() {
-        let a = HintSet::for_metric("a")
-            .target("alloc", ParamValue::Sym("rr".into()))
-            .unwrap()
-            .build();
+        let a =
+            HintSet::for_metric("a").target("alloc", ParamValue::Sym("rr".into())).unwrap().build();
         let b = HintSet::for_metric("b").importance("alloc", 60).unwrap().build();
         let merged = HintSet::merge("ab", &[(&a, 1.0), (&b, 1.0)]);
-        assert!(matches!(
-            merged.get("alloc").unwrap().value,
-            Some(ValueHint::Target(_))
-        ));
+        assert!(matches!(merged.get("alloc").unwrap().value, Some(ValueHint::Target(_))));
 
         let c = HintSet::for_metric("c")
             .target("alloc", ParamValue::Sym("matrix".into()))
@@ -707,12 +690,10 @@ mod tests {
 
     #[test]
     fn book_stores_and_lists_sets() {
-        let book: HintBook = [
-            HintSet::for_metric("luts").build(),
-            HintSet::for_metric("fmax").build(),
-        ]
-        .into_iter()
-        .collect();
+        let book: HintBook =
+            [HintSet::for_metric("luts").build(), HintSet::for_metric("fmax").build()]
+                .into_iter()
+                .collect();
         assert_eq!(book.len(), 2);
         assert_eq!(book.metrics(), vec!["fmax", "luts"]);
         assert!(book.get("luts").is_some());

@@ -25,6 +25,10 @@
 //! * [`compare`] — the evaluation harness: strategies × runs in parallel,
 //!   averaged traces, convergence-cost ratios.
 //! * [`random_search`] / [`brute_force`] — the naive baselines.
+//! * [`obs`] (re-exported `nautilus-obs`) — search telemetry: install a
+//!   [`SearchObserver`] via [`Nautilus::with_observer`], stream JSONL with
+//!   [`JsonlSink`], or aggregate a per-run [`RunReport`] with
+//!   [`Nautilus::run_guided_reported`].
 //!
 //! ## Example
 //!
@@ -73,22 +77,20 @@
 
 mod baselines;
 mod compare;
-mod local;
-mod pareto;
 mod engine;
 mod error;
 mod estimate;
 mod guided;
 mod hint;
+mod local;
+mod pareto;
 mod query;
 mod trace;
 
 pub use baselines::{brute_force, random_search};
-pub use local::{hill_climb, simulated_annealing, AnnealConfig};
-pub use pareto::{
-    dataset_front, dominance_filter, dominates, epsilon_constraint_front, Objective, ParetoPoint,
+pub use compare::{
+    compare, compare_observed, CompareConfig, Comparison, Strategy, StrategyKind, StrategyResult,
 };
-pub use compare::{compare, CompareConfig, Comparison, Strategy, StrategyKind, StrategyResult};
 pub use engine::Nautilus;
 pub use error::{NautilusError, Result};
 pub use estimate::{estimate_hints, EstimateConfig, EstimatedHints};
@@ -96,8 +98,23 @@ pub use guided::{GuidedCrossover, GuidedMutation};
 pub use hint::{
     Bias, Confidence, Decay, HintBook, HintSet, HintSetBuilder, Importance, ParamHint, ValueHint,
 };
+pub use local::{hill_climb, simulated_annealing, AnnealConfig};
+pub use pareto::{
+    dataset_front, dominance_filter, dominates, epsilon_constraint_front,
+    epsilon_constraint_front_observed, Objective, ParetoPoint,
+};
 pub use query::{Constraint, ConstraintOp, Query};
 pub use trace::{average_traces, AvgTracePoint, ReachStats, SearchOutcome, TracePoint};
+
+/// The observability layer, re-exported so downstream users need not
+/// depend on `nautilus-obs` directly: install a [`SearchObserver`] with
+/// [`Nautilus::with_observer`], stream events with [`JsonlSink`] or
+/// [`InMemorySink`], and aggregate with [`ReportBuilder`] / [`RunReport`].
+pub use nautilus_obs as obs;
+pub use nautilus_obs::{
+    Fanout, InMemorySink, JsonlSink, MetricsRegistry, MetricsSink, ReportBuilder, RunReport,
+    SearchEvent, SearchObserver,
+};
 
 #[cfg(test)]
 mod tests {

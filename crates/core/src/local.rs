@@ -76,9 +76,8 @@ pub fn simulated_annealing(
             break;
         }
     }
-    let (mut cur_g, mut cur_s) = current.ok_or(NautilusError::Ga(
-        nautilus_ga::GaError::NoFeasibleGenome { attempts: 10_000 },
-    ))?;
+    let (mut cur_g, mut cur_s) = current
+        .ok_or(NautilusError::Ga(nautilus_ga::GaError::NoFeasibleGenome { attempts: 10_000 }))?;
     let (mut best_g, mut best_s) = (cur_g.clone(), cur_s);
 
     let mut trace = Vec::new();
@@ -90,8 +89,7 @@ pub fn simulated_annealing(
 
     while runner.distinct_jobs() < config.budget && attempts < max_attempts {
         attempts += 1;
-        let progress =
-            (runner.distinct_jobs() as f64 / config.budget as f64).clamp(0.0, 1.0);
+        let progress = (runner.distinct_jobs() as f64 / config.budget as f64).clamp(0.0, 1.0);
         let temperature = t0 * (t1 / t0).powf(progress);
 
         // Single-gene neighbor.
@@ -233,8 +231,7 @@ pub fn hill_climb(
             stuck = if improved { 0 } else { stuck + 1 };
             let jobs = runner.distinct_jobs();
             if runner.distinct_jobs() > before && jobs.is_multiple_of(10) {
-                let best_so_far =
-                    best.as_ref().map_or(f64::NAN, |(_, s)| direction.from_score(*s));
+                let best_so_far = best.as_ref().map_or(f64::NAN, |(_, s)| direction.from_score(*s));
                 trace.push(TracePoint {
                     generation: step,
                     evals: jobs,
@@ -247,9 +244,10 @@ pub fn hill_climb(
         }
     }
 
-    let (best_genome, best_score) = best.ok_or(NautilusError::Ga(
-        nautilus_ga::GaError::NoFeasibleGenome { attempts: attempts as usize },
-    ))?;
+    let (best_genome, best_score) =
+        best.ok_or(NautilusError::Ga(nautilus_ga::GaError::NoFeasibleGenome {
+            attempts: attempts as usize,
+        }))?;
     let jobs = runner.distinct_jobs();
     if trace.last().is_none_or(|p| p.evals != jobs) {
         trace.push(TracePoint {
@@ -286,11 +284,7 @@ mod tests {
     impl TwoBasins {
         fn new() -> Self {
             TwoBasins {
-                space: ParamSpace::builder()
-                    .int("x", 0, 31, 1)
-                    .int("y", 0, 31, 1)
-                    .build()
-                    .unwrap(),
+                space: ParamSpace::builder().int("x", 0, 31, 1).int("y", 0, 31, 1).build().unwrap(),
                 catalog: MetricCatalog::new([("v", "units")]).unwrap(),
             }
         }
@@ -322,8 +316,7 @@ mod tests {
     #[test]
     fn annealing_converges_and_respects_budget() {
         let model = TwoBasins::new();
-        let out =
-            simulated_annealing(&model, &q(&model), AnnealConfig::default(), 3).unwrap();
+        let out = simulated_annealing(&model, &q(&model), AnnealConfig::default(), 3).unwrap();
         assert!(out.jobs.jobs <= 400);
         assert!(out.best_value > 35.0, "annealing stuck: {}", out.best_value);
         for w in out.trace.windows(2) {
@@ -372,8 +365,7 @@ mod tests {
     #[test]
     fn minimization_works_for_both() {
         let model = TwoBasins::new();
-        let query =
-            Query::minimize("v", MetricExpr::metric(model.catalog.require("v").unwrap()));
+        let query = Query::minimize("v", MetricExpr::metric(model.catalog.require("v").unwrap()));
         let sa = simulated_annealing(&model, &query, AnnealConfig::default(), 1).unwrap();
         let hc = hill_climb(&model, &query, 300, 30, 1).unwrap();
         // The grid minimum of max(local, global) is ~17.27, on the far

@@ -10,6 +10,7 @@
 //! the results.
 
 use nautilus_ga::{Direction, Genome};
+use nautilus_obs::{SearchEvent, SearchObserver};
 use nautilus_synth::{CostModel, Dataset, JobStats, MetricExpr};
 
 use crate::error::Result;
@@ -86,10 +87,7 @@ pub fn dataset_front(dataset: &Dataset, objectives: &[Objective]) -> Vec<ParetoP
         .iter()
         .filter_map(|(g, m)| {
             let values: Vec<f64> = objectives.iter().map(|o| o.expr.eval(m)).collect();
-            values
-                .iter()
-                .all(|v| v.is_finite())
-                .then(|| ParetoPoint { genome: g.clone(), values })
+            values.iter().all(|v| v.is_finite()).then(|| ParetoPoint { genome: g.clone(), values })
         })
         .collect();
     dominance_filter(points, objectives)
@@ -120,9 +118,41 @@ pub fn epsilon_constraint_front(
     sweeps: usize,
     seed: u64,
 ) -> Result<(Vec<ParetoPoint>, JobStats)> {
+    epsilon_constraint_front_observed(model, objectives, hints, sweeps, seed, nautilus_obs::noop())
+}
+
+/// [`epsilon_constraint_front`], streaming telemetry to `observer`.
+///
+/// Each underlying search run emits its full event stream (the sweep shows
+/// up as a sequence of `RunStart`/`RunEnd` pairs), and every time the
+/// candidate front is re-filtered a [`SearchEvent::ParetoUpdated`] event
+/// reports the current front size — so a live consumer can watch the front
+/// grow as the sweep tightens its ε-bounds.
+///
+/// # Errors
+///
+/// As [`epsilon_constraint_front`].
+///
+/// # Panics
+///
+/// Panics unless exactly two objectives are given.
+pub fn epsilon_constraint_front_observed<'a>(
+    model: &'a dyn CostModel,
+    objectives: &[Objective],
+    hints: Option<&HintSet>,
+    sweeps: usize,
+    seed: u64,
+    observer: &'a dyn SearchObserver,
+) -> Result<(Vec<ParetoPoint>, JobStats)> {
     assert_eq!(objectives.len(), 2, "epsilon-constraint sweep is two-objective");
     let (primary, secondary) = (&objectives[0], &objectives[1]);
-    let engine = Nautilus::new(model);
+    let engine = Nautilus::new(model).with_observer(observer);
+    let front_update = |candidates: &[ParetoPoint]| {
+        if observer.enabled() {
+            let size = dominance_filter(candidates.to_vec(), objectives).len();
+            observer.on_event(&SearchEvent::ParetoUpdated { size });
+        }
+    };
     let mut total = JobStats::default();
     let mut candidates: Vec<ParetoPoint> = Vec::new();
 
@@ -141,9 +171,9 @@ pub fn epsilon_constraint_front(
             }
             // A constraint bound can make the whole space infeasible; that
             // sweep step simply contributes nothing.
-            Err(crate::error::NautilusError::Ga(
-                nautilus_ga::GaError::NoFeasibleGenome { .. },
-            )) => Ok(None),
+            Err(crate::error::NautilusError::Ga(nautilus_ga::GaError::NoFeasibleGenome {
+                ..
+            })) => Ok(None),
             Err(e) => Err(e),
         }
     };
@@ -158,7 +188,8 @@ pub fn epsilon_constraint_front(
     };
 
     // Bracket the secondary objective's reachable range.
-    let q_primary = Query::maximize_or_minimize(&primary.name, primary.expr.clone(), primary.direction);
+    let q_primary =
+        Query::maximize_or_minimize(&primary.name, primary.expr.clone(), primary.direction);
     let q_secondary =
         Query::maximize_or_minimize(&secondary.name, secondary.expr.clone(), secondary.direction);
     let mut lo = f64::INFINITY;
@@ -173,6 +204,7 @@ pub fn epsilon_constraint_front(
             push(g, &mut candidates);
         }
     }
+    front_update(&candidates);
     if !lo.is_finite() || !hi.is_finite() || sweeps == 0 {
         return Ok((dominance_filter(candidates, objectives), total));
     }
@@ -193,6 +225,7 @@ pub fn epsilon_constraint_front(
         .with_constraint(secondary.expr.clone(), op, bound);
         if let Some(g) = run(&q, seed.wrapping_add(100 + k as u64), &mut total)? {
             push(g, &mut candidates);
+            front_update(&candidates);
         }
     }
 
@@ -220,11 +253,7 @@ mod tests {
     impl TradeOff {
         fn new() -> Self {
             TradeOff {
-                space: ParamSpace::builder()
-                    .int("x", 0, 30, 1)
-                    .int("y", 0, 10, 1)
-                    .build()
-                    .unwrap(),
+                space: ParamSpace::builder().int("x", 0, 30, 1).int("y", 0, 10, 1).build().unwrap(),
                 catalog: MetricCatalog::new([("cost", "u"), ("gain", "u")]).unwrap(),
             }
         }
@@ -303,8 +332,7 @@ mod tests {
     fn epsilon_sweep_approximates_the_front() {
         let model = TradeOff::new();
         let objs = objectives(&model);
-        let (front, jobs) =
-            epsilon_constraint_front(&model, &objs, None, 6, 77).unwrap();
+        let (front, jobs) = epsilon_constraint_front(&model, &objs, None, 6, 77).unwrap();
         assert!(front.len() >= 3, "front too sparse: {}", front.len());
         assert!(jobs.jobs > 0);
         // Every approximated point must lie on or near the true front:
@@ -318,6 +346,37 @@ mod tests {
                 assert!(!dominates(&a.values, &b.values, &objs) || a == b);
             }
         }
+    }
+
+    #[test]
+    fn observed_sweep_streams_pareto_updates() {
+        use nautilus_obs::InMemorySink;
+
+        let model = TradeOff::new();
+        let objs = objectives(&model);
+        let sink = InMemorySink::new();
+        let (front, jobs) =
+            epsilon_constraint_front_observed(&model, &objs, None, 4, 5, &sink).unwrap();
+        let (plain, _) = epsilon_constraint_front(&model, &objs, None, 4, 5).unwrap();
+        assert_eq!(front, plain, "observation must not perturb the sweep");
+
+        let events = sink.events();
+        let sizes: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::ParetoUpdated { size } => Some(*size),
+                _ => None,
+            })
+            .collect();
+        assert!(!sizes.is_empty(), "sweep emits front-size updates");
+        assert_eq!(*sizes.last().unwrap(), front.len(), "last update is the final front");
+        // The underlying engine runs stream through the same observer: one
+        // RunStart/RunEnd pair per bracketing or sweep search.
+        let runs = events.iter().filter(|e| matches!(e, SearchEvent::RunStart { .. })).count();
+        assert!(runs >= 2, "bracketing alone takes two runs: {runs}");
+        let evals =
+            events.iter().filter(|e| matches!(e, SearchEvent::EvalCompleted { .. })).count() as u64;
+        assert_eq!(evals, jobs.total_lookups(), "per-lookup events reconcile");
     }
 
     #[test]

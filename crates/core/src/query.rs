@@ -188,14 +188,17 @@ mod tests {
         let (c, m) = fixture();
         let luts = MetricExpr::metric(c.id("luts").unwrap());
         let fmax = MetricExpr::metric(c.id("fmax").unwrap());
-        let q = Query::minimize("area", luts.clone())
-            .with_constraint(fmax.clone(), ConstraintOp::Ge, 100.0);
+        let q = Query::minimize("area", luts.clone()).with_constraint(
+            fmax.clone(),
+            ConstraintOp::Ge,
+            100.0,
+        );
         assert_eq!(q.objective(&m), Some(800.0));
-        let q2 = Query::minimize("area", luts.clone())
-            .with_constraint(fmax, ConstraintOp::Ge, 200.0);
+        let q2 =
+            Query::minimize("area", luts.clone()).with_constraint(fmax, ConstraintOp::Ge, 200.0);
         assert_eq!(q2.objective(&m), None);
-        let q3 = Query::minimize("area", luts.clone())
-            .with_constraint(luts, ConstraintOp::Le, 500.0);
+        let q3 =
+            Query::minimize("area", luts.clone()).with_constraint(luts, ConstraintOp::Le, 500.0);
         assert_eq!(q3.objective(&m), None);
     }
 

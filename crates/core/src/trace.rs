@@ -97,10 +97,7 @@ pub struct AvgTracePoint {
 pub fn average_traces(outcomes: &[SearchOutcome]) -> Vec<AvgTracePoint> {
     assert!(!outcomes.is_empty(), "cannot average zero runs");
     let len = outcomes[0].trace.len();
-    assert!(
-        outcomes.iter().all(|o| o.trace.len() == len),
-        "trace lengths differ across runs"
-    );
+    assert!(outcomes.iter().all(|o| o.trace.len() == len), "trace lengths differ across runs");
     (0..len)
         .map(|i| {
             let n = outcomes.len() as f64;
@@ -164,14 +161,10 @@ impl ReachStats {
     /// Computes reach statistics of `outcomes` against a quality threshold.
     #[must_use]
     pub fn compute(outcomes: &[SearchOutcome], direction: Direction, threshold: f64) -> Self {
-        let evals: Vec<u64> = outcomes
-            .iter()
-            .filter_map(|o| o.evals_to_reach(direction, threshold))
-            .collect();
-        let gens: Vec<u32> = outcomes
-            .iter()
-            .filter_map(|o| o.generations_to_reach(direction, threshold))
-            .collect();
+        let evals: Vec<u64> =
+            outcomes.iter().filter_map(|o| o.evals_to_reach(direction, threshold)).collect();
+        let gens: Vec<u32> =
+            outcomes.iter().filter_map(|o| o.generations_to_reach(direction, threshold)).collect();
         let mean = |xs: &[f64]| {
             if xs.is_empty() {
                 None
@@ -181,18 +174,15 @@ impl ReachStats {
         };
         let censored_evals: Vec<f64> = outcomes
             .iter()
-            .map(|o| {
-                o.evals_to_reach(direction, threshold).unwrap_or(o.total_evals()) as f64
-            })
+            .map(|o| o.evals_to_reach(direction, threshold).unwrap_or(o.total_evals()) as f64)
             .collect();
         let censored_gens: Vec<f64> = outcomes
             .iter()
             .map(|o| {
-                o.generations_to_reach(direction, threshold)
-                    .map_or_else(
-                        || o.trace.last().map_or(0.0, |p| f64::from(p.generation)),
-                        f64::from,
-                    )
+                o.generations_to_reach(direction, threshold).map_or_else(
+                    || o.trace.last().map_or(0.0, |p| f64::from(p.generation)),
+                    f64::from,
+                )
             })
             .collect();
         ReachStats {
@@ -281,6 +271,37 @@ mod tests {
         let a = outcome(&[1.0], 1);
         let b = outcome(&[1.0, 2.0], 1);
         let _ = average_traces(&[a, b]);
+    }
+
+    #[test]
+    fn averaging_single_run_falls_back_on_infeasible_means() {
+        // A generation whose population was entirely infeasible records a
+        // NaN mean; averaging must fall back to best-so-far, not poison the
+        // whole curve.
+        let mut a = outcome(&[5.0, 3.0], 10);
+        a.trace[1].mean_in_gen = f64::NAN;
+        let avg = average_traces(&[a]);
+        assert_eq!(avg.len(), 2);
+        assert_eq!(avg[0].std_best_so_far, 0.0, "single run has no spread");
+        assert_eq!(avg[0].mean_of_means, 6.0);
+        assert_eq!(avg[1].mean_of_means, 3.0, "NaN mean falls back to best_so_far");
+        assert!(avg.iter().all(|p| p.mean_best_so_far.is_finite()));
+    }
+
+    #[test]
+    fn reach_stats_when_no_run_reaches_threshold() {
+        let a = outcome(&[100.0, 90.0], 10);
+        let b = outcome(&[80.0, 70.0], 5);
+        let stats = ReachStats::compute(&[a, b], Direction::Minimize, 1.0);
+        assert_eq!(stats.reached, 0);
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.success_rate(), 0.0);
+        // Survivor-only means are undefined when nobody reached it...
+        assert_eq!(stats.mean_evals, None);
+        assert_eq!(stats.mean_generations, None);
+        // ...but censored means still are: each run contributes its budget.
+        assert_eq!(stats.censored_mean_evals, Some(15.0));
+        assert_eq!(stats.censored_mean_generations, Some(1.0));
     }
 
     #[test]

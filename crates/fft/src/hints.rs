@@ -102,9 +102,7 @@ pub fn throughput_per_lut_hints() -> HintSet {
 /// Panics if `count` is not 1 or 2.
 #[must_use]
 pub fn bias_only_hints(count: usize) -> HintSet {
-    let b = HintSet::for_metric("luts")
-        .bias("transform_size", 0.9)
-        .expect("static hint in range");
+    let b = HintSet::for_metric("luts").bias("transform_size", 0.9).expect("static hint in range");
     let b = match count {
         1 => b,
         2 => b.bias("streaming_width", 0.8).expect("static hint in range"),

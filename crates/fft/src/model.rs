@@ -124,7 +124,7 @@ impl CostModel for FftModel {
         // ---- Twiddle storage -------------------------------------------------
         let twiddle_bits = size * t;
         match c.storage {
-            0 => luts += twiddle_bits * 0.25,          // LUT ROM
+            0 => luts += twiddle_bits * 0.25, // LUT ROM
             1 => {
                 brams += (twiddle_bits / BRAM_BITS).ceil();
                 luts += 90.0; // addressing glue
@@ -142,7 +142,7 @@ impl CostModel for FftModel {
                 _ => 0.15,
             }
             + match c.arch {
-                0 => 0.25,              // feedback mux
+                0 => 0.25, // feedback mux
                 1 => 0.0,
                 _ => 0.50 + 0.10 * n, // giant fanout
             };
@@ -152,8 +152,7 @@ impl CostModel for FftModel {
         // ---- Derived metrics ---------------------------------------------------
         luts = (luts * noise_factor(g, SALT_LUTS, 0.05)).round().max(1.0);
         let throughput = fmax * samples_per_cycle; // MSPS
-        let snr = (6.02 * b.min(t + 2.0) + 1.76 - 1.4 * n)
-            * noise_factor(g, SALT_SNR, 0.02);
+        let snr = (6.02 * b.min(t + 2.0) + 1.76 - 1.4 * n) * noise_factor(g, SALT_SNR, 0.02);
 
         Some(
             self.catalog
@@ -176,11 +175,7 @@ mod tests {
     #[test]
     fn dataset_scale_matches_paper() {
         let d = dataset();
-        assert!(
-            (9_000..=12_500).contains(&d.len()),
-            "dataset holds {} designs",
-            d.len()
-        );
+        assert!((9_000..=12_500).contains(&d.len()), "dataset holds {} designs", d.len());
     }
 
     #[test]

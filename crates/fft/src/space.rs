@@ -12,14 +12,8 @@
 use nautilus_ga::{Genome, ParamSpace, ParamValue};
 
 /// Names of the six FFT parameters, in space order.
-pub const FFT_PARAMS: [&str; 6] = [
-    "transform_size",
-    "streaming_width",
-    "arch",
-    "data_width",
-    "twiddle_width",
-    "twiddle_storage",
-];
+pub const FFT_PARAMS: [&str; 6] =
+    ["transform_size", "streaming_width", "arch", "data_width", "twiddle_width", "twiddle_storage"];
 
 /// The 6-parameter FFT space (13,608 lattice points).
 ///
@@ -114,15 +108,9 @@ mod tests {
     #[test]
     fn feasible_fraction_is_close_to_the_paper_dataset() {
         let s = space();
-        let feasible = s
-            .iter_genomes()
-            .filter(|g| FftConfig::decode(&s, g).is_feasible())
-            .count();
+        let feasible = s.iter_genomes().filter(|g| FftConfig::decode(&s, g).is_feasible()).count();
         // ~10.5k feasible of 13.6k lattice points ("approximately 12,000").
-        assert!(
-            (9_000..=12_500).contains(&feasible),
-            "feasible count {feasible}"
-        );
+        assert!((9_000..=12_500).contains(&feasible), "feasible count {feasible}");
     }
 
     #[test]

@@ -184,9 +184,6 @@ mod tests {
         c.get_or_eval(&g(0), |_| Some(1.0));
         c.get_or_eval(&g(1), |_| None);
         let s = c.stats();
-        assert_eq!(
-            s,
-            CacheStats { hits: 1, distinct_evals: 1, infeasible_evals: 1 }
-        );
+        assert_eq!(s, CacheStats { hits: 1, distinct_evals: 1, infeasible_evals: 1 });
     }
 }

@@ -1,5 +1,6 @@
 //! The generational GA engine.
 
+use nautilus_obs::{SearchEvent, SearchObserver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -104,10 +105,7 @@ impl GaRun {
 
     /// First generation whose `best_so_far` meets `pred`, with its
     /// cumulative evaluation count.
-    pub fn first_generation_where(
-        &self,
-        mut pred: impl FnMut(f64) -> bool,
-    ) -> Option<(u32, u64)> {
+    pub fn first_generation_where(&self, mut pred: impl FnMut(f64) -> bool) -> Option<(u32, u64)> {
         self.history
             .iter()
             .find(|g| g.best_so_far.is_finite() && pred(g.best_so_far))
@@ -141,6 +139,8 @@ pub struct GaEngine<'a> {
     mutation: Box<dyn MutationOp>,
     crossover: Box<dyn CrossoverOp>,
     selector: Box<dyn Selector>,
+    observer: &'a dyn SearchObserver,
+    run_label: String,
 }
 
 impl<'a> GaEngine<'a> {
@@ -154,6 +154,8 @@ impl<'a> GaEngine<'a> {
             mutation: Box::new(UniformMutation::default()),
             crossover: Box::new(OnePointCrossover),
             selector: Box::new(Tournament::default()),
+            observer: nautilus_obs::noop(),
+            run_label: "ga".to_owned(),
         }
     }
 
@@ -185,6 +187,24 @@ impl<'a> GaEngine<'a> {
         self
     }
 
+    /// Routes run telemetry ([`SearchEvent`]s) to `observer`.
+    ///
+    /// The default is the disabled no-op observer, whose cost is one
+    /// predictable branch per emission site.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a dyn SearchObserver) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Sets the strategy label reported in [`SearchEvent::RunStart`]
+    /// (default `"ga"`).
+    #[must_use]
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.run_label = label.into();
+        self
+    }
+
     /// The engine's scalar settings.
     #[must_use]
     pub fn settings(&self) -> &GaSettings {
@@ -209,29 +229,47 @@ impl<'a> GaEngine<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cache = EvalCache::new();
         let direction = self.fitness.direction();
+        let obs = self.observer;
+        let run_clock = std::time::Instant::now();
+        if obs.enabled() {
+            obs.on_event(&SearchEvent::RunStart {
+                strategy: self.run_label.clone(),
+                seed,
+                params: self
+                    .space
+                    .param_ids()
+                    .map(|id| self.space.param(id).name().to_owned())
+                    .collect(),
+                population: self.settings.population,
+                generations: self.settings.generations,
+            });
+        }
 
         // --- Initial population -------------------------------------------
         let mut population: Vec<Genome> = Vec::with_capacity(self.settings.population);
         let max_attempts = self.settings.population * self.settings.init_retries;
         let mut attempts = 0;
-        while population.len() < self.settings.population {
-            if attempts >= max_attempts {
-                if population.is_empty() {
-                    return Err(GaError::NoFeasibleGenome { attempts });
+        {
+            let _span = nautilus_obs::span(obs, "init_population");
+            while population.len() < self.settings.population {
+                if attempts >= max_attempts {
+                    if population.is_empty() {
+                        return Err(GaError::NoFeasibleGenome { attempts });
+                    }
+                    // Partial population: fill remaining slots with clones of
+                    // what we found so we can still proceed.
+                    while population.len() < self.settings.population {
+                        let idx = population.len() % population.len().max(1);
+                        population.push(population[idx].clone());
+                    }
+                    break;
                 }
-                // Partial population: fill remaining slots with clones of
-                // what we found so we can still proceed.
-                while population.len() < self.settings.population {
-                    let idx = population.len() % population.len().max(1);
-                    population.push(population[idx].clone());
+                attempts += 1;
+                let g = self.space.random_genome(&mut rng);
+                let feasible = cache.get_or_eval(&g, |g| self.fitness.fitness(g)).is_some();
+                if feasible {
+                    population.push(g);
                 }
-                break;
-            }
-            attempts += 1;
-            let g = self.space.random_genome(&mut rng);
-            let feasible = cache.get_or_eval(&g, |g| self.fitness.fitness(g)).is_some();
-            if feasible {
-                population.push(g);
             }
         }
 
@@ -241,7 +279,11 @@ impl<'a> GaEngine<'a> {
         let mut best_value = direction.worst_value();
 
         for generation in 0..=self.settings.generations {
+            if obs.enabled() {
+                obs.on_event(&SearchEvent::GenerationStart { generation });
+            }
             // Score the population (cache makes revisits free).
+            let scoring_span = nautilus_obs::span(obs, "scoring");
             let mut scored: Vec<ScoredGenome> = population
                 .iter()
                 .map(|g| {
@@ -257,6 +299,7 @@ impl<'a> GaEngine<'a> {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.genome.cmp(&b.genome))
             });
+            drop(scoring_span);
 
             let feasible: Vec<f64> = scored
                 .iter()
@@ -285,23 +328,43 @@ impl<'a> GaEngine<'a> {
                 mean_value: gen_mean,
                 best_so_far: if best_genome.is_some() { best_value } else { f64::NAN },
             });
+            if obs.enabled() {
+                obs.on_event(&SearchEvent::GenerationEnd {
+                    generation,
+                    best: gen_best,
+                    mean: gen_mean,
+                    best_so_far: if best_genome.is_some() { best_value } else { f64::NAN },
+                    distinct_evals: cache.distinct_evals(),
+                    cache_hits: cache.hits(),
+                    infeasible: cache.infeasible_evals(),
+                });
+            }
 
             if generation == self.settings.generations {
                 break;
             }
 
             // Breed the next generation.
-            let ctx = OpCtx::new(generation, self.settings.generations);
-            let mut next: Vec<Genome> = scored
-                .iter()
-                .take(self.settings.elitism)
-                .map(|s| s.genome.clone())
-                .collect();
+            let _breeding_span = nautilus_obs::span(obs, "breeding");
+            let ctx = OpCtx::with_observer(generation, self.settings.generations, obs);
+            let mut next: Vec<Genome> =
+                scored.iter().take(self.settings.elitism).map(|s| s.genome.clone()).collect();
             while next.len() < self.settings.population {
                 let pa = &scored[self.selector.select(&scored, &mut rng)].genome;
                 let pb = &scored[self.selector.select(&scored, &mut rng)].genome;
-                let (mut ca, mut cb) = if rand::RngExt::random_bool(&mut rng, self.settings.crossover_rate)
-                {
+                if obs.enabled() {
+                    let kind = self.selector.name().to_owned();
+                    obs.on_event(&SearchEvent::SelectionInvoked { generation, kind: kind.clone() });
+                    obs.on_event(&SearchEvent::SelectionInvoked { generation, kind });
+                }
+                let crossed = rand::RngExt::random_bool(&mut rng, self.settings.crossover_rate);
+                let (mut ca, mut cb) = if crossed {
+                    if obs.enabled() {
+                        obs.on_event(&SearchEvent::CrossoverApplied {
+                            generation,
+                            kind: self.crossover.name().to_owned(),
+                        });
+                    }
                     self.crossover.crossover(pa, pb, self.space, &ctx, &mut rng)
                 } else {
                     (pa.clone(), pb.clone())
@@ -317,6 +380,13 @@ impl<'a> GaEngine<'a> {
         }
 
         let best_genome = best_genome.ok_or(GaError::NoFeasibleGenome { attempts })?;
+        if obs.enabled() {
+            obs.on_event(&SearchEvent::RunEnd {
+                best_value,
+                distinct_evals: cache.distinct_evals(),
+                wall_nanos: u64::try_from(run_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
         Ok(GaRun { history, best_genome, best_value, cache: cache.stats() })
     }
 }
@@ -382,10 +452,7 @@ mod tests {
         let f = sphere();
         let run = GaEngine::new(&s, &f).run(3).unwrap();
         for w in run.history.windows(2) {
-            assert!(
-                w[1].best_so_far <= w[0].best_so_far,
-                "best_so_far worsened: {w:?}"
-            );
+            assert!(w[1].best_so_far <= w[0].best_so_far, "best_so_far worsened: {w:?}");
         }
         assert_eq!(run.history.last().unwrap().best_so_far, run.best_value);
     }
@@ -487,6 +554,62 @@ mod tests {
         assert!(evals >= 10);
         assert!(u64::from(generation) <= 80);
         assert!(run.first_generation_where(|v| v < -1.0).is_none());
+    }
+
+    #[test]
+    fn observed_run_emits_a_consistent_event_stream() {
+        use nautilus_obs::SearchEvent as E;
+        let s = space();
+        let f = sphere();
+        let sink = nautilus_obs::InMemorySink::new();
+        let settings = GaSettings { generations: 10, ..GaSettings::default() };
+        let run = GaEngine::new(&s, &f)
+            .with_settings(settings)
+            .with_observer(&sink)
+            .with_run_label("baseline")
+            .run(7)
+            .unwrap();
+        // Telemetry must not perturb the search itself.
+        let unobserved = GaEngine::new(&s, &f).with_settings(settings).run(7).unwrap();
+        assert_eq!(run.history, unobserved.history);
+
+        let events = sink.events();
+        assert!(
+            matches!(&events[0], E::RunStart { strategy, params, .. }
+                if strategy == "baseline" && params.len() == 3),
+            "first event should be run_start: {:?}",
+            events[0]
+        );
+        assert!(matches!(events.last().unwrap(), E::RunEnd { .. }));
+        let starts = events.iter().filter(|e| matches!(e, E::GenerationStart { .. })).count();
+        let ends = events.iter().filter(|e| matches!(e, E::GenerationEnd { .. })).count();
+        assert_eq!(starts, 11, "one generation_start per scored generation");
+        assert_eq!(ends, 11);
+        // Cumulative counters in the last generation_end match the result.
+        let final_evals = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                E::GenerationEnd { distinct_evals, .. } => Some(*distinct_evals),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(final_evals, run.total_evals());
+        // Mutation telemetry references real parameter indices.
+        let mut mutations = 0;
+        for e in &events {
+            if let E::MutationHintApplied { param, .. } = e {
+                assert!((*param as usize) < s.num_params());
+                mutations += 1;
+            }
+        }
+        assert!(mutations > 0, "a 10-generation run should mutate something");
+        assert!(events.iter().any(|e| matches!(e, E::SelectionInvoked { .. })));
+        assert!(events.iter().any(|e| matches!(e, E::CrossoverApplied { .. })));
+        assert!(
+            events.iter().any(|e| matches!(e, E::SpanEnd { name: "scoring", .. })),
+            "scoring spans should close"
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ mod tests {
         let cases: Vec<(GaError, &str)> = vec![
             (GaError::DuplicateParam("vcs".into()), "vcs"),
             (GaError::EmptyDomain("w".into()), "w"),
-            (
-                GaError::InvalidRange { param: "d".into(), reason: "lo > hi".into() },
-                "lo > hi",
-            ),
+            (GaError::InvalidRange { param: "d".into(), reason: "lo > hi".into() }, "lo > hi"),
             (GaError::UnknownParam("nope".into()), "nope"),
             (GaError::BadValue { param: "p".into(), value: "9".into() }, "9"),
             (GaError::EmptySpace, "no parameters"),

@@ -66,7 +66,9 @@ pub use ops::{
     UniformCrossover, UniformMutation,
 };
 pub use param::{ParamDef, ParamDomain, ParamId};
-pub use select::{FitnessProportional, RankRoulette, ScoredGenome, Selector, Tournament, Truncation};
+pub use select::{
+    FitnessProportional, RankRoulette, ScoredGenome, Selector, Tournament, Truncation,
+};
 pub use space::{DesignPoint, FullSweep, ParamSpace, ParamSpaceBuilder};
 pub use stats::{pearson, spearman, Summary};
 pub use value::ParamValue;

@@ -10,24 +10,62 @@ mod mutation;
 pub use crossover::{CrossoverOp, OnePointCrossover, TwoPointCrossover, UniformCrossover};
 pub use mutation::{MutationOp, StepMutation, UniformMutation};
 
+use nautilus_obs::SearchObserver;
+
 /// Per-operation context handed to genetic operators.
 ///
 /// Carries the generation counter so operators can implement schedules (the
 /// Nautilus *importance decay* hint needs to know how far the run has
-/// progressed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OpCtx {
+/// progressed), plus the run's [`SearchObserver`] so operators can emit
+/// telemetry (`MutationHintApplied`, ...) without extra plumbing. The
+/// observer defaults to the disabled no-op; emitters must gate on
+/// `ctx.observer.enabled()`.
+#[derive(Clone, Copy)]
+pub struct OpCtx<'a> {
     /// Zero-based generation currently being produced.
     pub generation: u32,
     /// Total number of generations the run will execute.
     pub total_generations: u32,
+    /// Telemetry receiver for this run (disabled no-op by default).
+    pub observer: &'a dyn SearchObserver,
 }
 
-impl OpCtx {
-    /// Context for generation `generation` of `total_generations`.
+impl std::fmt::Debug for OpCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpCtx")
+            .field("generation", &self.generation)
+            .field("total_generations", &self.total_generations)
+            .field("observer_enabled", &self.observer.enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for OpCtx<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.generation == other.generation && self.total_generations == other.total_generations
+    }
+}
+
+impl Eq for OpCtx<'_> {}
+
+impl OpCtx<'static> {
+    /// Context for generation `generation` of `total_generations`, with
+    /// telemetry disabled.
     #[must_use]
     pub fn new(generation: u32, total_generations: u32) -> Self {
-        OpCtx { generation, total_generations }
+        OpCtx { generation, total_generations, observer: nautilus_obs::noop() }
+    }
+}
+
+impl<'a> OpCtx<'a> {
+    /// Context that also routes operator telemetry to `observer`.
+    #[must_use]
+    pub fn with_observer(
+        generation: u32,
+        total_generations: u32,
+        observer: &'a dyn SearchObserver,
+    ) -> Self {
+        OpCtx { generation, total_generations, observer }
     }
 
     /// Run progress in `[0, 1]` (0 at the first generation).
@@ -44,6 +82,26 @@ impl OpCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nautilus_obs::{InMemorySink, SearchEvent};
+
+    #[test]
+    fn default_ctx_has_disabled_observer() {
+        let ctx = OpCtx::new(3, 10);
+        assert!(!ctx.observer.enabled());
+        assert_eq!(ctx, OpCtx::new(3, 10));
+    }
+
+    #[test]
+    fn equality_ignores_the_observer() {
+        let sink = InMemorySink::new();
+        let ctx = OpCtx::with_observer(3, 10, &sink);
+        assert_eq!(ctx, OpCtx::new(3, 10));
+        assert_ne!(ctx, OpCtx::new(4, 10));
+        ctx.observer.on_event(&SearchEvent::GenerationStart { generation: 3 });
+        assert_eq!(sink.len(), 1);
+        let shown = format!("{ctx:?}");
+        assert!(shown.contains("observer_enabled: true"), "{shown}");
+    }
 
     #[test]
     fn progress_spans_zero_to_one() {

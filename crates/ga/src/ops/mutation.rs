@@ -1,5 +1,6 @@
 //! Mutation operators.
 
+use nautilus_obs::{HintKind, SearchEvent};
 use rand::{Rng, RngExt};
 
 use crate::genome::Genome;
@@ -49,8 +50,8 @@ impl Default for UniformMutation {
 }
 
 impl MutationOp for UniformMutation {
-    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, _ctx: &OpCtx, rng: &mut dyn Rng) {
-        for id in space.param_ids() {
+    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, ctx: &OpCtx, rng: &mut dyn Rng) {
+        for (index, id) in space.param_ids().enumerate() {
             if rng.random_bool(self.rate) {
                 let card = space.param(id).cardinality();
                 if card <= 1 {
@@ -63,6 +64,14 @@ impl MutationOp for UniformMutation {
                     draw += 1;
                 }
                 genome.set_gene(id, draw);
+                if ctx.observer.enabled() {
+                    ctx.observer.on_event(&SearchEvent::MutationHintApplied {
+                        generation: ctx.generation,
+                        param: index as u32,
+                        hint_kind: HintKind::Uniform,
+                        accepted: true,
+                    });
+                }
             }
         }
     }
@@ -95,8 +104,8 @@ impl StepMutation {
 }
 
 impl MutationOp for StepMutation {
-    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, _ctx: &OpCtx, rng: &mut dyn Rng) {
-        for id in space.param_ids() {
+    fn mutate(&self, genome: &mut Genome, space: &ParamSpace, ctx: &OpCtx, rng: &mut dyn Rng) {
+        for (index, id) in space.param_ids().enumerate() {
             if rng.random_bool(self.rate) {
                 let card = space.param(id).cardinality();
                 if card <= 1 {
@@ -107,6 +116,14 @@ impl MutationOp for StepMutation {
                 let delta = if rng.random_bool(0.5) { step } else { -step };
                 let next = (current + delta).clamp(0, card as i64 - 1);
                 genome.set_gene(id, next as u32);
+                if ctx.observer.enabled() {
+                    ctx.observer.on_event(&SearchEvent::MutationHintApplied {
+                        generation: ctx.generation,
+                        param: index as u32,
+                        hint_kind: HintKind::Step,
+                        accepted: next != current,
+                    });
+                }
             }
         }
     }
@@ -190,6 +207,63 @@ mod tests {
             assert!(g.gene_at(0) <= 2, "step too large: {}", g.gene_at(0));
             assert!(g.gene_at(1) >= 7, "step too large: {}", g.gene_at(1));
         }
+    }
+
+    #[test]
+    fn uniform_mutation_reports_each_mutated_gene() {
+        let s = space();
+        let op = UniformMutation::new(1.0);
+        let sink = nautilus_obs::InMemorySink::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = Genome::from_genes(vec![5, 5, 0]);
+        op.mutate(&mut g, &s, &OpCtx::with_observer(2, 10, &sink), &mut rng);
+        let events = sink.events();
+        // Single-valued gene "c" never mutates, so exactly two events.
+        assert_eq!(events.len(), 2);
+        let params: Vec<u32> = events
+            .iter()
+            .map(|e| match e {
+                SearchEvent::MutationHintApplied { generation, param, hint_kind, accepted } => {
+                    assert_eq!(*generation, 2);
+                    assert_eq!(*hint_kind, HintKind::Uniform);
+                    assert!(*accepted);
+                    *param
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(params, vec![0, 1]);
+    }
+
+    #[test]
+    fn step_mutation_reports_rejected_moves_at_domain_edges() {
+        // A gene pinned at its lower bound stepping "down" clamps in place:
+        // the event is emitted but not accepted.
+        let s = ParamSpace::builder().int("a", 0, 9, 1).build().unwrap();
+        let op = StepMutation::new(1.0, 1);
+        let sink = nautilus_obs::InMemorySink::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut accepted, mut rejected) = (0u32, 0u32);
+        for _ in 0..200 {
+            let mut g = Genome::from_genes(vec![0]);
+            op.mutate(&mut g, &s, &OpCtx::with_observer(0, 1, &sink), &mut rng);
+        }
+        for e in sink.events() {
+            match e {
+                SearchEvent::MutationHintApplied {
+                    hint_kind: HintKind::Step, accepted: a, ..
+                } => {
+                    if a {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(accepted > 0, "up-steps from 0 should change the gene");
+        assert!(rejected > 0, "down-steps from 0 should clamp and be rejected");
     }
 
     #[test]

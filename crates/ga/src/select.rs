@@ -62,10 +62,7 @@ impl Selector for Tournament {
     fn select(&self, ranked: &[ScoredGenome], rng: &mut dyn Rng) -> usize {
         assert!(!ranked.is_empty(), "cannot select from an empty population");
         // `ranked` is best-first, so the winner is the *smallest* drawn index.
-        (0..self.k)
-            .map(|_| rng.random_range(0..ranked.len()))
-            .min()
-            .expect("k >= 1")
+        (0..self.k).map(|_| rng.random_range(0..ranked.len())).min().expect("k >= 1")
     }
 
     fn name(&self) -> &str {
@@ -156,11 +153,7 @@ impl Selector for FitnessProportional {
         let finite: Vec<f64> =
             ranked.iter().map(|s| if s.score.is_finite() { s.score } else { f64::NAN }).collect();
         let lo = finite.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min);
-        let hi = finite
-            .iter()
-            .copied()
-            .filter(|v| !v.is_nan())
-            .fold(f64::NEG_INFINITY, f64::max);
+        let hi = finite.iter().copied().filter(|v| !v.is_nan()).fold(f64::NEG_INFINITY, f64::max);
         if !lo.is_finite() || !hi.is_finite() || (hi - lo).abs() < f64::EPSILON {
             return rng.random_range(0..ranked.len());
         }
@@ -209,8 +202,7 @@ impl Default for Truncation {
 impl Selector for Truncation {
     fn select(&self, ranked: &[ScoredGenome], rng: &mut dyn Rng) -> usize {
         assert!(!ranked.is_empty(), "cannot select from an empty population");
-        let cutoff = ((ranked.len() as f64 * self.fraction).ceil() as usize)
-            .clamp(1, ranked.len());
+        let cutoff = ((ranked.len() as f64 * self.fraction).ceil() as usize).clamp(1, ranked.len());
         rng.random_range(0..cutoff)
     }
 

@@ -120,29 +120,19 @@ impl ParamSpace {
     /// points" for a 42-parameter router) overflow `u64` quickly.
     #[must_use]
     pub fn cardinality(&self) -> u128 {
-        self.params
-            .iter()
-            .map(|p| p.cardinality() as u128)
-            .fold(1u128, u128::saturating_mul)
+        self.params.iter().map(|p| p.cardinality() as u128).fold(1u128, u128::saturating_mul)
     }
 
     /// Draws a uniformly random genome.
     pub fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> Genome {
-        self.params
-            .iter()
-            .map(|p| rng.random_range(0..p.cardinality()) as u32)
-            .collect()
+        self.params.iter().map(|p| rng.random_range(0..p.cardinality()) as u32).collect()
     }
 
     /// Checks that every gene indexes into its parameter's domain.
     #[must_use]
     pub fn contains(&self, genome: &Genome) -> bool {
         genome.len() == self.params.len()
-            && genome
-                .genes()
-                .iter()
-                .zip(&self.params)
-                .all(|(&g, p)| (g as usize) < p.cardinality())
+            && genome.genes().iter().zip(&self.params).all(|(&g, p)| (g as usize) < p.cardinality())
     }
 
     /// Encodes named values into a genome.
@@ -368,10 +358,7 @@ impl ParamSpaceBuilder {
         name: impl Into<String>,
         choices: impl IntoIterator<Item = S>,
     ) -> Self {
-        self.param(
-            name,
-            ParamDomain::Choices(choices.into_iter().map(Into::into).collect()),
-        )
+        self.param(name, ParamDomain::Choices(choices.into_iter().map(Into::into).collect()))
     }
 
     /// Adds a boolean feature flag.
@@ -480,10 +467,7 @@ mod tests {
         assert_eq!(dp.get("alloc"), Some(&ParamValue::Sym("matrix".into())));
         assert_eq!(dp.get("width"), Some(&ParamValue::Int(64)));
         assert_eq!(dp.get("missing"), None);
-        assert_eq!(
-            dp.to_string(),
-            "{depth=3, alloc=matrix, spec=true, width=64}"
-        );
+        assert_eq!(dp.to_string(), "{depth=3, alloc=matrix, spec=true, width=64}");
     }
 
     #[test]

@@ -32,20 +32,29 @@ impl Summary {
     /// ```
     #[must_use]
     pub fn of(values: &[f64]) -> Option<Summary> {
-        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        if finite.is_empty() {
+        // Single allocation-free streaming pass (Welford's online variance):
+        // this sits on the per-generation stats path, so no intermediate Vec.
+        let mut n = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            n += 1;
+            let delta = v - mean;
+            mean += delta / n as f64;
+            m2 += delta * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
             return None;
         }
-        let n = finite.len();
-        let mean = finite.iter().sum::<f64>() / n as f64;
-        let var = if n < 2 {
-            0.0
-        } else {
-            finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
-        };
-        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(Summary { n, mean, std_dev: var.sqrt(), min, max })
+        let std_dev = if n < 2 { 0.0 } else { (m2 / (n as f64 - 1.0)).sqrt() };
+        Some(Summary { n, mean, std_dev, min, max })
     }
 }
 
@@ -141,6 +150,25 @@ mod tests {
         let s = Summary::of(&[4.2]).unwrap();
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.mean, 4.2);
+    }
+
+    #[test]
+    fn summary_handles_every_non_finite_shape() {
+        // Mixed NaN and both infinities interleaved with finite values.
+        let s =
+            Summary::of(&[f64::NEG_INFINITY, -3.0, f64::NAN, 0.0, f64::INFINITY, 3.0, f64::NAN])
+                .unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!((s.min, s.max), (-3.0, 3.0));
+        assert!((s.std_dev - 3.0).abs() < 1e-12);
+        // All-non-finite input yields no summary rather than NaN fields.
+        assert!(Summary::of(&[f64::INFINITY, f64::NEG_INFINITY, f64::NAN]).is_none());
+        // Large magnitudes stream through without losing the mean.
+        let extremes = Summary::of(&[1e150, -1e150]).unwrap();
+        assert_eq!(extremes.n, 2);
+        assert_eq!(extremes.mean, 0.0);
+        assert!(extremes.std_dev.is_finite());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use nautilus_ga::ops::{CrossoverOp, MutationOp, OpCtx};
 use nautilus_ga::{
-    Direction, FnFitness, GaEngine, GaSettings, Genome, OnePointCrossover, ParamDomain,
-    ParamSpace, ParamValue, StepMutation, TwoPointCrossover, UniformCrossover, UniformMutation,
+    Direction, FnFitness, GaEngine, GaSettings, Genome, OnePointCrossover, ParamDomain, ParamSpace,
+    ParamValue, StepMutation, TwoPointCrossover, UniformCrossover, UniformMutation,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -17,10 +17,8 @@ fn arb_domain() -> impl Strategy<Value = ParamDomain> {
             hi: lo + step * (n as i64 - 1),
             step,
         }),
-        (0u32..8, 0u32..4).prop_map(|(lo, extra)| ParamDomain::Pow2 {
-            lo_log2: lo,
-            hi_log2: lo + extra,
-        }),
+        (0u32..8, 0u32..4)
+            .prop_map(|(lo, extra)| ParamDomain::Pow2 { lo_log2: lo, hi_log2: lo + extra }),
         prop::collection::vec(-100i64..100, 1..10).prop_map(|mut v| {
             v.sort_unstable();
             v.dedup();

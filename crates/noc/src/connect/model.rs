@@ -157,8 +157,7 @@ impl CostModel for NocModel {
         let xbar_gates = radix * radix * width * 2.5;
         let alloc_gates = radix * vcs * vcs * (if wavefront { 55.0 } else { 30.0 }) + 400.0;
         let ctrl_gates = radix * vcs * width * 0.6 + 900.0;
-        let logic_mm2_per_router =
-            (xbar_gates + alloc_gates + ctrl_gates) * tech::GATE_AREA_MM2;
+        let logic_mm2_per_router = (xbar_gates + alloc_gates + ctrl_gates) * tech::GATE_AREA_MM2;
         // Buffer SRAM bits per router.
         let buffer_bits = radix * vcs * depth * width;
         let sram_mm2_per_router = buffer_bits * tech::SRAM_BIT_MM2;
@@ -180,8 +179,7 @@ impl CostModel for NocModel {
         let dyn_sram = sram_mm2 * fclk * tech::DYN_MW_PER_MM2_GHZ * 0.55;
         let dyn_chan = s.channels as f64 * width * fclk * tech::CHAN_MW_PER_BIT_GHZ;
         let leakage = area * tech::LEAK_MW_PER_MM2;
-        let power =
-            (dyn_logic + dyn_sram + dyn_chan + leakage) * noise_factor(g, SALT_POWER, 0.05);
+        let power = (dyn_logic + dyn_sram + dyn_chan + leakage) * noise_factor(g, SALT_POWER, 0.05);
 
         // ---- Peak bisection bandwidth (Gbps) ---------------------------------
         let bisection = s.bisection_channels as f64 * width * fclk;
@@ -280,10 +278,7 @@ mod tests {
         let area = d.catalog().require("area_mm2").unwrap();
         let mut per_family: std::collections::HashMap<&str, Vec<f64>> = Default::default();
         for (g, ms) in d.iter() {
-            per_family
-                .entry(m.topology_of(g).label())
-                .or_default()
-                .push(ms.get(bw) / ms.get(area));
+            per_family.entry(m.topology_of(g).label()).or_default().push(ms.get(bw) / ms.get(area));
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let ring = mean(&per_family["Ring"]);

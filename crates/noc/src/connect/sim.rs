@@ -73,8 +73,7 @@ impl Network {
             }
             Topology::ConcentratedRing | Topology::ConcentratedDoubleRing => {
                 routers = endpoints / 4;
-                let lanes =
-                    if topology == Topology::ConcentratedDoubleRing { 2 } else { 1 };
+                let lanes = if topology == Topology::ConcentratedDoubleRing { 2 } else { 1 };
                 for _ in 0..lanes {
                     for r in 0..routers {
                         both(&mut edges, r, (r + 1) % routers);
@@ -184,10 +183,7 @@ impl Network {
                 if u == dst {
                     continue;
                 }
-                assert!(
-                    dist[u] != u32::MAX,
-                    "{topology}: router {u} cannot reach {dst}"
-                );
+                assert!(dist[u] != u32::MAX, "{topology}: router {u} cannot reach {dst}");
                 for &ei in &out_edges[u] {
                     let v = edges[ei].to;
                     if dist[v] + 1 == dist[u] {
@@ -353,11 +349,7 @@ pub fn simulate(network: &Network, config: &SimConfig) -> SimResult {
     }
 
     SimResult {
-        avg_latency: if delivered == 0 {
-            f64::NAN
-        } else {
-            latency_sum as f64 / delivered as f64
-        },
+        avg_latency: if delivered == 0 { f64::NAN } else { latency_sum as f64 / delivered as f64 },
         delivered_rate: delivered as f64 / f64::from(config.measure) / n as f64,
         offered,
         delivered,
@@ -382,8 +374,8 @@ pub fn saturation_rate(network: &Network, seed: u64) -> f64 {
                 seed: seed.wrapping_add(step),
             },
         );
-        let sustained = result.offered > 0
-            && result.delivered as f64 >= 0.95 * result.offered as f64;
+        let sustained =
+            result.offered > 0 && result.delivered as f64 >= 0.95 * result.offered as f64;
         if sustained {
             lo = rate;
         } else {
@@ -454,16 +446,9 @@ mod tests {
     #[test]
     fn low_load_latency_tracks_hop_count() {
         let net = Network::build(Topology::Mesh, 64);
-        let r = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
-        );
+        let r = simulate(&net, &SimConfig { injection_rate: 0.01, ..SimConfig::default() });
         // 8x8 mesh uniform traffic: ~5.33 average hops, +1 ejection cycle.
-        assert!(
-            (5.0..8.0).contains(&r.avg_latency),
-            "zero-load latency {}",
-            r.avg_latency
-        );
+        assert!((5.0..8.0).contains(&r.avg_latency), "zero-load latency {}", r.avg_latency);
         // At 1% load everything is delivered.
         assert!(r.delivered as f64 >= 0.95 * r.offered as f64);
     }
@@ -471,14 +456,8 @@ mod tests {
     #[test]
     fn congestion_raises_latency() {
         let net = Network::build(Topology::Ring, 64);
-        let light = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
-        );
-        let heavy = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.5, ..SimConfig::default() },
-        );
+        let light = simulate(&net, &SimConfig { injection_rate: 0.01, ..SimConfig::default() });
+        let heavy = simulate(&net, &SimConfig { injection_rate: 0.5, ..SimConfig::default() });
         assert!(
             heavy.avg_latency > 2.0 * light.avg_latency,
             "no congestion: {} vs {}",
@@ -516,10 +495,7 @@ mod tests {
         let net = Network::build(Topology::ConcentratedRing, 64);
         // Endpoints 0..4 share a router: same-router traffic takes 1 cycle.
         assert_eq!(net.attach[0], net.attach[3]);
-        let r = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.02, ..SimConfig::default() },
-        );
+        let r = simulate(&net, &SimConfig { injection_rate: 0.02, ..SimConfig::default() });
         assert!(r.avg_latency < 10.0, "latency {}", r.avg_latency);
     }
 }

@@ -231,8 +231,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "even power of two")]
-    fn odd_endpoint_counts_are_rejected()
-    {
+    fn odd_endpoint_counts_are_rejected() {
         let _ = Topology::Mesh.structure(32);
     }
 

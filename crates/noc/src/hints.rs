@@ -160,9 +160,6 @@ mod tests {
             other => panic!("expected bias, got {other:?}"),
         }
         // Identical targets survive the merge.
-        assert!(matches!(
-            h.get("speculation").unwrap().value,
-            Some(ValueHint::Target(_))
-        ));
+        assert!(matches!(h.get("speculation").unwrap().value, Some(ValueHint::Target(_))));
     }
 }

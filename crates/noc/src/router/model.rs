@@ -92,12 +92,8 @@ impl RouterModel {
         };
         RouterModel {
             space,
-            catalog: MetricCatalog::new([
-                ("luts", "LUTs"),
-                ("fmax", "MHz"),
-                ("latency", "cycles"),
-            ])
-            .expect("static catalog"),
+            catalog: MetricCatalog::new([("luts", "LUTs"), ("fmax", "MHz"), ("latency", "cycles")])
+                .expect("static catalog"),
             ids,
         }
     }
@@ -232,11 +228,7 @@ impl CostModel for RouterModel {
         luts *= noise_factor(g, SALT_LUTS, 0.06);
         let fmax = (1000.0 / d_stage * noise_factor(g, SALT_FMAX, 0.05)).max(55.0);
 
-        Some(
-            self.catalog
-                .set(vec![luts.round(), fmax, latency])
-                .expect("arity matches catalog"),
-        )
+        Some(self.catalog.set(vec![luts.round(), fmax, latency]).expect("arity matches catalog"))
     }
 }
 
@@ -263,10 +255,7 @@ mod tests {
         let fmax = MetricExpr::metric(d.catalog().require("fmax").unwrap());
         let (_, min_luts) = d.best(&luts, Direction::Minimize);
         let (_, max_luts) = d.best(&luts, Direction::Maximize);
-        assert!(
-            (200.0..1500.0).contains(&min_luts),
-            "min LUTs {min_luts} outside Figure 1 range"
-        );
+        assert!((200.0..1500.0).contains(&min_luts), "min LUTs {min_luts} outside Figure 1 range");
         assert!(
             (15_000.0..40_000.0).contains(&max_luts),
             "max LUTs {max_luts} outside Figure 1 range"

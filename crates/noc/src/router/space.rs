@@ -125,11 +125,7 @@ mod tests {
     fn full_space_has_42_params_and_billions_of_points() {
         let s = full_space();
         assert_eq!(s.num_params(), 42);
-        assert!(
-            s.cardinality() > 1_000_000_000,
-            "only {} points",
-            s.cardinality()
-        );
+        assert!(s.cardinality() > 1_000_000_000, "only {} points", s.cardinality());
     }
 
     #[test]

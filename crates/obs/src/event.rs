@@ -1,0 +1,332 @@
+//! Typed search-telemetry events and their JSONL schema.
+//!
+//! Every event serializes to one JSON object with a `"type"` discriminator
+//! (snake_case of the variant name); a run's event stream is one event per
+//! line (JSONL). The schema is documented field-by-field on each variant
+//! and exercised round-trip by the crate's tests.
+
+use crate::json::JsonObj;
+
+/// Which steering mechanism drove one mutation slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HintKind {
+    /// Unguided uniform redraw (the baseline operator, or a parameter
+    /// without any value hint).
+    Uniform,
+    /// Unguided local step (the `StepMutation` operator).
+    Step,
+    /// A directional bias hint steered the new value.
+    Bias,
+    /// A target hint pulled the new value.
+    Target,
+    /// A value hint exists but the confidence gate fell back to uniform.
+    Fallback,
+}
+
+impl HintKind {
+    /// Stable lowercase label used in the JSON schema.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HintKind::Uniform => "uniform",
+            HintKind::Step => "step",
+            HintKind::Bias => "bias",
+            HintKind::Target => "target",
+            HintKind::Fallback => "fallback",
+        }
+    }
+
+    /// All kinds, in schema order.
+    pub const ALL: [HintKind; 5] =
+        [HintKind::Uniform, HintKind::Step, HintKind::Bias, HintKind::Target, HintKind::Fallback];
+}
+
+impl std::fmt::Display for HintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured telemetry event emitted during a search run.
+///
+/// Events are emitted in wall-clock order on the thread executing the run,
+/// so a sink may attribute [`SearchEvent::EvalCompleted`] events to the
+/// generation opened by the latest [`SearchEvent::GenerationStart`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchEvent {
+    /// A search run began.
+    RunStart {
+        /// Strategy label ("baseline", "nautilus-strong", ...).
+        strategy: String,
+        /// The run's RNG seed.
+        seed: u64,
+        /// Parameter names, in gene order; `param` indices in later events
+        /// refer to this list.
+        params: Vec<String>,
+        /// Population size.
+        population: usize,
+        /// Generation budget.
+        generations: u32,
+    },
+    /// A generation's scoring phase began.
+    GenerationStart {
+        /// Zero-based generation number.
+        generation: u32,
+    },
+    /// A generation finished scoring.
+    GenerationEnd {
+        /// Zero-based generation number.
+        generation: u32,
+        /// Best raw objective value among feasible members (NaN → null).
+        best: f64,
+        /// Mean raw objective value over feasible members (NaN → null).
+        mean: f64,
+        /// Best raw objective value seen so far in the run.
+        best_so_far: f64,
+        /// Cumulative distinct feasible evaluations.
+        distinct_evals: u64,
+        /// Cumulative evaluation-cache hits.
+        cache_hits: u64,
+        /// Cumulative distinct infeasible attempts.
+        infeasible: u64,
+    },
+    /// One evaluation (synthesis-job lookup) completed.
+    EvalCompleted {
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Whether the design point was feasible.
+        feasible: bool,
+        /// Simulated EDA tool seconds charged (0 for cache hits and
+        /// infeasible attempts).
+        tool_secs: u64,
+    },
+    /// One mutation slot fired on a gene.
+    MutationHintApplied {
+        /// Generation whose offspring are being bred.
+        generation: u32,
+        /// Gene index (see `params` in [`SearchEvent::RunStart`]).
+        param: u32,
+        /// Which steering mechanism drove the new value.
+        hint_kind: HintKind,
+        /// Whether the gene actually changed value.
+        accepted: bool,
+    },
+    /// The importance-decay schedule produced this generation's
+    /// gene-selection weights.
+    ImportanceDecayed {
+        /// Generation the weights apply to.
+        generation: u32,
+        /// Smallest effective weight.
+        min_weight: f64,
+        /// Largest effective weight.
+        max_weight: f64,
+        /// Mean effective weight.
+        mean_weight: f64,
+    },
+    /// A crossover operator recombined two parents.
+    CrossoverApplied {
+        /// Generation whose offspring are being bred.
+        generation: u32,
+        /// Operator name ("one-point", "nautilus-guided-crossover", ...).
+        kind: String,
+    },
+    /// A parent-selection operator was invoked.
+    SelectionInvoked {
+        /// Generation whose offspring are being bred.
+        generation: u32,
+        /// Selector name ("tournament", "rank-roulette", ...).
+        kind: String,
+    },
+    /// A Pareto front was recomputed.
+    ParetoUpdated {
+        /// Number of non-dominated points in the updated front.
+        size: usize,
+    },
+    /// A scoped timer closed.
+    SpanEnd {
+        /// Span name ("init_population", "scoring", "breeding", ...).
+        name: &'static str,
+        /// Elapsed wall-clock nanoseconds.
+        nanos: u64,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Best objective value found.
+        best_value: f64,
+        /// Total distinct feasible evaluations spent.
+        distinct_evals: u64,
+        /// Run wall-clock nanoseconds.
+        wall_nanos: u64,
+    },
+}
+
+impl SearchEvent {
+    /// The event's `"type"` discriminator.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SearchEvent::RunStart { .. } => "run_start",
+            SearchEvent::GenerationStart { .. } => "generation_start",
+            SearchEvent::GenerationEnd { .. } => "generation_end",
+            SearchEvent::EvalCompleted { .. } => "eval_completed",
+            SearchEvent::MutationHintApplied { .. } => "mutation_hint_applied",
+            SearchEvent::ImportanceDecayed { .. } => "importance_decayed",
+            SearchEvent::CrossoverApplied { .. } => "crossover_applied",
+            SearchEvent::SelectionInvoked { .. } => "selection_invoked",
+            SearchEvent::ParetoUpdated { .. } => "pareto_updated",
+            SearchEvent::SpanEnd { .. } => "span_end",
+            SearchEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Serializes the event as one JSON object (one JSONL line, without
+    /// the trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("type", self.kind());
+        match self {
+            SearchEvent::RunStart { strategy, seed, params, population, generations } => {
+                o.str("strategy", strategy)
+                    .u64("seed", *seed)
+                    .arr_str("params", params)
+                    .u64("population", *population as u64)
+                    .u64("generations", u64::from(*generations));
+            }
+            SearchEvent::GenerationStart { generation } => {
+                o.u64("generation", u64::from(*generation));
+            }
+            SearchEvent::GenerationEnd {
+                generation,
+                best,
+                mean,
+                best_so_far,
+                distinct_evals,
+                cache_hits,
+                infeasible,
+            } => {
+                o.u64("generation", u64::from(*generation))
+                    .f64("best", *best)
+                    .f64("mean", *mean)
+                    .f64("best_so_far", *best_so_far)
+                    .u64("distinct_evals", *distinct_evals)
+                    .u64("cache_hits", *cache_hits)
+                    .u64("infeasible", *infeasible);
+            }
+            SearchEvent::EvalCompleted { cached, feasible, tool_secs } => {
+                o.bool("cached", *cached).bool("feasible", *feasible).u64("tool_secs", *tool_secs);
+            }
+            SearchEvent::MutationHintApplied { generation, param, hint_kind, accepted } => {
+                o.u64("generation", u64::from(*generation))
+                    .u64("param", u64::from(*param))
+                    .str("hint_kind", hint_kind.as_str())
+                    .bool("accepted", *accepted);
+            }
+            SearchEvent::ImportanceDecayed { generation, min_weight, max_weight, mean_weight } => {
+                o.u64("generation", u64::from(*generation))
+                    .f64("min_weight", *min_weight)
+                    .f64("max_weight", *max_weight)
+                    .f64("mean_weight", *mean_weight);
+            }
+            SearchEvent::CrossoverApplied { generation, kind } => {
+                o.u64("generation", u64::from(*generation)).str("kind", kind);
+            }
+            SearchEvent::SelectionInvoked { generation, kind } => {
+                o.u64("generation", u64::from(*generation)).str("kind", kind);
+            }
+            SearchEvent::ParetoUpdated { size } => {
+                o.u64("size", *size as u64);
+            }
+            SearchEvent::SpanEnd { name, nanos } => {
+                o.str("name", name).u64("nanos", *nanos);
+            }
+            SearchEvent::RunEnd { best_value, distinct_evals, wall_nanos } => {
+                o.f64("best_value", *best_value)
+                    .u64("distinct_evals", *distinct_evals)
+                    .u64("wall_nanos", *wall_nanos);
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+
+    fn samples() -> Vec<SearchEvent> {
+        vec![
+            SearchEvent::RunStart {
+                strategy: "nautilus-strong".into(),
+                seed: 7,
+                params: vec!["depth".into(), "width".into()],
+                population: 10,
+                generations: 80,
+            },
+            SearchEvent::GenerationStart { generation: 0 },
+            SearchEvent::GenerationEnd {
+                generation: 0,
+                best: 10.0,
+                mean: f64::NAN,
+                best_so_far: 10.0,
+                distinct_evals: 10,
+                cache_hits: 0,
+                infeasible: 2,
+            },
+            SearchEvent::EvalCompleted { cached: false, feasible: true, tool_secs: 300 },
+            SearchEvent::MutationHintApplied {
+                generation: 3,
+                param: 1,
+                hint_kind: HintKind::Bias,
+                accepted: true,
+            },
+            SearchEvent::ImportanceDecayed {
+                generation: 3,
+                min_weight: 1.0,
+                max_weight: 95.0,
+                mean_weight: 31.5,
+            },
+            SearchEvent::CrossoverApplied { generation: 3, kind: "one-point".into() },
+            SearchEvent::SelectionInvoked { generation: 3, kind: "tournament".into() },
+            SearchEvent::ParetoUpdated { size: 4 },
+            SearchEvent::SpanEnd { name: "scoring", nanos: 12345 },
+            SearchEvent::RunEnd { best_value: 1.5, distinct_evals: 204, wall_nanos: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_event_serializes_to_valid_json_with_type_tag() {
+        for e in samples() {
+            let json = e.to_json();
+            assert!(is_valid_json(&json), "invalid: {json}");
+            assert!(
+                json.starts_with(&format!("{{\"type\":\"{}\"", e.kind())),
+                "missing type tag: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_fields_become_null() {
+        let e = SearchEvent::GenerationEnd {
+            generation: 1,
+            best: f64::NAN,
+            mean: f64::NAN,
+            best_so_far: f64::NAN,
+            distinct_evals: 0,
+            cache_hits: 0,
+            infeasible: 0,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"best\":null"), "{json}");
+        assert!(is_valid_json(&json));
+    }
+
+    #[test]
+    fn hint_kind_labels_are_stable() {
+        let labels: Vec<&str> = HintKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels, ["uniform", "step", "bias", "target", "fallback"]);
+        assert_eq!(HintKind::Bias.to_string(), "bias");
+    }
+}

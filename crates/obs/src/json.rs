@@ -1,0 +1,456 @@
+//! A minimal, dependency-free JSON emitter and validator.
+//!
+//! The observability layer must not pull in `serde_json` (the build
+//! environment is offline), so events, metric snapshots and run reports
+//! serialize through this hand-rolled writer. The emitted subset is plain
+//! JSON: objects, arrays, strings, bools, `u64`/`i64`/`f64` numbers and
+//! `null`. Non-finite floats serialize as `null` so the output always
+//! parses.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as the body of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `v` as a JSON number, or `null` when it is not finite.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting; integral values gain a
+        // trailing ".0" so readers see a float, not an int.
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(out, "{v:.1}");
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incremental JSON **object** builder.
+///
+/// ```
+/// use nautilus_obs::json::JsonObj;
+/// let mut o = JsonObj::new();
+/// o.str("type", "eval_completed").bool("cached", false).u64("tool_secs", 60);
+/// assert_eq!(o.finish(), r#"{"type":"eval_completed","cached":false,"tool_secs":60}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('"');
+        escape_into(buf, v);
+        buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (`null` when not finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        let buf = self.key(k);
+        push_f64(buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(json);
+        self
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn arr_str<S: AsRef<str>>(&mut self, k: &str, vs: &[S]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push('"');
+            escape_into(buf, v.as_ref());
+            buf.push('"');
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds an array-of-u64 field.
+    pub fn arr_u64(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "{v}");
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds an array-of-f64 field (non-finite entries become `null`).
+    pub fn arr_f64(&mut self, k: &str, vs: &[f64]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            push_f64(buf, *v);
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds an array field of already-serialized JSON values.
+    pub fn arr_raw<S: AsRef<str>>(&mut self, k: &str, vs: &[S]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(v.as_ref());
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value.
+///
+/// A tiny recursive-descent checker used by tests and by readers of the
+/// JSONL streams; it accepts the standard JSON grammar (RFC 8259).
+#[must_use]
+pub fn is_valid_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if !parse_value(bytes, &mut pos, 0) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    if depth > MAX_DEPTH || *pos >= b.len() {
+        return false;
+    }
+    match b[*pos] {
+        b'{' => parse_object(b, pos, depth + 1),
+        b'[' => parse_array(b, pos, depth + 1),
+        b'"' => parse_string(b, pos),
+        b't' => parse_lit(b, pos, b"true"),
+        b'f' => parse_lit(b, pos, b"false"),
+        b'n' => parse_lit(b, pos, b"null"),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b'}' {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if *pos >= b.len() || b[*pos] != b'"' || !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if *pos >= b.len() || b[*pos] != b':' {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        if !parse_value(b, pos, depth) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b']' {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_value(b, pos, depth) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '"'
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !matches!(b.get(*pos), Some(c) if c.is_ascii_hexdigit()) {
+                                return false;
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1F => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_emits_valid_json() {
+        let mut o = JsonObj::new();
+        o.str("s", "he\"llo\n")
+            .u64("u", 42)
+            .i64("i", -7)
+            .f64("f", 1.5)
+            .f64("nan", f64::NAN)
+            .bool("b", true)
+            .arr_str("names", &["a", "b"])
+            .arr_u64("counts", &[1, 2, 3])
+            .arr_f64("xs", &[0.5, f64::INFINITY]);
+        let json = o.finish();
+        assert!(is_valid_json(&json), "invalid: {json}");
+        assert!(json.contains(r#""nan":null"#));
+        assert!(json.contains(r#""xs":[0.5,null]"#));
+        assert!(json.contains(r#""s":"he\"llo\n""#));
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert!(is_valid_json("{}"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let mut o = JsonObj::new();
+        o.f64("v", 3.0);
+        assert_eq!(o.finish(), r#"{"v":3.0}"#);
+    }
+
+    #[test]
+    fn raw_and_nested_fields_compose() {
+        let mut inner = JsonObj::new();
+        inner.u64("n", 1);
+        let mut outer = JsonObj::new();
+        outer.raw("inner", &inner.clone().finish());
+        outer.arr_raw("list", &[inner.finish()]);
+        let json = outer.finish();
+        assert!(is_valid_json(&json), "invalid: {json}");
+        assert_eq!(json, r#"{"inner":{"n":1},"list":[{"n":1}]}"#);
+    }
+
+    #[test]
+    fn validator_accepts_standard_json() {
+        for ok in [
+            "null",
+            "true",
+            "-0.5e10",
+            "[1, 2, 3]",
+            r#"{"a": [true, {"b": "c"}], "d": 1e-3}"#,
+            r#""é\\""#,
+            "  [ ]  ",
+        ] {
+            assert!(is_valid_json(ok), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{}extra",
+            "{\"a\":1,}",
+            "\"bad\\q\"",
+        ] {
+            assert!(!is_valid_json(bad), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_bounds_recursion_depth() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(!is_valid_json(&deep));
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(is_valid_json(&ok));
+    }
+}

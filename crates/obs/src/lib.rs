@@ -1,0 +1,57 @@
+//! `nautilus-obs` — dependency-free observability for the Nautilus search
+//! stack.
+//!
+//! The engine in `nautilus-ga` / `nautilus` is otherwise a black box
+//! between "run the search" and a final `SearchOutcome`. This crate makes
+//! the inside visible without adding any external dependency (the build
+//! environment is offline): std atomics, `Mutex`, and a hand-rolled JSON
+//! emitter are the whole footprint. Three pillars:
+//!
+//! 1. **Metrics registry** ([`MetricsRegistry`]) — lock-free [`Counter`]s,
+//!    [`Gauge`]s and fixed-bucket [`Histogram`]s with a cheap
+//!    [`MetricsRegistry::snapshot`]. [`MetricsSink`] folds the event
+//!    stream into a registry (evals, cache hits, infeasible attempts,
+//!    mutations per parameter, hint applications by kind, ...).
+//! 2. **Structured event bus** — the [`SearchObserver`] trait receives
+//!    typed [`SearchEvent`]s; [`span`] gives span-style scoped timers.
+//!    The default [`noop`] observer reports itself disabled so emitters
+//!    pay one predictable branch and never allocate. [`JsonlSink`]
+//!    streams events as JSON Lines; [`InMemorySink`] buffers them for
+//!    tests; [`Fanout`] broadcasts to several observers at once.
+//! 3. **Per-run reports** — [`ReportBuilder`] aggregates one run's events
+//!    into a [`RunReport`] (per-generation hint/decay/cache dynamics plus
+//!    whole-run tallies) that serializes to a summary JSON document.
+//!
+//! A typical instrumented run fans a streaming sink and a report builder
+//! out to the same engine:
+//!
+//! ```no_run
+//! use nautilus_obs::{Fanout, JsonlSink, ReportBuilder, SearchObserver};
+//!
+//! let jsonl = JsonlSink::create("run.jsonl").unwrap();
+//! let report = ReportBuilder::new();
+//! let fan = Fanout::pair(&jsonl, &report);
+//! // ... hand `&fan` to the engine as its `&dyn SearchObserver` ...
+//! # fan.on_event(&nautilus_obs::SearchEvent::ParetoUpdated { size: 0 });
+//! jsonl.flush().unwrap();
+//! let summary = report.finish().to_json();
+//! # let _ = summary;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod report;
+pub mod sink;
+
+pub use event::{HintKind, SearchEvent};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot,
+};
+pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
+pub use report::{EvalTally, GenerationTelemetry, HintTally, ReportBuilder, RunReport, SpanStat};
+pub use sink::{InMemorySink, JsonlSink};

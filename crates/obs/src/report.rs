@@ -1,0 +1,527 @@
+//! Per-run report aggregation: a [`ReportBuilder`] observer folds the
+//! event stream into a machine-readable [`RunReport`] summary.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::event::{HintKind, SearchEvent};
+use crate::json::JsonObj;
+use crate::observer::SearchObserver;
+
+/// Mutation counts broken down by [`HintKind`], plus how many actually
+/// changed the gene.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HintTally {
+    /// Counts indexed in [`HintKind::ALL`] order.
+    pub counts: [u64; HintKind::ALL.len()],
+    /// Mutations that changed the gene's value.
+    pub accepted: u64,
+}
+
+impl HintTally {
+    /// Count for one kind.
+    #[must_use]
+    pub fn count_of(&self, kind: HintKind) -> u64 {
+        let idx = HintKind::ALL.iter().position(|k| *k == kind).unwrap_or(0);
+        self.counts[idx]
+    }
+
+    /// Total mutation slots tallied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Records one mutation slot.
+    pub fn record(&mut self, kind: HintKind, accepted: bool) {
+        let idx = HintKind::ALL.iter().position(|k| *k == kind).unwrap_or(0);
+        self.counts[idx] += 1;
+        if accepted {
+            self.accepted += 1;
+        }
+    }
+
+    /// Serializes as `{"uniform":n, ..., "accepted":n}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        for (kind, n) in HintKind::ALL.iter().zip(self.counts.iter()) {
+            o.u64(kind.as_str(), *n);
+        }
+        o.u64("accepted", self.accepted);
+        o.finish()
+    }
+}
+
+/// Evaluation-lookup counts, split the same way [`SearchEvent::EvalCompleted`]
+/// is flagged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalTally {
+    /// Distinct feasible evaluations (cache misses that produced metrics).
+    pub feasible: u64,
+    /// Cache hits.
+    pub cached: u64,
+    /// Distinct infeasible attempts.
+    pub infeasible: u64,
+    /// Simulated EDA tool seconds charged.
+    pub tool_secs: u64,
+}
+
+impl EvalTally {
+    /// Every lookup: feasible + infeasible + cached.
+    ///
+    /// Reconciles with `JobStats::total_lookups()` on the synthesis-job
+    /// runner that emitted the events.
+    #[must_use]
+    pub fn total_lookups(&self) -> u64 {
+        self.feasible + self.infeasible + self.cached
+    }
+
+    /// Records one lookup with [`SearchEvent::EvalCompleted`] semantics.
+    pub fn record(&mut self, cached: bool, feasible: bool, tool_secs: u64) {
+        if cached {
+            self.cached += 1;
+        } else if feasible {
+            self.feasible += 1;
+        } else {
+            self.infeasible += 1;
+        }
+        self.tool_secs += tool_secs;
+    }
+
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("feasible", self.feasible)
+            .u64("cached", self.cached)
+            .u64("infeasible", self.infeasible)
+            .u64("tool_secs", self.tool_secs)
+            .u64("total_lookups", self.total_lookups());
+        o.finish()
+    }
+}
+
+/// Aggregated wall-clock time for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across closings.
+    pub total_nanos: u64,
+    /// Longest single closing.
+    pub max_nanos: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("count", self.count)
+            .u64("total_nanos", self.total_nanos)
+            .u64("max_nanos", self.max_nanos);
+        o.finish()
+    }
+}
+
+/// One generation's slice of the run telemetry.
+///
+/// Scoring fields (`best`, `mean`, cumulative cache counters, `evals`)
+/// describe the generation's *scoring* phase; breeding fields
+/// (`mutations_per_param`, `hints`, `crossovers`, `selections`) describe
+/// the offspring bred *from* this generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenerationTelemetry {
+    /// Zero-based generation number.
+    pub generation: u32,
+    /// Best raw objective value among feasible members this generation.
+    pub best: f64,
+    /// Mean raw objective value over feasible members this generation.
+    pub mean: f64,
+    /// Best raw objective value seen so far in the run.
+    pub best_so_far: f64,
+    /// Cumulative distinct feasible evaluations at generation end.
+    pub distinct_evals: u64,
+    /// Cumulative evaluation-cache hits at generation end.
+    pub cache_hits: u64,
+    /// Cumulative distinct infeasible attempts at generation end.
+    pub infeasible: u64,
+    /// Synthesis-job lookups performed while scoring this generation
+    /// (generation 0 also absorbs initial-population feasibility probes).
+    pub evals: EvalTally,
+    /// Mutation slots per parameter (gene order; see `params` on the
+    /// report) while breeding this generation's offspring.
+    pub mutations_per_param: Vec<u64>,
+    /// Mutation slots by hint kind while breeding this generation's
+    /// offspring.
+    pub hints: HintTally,
+    /// Crossover invocations while breeding.
+    pub crossovers: u64,
+    /// Selection invocations while breeding.
+    pub selections: u64,
+}
+
+impl GenerationTelemetry {
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("generation", u64::from(self.generation))
+            .f64("best", self.best)
+            .f64("mean", self.mean)
+            .f64("best_so_far", self.best_so_far)
+            .u64("distinct_evals", self.distinct_evals)
+            .u64("cache_hits", self.cache_hits)
+            .u64("infeasible", self.infeasible)
+            .raw("evals", &self.evals.to_json())
+            .arr_u64("mutations_per_param", &self.mutations_per_param)
+            .raw("hints", &self.hints.to_json())
+            .u64("crossovers", self.crossovers)
+            .u64("selections", self.selections);
+        o.finish()
+    }
+}
+
+/// The machine-readable summary of one instrumented search run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Strategy label from [`SearchEvent::RunStart`].
+    pub strategy: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Parameter names in gene order.
+    pub params: Vec<String>,
+    /// Population size.
+    pub population: usize,
+    /// Generation budget.
+    pub generation_budget: u32,
+    /// Best objective value found (NaN if the run never reported one).
+    pub best_value: f64,
+    /// Total distinct feasible evaluations — the paper's "# designs
+    /// evaluated" cost axis.
+    pub distinct_evals: u64,
+    /// Run wall-clock nanoseconds.
+    pub wall_nanos: u64,
+    /// Whole-run evaluation-lookup tallies.
+    pub evals: EvalTally,
+    /// Whole-run mutation tallies by hint kind.
+    pub hints: HintTally,
+    /// Importance-decay reweighting events observed.
+    pub importance_decays: u64,
+    /// Pareto-front recomputations observed.
+    pub pareto_updates: u64,
+    /// Per-generation telemetry, in generation order.
+    pub generations: Vec<GenerationTelemetry>,
+    /// Aggregated span timings by span name.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl RunReport {
+    /// Serializes the full report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut spans = JsonObj::new();
+        for (name, stat) in &self.spans {
+            spans.raw(name, &stat.to_json());
+        }
+        let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
+        let mut o = JsonObj::new();
+        o.u64("schema_version", 1)
+            .str("strategy", &self.strategy)
+            .u64("seed", self.seed)
+            .arr_str("params", &self.params)
+            .u64("population", self.population as u64)
+            .u64("generation_budget", u64::from(self.generation_budget))
+            .f64("best_value", self.best_value)
+            .u64("distinct_evals", self.distinct_evals)
+            .u64("wall_nanos", self.wall_nanos)
+            .raw("evals", &self.evals.to_json())
+            .raw("hints", &self.hints.to_json())
+            .u64("importance_decays", self.importance_decays)
+            .u64("pareto_updates", self.pareto_updates)
+            .arr_raw("generations", &gen_rows)
+            .raw("spans", &spans.finish());
+        o.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ReportState {
+    report: RunReport,
+    rows: BTreeMap<u32, GenerationTelemetry>,
+    /// Generation opened by the latest `GenerationStart` (evals before the
+    /// first one — initial-population probes — land in generation 0).
+    scoring_gen: u32,
+    num_params: usize,
+}
+
+impl ReportState {
+    fn row(&mut self, generation: u32) -> &mut GenerationTelemetry {
+        let num_params = self.num_params;
+        self.rows.entry(generation).or_insert_with(|| GenerationTelemetry {
+            generation,
+            best: f64::NAN,
+            mean: f64::NAN,
+            best_so_far: f64::NAN,
+            mutations_per_param: vec![0; num_params],
+            ..GenerationTelemetry::default()
+        })
+    }
+}
+
+/// An observer that aggregates the event stream into a [`RunReport`].
+///
+/// Share it (optionally fanned out with a streaming sink) for the duration
+/// of one run, then call [`ReportBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    state: Mutex<ReportState>,
+}
+
+impl ReportBuilder {
+    /// A builder with an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        let builder = ReportBuilder::default();
+        builder.state.lock().expect("report poisoned").report.best_value = f64::NAN;
+        builder
+    }
+
+    /// Consumes the builder, returning the aggregated report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        let state = self.state.into_inner().expect("report poisoned");
+        let mut report = state.report;
+        report.generations = state.rows.into_values().collect();
+        report
+    }
+}
+
+impl SearchObserver for ReportBuilder {
+    fn on_event(&self, event: &SearchEvent) {
+        let mut state = self.state.lock().expect("report poisoned");
+        match event {
+            SearchEvent::RunStart { strategy, seed, params, population, generations } => {
+                state.report.strategy = strategy.clone();
+                state.report.seed = *seed;
+                state.report.params = params.clone();
+                state.report.population = *population;
+                state.report.generation_budget = *generations;
+                state.num_params = params.len();
+            }
+            SearchEvent::GenerationStart { generation } => {
+                state.scoring_gen = *generation;
+                let _ = state.row(*generation);
+            }
+            SearchEvent::GenerationEnd {
+                generation,
+                best,
+                mean,
+                best_so_far,
+                distinct_evals,
+                cache_hits,
+                infeasible,
+            } => {
+                let row = state.row(*generation);
+                row.best = *best;
+                row.mean = *mean;
+                row.best_so_far = *best_so_far;
+                row.distinct_evals = *distinct_evals;
+                row.cache_hits = *cache_hits;
+                row.infeasible = *infeasible;
+            }
+            SearchEvent::EvalCompleted { cached, feasible, tool_secs } => {
+                let gen = state.scoring_gen;
+                state.row(gen).evals.record(*cached, *feasible, *tool_secs);
+                state.report.evals.record(*cached, *feasible, *tool_secs);
+            }
+            SearchEvent::MutationHintApplied { generation, param, hint_kind, accepted } => {
+                state.report.hints.record(*hint_kind, *accepted);
+                let row = state.row(*generation);
+                row.hints.record(*hint_kind, *accepted);
+                let idx = *param as usize;
+                if row.mutations_per_param.len() <= idx {
+                    row.mutations_per_param.resize(idx + 1, 0);
+                }
+                row.mutations_per_param[idx] += 1;
+            }
+            SearchEvent::ImportanceDecayed { .. } => state.report.importance_decays += 1,
+            SearchEvent::CrossoverApplied { generation, .. } => {
+                state.row(*generation).crossovers += 1;
+            }
+            SearchEvent::SelectionInvoked { generation, .. } => {
+                state.row(*generation).selections += 1;
+            }
+            SearchEvent::ParetoUpdated { .. } => state.report.pareto_updates += 1,
+            SearchEvent::SpanEnd { name, nanos } => {
+                state.report.spans.entry(name).or_default().record(*nanos);
+            }
+            SearchEvent::RunEnd { best_value, distinct_evals, wall_nanos } => {
+                state.report.best_value = *best_value;
+                state.report.distinct_evals = *distinct_evals;
+                state.report.wall_nanos = *wall_nanos;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+
+    fn feed(builder: &ReportBuilder, events: &[SearchEvent]) {
+        for e in events {
+            builder.on_event(e);
+        }
+    }
+
+    #[test]
+    fn report_aggregates_a_small_run() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::RunStart {
+                    strategy: "guided".into(),
+                    seed: 42,
+                    params: vec!["depth".into(), "width".into()],
+                    population: 4,
+                    generations: 2,
+                },
+                // initial-population probe before any GenerationStart.
+                SearchEvent::EvalCompleted { cached: false, feasible: false, tool_secs: 0 },
+                SearchEvent::GenerationStart { generation: 0 },
+                SearchEvent::EvalCompleted { cached: false, feasible: true, tool_secs: 300 },
+                SearchEvent::EvalCompleted { cached: true, feasible: true, tool_secs: 0 },
+                SearchEvent::GenerationEnd {
+                    generation: 0,
+                    best: 5.0,
+                    mean: 6.0,
+                    best_so_far: 5.0,
+                    distinct_evals: 1,
+                    cache_hits: 1,
+                    infeasible: 1,
+                },
+                SearchEvent::SelectionInvoked { generation: 0, kind: "tournament".into() },
+                SearchEvent::CrossoverApplied { generation: 0, kind: "one-point".into() },
+                SearchEvent::MutationHintApplied {
+                    generation: 0,
+                    param: 1,
+                    hint_kind: HintKind::Bias,
+                    accepted: true,
+                },
+                SearchEvent::MutationHintApplied {
+                    generation: 0,
+                    param: 0,
+                    hint_kind: HintKind::Fallback,
+                    accepted: false,
+                },
+                SearchEvent::ImportanceDecayed {
+                    generation: 1,
+                    min_weight: 1.0,
+                    max_weight: 2.0,
+                    mean_weight: 1.5,
+                },
+                SearchEvent::SpanEnd { name: "scoring", nanos: 500 },
+                SearchEvent::SpanEnd { name: "scoring", nanos: 700 },
+                SearchEvent::RunEnd { best_value: 5.0, distinct_evals: 1, wall_nanos: 9000 },
+            ],
+        );
+        let report = builder.finish();
+        assert_eq!(report.strategy, "guided");
+        assert_eq!(report.params, vec!["depth", "width"]);
+        assert_eq!(report.evals.feasible, 1);
+        assert_eq!(report.evals.cached, 1);
+        assert_eq!(report.evals.infeasible, 1);
+        assert_eq!(report.evals.total_lookups(), 3);
+        assert_eq!(report.evals.tool_secs, 300);
+        assert_eq!(report.hints.total(), 2);
+        assert_eq!(report.hints.count_of(HintKind::Bias), 1);
+        assert_eq!(report.hints.accepted, 1);
+        assert_eq!(report.importance_decays, 1);
+        assert_eq!(report.best_value, 5.0);
+
+        assert_eq!(report.generations.len(), 1);
+        let g0 = &report.generations[0];
+        assert_eq!(g0.generation, 0);
+        assert_eq!(g0.best, 5.0);
+        // Pre-generation probe lands in generation 0 alongside scoring.
+        assert_eq!(g0.evals.infeasible, 1);
+        assert_eq!(g0.evals.feasible, 1);
+        assert_eq!(g0.evals.cached, 1);
+        assert_eq!(g0.mutations_per_param, vec![1, 1]);
+        assert_eq!(g0.hints.count_of(HintKind::Fallback), 1);
+        assert_eq!(g0.crossovers, 1);
+        assert_eq!(g0.selections, 1);
+
+        let scoring = report.spans["scoring"];
+        assert_eq!(scoring.count, 2);
+        assert_eq!(scoring.total_nanos, 1200);
+        assert_eq!(scoring.max_nanos, 700);
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::RunStart {
+                    strategy: "baseline".into(),
+                    seed: 1,
+                    params: vec!["n".into()],
+                    population: 2,
+                    generations: 1,
+                },
+                SearchEvent::GenerationStart { generation: 0 },
+                SearchEvent::GenerationEnd {
+                    generation: 0,
+                    best: 1.0,
+                    mean: f64::NAN,
+                    best_so_far: 1.0,
+                    distinct_evals: 2,
+                    cache_hits: 0,
+                    infeasible: 0,
+                },
+                SearchEvent::RunEnd { best_value: 1.0, distinct_evals: 2, wall_nanos: 10 },
+            ],
+        );
+        let json = builder.finish().to_json();
+        assert!(is_valid_json(&json), "invalid report json: {json}");
+        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"mean\":null"));
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let report = ReportBuilder::new().finish();
+        assert!(report.best_value.is_nan());
+        assert!(report.generations.is_empty());
+        assert!(is_valid_json(&report.to_json()));
+    }
+
+    #[test]
+    fn unknown_param_index_grows_the_tally() {
+        let builder = ReportBuilder::new();
+        builder.on_event(&SearchEvent::MutationHintApplied {
+            generation: 2,
+            param: 3,
+            hint_kind: HintKind::Uniform,
+            accepted: true,
+        });
+        let report = builder.finish();
+        assert_eq!(report.generations[0].mutations_per_param, vec![0, 0, 0, 1]);
+    }
+}

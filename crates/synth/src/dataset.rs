@@ -45,7 +45,10 @@ impl Dataset {
         let space = model.space().clone();
         let total = space.cardinality();
         if total > CHARACTERIZE_LIMIT {
-            return Err(SynthError::SpaceTooLarge { cardinality: total, limit: CHARACTERIZE_LIMIT });
+            return Err(SynthError::SpaceTooLarge {
+                cardinality: total,
+                limit: CHARACTERIZE_LIMIT,
+            });
         }
         let total = total as u64;
         let threads = threads.clamp(1, 64) as u64;
@@ -79,11 +82,7 @@ impl Dataset {
         if entries.is_empty() {
             return Err(SynthError::EmptyDataset);
         }
-        let index = entries
-            .iter()
-            .enumerate()
-            .map(|(i, (g, _))| (g.clone(), i))
-            .collect();
+        let index = entries.iter().enumerate().map(|(i, (g, _))| (g.clone(), i)).collect();
         Ok(Dataset {
             space,
             catalog: model.catalog().clone(),
@@ -247,12 +246,7 @@ impl Dataset {
 
     /// How many entries meet or beat `threshold` under the direction.
     #[must_use]
-    pub fn count_reaching(
-        &self,
-        expr: &MetricExpr,
-        direction: Direction,
-        threshold: f64,
-    ) -> usize {
+    pub fn count_reaching(&self, expr: &MetricExpr, direction: Direction, threshold: f64) -> usize {
         self.entries
             .iter()
             .map(|(_, m)| expr.eval(m))
@@ -429,20 +423,15 @@ mod tests {
         let (_, best) = d.best(&cost, Direction::Minimize);
         let draws = d.expected_random_draws(&cost, Direction::Minimize, best).unwrap();
         assert_eq!(draws, d.len() as f64); // unique optimum
-        assert_eq!(
-            d.expected_random_draws(&cost, Direction::Minimize, best - 1.0),
-            None
-        );
+        assert_eq!(d.expected_random_draws(&cost, Direction::Minimize, best - 1.0), None);
     }
 
     #[test]
     fn dataset_model_replays_and_rejects_unknown_points() {
         let d = dataset();
         let m = d.as_model();
-        let (g, _) = d.best(
-            &MetricExpr::metric(d.catalog().require("cost").unwrap()),
-            Direction::Minimize,
-        );
+        let (g, _) =
+            d.best(&MetricExpr::metric(d.catalog().require("cost").unwrap()), Direction::Minimize);
         let g = g.clone();
         assert_eq!(m.evaluate(&g), d.metrics_for(&g).cloned());
         // The infeasible stripe is absent from the dataset.

@@ -59,8 +59,6 @@ mod tests {
     fn messages_name_the_offender() {
         assert!(SynthError::UnknownMetric("luts".into()).to_string().contains("luts"));
         assert!(SynthError::ArityMismatch { got: 2, expected: 3 }.to_string().contains('2'));
-        assert!(SynthError::SpaceTooLarge { cardinality: 10, limit: 5 }
-            .to_string()
-            .contains("10"));
+        assert!(SynthError::SpaceTooLarge { cardinality: 10, limit: 5 }.to_string().contains("10"));
     }
 }

@@ -251,8 +251,8 @@ mod tests {
     fn division_by_zero_is_non_finite() {
         let (c, _) = fixture();
         let m = c.set(vec![0.0, 0.0, 0.0]).unwrap();
-        let tpl = MetricExpr::metric(c.id("msps").unwrap())
-            / MetricExpr::metric(c.id("luts").unwrap());
+        let tpl =
+            MetricExpr::metric(c.id("msps").unwrap()) / MetricExpr::metric(c.id("luts").unwrap());
         assert!(tpl.eval(&m).is_nan());
         let inv = MetricExpr::constant(1.0) / MetricExpr::metric(c.id("luts").unwrap());
         assert!(inv.eval(&m).is_infinite());

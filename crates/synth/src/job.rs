@@ -11,6 +11,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use nautilus_ga::Genome;
+use nautilus_obs::{SearchEvent, SearchObserver};
 
 use crate::metric::MetricSet;
 use crate::model::CostModel;
@@ -33,6 +34,24 @@ impl JobStats {
     #[must_use]
     pub fn simulated_tool_time(&self) -> Duration {
         Duration::from_secs(self.simulated_tool_secs)
+    }
+
+    /// Every evaluation request seen: jobs + infeasible + cache hits.
+    #[must_use]
+    pub fn total_lookups(&self) -> u64 {
+        self.jobs + self.infeasible + self.cache_hits
+    }
+
+    /// Fraction of lookups served from the cache (0 when nothing was
+    /// looked up yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -67,6 +86,7 @@ pub struct SynthJobRunner<'m> {
     model: &'m dyn CostModel,
     cache: RwLock<HashMap<Genome, Option<MetricSet>>>,
     stats: Mutex<JobStats>,
+    observer: &'m dyn SearchObserver,
 }
 
 impl<'m> SynthJobRunner<'m> {
@@ -77,7 +97,15 @@ impl<'m> SynthJobRunner<'m> {
             model,
             cache: RwLock::new(HashMap::new()),
             stats: Mutex::new(JobStats::default()),
+            observer: nautilus_obs::noop(),
         }
+    }
+
+    /// Routes one [`SearchEvent::EvalCompleted`] per lookup to `observer`.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'m dyn SearchObserver) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// The underlying cost model.
@@ -92,6 +120,7 @@ impl<'m> SynthJobRunner<'m> {
     pub fn evaluate(&self, genome: &Genome) -> Option<MetricSet> {
         if let Some(cached) = self.cache.read().get(genome) {
             self.stats.lock().cache_hits += 1;
+            self.emit(true, cached.is_some(), 0);
             return cached.clone();
         }
         let result = self.model.evaluate(genome);
@@ -99,19 +128,36 @@ impl<'m> SynthJobRunner<'m> {
         // Double-checked: another thread may have inserted concurrently.
         if let Some(cached) = cache.get(genome) {
             self.stats.lock().cache_hits += 1;
-            return cached.clone();
+            let feasible = cached.is_some();
+            let cached = cached.clone();
+            drop(cache);
+            self.emit(true, feasible, 0);
+            return cached;
         }
         cache.insert(genome.clone(), result.clone());
         drop(cache);
+        let tool_secs = match &result {
+            Some(_) => self.model.synth_time(genome).as_secs(),
+            None => 0,
+        };
         let mut stats = self.stats.lock();
         match &result {
             Some(_) => {
                 stats.jobs += 1;
-                stats.simulated_tool_secs += self.model.synth_time(genome).as_secs();
+                stats.simulated_tool_secs += tool_secs;
             }
             None => stats.infeasible += 1,
         }
+        drop(stats);
+        self.emit(false, result.is_some(), tool_secs);
         result
+    }
+
+    /// Emits one `EvalCompleted` event when the observer is enabled.
+    fn emit(&self, cached: bool, feasible: bool, tool_secs: u64) {
+        if self.observer.enabled() {
+            self.observer.on_event(&SearchEvent::EvalCompleted { cached, feasible, tool_secs });
+        }
     }
 
     /// Counter snapshot.
@@ -188,6 +234,58 @@ mod tests {
         // Each job simulates 5-45 minutes of tool time.
         assert!(s.simulated_tool_time() >= Duration::from_secs(5 * 5 * 60));
         assert!(s.simulated_tool_time() <= Duration::from_secs(5 * 45 * 60));
+    }
+
+    #[test]
+    fn total_lookups_and_hit_rate_reconcile() {
+        let empty = JobStats::default();
+        assert_eq!(empty.total_lookups(), 0);
+        assert_eq!(empty.hit_rate(), 0.0, "zero lookups must not divide by zero");
+
+        let model = BowlModel::new(0.0).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        let good = Genome::from_genes(vec![2, 3]);
+        let bad = Genome::from_genes(vec![7, 0]);
+        runner.evaluate(&good);
+        runner.evaluate(&good);
+        runner.evaluate(&good);
+        runner.evaluate(&bad);
+        let s = runner.stats();
+        assert_eq!(s.total_lookups(), 4);
+        assert_eq!(s.jobs + s.infeasible + s.cache_hits, s.total_lookups());
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12, "2 hits of 4 lookups: {}", s.hit_rate());
+    }
+
+    #[test]
+    fn observed_runner_emits_one_event_per_lookup() {
+        let model = BowlModel::new(0.0).unwrap();
+        let sink = nautilus_obs::InMemorySink::new();
+        let runner = SynthJobRunner::new(&model).with_observer(&sink);
+        let good = Genome::from_genes(vec![1, 1]);
+        let bad = Genome::from_genes(vec![7, 0]);
+        runner.evaluate(&good); // miss, feasible
+        runner.evaluate(&good); // hit
+        runner.evaluate(&bad); // miss, infeasible
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        match &events[0] {
+            SearchEvent::EvalCompleted { cached, feasible, tool_secs } => {
+                assert!(!cached && *feasible);
+                assert!(*tool_secs >= 5 * 60, "feasible misses charge tool time");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(
+            events[1],
+            SearchEvent::EvalCompleted { cached: true, feasible: true, tool_secs: 0 }
+        );
+        assert_eq!(
+            events[2],
+            SearchEvent::EvalCompleted { cached: false, feasible: false, tool_secs: 0 }
+        );
+        // Event tallies reconcile with the runner's own counters.
+        let s = runner.stats();
+        assert_eq!(events.len() as u64, s.total_lookups());
     }
 
     #[test]

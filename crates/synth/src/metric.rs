@@ -105,9 +105,7 @@ impl MetricCatalog {
         N: Into<String>,
         U: Into<String>,
     {
-        Self::from_defs(
-            metrics.into_iter().map(|(n, u)| MetricDef::new(n, u)).collect::<Vec<_>>(),
-        )
+        Self::from_defs(metrics.into_iter().map(|(n, u)| MetricDef::new(n, u)).collect::<Vec<_>>())
     }
 
     fn from_defs(defs: Vec<MetricDef>) -> Result<Self> {
@@ -171,10 +169,7 @@ impl MetricCatalog {
     /// Returns [`SynthError::ArityMismatch`] if `values.len() != self.len()`.
     pub fn set(&self, values: Vec<f64>) -> Result<MetricSet> {
         if values.len() != self.defs.len() {
-            return Err(SynthError::ArityMismatch {
-                got: values.len(),
-                expected: self.defs.len(),
-            });
+            return Err(SynthError::ArityMismatch { got: values.len(), expected: self.defs.len() });
         }
         Ok(MetricSet { values })
     }
@@ -233,10 +228,7 @@ mod tests {
         assert_eq!(c.def(fmax).name(), "fmax");
         assert_eq!(c.def(fmax).unit(), "MHz");
         assert_eq!(c.id("missing"), None);
-        assert_eq!(
-            c.require("missing").unwrap_err(),
-            SynthError::UnknownMetric("missing".into())
-        );
+        assert_eq!(c.require("missing").unwrap_err(), SynthError::UnknownMetric("missing".into()));
     }
 
     #[test]

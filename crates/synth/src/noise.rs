@@ -72,9 +72,8 @@ mod tests {
 
     #[test]
     fn noise_factor_is_positive_with_median_near_one() {
-        let mut factors: Vec<f64> = (0..10_001u32)
-            .map(|i| noise_factor(&Genome::from_genes(vec![i]), 7, 0.08))
-            .collect();
+        let mut factors: Vec<f64> =
+            (0..10_001u32).map(|i| noise_factor(&Genome::from_genes(vec![i]), 7, 0.08)).collect();
         assert!(factors.iter().all(|&f| f > 0.0));
         factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = factors[factors.len() / 2];

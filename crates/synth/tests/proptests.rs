@@ -39,12 +39,7 @@ impl CostModel for Grid {
         &self.catalog
     }
     fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
-        let v: f64 = g
-            .genes()
-            .iter()
-            .zip(self.w)
-            .map(|(&x, w)| w * f64::from(x))
-            .sum();
+        let v: f64 = g.genes().iter().zip(self.w).map(|(&x, w)| w * f64::from(x)).sum();
         Some(self.catalog.set(vec![v, 100.0 - v]).expect("arity"))
     }
 }

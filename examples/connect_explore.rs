@@ -30,13 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let nf = n as f64;
-        println!(
-            "{:<26} {:>12.2} {:>12.0} {:>14.0}",
-            topo.label(),
-            a / nf,
-            p / nf,
-            b / nf
-        );
+        println!("{:<26} {:>12.2} {:>12.0} {:>14.0}", topo.label(), a / nf, p / nf, b / nf);
     }
 
     // Constrained query: max bandwidth within 20 mm^2 and 8 W.
@@ -47,12 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // No expert hints for this composite scenario: estimate them.
     let est = estimate_hints(&model, &query, EstimateConfig::default(), 99)?;
-    let outcome = Nautilus::new(&model).run_guided(
-        &query,
-        &est.hints,
-        Some(Confidence::STRONG),
-        99,
-    )?;
+    let outcome =
+        Nautilus::new(&model).run_guided(&query, &est.hints, Some(Confidence::STRONG), 99)?;
 
     let winner = dataset.space().decode(&outcome.best_genome);
     println!(

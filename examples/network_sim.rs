@@ -14,14 +14,8 @@ fn main() {
     );
     for topo in Topology::ALL {
         let net = Network::build(topo, 64);
-        let zero_load = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.01, ..SimConfig::default() },
-        );
-        let loaded = simulate(
-            &net,
-            &SimConfig { injection_rate: 0.08, ..SimConfig::default() },
-        );
+        let zero_load = simulate(&net, &SimConfig { injection_rate: 0.01, ..SimConfig::default() });
+        let loaded = simulate(&net, &SimConfig { injection_rate: 0.08, ..SimConfig::default() });
         let saturation = saturation_rate(&net, 7);
         println!(
             "{:<26} {:>8} {:>10} {:>11.1} cy {:>11.1} cy {:>9.3} f/c",
@@ -41,10 +35,7 @@ fn main() {
     let mesh = Network::build(Topology::Mesh, 64);
     for rate in [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let r = simulate(&mesh, &SimConfig { injection_rate: rate, ..SimConfig::default() });
-        println!(
-            "{rate:>12.2} {:>9.1} cy {:>12.3}",
-            r.avg_latency, r.delivered_rate
-        );
+        println!("{rate:>12.2} {:>9.1} cy {:>12.3}", r.avg_latency, r.delivered_rate);
     }
     println!(
         "\nThe static model's bisection ordering (ring < mesh < torus < fat tree)\n\

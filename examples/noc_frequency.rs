@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.name,
             stats.reached,
             stats.total,
-            stats
-                .mean_evals
-                .map_or("n/a".to_owned(), |e| format!("{e:.0}")),
+            stats.mean_evals.map_or("n/a".to_owned(), |e| format!("{e:.0}")),
         );
     }
     if let Some(ratio) = cmp.evals_ratio("baseline", "nautilus-strong", threshold) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline pre-commit gate: formatting, lints, tests.
+#
+# Usage: scripts/check.sh
+#
+# Runs entirely against the local toolchain and vendored/locked
+# dependencies; no network access is required (--offline everywhere).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "All checks passed."

@@ -5,15 +5,7 @@ use nautilus_bench::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, render_table_a, S
 
 fn all_reports() -> Vec<nautilus_bench::ExperimentReport> {
     let scale = Scale::quick();
-    vec![
-        fig1(),
-        fig2(),
-        fig3(scale),
-        fig4(scale),
-        fig5(scale),
-        fig6(scale),
-        fig7(scale),
-    ]
+    vec![fig1(), fig2(), fig3(scale), fig4(scale), fig5(scale), fig6(scale), fig7(scale)]
 }
 
 #[test]
@@ -74,10 +66,7 @@ fn figure_search_experiments_preserve_strategy_order_and_win() {
     // strong_evals, strong_best. Fmax is maximized.
     let base: f64 = last[2].parse().unwrap();
     let strong: f64 = last[6].parse().unwrap();
-    assert!(
-        strong >= base - 5.0,
-        "strong guidance regressed final quality: {strong} vs {base}"
-    );
+    assert!(strong >= base - 5.0, "strong guidance regressed final quality: {strong} vs {base}");
 }
 
 #[test]

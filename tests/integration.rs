@@ -2,8 +2,8 @@
 //! generator models through datasets, hints, engines and baselines.
 
 use nautilus::{
-    brute_force, compare, estimate_hints, random_search, CompareConfig, Confidence,
-    EstimateConfig, Nautilus, Query, Strategy,
+    brute_force, compare, estimate_hints, random_search, CompareConfig, Confidence, EstimateConfig,
+    Nautilus, Query, Strategy,
 };
 use nautilus_fft::FftModel;
 use nautilus_ga::{Direction, GaSettings};
@@ -141,9 +141,7 @@ fn random_search_is_far_costlier_on_rare_goals() {
     let (_, best) = dataset.best(&luts, Direction::Minimize);
     // Reaching within 1% of the optimum by uniform sampling costs thousands
     // of draws; the GA (even the baseline) does it in a few hundred.
-    let expected = dataset
-        .expected_random_draws(&luts, Direction::Minimize, 1.01 * best)
-        .unwrap();
+    let expected = dataset.expected_random_draws(&luts, Direction::Minimize, 1.01 * best).unwrap();
     assert!(expected > 1_000.0, "rare goal not rare: {expected}");
 
     let query = Query::minimize("luts", luts);
@@ -157,10 +155,8 @@ fn simulated_eda_time_is_accounted() {
     let model = RouterModel::swept();
     let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
     let query = Query::maximize("fmax", fmax);
-    let outcome = Nautilus::new(&model)
-        .with_settings(quick_settings())
-        .run_baseline(&query, 2)
-        .unwrap();
+    let outcome =
+        Nautilus::new(&model).with_settings(quick_settings()).run_baseline(&query, 2).unwrap();
     let hours = outcome.jobs.simulated_tool_time().as_secs_f64() / 3600.0;
     let jobs = outcome.total_evals() as f64;
     // Each synthesis job simulates 5-45 minutes of tool time.
@@ -222,6 +218,55 @@ fn all_shipped_hint_books_resolve_and_run() {
             )
             .unwrap();
     }
+}
+
+#[test]
+fn telemetry_jsonl_stream_and_report_reconcile_with_job_stats() {
+    use nautilus::obs::json::is_valid_json;
+    use nautilus::JsonlSink;
+
+    let model = RouterModel::swept();
+    let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
+    let query = Query::maximize("fmax", fmax);
+    let hints = nautilus_noc::hints::fmax_hints();
+
+    let path = std::env::temp_dir().join("nautilus-telemetry-integration.events.jsonl");
+    let sink = JsonlSink::create(&path).unwrap();
+    let engine = Nautilus::new(&model).with_settings(quick_settings()).with_observer(&sink);
+    let (outcome, report) =
+        engine.run_guided_reported(&query, &hints, Some(Confidence::STRONG), 4).unwrap();
+    sink.flush().unwrap();
+    assert_eq!(sink.write_errors(), 0);
+
+    // Every streamed line is a standalone JSON object, bracketed by
+    // run_start/run_end.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "event stream not empty");
+    for line in &lines {
+        assert!(is_valid_json(line), "invalid JSONL line: {line}");
+    }
+    assert!(lines[0].contains("\"type\":\"run_start\""));
+    assert!(lines.last().unwrap().contains("\"type\":\"run_end\""));
+
+    // The aggregated report reconciles with the runner's own accounting:
+    // feasible + infeasible + cached events == jobs + infeasible +
+    // cache_hits == total lookups.
+    assert_eq!(report.evals.feasible, outcome.jobs.jobs);
+    assert_eq!(report.evals.infeasible, outcome.jobs.infeasible);
+    assert_eq!(report.evals.cached, outcome.jobs.cache_hits);
+    assert_eq!(report.evals.total_lookups(), outcome.jobs.total_lookups());
+    assert_eq!(report.evals.tool_secs, outcome.jobs.simulated_tool_secs);
+    let eval_lines =
+        lines.iter().filter(|l| l.contains("\"type\":\"eval_completed\"")).count() as u64;
+    assert_eq!(eval_lines, outcome.jobs.total_lookups());
+
+    // The summary report itself is valid JSON and matches the outcome.
+    assert!(is_valid_json(&report.to_json()));
+    assert_eq!(report.strategy, outcome.strategy);
+    assert_eq!(report.best_value, outcome.best_value);
+    assert_eq!(report.distinct_evals, outcome.jobs.jobs);
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -16,15 +16,11 @@ fn settings() -> GaSettings {
 /// A strategy producing an arbitrary *valid* hint set for the router space.
 fn arb_router_hints() -> impl Strategy<Value = HintSet> {
     let space = RouterModel::swept();
-    let names: Vec<String> =
-        space.space().params().iter().map(|p| p.name().to_owned()).collect();
+    let names: Vec<String> = space.space().params().iter().map(|p| p.name().to_owned()).collect();
     let cards: Vec<usize> = space.space().params().iter().map(|p| p.cardinality()).collect();
     let per_param = (any::<bool>(), 1u8..=100, -1.0f64..=1.0, any::<bool>(), 0.5f64..=1.0);
-    (
-        proptest::collection::vec(per_param, names.len()),
-        0.0f64..=1.0,
-    )
-        .prop_map(move |(entries, conf)| {
+    (proptest::collection::vec(per_param, names.len()), 0.0f64..=1.0).prop_map(
+        move |(entries, conf)| {
             let mut b = HintSet::for_metric("prop");
             for (i, (enabled, imp, bias, use_target, decay)) in entries.iter().enumerate() {
                 if !enabled {
@@ -44,7 +40,8 @@ fn arb_router_hints() -> impl Strategy<Value = HintSet> {
                 }
             }
             b.confidence(Confidence::new(conf).expect("in range")).build()
-        })
+        },
+    )
 }
 
 proptest! {
@@ -146,8 +143,7 @@ fn direction_symmetry() {
     let model = RouterModel::swept();
     let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
     let maximize = Query::maximize("fmax", fmax.clone());
-    let minimize =
-        Query::minimize("neg_fmax", MetricExpr::constant(0.0) - fmax);
+    let minimize = Query::minimize("neg_fmax", MetricExpr::constant(0.0) - fmax);
     let engine = Nautilus::new(&model).with_settings(settings());
     let a = engine.run_baseline(&maximize, 31).unwrap();
     let b = engine.run_baseline(&minimize, 31).unwrap();
