@@ -1,0 +1,116 @@
+//! Benchmarks of the parallel evaluation pipeline: batched GA population
+//! evaluation, the sharded synthesis cache, and indexed dataset queries.
+//!
+//! `scripts/bench.sh` runs the matching `evalbench` binary to produce the
+//! checked-in `BENCH_evalpipeline.json` headline numbers; this harness
+//! tracks the same three surfaces under criterion for regression hunting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nautilus::{Nautilus, Query};
+use nautilus_ga::{Direction, GaSettings, Genome};
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, Dataset, MetricExpr, ShardedCache, SynthJobRunner};
+
+fn quick_settings(eval_workers: usize) -> GaSettings {
+    GaSettings { generations: 20, eval_workers, ..GaSettings::default() }
+}
+
+/// Batched population evaluation: the identical search at 1 worker vs a
+/// full worker pool. Results are bit-for-bit equal; only wall time moves.
+fn bench_eval_batch(c: &mut Criterion) {
+    let model = RouterModel::swept();
+    let fmax = MetricExpr::metric(model.catalog().require("fmax").expect("metric"));
+    let query = Query::maximize("fmax", fmax);
+    let mut group = c.benchmark_group("eval_batch");
+    group.sample_size(10);
+    for (label, workers) in [("serial", 1usize), ("workers_auto", 0)] {
+        let engine = Nautilus::new(&model).with_settings(quick_settings(workers));
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.run_baseline(&query, 42).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+/// The sharded cache under a single thread (raw op cost) and hammered by
+/// a full thread pool (contention behaviour).
+fn bench_cache_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sharded");
+
+    group.bench_function("insert_then_hit_serial", |b| {
+        b.iter(|| {
+            let cache = ShardedCache::new();
+            for i in 0..512u32 {
+                let g = Genome::from_genes(vec![i, i / 7]);
+                cache.insert_or_hit(&g, &None, 0);
+                black_box(cache.lookup(&g));
+            }
+            black_box(cache.stats())
+        });
+    });
+
+    group.sample_size(10);
+    group.bench_function("runner_hammer_8thr", |b| {
+        let model = RouterModel::swept();
+        b.iter(|| {
+            let runner = SynthJobRunner::new(&model);
+            std::thread::scope(|scope| {
+                for t in 0..8u32 {
+                    let runner = &runner;
+                    scope.spawn(move || {
+                        for i in 0..512u32 {
+                            let g = runner.model().space().genome_at(u128::from((i + t) % 640));
+                            black_box(runner.evaluate(&g));
+                        }
+                    });
+                }
+            });
+            black_box(runner.stats())
+        });
+    });
+    group.finish();
+}
+
+/// Indexed rank queries against the ~30k-point router dataset, plus the
+/// old sort-per-call algorithm inlined as the reference cost.
+fn bench_dataset_query(c: &mut Criterion) {
+    let router = RouterModel::swept();
+    let d = Dataset::characterize(&router, 0).expect("characterizes");
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("metric"));
+    let mut group = c.benchmark_group("dataset_query");
+
+    // Warm the memoized column so the measured op is the steady state.
+    let _ = d.top_fraction_threshold(&fmax, Direction::Maximize, 0.01);
+    group.bench_function("top_fraction_threshold_indexed", |b| {
+        b.iter(|| black_box(d.top_fraction_threshold(&fmax, Direction::Maximize, 0.01)));
+    });
+    group.bench_function("count_reaching_indexed", |b| {
+        b.iter(|| black_box(d.count_reaching(&fmax, Direction::Maximize, 200.0)));
+    });
+
+    // The pre-index algorithm: evaluate and sort the full column per call.
+    group.sample_size(20);
+    group.bench_function("top_fraction_threshold_sort_per_call", |b| {
+        b.iter(|| {
+            let mut values: Vec<f64> =
+                d.eval_all(&fmax).into_iter().filter(|v| v.is_finite()).collect();
+            values.sort_by(|a, b| {
+                if Direction::Maximize.is_better(*a, *b) {
+                    std::cmp::Ordering::Less
+                } else if Direction::Maximize.is_better(*b, *a) {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            });
+            let k = ((values.len() as f64 * 0.01).ceil() as usize).clamp(1, values.len());
+            black_box(values[k - 1])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_batch, bench_cache_sharded, bench_dataset_query);
+criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! Headline measurements for the parallel evaluation pipeline.
+//!
+//! Usage:
+//!
+//! ```text
+//! evalbench [OUTPUT.json]
+//! ```
+//!
+//! Times three surfaces and writes a JSON summary (default
+//! `BENCH_evalpipeline.json`):
+//!
+//! * **eval_batch** — one identical GA search, serially and with a full
+//!   worker pool, verifying bit-for-bit equal outcomes along the way.
+//! * **cache_sharded** — the pre-refactor monolithic `RwLock<HashMap>`
+//!   cache vs the lock-striped [`ShardedCache`], hammered by 8 threads.
+//! * **dataset_query** — `top_fraction_threshold` on the 27,648-point
+//!   router dataset: the old sort-per-call algorithm vs the memoized
+//!   sorted-column index (the PR's >= 5x acceptance headline).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use nautilus::{Nautilus, Query};
+use nautilus_ga::{Direction, GaSettings, Genome};
+use nautilus_noc::router::RouterModel;
+use nautilus_synth::{CostModel, Dataset, MetricExpr, MetricSet, ShardedCache};
+
+const HAMMER_THREADS: u32 = 8;
+const HAMMER_OPS_PER_THREAD: u32 = 200_000;
+const HAMMER_DISTINCT: u32 = 4096;
+const QUERY_CALLS: usize = 200;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A surrogate made artificially expensive (re-evaluated `REPEAT` times per
+/// point) so batch evaluation has synthesis-shaped work to parallelize.
+struct SlowRouter {
+    inner: RouterModel,
+}
+
+const REPEAT: usize = 2000;
+
+impl CostModel for SlowRouter {
+    fn name(&self) -> &str {
+        "router-slow"
+    }
+
+    fn space(&self) -> &nautilus_ga::ParamSpace {
+        self.inner.space()
+    }
+
+    fn catalog(&self) -> &nautilus_synth::MetricCatalog {
+        self.inner.catalog()
+    }
+
+    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+        let mut out = None;
+        for _ in 0..REPEAT {
+            out = std::hint::black_box(self.inner.evaluate(g));
+        }
+        out
+    }
+}
+
+fn bench_eval_batch() -> (f64, f64) {
+    let model = SlowRouter { inner: RouterModel::swept() };
+    let fmax = MetricExpr::metric(model.catalog().require("fmax").expect("metric"));
+    let query = Query::maximize("fmax", fmax);
+    let run = |workers: usize| {
+        let settings =
+            GaSettings { generations: 40, eval_workers: workers, ..GaSettings::default() };
+        let engine = Nautilus::new(&model).with_settings(settings);
+        let start = Instant::now();
+        let outcome = engine.run_baseline(&query, 42).expect("search runs");
+        (start.elapsed(), outcome)
+    };
+    // Warm-up, then measure. Four workers exercises the batched code path
+    // even on hosts where auto-detection would resolve to one.
+    let _ = run(1);
+    let (serial, serial_outcome) = run(1);
+    let (parallel, parallel_outcome) = run(4);
+    assert_eq!(serial_outcome, parallel_outcome, "worker pools must not change outcomes");
+    (ms(serial), ms(parallel))
+}
+
+/// The pre-refactor cache design, kept here as the measurement baseline:
+/// one `RwLock` around the whole map plus one `Mutex` around the stats
+/// counters, charged on every lookup exactly as the old runner did.
+struct MonolithicCache {
+    map: RwLock<HashMap<Genome, Option<MetricSet>>>,
+    stats: parking_lot::Mutex<nautilus_synth::JobStats>,
+}
+
+impl MonolithicCache {
+    fn lookup_or_insert(&self, genome: &Genome) {
+        if self.map.read().get(genome).is_some() {
+            self.stats.lock().cache_hits += 1;
+            return;
+        }
+        let mut map = self.map.write();
+        if map.get(genome).is_none() {
+            map.insert(genome.clone(), None);
+            drop(map);
+            self.stats.lock().infeasible += 1;
+        } else {
+            drop(map);
+            self.stats.lock().cache_hits += 1;
+        }
+    }
+}
+
+fn hammer(op: impl Fn(u32, u32) + Sync) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..HAMMER_THREADS {
+            let op = &op;
+            scope.spawn(move || {
+                for i in 0..HAMMER_OPS_PER_THREAD {
+                    op(t, i);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_cache_sharded() -> (f64, f64, u64) {
+    let genomes: Vec<Genome> =
+        (0..HAMMER_DISTINCT).map(|i| Genome::from_genes(vec![i % 64, i / 64, i % 7])).collect();
+    // Offset start points per thread so first touches interleave.
+    let pick = |t: u32, i: u32| &genomes[((i + t * 37) % HAMMER_DISTINCT) as usize];
+
+    let mono = MonolithicCache {
+        map: RwLock::new(HashMap::new()),
+        stats: parking_lot::Mutex::new(nautilus_synth::JobStats::default()),
+    };
+    let mono_time = hammer(|t, i| mono.lookup_or_insert(pick(t, i)));
+    assert_eq!(mono.map.read().len() as u32, HAMMER_DISTINCT);
+
+    let sharded = ShardedCache::new();
+    let sharded_time = hammer(|t, i| {
+        let g = pick(t, i);
+        if sharded.lookup(g).is_none() {
+            sharded.insert_or_hit(g, &None, 0);
+        }
+    });
+    assert_eq!(sharded.len() as u32, HAMMER_DISTINCT);
+    (ms(mono_time), ms(sharded_time), sharded.contentions())
+}
+
+fn bench_dataset_query() -> (f64, f64, usize) {
+    let router = RouterModel::swept();
+    let d = Dataset::characterize(&router, 0).expect("characterizes");
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("metric"));
+    let fracs: Vec<f64> = (0..QUERY_CALLS).map(|i| 0.01 + 0.9 * i as f64 / 250.0).collect();
+
+    let sort_per_call = |frac: f64| {
+        let mut values: Vec<f64> =
+            d.eval_all(&fmax).into_iter().filter(|v| v.is_finite()).collect();
+        values.sort_by(|a, b| {
+            if Direction::Maximize.is_better(*a, *b) {
+                std::cmp::Ordering::Less
+            } else if Direction::Maximize.is_better(*b, *a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let k = ((values.len() as f64 * frac).ceil() as usize).clamp(1, values.len());
+        values[k - 1]
+    };
+
+    let start = Instant::now();
+    let mut reference = Vec::with_capacity(fracs.len());
+    for &f in &fracs {
+        reference.push(std::hint::black_box(sort_per_call(f)));
+    }
+    let linear_time = start.elapsed();
+
+    // Measured cold: the first call pays the one-time index build.
+    let start = Instant::now();
+    let mut indexed = Vec::with_capacity(fracs.len());
+    for &f in &fracs {
+        indexed.push(std::hint::black_box(d.top_fraction_threshold(&fmax, Direction::Maximize, f)));
+    }
+    let indexed_time = start.elapsed();
+    assert_eq!(indexed, reference, "indexed thresholds must match sort-per-call");
+
+    (ms(linear_time), ms(indexed_time), d.len())
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_evalpipeline.json".to_owned());
+
+    eprintln!("eval_batch: identical search, 1 worker vs auto pool ...");
+    let (serial_ms, parallel_ms) = bench_eval_batch();
+    eprintln!("  serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms");
+
+    eprintln!("cache_sharded: monolithic vs sharded, {HAMMER_THREADS} threads ...");
+    let (mono_ms, sharded_ms, contentions) = bench_cache_sharded();
+    eprintln!("  monolithic {mono_ms:.1} ms, sharded {sharded_ms:.1} ms");
+
+    eprintln!("dataset_query: {QUERY_CALLS} thresholds on the router dataset ...");
+    let (linear_ms, indexed_ms, points) = bench_dataset_query();
+    eprintln!("  sort-per-call {linear_ms:.1} ms, indexed {indexed_ms:.1} ms");
+
+    let query_speedup = linear_ms / indexed_ms;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"evalpipeline\",\n",
+            "  \"host_threads\": {host_threads},\n",
+            "  \"eval_batch\": {{\n",
+            "    \"search\": \"router-slow baseline, 40 generations, seed 42, 4 workers\",\n",
+            "    \"serial_ms\": {serial:.2},\n",
+            "    \"parallel_ms\": {parallel:.2},\n",
+            "    \"speedup\": {batch_speedup:.2},\n",
+            "    \"outcomes_identical\": true\n",
+            "  }},\n",
+            "  \"cache_sharded\": {{\n",
+            "    \"threads\": {threads},\n",
+            "    \"ops\": {ops},\n",
+            "    \"distinct_points\": {distinct},\n",
+            "    \"monolithic_ms\": {mono:.2},\n",
+            "    \"sharded_ms\": {sharded:.2},\n",
+            "    \"speedup\": {cache_speedup:.2},\n",
+            "    \"contentions\": {contentions}\n",
+            "  }},\n",
+            "  \"dataset_query\": {{\n",
+            "    \"points\": {points},\n",
+            "    \"calls\": {calls},\n",
+            "    \"sort_per_call_ms\": {linear:.2},\n",
+            "    \"indexed_ms\": {indexed:.2},\n",
+            "    \"speedup\": {query_speedup:.2}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serial = serial_ms,
+        parallel = parallel_ms,
+        batch_speedup = serial_ms / parallel_ms,
+        threads = HAMMER_THREADS,
+        ops = u64::from(HAMMER_THREADS) * u64::from(HAMMER_OPS_PER_THREAD),
+        distinct = HAMMER_DISTINCT,
+        mono = mono_ms,
+        sharded = sharded_ms,
+        cache_speedup = mono_ms / sharded_ms,
+        contentions = contentions,
+        points = points,
+        calls = QUERY_CALLS,
+        linear = linear_ms,
+        indexed = indexed_ms,
+        query_speedup = query_speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    if query_speedup < 5.0 {
+        eprintln!("FAIL: indexed dataset queries only {query_speedup:.1}x faster (need >= 5x)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

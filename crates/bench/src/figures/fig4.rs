@@ -34,7 +34,7 @@ pub fn fig4(scale: Scale) -> ExperimentReport {
         Strategy::guided("nautilus-weak", hints.clone(), Some(Confidence::WEAK)),
         Strategy::guided("nautilus-strong", hints, Some(Confidence::STRONG)),
     ];
-    let cfg = scale.compare_config(scale.runs, 0xF1_64);
+    let cfg = scale.compare_config(scale.runs, 0xF164);
     let cmp = compare(&model, &query, &strategies, &cfg).expect("figure 4 comparison");
 
     // Within 1% of the dataset's best frequency.

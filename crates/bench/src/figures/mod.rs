@@ -32,26 +32,33 @@ pub struct Scale {
     pub fig3_runs: usize,
     /// GA generations (paper: 80).
     pub generations: u32,
+    /// Worker threads for batched population evaluation (0 = one per
+    /// available core; results are identical at any setting).
+    pub eval_workers: usize,
 }
 
 impl Scale {
     /// The paper's methodology: 40 runs (20 for Figure 3), 80 generations.
     #[must_use]
     pub fn paper() -> Self {
-        Scale { runs: 40, fig3_runs: 20, generations: 80 }
+        Scale { runs: 40, fig3_runs: 20, generations: 80, eval_workers: 0 }
     }
 
     /// A reduced scale for smoke tests and benches.
     #[must_use]
     pub fn quick() -> Self {
-        Scale { runs: 6, fig3_runs: 6, generations: 30 }
+        Scale { runs: 6, fig3_runs: 6, generations: 30, eval_workers: 0 }
     }
 
     /// GA settings at this scale (population 10, mutation 0.1 as in the
     /// paper; only the generation budget varies).
     #[must_use]
     pub fn settings(&self) -> GaSettings {
-        GaSettings { generations: self.generations, ..GaSettings::default() }
+        GaSettings {
+            generations: self.generations,
+            eval_workers: self.eval_workers,
+            ..GaSettings::default()
+        }
     }
 
     /// Comparison configuration at this scale.
@@ -80,5 +87,8 @@ mod tests {
         assert!(q.settings().generations < p.settings().generations);
         assert_eq!(p.compare_config(5, 7).runs, 5);
         assert_eq!(p.compare_config(5, 7).seed, 7);
+        // Both scales default to auto-sized batch evaluation.
+        assert_eq!(p.settings().eval_workers, 0);
+        assert_eq!(q.settings().eval_workers, 0);
     }
 }

@@ -116,6 +116,17 @@ impl<'m> Nautilus<'m> {
         self
     }
 
+    /// Sets the number of worker threads for per-generation batch
+    /// evaluation (default 1 = serial; 0 = one per available core).
+    ///
+    /// Batched evaluation is an implementation detail: runs are
+    /// bit-for-bit identical at every worker count.
+    #[must_use]
+    pub fn with_eval_workers(mut self, workers: usize) -> Self {
+        self.settings.eval_workers = workers;
+        self
+    }
+
     /// The cost model being searched.
     #[must_use]
     pub fn model(&self) -> &'m dyn CostModel {
@@ -438,6 +449,27 @@ mod tests {
         let b = engine.run_guided(&q, &h, Some(Confidence::WEAK), 5).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.strategy, "nautilus-weak");
+    }
+
+    #[test]
+    fn eval_workers_do_not_change_outcomes_or_job_stats() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let h = hints();
+        let serial = Nautilus::new(&model);
+        let base = serial.run_baseline(&q, 17).unwrap();
+        let guided = serial.run_guided(&q, &h, Some(Confidence::STRONG), 17).unwrap();
+        for workers in [0usize, 2, 8] {
+            let engine = Nautilus::new(&model).with_eval_workers(workers);
+            let b = engine.run_baseline(&q, 17).unwrap();
+            assert_eq!(b, base, "baseline diverged at {workers} workers");
+            let g = engine.run_guided(&q, &h, Some(Confidence::STRONG), 17).unwrap();
+            assert_eq!(g, guided, "guided diverged at {workers} workers");
+            // JobStats equality is part of the outcome comparison above,
+            // but spell out the load-bearing counter: the GA cache still
+            // absorbs every revisit before it reaches the synthesis runner.
+            assert_eq!(b.jobs.cache_hits, 0);
+        }
     }
 
     #[test]

@@ -270,7 +270,7 @@ pub fn hill_climb(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nautilus_ga::{Direction, ParamSpace};
+    use nautilus_ga::ParamSpace;
     use nautilus_synth::{MetricCatalog, MetricExpr, MetricSet};
 
     /// Two-basin landscape: a deceptive local optimum at (0,0) and the

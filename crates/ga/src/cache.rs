@@ -55,6 +55,39 @@ impl EvalCache {
         self.map.get(genome).copied()
     }
 
+    /// Looks `genome` up, counting a cache hit when present.
+    ///
+    /// This is the lookup half of [`EvalCache::get_or_eval`]: it updates
+    /// the hit counter exactly as `get_or_eval` would on a hit, but never
+    /// evaluates. Batch evaluation uses it (together with
+    /// [`EvalCache::insert_evaluated`]) to keep counters bit-identical to
+    /// the serial path.
+    pub fn lookup(&mut self, genome: &Genome) -> Option<Option<f64>> {
+        let v = self.map.get(genome).copied();
+        if v.is_some() {
+            self.hits += 1;
+        }
+        v
+    }
+
+    /// Memoizes an externally computed evaluation, counting the miss
+    /// exactly as [`EvalCache::get_or_eval`] would have.
+    ///
+    /// Batch evaluation computes values off-cache (on worker threads) and
+    /// inserts them in deterministic first-occurrence order; an already
+    /// present genome is left untouched (no counter changes), mirroring
+    /// the fact that the serial path would never have re-evaluated it.
+    pub fn insert_evaluated(&mut self, genome: &Genome, value: Option<f64>) {
+        if self.map.contains_key(genome) {
+            return;
+        }
+        match value {
+            Some(_) => self.feasible_misses += 1,
+            None => self.infeasible_misses += 1,
+        }
+        self.map.insert(genome.clone(), value);
+    }
+
     /// Number of distinct *feasible* design points evaluated so far.
     ///
     /// This is the paper's "# designs evaluated" x-axis: each one stands for

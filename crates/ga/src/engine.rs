@@ -28,6 +28,16 @@ pub struct GaSettings {
     pub elitism: usize,
     /// Attempts per slot when sampling a feasible initial population.
     pub init_retries: usize,
+    /// Worker threads for per-generation batch evaluation of cache misses.
+    ///
+    /// `1` (the default) keeps the original inline serial path. `0`
+    /// derives the count from [`std::thread::available_parallelism`]. Any
+    /// other value spreads each generation's distinct cache misses over
+    /// that many scoped worker threads. Every setting produces
+    /// bit-for-bit identical runs per seed: the RNG is never touched
+    /// during evaluation and results are merged back into the cache in
+    /// deterministic first-occurrence order.
+    pub eval_workers: usize,
 }
 
 impl Default for GaSettings {
@@ -38,6 +48,7 @@ impl Default for GaSettings {
             crossover_rate: 0.9,
             elitism: 2,
             init_retries: 200,
+            eval_workers: 1,
         }
     }
 }
@@ -284,14 +295,19 @@ impl<'a> GaEngine<'a> {
             }
             // Score the population (cache makes revisits free).
             let scoring_span = nautilus_obs::span(obs, "scoring");
-            let mut scored: Vec<ScoredGenome> = population
-                .iter()
-                .map(|g| {
-                    let raw = cache.get_or_eval(g, |g| self.fitness.fitness(g));
-                    let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                    ScoredGenome { genome: g.clone(), score }
-                })
-                .collect();
+            let workers = resolve_eval_workers(self.settings.eval_workers);
+            let mut scored: Vec<ScoredGenome> = if workers <= 1 {
+                population
+                    .iter()
+                    .map(|g| {
+                        let raw = cache.get_or_eval(g, |g| self.fitness.fitness(g));
+                        let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                        ScoredGenome { genome: g.clone(), score }
+                    })
+                    .collect()
+            } else {
+                self.score_batched(&population, &mut cache, workers, generation)
+            };
             // Best-first, deterministic tie-break on the genome itself.
             scored.sort_by(|a, b| {
                 b.score
@@ -388,6 +404,104 @@ impl<'a> GaEngine<'a> {
             });
         }
         Ok(GaRun { history, best_genome, best_value, cache: cache.stats() })
+    }
+
+    /// Scores one generation by evaluating its distinct cache misses as a
+    /// parallel batch.
+    ///
+    /// Equivalence with the serial path is by construction:
+    ///
+    /// 1. Misses are collected in first-occurrence population order — the
+    ///    exact order the serial path would have evaluated them.
+    /// 2. Workers pull miss indices from an atomic work-stealing cursor;
+    ///    the RNG is never touched and completion order is irrelevant
+    ///    because results are keyed by index.
+    /// 3. Results are inserted into the cache in first-occurrence order,
+    ///    so miss counters and map contents match the serial path.
+    /// 4. The scoring pass then charges a cache hit for every lookup the
+    ///    serial path would have answered from the cache (everything
+    ///    except each miss's first occurrence).
+    fn score_batched(
+        &self,
+        population: &[Genome],
+        cache: &mut EvalCache,
+        workers: usize,
+        generation: u32,
+    ) -> Vec<ScoredGenome> {
+        let direction = self.fitness.direction();
+        let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
+        let mut misses: Vec<&Genome> = Vec::new();
+        for g in population {
+            if cache.peek(g).is_none() && queued.insert(g) {
+                misses.push(g);
+            }
+        }
+
+        if self.observer.enabled() {
+            self.observer.on_event(&SearchEvent::EvalBatch {
+                generation,
+                size: misses.len(),
+                workers: workers.min(misses.len().max(1)),
+            });
+        }
+
+        if !misses.is_empty() {
+            let fitness = self.fitness;
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let n = misses.len();
+            let mut results: Vec<(usize, Option<f64>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers.min(n))
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let misses = &misses;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, fitness.fitness(misses[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            });
+            results.sort_unstable_by_key(|&(i, _)| i);
+            for (&g, &(_, v)) in misses.iter().zip(&results) {
+                cache.insert_evaluated(g, v);
+            }
+        }
+
+        // `queued` doubles as the not-yet-charged first-occurrence set.
+        let mut fresh = queued;
+        population
+            .iter()
+            .map(|g| {
+                let raw = if fresh.remove(g) {
+                    cache.peek(g).expect("batch inserted this genome")
+                } else {
+                    cache.lookup(g).expect("population member must be cached by now")
+                };
+                let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                ScoredGenome { genome: g.clone(), score }
+            })
+            .collect()
+    }
+}
+
+/// Maps the [`GaSettings::eval_workers`] setting to a concrete worker
+/// count (`0` → available parallelism, minimum 1).
+fn resolve_eval_workers(setting: usize) -> usize {
+    if setting == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        setting
     }
 }
 
@@ -609,6 +723,71 @@ mod tests {
         assert!(
             events.iter().any(|e| matches!(e, E::SpanEnd { name: "scoring", .. })),
             "scoring spans should close"
+        );
+    }
+
+    #[test]
+    fn batched_evaluation_matches_serial_at_any_worker_count() {
+        let s = space();
+        let f = sphere();
+        let serial = GaEngine::new(&s, &f).run(21).unwrap();
+        for workers in [0, 2, 8] {
+            let settings = GaSettings { eval_workers: workers, ..GaSettings::default() };
+            let run = GaEngine::new(&s, &f).with_settings(settings).run(21).unwrap();
+            assert_eq!(run.history, serial.history, "history diverged at workers={workers}");
+            assert_eq!(run.best_genome, serial.best_genome);
+            assert_eq!(run.best_value, serial.best_value);
+            assert_eq!(run.cache, serial.cache, "cache counters diverged at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batched_evaluation_handles_infeasible_points_identically() {
+        let s = space();
+        let f = FnFitness::new(Direction::Minimize, |g: &Genome| {
+            if g.gene_at(0).is_multiple_of(3) {
+                None
+            } else {
+                Some(g.genes().iter().map(|&v| f64::from(v)).sum())
+            }
+        });
+        let serial = GaEngine::new(&s, &f).run(33).unwrap();
+        let settings = GaSettings { eval_workers: 8, ..GaSettings::default() };
+        let parallel = GaEngine::new(&s, &f).with_settings(settings).run(33).unwrap();
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(serial.cache, parallel.cache);
+        assert!(serial.cache.infeasible_evals > 0);
+    }
+
+    #[test]
+    fn batched_runs_emit_batch_events_without_perturbing_results() {
+        use nautilus_obs::SearchEvent as E;
+        let s = space();
+        let f = sphere();
+        let settings = GaSettings { generations: 10, eval_workers: 4, ..GaSettings::default() };
+        let sink = nautilus_obs::InMemorySink::new();
+        let observed =
+            GaEngine::new(&s, &f).with_settings(settings).with_observer(&sink).run(9).unwrap();
+        let unobserved = GaEngine::new(&s, &f).with_settings(settings).run(9).unwrap();
+        assert_eq!(observed.history, unobserved.history, "telemetry must not perturb the run");
+
+        let events = sink.events();
+        let batches: Vec<(u32, usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                E::EvalBatch { generation, size, workers } => Some((*generation, *size, *workers)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 11, "one batch event per scored generation");
+        // Generation 0 re-scores the cached initial population: empty batch.
+        assert_eq!(batches[0].1, 0);
+        assert!(batches.iter().all(|&(_, _, w)| (1..=4).contains(&w)));
+        let batched_total: usize = batches.iter().map(|&(_, size, _)| size).sum();
+        let fresh_after_init = observed.cache.distinct_evals + observed.cache.infeasible_evals;
+        assert!(
+            (batched_total as u64) <= fresh_after_init,
+            "batches can only cover post-init misses"
         );
     }
 

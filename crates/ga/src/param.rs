@@ -344,6 +344,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn value_panics_out_of_bounds() {
-        ParamDomain::Flag.value(2);
+        let _ = ParamDomain::Flag.value(2);
     }
 }

@@ -143,4 +143,47 @@ proptest! {
         }
         prop_assert!(space.contains(&r1.best_genome));
     }
+
+    /// Parallel batch evaluation is an implementation detail: at 1, 2 and
+    /// 8 workers (and auto), runs are bit-for-bit identical to the serial
+    /// engine — same history, same best genome, same cache counters.
+    #[test]
+    fn batched_eval_is_worker_count_invariant(
+        space in arb_space(),
+        seed in any::<u64>(),
+        w in -5.0f64..5.0,
+    ) {
+        let fitness = FnFitness::new(Direction::Minimize, move |g: &Genome| {
+            let v: f64 = g.genes().iter().enumerate()
+                .map(|(i, &x)| w * (i as f64 + 1.0) * f64::from(x))
+                .sum();
+            if v < -400.0 { None } else { Some(v) }
+        });
+        let base = GaSettings { generations: 8, ..GaSettings::default() };
+        let serial = GaEngine::new(&space, &fitness).with_settings(base);
+        let reference = match serial.run(seed) {
+            Ok(run) => run,
+            // Heavily infeasible spaces may fail to seed a population;
+            // the parallel engines must then fail identically.
+            Err(_) => {
+                for workers in [2usize, 8] {
+                    let settings = GaSettings { eval_workers: workers, ..base };
+                    prop_assert!(
+                        GaEngine::new(&space, &fitness).with_settings(settings).run(seed).is_err()
+                    );
+                }
+                return Ok(());
+            }
+        };
+        for workers in [0usize, 2, 8] {
+            let settings = GaSettings { eval_workers: workers, ..base };
+            let run = GaEngine::new(&space, &fitness)
+                .with_settings(settings)
+                .run(seed)
+                .unwrap();
+            prop_assert_eq!(&run.history, &reference.history, "workers={}", workers);
+            prop_assert_eq!(&run.best_genome, &reference.best_genome);
+            prop_assert_eq!(run.cache, reference.cache);
+        }
+    }
 }

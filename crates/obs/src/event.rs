@@ -100,6 +100,26 @@ pub enum SearchEvent {
         /// infeasible attempts).
         tool_secs: u64,
     },
+    /// A generation's cache misses were evaluated as one parallel batch.
+    ///
+    /// Emitted by the batched evaluation path only; the serial path
+    /// evaluates inline and emits nothing. Batching never touches the
+    /// RNG, so observed and unobserved outcomes stay identical.
+    EvalBatch {
+        /// Generation whose population was being scored.
+        generation: u32,
+        /// Number of distinct cache misses evaluated in the batch.
+        size: usize,
+        /// Worker threads the batch was spread over.
+        workers: usize,
+    },
+    /// A sharded synthesis cache lost an insert race: two threads
+    /// evaluated the same point concurrently and the second write-lock
+    /// holder found the entry already present.
+    CacheShardContended {
+        /// Index of the shard that observed the contended insert.
+        shard: u32,
+    },
     /// One mutation slot fired on a gene.
     MutationHintApplied {
         /// Generation whose offspring are being bred.
@@ -169,6 +189,8 @@ impl SearchEvent {
             SearchEvent::GenerationStart { .. } => "generation_start",
             SearchEvent::GenerationEnd { .. } => "generation_end",
             SearchEvent::EvalCompleted { .. } => "eval_completed",
+            SearchEvent::EvalBatch { .. } => "eval_batch",
+            SearchEvent::CacheShardContended { .. } => "cache_shard_contended",
             SearchEvent::MutationHintApplied { .. } => "mutation_hint_applied",
             SearchEvent::ImportanceDecayed { .. } => "importance_decayed",
             SearchEvent::CrossoverApplied { .. } => "crossover_applied",
@@ -215,6 +237,14 @@ impl SearchEvent {
             }
             SearchEvent::EvalCompleted { cached, feasible, tool_secs } => {
                 o.bool("cached", *cached).bool("feasible", *feasible).u64("tool_secs", *tool_secs);
+            }
+            SearchEvent::EvalBatch { generation, size, workers } => {
+                o.u64("generation", u64::from(*generation))
+                    .u64("size", *size as u64)
+                    .u64("workers", *workers as u64);
+            }
+            SearchEvent::CacheShardContended { shard } => {
+                o.u64("shard", u64::from(*shard));
             }
             SearchEvent::MutationHintApplied { generation, param, hint_kind, accepted } => {
                 o.u64("generation", u64::from(*generation))
@@ -275,6 +305,8 @@ mod tests {
                 infeasible: 2,
             },
             SearchEvent::EvalCompleted { cached: false, feasible: true, tool_secs: 300 },
+            SearchEvent::EvalBatch { generation: 2, size: 7, workers: 4 },
+            SearchEvent::CacheShardContended { shard: 3 },
             SearchEvent::MutationHintApplied {
                 generation: 3,
                 param: 1,

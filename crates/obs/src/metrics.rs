@@ -323,9 +323,11 @@ impl MetricsSnapshot {
 /// `evals_cached`, `evals_infeasible`, `eval_tool_secs`,
 /// `mutations_total`, `hint_applied_<kind>` per [`HintKind`],
 /// `mutations_param_<name>` per parameter (after a `RunStart` supplies the
-/// names), `crossovers_total`, `selections_total`, `pareto_updates` and
-/// `importance_decays`. Span durations land in `span_<name>_secs`
-/// histograms and the latest `best_so_far` in the `best_value` gauge.
+/// names), `crossovers_total`, `selections_total`, `pareto_updates`,
+/// `importance_decays`, `eval_batches` and `cache_shard_contentions`.
+/// Span durations land in `span_<name>_secs` histograms, batch sizes in
+/// the `eval_batch_size` histogram, and the latest `best_so_far` in the
+/// `best_value` gauge.
 pub struct MetricsSink {
     registry: Arc<MetricsRegistry>,
     runs: Arc<Counter>,
@@ -340,6 +342,9 @@ pub struct MetricsSink {
     selections: Arc<Counter>,
     pareto_updates: Arc<Counter>,
     importance_decays: Arc<Counter>,
+    eval_batches: Arc<Counter>,
+    batch_sizes: Arc<Histogram>,
+    shard_contentions: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -369,6 +374,10 @@ impl MetricsSink {
             selections: registry.counter("selections_total"),
             pareto_updates: registry.counter("pareto_updates"),
             importance_decays: registry.counter("importance_decays"),
+            eval_batches: registry.counter("eval_batches"),
+            batch_sizes: registry
+                .histogram("eval_batch_size", &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0]),
+            shard_contentions: registry.counter("cache_shard_contentions"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -418,6 +427,11 @@ impl SearchObserver for MetricsSink {
                     c.inc();
                 }
             }
+            SearchEvent::EvalBatch { size, .. } => {
+                self.eval_batches.inc();
+                self.batch_sizes.record(*size as f64);
+            }
+            SearchEvent::CacheShardContended { .. } => self.shard_contentions.inc(),
             SearchEvent::ImportanceDecayed { .. } => self.importance_decays.inc(),
             SearchEvent::CrossoverApplied { .. } => self.crossovers.inc(),
             SearchEvent::SelectionInvoked { .. } => self.selections.inc(),
@@ -538,6 +552,9 @@ mod tests {
             accepted: true,
         });
         sink.on_event(&SearchEvent::SelectionInvoked { generation: 0, kind: "t".into() });
+        sink.on_event(&SearchEvent::EvalBatch { generation: 0, size: 7, workers: 4 });
+        sink.on_event(&SearchEvent::CacheShardContended { shard: 2 });
+        sink.on_event(&SearchEvent::CacheShardContended { shard: 2 });
         sink.on_event(&SearchEvent::SpanEnd { name: "scoring", nanos: 1_000 });
         sink.on_event(&SearchEvent::GenerationEnd {
             generation: 0,
@@ -559,5 +576,9 @@ mod tests {
         assert_eq!(snap.counters["selections_total"], 1);
         assert_eq!(snap.gauges["best_value"], 2.0);
         assert_eq!(snap.histograms["span_scoring_secs"].count, 1);
+        assert_eq!(snap.counters["eval_batches"], 1);
+        assert_eq!(snap.counters["cache_shard_contentions"], 2);
+        assert_eq!(snap.histograms["eval_batch_size"].count, 1);
+        assert!((snap.histograms["eval_batch_size"].sum - 7.0).abs() < 1e-9);
     }
 }

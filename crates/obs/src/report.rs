@@ -217,6 +217,14 @@ pub struct RunReport {
     pub importance_decays: u64,
     /// Pareto-front recomputations observed.
     pub pareto_updates: u64,
+    /// Parallel evaluation batches observed (0 on serial runs).
+    pub eval_batches: u64,
+    /// Cache misses evaluated across all batches.
+    pub batched_evals: u64,
+    /// Largest single evaluation batch.
+    pub max_batch: u64,
+    /// Sharded synthesis-cache insert races observed.
+    pub shard_contentions: u64,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -233,7 +241,7 @@ impl RunReport {
         }
         let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
         let mut o = JsonObj::new();
-        o.u64("schema_version", 1)
+        o.u64("schema_version", 2)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -246,6 +254,10 @@ impl RunReport {
             .raw("hints", &self.hints.to_json())
             .u64("importance_decays", self.importance_decays)
             .u64("pareto_updates", self.pareto_updates)
+            .u64("eval_batches", self.eval_batches)
+            .u64("batched_evals", self.batched_evals)
+            .u64("max_batch", self.max_batch)
+            .u64("shard_contentions", self.shard_contentions)
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish());
         o.finish()
@@ -356,6 +368,12 @@ impl SearchObserver for ReportBuilder {
                 }
                 row.mutations_per_param[idx] += 1;
             }
+            SearchEvent::EvalBatch { size, .. } => {
+                state.report.eval_batches += 1;
+                state.report.batched_evals += *size as u64;
+                state.report.max_batch = state.report.max_batch.max(*size as u64);
+            }
+            SearchEvent::CacheShardContended { .. } => state.report.shard_contentions += 1,
             SearchEvent::ImportanceDecayed { .. } => state.report.importance_decays += 1,
             SearchEvent::CrossoverApplied { generation, .. } => {
                 state.row(*generation).crossovers += 1;
@@ -434,6 +452,9 @@ mod tests {
                     max_weight: 2.0,
                     mean_weight: 1.5,
                 },
+                SearchEvent::EvalBatch { generation: 1, size: 3, workers: 2 },
+                SearchEvent::EvalBatch { generation: 1, size: 8, workers: 2 },
+                SearchEvent::CacheShardContended { shard: 5 },
                 SearchEvent::SpanEnd { name: "scoring", nanos: 500 },
                 SearchEvent::SpanEnd { name: "scoring", nanos: 700 },
                 SearchEvent::RunEnd { best_value: 5.0, distinct_evals: 1, wall_nanos: 9000 },
@@ -452,6 +473,10 @@ mod tests {
         assert_eq!(report.hints.accepted, 1);
         assert_eq!(report.importance_decays, 1);
         assert_eq!(report.best_value, 5.0);
+        assert_eq!(report.eval_batches, 2);
+        assert_eq!(report.batched_evals, 11);
+        assert_eq!(report.max_batch, 8);
+        assert_eq!(report.shard_contentions, 1);
 
         assert_eq!(report.generations.len(), 1);
         let g0 = &report.generations[0];
@@ -500,7 +525,8 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"mean\":null"));
     }
 

@@ -9,6 +9,10 @@
 //! "within 1% of the best").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use nautilus_ga::{Direction, Genome, ParamSpace};
 
@@ -20,6 +24,19 @@ use crate::model::CostModel;
 /// Exhaustive-sweep safety limit (design points).
 pub const CHARACTERIZE_LIMIT: u128 = 2_000_000;
 
+/// Indices claimed per steal; amortizes the atomic increment without
+/// letting a slow block starve the other workers.
+const STEAL_BLOCK: u64 = 256;
+
+/// One objective column sorted best-first, memoized per
+/// (expression, direction) pair so rank queries bisect instead of
+/// re-sorting the whole dataset on every call.
+#[derive(Debug)]
+struct SortedColumn {
+    /// Finite objective values, best value first.
+    values: Vec<f64>,
+}
+
 /// A fully characterized (feasible) design-space sub-region.
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -28,10 +45,23 @@ pub struct Dataset {
     name: String,
     entries: Vec<(Genome, MetricSet)>,
     index: HashMap<Genome, usize>,
+    /// Lazily built per-objective sorted columns. Shared across clones:
+    /// entries are immutable after construction, so a memoized column is
+    /// valid for every clone of the dataset.
+    sorted: Arc<RwLock<HashMap<String, Arc<SortedColumn>>>>,
 }
 
 impl Dataset {
     /// Characterizes every point of `model`'s space with `threads` workers.
+    ///
+    /// Pass `threads == 0` to use every core the host offers
+    /// (`std::thread::available_parallelism`); any non-zero count is used
+    /// as given — there is no hidden cap. Workers pull
+    /// [`STEAL_BLOCK`]-sized index blocks from a shared atomic cursor, so
+    /// an expensive region of the space cannot strand one statically
+    /// chunked worker with most of the work. Results are merged in flat
+    /// index order: entry order (and hence every rank query) is identical
+    /// at any thread count.
     ///
     /// Infeasible points are probed (so they are *known* infeasible) but not
     /// stored.
@@ -51,34 +81,45 @@ impl Dataset {
             });
         }
         let total = total as u64;
-        let threads = threads.clamp(1, 64) as u64;
-        let chunk = total.div_ceil(threads);
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        } as u64;
+        let threads = threads.min(total.div_ceil(STEAL_BLOCK)).max(1);
 
-        let mut shards: Vec<Vec<(Genome, MetricSet)>> = Vec::new();
-        crossbeam::scope(|scope| {
+        let cursor = AtomicU64::new(0);
+        let mut indexed: Vec<(u64, Genome, MetricSet)> = Vec::new();
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for t in 0..threads {
+            for _ in 0..threads {
                 let space = &space;
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(total);
-                handles.push(scope.spawn(move |_| {
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
-                    for i in lo..hi {
-                        let g = space.genome_at(u128::from(i));
-                        if let Some(m) = model.evaluate(&g) {
-                            out.push((g, m));
+                    loop {
+                        let lo = cursor.fetch_add(STEAL_BLOCK, Ordering::Relaxed);
+                        if lo >= total {
+                            break;
+                        }
+                        for i in lo..(lo + STEAL_BLOCK).min(total) {
+                            let g = space.genome_at(u128::from(i));
+                            if let Some(m) = model.evaluate(&g) {
+                                out.push((i, g, m));
+                            }
                         }
                     }
                     out
                 }));
             }
             for h in handles {
-                shards.push(h.join().expect("characterization worker panicked"));
+                indexed.extend(h.join().expect("characterization worker panicked"));
             }
-        })
-        .expect("characterization scope panicked");
+        });
 
-        let entries: Vec<(Genome, MetricSet)> = shards.into_iter().flatten().collect();
+        // Deterministic entry order regardless of steal interleaving.
+        indexed.sort_unstable_by_key(|(i, _, _)| *i);
+        let entries: Vec<(Genome, MetricSet)> =
+            indexed.into_iter().map(|(_, g, m)| (g, m)).collect();
         if entries.is_empty() {
             return Err(SynthError::EmptyDataset);
         }
@@ -89,6 +130,7 @@ impl Dataset {
             name: model.name().to_owned(),
             entries,
             index,
+            sorted: Arc::new(RwLock::new(HashMap::new())),
         })
     }
 
@@ -177,6 +219,30 @@ impl Dataset {
         out.expect("dataset has at least one finite entry")
     }
 
+    /// The memoized best-first sorted objective column for
+    /// (`expr`, `direction`), built on first use.
+    fn sorted_column(&self, expr: &MetricExpr, direction: Direction) -> Arc<SortedColumn> {
+        let key = format!("{expr:?}|{direction:?}");
+        if let Some(col) = self.sorted.read().get(&key) {
+            return Arc::clone(col);
+        }
+        let mut values: Vec<f64> =
+            self.eval_all(expr).into_iter().filter(|v| v.is_finite()).collect();
+        values.sort_by(|a, b| {
+            if direction.is_better(*a, *b) {
+                std::cmp::Ordering::Less
+            } else if direction.is_better(*b, *a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let col = Arc::new(SortedColumn { values });
+        // A concurrent builder may have raced us; either result is
+        // identical, so keep whichever landed first.
+        Arc::clone(self.sorted.write().entry(key).or_insert(col))
+    }
+
     /// Quality percentile of `value` under (`expr`, `direction`):
     /// the percentage of dataset entries that `value` ties or beats.
     ///
@@ -184,22 +250,14 @@ impl Dataset {
     /// `quality_pct >= 99`.
     #[must_use]
     pub fn quality_pct(&self, expr: &MetricExpr, direction: Direction, value: f64) -> f64 {
-        let mut not_better = 0usize;
-        let mut finite = 0usize;
-        for (_, m) in &self.entries {
-            let v = expr.eval(m);
-            if !v.is_finite() {
-                continue;
-            }
-            finite += 1;
-            if !direction.is_better(v, value) {
-                not_better += 1;
-            }
-        }
+        let col = self.sorted_column(expr, direction);
+        let finite = col.values.len();
         if finite == 0 {
             return 0.0;
         }
-        100.0 * not_better as f64 / finite as f64
+        // Strictly-better values form a prefix of the best-first column.
+        let better = col.values.partition_point(|&v| direction.is_better(v, value));
+        100.0 * (finite - better) as f64 / finite as f64
     }
 
     /// Normalized 0–100 score of `value` between the dataset's worst (0) and
@@ -228,30 +286,17 @@ impl Dataset {
         frac: f64,
     ) -> f64 {
         assert!(frac > 0.0 && frac <= 1.0, "frac {frac} outside (0, 1]");
-        let mut values: Vec<f64> =
-            self.eval_all(expr).into_iter().filter(|v| v.is_finite()).collect();
-        // Best-first sort.
-        values.sort_by(|a, b| {
-            if direction.is_better(*a, *b) {
-                std::cmp::Ordering::Less
-            } else if direction.is_better(*b, *a) {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        });
-        let k = ((values.len() as f64 * frac).ceil() as usize).clamp(1, values.len());
-        values[k - 1]
+        let col = self.sorted_column(expr, direction);
+        let k = ((col.values.len() as f64 * frac).ceil() as usize).clamp(1, col.values.len());
+        col.values[k - 1]
     }
 
     /// How many entries meet or beat `threshold` under the direction.
     #[must_use]
     pub fn count_reaching(&self, expr: &MetricExpr, direction: Direction, threshold: f64) -> usize {
-        self.entries
-            .iter()
-            .map(|(_, m)| expr.eval(m))
-            .filter(|v| v.is_finite() && !direction.is_better(threshold, *v))
-            .count()
+        let col = self.sorted_column(expr, direction);
+        // Values tying-or-beating the threshold form a prefix.
+        col.values.partition_point(|&v| !direction.is_better(threshold, v))
     }
 
     /// Expected number of uniform random draws (with replacement) needed to
@@ -362,6 +407,64 @@ mod tests {
         let ea: Vec<_> = a.iter().collect();
         let eb: Vec<_> = b.iter().collect();
         assert_eq!(ea, eb, "entry order must not depend on thread count");
+    }
+
+    #[test]
+    fn characterization_auto_threads_and_large_counts_are_equivalent() {
+        let model = BowlModel::new(0.07).unwrap();
+        let serial = Dataset::characterize(&model, 1).unwrap();
+        // threads == 0: auto-detect; 128: formerly silently capped at 64,
+        // now honored (and bounded by the number of steal blocks).
+        for threads in [0usize, 128] {
+            let d = Dataset::characterize(&model, threads).unwrap();
+            let ea: Vec<_> = serial.iter().collect();
+            let eb: Vec<_> = d.iter().collect();
+            assert_eq!(ea, eb, "threads={threads} changed the entries");
+        }
+    }
+
+    #[test]
+    fn indexed_queries_match_linear_scans() {
+        let d = dataset();
+        let cost = MetricExpr::metric(d.catalog().require("cost").unwrap());
+        for direction in [Direction::Minimize, Direction::Maximize] {
+            for threshold in [-1.0, 0.0, 1.0, 1.5, 50.0, 200.0, 378.0, 1000.0] {
+                let linear_count = d
+                    .iter()
+                    .map(|(_, m)| cost.eval(m))
+                    .filter(|v| v.is_finite() && !direction.is_better(threshold, *v))
+                    .count();
+                assert_eq!(
+                    d.count_reaching(&cost, direction, threshold),
+                    linear_count,
+                    "count_reaching({direction:?}, {threshold})"
+                );
+                let (not_better, finite) = d
+                    .iter()
+                    .map(|(_, m)| cost.eval(m))
+                    .filter(|v| v.is_finite())
+                    .fold((0usize, 0usize), |(nb, n), v| {
+                        (nb + usize::from(!direction.is_better(v, threshold)), n + 1)
+                    });
+                let linear_pct = 100.0 * not_better as f64 / finite as f64;
+                let pct = d.quality_pct(&cost, direction, threshold);
+                assert!(
+                    (pct - linear_pct).abs() < 1e-12,
+                    "quality_pct({direction:?}, {threshold}): {pct} vs {linear_pct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_datasets_share_memoized_columns() {
+        let d = dataset();
+        let cost = MetricExpr::metric(d.catalog().require("cost").unwrap());
+        let t = d.top_fraction_threshold(&cost, Direction::Minimize, 0.10);
+        let clone = d.clone();
+        assert_eq!(clone.top_fraction_threshold(&cost, Direction::Minimize, 0.10), t);
+        assert_eq!(d.sorted.read().len(), clone.sorted.read().len());
+        assert_eq!(d.sorted.read().len(), 1, "one memoized column for one (expr, direction)");
     }
 
     #[test]

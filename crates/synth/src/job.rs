@@ -4,17 +4,19 @@
 //! memoizes results (re-visiting a previously synthesized design is free,
 //! as in the paper's methodology) and accounts both the number of distinct
 //! synthesis jobs and the *simulated* EDA tool time they would have cost.
+//!
+//! Memoization is backed by a [`ShardedCache`](crate::ShardedCache): lock
+//! striping keeps concurrent evaluators (batched GA scoring, parallel
+//! strategy comparisons) from serializing on one global lock.
 
-use std::collections::HashMap;
 use std::time::Duration;
-
-use parking_lot::{Mutex, RwLock};
 
 use nautilus_ga::Genome;
 use nautilus_obs::{SearchEvent, SearchObserver};
 
 use crate::metric::MetricSet;
 use crate::model::CostModel;
+use crate::shard::{InsertOutcome, ShardedCache};
 
 /// Counter snapshot of a [`SynthJobRunner`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -84,8 +86,7 @@ impl JobStats {
 /// ```
 pub struct SynthJobRunner<'m> {
     model: &'m dyn CostModel,
-    cache: RwLock<HashMap<Genome, Option<MetricSet>>>,
-    stats: Mutex<JobStats>,
+    cache: ShardedCache,
     observer: &'m dyn SearchObserver,
 }
 
@@ -93,15 +94,11 @@ impl<'m> SynthJobRunner<'m> {
     /// Creates a runner with an empty cache.
     #[must_use]
     pub fn new(model: &'m dyn CostModel) -> Self {
-        SynthJobRunner {
-            model,
-            cache: RwLock::new(HashMap::new()),
-            stats: Mutex::new(JobStats::default()),
-            observer: nautilus_obs::noop(),
-        }
+        SynthJobRunner { model, cache: ShardedCache::new(), observer: nautilus_obs::noop() }
     }
 
-    /// Routes one [`SearchEvent::EvalCompleted`] per lookup to `observer`.
+    /// Routes one [`SearchEvent::EvalCompleted`] per lookup to `observer`
+    /// (plus a [`SearchEvent::CacheShardContended`] on lost insert races).
     #[must_use]
     pub fn with_observer(mut self, observer: &'m dyn SearchObserver) -> Self {
         self.observer = observer;
@@ -118,39 +115,30 @@ impl<'m> SynthJobRunner<'m> {
     ///
     /// Returns `None` for infeasible design points.
     pub fn evaluate(&self, genome: &Genome) -> Option<MetricSet> {
-        if let Some(cached) = self.cache.read().get(genome) {
-            self.stats.lock().cache_hits += 1;
+        if let Some(cached) = self.cache.lookup(genome) {
             self.emit(true, cached.is_some(), 0);
-            return cached.clone();
-        }
-        let result = self.model.evaluate(genome);
-        let mut cache = self.cache.write();
-        // Double-checked: another thread may have inserted concurrently.
-        if let Some(cached) = cache.get(genome) {
-            self.stats.lock().cache_hits += 1;
-            let feasible = cached.is_some();
-            let cached = cached.clone();
-            drop(cache);
-            self.emit(true, feasible, 0);
             return cached;
         }
-        cache.insert(genome.clone(), result.clone());
-        drop(cache);
+        let result = self.model.evaluate(genome);
         let tool_secs = match &result {
             Some(_) => self.model.synth_time(genome).as_secs(),
             None => 0,
         };
-        let mut stats = self.stats.lock();
-        match &result {
-            Some(_) => {
-                stats.jobs += 1;
-                stats.simulated_tool_secs += tool_secs;
+        match self.cache.insert_or_hit(genome, &result, tool_secs) {
+            InsertOutcome::Inserted => {
+                self.emit(false, result.is_some(), tool_secs);
+                result
             }
-            None => stats.infeasible += 1,
+            // Another thread synthesized the same point concurrently; its
+            // result wins and this lookup is accounted as a cache hit.
+            InsertOutcome::Lost { cached, shard } => {
+                if self.observer.enabled() {
+                    self.observer.on_event(&SearchEvent::CacheShardContended { shard });
+                }
+                self.emit(true, cached.is_some(), 0);
+                cached
+            }
         }
-        drop(stats);
-        self.emit(false, result.is_some(), tool_secs);
-        result
     }
 
     /// Emits one `EvalCompleted` event when the observer is enabled.
@@ -160,23 +148,30 @@ impl<'m> SynthJobRunner<'m> {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, merged across all cache shards.
     #[must_use]
     pub fn stats(&self) -> JobStats {
-        *self.stats.lock()
+        self.cache.stats()
     }
 
     /// Number of distinct feasible jobs run so far (the paper's
     /// "# designs evaluated").
     #[must_use]
     pub fn distinct_jobs(&self) -> u64 {
-        self.stats.lock().jobs
+        self.stats().jobs
     }
 
     /// Number of memoized entries (feasible and infeasible).
     #[must_use]
     pub fn cached_points(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
+    }
+
+    /// Insert races lost across all shards: lookups that found the point
+    /// already being synthesized by another thread.
+    #[must_use]
+    pub fn shard_contentions(&self) -> u64 {
+        self.cache.contentions()
     }
 }
 
@@ -192,7 +187,10 @@ impl std::fmt::Debug for SynthJobRunner<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metric::MetricCatalog;
     use crate::model::testing::BowlModel;
+    use nautilus_ga::ParamSpace;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn distinct_jobs_counted_once() {
@@ -314,5 +312,110 @@ mod tests {
             "cache holds exactly the distinct points"
         );
         assert_eq!(s.cache_hits, 8 * 100 - 20);
+    }
+
+    /// A [`CostModel`] that counts every real evaluation it performs.
+    struct CountingModel {
+        space: ParamSpace,
+        catalog: MetricCatalog,
+        evals: AtomicU64,
+    }
+
+    impl CountingModel {
+        fn new() -> CountingModel {
+            CountingModel {
+                space: ParamSpace::builder().int("x", 0, 4, 1).int("y", 0, 3, 1).build().unwrap(),
+                catalog: MetricCatalog::new([("cost", "")]).unwrap(),
+                evals: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CostModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+
+        fn catalog(&self) -> &MetricCatalog {
+            &self.catalog
+        }
+
+        fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            // One infeasible stripe so both result kinds race.
+            if g.gene_at(0) == 3 {
+                return None;
+            }
+            let cost = f64::from(g.gene_at(0)) + 10.0 * f64::from(g.gene_at(1));
+            Some(self.catalog.set(vec![cost]).unwrap())
+        }
+    }
+
+    /// N real threads hammering the same 20 points: the sharded cache must
+    /// run exactly one synthesis job per distinct point, and the merged
+    /// stats must reconcile exactly with the lookups issued.
+    ///
+    /// `std::thread` is used directly so this exercises true concurrency
+    /// regardless of how the `crossbeam` dependency schedules its scope.
+    #[test]
+    fn sharded_cache_hammer_runs_one_job_per_distinct_point() {
+        const THREADS: u32 = 8;
+        const ITERS: u32 = 100;
+        let model = CountingModel::new();
+        let runner = SynthJobRunner::new(&model);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let runner = &runner;
+                scope.spawn(move || {
+                    for i in 0..ITERS {
+                        // Every thread walks the full 5x4 grid, offset by
+                        // its id so first touches interleave across points.
+                        let g = Genome::from_genes(vec![(i + t) % 5, i % 4]);
+                        runner.evaluate(&g);
+                    }
+                });
+            }
+        });
+        let s = runner.stats();
+        // 5 x values x 4 y values = 20 distinct points; x == 3 stripe
+        // (4 points) is infeasible.
+        assert_eq!(s.jobs, 16, "one job per distinct feasible point");
+        assert_eq!(s.infeasible, 4, "one probe per distinct infeasible point");
+        assert_eq!(runner.cached_points(), 20);
+        // The model ran once per distinct point, plus once per lost insert
+        // race (the loser evaluated before discovering the winner's entry).
+        let contentions = runner.shard_contentions();
+        assert_eq!(
+            model.evals.load(Ordering::Relaxed),
+            20 + contentions,
+            "model invocations reconcile with jobs + lost races"
+        );
+        // Every one of the 800 lookups is accounted exactly once.
+        assert_eq!(s.total_lookups(), u64::from(THREADS * ITERS));
+        assert_eq!(s.cache_hits, u64::from(THREADS * ITERS) - 20);
+        // Infeasible jobs charge no tool time; feasible ones charge some.
+        assert!(s.simulated_tool_secs > 0);
+    }
+
+    #[test]
+    fn contended_inserts_surface_as_events_and_counters() {
+        let model = BowlModel::new(0.0).unwrap();
+        let sink = nautilus_obs::InMemorySink::new();
+        let runner = SynthJobRunner::new(&model).with_observer(&sink);
+        let g = Genome::from_genes(vec![1, 2]);
+        runner.evaluate(&g);
+        runner.evaluate(&g);
+        // Serial re-lookups are read-path hits, never contentions.
+        assert_eq!(runner.shard_contentions(), 0);
+        let contended = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SearchEvent::CacheShardContended { .. }))
+            .count();
+        assert_eq!(contended, 0);
     }
 }

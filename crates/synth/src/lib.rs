@@ -58,6 +58,7 @@ mod job;
 mod metric;
 mod model;
 pub mod noise;
+mod shard;
 
 pub use dataset::{Dataset, DatasetModel, CHARACTERIZE_LIMIT};
 pub use error::{Result, SynthError};
@@ -66,6 +67,7 @@ pub use fitness::QueryFitness;
 pub use job::{JobStats, SynthJobRunner};
 pub use metric::{MetricCatalog, MetricDef, MetricId, MetricSet};
 pub use model::CostModel;
+pub use shard::{InsertOutcome, ShardedCache, NUM_SHARDS};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,253 @@
+//! Lock-striped synthesis-result cache.
+//!
+//! The [`SynthJobRunner`](crate::SynthJobRunner) used to guard one big
+//! `HashMap` with a single `RwLock`, which serializes every insert across
+//! the whole cache. [`ShardedCache`] stripes the map across [`NUM_SHARDS`]
+//! independently locked shards, routed by the genome's stable hash, so
+//! concurrent evaluators only contend when they touch the *same* stripe.
+//! Each shard keeps its own atomic counters; [`ShardedCache::stats`] merges
+//! them into the same [`JobStats`] snapshot callers always saw.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use nautilus_ga::Genome;
+
+use crate::job::JobStats;
+use crate::metric::MetricSet;
+
+/// Number of lock stripes. A small power of two: enough to spread the
+/// handful of evaluator threads a search runs, cheap enough to merge.
+pub const NUM_SHARDS: usize = 16;
+
+/// Salt for shard routing. Fixed so the shard of a genome is stable
+/// across runs (and distinct from any user-visible hashing).
+const SHARD_SALT: u64 = 0x5348_4152_4421_6361; // "SHARD!ca"
+
+/// Outcome of a [`ShardedCache::insert_or_hit`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// The entry was inserted; this thread's evaluation won.
+    Inserted,
+    /// Another thread inserted the same genome first; the race loser gets
+    /// the winner's cached result and the shard index where it contended.
+    Lost {
+        /// Cached result from the thread that won the race.
+        cached: Option<MetricSet>,
+        /// Index of the shard the race happened on.
+        shard: u32,
+    },
+}
+
+struct Shard {
+    map: RwLock<HashMap<Genome, Option<MetricSet>>>,
+    jobs: AtomicU64,
+    infeasible: AtomicU64,
+    cache_hits: AtomicU64,
+    tool_secs: AtomicU64,
+    contentions: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+            jobs: AtomicU64::new(0),
+            infeasible: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            tool_secs: AtomicU64::new(0),
+            contentions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A `HashMap<Genome, Option<MetricSet>>` striped over [`NUM_SHARDS`]
+/// independently locked shards, with per-shard [`JobStats`] counters.
+pub struct ShardedCache {
+    shards: Vec<Shard>,
+}
+
+impl ShardedCache {
+    /// Creates an empty cache with all shards allocated.
+    #[must_use]
+    pub fn new() -> ShardedCache {
+        ShardedCache { shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect() }
+    }
+
+    fn shard_of(&self, genome: &Genome) -> (usize, &Shard) {
+        let idx = (genome.stable_hash(SHARD_SALT) as usize) & (NUM_SHARDS - 1);
+        (idx, &self.shards[idx])
+    }
+
+    /// Looks `genome` up; on a hit the shard's `cache_hits` counter is
+    /// charged and the cached result cloned out.
+    #[must_use]
+    pub fn lookup(&self, genome: &Genome) -> Option<Option<MetricSet>> {
+        let (_, shard) = self.shard_of(genome);
+        let hit = shard.map.read().get(genome).cloned();
+        if hit.is_some() {
+            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts an evaluated result, double-checking for a concurrent
+    /// insert under the write lock.
+    ///
+    /// On the winning path the shard's job counters are charged
+    /// (`jobs` + `tool_secs` for feasible results, `infeasible` otherwise).
+    /// A lost race is charged as a cache hit — the lookup *was* served
+    /// from another thread's work — plus one contention tick.
+    pub fn insert_or_hit(
+        &self,
+        genome: &Genome,
+        result: &Option<MetricSet>,
+        tool_secs: u64,
+    ) -> InsertOutcome {
+        let (idx, shard) = self.shard_of(genome);
+        let mut map = shard.map.write();
+        if let Some(cached) = map.get(genome) {
+            let cached = cached.clone();
+            drop(map);
+            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shard.contentions.fetch_add(1, Ordering::Relaxed);
+            return InsertOutcome::Lost { cached, shard: idx as u32 };
+        }
+        map.insert(genome.clone(), result.clone());
+        drop(map);
+        match result {
+            Some(_) => {
+                shard.jobs.fetch_add(1, Ordering::Relaxed);
+                shard.tool_secs.fetch_add(tool_secs, Ordering::Relaxed);
+            }
+            None => {
+                shard.infeasible.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        InsertOutcome::Inserted
+    }
+
+    /// Merged counter snapshot across all shards.
+    #[must_use]
+    pub fn stats(&self) -> JobStats {
+        let mut s = JobStats::default();
+        for shard in &self.shards {
+            s.jobs += shard.jobs.load(Ordering::Relaxed);
+            s.infeasible += shard.infeasible.load(Ordering::Relaxed);
+            s.cache_hits += shard.cache_hits.load(Ordering::Relaxed);
+            s.simulated_tool_secs += shard.tool_secs.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Total insert races lost across all shards.
+    #[must_use]
+    pub fn contentions(&self) -> u64 {
+        self.shards.iter().map(|s| s.contentions.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total memoized entries (feasible and infeasible) across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
+    }
+
+    /// Whether no entry has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedCache {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &NUM_SHARDS)
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .field("contentions", &self.contentions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricCatalog;
+
+    fn metrics(v: f64) -> MetricSet {
+        MetricCatalog::new([("v", "")]).unwrap().set(vec![v]).unwrap()
+    }
+
+    #[test]
+    fn shard_count_is_a_power_of_two() {
+        assert!(NUM_SHARDS.is_power_of_two(), "mask routing requires a power of two");
+    }
+
+    #[test]
+    fn lookup_miss_then_insert_then_hit() {
+        let cache = ShardedCache::new();
+        let g = Genome::from_genes(vec![1, 2, 3]);
+        assert_eq!(cache.lookup(&g), None);
+        assert_eq!(cache.insert_or_hit(&g, &Some(metrics(4.0)), 120), InsertOutcome::Inserted);
+        assert_eq!(cache.lookup(&g), Some(Some(metrics(4.0))));
+        let s = cache.stats();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.simulated_tool_secs, 120);
+        assert_eq!(cache.contentions(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_insert_charges_no_tool_time() {
+        let cache = ShardedCache::new();
+        let g = Genome::from_genes(vec![9]);
+        assert_eq!(cache.insert_or_hit(&g, &None, 0), InsertOutcome::Inserted);
+        let s = cache.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.infeasible, 1);
+        assert_eq!(s.simulated_tool_secs, 0);
+    }
+
+    #[test]
+    fn lost_race_counts_as_hit_and_contention() {
+        let cache = ShardedCache::new();
+        let g = Genome::from_genes(vec![5, 5]);
+        assert_eq!(cache.insert_or_hit(&g, &Some(metrics(1.0)), 60), InsertOutcome::Inserted);
+        // A second insert of the same genome models the losing thread.
+        match cache.insert_or_hit(&g, &Some(metrics(2.0)), 60) {
+            InsertOutcome::Lost { cached, shard } => {
+                assert_eq!(cached, Some(metrics(1.0)), "loser sees the winner's result");
+                assert!((shard as usize) < NUM_SHARDS);
+            }
+            InsertOutcome::Inserted => panic!("duplicate insert must lose"),
+        }
+        let s = cache.stats();
+        assert_eq!(s.jobs, 1, "only the winner's job is charged");
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.simulated_tool_secs, 60);
+        assert_eq!(cache.contentions(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = ShardedCache::new();
+        for x in 0..64u32 {
+            let g = Genome::from_genes(vec![x, x / 2]);
+            cache.insert_or_hit(&g, &None, 0);
+        }
+        assert_eq!(cache.len(), 64);
+        let populated = cache.shards.iter().filter(|s| !s.map.read().is_empty()).count();
+        assert!(populated > NUM_SHARDS / 2, "only {populated} shards populated");
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Headline benchmarks for the parallel evaluation pipeline.
+#
+# Usage: scripts/bench.sh [OUTPUT.json]
+#
+# Builds the release tree, runs the `evalbench` binary, and writes the
+# measured headline numbers to BENCH_evalpipeline.json (or OUTPUT.json).
+# The binary exits non-zero if the indexed dataset-query speedup drops
+# below the 5x acceptance floor.
+#
+# For fine-grained regression tracking, the same three surfaces are
+# covered by the criterion harness:
+#
+#   cargo bench --offline -p nautilus-bench --bench evalpipeline
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_evalpipeline.json}"
+
+echo "==> cargo build --release -p nautilus-bench --bin evalbench"
+cargo build --release --offline -p nautilus-bench --bin evalbench
+
+echo "==> evalbench $OUT"
+./target/release/evalbench "$OUT"

@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo bench --no-run (deny warnings)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo bench --workspace --offline --no-run
+
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 

@@ -83,6 +83,31 @@ proptest! {
         prop_assert!(model.evaluate(&outcome.best_genome).is_some());
     }
 
+    /// Batched parallel evaluation is invisible end to end: the full
+    /// Nautilus stack (GA + synthesis runner + job accounting) produces
+    /// identical outcomes and identical JobStats at any worker count.
+    #[test]
+    fn eval_worker_count_never_changes_outcomes(seed in any::<u64>(), conf in 0.0f64..=1.0) {
+        let model = RouterModel::swept();
+        let fmax = MetricExpr::metric(model.catalog().require("fmax").unwrap());
+        let query = Query::maximize("fmax", fmax);
+        let hints = nautilus_noc::hints::fmax_hints();
+        let confidence = Some(Confidence::new(conf).unwrap());
+        let serial = Nautilus::new(&model).with_settings(settings());
+        let base = serial.run_baseline(&query, seed).unwrap();
+        let guided = serial.run_guided(&query, &hints, confidence, seed).unwrap();
+        for workers in [0usize, 2, 8] {
+            let engine =
+                Nautilus::new(&model).with_settings(settings()).with_eval_workers(workers);
+            let b = engine.run_baseline(&query, seed).unwrap();
+            prop_assert_eq!(&b, &base, "baseline diverged at {} workers", workers);
+            prop_assert_eq!(b.jobs, base.jobs);
+            let g = engine.run_guided(&query, &hints, confidence, seed).unwrap();
+            prop_assert_eq!(&g, &guided, "guided diverged at {} workers", workers);
+            prop_assert_eq!(g.jobs, guided.jobs);
+        }
+    }
+
     /// The FFT model's feasibility predicate and the search agree: every
     /// design the search ever ranks best is elaborable.
     #[test]
