@@ -1,0 +1,36 @@
+//! Prints the deterministic chaos-run digest for one (seed, workers)
+//! pair. `scripts/check.sh` diffs this binary's output across worker
+//! counts to gate on evaluation-pipeline determinism under faults.
+//!
+//! ```text
+//! cargo run --release -p nautilus-bench --bin chaos -- --seed 3 --workers 8
+//! ```
+
+use nautilus_bench::chaos_digest;
+
+fn main() {
+    let mut seed = 1u64;
+    let mut workers = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects an unsigned integer");
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => {
+                workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers expects an unsigned integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: chaos [--seed N] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("{}", chaos_digest(seed, workers));
+}

@@ -1,0 +1,89 @@
+//! Chaos-run digests: deterministic fingerprints of faulted searches.
+//!
+//! `scripts/check.sh` runs the `chaos` binary across a seed matrix at
+//! several `eval_workers` settings and diffs the outputs: any divergence
+//! means the parallel evaluation pipeline leaked nondeterminism into the
+//! fault-handling path. The digest therefore contains everything
+//! outcome-shaped — best genome, objective value, job and fault counters —
+//! and nothing timing-shaped. The worker count deliberately does not
+//! appear in the digest.
+
+use nautilus::{Confidence, FaultPlan, Nautilus, Query, RetryPolicy, SearchOutcome};
+use nautilus_noc::hints::fmax_hints;
+use nautilus_obs::json::JsonObj;
+use nautilus_synth::MetricExpr;
+
+use crate::data::router_dataset;
+
+/// Transient-failure rate of the standard chaos run (the acceptance
+/// criterion's "10% injected transient faults").
+pub const CHAOS_TRANSIENT_RATE: f64 = 0.10;
+
+fn outcome_json(outcome: &SearchOutcome) -> String {
+    let f = &outcome.faults;
+    let mut o = JsonObj::new();
+    o.str("strategy", &outcome.strategy)
+        .str("best_genome", &outcome.best_genome.to_string())
+        .f64("best_value", outcome.best_value)
+        .u64("trace_points", outcome.trace.len() as u64)
+        .u64("jobs", outcome.jobs.jobs)
+        .u64("infeasible", outcome.jobs.infeasible)
+        .u64("cache_hits", outcome.jobs.cache_hits)
+        .u64("tool_secs", outcome.jobs.simulated_tool_secs)
+        .u64("evals_failed", f.evals_failed)
+        .u64("retries", f.retries)
+        .u64("retries_recovered", f.retries_recovered)
+        .u64("quarantined", f.quarantined)
+        .arr_u64("failed_attempts", &f.failed_attempts);
+    o.finish()
+}
+
+/// Runs the standard chaos pair — baseline and strongly guided searches of
+/// the router *maximize Fmax* query under a 10% transient fault storm —
+/// and returns a deterministic JSON digest of both outcomes.
+///
+/// Digests for the same `seed` must be byte-identical at every `workers`
+/// setting; that is exactly what the check-script gate diffs.
+///
+/// # Panics
+///
+/// Panics if a search fails outright, which the packaged router dataset
+/// cannot cause at this fault rate with retries enabled.
+#[must_use]
+pub fn chaos_digest(seed: u64, workers: usize) -> String {
+    let d = router_dataset();
+    let model = d.as_model();
+    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
+    let query = Query::maximize("fmax", fmax);
+    let plan = FaultPlan::new(seed).with_transient_rate(CHAOS_TRANSIENT_RATE);
+    let engine = Nautilus::new(&model)
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy::default())
+        .with_eval_workers(workers);
+    let baseline = engine.run_baseline(&query, seed).expect("chaos baseline run");
+    let guided = engine
+        .run_guided(&query, &fmax_hints(), Some(Confidence::STRONG), seed)
+        .expect("chaos guided run");
+    let mut o = JsonObj::new();
+    o.u64("chaos_seed", seed)
+        .f64("transient_rate", CHAOS_TRANSIENT_RATE)
+        .raw("baseline", &outcome_json(&baseline))
+        .raw("guided", &outcome_json(&guided));
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_seed_sensitive_and_fault_bearing() {
+        let a = chaos_digest(1, 1);
+        assert_eq!(a, chaos_digest(1, 1), "same seed must reproduce byte-identically");
+        assert_ne!(a, chaos_digest(2, 1), "different seeds must inject differently");
+        assert!(nautilus::obs::json::is_valid_json(&a));
+        assert!(a.contains("\"evals_failed\""));
+        assert!(!a.contains("\"evals_failed\":0"), "10% storm should record failures");
+        assert!(!a.contains("workers"), "digest must not leak the worker count");
+    }
+}

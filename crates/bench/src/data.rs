@@ -56,4 +56,24 @@ mod tests {
             nautilus_synth::CostModel::space(&NocModel::new(64)).cardinality()
         );
     }
+
+    #[test]
+    fn router_dataset_serves_the_paper_queries() {
+        use nautilus_ga::Direction;
+        use nautilus_synth::MetricExpr;
+        let d = router_dataset();
+        // The metrics every figure queries must exist in the catalog.
+        for metric in ["fmax", "luts"] {
+            let id = d.catalog().require(metric).unwrap();
+            let (_, value) = d.best(&MetricExpr::metric(id), Direction::Maximize);
+            assert!(value.is_finite(), "best {metric} must be finite");
+        }
+        assert!(d.catalog().require("nope").is_err());
+    }
+
+    #[test]
+    fn fft_and_connect_datasets_are_cached_like_the_router() {
+        assert_eq!(fft_dataset() as *const _, fft_dataset() as *const _);
+        assert_eq!(connect_dataset() as *const _, connect_dataset() as *const _);
+    }
 }

@@ -16,14 +16,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod data;
 pub mod figures;
 pub mod report;
 pub mod telemetry;
 
+pub use chaos::{chaos_digest, CHAOS_TRANSIENT_RATE};
 pub use figures::{
     abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,
     abl_wrong_hints, all_ablations, fig1, fig2, fig3, fig4, fig5, fig6, fig7, Scale,
 };
 pub use report::{render_table_a, ExperimentReport, Headline};
-pub use telemetry::{capture_telemetry, TelemetryArtifacts};
+pub use telemetry::{capture_chaos_telemetry, capture_telemetry, TelemetryArtifacts};

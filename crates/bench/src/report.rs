@@ -156,6 +156,39 @@ mod tests {
     }
 
     #[test]
+    fn display_omits_empty_sections() {
+        let bare = ExperimentReport {
+            id: "figX",
+            title: "Bare".into(),
+            headlines: vec![],
+            table: String::new(),
+            csv: vec![],
+        };
+        let text = bare.to_string();
+        assert!(text.contains("figX"));
+        assert!(!text.contains("claim"), "headline header must not render without rows");
+    }
+
+    #[test]
+    fn csv_write_creates_nested_directories() {
+        let dir = std::env::temp_dir().join("nautilus_report_nested/deep/path");
+        let _ = std::fs::remove_dir_all(std::env::temp_dir().join("nautilus_report_nested"));
+        let written = report().write_csv(&dir).unwrap();
+        assert_eq!(written.len(), 1);
+        assert!(dir.join("fig9.csv").exists());
+        std::fs::remove_dir_all(std::env::temp_dir().join("nautilus_report_nested")).unwrap();
+    }
+
+    #[test]
+    fn table_a_renders_reports_without_headlines() {
+        let mut bare = report();
+        bare.headlines.clear();
+        let t = render_table_a(&[bare]);
+        assert!(t.contains("Table A"));
+        assert!(!t.contains("fig9"), "headline-less reports contribute no rows");
+    }
+
+    #[test]
     fn formatters() {
         assert_eq!(fmt_ratio(Some(2.84)), "2.8x");
         assert_eq!(fmt_ratio(None), "n/a");

@@ -14,7 +14,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use nautilus::{Confidence, JsonlSink, Nautilus, Query, RunReport, SearchOutcome};
+use nautilus::{Confidence, FaultPlan, JsonlSink, Nautilus, Query, RunReport, SearchOutcome};
 use nautilus_noc::hints::fmax_hints;
 use nautilus_synth::MetricExpr;
 
@@ -50,6 +50,36 @@ pub struct TelemetryArtifacts {
 /// Panics if the search itself fails, which the packaged router dataset
 /// and hints cannot cause.
 pub fn capture_telemetry(dir: &Path, seed: u64) -> io::Result<Vec<TelemetryArtifacts>> {
+    capture_inner(dir, seed, None)
+}
+
+/// [`capture_telemetry`] against a *faulting* runner: every evaluation
+/// goes through deterministic fault injection per `plan`, so the captured
+/// stream also carries the failure/retry/quarantine events and the report
+/// carries a non-trivial `faults` block. File names gain a `chaos-`
+/// prefix to keep the clean and faulted artifacts apart.
+///
+/// # Errors
+///
+/// Returns any error creating the directory or writing the artifacts.
+///
+/// # Panics
+///
+/// Panics if the search fails outright; keep the plan's rates storm-sized,
+/// not apocalypse-sized.
+pub fn capture_chaos_telemetry(
+    dir: &Path,
+    seed: u64,
+    plan: FaultPlan,
+) -> io::Result<Vec<TelemetryArtifacts>> {
+    capture_inner(dir, seed, Some(plan))
+}
+
+fn capture_inner(
+    dir: &Path,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> io::Result<Vec<TelemetryArtifacts>> {
     fs::create_dir_all(dir)?;
     let d = router_dataset();
     let model = d.as_model();
@@ -60,10 +90,14 @@ pub fn capture_telemetry(dir: &Path, seed: u64) -> io::Result<Vec<TelemetryArtif
     let mut artifacts = Vec::new();
     for guided in [false, true] {
         let tag = if guided { "guided-strong" } else { "baseline" };
-        let events_path = dir.join(format!("{tag}-seed{seed}.events.jsonl"));
-        let report_path = dir.join(format!("{tag}-seed{seed}.report.json"));
+        let prefix = if plan.is_some() { "chaos-" } else { "" };
+        let events_path = dir.join(format!("{prefix}{tag}-seed{seed}.events.jsonl"));
+        let report_path = dir.join(format!("{prefix}{tag}-seed{seed}.report.json"));
         let sink = JsonlSink::create(&events_path)?;
-        let engine = Nautilus::new(&model).with_observer(&sink);
+        let mut engine = Nautilus::new(&model).with_observer(&sink);
+        if let Some(plan) = plan {
+            engine = engine.with_fault_plan(plan);
+        }
         let (outcome, report) = if guided {
             engine.run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
         } else {
@@ -101,6 +135,48 @@ mod tests {
             assert!(events.lines().count() > 0, "event stream not empty");
             let report = fs::read_to_string(&a.report_path).unwrap();
             assert!(nautilus::obs::json::is_valid_json(&report));
+            let _ = fs::remove_file(&a.events_path);
+            let _ = fs::remove_file(&a.report_path);
+        }
+    }
+
+    #[test]
+    fn chaos_capture_records_failures_and_still_reconciles() {
+        let dir = std::env::temp_dir().join("nautilus-telemetry-chaos-unit");
+        let plan = FaultPlan::new(17).with_transient_rate(0.15);
+        let artifacts = capture_chaos_telemetry(&dir, 17, plan).unwrap();
+        assert_eq!(artifacts.len(), 2);
+        for a in &artifacts {
+            assert!(
+                a.outcome.faults.evals_failed > 0,
+                "{}: a 15% storm should record failures",
+                a.strategy
+            );
+            assert!(a.outcome.faults.reconciles());
+            // The report is rebuilt from the event stream alone; its
+            // failure ledger must agree with the engine's exactly.
+            assert_eq!(a.report.faults.evals_failed(), a.outcome.faults.evals_failed);
+            assert_eq!(a.report.faults.retries, a.outcome.faults.retries);
+            assert_eq!(a.report.faults.quarantined, a.outcome.faults.quarantined);
+            assert_eq!(a.report.evals.total_lookups(), a.outcome.jobs.total_lookups());
+            let events = fs::read_to_string(&a.events_path).unwrap();
+            assert!(
+                events.contains("eval_attempt_failed"),
+                "failure events must reach the JSONL stream"
+            );
+            let file_name = a.events_path.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(file_name.starts_with("chaos-"), "chaos artifacts are prefixed: {file_name}");
+            let report = fs::read_to_string(&a.report_path).unwrap();
+            assert!(report.contains("\"faults\""));
+            let _ = fs::remove_file(&a.events_path);
+            let _ = fs::remove_file(&a.report_path);
+        }
+        // Injection must not perturb which artifacts get captured: the
+        // clean capture still produces its unprefixed pair independently.
+        let clean = capture_telemetry(&dir, 17).unwrap();
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean[0].outcome.faults, nautilus::FaultStats::default());
+        for a in &clean {
             let _ = fs::remove_file(&a.events_path);
             let _ = fs::remove_file(&a.report_path);
         }

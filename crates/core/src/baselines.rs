@@ -86,6 +86,7 @@ pub fn random_search(
         best_genome,
         best_value,
         jobs: runner.stats(),
+        faults: Default::default(),
     })
 }
 

@@ -1,8 +1,8 @@
 //! The Nautilus search engine: baseline or hint-guided GA over a cost model.
 
-use nautilus_ga::{Direction, FitnessFn, GaEngine, GaSettings, Genome, RankRoulette};
+use nautilus_ga::{Direction, FitnessFn, GaEngine, GaSettings, Genome, RankRoulette, RetryPolicy};
 use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver};
-use nautilus_synth::{CostModel, SynthJobRunner};
+use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, SynthJobRunner};
 
 use crate::error::Result;
 use crate::guided::{GuidedCrossover, GuidedMutation};
@@ -53,6 +53,8 @@ pub struct Nautilus<'m> {
     mutation_rate: f64,
     guided_crossover: bool,
     observer: &'m dyn SearchObserver,
+    retry: RetryPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Nautilus<'_> {
@@ -63,6 +65,8 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("mutation_rate", &self.mutation_rate)
             .field("guided_crossover", &self.guided_crossover)
             .field("observer_enabled", &self.observer.enabled())
+            .field("retry", &self.retry)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -81,6 +85,8 @@ impl<'m> Nautilus<'m> {
             mutation_rate: 0.1,
             guided_crossover: false,
             observer: nautilus_obs::noop(),
+            retry: RetryPolicy::default(),
+            fault_plan: None,
         }
     }
 
@@ -127,10 +133,43 @@ impl<'m> Nautilus<'m> {
         self
     }
 
+    /// Replaces the retry policy used when evaluations can fail (default:
+    /// [`RetryPolicy::default`], three attempts with exponential backoff).
+    ///
+    /// The policy only takes effect on runs with a fallible evaluation
+    /// path — today that means a fault plan installed with
+    /// [`Nautilus::with_fault_plan`]; real flaky backends plug in the same
+    /// way. An invalid policy is rejected when the run starts.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Injects deterministic evaluation faults per `plan` on every
+    /// subsequent run (chaos testing; see `nautilus_synth::FaultPlan`).
+    ///
+    /// Failed attempts are retried per the engine's [`RetryPolicy`];
+    /// genomes whose retries exhaust are quarantined with infinitely bad
+    /// fitness and the search continues. Because the plan is keyed off
+    /// genome content alone, runs stay bit-for-bit deterministic at every
+    /// `eval_workers` setting.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The cost model being searched.
     #[must_use]
     pub fn model(&self) -> &'m dyn CostModel {
         self.model
+    }
+
+    /// The engine's retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The engine's GA settings.
@@ -260,12 +299,17 @@ impl<'m> Nautilus<'m> {
     ) -> Result<SearchOutcome> {
         let runner = SynthJobRunner::new(self.model).with_observer(observer);
         let fitness = QueryOverRunner { runner: &runner, query };
+        let faulty = self.fault_plan.map(|plan| FaultyEvaluator::new(&fitness, plan));
         let mut engine = GaEngine::new(self.model.space(), &fitness)
             .with_settings(self.settings)
             .with_selector(Box::new(RankRoulette::new(1.10)))
             .with_mutation(Box::new(nautilus_ga::UniformMutation::new(self.mutation_rate)))
             .with_observer(observer)
+            .with_retry_policy(self.retry)
             .with_run_label(label);
+        if let Some(faulty) = &faulty {
+            engine = engine.with_fallible_evaluator(faulty);
+        }
         if let Some((hints, confidence)) = guidance {
             let mut guided = GuidedMutation::resolve(hints, self.model.space(), query.direction())?
                 .with_rate(self.mutation_rate);
@@ -298,6 +342,7 @@ impl<'m> Nautilus<'m> {
             best_genome: run.best_genome,
             best_value: run.best_value,
             jobs: runner.stats(),
+            faults: run.faults,
         })
     }
 }
@@ -577,6 +622,68 @@ mod tests {
         assert!(report.hints.count_of(HintKind::Bias) > 0);
         assert!(report.hints.count_of(HintKind::Target) > 0);
         assert!(report.hints.total() > 0);
+    }
+
+    #[test]
+    fn fault_plans_degrade_gracefully_and_stay_deterministic() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let plan = FaultPlan::new(99).with_transient_rate(0.2).with_persistent_rate(0.02);
+        let engine = Nautilus::new(&model).with_fault_plan(plan);
+        let faulted = engine.run_baseline(&q, 31).unwrap();
+        assert!(faulted.faults.evals_failed > 0, "plan should have injected failures");
+        assert!(faulted.faults.reconciles());
+        // Same plan, same seed, workers on: bit-for-bit identical.
+        for workers in [2usize, 8] {
+            let parallel = Nautilus::new(&model)
+                .with_fault_plan(plan)
+                .with_eval_workers(workers)
+                .run_baseline(&q, 31)
+                .unwrap();
+            assert_eq!(parallel, faulted, "faulted run diverged at {workers} workers");
+        }
+        // A clean run has all-zero fault accounting.
+        let clean = Nautilus::new(&model).run_baseline(&q, 31).unwrap();
+        assert_eq!(clean.faults, nautilus_ga::FaultStats::default());
+    }
+
+    #[test]
+    fn reported_fault_runs_reconcile_report_and_outcome() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let plan = FaultPlan::new(7).with_transient_rate(0.25);
+        let engine =
+            Nautilus::new(&model).with_fault_plan(plan).with_retry_policy(RetryPolicy::default());
+        let (outcome, report) = engine.run_baseline_reported(&q, 41).unwrap();
+        assert!(outcome.faults.evals_failed > 0);
+        // The report rebuilds failure accounting from the event stream
+        // alone; it must agree with the engine's own ledger exactly.
+        assert_eq!(report.faults.evals_failed(), outcome.faults.evals_failed);
+        assert_eq!(report.faults.retries_recovered, outcome.faults.retries_recovered);
+        assert_eq!(report.faults.quarantined, outcome.faults.quarantined);
+        assert_eq!(report.faults.retries, outcome.faults.retries);
+        for (i, kind) in nautilus_obs::FailureKind::ALL.iter().enumerate() {
+            assert_eq!(
+                report.faults.failed_attempts_of(*kind),
+                outcome.faults.failed_attempts[i],
+                "failed-attempt tally for {kind} diverged"
+            );
+        }
+        assert_eq!(report.evals.total_lookups(), outcome.jobs.total_lookups());
+    }
+
+    #[test]
+    fn retries_disabled_quarantines_first_failures() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let plan = FaultPlan::new(3).with_transient_rate(0.3);
+        let engine = Nautilus::new(&model).with_fault_plan(plan);
+        let no_retry = engine.with_retry_policy(RetryPolicy::none());
+        let run = no_retry.run_baseline(&q, 53).unwrap();
+        assert_eq!(run.faults.retries, 0, "RetryPolicy::none must never retry");
+        assert_eq!(run.faults.retries_recovered, 0);
+        assert_eq!(run.faults.evals_failed, run.faults.quarantined);
+        assert!(run.faults.quarantined > 0);
     }
 
     #[test]

@@ -112,9 +112,17 @@ pub use trace::{average_traces, AvgTracePoint, ReachStats, SearchOutcome, TraceP
 /// [`InMemorySink`], and aggregate with [`ReportBuilder`] / [`RunReport`].
 pub use nautilus_obs as obs;
 pub use nautilus_obs::{
-    Fanout, InMemorySink, JsonlSink, MetricsRegistry, MetricsSink, ReportBuilder, RunReport,
-    SearchEvent, SearchObserver,
+    FailureKind, Fanout, FaultTally, InMemorySink, JsonlSink, MetricsRegistry, MetricsSink,
+    ReportBuilder, RunReport, SearchEvent, SearchObserver,
 };
+
+/// Fault-tolerant evaluation, re-exported from `nautilus-ga` /
+/// `nautilus-synth`: configure retries with
+/// [`Nautilus::with_retry_policy`], inject deterministic chaos with
+/// [`Nautilus::with_fault_plan`], and read the run's [`FaultStats`] off
+/// [`SearchOutcome::faults`](SearchOutcome).
+pub use nautilus_ga::{EvalFailure, FallibleEvaluator, FaultStats, RetryPolicy};
+pub use nautilus_synth::{FaultPlan, FaultyEvaluator};
 
 #[cfg(test)]
 mod tests {

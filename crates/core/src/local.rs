@@ -148,6 +148,7 @@ pub fn simulated_annealing(
         best_genome: best_g,
         best_value: direction.from_score(best_s),
         jobs: runner.stats(),
+        faults: Default::default(),
     })
 }
 
@@ -264,6 +265,7 @@ pub fn hill_climb(
         best_genome,
         best_value: direction.from_score(best_score),
         jobs: runner.stats(),
+        faults: Default::default(),
     })
 }
 

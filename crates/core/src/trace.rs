@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nautilus_ga::{Direction, Genome};
+use nautilus_ga::{Direction, FaultStats, Genome};
 use nautilus_synth::JobStats;
 
 /// One point of a search trace (one generation, or one budget step for
@@ -40,6 +40,11 @@ pub struct SearchOutcome {
     pub best_value: f64,
     /// Synthesis-job accounting for the whole run.
     pub jobs: JobStats,
+    /// Evaluation-failure accounting: retries, recoveries and quarantines.
+    /// All-zero unless the run used a fallible evaluator (e.g. a
+    /// [`nautilus_synth::FaultyEvaluator`] installed with
+    /// [`crate::Nautilus::with_fault_plan`]).
+    pub faults: FaultStats,
 }
 
 impl SearchOutcome {
@@ -227,6 +232,7 @@ mod tests {
             best_genome: Genome::from_genes(vec![0]),
             best_value: *bests.last().unwrap(),
             jobs: JobStats { jobs: bests.len() as u64 * evals_step, ..JobStats::default() },
+            faults: FaultStats::default(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! pays nothing. Every search strategy in this workspace evaluates through
 //! an [`EvalCache`] so those counts are directly comparable.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::genome::Genome;
 
@@ -15,9 +15,13 @@ use crate::genome::Genome;
 /// `None` entries record *infeasible* points (the generator refused the
 /// parameter combination); these are tracked separately because a failed
 /// generator run is typically much cheaper than a full synthesis job.
+/// Quarantined genomes (every evaluation attempt failed) are also stored
+/// as `None` — they score like infeasible points and are never
+/// re-evaluated — but counted on their own ledger.
 #[derive(Debug, Clone, Default)]
 pub struct EvalCache {
     map: HashMap<Genome, Option<f64>>,
+    quarantined: HashSet<Genome>,
     hits: u64,
     feasible_misses: u64,
     infeasible_misses: u64,
@@ -88,6 +92,33 @@ impl EvalCache {
         self.map.insert(genome.clone(), value);
     }
 
+    /// Quarantines `genome`: every evaluation attempt failed, so it is
+    /// memoized as infeasible-scoring (`None`) and never re-evaluated,
+    /// but counted on its own ledger — a quarantined point consumed retry
+    /// attempts, not a completed generator run.
+    ///
+    /// Idempotent: a genome already present (evaluated or quarantined) is
+    /// left untouched.
+    pub fn insert_quarantined(&mut self, genome: &Genome) {
+        if self.map.contains_key(genome) {
+            return;
+        }
+        self.map.insert(genome.clone(), None);
+        self.quarantined.insert(genome.clone());
+    }
+
+    /// Whether `genome` was quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, genome: &Genome) -> bool {
+        self.quarantined.contains(genome)
+    }
+
+    /// Number of quarantined genomes.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
     /// Number of distinct *feasible* design points evaluated so far.
     ///
     /// This is the paper's "# designs evaluated" x-axis: each one stands for
@@ -134,6 +165,7 @@ impl EvalCache {
             hits: self.hits,
             distinct_evals: self.feasible_misses,
             infeasible_evals: self.infeasible_misses,
+            quarantined: self.quarantined.len() as u64,
         }
     }
 }
@@ -147,6 +179,8 @@ pub struct CacheStats {
     pub distinct_evals: u64,
     /// Distinct infeasible design points encountered.
     pub infeasible_evals: u64,
+    /// Genomes quarantined after every evaluation attempt failed.
+    pub quarantined: u64,
 }
 
 #[cfg(test)]
@@ -217,6 +251,35 @@ mod tests {
         c.get_or_eval(&g(0), |_| Some(1.0));
         c.get_or_eval(&g(1), |_| None);
         let s = c.stats();
-        assert_eq!(s, CacheStats { hits: 1, distinct_evals: 1, infeasible_evals: 1 });
+        assert_eq!(
+            s,
+            CacheStats { hits: 1, distinct_evals: 1, infeasible_evals: 1, quarantined: 0 }
+        );
+    }
+
+    #[test]
+    fn quarantined_genomes_score_infeasible_and_are_never_reevaluated() {
+        let mut c = EvalCache::new();
+        c.insert_quarantined(&g(9));
+        assert!(c.is_quarantined(&g(9)));
+        assert_eq!(c.peek(&g(9)), Some(None), "quarantine memoizes an infeasible score");
+        assert_eq!(c.quarantined(), 1);
+        // Quarantine is a separate ledger, not an infeasible generator run.
+        assert_eq!(c.infeasible_evals(), 0);
+        assert_eq!(c.distinct_evals(), 0);
+        // Re-quarantining or re-evaluating is a no-op.
+        c.insert_quarantined(&g(9));
+        c.insert_evaluated(&g(9), Some(5.0));
+        assert_eq!(c.peek(&g(9)), Some(None));
+        assert_eq!(c.quarantined(), 1);
+        // A later lookup is an ordinary cache hit.
+        assert_eq!(c.lookup(&g(9)), Some(None));
+        assert_eq!(c.hits(), 1);
+        // An evaluated genome cannot be retroactively quarantined.
+        c.insert_evaluated(&g(1), Some(2.0));
+        c.insert_quarantined(&g(1));
+        assert!(!c.is_quarantined(&g(1)));
+        assert_eq!(c.peek(&g(1)), Some(Some(2.0)));
+        assert_eq!(c.stats().quarantined, 1);
     }
 }

@@ -6,6 +6,9 @@ use rand::SeedableRng;
 
 use crate::cache::{CacheStats, EvalCache};
 use crate::error::{GaError, Result};
+use crate::fallible::{
+    evaluate_with_retries, EvalRecord, FallibleEvaluator, FaultStats, RetryPolicy,
+};
 use crate::fitness::FitnessFn;
 use crate::genome::Genome;
 use crate::ops::{CrossoverOp, MutationOp, OnePointCrossover, OpCtx, UniformMutation};
@@ -105,6 +108,9 @@ pub struct GaRun {
     pub best_value: f64,
     /// Evaluation-cache counters for the run.
     pub cache: CacheStats,
+    /// Failure/retry/quarantine counters (all zero unless a fallible
+    /// evaluator was installed and faults actually occurred).
+    pub faults: FaultStats,
 }
 
 impl GaRun {
@@ -152,6 +158,8 @@ pub struct GaEngine<'a> {
     selector: Box<dyn Selector>,
     observer: &'a dyn SearchObserver,
     run_label: String,
+    fallible: Option<&'a dyn FallibleEvaluator>,
+    retry: RetryPolicy,
 }
 
 impl<'a> GaEngine<'a> {
@@ -167,6 +175,8 @@ impl<'a> GaEngine<'a> {
             selector: Box::new(Tournament::default()),
             observer: nautilus_obs::noop(),
             run_label: "ga".to_owned(),
+            fallible: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -216,6 +226,34 @@ impl<'a> GaEngine<'a> {
         self
     }
 
+    /// Routes every evaluation through a fallible boundary instead of the
+    /// plain [`FitnessFn`].
+    ///
+    /// Failed attempts are retried per the [`RetryPolicy`]; a genome whose
+    /// retries are exhausted (or whose failure is not retryable) is
+    /// *quarantined* — memoized with penalized (infeasible) fitness so the
+    /// generation proceeds without it and it is never evaluated again.
+    /// The installed [`FitnessFn`] still supplies the optimization
+    /// direction; it is no longer called for values.
+    #[must_use]
+    pub fn with_fallible_evaluator(mut self, eval: &'a dyn FallibleEvaluator) -> Self {
+        self.fallible = Some(eval);
+        self
+    }
+
+    /// Replaces the retry policy used with a fallible evaluator.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The engine's retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// The engine's scalar settings.
     #[must_use]
     pub fn settings(&self) -> &GaSettings {
@@ -237,8 +275,10 @@ impl<'a> GaEngine<'a> {
     /// any feasible design point within the retry budget.
     pub fn run(&self, seed: u64) -> Result<GaRun> {
         self.settings.validate()?;
+        self.retry.validate().map_err(GaError::InvalidConfig)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cache = EvalCache::new();
+        let mut faults = FaultStats::default();
         let direction = self.fitness.direction();
         let obs = self.observer;
         let run_clock = std::time::Instant::now();
@@ -277,7 +317,7 @@ impl<'a> GaEngine<'a> {
                 }
                 attempts += 1;
                 let g = self.space.random_genome(&mut rng);
-                let feasible = cache.get_or_eval(&g, |g| self.fitness.fitness(g)).is_some();
+                let feasible = self.eval_into_cache(&mut cache, &g, &mut faults).is_some();
                 if feasible {
                     population.push(g);
                 }
@@ -300,13 +340,13 @@ impl<'a> GaEngine<'a> {
                 population
                     .iter()
                     .map(|g| {
-                        let raw = cache.get_or_eval(g, |g| self.fitness.fitness(g));
+                        let raw = self.eval_into_cache(&mut cache, g, &mut faults);
                         let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
                         ScoredGenome { genome: g.clone(), score }
                     })
                     .collect()
             } else {
-                self.score_batched(&population, &mut cache, workers, generation)
+                self.score_batched(&population, &mut cache, &mut faults, workers, generation)
             };
             // Best-first, deterministic tie-break on the genome itself.
             scored.sort_by(|a, b| {
@@ -403,7 +443,85 @@ impl<'a> GaEngine<'a> {
                 wall_nanos: u64::try_from(run_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
             });
         }
-        Ok(GaRun { history, best_genome, best_value, cache: cache.stats() })
+        Ok(GaRun { history, best_genome, best_value, cache: cache.stats(), faults })
+    }
+
+    /// Evaluates `genome` into the cache, charging a hit when memoized.
+    ///
+    /// This is the single evaluation funnel for the serial paths (initial
+    /// population and serial scoring): without a fallible evaluator it is
+    /// counter-identical to `EvalCache::get_or_eval`; with one it runs the
+    /// retry loop and quarantines on exhaustion.
+    fn eval_into_cache(
+        &self,
+        cache: &mut EvalCache,
+        genome: &Genome,
+        faults: &mut FaultStats,
+    ) -> Option<f64> {
+        if let Some(value) = cache.lookup(genome) {
+            return value;
+        }
+        match self.fallible {
+            None => {
+                let value = self.fitness.fitness(genome);
+                cache.insert_evaluated(genome, value);
+                value
+            }
+            Some(eval) => {
+                let record = evaluate_with_retries(eval, genome, &self.retry);
+                self.note_record(&record, faults);
+                match record.value {
+                    Some(value) => {
+                        cache.insert_evaluated(genome, value);
+                        value
+                    }
+                    None => {
+                        cache.insert_quarantined(genome);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds one finished evaluation record into the fault counters and
+    /// the event stream. Clean records are free.
+    ///
+    /// Events for a batch-evaluated generation are emitted here by the
+    /// merge loop in first-occurrence miss order — the same order the
+    /// serial path produces — so observed streams stay bit-identical at
+    /// any worker count.
+    fn note_record(&self, record: &EvalRecord, faults: &mut FaultStats) {
+        if record.failures.is_empty() {
+            return;
+        }
+        faults.record(record);
+        let obs = self.observer;
+        if !obs.enabled() {
+            return;
+        }
+        for (i, failure) in record.failures.iter().enumerate() {
+            obs.on_event(&SearchEvent::EvalAttemptFailed {
+                kind: failure.kind(),
+                attempt: i as u32 + 1,
+                retryable: failure.is_retryable(),
+            });
+        }
+        for (i, nanos) in record.backoffs_nanos.iter().enumerate() {
+            obs.on_event(&SearchEvent::EvalRetried {
+                attempt: i as u32 + 1,
+                backoff_nanos: *nanos,
+            });
+        }
+        match record.value {
+            Some(_) => obs.on_event(&SearchEvent::EvalRecovered {
+                failed_attempts: record.failures.len() as u32,
+            }),
+            None => obs.on_event(&SearchEvent::GenomeQuarantined {
+                attempts: record.failures.len() as u32,
+                kind: record.failures.last().expect("failures checked non-empty").kind(),
+            }),
+        }
     }
 
     /// Scores one generation by evaluating its distinct cache misses as a
@@ -425,6 +543,7 @@ impl<'a> GaEngine<'a> {
         &self,
         population: &[Genome],
         cache: &mut EvalCache,
+        faults: &mut FaultStats,
         workers: usize,
         generation: u32,
     ) -> Vec<ScoredGenome> {
@@ -447,9 +566,11 @@ impl<'a> GaEngine<'a> {
 
         if !misses.is_empty() {
             let fitness = self.fitness;
+            let fallible = self.fallible;
+            let retry = self.retry;
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let n = misses.len();
-            let mut results: Vec<(usize, Option<f64>)> = std::thread::scope(|scope| {
+            let mut results: Vec<(usize, EvalRecord)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers.min(n))
                     .map(|_| {
                         let cursor = &cursor;
@@ -461,7 +582,11 @@ impl<'a> GaEngine<'a> {
                                 if i >= n {
                                     break;
                                 }
-                                local.push((i, fitness.fitness(misses[i])));
+                                let record = match fallible {
+                                    None => EvalRecord::evaluated(fitness.fitness(misses[i])),
+                                    Some(eval) => evaluate_with_retries(eval, misses[i], &retry),
+                                };
+                                local.push((i, record));
                             }
                             local
                         })
@@ -473,8 +598,14 @@ impl<'a> GaEngine<'a> {
                     .collect()
             });
             results.sort_unstable_by_key(|&(i, _)| i);
-            for (&g, &(_, v)) in misses.iter().zip(&results) {
-                cache.insert_evaluated(g, v);
+            // Merge in first-occurrence order so cache counters and fault
+            // events replay exactly as the serial path would emit them.
+            for (&g, (_, record)) in misses.iter().zip(&results) {
+                self.note_record(record, faults);
+                match record.value {
+                    Some(value) => cache.insert_evaluated(g, value),
+                    None => cache.insert_quarantined(g),
+                }
             }
         }
 

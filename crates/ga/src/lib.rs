@@ -47,6 +47,7 @@
 mod cache;
 mod engine;
 mod error;
+mod fallible;
 mod fitness;
 mod genome;
 pub mod ops;
@@ -59,6 +60,10 @@ mod stats;
 pub use cache::{CacheStats, EvalCache};
 pub use engine::{GaEngine, GaRun, GaSettings, GenStats};
 pub use error::{GaError, Result};
+pub use fallible::{
+    evaluate_with_retries, EvalFailure, EvalRecord, FallibleEvaluator, FaultStats, FnFallible,
+    RetryPolicy,
+};
 pub use fitness::{Direction, FitnessFn, FnFitness};
 pub use genome::Genome;
 pub use ops::{
@@ -90,5 +95,9 @@ mod tests {
         assert_send_sync::<Box<dyn MutationOp>>();
         assert_send_sync::<Box<dyn CrossoverOp>>();
         assert_send_sync::<Box<dyn Selector>>();
+        assert_send_sync::<EvalFailure>();
+        assert_send_sync::<RetryPolicy>();
+        assert_send_sync::<FaultStats>();
+        assert_send_sync::<Box<dyn FallibleEvaluator>>();
     }
 }

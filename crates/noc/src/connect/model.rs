@@ -294,6 +294,46 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "even power of two")]
+    fn one_node_network_model_is_rejected_eagerly() {
+        // Validation happens in the constructor, not at first evaluate.
+        let _ = NocModel::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "even power of two")]
+    fn eight_endpoint_network_model_is_rejected_eagerly() {
+        let _ = NocModel::new(8);
+    }
+
+    #[test]
+    fn smallest_valid_network_model_evaluates_its_whole_space() {
+        let m = NocModel::new(16);
+        assert_eq!(m.endpoints(), 16);
+        let area_id = m.catalog().require("area_mm2").unwrap();
+        for i in 0..m.space().cardinality() {
+            let g = m.space().genome_at(i);
+            let ms = m.evaluate(&g).expect("every 16-endpoint config is feasible");
+            assert!(ms.get(area_id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_vc_routers_are_unrepresentable() {
+        // A router with zero virtual channels has no buffering at all; the
+        // space's num_vcs domain starts at 2, so no genome can encode one.
+        let m = NocModel::new(64);
+        let err = m.space().genome_from_values([
+            ("topology", ParamValue::Sym("Mesh".into())),
+            ("num_vcs", ParamValue::Int(0)),
+            ("flit_width", ParamValue::Int(64)),
+            ("buffer_depth", ParamValue::Int(4)),
+            ("allocator", ParamValue::Sym("separable".into())),
+        ]);
+        assert!(err.is_err(), "num_vcs=0 must not resolve to a genome");
+    }
+
+    #[test]
     fn larger_networks_cost_more() {
         let small = NocModel::new(64);
         let big = NocModel::new(256);

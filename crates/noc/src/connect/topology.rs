@@ -236,6 +236,36 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "even power of two")]
+    fn one_node_topology_is_rejected() {
+        // A 1-endpoint "network" has no routers, channels or bisection;
+        // every family's arithmetic would divide by zero downstream.
+        let _ = Topology::Ring.structure(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "even power of two")]
+    fn sub_minimum_topology_is_rejected() {
+        // 8 is a power of two but below the concentrated/indirect minimum.
+        let _ = Topology::FatTree.structure(8);
+    }
+
+    #[test]
+    fn smallest_valid_network_is_structurally_sound() {
+        // 16 endpoints is the smallest count every family supports; all
+        // structural quantities must stay positive and non-degenerate.
+        for t in Topology::ALL {
+            let s = t.structure(16);
+            assert!(s.routers >= 4, "{t}: {} routers", s.routers);
+            assert!(s.router_radix >= 3, "{t}: radix {}", s.router_radix);
+            assert!(s.channels > 0, "{t}: no channels");
+            assert!(s.bisection_channels > 0, "{t}: no bisection cut");
+            assert!(s.bisection_channels <= s.channels, "{t}: cut exceeds channel count");
+            assert!(s.avg_hops > 0.0 && s.avg_hops.is_finite(), "{t}: hops {}", s.avg_hops);
+        }
+    }
+
+    #[test]
     fn scaling_to_256_endpoints_works() {
         for t in Topology::ALL {
             let s = t.structure(256);

@@ -274,6 +274,53 @@ mod tests {
     }
 
     #[test]
+    fn most_degenerate_router_config_still_synthesizes() {
+        // The smallest representable router: a single VC with a one-flit
+        // buffer, narrowest datapath, no pipelining, no speculation. The
+        // model must treat it as a valid (cheap, slow-ish) design, not an
+        // edge-case crash.
+        let m = RouterModel::swept();
+        let g = m
+            .space()
+            .genome_from_values([
+                ("num_vcs", ParamValue::Int(1)),
+                ("buffer_depth", ParamValue::Int(1)),
+                ("flit_width", ParamValue::Int(16)),
+                ("pipeline_stages", ParamValue::Int(1)),
+                ("sa_alloc", ParamValue::Sym("round_robin".into())),
+                ("va_alloc", ParamValue::Sym("round_robin".into())),
+                ("crossbar", ParamValue::Sym("mux".into())),
+                ("speculation", ParamValue::Bool(false)),
+                ("buffer_type", ParamValue::Sym("lutram".into())),
+            ])
+            .unwrap();
+        let ms = m.evaluate(&g).expect("minimal router is feasible");
+        let luts = ms.get(m.catalog().require("luts").unwrap());
+        let fmax = ms.get(m.catalog().require("fmax").unwrap());
+        assert!(luts > 0.0 && luts.is_finite(), "degenerate router LUTs: {luts}");
+        assert!(fmax > 0.0 && fmax.is_finite(), "degenerate router fmax: {fmax}");
+        // It should sit at the cheap end of Figure 1's LUT range.
+        assert!(luts < 2_000.0, "minimal router should be cheap, got {luts} LUTs");
+    }
+
+    #[test]
+    fn zero_vc_routers_are_unrepresentable() {
+        // num_vcs starts at 1: a bufferless zero-VC "router" cannot be
+        // encoded, so the model never has to define its cost.
+        let m = RouterModel::swept();
+        let space = m.space();
+        let vcs = space.id("num_vcs").unwrap();
+        assert!(space.param(vcs).domain().index_of(&ParamValue::Int(0)).is_none());
+        for g in [space.genome_at(0), space.genome_at(27_647)] {
+            if let ParamValue::Int(v) = space.value_of(&g, vcs) {
+                assert!(v >= 1, "encoded VC count must be positive, got {v}");
+            } else {
+                panic!("num_vcs must be an integer parameter");
+            }
+        }
+    }
+
+    #[test]
     fn more_vcs_and_depth_cost_more_luts_on_average() {
         let m = RouterModel::swept();
         let space = m.space();

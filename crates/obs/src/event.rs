@@ -47,6 +47,50 @@ impl std::fmt::Display for HintKind {
     }
 }
 
+/// Why one evaluation attempt failed.
+///
+/// This is the observability-side mirror of the GA crate's `EvalFailure`
+/// payload: events carry only the kind so the schema stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A transient backend fault (crashed worker, lost connection); a
+    /// retry may succeed.
+    Transient,
+    /// The attempt exceeded its deadline.
+    Timeout,
+    /// The backend returned garbage metrics (non-finite values).
+    Corrupted,
+    /// The backend rejects this design permanently; retrying cannot help.
+    Persistent,
+}
+
+impl FailureKind {
+    /// Stable lowercase label used in the JSON schema.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Transient => "transient",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Corrupted => "corrupted",
+            FailureKind::Persistent => "persistent",
+        }
+    }
+
+    /// All kinds, in schema order.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::Transient,
+        FailureKind::Timeout,
+        FailureKind::Corrupted,
+        FailureKind::Persistent,
+    ];
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One structured telemetry event emitted during a search run.
 ///
 /// Events are emitted in wall-clock order on the thread executing the run,
@@ -120,6 +164,41 @@ pub enum SearchEvent {
         /// Index of the shard that observed the contended insert.
         shard: u32,
     },
+    /// One evaluation attempt failed.
+    ///
+    /// Emitted once per failed attempt, before the engine decides between
+    /// retrying and quarantining. Attribution to a generation follows the
+    /// [`SearchEvent::EvalCompleted`] convention (latest
+    /// [`SearchEvent::GenerationStart`]).
+    EvalAttemptFailed {
+        /// Why the attempt failed.
+        kind: FailureKind,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Whether the retry policy is allowed to try again for this kind.
+        retryable: bool,
+    },
+    /// The engine scheduled a retry after a failed attempt.
+    EvalRetried {
+        /// 1-based attempt number that failed and is being retried.
+        attempt: u32,
+        /// Backoff applied before the next attempt, in nanoseconds.
+        backoff_nanos: u64,
+    },
+    /// A previously failing evaluation succeeded on a retry.
+    EvalRecovered {
+        /// Failed attempts absorbed before the success.
+        failed_attempts: u32,
+    },
+    /// Retries were exhausted (or the failure was not retryable): the
+    /// genome is quarantined with penalized fitness and the generation
+    /// proceeds without it.
+    GenomeQuarantined {
+        /// Total attempts made, all failed.
+        attempts: u32,
+        /// Kind of the final failure.
+        kind: FailureKind,
+    },
     /// One mutation slot fired on a gene.
     MutationHintApplied {
         /// Generation whose offspring are being bred.
@@ -191,6 +270,10 @@ impl SearchEvent {
             SearchEvent::EvalCompleted { .. } => "eval_completed",
             SearchEvent::EvalBatch { .. } => "eval_batch",
             SearchEvent::CacheShardContended { .. } => "cache_shard_contended",
+            SearchEvent::EvalAttemptFailed { .. } => "eval_attempt_failed",
+            SearchEvent::EvalRetried { .. } => "eval_retried",
+            SearchEvent::EvalRecovered { .. } => "eval_recovered",
+            SearchEvent::GenomeQuarantined { .. } => "genome_quarantined",
             SearchEvent::MutationHintApplied { .. } => "mutation_hint_applied",
             SearchEvent::ImportanceDecayed { .. } => "importance_decayed",
             SearchEvent::CrossoverApplied { .. } => "crossover_applied",
@@ -245,6 +328,20 @@ impl SearchEvent {
             }
             SearchEvent::CacheShardContended { shard } => {
                 o.u64("shard", u64::from(*shard));
+            }
+            SearchEvent::EvalAttemptFailed { kind, attempt, retryable } => {
+                o.str("kind", kind.as_str())
+                    .u64("attempt", u64::from(*attempt))
+                    .bool("retryable", *retryable);
+            }
+            SearchEvent::EvalRetried { attempt, backoff_nanos } => {
+                o.u64("attempt", u64::from(*attempt)).u64("backoff_nanos", *backoff_nanos);
+            }
+            SearchEvent::EvalRecovered { failed_attempts } => {
+                o.u64("failed_attempts", u64::from(*failed_attempts));
+            }
+            SearchEvent::GenomeQuarantined { attempts, kind } => {
+                o.u64("attempts", u64::from(*attempts)).str("kind", kind.as_str());
             }
             SearchEvent::MutationHintApplied { generation, param, hint_kind, accepted } => {
                 o.u64("generation", u64::from(*generation))
@@ -307,6 +404,14 @@ mod tests {
             SearchEvent::EvalCompleted { cached: false, feasible: true, tool_secs: 300 },
             SearchEvent::EvalBatch { generation: 2, size: 7, workers: 4 },
             SearchEvent::CacheShardContended { shard: 3 },
+            SearchEvent::EvalAttemptFailed {
+                kind: FailureKind::Transient,
+                attempt: 1,
+                retryable: true,
+            },
+            SearchEvent::EvalRetried { attempt: 1, backoff_nanos: 2_000_000 },
+            SearchEvent::EvalRecovered { failed_attempts: 1 },
+            SearchEvent::GenomeQuarantined { attempts: 3, kind: FailureKind::Persistent },
             SearchEvent::MutationHintApplied {
                 generation: 3,
                 param: 1,
@@ -360,5 +465,12 @@ mod tests {
         let labels: Vec<&str> = HintKind::ALL.iter().map(|k| k.as_str()).collect();
         assert_eq!(labels, ["uniform", "step", "bias", "target", "fallback"]);
         assert_eq!(HintKind::Bias.to_string(), "bias");
+    }
+
+    #[test]
+    fn failure_kind_labels_are_stable() {
+        let labels: Vec<&str> = FailureKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels, ["transient", "timeout", "corrupted", "persistent"]);
+        assert_eq!(FailureKind::Timeout.to_string(), "timeout");
     }
 }

@@ -48,10 +48,12 @@ pub mod observer;
 pub mod report;
 pub mod sink;
 
-pub use event::{HintKind, SearchEvent};
+pub use event::{FailureKind, HintKind, SearchEvent};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot,
 };
 pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
-pub use report::{EvalTally, GenerationTelemetry, HintTally, ReportBuilder, RunReport, SpanStat};
+pub use report::{
+    EvalTally, FaultTally, GenerationTelemetry, HintTally, ReportBuilder, RunReport, SpanStat,
+};
 pub use sink::{InMemorySink, JsonlSink};

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::event::{HintKind, SearchEvent};
+use crate::event::{FailureKind, HintKind, SearchEvent};
 use crate::json::JsonObj;
 use crate::observer::SearchObserver;
 
@@ -324,9 +324,12 @@ impl MetricsSnapshot {
 /// `mutations_total`, `hint_applied_<kind>` per [`HintKind`],
 /// `mutations_param_<name>` per parameter (after a `RunStart` supplies the
 /// names), `crossovers_total`, `selections_total`, `pareto_updates`,
-/// `importance_decays`, `eval_batches` and `cache_shard_contentions`.
+/// `importance_decays`, `eval_batches`, `cache_shard_contentions`,
+/// `eval_failures_total`, `eval_failures_<kind>` per [`FailureKind`],
+/// `eval_retries_total`, `evals_recovered` and `genomes_quarantined`.
 /// Span durations land in `span_<name>_secs` histograms, batch sizes in
-/// the `eval_batch_size` histogram, and the latest `best_so_far` in the
+/// the `eval_batch_size` histogram, retry backoffs in the
+/// `retry_backoff_secs` histogram, and the latest `best_so_far` in the
 /// `best_value` gauge.
 pub struct MetricsSink {
     registry: Arc<MetricsRegistry>,
@@ -345,6 +348,12 @@ pub struct MetricsSink {
     eval_batches: Arc<Counter>,
     batch_sizes: Arc<Histogram>,
     shard_contentions: Arc<Counter>,
+    eval_failures: Arc<Counter>,
+    failure_kinds: [Arc<Counter>; FailureKind::ALL.len()],
+    eval_retries: Arc<Counter>,
+    retry_backoffs: Arc<Histogram>,
+    evals_recovered: Arc<Counter>,
+    genomes_quarantined: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -361,6 +370,8 @@ impl MetricsSink {
     pub fn new(registry: Arc<MetricsRegistry>) -> Self {
         let hint_kinds =
             HintKind::ALL.map(|k| registry.counter(&format!("hint_applied_{}", k.as_str())));
+        let failure_kinds =
+            FailureKind::ALL.map(|k| registry.counter(&format!("eval_failures_{}", k.as_str())));
         MetricsSink {
             runs: registry.counter("runs_total"),
             generations: registry.counter("generations_total"),
@@ -378,6 +389,15 @@ impl MetricsSink {
             batch_sizes: registry
                 .histogram("eval_batch_size", &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0]),
             shard_contentions: registry.counter("cache_shard_contentions"),
+            eval_failures: registry.counter("eval_failures_total"),
+            failure_kinds,
+            eval_retries: registry.counter("eval_retries_total"),
+            retry_backoffs: registry.histogram(
+                "retry_backoff_secs",
+                &[1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0],
+            ),
+            evals_recovered: registry.counter("evals_recovered"),
+            genomes_quarantined: registry.counter("genomes_quarantined"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -432,6 +452,17 @@ impl SearchObserver for MetricsSink {
                 self.batch_sizes.record(*size as f64);
             }
             SearchEvent::CacheShardContended { .. } => self.shard_contentions.inc(),
+            SearchEvent::EvalAttemptFailed { kind, .. } => {
+                self.eval_failures.inc();
+                let idx = FailureKind::ALL.iter().position(|k| k == kind).unwrap_or(0);
+                self.failure_kinds[idx].inc();
+            }
+            SearchEvent::EvalRetried { backoff_nanos, .. } => {
+                self.eval_retries.inc();
+                self.retry_backoffs.record(*backoff_nanos as f64 / NANO);
+            }
+            SearchEvent::EvalRecovered { .. } => self.evals_recovered.inc(),
+            SearchEvent::GenomeQuarantined { .. } => self.genomes_quarantined.inc(),
             SearchEvent::ImportanceDecayed { .. } => self.importance_decays.inc(),
             SearchEvent::CrossoverApplied { .. } => self.crossovers.inc(),
             SearchEvent::SelectionInvoked { .. } => self.selections.inc(),
@@ -555,6 +586,22 @@ mod tests {
         sink.on_event(&SearchEvent::EvalBatch { generation: 0, size: 7, workers: 4 });
         sink.on_event(&SearchEvent::CacheShardContended { shard: 2 });
         sink.on_event(&SearchEvent::CacheShardContended { shard: 2 });
+        sink.on_event(&SearchEvent::EvalAttemptFailed {
+            kind: FailureKind::Transient,
+            attempt: 1,
+            retryable: true,
+        });
+        sink.on_event(&SearchEvent::EvalRetried { attempt: 1, backoff_nanos: 2_000_000 });
+        sink.on_event(&SearchEvent::EvalRecovered { failed_attempts: 1 });
+        sink.on_event(&SearchEvent::EvalAttemptFailed {
+            kind: FailureKind::Corrupted,
+            attempt: 1,
+            retryable: false,
+        });
+        sink.on_event(&SearchEvent::GenomeQuarantined {
+            attempts: 1,
+            kind: FailureKind::Corrupted,
+        });
         sink.on_event(&SearchEvent::SpanEnd { name: "scoring", nanos: 1_000 });
         sink.on_event(&SearchEvent::GenerationEnd {
             generation: 0,
@@ -580,5 +627,13 @@ mod tests {
         assert_eq!(snap.counters["cache_shard_contentions"], 2);
         assert_eq!(snap.histograms["eval_batch_size"].count, 1);
         assert!((snap.histograms["eval_batch_size"].sum - 7.0).abs() < 1e-9);
+        assert_eq!(snap.counters["eval_failures_total"], 2);
+        assert_eq!(snap.counters["eval_failures_transient"], 1);
+        assert_eq!(snap.counters["eval_failures_corrupted"], 1);
+        assert_eq!(snap.counters["eval_retries_total"], 1);
+        assert_eq!(snap.counters["evals_recovered"], 1);
+        assert_eq!(snap.counters["genomes_quarantined"], 1);
+        assert_eq!(snap.histograms["retry_backoff_secs"].count, 1);
+        assert!((snap.histograms["retry_backoff_secs"].sum - 0.002).abs() < 1e-9);
     }
 }

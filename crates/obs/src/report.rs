@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::event::{HintKind, SearchEvent};
+use crate::event::{FailureKind, HintKind, SearchEvent};
 use crate::json::JsonObj;
 use crate::observer::SearchObserver;
 
@@ -49,6 +49,62 @@ impl HintTally {
             o.u64(kind.as_str(), *n);
         }
         o.u64("accepted", self.accepted);
+        o.finish()
+    }
+}
+
+/// Evaluation-failure, retry and quarantine counts folded from the
+/// fault-tolerance events.
+///
+/// The invariant `evals_failed() == retries_recovered + quarantined` holds
+/// by construction: every evaluation that saw at least one failed attempt
+/// either eventually succeeded (recovered) or was quarantined.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Failed attempts indexed in [`FailureKind::ALL`] order.
+    pub failed_attempts: [u64; FailureKind::ALL.len()],
+    /// Retry attempts scheduled ([`SearchEvent::EvalRetried`]).
+    pub retries: u64,
+    /// Evaluations that failed at least once and then succeeded.
+    pub retries_recovered: u64,
+    /// Evaluations abandoned after exhausting retries (or a non-retryable
+    /// failure); their genomes carry penalized fitness.
+    pub quarantined: u64,
+}
+
+impl FaultTally {
+    /// Distinct evaluations that saw at least one failed attempt.
+    #[must_use]
+    pub fn evals_failed(&self) -> u64 {
+        self.retries_recovered + self.quarantined
+    }
+
+    /// Failed attempts of one kind.
+    #[must_use]
+    pub fn failed_attempts_of(&self, kind: FailureKind) -> u64 {
+        let idx = FailureKind::ALL.iter().position(|k| *k == kind).unwrap_or(0);
+        self.failed_attempts[idx]
+    }
+
+    /// Total failed attempts across all kinds.
+    #[must_use]
+    pub fn total_failed_attempts(&self) -> u64 {
+        self.failed_attempts.iter().sum()
+    }
+
+    /// Serializes as `{"evals_failed":n, ..., "failed_attempts":{...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut by_kind = JsonObj::new();
+        for (kind, n) in FailureKind::ALL.iter().zip(self.failed_attempts.iter()) {
+            by_kind.u64(kind.as_str(), *n);
+        }
+        let mut o = JsonObj::new();
+        o.u64("evals_failed", self.evals_failed())
+            .u64("retries", self.retries)
+            .u64("retries_recovered", self.retries_recovered)
+            .u64("quarantined", self.quarantined)
+            .raw("failed_attempts", &by_kind.finish());
         o.finish()
     }
 }
@@ -225,6 +281,8 @@ pub struct RunReport {
     pub max_batch: u64,
     /// Sharded synthesis-cache insert races observed.
     pub shard_contentions: u64,
+    /// Whole-run evaluation-failure / retry / quarantine tallies.
+    pub faults: FaultTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -241,7 +299,7 @@ impl RunReport {
         }
         let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
         let mut o = JsonObj::new();
-        o.u64("schema_version", 2)
+        o.u64("schema_version", 3)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -258,6 +316,7 @@ impl RunReport {
             .u64("batched_evals", self.batched_evals)
             .u64("max_batch", self.max_batch)
             .u64("shard_contentions", self.shard_contentions)
+            .raw("faults", &self.faults.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish());
         o.finish()
@@ -374,6 +433,13 @@ impl SearchObserver for ReportBuilder {
                 state.report.max_batch = state.report.max_batch.max(*size as u64);
             }
             SearchEvent::CacheShardContended { .. } => state.report.shard_contentions += 1,
+            SearchEvent::EvalAttemptFailed { kind, .. } => {
+                let idx = FailureKind::ALL.iter().position(|k| k == kind).unwrap_or(0);
+                state.report.faults.failed_attempts[idx] += 1;
+            }
+            SearchEvent::EvalRetried { .. } => state.report.faults.retries += 1,
+            SearchEvent::EvalRecovered { .. } => state.report.faults.retries_recovered += 1,
+            SearchEvent::GenomeQuarantined { .. } => state.report.faults.quarantined += 1,
             SearchEvent::ImportanceDecayed { .. } => state.report.importance_decays += 1,
             SearchEvent::CrossoverApplied { generation, .. } => {
                 state.row(*generation).crossovers += 1;
@@ -455,6 +521,21 @@ mod tests {
                 SearchEvent::EvalBatch { generation: 1, size: 3, workers: 2 },
                 SearchEvent::EvalBatch { generation: 1, size: 8, workers: 2 },
                 SearchEvent::CacheShardContended { shard: 5 },
+                // A transient fault recovered on retry...
+                SearchEvent::EvalAttemptFailed {
+                    kind: FailureKind::Transient,
+                    attempt: 1,
+                    retryable: true,
+                },
+                SearchEvent::EvalRetried { attempt: 1, backoff_nanos: 1_000_000 },
+                SearchEvent::EvalRecovered { failed_attempts: 1 },
+                // ...and a persistent fault quarantined immediately.
+                SearchEvent::EvalAttemptFailed {
+                    kind: FailureKind::Persistent,
+                    attempt: 1,
+                    retryable: false,
+                },
+                SearchEvent::GenomeQuarantined { attempts: 1, kind: FailureKind::Persistent },
                 SearchEvent::SpanEnd { name: "scoring", nanos: 500 },
                 SearchEvent::SpanEnd { name: "scoring", nanos: 700 },
                 SearchEvent::RunEnd { best_value: 5.0, distinct_evals: 1, wall_nanos: 9000 },
@@ -477,6 +558,13 @@ mod tests {
         assert_eq!(report.batched_evals, 11);
         assert_eq!(report.max_batch, 8);
         assert_eq!(report.shard_contentions, 1);
+        assert_eq!(report.faults.evals_failed(), 2);
+        assert_eq!(report.faults.retries, 1);
+        assert_eq!(report.faults.retries_recovered, 1);
+        assert_eq!(report.faults.quarantined, 1);
+        assert_eq!(report.faults.failed_attempts_of(FailureKind::Transient), 1);
+        assert_eq!(report.faults.failed_attempts_of(FailureKind::Persistent), 1);
+        assert_eq!(report.faults.total_failed_attempts(), 2);
 
         assert_eq!(report.generations.len(), 1);
         let g0 = &report.generations[0];
@@ -525,8 +613,10 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"eval_batches\":0"));
+        assert!(json.contains("\"evals_failed\":0"));
+        assert!(json.contains("\"quarantined\":0"));
         assert!(json.contains("\"mean\":null"));
     }
 

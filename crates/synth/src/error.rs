@@ -55,10 +55,67 @@ pub type Result<T> = std::result::Result<T, SynthError>;
 mod tests {
     use super::*;
 
+    /// One instance of every current variant; extend when variants are
+    /// added so the round-trip tests below stay exhaustive.
+    fn all_variants() -> Vec<SynthError> {
+        vec![
+            SynthError::UnknownMetric("luts".into()),
+            SynthError::DuplicateMetric("fmax".into()),
+            SynthError::ArityMismatch { got: 2, expected: 3 },
+            SynthError::EmptyDataset,
+            SynthError::SpaceTooLarge { cardinality: 10, limit: 5 },
+        ]
+    }
+
     #[test]
     fn messages_name_the_offender() {
         assert!(SynthError::UnknownMetric("luts".into()).to_string().contains("luts"));
         assert!(SynthError::ArityMismatch { got: 2, expected: 3 }.to_string().contains('2'));
         assert!(SynthError::SpaceTooLarge { cardinality: 10, limit: 5 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn every_variant_displays_and_implements_error() {
+        for err in all_variants() {
+            let msg = err.to_string();
+            assert!(!msg.is_empty(), "{err:?} has an empty message");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase by convention: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing period by convention: {msg}");
+            let boxed: Box<dyn Error> = Box::new(err.clone());
+            assert!(boxed.source().is_none(), "SynthError is a leaf error");
+            assert_eq!(boxed.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn variants_compare_and_clone_consistently() {
+        for err in all_variants() {
+            assert_eq!(err.clone(), err);
+        }
+        assert_ne!(SynthError::UnknownMetric("a".into()), SynthError::UnknownMetric("b".into()));
+    }
+
+    /// `SynthError` is `#[non_exhaustive]`: downstream matches must carry
+    /// a wildcard arm so adding a variant (as this PR's `EvalFailure`
+    /// work did elsewhere) is not a breaking change. This test pins the
+    /// idiom the rest of the workspace should use.
+    #[test]
+    // In-crate matches still see every variant, so the wildcard the
+    // attribute mandates for downstream crates is "unreachable" here.
+    #[allow(unreachable_patterns)]
+    fn non_exhaustive_matching_requires_a_wildcard_arm() {
+        for err in all_variants() {
+            let class = match err {
+                SynthError::UnknownMetric(_) | SynthError::DuplicateMetric(_) => "catalog",
+                SynthError::ArityMismatch { .. } => "metrics",
+                SynthError::EmptyDataset | SynthError::SpaceTooLarge { .. } => "dataset",
+                // Future variants land here instead of breaking the build.
+                _ => "other",
+            };
+            assert_ne!(class, "other", "unclassified current variant");
+        }
     }
 }

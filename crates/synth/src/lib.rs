@@ -53,6 +53,7 @@
 mod dataset;
 mod error;
 mod expr;
+mod faults;
 mod fitness;
 mod job;
 mod metric;
@@ -63,6 +64,7 @@ mod shard;
 pub use dataset::{Dataset, DatasetModel, CHARACTERIZE_LIMIT};
 pub use error::{Result, SynthError};
 pub use expr::{ExprDisplay, MetricExpr};
+pub use faults::{FaultPlan, FaultyEvaluator};
 pub use fitness::QueryFitness;
 pub use job::{JobStats, SynthJobRunner};
 pub use metric::{MetricCatalog, MetricDef, MetricId, MetricSet};
@@ -82,5 +84,7 @@ mod tests {
         assert_send_sync::<Dataset>();
         assert_send_sync::<SynthJobRunner<'static>>();
         assert_send_sync::<SynthError>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<FaultyEvaluator<'static>>();
     }
 }

@@ -21,4 +21,19 @@ RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo bench --workspace --offline --no-ru
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> chaos storm (ignored tests)"
+cargo test -q --release --offline -p nautilus-bench --test chaos -- --include-ignored
+
+echo "==> chaos determinism: seed matrix x {1,8} workers"
+cargo build -q --release --offline -p nautilus-bench --bin chaos
+for seed in 1 2 3; do
+    serial="$(target/release/chaos --seed "$seed" --workers 1)"
+    parallel="$(target/release/chaos --seed "$seed" --workers 8)"
+    if [ "$serial" != "$parallel" ]; then
+        echo "chaos digest diverged at seed $seed between 1 and 8 workers" >&2
+        diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+        exit 1
+    fi
+done
+
 echo "All checks passed."

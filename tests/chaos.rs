@@ -1,0 +1,107 @@
+//! Workspace chaos acceptance tests: the full stack (dataset → runner →
+//! fault injection → retries → GA engine → telemetry report) under
+//! deterministic fault storms.
+//!
+//! The headline property (`chaos_acceptance_*`): at a 10% injected
+//! transient rate with retries enabled, a guided run over the 27,648-point
+//! router dataset (a) completes without panicking, (b) is bit-for-bit
+//! identical at `eval_workers` ∈ {1, 2, 8} including every failure
+//! counter, (c) reconciles the engine's fault ledger against both the
+//! event-stream report and the runner's job accounting, and (d) still
+//! beats the unguided baseline.
+
+use nautilus::{Confidence, FaultPlan, Nautilus, Query, RetryPolicy};
+use nautilus_bench::data::router_dataset;
+use nautilus_noc::hints::fmax_hints;
+use nautilus_synth::{Dataset, MetricExpr};
+
+fn fmax_query(d: &Dataset) -> Query {
+    Query::maximize("fmax", MetricExpr::metric(d.catalog().require("fmax").expect("router metric")))
+}
+
+#[test]
+fn chaos_acceptance_ten_percent_transient_storm() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let hints = fmax_hints();
+    let seed = 1u64;
+    let plan = FaultPlan::new(seed).with_transient_rate(0.10);
+
+    // (a) The storm run completes without panicking and finds a real best.
+    let engine =
+        Nautilus::new(&model).with_fault_plan(plan).with_retry_policy(RetryPolicy::default());
+    let (guided, report) =
+        engine.run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed).unwrap();
+    assert!(guided.best_value.is_finite());
+    assert!(guided.faults.evals_failed > 0, "a 10% storm must record failures");
+    assert!(guided.faults.retries > 0, "transient failures must be retried");
+    assert!(guided.faults.retries_recovered > 0, "retries must recover most transients");
+
+    // (b) Bit-for-bit identical outcomes and failure counters at every
+    // worker count, fault handling included.
+    for workers in [2usize, 8] {
+        let (w_outcome, w_report) = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::default())
+            .with_eval_workers(workers)
+            .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+            .unwrap();
+        assert_eq!(w_outcome, guided, "outcome diverged at {workers} workers");
+        assert_eq!(
+            w_report.faults.to_json(),
+            report.faults.to_json(),
+            "report fault block diverged at {workers} workers"
+        );
+        assert_eq!(w_report.evals.total_lookups(), report.evals.total_lookups());
+    }
+
+    // (c) Exact reconciliation: the engine's ledger balances, the report
+    // rebuilt from the event stream agrees with it, and the report's eval
+    // tally agrees with the runner's job accounting.
+    assert!(guided.faults.reconciles(), "evals_failed must equal recovered + quarantined");
+    assert_eq!(report.faults.evals_failed(), guided.faults.evals_failed);
+    assert_eq!(report.faults.retries, guided.faults.retries);
+    assert_eq!(report.faults.retries_recovered, guided.faults.retries_recovered);
+    assert_eq!(report.faults.quarantined, guided.faults.quarantined);
+    assert_eq!(report.faults.total_failed_attempts(), guided.faults.total_failed_attempts());
+    assert_eq!(report.evals.total_lookups(), guided.jobs.total_lookups());
+
+    // (d) Guidance still pays for itself under the same storm.
+    let baseline = engine.run_baseline(&query, seed).unwrap();
+    assert!(baseline.faults.reconciles());
+    assert!(
+        guided.best_value >= baseline.best_value,
+        "guided ({}) fell behind baseline ({}) under faults",
+        guided.best_value,
+        baseline.best_value
+    );
+}
+
+#[test]
+#[ignore = "heavy chaos storm over the full fault-kind matrix; scripts/check.sh runs it via --include-ignored"]
+fn chaos_storm_all_fault_kinds_survive_and_reconcile() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::new(seed)
+            .with_transient_rate(0.20)
+            .with_timeout_rate(0.05)
+            .with_corrupt_rate(0.05)
+            .with_persistent_rate(0.02);
+        let serial = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .run_baseline(&query, seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: storm run must degrade gracefully: {e}"));
+        assert!(serial.best_value.is_finite());
+        assert!(serial.faults.reconciles(), "seed {seed}: ledger out of balance");
+        assert!(serial.faults.quarantined > 0, "seed {seed}: persistent faults must quarantine");
+        let parallel = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_eval_workers(8)
+            .run_baseline(&query, seed)
+            .unwrap();
+        assert_eq!(parallel, serial, "seed {seed}: storm run diverged under 8 workers");
+    }
+}
