@@ -1,0 +1,186 @@
+//! Kill-and-resume determinism gate for the crash-safe search path.
+//!
+//! Two modes, both printing the same digest format as the `chaos` binary
+//! so `scripts/check.sh` can diff them against a straight-through run:
+//!
+//! * **Budget mode** (default): interrupt each chaos search after
+//!   `--budget-generations` generations with durable checkpoints in
+//!   `--dir`, then resume from disk to completion.
+//!
+//!   ```text
+//!   resume --seed 2 --workers 8 --dir /tmp/ckpt --budget-generations 2
+//!   ```
+//!
+//! * **Kill mode** (`--kill`): re-spawn this binary as a slowed-down
+//!   victim (`--victim`), SIGKILL it once checkpoints appear on disk,
+//!   then recover whatever state survived and finish the searches.
+//!
+//!   ```text
+//!   resume --seed 1 --workers 1 --dir /tmp/ckpt --kill
+//!   ```
+//!
+//! The victim additionally wires SIGINT to the run budget's cooperative
+//! cancel flag: Ctrl-C stops at the next generation boundary with a final
+//! checkpoint instead of tearing the process down mid-write.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use nautilus_bench::{chaos_digest, chaos_recover_digest, chaos_resume_digest, chaos_victim};
+
+/// SIGINT's POSIX signal number.
+const SIGINT: i32 = 2;
+
+static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = CANCEL.get() {
+        flag.store(true, Ordering::Release);
+    }
+}
+
+/// Installs `on_sigint` for SIGINT and returns the cancel flag it raises.
+fn install_sigint_cancel() -> Arc<AtomicBool> {
+    let flag = CANCEL.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    flag
+}
+
+struct Cli {
+    seed: u64,
+    workers: usize,
+    dir: Option<PathBuf>,
+    budget_generations: u32,
+    kill: bool,
+    victim: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: resume [--seed N] [--workers N] [--dir PATH] \
+         [--budget-generations N] [--kill | --victim]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli =
+        Cli { seed: 1, workers: 1, dir: None, budget_generations: 2, kill: false, victim: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cli.seed = v,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cli.workers = v,
+                None => usage(),
+            },
+            "--dir" => match args.next() {
+                Some(v) => cli.dir = Some(PathBuf::from(v)),
+                None => usage(),
+            },
+            "--budget-generations" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cli.budget_generations = v,
+                None => usage(),
+            },
+            "--kill" => cli.kill = true,
+            "--victim" => cli.victim = true,
+            _ => usage(),
+        }
+    }
+    if cli.kill && cli.victim {
+        usage();
+    }
+    cli
+}
+
+/// Spawns this binary as a slowed victim writing checkpoints into `dir`,
+/// SIGKILLs it once checkpoint files exist, and returns once it is dead.
+fn kill_a_victim(cli: &Cli, dir: &Path) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--victim")
+        .arg("--seed")
+        .arg(cli.seed.to_string())
+        .arg("--workers")
+        .arg(cli.workers.to_string())
+        .arg("--dir")
+        .arg(dir)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim process");
+
+    // Wait until the victim has durable state worth losing: at least two
+    // checkpoint records in the baseline directory.
+    let baseline = dir.join("baseline");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let checkpoints = std::fs::read_dir(&baseline)
+            .map(|entries| {
+                entries
+                    .filter_map(std::result::Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "nckpt"))
+                    .count()
+            })
+            .unwrap_or(0);
+        if checkpoints >= 2 {
+            break;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            // Victim finished before we could kill it — its checkpoints
+            // are still on disk, recovery just replays the ending.
+            eprintln!("victim exited early ({status}); recovering its final state");
+            return;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            eprintln!("victim produced no checkpoints within 30s");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL victim");
+    let _ = child.wait();
+}
+
+fn main() {
+    let cli = parse_cli();
+    let dir = cli.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("nautilus-resume-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).expect("create checkpoint directory");
+
+    if cli.victim {
+        let cancel = install_sigint_cancel();
+        let digest = chaos_victim(cli.seed, cli.workers, &dir, Duration::from_millis(2), cancel);
+        println!("{digest}");
+        return;
+    }
+
+    let digest = if cli.kill {
+        kill_a_victim(&cli, &dir);
+        chaos_recover_digest(cli.seed, cli.workers, &dir)
+    } else {
+        chaos_resume_digest(cli.seed, cli.workers, &dir, cli.budget_generations)
+    };
+    println!("{digest}");
+
+    // Belt-and-braces self-check so a mis-wired gate fails loudly even if
+    // the caller forgets to diff: the resumed digest must equal a straight
+    // in-process run.
+    let straight = chaos_digest(cli.seed, cli.workers);
+    if digest != straight {
+        eprintln!("resumed digest diverged from straight-through run");
+        std::process::exit(1);
+    }
+}

@@ -8,10 +8,18 @@
 //! and nothing timing-shaped. The worker count deliberately does not
 //! appear in the digest.
 
-use nautilus::{Confidence, FaultPlan, Nautilus, Query, RetryPolicy, SearchOutcome};
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nautilus::{
+    Confidence, FaultPlan, Nautilus, NautilusError, Query, RetryPolicy, RunBudget, SearchOutcome,
+};
+use nautilus_ga::{GaError, Genome, ParamSpace};
 use nautilus_noc::hints::fmax_hints;
 use nautilus_obs::json::JsonObj;
-use nautilus_synth::MetricExpr;
+use nautilus_synth::{CostModel, MetricCatalog, MetricExpr, MetricSet};
 
 use crate::data::router_dataset;
 
@@ -23,6 +31,7 @@ fn outcome_json(outcome: &SearchOutcome) -> String {
     let f = &outcome.faults;
     let mut o = JsonObj::new();
     o.str("strategy", &outcome.strategy)
+        .str("stop", outcome.stop.as_str())
         .str("best_genome", &outcome.best_genome.to_string())
         .f64("best_value", outcome.best_value)
         .u64("trace_points", outcome.trace.len() as u64)
@@ -53,23 +62,219 @@ fn outcome_json(outcome: &SearchOutcome) -> String {
 pub fn chaos_digest(seed: u64, workers: usize) -> String {
     let d = router_dataset();
     let model = d.as_model();
-    let fmax = MetricExpr::metric(d.catalog().require("fmax").expect("router metric"));
-    let query = Query::maximize("fmax", fmax);
-    let plan = FaultPlan::new(seed).with_transient_rate(CHAOS_TRANSIENT_RATE);
-    let engine = Nautilus::new(&model)
-        .with_fault_plan(plan)
-        .with_retry_policy(RetryPolicy::default())
-        .with_eval_workers(workers);
+    let query = router_query(d.catalog());
+    let engine = chaos_engine(&model, seed, workers);
     let baseline = engine.run_baseline(&query, seed).expect("chaos baseline run");
     let guided = engine
         .run_guided(&query, &fmax_hints(), Some(Confidence::STRONG), seed)
         .expect("chaos guided run");
+    digest_pair(seed, &baseline, &guided)
+}
+
+/// The standard chaos engine over `model` (10% transient storm keyed on
+/// `seed`, default retries, `workers` evaluator threads).
+fn chaos_engine<'m>(model: &'m dyn CostModel, seed: u64, workers: usize) -> Nautilus<'m> {
+    let plan = FaultPlan::new(seed).with_transient_rate(CHAOS_TRANSIENT_RATE);
+    Nautilus::new(model)
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy::default())
+        .with_eval_workers(workers)
+}
+
+fn router_query(catalog: &MetricCatalog) -> Query {
+    let fmax = MetricExpr::metric(catalog.require("fmax").expect("router metric"));
+    Query::maximize("fmax", fmax)
+}
+
+fn digest_pair(seed: u64, baseline: &SearchOutcome, guided: &SearchOutcome) -> String {
     let mut o = JsonObj::new();
     o.u64("chaos_seed", seed)
         .f64("transient_rate", CHAOS_TRANSIENT_RATE)
-        .raw("baseline", &outcome_json(&baseline))
-        .raw("guided", &outcome_json(&guided));
+        .raw("baseline", &outcome_json(baseline))
+        .raw("guided", &outcome_json(guided));
     o.finish()
+}
+
+/// Runs the standard chaos pair interrupted-then-resumed and returns the
+/// final digest, which must be byte-identical to [`chaos_digest`] for the
+/// same seed at every worker count.
+///
+/// Each search first runs under a `budget_generations` cap with durable
+/// checkpoints in a subdirectory of `dir` (`baseline/`, `guided/`), then
+/// is resumed from disk to completion by a second engine instance — the
+/// same state round trip a crash-and-restart performs.
+///
+/// # Panics
+///
+/// Panics if a search or resume fails, which intact checkpoint
+/// directories cannot cause.
+#[must_use]
+pub fn chaos_resume_digest(
+    seed: u64,
+    workers: usize,
+    dir: &Path,
+    budget_generations: u32,
+) -> String {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = router_query(d.catalog());
+    let hints = fmax_hints();
+    let budget = RunBudget::new().with_max_generations(budget_generations);
+
+    let base_dir = dir.join("baseline");
+    let cut = chaos_engine(&model, seed, workers)
+        .with_checkpoints(&base_dir)
+        .with_budget(budget.clone())
+        .run_baseline(&query, seed)
+        .expect("chaos baseline (interrupted) run");
+    assert!(cut.stop.is_interrupted(), "budget {budget_generations} should interrupt the run");
+    let baseline = chaos_engine(&model, seed, workers)
+        .resume_from(&query, None, &base_dir)
+        .expect("chaos baseline resume");
+
+    let guided_dir = dir.join("guided");
+    chaos_engine(&model, seed, workers)
+        .with_checkpoints(&guided_dir)
+        .with_budget(budget)
+        .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+        .expect("chaos guided (interrupted) run");
+    let guided = chaos_engine(&model, seed, workers)
+        .resume_from(&query, Some((&hints, Some(Confidence::STRONG))), &guided_dir)
+        .expect("chaos guided resume");
+
+    digest_pair(seed, &baseline, &guided)
+}
+
+/// Recovers whatever a killed [`chaos_victim`] process left in `dir` and
+/// drives both searches to completion, returning the final digest.
+///
+/// Searches whose checkpoint directory holds an intact record are resumed
+/// from it; searches the victim never reached (or that left nothing
+/// intact) are rerun from scratch. Either way the digest must match
+/// [`chaos_digest`] byte for byte — a `SIGKILL` at an arbitrary point may
+/// cost re-done work, never a different answer.
+///
+/// # Panics
+///
+/// Panics if a search fails outright.
+#[must_use]
+pub fn chaos_recover_digest(seed: u64, workers: usize, dir: &Path) -> String {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = router_query(d.catalog());
+    let hints = fmax_hints();
+
+    let baseline = resume_or_rerun(
+        chaos_engine(&model, seed, workers).resume_from(&query, None, dir.join("baseline")),
+        || chaos_engine(&model, seed, workers).run_baseline(&query, seed),
+    );
+    let guided = resume_or_rerun(
+        chaos_engine(&model, seed, workers).resume_from(
+            &query,
+            Some((&hints, Some(Confidence::STRONG))),
+            dir.join("guided"),
+        ),
+        || {
+            chaos_engine(&model, seed, workers).run_guided(
+                &query,
+                &hints,
+                Some(Confidence::STRONG),
+                seed,
+            )
+        },
+    );
+    digest_pair(seed, &baseline, &guided)
+}
+
+/// Falls back to a fresh run only for *absence* of usable state — a crash
+/// before the first checkpoint boundary. Any other failure (I/O, settings
+/// mismatch) propagates: recovery must never paper over a real error.
+fn resume_or_rerun(
+    resumed: nautilus::Result<SearchOutcome>,
+    rerun: impl FnOnce() -> nautilus::Result<SearchOutcome>,
+) -> SearchOutcome {
+    match resumed {
+        Ok(outcome) => outcome,
+        Err(NautilusError::Ga(GaError::Checkpoint(reason)))
+            if reason.contains("no intact checkpoint") =>
+        {
+            rerun().expect("chaos rerun after empty checkpoint dir")
+        }
+        Err(err) => panic!("chaos recovery failed: {err}"),
+    }
+}
+
+/// Wraps a cost model with a fixed per-evaluation delay. Values are
+/// untouched, so outcomes stay bit-identical — the delay only stretches
+/// wall-clock time enough for a parent process to `SIGKILL` the victim
+/// mid-search.
+struct SlowModel<'m> {
+    inner: &'m dyn CostModel,
+    delay: Duration,
+}
+
+impl std::fmt::Debug for SlowModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowModel").field("inner", &self.inner.name()).finish()
+    }
+}
+
+impl CostModel for SlowModel<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+    fn catalog(&self) -> &MetricCatalog {
+        self.inner.catalog()
+    }
+    fn evaluate(&self, genome: &Genome) -> Option<MetricSet> {
+        std::thread::sleep(self.delay);
+        self.inner.evaluate(genome)
+    }
+    fn synth_time(&self, genome: &Genome) -> Duration {
+        self.inner.synth_time(genome)
+    }
+}
+
+/// Runs the full chaos pair with durable checkpoints in `dir` and an
+/// artificial `eval_delay` per evaluation — the designated victim of the
+/// kill-and-resume gate. A parent process SIGKILLs it partway; if it
+/// survives, it returns the same digest [`chaos_digest`] produces.
+///
+/// `cancel` cooperatively stops each search at the next generation
+/// boundary (with a final checkpoint) when raised — wire it to SIGINT so
+/// an interactive Ctrl-C also degrades into a clean resumable stop.
+///
+/// # Panics
+///
+/// Panics if a search fails outright.
+#[must_use]
+pub fn chaos_victim(
+    seed: u64,
+    workers: usize,
+    dir: &Path,
+    eval_delay: Duration,
+    cancel: Arc<AtomicBool>,
+) -> String {
+    let d = router_dataset();
+    let model = SlowModel { inner: &d.as_model(), delay: eval_delay };
+    let query = router_query(d.catalog());
+    let hints = fmax_hints();
+    let budget = RunBudget::new().with_cancel_flag(cancel);
+
+    let baseline = chaos_engine(&model, seed, workers)
+        .with_checkpoints(dir.join("baseline"))
+        .with_budget(budget.clone())
+        .run_baseline(&query, seed)
+        .expect("chaos victim baseline run");
+    let guided = chaos_engine(&model, seed, workers)
+        .with_checkpoints(dir.join("guided"))
+        .with_budget(budget)
+        .run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+        .expect("chaos victim guided run");
+    digest_pair(seed, &baseline, &guided)
 }
 
 #[cfg(test)]

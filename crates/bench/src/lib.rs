@@ -22,7 +22,9 @@ pub mod figures;
 pub mod report;
 pub mod telemetry;
 
-pub use chaos::{chaos_digest, CHAOS_TRANSIENT_RATE};
+pub use chaos::{
+    chaos_digest, chaos_recover_digest, chaos_resume_digest, chaos_victim, CHAOS_TRANSIENT_RATE,
+};
 pub use figures::{
     abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,
     abl_wrong_hints, all_ablations, fig1, fig2, fig3, fig4, fig5, fig6, fig7, Scale,

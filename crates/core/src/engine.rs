@@ -1,10 +1,15 @@
 //! The Nautilus search engine: baseline or hint-guided GA over a cost model.
 
-use nautilus_ga::{Direction, FitnessFn, GaEngine, GaSettings, Genome, RankRoulette, RetryPolicy};
-use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver};
-use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, SynthJobRunner};
+use std::path::{Path, PathBuf};
 
-use crate::error::Result;
+use nautilus_ga::{
+    CheckpointStore, Direction, FitnessFn, GaEngine, GaError, GaSettings, Genome, RankRoulette,
+    RetryPolicy, RunBudget, SearchState,
+};
+use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver, WireReader, WireWriter};
+use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, JobStats, SynthJobRunner};
+
+use crate::error::{NautilusError, Result};
 use crate::guided::{GuidedCrossover, GuidedMutation};
 use crate::hint::{Confidence, HintBook, HintSet};
 use crate::query::Query;
@@ -55,6 +60,9 @@ pub struct Nautilus<'m> {
     observer: &'m dyn SearchObserver,
     retry: RetryPolicy,
     fault_plan: Option<FaultPlan>,
+    budget: RunBudget,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_keep_last: Option<usize>,
 }
 
 impl std::fmt::Debug for Nautilus<'_> {
@@ -67,6 +75,9 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("observer_enabled", &self.observer.enabled())
             .field("retry", &self.retry)
             .field("fault_plan", &self.fault_plan)
+            .field("budget", &self.budget)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("checkpoint_keep_last", &self.checkpoint_keep_last)
             .finish()
     }
 }
@@ -87,6 +98,9 @@ impl<'m> Nautilus<'m> {
             observer: nautilus_obs::noop(),
             retry: RetryPolicy::default(),
             fault_plan: None,
+            budget: RunBudget::new(),
+            checkpoint_dir: None,
+            checkpoint_keep_last: None,
         }
     }
 
@@ -160,6 +174,41 @@ impl<'m> Nautilus<'m> {
         self
     }
 
+    /// Caps every subsequent run with `budget` (generations, distinct
+    /// evaluations, wall-clock deadline, cooperative cancel flag).
+    ///
+    /// A budgeted run stops cleanly at the next generation boundary: the
+    /// outcome's trace covers only the generations actually scored and
+    /// [`SearchOutcome::stop`](crate::SearchOutcome) records why. With
+    /// checkpointing enabled the final state is durably on disk before the
+    /// run returns, so [`Nautilus::resume_from`] can pick it up later.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Writes a durable, checksummed checkpoint of the full search state
+    /// into `dir` at every generation boundary of subsequent runs.
+    ///
+    /// Checkpoints make runs crash-safe: after a `SIGKILL`, power loss, or
+    /// budget stop, [`Nautilus::resume_from`] continues the search and
+    /// produces bit-for-bit the outcome of an uninterrupted run.
+    #[must_use]
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides checkpoint retention: keep the newest `keep` generation
+    /// checkpoints (minimum 1) plus the pinned best-so-far record. The
+    /// store's default is 3.
+    #[must_use]
+    pub fn with_checkpoint_keep_last(mut self, keep: usize) -> Self {
+        self.checkpoint_keep_last = Some(keep);
+        self
+    }
+
     /// The cost model being searched.
     #[must_use]
     pub fn model(&self) -> &'m dyn CostModel {
@@ -224,7 +273,7 @@ impl<'m> Nautilus<'m> {
     ) -> Result<(SearchOutcome, RunReport)> {
         let report = ReportBuilder::new();
         let fan = Fanout::pair(self.observer, &report);
-        let outcome = self.run_observed(query, None, seed, "baseline", &fan)?;
+        let outcome = self.drive(query, None, seed, "baseline", &fan, None, Some(&report))?;
         Ok((outcome, report.finish()))
     }
 
@@ -243,12 +292,14 @@ impl<'m> Nautilus<'m> {
     ) -> Result<(SearchOutcome, RunReport)> {
         let report = ReportBuilder::new();
         let fan = Fanout::pair(self.observer, &report);
-        let outcome = self.run_observed(
+        let outcome = self.drive(
             query,
             Some((hints, confidence)),
             seed,
             guided_label(confidence),
             &fan,
+            None,
+            Some(&report),
         )?;
         Ok((outcome, report.finish()))
     }
@@ -279,6 +330,104 @@ impl<'m> Nautilus<'m> {
         }
     }
 
+    /// Resumes an interrupted run from the newest intact checkpoint in
+    /// `dir`, continuing to completion (or to the engine's budget).
+    ///
+    /// The engine must be configured like the original run: same cost
+    /// model, settings (except [`Nautilus::with_eval_workers`], which
+    /// never affects results), query, and — for guided runs — the same
+    /// hints and confidence, passed as `hints`. The strategy label stored
+    /// in the checkpoint is validated against that configuration, and the
+    /// resumed search then replays bit-for-bit what the uninterrupted run
+    /// would have produced.
+    ///
+    /// Corrupt or truncated checkpoint files are never silently accepted:
+    /// recovery falls back to the newest file whose checksum and structure
+    /// validate, reporting each rejected file to the observer as a
+    /// `checkpoint_corrupt_skipped` event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a checkpoint error when `dir` holds no intact checkpoint or
+    /// the checkpointed run is incompatible with this configuration, plus
+    /// anything [`Nautilus::run_baseline`] can return.
+    pub fn resume_from(
+        &self,
+        query: &Query,
+        hints: Option<(&HintSet, Option<Confidence>)>,
+        dir: impl AsRef<Path>,
+    ) -> Result<SearchOutcome> {
+        let dir = dir.as_ref();
+        let store = CheckpointStore::create(dir).map_err(GaError::from)?;
+        let recovery = store.recover_observed(self.observer).map_err(GaError::from)?;
+        let state = recovery.state.ok_or_else(|| no_checkpoint(dir))?;
+        self.check_resume_label(&state, hints.map(|(_, c)| c))?;
+        let label = state.run_label.clone();
+        self.drive(query, hints, state.seed, &label, self.observer, Some((state, dir)), None)
+    }
+
+    /// [`Nautilus::resume_from`], additionally producing the run's
+    /// [`RunReport`] — continued from the report snapshot embedded in the
+    /// checkpoint, so the finished report covers the *whole* search, not
+    /// just the generations after the restart.
+    ///
+    /// Only runs started through a `_reported` entry point embed report
+    /// snapshots; resuming a plain run's checkpoint yields a report that
+    /// starts at the restored generation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Nautilus::resume_from`].
+    pub fn resume_from_reported(
+        &self,
+        query: &Query,
+        hints: Option<(&HintSet, Option<Confidence>)>,
+        dir: impl AsRef<Path>,
+    ) -> Result<(SearchOutcome, RunReport)> {
+        let dir = dir.as_ref();
+        let store = CheckpointStore::create(dir).map_err(GaError::from)?;
+        let recovery = store.recover().map_err(GaError::from)?;
+        let Some(state) = recovery.state.as_ref() else {
+            return Err(no_checkpoint(dir));
+        };
+        self.check_resume_label(state, hints.map(|(_, c)| c))?;
+        let report = match state.aux_blob(AUX_REPORT) {
+            Some(blob) => ReportBuilder::restore_bytes(blob).map_err(|e| {
+                GaError::Checkpoint(format!("checkpoint {AUX_REPORT} blob rejected: {e}"))
+            })?,
+            None => ReportBuilder::new(),
+        };
+        let fan = Fanout::pair(self.observer, &report);
+        recovery.replay(&fan);
+        let state = recovery.state.expect("checked above");
+        let label = state.run_label.clone();
+        let outcome =
+            self.drive(query, hints, state.seed, &label, &fan, Some((state, dir)), Some(&report))?;
+        Ok((outcome, report.finish()))
+    }
+
+    /// Rejects a resume whose guidance configuration cannot have produced
+    /// the checkpointed run: the strategy label is part of the persisted
+    /// state precisely so a guided run cannot silently continue as a
+    /// baseline (or vice versa) with a divergent operator set.
+    fn check_resume_label(
+        &self,
+        state: &SearchState,
+        confidence: Option<Option<Confidence>>,
+    ) -> Result<()> {
+        let expected = match confidence {
+            Some(c) => guided_label(c),
+            None => "baseline",
+        };
+        if state.run_label != expected {
+            return Err(NautilusError::Ga(GaError::Checkpoint(format!(
+                "checkpoint belongs to a `{}` run but resume is configured as `{expected}`",
+                state.run_label
+            ))));
+        }
+        Ok(())
+    }
+
     fn run_inner(
         &self,
         query: &Query,
@@ -286,27 +435,64 @@ impl<'m> Nautilus<'m> {
         seed: u64,
         label: &str,
     ) -> Result<SearchOutcome> {
-        self.run_observed(query, guidance, seed, label, self.observer)
+        self.drive(query, guidance, seed, label, self.observer, None, None)
     }
 
-    fn run_observed(
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
         &self,
         query: &Query,
         guidance: Option<(&HintSet, Option<Confidence>)>,
         seed: u64,
         label: &str,
         observer: &dyn SearchObserver,
+        resume: Option<(SearchState, &Path)>,
+        report: Option<&ReportBuilder>,
     ) -> Result<SearchOutcome> {
         let runner = SynthJobRunner::new(self.model).with_observer(observer);
+        // Synthesis-job counters accumulated by the interrupted process
+        // ride in the checkpoint's aux blob; the fresh runner restarts at
+        // zero and the offset is added back everywhere totals surface.
+        let jobs_offset = match &resume {
+            Some((state, _)) => match state.aux_blob(AUX_JOBS) {
+                Some(blob) => decode_job_stats(blob).map_err(|e| {
+                    GaError::Checkpoint(format!("checkpoint {AUX_JOBS} blob rejected: {e}"))
+                })?,
+                None => JobStats::default(),
+            },
+            None => JobStats::default(),
+        };
         let fitness = QueryOverRunner { runner: &runner, query };
         let faulty = self.fault_plan.map(|plan| FaultyEvaluator::new(&fitness, plan));
+        // Snapshot closure run at every checkpoint boundary: cumulative job
+        // stats always, plus the report builder's state on reported runs.
+        let aux = || {
+            let mut blobs = vec![(
+                AUX_JOBS.to_owned(),
+                encode_job_stats(&merge_jobs(jobs_offset, runner.stats())),
+            )];
+            if let Some(builder) = report {
+                blobs.push((AUX_REPORT.to_owned(), builder.snapshot_bytes()));
+            }
+            blobs
+        };
         let mut engine = GaEngine::new(self.model.space(), &fitness)
             .with_settings(self.settings)
             .with_selector(Box::new(RankRoulette::new(1.10)))
             .with_mutation(Box::new(nautilus_ga::UniformMutation::new(self.mutation_rate)))
             .with_observer(observer)
             .with_retry_policy(self.retry)
-            .with_run_label(label);
+            .with_run_label(label)
+            .with_budget(self.budget.clone());
+        let checkpoint_dir =
+            resume.as_ref().map(|(_, dir)| *dir).or(self.checkpoint_dir.as_deref());
+        if let Some(dir) = checkpoint_dir {
+            let mut store = CheckpointStore::create(dir).map_err(GaError::from)?;
+            if let Some(keep) = self.checkpoint_keep_last {
+                store = store.with_keep_last(keep);
+            }
+            engine = engine.with_checkpoints(store).with_checkpoint_aux(&aux);
+        }
         if let Some(faulty) = &faulty {
             engine = engine.with_fallible_evaluator(faulty);
         }
@@ -325,7 +511,10 @@ impl<'m> Nautilus<'m> {
                 engine = engine.with_crossover(Box::new(xover));
             }
         }
-        let run = engine.run(seed)?;
+        let run = match resume {
+            Some((state, _)) => engine.resume(state)?,
+            None => engine.run(seed)?,
+        };
         Ok(SearchOutcome {
             strategy: label.to_owned(),
             trace: run
@@ -341,10 +530,53 @@ impl<'m> Nautilus<'m> {
                 .collect(),
             best_genome: run.best_genome,
             best_value: run.best_value,
-            jobs: runner.stats(),
+            jobs: merge_jobs(jobs_offset, runner.stats()),
             faults: run.faults,
+            stop: run.stop,
         })
     }
+}
+
+/// Aux-blob key for cumulative [`JobStats`] inside checkpoint records.
+const AUX_JOBS: &str = "synth.jobs";
+/// Aux-blob key for the [`ReportBuilder`] snapshot inside checkpoint records.
+const AUX_REPORT: &str = "obs.report";
+
+fn no_checkpoint(dir: &Path) -> NautilusError {
+    NautilusError::Ga(GaError::Checkpoint(format!(
+        "no intact checkpoint found in {}",
+        dir.display()
+    )))
+}
+
+fn merge_jobs(offset: JobStats, current: JobStats) -> JobStats {
+    JobStats {
+        jobs: offset.jobs + current.jobs,
+        infeasible: offset.infeasible + current.infeasible,
+        cache_hits: offset.cache_hits + current.cache_hits,
+        simulated_tool_secs: offset.simulated_tool_secs + current.simulated_tool_secs,
+    }
+}
+
+fn encode_job_stats(stats: &JobStats) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(stats.jobs);
+    w.u64(stats.infeasible);
+    w.u64(stats.cache_hits);
+    w.u64(stats.simulated_tool_secs);
+    w.into_bytes()
+}
+
+fn decode_job_stats(blob: &[u8]) -> std::result::Result<JobStats, nautilus_obs::WireError> {
+    let mut r = WireReader::new(blob);
+    let stats = JobStats {
+        jobs: r.u64()?,
+        infeasible: r.u64()?,
+        cache_hits: r.u64()?,
+        simulated_tool_secs: r.u64()?,
+    };
+    r.finish()?;
+    Ok(stats)
 }
 
 /// Strategy label for a guided run, matching the paper's footnote-2 naming

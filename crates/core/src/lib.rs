@@ -124,6 +124,16 @@ pub use nautilus_obs::{
 pub use nautilus_ga::{EvalFailure, FallibleEvaluator, FaultStats, RetryPolicy};
 pub use nautilus_synth::{FaultPlan, FaultyEvaluator};
 
+/// Crash-safe search, re-exported from `nautilus-ga`: cap runs with
+/// [`Nautilus::with_budget`], persist state with
+/// [`Nautilus::with_checkpoints`], continue interrupted searches with
+/// [`Nautilus::resume_from`], and read why a run stopped off
+/// [`SearchOutcome::stop`](SearchOutcome).
+pub use nautilus_ga::{
+    BudgetTimer, CheckpointError, CheckpointStore, Recovery, RunBudget, SearchState, SharedClock,
+    StopReason,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,6 +149,7 @@ pub fn simulated_annealing(
         best_value: direction.from_score(best_s),
         jobs: runner.stats(),
         faults: Default::default(),
+        stop: Default::default(),
     })
 }
 
@@ -266,6 +267,7 @@ pub fn hill_climb(
         best_value: direction.from_score(best_score),
         jobs: runner.stats(),
         faults: Default::default(),
+        stop: Default::default(),
     })
 }
 

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nautilus_ga::{Direction, FaultStats, Genome};
+use nautilus_ga::{Direction, FaultStats, Genome, StopReason};
 use nautilus_synth::JobStats;
 
 /// One point of a search trace (one generation, or one budget step for
@@ -45,6 +45,12 @@ pub struct SearchOutcome {
     /// [`nautilus_synth::FaultyEvaluator`] installed with
     /// [`crate::Nautilus::with_fault_plan`]).
     pub faults: FaultStats,
+    /// Why the search stopped. [`StopReason::Completed`] for a run that
+    /// exhausted its configured generations (and for the non-generational
+    /// baselines, which always spend their full budget); any other value
+    /// means a [`nautilus_ga::RunBudget`] halted the run at a generation
+    /// boundary and `trace` covers only the generations scored so far.
+    pub stop: StopReason,
 }
 
 impl SearchOutcome {
@@ -233,6 +239,7 @@ mod tests {
             best_value: *bests.last().unwrap(),
             jobs: JobStats { jobs: bests.len() as u64 * evals_step, ..JobStats::default() },
             faults: FaultStats::default(),
+            stop: StopReason::Completed,
         }
     }
 

@@ -1,0 +1,238 @@
+//! Crash-safe search at the Nautilus level: a budget-interrupted,
+//! checkpointed run resumed with [`Nautilus::resume_from`] must reproduce
+//! the uninterrupted run bit-for-bit — outcome, report (modulo the
+//! durability block and wall-clock timings), and telemetry stream — at
+//! every worker count.
+
+use std::path::PathBuf;
+
+use nautilus::{
+    Confidence, HintSet, InMemorySink, Nautilus, Query, RunBudget, RunReport, SearchEvent,
+    StopReason,
+};
+use nautilus_ga::{Genome, ParamSpace, ParamValue};
+use nautilus_synth::{CostModel, MetricCatalog, MetricExpr, MetricSet};
+
+#[derive(Debug)]
+struct RidgeModel {
+    space: ParamSpace,
+    catalog: MetricCatalog,
+}
+
+impl RidgeModel {
+    fn new() -> Self {
+        RidgeModel {
+            space: ParamSpace::builder()
+                .int("x", 0, 15, 1)
+                .int("y", 0, 15, 1)
+                .choices("mode", ["slow", "fast"])
+                .build()
+                .unwrap(),
+            catalog: MetricCatalog::new([("cost", "units")]).unwrap(),
+        }
+    }
+}
+
+impl CostModel for RidgeModel {
+    fn name(&self) -> &str {
+        "ridge"
+    }
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+        let x = f64::from(g.gene_at(0));
+        let y = f64::from(g.gene_at(1));
+        let mode = if g.gene_at(2) == 0 { 25.0 } else { 0.0 };
+        Some(self.catalog.set(vec![(x - 3.0).powi(2) + y * 2.0 + mode + 1.0]).unwrap())
+    }
+}
+
+fn query(model: &RidgeModel) -> Query {
+    Query::minimize("cost", MetricExpr::metric(model.catalog.require("cost").unwrap()))
+}
+
+fn hints() -> HintSet {
+    HintSet::for_metric("cost")
+        .importance("x", 90)
+        .unwrap()
+        .bias("x", 0.3)
+        .unwrap()
+        .target("mode", ParamValue::Sym("fast".into()))
+        .unwrap()
+        .importance("mode", 80)
+        .unwrap()
+        .build()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nautilus-core-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Event-stream digest ignoring span timings, terminal markers, and the
+/// durability events that only interrupted/resumed runs emit.
+fn strip(events: &[SearchEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                SearchEvent::SpanEnd { .. }
+                    | SearchEvent::RunEnd { .. }
+                    | SearchEvent::EvalBatch { .. }
+                    | SearchEvent::CheckpointWritten { .. }
+                    | SearchEvent::CheckpointRestored { .. }
+                    | SearchEvent::CheckpointCorruptSkipped { .. }
+                    | SearchEvent::RunInterrupted { .. }
+                    | SearchEvent::RunResumed { .. }
+            )
+        })
+        .map(SearchEvent::to_json)
+        .collect()
+}
+
+/// Blanks out the fields a resume is allowed to differ in: wall-clock
+/// timings, process-local span stats, and the durability block itself.
+fn normalize(mut report: RunReport) -> RunReport {
+    report.wall_nanos = 0;
+    report.spans.clear();
+    report.durability = Default::default();
+    report
+}
+
+#[test]
+fn interrupted_then_resumed_guided_run_matches_straight_run() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    let h = hints();
+
+    for workers in [1usize, 2, 8] {
+        let straight_sink = InMemorySink::new();
+        let (straight, straight_report) = Nautilus::new(&model)
+            .with_eval_workers(workers)
+            .with_observer(&straight_sink)
+            .run_guided_reported(&q, &h, Some(Confidence::STRONG), 77)
+            .unwrap();
+        assert_eq!(straight.stop, StopReason::Completed);
+
+        let dir = tempdir(&format!("guided-w{workers}"));
+        let cut_sink = InMemorySink::new();
+        let (cut, _cut_report) = Nautilus::new(&model)
+            .with_eval_workers(workers)
+            .with_observer(&cut_sink)
+            .with_checkpoints(&dir)
+            .with_budget(RunBudget::new().with_max_generations(5))
+            .run_guided_reported(&q, &h, Some(Confidence::STRONG), 77)
+            .unwrap();
+        assert_eq!(cut.stop, StopReason::GenerationBudget);
+        assert_eq!(cut.trace.len(), 6, "budget run holds generations 0..=5");
+
+        let resumed_sink = InMemorySink::new();
+        let (resumed, resumed_report) = Nautilus::new(&model)
+            .with_eval_workers(workers)
+            .with_observer(&resumed_sink)
+            .resume_from_reported(&q, Some((&h, Some(Confidence::STRONG))), &dir)
+            .unwrap();
+
+        assert_eq!(resumed, straight, "resumed outcome diverged at {workers} workers");
+        assert_eq!(resumed.stop, StopReason::Completed);
+        assert_eq!(
+            normalize(resumed_report),
+            normalize(straight_report.clone()),
+            "resumed report diverged at {workers} workers"
+        );
+
+        // Interrupted events followed by resumed events replay the straight
+        // run's stream exactly (modulo durability markers).
+        let mut spliced = strip(&cut_sink.events());
+        spliced.extend(strip(&resumed_sink.events()));
+        assert_eq!(spliced, strip(&straight_sink.events()), "stream diverged at {workers} workers");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_carries_job_accounting_across_the_restart() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+
+    let straight = Nautilus::new(&model).run_baseline(&q, 9).unwrap();
+
+    let dir = tempdir("jobs");
+    let cut = Nautilus::new(&model)
+        .with_checkpoints(&dir)
+        .with_budget(RunBudget::new().with_max_generations(3))
+        .run_baseline(&q, 9)
+        .unwrap();
+    assert!(cut.jobs.jobs > 0 && cut.jobs.jobs < straight.jobs.jobs);
+
+    let resumed = Nautilus::new(&model).resume_from(&q, None, &dir).unwrap();
+    // JobStats are cumulative across the interruption: the resumed process
+    // adds the checkpointed offset to its own fresh counters.
+    assert_eq!(resumed.jobs, straight.jobs);
+    assert_eq!(resumed, straight);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eval_budget_and_checkpointed_resume_compose() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    let dir = tempdir("evalbudget");
+
+    let cut = Nautilus::new(&model)
+        .with_checkpoints(&dir)
+        .with_budget(RunBudget::new().with_max_evaluations(40))
+        .run_baseline(&q, 4)
+        .unwrap();
+    assert_eq!(cut.stop, StopReason::EvalBudget);
+    assert!(cut.total_evals() >= 40);
+
+    let straight = Nautilus::new(&model).run_baseline(&q, 4).unwrap();
+    let resumed = Nautilus::new(&model).resume_from(&q, None, &dir).unwrap();
+    assert_eq!(resumed, straight);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_validates_strategy_against_checkpoint_label() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    let h = hints();
+    let dir = tempdir("label");
+
+    Nautilus::new(&model)
+        .with_checkpoints(&dir)
+        .with_budget(RunBudget::new().with_max_generations(2))
+        .run_guided(&q, &h, Some(Confidence::STRONG), 5)
+        .unwrap();
+
+    // A guided checkpoint must not silently continue as a baseline search.
+    let err = Nautilus::new(&model).resume_from(&q, None, &dir).unwrap_err();
+    assert!(err.to_string().contains("nautilus-strong"), "unexpected error: {err}");
+
+    // The matching configuration resumes fine.
+    let resumed =
+        Nautilus::new(&model).resume_from(&q, Some((&h, Some(Confidence::STRONG))), &dir).unwrap();
+    let straight = Nautilus::new(&model).run_guided(&q, &h, Some(Confidence::STRONG), 5).unwrap();
+    assert_eq!(resumed, straight);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_empty_directory_errors_cleanly() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    let dir = tempdir("empty");
+    let err = Nautilus::new(&model).resume_from(&q, None, &dir).unwrap_err();
+    assert!(err.to_string().contains("no intact checkpoint"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -168,6 +168,62 @@ impl EvalCache {
             quarantined: self.quarantined.len() as u64,
         }
     }
+
+    /// A complete, deterministic snapshot of the cache: every memoized
+    /// entry, the quarantine set, and all counters.
+    ///
+    /// Entries are sorted by genome so the same cache state always
+    /// produces the same snapshot regardless of `HashMap` iteration
+    /// order — checkpoints of identical runs must be byte-identical.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut entries: Vec<(Genome, Option<f64>)> =
+            self.map.iter().map(|(g, v)| (g.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.genes().cmp(b.0.genes()));
+        let mut quarantined: Vec<Genome> = self.quarantined.iter().cloned().collect();
+        quarantined.sort_by(|a, b| a.genes().cmp(b.genes()));
+        CacheSnapshot {
+            entries,
+            quarantined,
+            hits: self.hits,
+            feasible_misses: self.feasible_misses,
+            infeasible_misses: self.infeasible_misses,
+        }
+    }
+
+    /// Rebuilds a cache from a [`CacheSnapshot`], restoring entries,
+    /// quarantine membership and counters exactly.
+    #[must_use]
+    pub fn restore(snapshot: &CacheSnapshot) -> EvalCache {
+        EvalCache {
+            map: snapshot.entries.iter().cloned().collect(),
+            quarantined: snapshot.quarantined.iter().cloned().collect(),
+            hits: snapshot.hits,
+            feasible_misses: snapshot.feasible_misses,
+            infeasible_misses: snapshot.infeasible_misses,
+        }
+    }
+}
+
+/// A deterministic, order-stable dump of an [`EvalCache`], used by the
+/// checkpoint subsystem.
+///
+/// `entries` and `quarantined` are sorted by genome; counters are carried
+/// verbatim so `EvalCache::restore(&c.snapshot())` reproduces `c` exactly
+/// (same `stats()`, same memoized values, same quarantine behavior).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// Memoized `(genome, fitness)` pairs, sorted by genome; `None` marks
+    /// infeasible or quarantined points.
+    pub entries: Vec<(Genome, Option<f64>)>,
+    /// Quarantined genomes (a subset of `entries` keys), sorted.
+    pub quarantined: Vec<Genome>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Distinct feasible evaluations.
+    pub feasible_misses: u64,
+    /// Distinct infeasible evaluations (excluding quarantines).
+    pub infeasible_misses: u64,
 }
 
 /// Snapshot of [`EvalCache`] counters, attached to run results.
@@ -281,5 +337,48 @@ mod tests {
         assert!(!c.is_quarantined(&g(1)));
         assert_eq!(c.peek(&g(1)), Some(Some(2.0)));
         assert_eq!(c.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_entries_quarantine_and_counters() {
+        let mut c = EvalCache::new();
+        c.get_or_eval(&g(3), |_| Some(7.5));
+        c.get_or_eval(&g(3), |_| Some(99.0)); // hit
+        c.get_or_eval(&g(1), |_| None);
+        c.insert_quarantined(&g(2));
+        let snap = c.snapshot();
+        // Sorted by genome regardless of HashMap iteration order.
+        let keys: Vec<u32> = snap.entries.iter().map(|(g, _)| g.gene_at(0)).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(snap.quarantined.len(), 1);
+
+        let r = EvalCache::restore(&snap);
+        assert_eq!(r.stats(), c.stats());
+        assert_eq!(r.peek(&g(3)), Some(Some(7.5)));
+        assert_eq!(r.peek(&g(1)), Some(None));
+        assert!(r.is_quarantined(&g(2)));
+        assert!(!r.is_quarantined(&g(1)));
+        assert_eq!(r.snapshot(), snap, "snapshot of a restore is identical");
+    }
+
+    #[test]
+    fn lookup_accounting_identity_holds() {
+        // Every lookup is exactly one of: hit, feasible miss, infeasible
+        // miss. Quarantine inserts are not lookups (they come from the
+        // retry pipeline), so they must not disturb the identity.
+        let mut c = EvalCache::new();
+        let mut expected_lookups = 0u64;
+        for i in 0..50u32 {
+            for _ in 0..=(i % 3) {
+                c.get_or_eval(&g(i % 17), |_| if i % 5 == 0 { None } else { Some(f64::from(i)) });
+                expected_lookups += 1;
+            }
+            if i % 7 == 0 {
+                c.insert_quarantined(&g(1000 + i));
+            }
+        }
+        let s = c.stats();
+        assert_eq!(c.lookups(), expected_lookups);
+        assert_eq!(s.hits + s.distinct_evals + s.infeasible_evals, expected_lookups);
     }
 }

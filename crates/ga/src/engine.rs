@@ -1,10 +1,10 @@
 //! The generational GA engine.
 
 use nautilus_obs::{SearchEvent, SearchObserver};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
+use crate::budget::{RunBudget, StopReason};
 use crate::cache::{CacheStats, EvalCache};
+use crate::checkpoint::{CheckpointStore, SearchState};
 use crate::error::{GaError, Result};
 use crate::fallible::{
     evaluate_with_retries, EvalRecord, FallibleEvaluator, FaultStats, RetryPolicy,
@@ -12,8 +12,14 @@ use crate::fallible::{
 use crate::fitness::FitnessFn;
 use crate::genome::Genome;
 use crate::ops::{CrossoverOp, MutationOp, OnePointCrossover, OpCtx, UniformMutation};
+use crate::rng::SearchRng;
 use crate::select::{ScoredGenome, Selector, Tournament};
 use crate::space::ParamSpace;
+
+/// Callback producing auxiliary blobs to embed in every checkpoint (the
+/// `nautilus` crate uses it to carry its report snapshot and synthesis-job
+/// counters across a resume).
+pub type AuxSnapshotFn<'a> = &'a (dyn Fn() -> Vec<(String, Vec<u8>)> + Send + Sync);
 
 /// Scalar knobs of a GA run.
 ///
@@ -111,6 +117,10 @@ pub struct GaRun {
     /// Failure/retry/quarantine counters (all zero unless a fallible
     /// evaluator was installed and faults actually occurred).
     pub faults: FaultStats,
+    /// Why the run stopped: [`StopReason::Completed`] for a full run, any
+    /// other value when a [`RunBudget`] halted it at a generation boundary
+    /// (in which case `history` covers only the generations scored so far).
+    pub stop: StopReason,
 }
 
 impl GaRun {
@@ -160,6 +170,9 @@ pub struct GaEngine<'a> {
     run_label: String,
     fallible: Option<&'a dyn FallibleEvaluator>,
     retry: RetryPolicy,
+    budget: RunBudget,
+    checkpoints: Option<CheckpointStore>,
+    aux: Option<AuxSnapshotFn<'a>>,
 }
 
 impl<'a> GaEngine<'a> {
@@ -177,6 +190,9 @@ impl<'a> GaEngine<'a> {
             run_label: "ga".to_owned(),
             fallible: None,
             retry: RetryPolicy::default(),
+            budget: RunBudget::new(),
+            checkpoints: None,
+            aux: None,
         }
     }
 
@@ -248,6 +264,35 @@ impl<'a> GaEngine<'a> {
         self
     }
 
+    /// Installs a [`RunBudget`]: the run is checked at every generation
+    /// boundary and halts (cleanly, with a final checkpoint when a store
+    /// is configured) as soon as any limit is exceeded. The reason lands
+    /// in [`GaRun::stop`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Writes a durable checkpoint into `store` at every generation
+    /// boundary, so the run can be resumed after a crash or budget stop
+    /// with [`GaEngine::resume`].
+    #[must_use]
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.checkpoints = Some(store);
+        self
+    }
+
+    /// Installs a callback whose blobs are embedded (keyed) in every
+    /// checkpoint, letting higher layers persist their own state alongside
+    /// the engine's. Blobs come back verbatim via
+    /// [`SearchState::aux_blob`] after recovery.
+    #[must_use]
+    pub fn with_checkpoint_aux(mut self, aux: AuxSnapshotFn<'a>) -> Self {
+        self.aux = Some(aux);
+        self
+    }
+
     /// The engine's retry policy.
     #[must_use]
     pub fn retry_policy(&self) -> &RetryPolicy {
@@ -274,62 +319,150 @@ impl<'a> GaEngine<'a> {
     /// [`GaError::NoFeasibleGenome`] if the initial population cannot find
     /// any feasible design point within the retry budget.
     pub fn run(&self, seed: u64) -> Result<GaRun> {
+        self.drive(seed, None)
+    }
+
+    /// Continues a run from a checkpointed [`SearchState`].
+    ///
+    /// The resumed run produces the same [`GaRun`] (history, best genome,
+    /// cache counters) as the uninterrupted run would have, at any
+    /// `eval_workers` setting: the state carries the exact RNG stream
+    /// position and evaluation cache of the original process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::Checkpoint`] when the engine's settings are
+    /// incompatible with the checkpointed ones (`eval_workers` is exempt —
+    /// worker count never affects results), plus everything
+    /// [`GaEngine::run`] can return.
+    pub fn resume(&self, state: SearchState) -> Result<GaRun> {
+        let theirs = state.settings;
+        let ours = self.settings;
+        let compatible = ours.population == theirs.population
+            && ours.generations == theirs.generations
+            && ours.crossover_rate == theirs.crossover_rate
+            && ours.elitism == theirs.elitism
+            && ours.init_retries == theirs.init_retries;
+        if !compatible {
+            return Err(GaError::Checkpoint(format!(
+                "engine settings {ours:?} incompatible with checkpointed {theirs:?}"
+            )));
+        }
+        if state.generation == 0 || state.generation > self.settings.generations {
+            return Err(GaError::Checkpoint(format!(
+                "checkpoint generation {} outside run's 1..={}",
+                state.generation, self.settings.generations
+            )));
+        }
+        if state.population.len() != self.settings.population {
+            return Err(GaError::Checkpoint(format!(
+                "checkpoint population {} does not match settings {}",
+                state.population.len(),
+                self.settings.population
+            )));
+        }
+        let seed = state.seed;
+        self.drive(seed, Some(state))
+    }
+
+    /// Shared run loop behind [`GaEngine::run`] (fresh start) and
+    /// [`GaEngine::resume`] (continue from a checkpointed boundary).
+    fn drive(&self, seed: u64, resume: Option<SearchState>) -> Result<GaRun> {
         self.settings.validate()?;
         self.retry.validate().map_err(GaError::InvalidConfig)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut cache = EvalCache::new();
-        let mut faults = FaultStats::default();
         let direction = self.fitness.direction();
         let obs = self.observer;
         let run_clock = std::time::Instant::now();
-        if obs.enabled() {
-            obs.on_event(&SearchEvent::RunStart {
-                strategy: self.run_label.clone(),
-                seed,
-                params: self
-                    .space
-                    .param_ids()
-                    .map(|id| self.space.param(id).name().to_owned())
-                    .collect(),
-                population: self.settings.population,
-                generations: self.settings.generations,
-            });
-        }
+        let timer = self.budget.start_timer();
 
-        // --- Initial population -------------------------------------------
-        let mut population: Vec<Genome> = Vec::with_capacity(self.settings.population);
-        let max_attempts = self.settings.population * self.settings.init_retries;
-        let mut attempts = 0;
-        {
-            let _span = nautilus_obs::span(obs, "init_population");
-            while population.len() < self.settings.population {
-                if attempts >= max_attempts {
-                    if population.is_empty() {
-                        return Err(GaError::NoFeasibleGenome { attempts });
+        let mut rng;
+        let mut cache;
+        let mut faults;
+        let mut population: Vec<Genome>;
+        let mut history: Vec<GenStats>;
+        let mut best_genome: Option<Genome>;
+        let mut best_value;
+        let mut attempts;
+        let start_generation;
+        // Best value already pinned to `best.nckpt`; avoids rewriting the
+        // pin at boundaries where the best did not improve.
+        let mut pinned_best: Option<f64>;
+
+        if let Some(state) = resume {
+            rng = SearchRng::from_state(state.rng);
+            cache = EvalCache::restore(&state.cache);
+            faults = state.faults;
+            population = state.population;
+            history = state.history;
+            best_genome = state.best_genome;
+            best_value =
+                if best_genome.is_some() { state.best_value } else { direction.worst_value() };
+            attempts = state.init_attempts;
+            start_generation = state.generation;
+            pinned_best = best_genome.is_some().then_some(best_value);
+            if obs.enabled() {
+                obs.on_event(&SearchEvent::RunResumed {
+                    strategy: self.run_label.clone(),
+                    seed,
+                    generation: start_generation,
+                });
+            }
+        } else {
+            rng = SearchRng::seed_from_u64(seed);
+            cache = EvalCache::new();
+            faults = FaultStats::default();
+            best_genome = None;
+            best_value = direction.worst_value();
+            start_generation = 0;
+            pinned_best = None;
+            if obs.enabled() {
+                obs.on_event(&SearchEvent::RunStart {
+                    strategy: self.run_label.clone(),
+                    seed,
+                    params: self
+                        .space
+                        .param_ids()
+                        .map(|id| self.space.param(id).name().to_owned())
+                        .collect(),
+                    population: self.settings.population,
+                    generations: self.settings.generations,
+                });
+            }
+
+            // --- Initial population ---------------------------------------
+            population = Vec::with_capacity(self.settings.population);
+            let max_attempts = self.settings.population * self.settings.init_retries;
+            attempts = 0;
+            {
+                let _span = nautilus_obs::span(obs, "init_population");
+                while population.len() < self.settings.population {
+                    if attempts >= max_attempts {
+                        if population.is_empty() {
+                            return Err(GaError::NoFeasibleGenome { attempts });
+                        }
+                        // Partial population: fill remaining slots with clones
+                        // of what we found so we can still proceed.
+                        while population.len() < self.settings.population {
+                            let idx = population.len() % population.len().max(1);
+                            population.push(population[idx].clone());
+                        }
+                        break;
                     }
-                    // Partial population: fill remaining slots with clones of
-                    // what we found so we can still proceed.
-                    while population.len() < self.settings.population {
-                        let idx = population.len() % population.len().max(1);
-                        population.push(population[idx].clone());
+                    attempts += 1;
+                    let g = self.space.random_genome(&mut rng);
+                    let feasible = self.eval_into_cache(&mut cache, &g, &mut faults).is_some();
+                    if feasible {
+                        population.push(g);
                     }
-                    break;
-                }
-                attempts += 1;
-                let g = self.space.random_genome(&mut rng);
-                let feasible = self.eval_into_cache(&mut cache, &g, &mut faults).is_some();
-                if feasible {
-                    population.push(g);
                 }
             }
+            history = Vec::with_capacity(self.settings.generations as usize + 1);
         }
 
         // --- Generational loop --------------------------------------------
-        let mut history = Vec::with_capacity(self.settings.generations as usize + 1);
-        let mut best_genome: Option<Genome> = None;
-        let mut best_value = direction.worst_value();
+        let mut stop = StopReason::Completed;
 
-        for generation in 0..=self.settings.generations {
+        for generation in start_generation..=self.settings.generations {
             if obs.enabled() {
                 obs.on_event(&SearchEvent::GenerationStart { generation });
             }
@@ -433,17 +566,65 @@ impl<'a> GaEngine<'a> {
                 }
             }
             population = next;
+            drop(_breeding_span);
+
+            // --- Generation boundary: checkpoint, then budget check -------
+            let next_generation = generation + 1;
+            if let Some(store) = &self.checkpoints {
+                let improved = best_genome.is_some()
+                    && pinned_best.is_none_or(|pinned| direction.is_better(best_value, pinned));
+                let state = SearchState {
+                    seed,
+                    run_label: self.run_label.clone(),
+                    settings: self.settings,
+                    generation: next_generation,
+                    rng: rng.state(),
+                    population: population.clone(),
+                    history: history.clone(),
+                    best_genome: best_genome.clone(),
+                    best_value,
+                    init_attempts: attempts,
+                    cache: cache.snapshot(),
+                    faults,
+                    aux: self.aux.map_or_else(Vec::new, |f| f()),
+                };
+                let receipt = store.write(&state, improved)?;
+                if improved {
+                    pinned_best = Some(best_value);
+                }
+                if obs.enabled() {
+                    obs.on_event(&SearchEvent::CheckpointWritten {
+                        generation: next_generation,
+                        bytes: receipt.bytes,
+                        write_nanos: receipt.write_nanos,
+                        path: receipt.path.display().to_string(),
+                    });
+                }
+            }
+            let reason =
+                self.budget.stop_reason(next_generation, cache.distinct_evals(), timer.elapsed());
+            if reason.is_interrupted() {
+                stop = reason;
+                break;
+            }
         }
 
         let best_genome = best_genome.ok_or(GaError::NoFeasibleGenome { attempts })?;
         if obs.enabled() {
-            obs.on_event(&SearchEvent::RunEnd {
-                best_value,
-                distinct_evals: cache.distinct_evals(),
-                wall_nanos: u64::try_from(run_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            });
+            if stop.is_interrupted() {
+                obs.on_event(&SearchEvent::RunInterrupted {
+                    generation: history.last().map_or(0, |h| h.generation + 1),
+                    reason: stop.as_str().to_owned(),
+                });
+            } else {
+                obs.on_event(&SearchEvent::RunEnd {
+                    best_value,
+                    distinct_evals: cache.distinct_evals(),
+                    wall_nanos: u64::try_from(run_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
+            }
         }
-        Ok(GaRun { history, best_genome, best_value, cache: cache.stats(), faults })
+        Ok(GaRun { history, best_genome, best_value, cache: cache.stats(), faults, stop })
     }
 
     /// Evaluates `genome` into the cache, charging a hit when memoized.

@@ -36,6 +36,9 @@ pub enum GaError {
     },
     /// A configuration knob was set outside its legal range.
     InvalidConfig(String),
+    /// A checkpoint could not be written, read, or validated, or a resume
+    /// was attempted against an incompatible engine configuration.
+    Checkpoint(String),
 }
 
 impl fmt::Display for GaError {
@@ -55,11 +58,18 @@ impl fmt::Display for GaError {
                 write!(f, "no feasible genome found after {attempts} attempts")
             }
             GaError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            GaError::Checkpoint(reason) => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
 
 impl Error for GaError {}
+
+impl From<crate::checkpoint::CheckpointError> for GaError {
+    fn from(err: crate::checkpoint::CheckpointError) -> Self {
+        GaError::Checkpoint(err.to_string())
+    }
+}
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GaError>;
@@ -79,6 +89,7 @@ mod tests {
             (GaError::EmptySpace, "no parameters"),
             (GaError::NoFeasibleGenome { attempts: 7 }, "7"),
             (GaError::InvalidConfig("pop=0".into()), "pop=0"),
+            (GaError::Checkpoint("bad crc".into()), "bad crc"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -44,7 +44,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 mod cache;
+pub mod checkpoint;
 mod engine;
 mod error;
 mod fallible;
@@ -57,8 +59,10 @@ mod select;
 mod space;
 mod stats;
 
-pub use cache::{CacheStats, EvalCache};
-pub use engine::{GaEngine, GaRun, GaSettings, GenStats};
+pub use budget::{BudgetTimer, RunBudget, SharedClock, StopReason};
+pub use cache::{CacheSnapshot, CacheStats, EvalCache};
+pub use checkpoint::{CheckpointError, CheckpointStore, Recovery, SearchState, WriteReceipt};
+pub use engine::{AuxSnapshotFn, GaEngine, GaRun, GaSettings, GenStats};
 pub use error::{GaError, Result};
 pub use fallible::{
     evaluate_with_retries, EvalFailure, EvalRecord, FallibleEvaluator, FaultStats, FnFallible,

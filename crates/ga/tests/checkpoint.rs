@@ -1,0 +1,400 @@
+//! Crash-safety integration tests: budget stops, checkpoint/resume
+//! byte-identity, and corruption recovery at the engine level.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nautilus_ga::{
+    CheckpointStore, Direction, FnFitness, GaEngine, GaSettings, Genome, ParamSpace, RunBudget,
+    SearchState, SharedClock, StopReason,
+};
+use nautilus_obs::{InMemorySink, SearchEvent};
+
+fn space() -> ParamSpace {
+    ParamSpace::builder().int("x", 0, 31, 1).int("y", 0, 31, 1).int("z", 0, 31, 1).build().unwrap()
+}
+
+fn sphere() -> FnFitness<impl Fn(&Genome) -> Option<f64> + Send + Sync> {
+    FnFitness::new(Direction::Minimize, |g: &Genome| {
+        Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+    })
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nautilus-ckpt-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Event-stream digest stripped of timing-dependent and durability-only
+/// events: what must be identical between a straight run and an
+/// interrupted+resumed pair.
+fn strip(events: &[SearchEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                SearchEvent::SpanEnd { .. }
+                    | SearchEvent::RunEnd { .. }
+                    | SearchEvent::EvalBatch { .. }
+                    | SearchEvent::CheckpointWritten { .. }
+                    | SearchEvent::CheckpointRestored { .. }
+                    | SearchEvent::CheckpointCorruptSkipped { .. }
+                    | SearchEvent::RunInterrupted { .. }
+                    | SearchEvent::RunResumed { .. }
+            )
+        })
+        .map(SearchEvent::to_json)
+        .collect()
+}
+
+#[test]
+fn resumed_runs_are_byte_identical_at_any_worker_count() {
+    let s = space();
+    let f = sphere();
+    let seed = 0xD1CE;
+    for workers in [1usize, 2, 8] {
+        let settings = GaSettings { generations: 12, eval_workers: workers, ..Default::default() };
+        let straight_sink = InMemorySink::new();
+        let straight = GaEngine::new(&s, &f)
+            .with_settings(settings)
+            .with_observer(&straight_sink)
+            .run(seed)
+            .unwrap();
+        assert_eq!(straight.stop, StopReason::Completed);
+
+        let dir = tempdir(&format!("identity-w{workers}"));
+        let part_sink = InMemorySink::new();
+        let interrupted = GaEngine::new(&s, &f)
+            .with_settings(settings)
+            .with_observer(&part_sink)
+            .with_budget(RunBudget::new().with_max_generations(5))
+            .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+            .run(seed)
+            .unwrap();
+        assert_eq!(interrupted.stop, StopReason::GenerationBudget);
+        assert_eq!(interrupted.history.len(), 6, "generations 0..=5 scored");
+
+        let recovery = CheckpointStore::create(&dir).unwrap().recover().unwrap();
+        let state = recovery.state.expect("final checkpoint present");
+        assert!(recovery.skipped.is_empty());
+        assert_eq!(state.generation, 6);
+
+        let resume_sink = InMemorySink::new();
+        let resumed = GaEngine::new(&s, &f)
+            .with_settings(settings)
+            .with_observer(&resume_sink)
+            .resume(state)
+            .unwrap();
+        assert_eq!(resumed, straight, "resumed GaRun must equal the uninterrupted one");
+
+        // Concatenated (interrupted + resumed) event stream, minus timing
+        // and durability events, must equal the straight stream.
+        let mut spliced = part_sink.events();
+        spliced.extend(resume_sink.events());
+        assert_eq!(
+            strip(&spliced),
+            strip(&straight_sink.events()),
+            "event streams diverged at workers={workers}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn resuming_a_completed_runs_terminal_checkpoint_returns_its_outcome() {
+    // The newest checkpoint of a completed run sits at the last boundary
+    // (generation = generations, bred but not yet scored). Resuming it
+    // re-scores the final generation and returns the finished run — so
+    // crash recovery never has to care whether the victim died mid-run or
+    // right at the end.
+    let s = space();
+    let f = sphere();
+    let settings = GaSettings { generations: 7, ..Default::default() };
+    let dir = tempdir("terminal");
+    let straight = GaEngine::new(&s, &f)
+        .with_settings(settings)
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(41)
+        .unwrap();
+    assert_eq!(straight.stop, StopReason::Completed);
+
+    let state = CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+    assert_eq!(state.generation, 7, "newest checkpoint sits at the final boundary");
+    let resumed = GaEngine::new(&s, &f).with_settings(settings).resume(state).unwrap();
+    assert_eq!(resumed, straight);
+    assert_eq!(resumed.stop, StopReason::Completed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_works_across_different_worker_counts() {
+    // A checkpoint written by a serial run must resume identically under 8
+    // workers (and vice versa): worker count is not part of run identity.
+    let s = space();
+    let f = sphere();
+    let seed = 77;
+    let straight = GaEngine::new(&s, &f)
+        .with_settings(GaSettings { generations: 10, ..Default::default() })
+        .run(seed)
+        .unwrap();
+
+    let dir = tempdir("xworkers");
+    GaEngine::new(&s, &f)
+        .with_settings(GaSettings { generations: 10, eval_workers: 1, ..Default::default() })
+        .with_budget(RunBudget::new().with_max_generations(4))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(seed)
+        .unwrap();
+    let state = CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+    let resumed = GaEngine::new(&s, &f)
+        .with_settings(GaSettings { generations: 10, eval_workers: 8, ..Default::default() })
+        .resume(state)
+        .unwrap();
+    assert_eq!(resumed.history, straight.history);
+    assert_eq!(resumed.best_genome, straight.best_genome);
+    assert_eq!(resumed.cache, straight.cache);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_stops_are_clean_and_reported() {
+    let s = space();
+    let f = sphere();
+
+    // Generation budget: history covers 0..=2, never a partial generation.
+    let run =
+        GaEngine::new(&s, &f).with_budget(RunBudget::new().with_max_generations(2)).run(3).unwrap();
+    assert_eq!(run.stop, StopReason::GenerationBudget);
+    let gens: Vec<u32> = run.history.iter().map(|h| h.generation).collect();
+    assert_eq!(gens, vec![0, 1, 2]);
+
+    // Eval budget.
+    let run =
+        GaEngine::new(&s, &f).with_budget(RunBudget::new().with_max_evaluations(5)).run(3).unwrap();
+    assert_eq!(run.stop, StopReason::EvalBudget);
+    assert!(run.cache.distinct_evals >= 5);
+    assert!(run.history.len() < 81);
+
+    // Deadline with an injected clock that advances 1s per sample: origin
+    // is sample 1, so a 3s deadline passes at the boundary after the
+    // third generation's check.
+    let ticks = Arc::new(AtomicU64::new(0));
+    let reader = Arc::clone(&ticks);
+    let clock: SharedClock =
+        Arc::new(move || Duration::from_secs(reader.fetch_add(1, Ordering::Relaxed)));
+    let run = GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_deadline(Duration::from_secs(3)).with_clock(clock))
+        .run(3)
+        .unwrap();
+    assert_eq!(run.stop, StopReason::DeadlineExceeded);
+    assert_eq!(run.history.len(), 3, "clock samples 1s and 2s pass; the 3s sample stops");
+
+    // Pre-raised cancel flag stops at the very first boundary.
+    let flag = Arc::new(AtomicBool::new(true));
+    let run =
+        GaEngine::new(&s, &f).with_budget(RunBudget::new().with_cancel_flag(flag)).run(3).unwrap();
+    assert_eq!(run.stop, StopReason::Cancelled);
+    assert_eq!(run.history.len(), 1, "generation 0 scored, then cancelled at the boundary");
+}
+
+#[test]
+fn interrupted_run_emits_run_interrupted_instead_of_run_end() {
+    let s = space();
+    let f = sphere();
+    let sink = InMemorySink::new();
+    let dir = tempdir("events");
+    let run = GaEngine::new(&s, &f)
+        .with_observer(&sink)
+        .with_budget(RunBudget::new().with_max_generations(2))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(11)
+        .unwrap();
+    assert_eq!(run.stop, StopReason::GenerationBudget);
+    let events = sink.events();
+    assert!(!events.iter().any(|e| matches!(e, SearchEvent::RunEnd { .. })));
+    let interrupted: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            SearchEvent::RunInterrupted { generation, reason } => {
+                Some((*generation, reason.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(interrupted, vec![(3, "generation_budget".to_owned())]);
+    let written: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            SearchEvent::CheckpointWritten { generation, bytes, .. } => {
+                assert!(*bytes > 0);
+                Some(*generation)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(written, vec![1, 2, 3], "one checkpoint per boundary");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_falls_back_past_a_corrupt_newest_checkpoint() {
+    let s = space();
+    let f = sphere();
+    let seed = 5;
+    let settings = GaSettings { generations: 9, ..Default::default() };
+    let straight = GaEngine::new(&s, &f).with_settings(settings).run(seed).unwrap();
+
+    let dir = tempdir("fallback");
+    GaEngine::new(&s, &f)
+        .with_settings(settings)
+        .with_budget(RunBudget::new().with_max_generations(4))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap().with_keep_last(4))
+        .run(seed)
+        .unwrap();
+    // Corrupt the newest checkpoint (gen 5) by flipping one body bit.
+    let newest = dir.join("ckpt-00000005.nckpt");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let sink = InMemorySink::new();
+    let recovery = CheckpointStore::create(&dir).unwrap().recover_observed(&sink).unwrap();
+    assert_eq!(recovery.skipped.len(), 1);
+    let state = recovery.state.unwrap();
+    assert_eq!(state.generation, 4, "fell back to the previous intact checkpoint");
+    let events = sink.events();
+    assert!(
+        events.iter().any(|e| matches!(e, SearchEvent::CheckpointCorruptSkipped { reason, .. }
+            if reason.contains("checksum"))),
+        "corruption must be reported, never silent"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SearchEvent::CheckpointRestored { generation: 4, .. })));
+
+    // Resuming from the older checkpoint still converges to the same run.
+    let resumed = GaEngine::new(&s, &f).with_settings(settings).resume(state).unwrap();
+    assert_eq!(resumed, straight);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stray_tmp_file_from_a_crashed_write_is_ignored_and_cleaned() {
+    let s = space();
+    let f = sphere();
+    let dir = tempdir("stray-tmp");
+    GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_max_generations(3))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(21)
+        .unwrap();
+    // Simulate a crash mid-write: temp file present, rename never happened.
+    let stray = dir.join(".ckpt-00000009.nckpt.tmp");
+    std::fs::write(&stray, b"half a record").unwrap();
+    let recovery = CheckpointStore::create(&dir).unwrap().recover().unwrap();
+    assert_eq!(recovery.state.unwrap().generation, 4);
+    assert!(recovery.skipped.is_empty(), "a tmp file is not a checkpoint candidate");
+    assert!(!stray.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_final_file_falls_back_at_every_cut_length() {
+    let s = space();
+    let f = sphere();
+    let dir = tempdir("truncation");
+    GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_max_generations(3))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap().with_keep_last(3))
+        .run(9)
+        .unwrap();
+    let newest = dir.join("ckpt-00000004.nckpt");
+    let intact = std::fs::read(&newest).unwrap();
+    // Cut the newest checkpoint at a spread of prefix lengths (every 37th
+    // byte plus the edges): recovery must always fall back to gen 3.
+    let cuts: Vec<usize> = (0..intact.len()).step_by(37).chain([intact.len() - 1]).collect();
+    for cut in cuts {
+        std::fs::write(&newest, &intact[..cut]).unwrap();
+        let recovery = CheckpointStore::create(&dir).unwrap().recover().unwrap();
+        assert_eq!(
+            recovery.state.as_ref().map(|s| s.generation),
+            Some(3),
+            "cut at {cut} did not fall back"
+        );
+        assert_eq!(recovery.skipped.len(), 1, "cut at {cut} not reported");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_incompatible_settings_and_bad_states() {
+    let s = space();
+    let f = sphere();
+    let dir = tempdir("compat");
+    GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_max_generations(2))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(1)
+        .unwrap();
+    let state = CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+
+    // Different population: rejected.
+    let bad = GaSettings { population: 7, ..Default::default() };
+    let err = GaEngine::new(&s, &f).with_settings(bad).resume(state.clone()).unwrap_err();
+    assert!(err.to_string().contains("checkpoint"), "{err}");
+
+    // eval_workers is exempt: same run, different parallelism, accepted.
+    let ok = GaSettings { eval_workers: 4, ..Default::default() };
+    assert!(GaEngine::new(&s, &f).with_settings(ok).resume(state.clone()).is_ok());
+
+    // Generation outside the run's range: rejected.
+    let mut out_of_range = state;
+    out_of_range.generation = 1000;
+    assert!(GaEngine::new(&s, &f).resume(out_of_range).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn aux_blobs_ride_in_checkpoints_verbatim() {
+    let s = space();
+    let f = sphere();
+    let dir = tempdir("aux");
+    let aux = || vec![("layer.state".to_owned(), vec![0xAB, 0xCD]), ("empty".to_owned(), vec![])];
+    GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_max_generations(2))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .with_checkpoint_aux(&aux)
+        .run(2)
+        .unwrap();
+    let state: SearchState =
+        CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+    assert_eq!(state.aux_blob("layer.state"), Some(&[0xAB, 0xCD][..]));
+    assert_eq!(state.aux_blob("empty"), Some(&[][..]));
+    assert_eq!(state.aux_blob("nope"), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn best_checkpoint_is_pinned_across_retention() {
+    let s = space();
+    let f = sphere();
+    let dir = tempdir("pin-best");
+    GaEngine::new(&s, &f)
+        .with_budget(RunBudget::new().with_max_generations(10))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap().with_keep_last(1))
+        .run(4)
+        .unwrap();
+    let files = CheckpointStore::create(&dir).unwrap().checkpoint_files().unwrap();
+    assert_eq!(files.len(), 1, "keep-last-1 retention");
+    let best_path = dir.join("best.nckpt");
+    assert!(best_path.exists(), "best-so-far checkpoint pinned outside retention");
+    let best = CheckpointStore::create(&dir).unwrap().load(&best_path).unwrap();
+    assert!(best.best_genome.is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}

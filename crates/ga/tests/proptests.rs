@@ -1,9 +1,11 @@
 //! Property-based tests for the GA substrate's core invariants.
 
+use nautilus_ga::checkpoint::SearchState;
 use nautilus_ga::ops::{CrossoverOp, MutationOp, OpCtx};
 use nautilus_ga::{
-    Direction, FnFitness, GaEngine, GaSettings, Genome, OnePointCrossover, ParamDomain, ParamSpace,
-    ParamValue, StepMutation, TwoPointCrossover, UniformCrossover, UniformMutation,
+    CacheSnapshot, Direction, EvalCache, FnFitness, GaEngine, GaSettings, GenStats, Genome,
+    OnePointCrossover, ParamDomain, ParamSpace, ParamValue, StepMutation, TwoPointCrossover,
+    UniformCrossover, UniformMutation,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -42,6 +44,173 @@ fn arb_space() -> impl Strategy<Value = ParamSpace> {
         }
         b.build().expect("generated domains are valid")
     })
+}
+
+/// Strategy producing an arbitrary genome of 1..=6 genes.
+fn arb_genome() -> impl Strategy<Value = Genome> {
+    prop::collection::vec(any::<u32>(), 1..6).prop_map(Genome::from_genes)
+}
+
+/// `Option<T>` strategy (the offline proptest stub has no `prop::option`).
+fn arb_option<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: std::fmt::Debug + Clone,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+/// Strategy producing an arbitrary cache snapshot (entries may carry NaN
+/// and infinities — the codec must round-trip them bit-exactly).
+fn arb_cache_snapshot() -> impl Strategy<Value = CacheSnapshot> {
+    (
+        prop::collection::vec((arb_genome(), arb_option(any::<f64>())), 0..8),
+        prop::collection::vec(arb_genome(), 0..4),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(entries, quarantined, hits, feasible_misses, infeasible_misses)| {
+            CacheSnapshot { entries, quarantined, hits, feasible_misses, infeasible_misses }
+        })
+}
+
+/// Strategy producing an arbitrary (structurally plausible) search state.
+fn arb_state() -> impl Strategy<Value = SearchState> {
+    let meta = (
+        any::<u64>(),
+        "[a-z-]{1,10}",
+        1u32..=40,
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(a, b, c, d)| [a, b, c, d]),
+    );
+    let pop = (
+        prop::collection::vec(arb_genome(), 1..6),
+        prop::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<f64>(), any::<f64>(), any::<f64>()),
+            0..6,
+        ),
+        arb_option(arb_genome()),
+        any::<f64>(),
+        0usize..10_000,
+    );
+    let extras = (
+        arb_cache_snapshot(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(a, b, c, d)| [a, b, c, d]),
+        prop::collection::vec(("[a-z.]{1,12}", prop::collection::vec(any::<u8>(), 0..32)), 0..3),
+    );
+    (meta, pop, extras).prop_map(
+        |(
+            (seed, run_label, generation, rng),
+            (population, history, best_genome, best_value, init_attempts),
+            (cache, fault_attempts, aux),
+        )| {
+            let history =
+                history
+                    .into_iter()
+                    .map(|(generation, distinct_evals, best_value, mean_value, best_so_far)| {
+                        GenStats { generation, distinct_evals, best_value, mean_value, best_so_far }
+                    })
+                    .collect();
+            let faults = nautilus_ga::FaultStats {
+                failed_attempts: [
+                    fault_attempts[0] % 1000,
+                    fault_attempts[1] % 1000,
+                    fault_attempts[2] % 1000,
+                    fault_attempts[3] % 1000,
+                ],
+                retries: fault_attempts[0] % 97,
+                ..Default::default()
+            };
+            SearchState {
+                seed,
+                run_label,
+                settings: GaSettings::default(),
+                generation,
+                rng,
+                population,
+                history,
+                best_genome,
+                best_value,
+                init_attempts,
+                cache,
+                faults,
+                aux,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Arbitrary search states (NaN fitness values, empty caches, aux
+    /// blobs, ...) encode → decode to the identical state. Equality is
+    /// checked on the canonical re-encoding so NaN compares bit-wise
+    /// rather than by IEEE semantics.
+    #[test]
+    fn checkpoint_state_round_trips(state in arb_state()) {
+        let record = state.encode();
+        let decoded = SearchState::decode(&record).expect("intact record must decode");
+        prop_assert_eq!(decoded.encode(), record);
+    }
+}
+
+proptest! {
+    // Each case sweeps every bit of a whole record (tens of thousands of
+    // decodes), so fewer cases than default keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every single-bit corruption anywhere in a checkpoint record is
+    /// detected — by magic/version/length checks or by the CRC (which
+    /// catches all single-bit errors by construction). Corruption is
+    /// never silently accepted.
+    #[test]
+    fn every_single_bit_corruption_is_detected(state in arb_state()) {
+        let record = state.encode();
+        for byte in 0..record.len() {
+            for bit in 0..8u8 {
+                let mut corrupt = record.clone();
+                corrupt[byte] ^= 1 << bit;
+                prop_assert!(
+                    SearchState::decode(&corrupt).is_err(),
+                    "flip at byte {} bit {} was silently accepted", byte, bit
+                );
+            }
+        }
+    }
+
+    /// The evaluation cache itself survives snapshot → restore → snapshot
+    /// unchanged, and a restored cache behaves identically (same stats,
+    /// same memoized answers).
+    #[test]
+    fn cache_snapshot_restore_is_lossless(snapshot in arb_cache_snapshot()) {
+        // Deduplicate keys the way a real cache would have (a HashMap
+        // cannot hold two values for one genome).
+        let mut seen = std::collections::HashSet::new();
+        let mut canon = snapshot;
+        canon.entries.retain(|(g, _)| seen.insert(g.clone()));
+        canon.entries.sort_by(|a, b| a.0.genes().cmp(b.0.genes()));
+        canon.quarantined.retain(|g| seen.contains(g));
+        let mut qseen = std::collections::HashSet::new();
+        canon.quarantined.retain(|g| qseen.insert(g.clone()));
+        canon.quarantined.sort_by(|a, b| a.genes().cmp(b.genes()));
+
+        let cache = EvalCache::restore(&canon);
+        let again = cache.snapshot();
+        prop_assert_eq!(again.entries.len(), canon.entries.len());
+        prop_assert_eq!(again.quarantined.len(), canon.quarantined.len());
+        prop_assert_eq!(again.hits, canon.hits);
+        prop_assert_eq!(again.feasible_misses, canon.feasible_misses);
+        prop_assert_eq!(again.infeasible_misses, canon.infeasible_misses);
+        for (g, v) in &canon.entries {
+            let got = cache.peek(g).expect("entry must be present");
+            match (got, v) {
+                (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                (None, None) => {}
+                other => prop_assert!(false, "value mismatch: {:?}", other),
+            }
+        }
+    }
 }
 
 proptest! {

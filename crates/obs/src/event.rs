@@ -257,6 +257,51 @@ pub enum SearchEvent {
         /// Run wall-clock nanoseconds.
         wall_nanos: u64,
     },
+    /// A checkpoint record was durably written (fsync + atomic rename).
+    CheckpointWritten {
+        /// Generation the checkpoint resumes at (next to be scored).
+        generation: u32,
+        /// Size of the record on disk, in bytes.
+        bytes: u64,
+        /// Wall-clock nanoseconds spent encoding and writing.
+        write_nanos: u64,
+        /// Path of the finished checkpoint file.
+        path: String,
+    },
+    /// A checkpoint was loaded and validated for a resume.
+    CheckpointRestored {
+        /// Generation the resumed run continues at.
+        generation: u32,
+        /// Path of the checkpoint file that was restored.
+        path: String,
+    },
+    /// A checkpoint file failed validation (truncated, bad CRC, bad
+    /// magic/version) and recovery fell back to an older record.
+    CheckpointCorruptSkipped {
+        /// Path of the rejected file.
+        path: String,
+        /// Human-readable validation failure.
+        reason: String,
+    },
+    /// The run stopped early at a generation boundary (budget exhausted or
+    /// cancelled). Emitted *instead of* [`SearchEvent::RunEnd`].
+    RunInterrupted {
+        /// Generation the run would have scored next (where a resume
+        /// continues).
+        generation: u32,
+        /// Stable stop-reason label ("generation_budget", "cancelled", ...).
+        reason: String,
+    },
+    /// A run continued from a checkpoint. Emitted *instead of*
+    /// [`SearchEvent::RunStart`].
+    RunResumed {
+        /// Strategy label persisted in the checkpoint.
+        strategy: String,
+        /// The original run's RNG seed.
+        seed: u64,
+        /// Generation the run continues at.
+        generation: u32,
+    },
 }
 
 impl SearchEvent {
@@ -281,6 +326,11 @@ impl SearchEvent {
             SearchEvent::ParetoUpdated { .. } => "pareto_updated",
             SearchEvent::SpanEnd { .. } => "span_end",
             SearchEvent::RunEnd { .. } => "run_end",
+            SearchEvent::CheckpointWritten { .. } => "checkpoint_written",
+            SearchEvent::CheckpointRestored { .. } => "checkpoint_restored",
+            SearchEvent::CheckpointCorruptSkipped { .. } => "checkpoint_corrupt_skipped",
+            SearchEvent::RunInterrupted { .. } => "run_interrupted",
+            SearchEvent::RunResumed { .. } => "run_resumed",
         }
     }
 
@@ -372,6 +422,26 @@ impl SearchEvent {
                     .u64("distinct_evals", *distinct_evals)
                     .u64("wall_nanos", *wall_nanos);
             }
+            SearchEvent::CheckpointWritten { generation, bytes, write_nanos, path } => {
+                o.u64("generation", u64::from(*generation))
+                    .u64("bytes", *bytes)
+                    .u64("write_nanos", *write_nanos)
+                    .str("path", path);
+            }
+            SearchEvent::CheckpointRestored { generation, path } => {
+                o.u64("generation", u64::from(*generation)).str("path", path);
+            }
+            SearchEvent::CheckpointCorruptSkipped { path, reason } => {
+                o.str("path", path).str("reason", reason);
+            }
+            SearchEvent::RunInterrupted { generation, reason } => {
+                o.u64("generation", u64::from(*generation)).str("reason", reason);
+            }
+            SearchEvent::RunResumed { strategy, seed, generation } => {
+                o.str("strategy", strategy)
+                    .u64("seed", *seed)
+                    .u64("generation", u64::from(*generation));
+            }
         }
         o.finish()
     }
@@ -429,6 +499,22 @@ mod tests {
             SearchEvent::ParetoUpdated { size: 4 },
             SearchEvent::SpanEnd { name: "scoring", nanos: 12345 },
             SearchEvent::RunEnd { best_value: 1.5, distinct_evals: 204, wall_nanos: 1 },
+            SearchEvent::CheckpointWritten {
+                generation: 12,
+                bytes: 4096,
+                write_nanos: 150_000,
+                path: "ckpt/ckpt-00000012.nckpt".into(),
+            },
+            SearchEvent::CheckpointRestored {
+                generation: 12,
+                path: "ckpt/ckpt-00000012.nckpt".into(),
+            },
+            SearchEvent::CheckpointCorruptSkipped {
+                path: "ckpt/ckpt-00000013.nckpt".into(),
+                reason: "crc mismatch".into(),
+            },
+            SearchEvent::RunInterrupted { generation: 13, reason: "deadline_exceeded".into() },
+            SearchEvent::RunResumed { strategy: "baseline".into(), seed: 7, generation: 13 },
         ]
     }
 

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod sink;
+pub mod wire;
 
 pub use event::{FailureKind, HintKind, SearchEvent};
 pub use metrics::{
@@ -54,6 +55,8 @@ pub use metrics::{
 };
 pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
 pub use report::{
-    EvalTally, FaultTally, GenerationTelemetry, HintTally, ReportBuilder, RunReport, SpanStat,
+    DurabilityTally, EvalTally, FaultTally, GenerationTelemetry, HintTally, ReportBuilder,
+    RunReport, SpanStat,
 };
 pub use sink::{InMemorySink, JsonlSink};
+pub use wire::{WireError, WireReader, WireWriter};

@@ -326,10 +326,14 @@ impl MetricsSnapshot {
 /// names), `crossovers_total`, `selections_total`, `pareto_updates`,
 /// `importance_decays`, `eval_batches`, `cache_shard_contentions`,
 /// `eval_failures_total`, `eval_failures_<kind>` per [`FailureKind`],
-/// `eval_retries_total`, `evals_recovered` and `genomes_quarantined`.
+/// `eval_retries_total`, `evals_recovered`, `genomes_quarantined`,
+/// `checkpoints_written`, `checkpoints_restored`,
+/// `checkpoints_corrupt_skipped`, `runs_interrupted` and `runs_resumed`.
 /// Span durations land in `span_<name>_secs` histograms, batch sizes in
 /// the `eval_batch_size` histogram, retry backoffs in the
-/// `retry_backoff_secs` histogram, and the latest `best_so_far` in the
+/// `retry_backoff_secs` histogram, checkpoint record sizes in the
+/// `checkpoint_bytes` histogram, checkpoint write latencies in the
+/// `checkpoint_write_secs` histogram, and the latest `best_so_far` in the
 /// `best_value` gauge.
 pub struct MetricsSink {
     registry: Arc<MetricsRegistry>,
@@ -354,6 +358,13 @@ pub struct MetricsSink {
     retry_backoffs: Arc<Histogram>,
     evals_recovered: Arc<Counter>,
     genomes_quarantined: Arc<Counter>,
+    checkpoints_written: Arc<Counter>,
+    checkpoint_bytes: Arc<Histogram>,
+    checkpoint_write_secs: Arc<Histogram>,
+    checkpoints_restored: Arc<Counter>,
+    checkpoints_corrupt_skipped: Arc<Counter>,
+    runs_interrupted: Arc<Counter>,
+    runs_resumed: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -398,6 +409,15 @@ impl MetricsSink {
             ),
             evals_recovered: registry.counter("evals_recovered"),
             genomes_quarantined: registry.counter("genomes_quarantined"),
+            checkpoints_written: registry.counter("checkpoints_written"),
+            checkpoint_bytes: registry
+                .histogram("checkpoint_bytes", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8]),
+            checkpoint_write_secs: registry
+                .histogram("checkpoint_write_secs", &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0]),
+            checkpoints_restored: registry.counter("checkpoints_restored"),
+            checkpoints_corrupt_skipped: registry.counter("checkpoints_corrupt_skipped"),
+            runs_interrupted: registry.counter("runs_interrupted"),
+            runs_resumed: registry.counter("runs_resumed"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -476,6 +496,15 @@ impl SearchObserver for MetricsSink {
                     .record(*nanos as f64 / NANO);
             }
             SearchEvent::RunEnd { .. } => {}
+            SearchEvent::CheckpointWritten { bytes, write_nanos, .. } => {
+                self.checkpoints_written.inc();
+                self.checkpoint_bytes.record(*bytes as f64);
+                self.checkpoint_write_secs.record(*write_nanos as f64 / NANO);
+            }
+            SearchEvent::CheckpointRestored { .. } => self.checkpoints_restored.inc(),
+            SearchEvent::CheckpointCorruptSkipped { .. } => self.checkpoints_corrupt_skipped.inc(),
+            SearchEvent::RunInterrupted { .. } => self.runs_interrupted.inc(),
+            SearchEvent::RunResumed { .. } => self.runs_resumed.inc(),
         }
     }
 }
@@ -635,5 +664,47 @@ mod tests {
         assert_eq!(snap.counters["genomes_quarantined"], 1);
         assert_eq!(snap.histograms["retry_backoff_secs"].count, 1);
         assert!((snap.histograms["retry_backoff_secs"].sum - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_sink_folds_durability_events() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.on_event(&SearchEvent::CheckpointWritten {
+            generation: 1,
+            bytes: 2048,
+            write_nanos: 3_000_000,
+            path: "ckpt/ckpt-00000001.nckpt".into(),
+        });
+        sink.on_event(&SearchEvent::CheckpointWritten {
+            generation: 2,
+            bytes: 4096,
+            write_nanos: 1_000_000,
+            path: "ckpt/ckpt-00000002.nckpt".into(),
+        });
+        sink.on_event(&SearchEvent::CheckpointCorruptSkipped {
+            path: "ckpt/ckpt-00000002.nckpt".into(),
+            reason: "crc mismatch".into(),
+        });
+        sink.on_event(&SearchEvent::CheckpointRestored {
+            generation: 1,
+            path: "ckpt/ckpt-00000001.nckpt".into(),
+        });
+        sink.on_event(&SearchEvent::RunInterrupted { generation: 2, reason: "cancelled".into() });
+        sink.on_event(&SearchEvent::RunResumed {
+            strategy: "baseline".into(),
+            seed: 7,
+            generation: 2,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["checkpoints_written"], 2);
+        assert_eq!(snap.counters["checkpoints_restored"], 1);
+        assert_eq!(snap.counters["checkpoints_corrupt_skipped"], 1);
+        assert_eq!(snap.counters["runs_interrupted"], 1);
+        assert_eq!(snap.counters["runs_resumed"], 1);
+        assert_eq!(snap.histograms["checkpoint_bytes"].count, 2);
+        assert!((snap.histograms["checkpoint_bytes"].sum - 6144.0).abs() < 1e-6);
+        assert_eq!(snap.histograms["checkpoint_write_secs"].count, 2);
+        assert!((snap.histograms["checkpoint_write_secs"].sum - 0.004).abs() < 1e-9);
     }
 }

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 use crate::event::{FailureKind, HintKind, SearchEvent};
 use crate::json::JsonObj;
 use crate::observer::SearchObserver;
+use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Mutation counts broken down by [`HintKind`], plus how many actually
 /// changed the gene.
@@ -245,7 +246,91 @@ impl GenerationTelemetry {
     }
 }
 
+/// Checkpoint/resume and interruption tallies folded from the durability
+/// events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityTally {
+    /// Checkpoint records durably written this process.
+    pub checkpoints_written: u64,
+    /// Total bytes across those checkpoint records.
+    pub checkpoint_bytes_total: u64,
+    /// Largest single checkpoint record.
+    pub checkpoint_max_bytes: u64,
+    /// Checkpoints loaded and validated for a resume.
+    pub checkpoints_restored: u64,
+    /// Checkpoint files rejected by validation during recovery.
+    pub corrupt_skipped: u64,
+    /// Early stops at a generation boundary ([`SearchEvent::RunInterrupted`]).
+    pub interruptions: u64,
+    /// Resumes from a checkpoint ([`SearchEvent::RunResumed`]).
+    pub resumes: u64,
+    /// Generation the latest resume continued at (0 when the run never
+    /// resumed — checkpoints are only written at boundaries ≥ 1, so a real
+    /// resume generation is never 0).
+    pub resumed_from_generation: u64,
+    /// Stable label of the latest stop reason ("completed" unless the run
+    /// was interrupted).
+    pub stop_reason: String,
+}
+
+impl Default for DurabilityTally {
+    fn default() -> Self {
+        DurabilityTally {
+            checkpoints_written: 0,
+            checkpoint_bytes_total: 0,
+            checkpoint_max_bytes: 0,
+            checkpoints_restored: 0,
+            corrupt_skipped: 0,
+            interruptions: 0,
+            resumes: 0,
+            resumed_from_generation: 0,
+            stop_reason: "completed".to_owned(),
+        }
+    }
+}
+
+impl DurabilityTally {
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("checkpoints_written", self.checkpoints_written)
+            .u64("checkpoint_bytes_total", self.checkpoint_bytes_total)
+            .u64("checkpoint_max_bytes", self.checkpoint_max_bytes)
+            .u64("checkpoints_restored", self.checkpoints_restored)
+            .u64("corrupt_skipped", self.corrupt_skipped)
+            .u64("interruptions", self.interruptions)
+            .u64("resumes", self.resumes)
+            .u64("resumed_from_generation", self.resumed_from_generation)
+            .str("stop_reason", &self.stop_reason);
+        o.finish()
+    }
+}
+
 /// The machine-readable summary of one instrumented search run.
+///
+/// # Schema version history
+///
+/// Downstream consumers should branch on the top-level `schema_version`
+/// field. Versions only ever *add* fields, so a consumer of version `n`
+/// can read any later report by ignoring unknown keys:
+///
+/// * **v1** — initial schema: `strategy`, `seed`, `params`, `population`,
+///   `generation_budget`, `best_value`, `distinct_evals`, `wall_nanos`,
+///   `evals`, `hints`, `importance_decays`, `pareto_updates`,
+///   `generations[]`, `spans`.
+/// * **v2** — added the parallel-evaluation fields `eval_batches`,
+///   `batched_evals`, `max_batch` and `shard_contentions`.
+/// * **v3** — added the `faults` block (`evals_failed`, `retries`,
+///   `retries_recovered`, `quarantined`, plus `failed_attempts` broken
+///   down by failure kind).
+/// * **v4** — added the `durability` block ([`DurabilityTally`]:
+///   checkpoint write/restore/corruption tallies, interruption and resume
+///   counts, `resumed_from_generation` and the final `stop_reason`). All
+///   v3 fields are unchanged; on a resumed run the per-generation rows
+///   cover the *whole* logical run when the builder was restored from a
+///   checkpoint snapshot ([`ReportBuilder::restore_bytes`]), and only the
+///   post-resume tail otherwise.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -283,6 +368,8 @@ pub struct RunReport {
     pub shard_contentions: u64,
     /// Whole-run evaluation-failure / retry / quarantine tallies.
     pub faults: FaultTally,
+    /// Checkpoint/resume and interruption tallies.
+    pub durability: DurabilityTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -299,7 +386,7 @@ impl RunReport {
         }
         let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
         let mut o = JsonObj::new();
-        o.u64("schema_version", 3)
+        o.u64("schema_version", 4)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -317,6 +404,7 @@ impl RunReport {
             .u64("max_batch", self.max_batch)
             .u64("shard_contentions", self.shard_contentions)
             .raw("faults", &self.faults.to_json())
+            .raw("durability", &self.durability.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish());
         o.finish()
@@ -377,6 +465,209 @@ impl ReportBuilder {
         report.generations = state.rows.into_values().collect();
         report
     }
+
+    /// Serializes the builder's accumulated state so a resumed process can
+    /// carry the report forward with [`ReportBuilder::restore_bytes`].
+    ///
+    /// Span timings are deliberately *excluded*: span names are
+    /// `&'static str` keys owned by the recording process, and wall-clock
+    /// spans from a dead process are not meaningful to splice into a new
+    /// one. Everything else — whole-run tallies, per-generation rows, the
+    /// durability block — round-trips exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let state = self.state.lock().expect("report poisoned");
+        let r = &state.report;
+        let mut w = WireWriter::new();
+        w.u32(SNAPSHOT_VERSION);
+        w.str(&r.strategy);
+        w.u64(r.seed);
+        w.usize(r.params.len());
+        for p in &r.params {
+            w.str(p);
+        }
+        w.usize(r.population);
+        w.u32(r.generation_budget);
+        w.f64(r.best_value);
+        w.u64(r.distinct_evals);
+        w.u64(r.wall_nanos);
+        encode_evals(&mut w, &r.evals);
+        encode_hints(&mut w, &r.hints);
+        w.u64(r.importance_decays);
+        w.u64(r.pareto_updates);
+        w.u64(r.eval_batches);
+        w.u64(r.batched_evals);
+        w.u64(r.max_batch);
+        w.u64(r.shard_contentions);
+        for n in &r.faults.failed_attempts {
+            w.u64(*n);
+        }
+        w.u64(r.faults.retries);
+        w.u64(r.faults.retries_recovered);
+        w.u64(r.faults.quarantined);
+        let d = &r.durability;
+        w.u64(d.checkpoints_written);
+        w.u64(d.checkpoint_bytes_total);
+        w.u64(d.checkpoint_max_bytes);
+        w.u64(d.checkpoints_restored);
+        w.u64(d.corrupt_skipped);
+        w.u64(d.interruptions);
+        w.u64(d.resumes);
+        w.u64(d.resumed_from_generation);
+        w.str(&d.stop_reason);
+        w.usize(state.rows.len());
+        for row in state.rows.values() {
+            w.u32(row.generation);
+            w.f64(row.best);
+            w.f64(row.mean);
+            w.f64(row.best_so_far);
+            w.u64(row.distinct_evals);
+            w.u64(row.cache_hits);
+            w.u64(row.infeasible);
+            encode_evals(&mut w, &row.evals);
+            w.usize(row.mutations_per_param.len());
+            for n in &row.mutations_per_param {
+                w.u64(*n);
+            }
+            encode_hints(&mut w, &row.hints);
+            w.u64(row.crossovers);
+            w.u64(row.selections);
+        }
+        w.u32(state.scoring_gen);
+        w.usize(state.num_params);
+        w.into_bytes()
+    }
+
+    /// Reconstructs a builder from [`ReportBuilder::snapshot_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated, malformed, or
+    /// unknown-version input.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<ReportBuilder, WireError> {
+        let mut r = WireReader::new(bytes);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(WireError(format!("unknown report snapshot version {version}")));
+        }
+        let mut report = RunReport { strategy: r.str()?, seed: r.u64()?, ..RunReport::default() };
+        let n_params = r.len_prefix()?;
+        for _ in 0..n_params {
+            report.params.push(r.str()?);
+        }
+        report.population = r.len_prefix()?;
+        report.generation_budget = r.u32()?;
+        report.best_value = r.f64()?;
+        report.distinct_evals = r.u64()?;
+        report.wall_nanos = r.u64()?;
+        report.evals = decode_evals(&mut r)?;
+        report.hints = decode_hints(&mut r)?;
+        report.importance_decays = r.u64()?;
+        report.pareto_updates = r.u64()?;
+        report.eval_batches = r.u64()?;
+        report.batched_evals = r.u64()?;
+        report.max_batch = r.u64()?;
+        report.shard_contentions = r.u64()?;
+        for slot in &mut report.faults.failed_attempts {
+            *slot = r.u64()?;
+        }
+        report.faults.retries = r.u64()?;
+        report.faults.retries_recovered = r.u64()?;
+        report.faults.quarantined = r.u64()?;
+        report.durability = DurabilityTally {
+            checkpoints_written: r.u64()?,
+            checkpoint_bytes_total: r.u64()?,
+            checkpoint_max_bytes: r.u64()?,
+            checkpoints_restored: r.u64()?,
+            corrupt_skipped: r.u64()?,
+            interruptions: r.u64()?,
+            resumes: r.u64()?,
+            resumed_from_generation: r.u64()?,
+            stop_reason: r.str()?,
+        };
+        let n_rows = r.len_prefix()?;
+        let mut rows = BTreeMap::new();
+        for _ in 0..n_rows {
+            let generation = r.u32()?;
+            let best = r.f64()?;
+            let mean = r.f64()?;
+            let best_so_far = r.f64()?;
+            let distinct_evals = r.u64()?;
+            let cache_hits = r.u64()?;
+            let infeasible = r.u64()?;
+            let evals = decode_evals(&mut r)?;
+            let n_muts = r.len_prefix()?;
+            let mut mutations_per_param = Vec::with_capacity(n_muts.min(1024));
+            for _ in 0..n_muts {
+                mutations_per_param.push(r.u64()?);
+            }
+            let hints = decode_hints(&mut r)?;
+            let crossovers = r.u64()?;
+            let selections = r.u64()?;
+            rows.insert(
+                generation,
+                GenerationTelemetry {
+                    generation,
+                    best,
+                    mean,
+                    best_so_far,
+                    distinct_evals,
+                    cache_hits,
+                    infeasible,
+                    evals,
+                    mutations_per_param,
+                    hints,
+                    crossovers,
+                    selections,
+                },
+            );
+        }
+        let scoring_gen = r.u32()?;
+        let num_params = r.len_prefix()?;
+        r.finish()?;
+        Ok(ReportBuilder {
+            state: Mutex::new(ReportState { report, rows, scoring_gen, num_params }),
+        })
+    }
+}
+
+/// Version tag for the [`ReportBuilder::snapshot_bytes`] wire format.
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn encode_evals(w: &mut WireWriter, e: &EvalTally) {
+    w.u64(e.feasible);
+    w.u64(e.cached);
+    w.u64(e.infeasible);
+    w.u64(e.tool_secs);
+}
+
+fn decode_evals(r: &mut WireReader<'_>) -> Result<EvalTally, WireError> {
+    Ok(EvalTally {
+        feasible: r.u64()?,
+        cached: r.u64()?,
+        infeasible: r.u64()?,
+        tool_secs: r.u64()?,
+    })
+}
+
+fn encode_hints(w: &mut WireWriter, h: &HintTally) {
+    for n in &h.counts {
+        w.u64(*n);
+    }
+    w.u64(h.accepted);
+}
+
+fn decode_hints(r: &mut WireReader<'_>) -> Result<HintTally, WireError> {
+    let mut h = HintTally::default();
+    for slot in &mut h.counts {
+        *slot = r.u64()?;
+    }
+    h.accepted = r.u64()?;
+    Ok(h)
 }
 
 impl SearchObserver for ReportBuilder {
@@ -455,6 +746,38 @@ impl SearchObserver for ReportBuilder {
                 state.report.best_value = *best_value;
                 state.report.distinct_evals = *distinct_evals;
                 state.report.wall_nanos = *wall_nanos;
+            }
+            SearchEvent::CheckpointWritten { bytes, .. } => {
+                let d = &mut state.report.durability;
+                d.checkpoints_written += 1;
+                d.checkpoint_bytes_total += *bytes;
+                d.checkpoint_max_bytes = d.checkpoint_max_bytes.max(*bytes);
+            }
+            SearchEvent::CheckpointRestored { generation, .. } => {
+                let d = &mut state.report.durability;
+                d.checkpoints_restored += 1;
+                d.resumed_from_generation = u64::from(*generation);
+            }
+            SearchEvent::CheckpointCorruptSkipped { .. } => {
+                state.report.durability.corrupt_skipped += 1;
+            }
+            SearchEvent::RunInterrupted { reason, .. } => {
+                state.report.durability.interruptions += 1;
+                state.report.durability.stop_reason = reason.clone();
+                // No RunEnd follows an interruption: fold the summary
+                // fields from the last scored generation instead.
+                if let Some(row) = state.rows.values().next_back() {
+                    let (best, distinct) = (row.best_so_far, row.distinct_evals);
+                    state.report.best_value = best;
+                    state.report.distinct_evals = distinct;
+                }
+            }
+            SearchEvent::RunResumed { strategy, seed, .. } => {
+                state.report.durability.resumes += 1;
+                // A resumed stream has no RunStart; carry what the event
+                // knows (params arrive only via a restored snapshot).
+                state.report.strategy = strategy.clone();
+                state.report.seed = *seed;
             }
         }
     }
@@ -613,11 +936,162 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
         assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
         assert!(json.contains("\"mean\":null"));
+        assert!(json.contains("\"checkpoints_written\":0"));
+        assert!(json.contains("\"stop_reason\":\"completed\""));
+    }
+
+    #[test]
+    fn durability_events_fold_into_the_report() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::RunResumed { strategy: "guided".into(), seed: 7, generation: 3 },
+                SearchEvent::CheckpointRestored { generation: 3, path: "ckpt-00000003".into() },
+                SearchEvent::CheckpointCorruptSkipped {
+                    path: "ckpt-00000004".into(),
+                    reason: "bad crc".into(),
+                },
+                SearchEvent::GenerationStart { generation: 3 },
+                SearchEvent::GenerationEnd {
+                    generation: 3,
+                    best: 2.0,
+                    mean: 2.5,
+                    best_so_far: 2.0,
+                    distinct_evals: 12,
+                    cache_hits: 4,
+                    infeasible: 1,
+                },
+                SearchEvent::CheckpointWritten {
+                    generation: 4,
+                    bytes: 2048,
+                    write_nanos: 1_000_000,
+                    path: "ckpt-00000004".into(),
+                },
+                SearchEvent::CheckpointWritten {
+                    generation: 5,
+                    bytes: 4096,
+                    write_nanos: 2_000_000,
+                    path: "ckpt-00000005".into(),
+                },
+                SearchEvent::RunInterrupted { generation: 5, reason: "deadline_exceeded".into() },
+            ],
+        );
+        let report = builder.finish();
+        let d = &report.durability;
+        assert_eq!(d.checkpoints_written, 2);
+        assert_eq!(d.checkpoint_bytes_total, 6144);
+        assert_eq!(d.checkpoint_max_bytes, 4096);
+        assert_eq!(d.checkpoints_restored, 1);
+        assert_eq!(d.corrupt_skipped, 1);
+        assert_eq!(d.interruptions, 1);
+        assert_eq!(d.resumes, 1);
+        assert_eq!(d.resumed_from_generation, 3);
+        assert_eq!(d.stop_reason, "deadline_exceeded");
+        assert_eq!(report.strategy, "guided");
+        assert_eq!(report.seed, 7);
+        // RunInterrupted backfills summary fields from the last row.
+        assert_eq!(report.best_value, 2.0);
+        assert_eq!(report.distinct_evals, 12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_keeps_aggregating() {
+        let original = ReportBuilder::new();
+        feed(
+            &original,
+            &[
+                SearchEvent::RunStart {
+                    strategy: "guided".into(),
+                    seed: 11,
+                    params: vec!["depth".into(), "width".into()],
+                    population: 8,
+                    generations: 6,
+                },
+                SearchEvent::GenerationStart { generation: 0 },
+                SearchEvent::EvalCompleted { cached: false, feasible: true, tool_secs: 120 },
+                SearchEvent::MutationHintApplied {
+                    generation: 0,
+                    param: 1,
+                    hint_kind: HintKind::Bias,
+                    accepted: true,
+                },
+                SearchEvent::GenerationEnd {
+                    generation: 0,
+                    best: 3.0,
+                    mean: 4.0,
+                    best_so_far: 3.0,
+                    distinct_evals: 5,
+                    cache_hits: 2,
+                    infeasible: 1,
+                },
+                SearchEvent::CheckpointWritten {
+                    generation: 1,
+                    bytes: 100,
+                    write_nanos: 50,
+                    path: "p".into(),
+                },
+            ],
+        );
+        let bytes = original.snapshot_bytes();
+        let restored = ReportBuilder::restore_bytes(&bytes).expect("snapshot restores");
+        // A second snapshot of the restored builder is byte-identical.
+        assert_eq!(restored.snapshot_bytes(), bytes);
+
+        let tail = [
+            SearchEvent::GenerationStart { generation: 1 },
+            SearchEvent::EvalCompleted { cached: true, feasible: true, tool_secs: 0 },
+            SearchEvent::GenerationEnd {
+                generation: 1,
+                best: 2.0,
+                mean: 2.0,
+                best_so_far: 2.0,
+                distinct_evals: 6,
+                cache_hits: 3,
+                infeasible: 1,
+            },
+            SearchEvent::RunEnd { best_value: 2.0, distinct_evals: 6, wall_nanos: 777 },
+        ];
+        feed(&original, &tail);
+        feed(&restored, &tail);
+        let a = original.finish();
+        let b = restored.finish();
+        // Spans are process-local and excluded from the snapshot; nothing
+        // recorded any here, so the whole reports compare equal.
+        assert_eq!(a, b);
+        assert_eq!(b.generations.len(), 2);
+        assert_eq!(b.evals.cached, 1);
+        assert_eq!(b.durability.checkpoints_written, 1);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let builder = ReportBuilder::new();
+        builder.on_event(&SearchEvent::RunStart {
+            strategy: "s".into(),
+            seed: 1,
+            params: vec!["p".into()],
+            population: 2,
+            generations: 1,
+        });
+        let bytes = builder.snapshot_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ReportBuilder::restore_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} silently restored"
+            );
+        }
+        let mut versioned = bytes.clone();
+        versioned[0] = 0xFF;
+        assert!(ReportBuilder::restore_bytes(&versioned).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(ReportBuilder::restore_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -100,6 +100,27 @@ impl ShardedCache {
     /// (`jobs` + `tool_secs` for feasible results, `infeasible` otherwise).
     /// A lost race is charged as a cache hit — the lookup *was* served
     /// from another thread's work — plus one contention tick.
+    ///
+    /// # Accounting identity
+    ///
+    /// Every resolve operation (a [`lookup`](ShardedCache::lookup) that
+    /// hits, or the `insert_or_hit` that follows a miss) charges exactly
+    /// one of `jobs`, `infeasible`, or `cache_hits` — never zero, never
+    /// two. So for any interleaving of concurrent resolvers:
+    ///
+    /// ```text
+    /// jobs + infeasible + cache_hits == total resolve operations
+    /// jobs + infeasible             == distinct genomes (== len())
+    /// contentions                   <= cache_hits
+    /// ```
+    ///
+    /// `contentions` is a *diagnostic subcount* of `cache_hits`: it ticks
+    /// only when a racer reached `insert_or_hit` after doing redundant
+    /// evaluation work (both threads saw a lookup miss), not on ordinary
+    /// read-path hits. The `Lost` outcome is therefore never "lost work
+    /// dropped on the floor" — the loser's resolve is fully accounted as a
+    /// hit, and the contention tick measures how much duplicate tool time
+    /// the race cost on top.
     pub fn insert_or_hit(
         &self,
         genome: &Genome,
@@ -237,6 +258,69 @@ mod tests {
         assert_eq!(s.simulated_tool_secs, 60);
         assert_eq!(cache.contentions(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eight_thread_hammer_preserves_exact_accounting_identity() {
+        // 8 threads race over a deliberately tiny genome universe so both
+        // read-path hits and lost-insert races are frequent. No operation
+        // may be double-counted or dropped: every resolve charges exactly
+        // one of jobs / infeasible / cache_hits.
+        use std::sync::{Arc, Barrier};
+
+        const THREADS: usize = 8;
+        const OPS_PER_THREAD: usize = 400;
+        const UNIVERSE: u32 = 24;
+
+        let cache = Arc::new(ShardedCache::new());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD {
+                        // Deterministic per-thread walk over the universe.
+                        let x = ((t * 7 + i * 13) as u32) % UNIVERSE;
+                        let g = Genome::from_genes(vec![x, x + 1]);
+                        if cache.lookup(&g).is_some() {
+                            continue; // resolved via read-path hit
+                        }
+                        // Miss: "evaluate" (odd genes are infeasible) and
+                        // publish, possibly losing the race to a peer.
+                        let result = x.is_multiple_of(2).then(|| metrics(f64::from(x)));
+                        let _ = cache.insert_or_hit(&g, &result, 10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let s = cache.stats();
+        let total_ops = (THREADS * OPS_PER_THREAD) as u64;
+        assert_eq!(
+            s.jobs + s.infeasible + s.cache_hits,
+            total_ops,
+            "every resolve must charge exactly one counter: {s:?}"
+        );
+        assert_eq!(
+            s.jobs + s.infeasible,
+            cache.len() as u64,
+            "winning inserts must equal distinct cached genomes"
+        );
+        assert_eq!(cache.len() as u32, UNIVERSE, "all universe points resolved");
+        assert_eq!(s.jobs, u64::from(UNIVERSE / 2), "even genes are feasible");
+        assert_eq!(s.infeasible, u64::from(UNIVERSE.div_ceil(2)));
+        assert!(
+            cache.contentions() <= s.cache_hits,
+            "contentions ({}) is a subcount of cache_hits ({})",
+            cache.contentions(),
+            s.cache_hits
+        );
+        assert_eq!(s.simulated_tool_secs, u64::from(UNIVERSE / 2) * 10);
     }
 
     #[test]

@@ -25,7 +25,7 @@ echo "==> chaos storm (ignored tests)"
 cargo test -q --release --offline -p nautilus-bench --test chaos -- --include-ignored
 
 echo "==> chaos determinism: seed matrix x {1,8} workers"
-cargo build -q --release --offline -p nautilus-bench --bin chaos
+cargo build -q --release --offline -p nautilus-bench --bin chaos --bin resume
 for seed in 1 2 3; do
     serial="$(target/release/chaos --seed "$seed" --workers 1)"
     parallel="$(target/release/chaos --seed "$seed" --workers 8)"
@@ -35,5 +35,32 @@ for seed in 1 2 3; do
         exit 1
     fi
 done
+
+echo "==> kill-and-resume determinism: interrupt after 2 generations, resume, diff"
+for seed in 1 2 3; do
+    for workers in 1 8; do
+        straight="$(target/release/chaos --seed "$seed" --workers "$workers")"
+        ckptdir="$(mktemp -d)"
+        resumed="$(target/release/resume --seed "$seed" --workers "$workers" \
+            --dir "$ckptdir" --budget-generations 2)"
+        rm -rf "$ckptdir"
+        if [ "$straight" != "$resumed" ]; then
+            echo "resume digest diverged at seed $seed, $workers workers" >&2
+            diff <(printf '%s\n' "$straight") <(printf '%s\n' "$resumed") >&2 || true
+            exit 1
+        fi
+    done
+done
+
+echo "==> kill-and-resume determinism: SIGKILL a live victim, recover, diff"
+ckptdir="$(mktemp -d)"
+recovered="$(target/release/resume --seed 1 --workers 1 --dir "$ckptdir" --kill)"
+rm -rf "$ckptdir"
+straight="$(target/release/chaos --seed 1 --workers 1)"
+if [ "$straight" != "$recovered" ]; then
+    echo "post-SIGKILL recovery digest diverged from the straight run" >&2
+    diff <(printf '%s\n' "$straight") <(printf '%s\n' "$recovered") >&2 || true
+    exit 1
+fi
 
 echo "All checks passed."

@@ -105,3 +105,24 @@ fn chaos_storm_all_fault_kinds_survive_and_reconcile() {
         assert_eq!(parallel, serial, "seed {seed}: storm run diverged under 8 workers");
     }
 }
+
+#[test]
+#[ignore = "kill-and-resume determinism sweep; scripts/check.sh runs it via --include-ignored"]
+fn chaos_interrupted_and_resumed_digests_match_straight_runs() {
+    // A chaos search interrupted by a generation budget with durable
+    // checkpoints, then resumed from disk by a fresh engine, must produce
+    // the same digest as an uninterrupted run — under faults, at both a
+    // serial and a parallel worker count.
+    for seed in [1u64, 2, 3] {
+        for workers in [1usize, 8] {
+            let dir = std::env::temp_dir()
+                .join(format!("nautilus-chaos-resume-{seed}-{workers}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let resumed = nautilus_bench::chaos_resume_digest(seed, workers, &dir, 2);
+            let straight = nautilus_bench::chaos_digest(seed, workers);
+            assert_eq!(resumed, straight, "seed {seed} workers {workers}: resumed digest diverged");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
