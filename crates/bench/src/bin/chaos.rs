@@ -4,13 +4,27 @@
 //!
 //! ```text
 //! cargo run --release -p nautilus-bench --bin chaos -- --seed 3 --workers 8
+//! cargo run --release -p nautilus-bench --bin chaos -- --storm hang --workers 8
 //! ```
+//!
+//! `--storm hang` selects the supervised hang-storm digest (watchdog,
+//! hedging and circuit-breaker counters included). `--check-workers N`
+//! additionally recomputes the digest at `N` workers in-process and exits
+//! nonzero with a one-line reason if the two diverge, so the gate fails
+//! loudly even when the calling script forgets to diff.
 
-use nautilus_bench::chaos_digest;
+use nautilus_bench::{chaos_digest, hang_storm_digest};
+
+enum Storm {
+    Transient,
+    Hang,
+}
 
 fn main() {
     let mut seed = 1u64;
     let mut workers = 1usize;
+    let mut storm = Storm::Transient;
+    let mut check_workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,11 +40,39 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--storm" => match args.next().as_deref() {
+                Some("transient") => storm = Storm::Transient,
+                Some("hang") => storm = Storm::Hang,
+                _ => {
+                    eprintln!("--storm expects `transient` or `hang`");
+                    std::process::exit(2);
+                }
+            },
+            "--check-workers" => {
+                check_workers = args.next().and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--check-workers expects an unsigned integer");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown argument `{other}`; usage: chaos [--seed N] [--workers N]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: chaos [--seed N] [--workers N] \
+                     [--storm transient|hang] [--check-workers N]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    println!("{}", chaos_digest(seed, workers));
+    let digest_at = |workers: usize| match storm {
+        Storm::Transient => chaos_digest(seed, workers),
+        Storm::Hang => hang_storm_digest(seed, workers),
+    };
+    let digest = digest_at(workers);
+    println!("{digest}");
+    if let Some(other) = check_workers {
+        if digest_at(other) != digest {
+            eprintln!("chaos digest diverged between {workers} and {other} workers at seed {seed}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use nautilus::{
     Confidence, FaultPlan, Nautilus, NautilusError, Query, RetryPolicy, RunBudget, SearchOutcome,
+    SupervisePolicy,
 };
 use nautilus_ga::{GaError, Genome, ParamSpace};
 use nautilus_noc::hints::fmax_hints;
@@ -27,8 +28,13 @@ use crate::data::router_dataset;
 /// criterion's "10% injected transient faults").
 pub const CHAOS_TRANSIENT_RATE: f64 = 0.10;
 
+/// Hang rate of the hang-storm digest (the acceptance criterion's "10% of
+/// distinct genomes hang").
+pub const STORM_HANG_RATE: f64 = 0.10;
+
 fn outcome_json(outcome: &SearchOutcome) -> String {
     let f = &outcome.faults;
+    let h = &outcome.health;
     let mut o = JsonObj::new();
     o.str("strategy", &outcome.strategy)
         .str("stop", outcome.stop.as_str())
@@ -43,7 +49,17 @@ fn outcome_json(outcome: &SearchOutcome) -> String {
         .u64("retries", f.retries)
         .u64("retries_recovered", f.retries_recovered)
         .u64("quarantined", f.quarantined)
-        .arr_u64("failed_attempts", &f.failed_attempts);
+        .arr_u64("failed_attempts", &f.failed_attempts)
+        .u64("attempts_supervised", h.attempts_supervised)
+        .u64("watchdog_fired", h.watchdog_fired)
+        .u64("late_results_discarded", h.late_results_discarded)
+        .u64("hedges_issued", h.hedges_issued)
+        .u64("hedges_won", h.hedges_won)
+        .u64("hedges_wasted", h.hedges_wasted)
+        .u64("breaker_trips", h.breaker_trips)
+        .u64("breaker_recoveries", h.breaker_recoveries)
+        .u64("breaker_probes", h.breaker_probes)
+        .u64("evals_shed", h.evals_shed);
     o.finish()
 }
 
@@ -78,6 +94,56 @@ fn chaos_engine<'m>(model: &'m dyn CostModel, seed: u64, workers: usize) -> Naut
     Nautilus::new(model)
         .with_fault_plan(plan)
         .with_retry_policy(RetryPolicy::default())
+        .with_eval_workers(workers)
+}
+
+/// Runs the supervised hang-storm pair — baseline and strongly guided
+/// searches of the router *maximize Fmax* query where 10% of attempts
+/// hang (plus the standard 10% transient storm) — under watchdog /
+/// hedging / circuit-breaker supervision, and returns a deterministic
+/// JSON digest of both outcomes, health counters included.
+///
+/// Without supervision this plan would wedge a real evaluation pipeline;
+/// here every hang is abandoned at the watchdog deadline and surfaced as
+/// a timeout. Digests for the same `seed` must be byte-identical at every
+/// `workers` setting.
+///
+/// # Panics
+///
+/// Panics if a search fails outright or the run's hedging identity
+/// (`hedges_issued == hedges_won + hedges_wasted`) does not reconcile.
+#[must_use]
+pub fn hang_storm_digest(seed: u64, workers: usize) -> String {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = router_query(d.catalog());
+    let engine = storm_engine(&model, seed, workers);
+    let baseline = engine.run_baseline(&query, seed).expect("hang-storm baseline run");
+    let guided = engine
+        .run_guided(&query, &fmax_hints(), Some(Confidence::STRONG), seed)
+        .expect("hang-storm guided run");
+    for outcome in [&baseline, &guided] {
+        assert!(outcome.health.reconciles(), "hedge identity broken: {:?}", outcome.health);
+    }
+    let mut o = JsonObj::new();
+    o.u64("storm_seed", seed)
+        .f64("hang_rate", STORM_HANG_RATE)
+        .f64("transient_rate", CHAOS_TRANSIENT_RATE)
+        .raw("baseline", &outcome_json(&baseline))
+        .raw("guided", &outcome_json(&guided));
+    o.finish()
+}
+
+/// The supervised hang-storm engine over `model`: the standard chaos plan
+/// plus a 10% hang rate, watched by the default [`SupervisePolicy`].
+fn storm_engine<'m>(model: &'m dyn CostModel, seed: u64, workers: usize) -> Nautilus<'m> {
+    let plan = FaultPlan::new(seed)
+        .with_transient_rate(CHAOS_TRANSIENT_RATE)
+        .with_hang_rate(STORM_HANG_RATE);
+    Nautilus::new(model)
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy::default())
+        .with_supervision(SupervisePolicy::default())
         .with_eval_workers(workers)
 }
 

@@ -23,7 +23,8 @@ pub mod report;
 pub mod telemetry;
 
 pub use chaos::{
-    chaos_digest, chaos_recover_digest, chaos_resume_digest, chaos_victim, CHAOS_TRANSIENT_RATE,
+    chaos_digest, chaos_recover_digest, chaos_resume_digest, chaos_victim, hang_storm_digest,
+    CHAOS_TRANSIENT_RATE, STORM_HANG_RATE,
 };
 pub use figures::{
     abl_confidence, abl_decay, abl_hint_classes, abl_metaheuristics, abl_operators,

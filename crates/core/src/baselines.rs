@@ -87,6 +87,7 @@ pub fn random_search(
         best_value,
         jobs: runner.stats(),
         faults: Default::default(),
+        health: Default::default(),
         stop: Default::default(),
     })
 }

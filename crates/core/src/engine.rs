@@ -4,7 +4,7 @@ use std::path::{Path, PathBuf};
 
 use nautilus_ga::{
     CheckpointStore, Direction, FitnessFn, GaEngine, GaError, GaSettings, Genome, RankRoulette,
-    RetryPolicy, RunBudget, SearchState,
+    RetryPolicy, RunBudget, SearchState, SupervisePolicy, Supervisor,
 };
 use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver, WireReader, WireWriter};
 use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, JobStats, SynthJobRunner};
@@ -60,6 +60,7 @@ pub struct Nautilus<'m> {
     observer: &'m dyn SearchObserver,
     retry: RetryPolicy,
     fault_plan: Option<FaultPlan>,
+    supervision: Option<SupervisePolicy>,
     budget: RunBudget,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_keep_last: Option<usize>,
@@ -75,6 +76,7 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("observer_enabled", &self.observer.enabled())
             .field("retry", &self.retry)
             .field("fault_plan", &self.fault_plan)
+            .field("supervision", &self.supervision)
             .field("budget", &self.budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("checkpoint_keep_last", &self.checkpoint_keep_last)
@@ -98,6 +100,7 @@ impl<'m> Nautilus<'m> {
             observer: nautilus_obs::noop(),
             retry: RetryPolicy::default(),
             fault_plan: None,
+            supervision: None,
             budget: RunBudget::new(),
             checkpoint_dir: None,
             checkpoint_keep_last: None,
@@ -171,6 +174,24 @@ impl<'m> Nautilus<'m> {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Supervises every subsequent evaluation with a watchdog deadline,
+    /// straggler hedging, and a circuit breaker per `policy` (see
+    /// [`nautilus_ga::SupervisePolicy`]). The outcome's
+    /// [`SearchOutcome::health`](crate::SearchOutcome) counters account for
+    /// every intervention, and the breaker's state rides checkpoints so a
+    /// resumed run continues in the same health state.
+    ///
+    /// Like [`Nautilus::with_retry_policy`], supervision takes effect on
+    /// runs with a supervisable evaluation path — today that means a fault
+    /// plan installed with [`Nautilus::with_fault_plan`] (whose injected
+    /// hangs only a supervised run survives); real slow or hanging backends
+    /// plug in the same way. An invalid policy is rejected at run start.
+    #[must_use]
+    pub fn with_supervision(mut self, policy: SupervisePolicy) -> Self {
+        self.supervision = Some(policy);
         self
     }
 
@@ -464,6 +485,13 @@ impl<'m> Nautilus<'m> {
         };
         let fitness = QueryOverRunner { runner: &runner, query };
         let faulty = self.fault_plan.map(|plan| FaultyEvaluator::new(&fitness, plan));
+        // Supervision wraps the supervisable evaluation path; without one
+        // (no fault plan) there is nothing to hang or trip, so the policy
+        // is inert by design — mirroring the retry policy's contract.
+        let supervisor = match (&faulty, self.supervision) {
+            (Some(f), Some(policy)) => Some(Supervisor::new(f).with_policy(policy)),
+            _ => None,
+        };
         // Snapshot closure run at every checkpoint boundary: cumulative job
         // stats always, plus the report builder's state on reported runs.
         let aux = || {
@@ -495,6 +523,9 @@ impl<'m> Nautilus<'m> {
         }
         if let Some(faulty) = &faulty {
             engine = engine.with_fallible_evaluator(faulty);
+        }
+        if let Some(sup) = &supervisor {
+            engine = engine.with_supervisor(sup);
         }
         if let Some((hints, confidence)) = guidance {
             let mut guided = GuidedMutation::resolve(hints, self.model.space(), query.direction())?
@@ -532,6 +563,7 @@ impl<'m> Nautilus<'m> {
             best_value: run.best_value,
             jobs: merge_jobs(jobs_offset, runner.stats()),
             faults: run.faults,
+            health: run.health,
             stop: run.stop,
         })
     }
@@ -925,6 +957,71 @@ mod tests {
         let bad = HintSet::for_metric("cost").importance("nope", 10).unwrap().build();
         let err = Nautilus::new(&model).run_guided(&q, &bad, None, 0);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn supervised_hang_storms_complete_and_stay_deterministic() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        // 15% of attempts hang and 10% crash transiently; only supervision
+        // keeps a run over this plan from waiting forever on the hangs.
+        let plan = FaultPlan::new(17).with_hang_rate(0.15).with_transient_rate(0.10);
+        let engine = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_supervision(SupervisePolicy::default());
+        let run = engine.run_baseline(&q, 61).unwrap();
+        assert!(run.health.watchdog_fired > 0, "hangs should fire the watchdog: {:?}", run.health);
+        assert!(run.health.reconciles(), "hedge identity broken: {:?}", run.health);
+        assert!(run.faults.reconciles());
+        assert!(run.best_value.is_finite());
+        for workers in [2usize, 8] {
+            let parallel = Nautilus::new(&model)
+                .with_fault_plan(plan)
+                .with_supervision(SupervisePolicy::default())
+                .with_eval_workers(workers)
+                .run_baseline(&q, 61)
+                .unwrap();
+            assert_eq!(parallel, run, "supervised run diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn supervision_without_a_fault_plan_is_inert() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let plain = Nautilus::new(&model).run_baseline(&q, 23).unwrap();
+        let supervised = Nautilus::new(&model)
+            .with_supervision(SupervisePolicy::default())
+            .run_baseline(&q, 23)
+            .unwrap();
+        assert_eq!(supervised, plain);
+        assert_eq!(supervised.health, nautilus_ga::SuperviseStats::default());
+    }
+
+    #[test]
+    fn reported_supervised_runs_reconcile_health_tallies() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let plan = FaultPlan::new(29).with_hang_rate(0.20).with_transient_rate(0.05);
+        let engine = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_supervision(SupervisePolicy::default());
+        let (outcome, report) = engine.run_baseline_reported(&q, 43).unwrap();
+        assert!(outcome.health.watchdog_fired > 0);
+        // The report rebuilds health accounting from the event stream
+        // alone; it must agree with the engine's own ledger exactly.
+        assert_eq!(report.health.watchdog_fired, outcome.health.watchdog_fired);
+        assert_eq!(report.health.late_results_discarded, outcome.health.late_results_discarded);
+        assert_eq!(report.health.hedges_issued, outcome.health.hedges_issued);
+        assert_eq!(report.health.hedges_won, outcome.health.hedges_won);
+        assert_eq!(report.health.hedges_wasted, outcome.health.hedges_wasted);
+        assert_eq!(report.health.breaker_trips, outcome.health.breaker_trips);
+        assert_eq!(report.health.breaker_recoveries, outcome.health.breaker_recoveries);
+        assert_eq!(report.health.evals_shed, outcome.health.evals_shed);
+        assert!(report.health.hedges_reconcile());
+        // Attaching the report observer must not perturb the search.
+        let plain = engine.run_baseline(&q, 43).unwrap();
+        assert_eq!(outcome, plain);
     }
 
     #[test]

@@ -122,7 +122,17 @@ pub use nautilus_obs::{
 /// [`Nautilus::with_fault_plan`], and read the run's [`FaultStats`] off
 /// [`SearchOutcome::faults`](SearchOutcome).
 pub use nautilus_ga::{EvalFailure, FallibleEvaluator, FaultStats, RetryPolicy};
-pub use nautilus_synth::{FaultPlan, FaultyEvaluator};
+pub use nautilus_synth::{FaultPlan, FaultyEvaluator, InjectedFault};
+
+/// Supervised evaluation, re-exported from `nautilus-ga` / `nautilus-obs`:
+/// enable a watchdog deadline, straggler hedging and a circuit breaker with
+/// [`Nautilus::with_supervision`], and read the intervention counters off
+/// [`SearchOutcome::health`](SearchOutcome). [`HealthState`] names the
+/// breaker states surfaced in telemetry and [`RunReport`]s.
+pub use nautilus_ga::{
+    BreakerPolicy, HedgePolicy, SupervisePolicy, SuperviseStats, WatchdogPolicy,
+};
+pub use nautilus_obs::{HealthState, HealthTally};
 
 /// Crash-safe search, re-exported from `nautilus-ga`: cap runs with
 /// [`Nautilus::with_budget`], persist state with

@@ -149,6 +149,7 @@ pub fn simulated_annealing(
         best_value: direction.from_score(best_s),
         jobs: runner.stats(),
         faults: Default::default(),
+        health: Default::default(),
         stop: Default::default(),
     })
 }
@@ -267,6 +268,7 @@ pub fn hill_climb(
         best_value: direction.from_score(best_score),
         jobs: runner.stats(),
         faults: Default::default(),
+        health: Default::default(),
         stop: Default::default(),
     })
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nautilus_ga::{Direction, FaultStats, Genome, StopReason};
+use nautilus_ga::{Direction, FaultStats, Genome, StopReason, SuperviseStats};
 use nautilus_synth::JobStats;
 
 /// One point of a search trace (one generation, or one budget step for
@@ -45,6 +45,11 @@ pub struct SearchOutcome {
     /// [`nautilus_synth::FaultyEvaluator`] installed with
     /// [`crate::Nautilus::with_fault_plan`]).
     pub faults: FaultStats,
+    /// Supervision health accounting: watchdog firings, hedges and circuit
+    /// breaker activity. All-zero unless the run was supervised (a
+    /// [`nautilus_ga::SupervisePolicy`] installed with
+    /// [`crate::Nautilus::with_supervision`]).
+    pub health: SuperviseStats,
     /// Why the search stopped. [`StopReason::Completed`] for a run that
     /// exhausted its configured generations (and for the non-generational
     /// baselines, which always spend their full budget); any other value
@@ -239,6 +244,7 @@ mod tests {
             best_value: *bests.last().unwrap(),
             jobs: JobStats { jobs: bests.len() as u64 * evals_step, ..JobStats::default() },
             faults: FaultStats::default(),
+            health: SuperviseStats::default(),
             stop: StopReason::Completed,
         }
     }

@@ -7,8 +7,8 @@
 use std::path::PathBuf;
 
 use nautilus::{
-    Confidence, HintSet, InMemorySink, Nautilus, Query, RunBudget, RunReport, SearchEvent,
-    StopReason,
+    BreakerPolicy, Confidence, FaultPlan, HintSet, InMemorySink, Nautilus, Query, RunBudget,
+    RunReport, SearchEvent, StopReason, SupervisePolicy,
 };
 use nautilus_ga::{Genome, ParamSpace, ParamValue};
 use nautilus_synth::{CostModel, MetricCatalog, MetricExpr, MetricSet};
@@ -224,6 +224,45 @@ fn resume_validates_strategy_against_checkpoint_label() {
         Nautilus::new(&model).resume_from(&q, Some((&h, Some(Confidence::STRONG))), &dir).unwrap();
     let straight = Nautilus::new(&model).run_guided(&q, &h, Some(Confidence::STRONG), 5).unwrap();
     assert_eq!(resumed, straight);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_storm_resumes_with_health_counters_intact() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    // A storm heavy enough to trip the circuit breaker mid-run: most
+    // attempts fail persistently, a slice of the rest hang.
+    let plan = FaultPlan::new(31).with_persistent_rate(0.8).with_hang_rate(0.1);
+    let policy = SupervisePolicy {
+        breaker: BreakerPolicy {
+            window: 8,
+            min_samples: 4,
+            trip_failure_rate: 0.7,
+            cooldown_sheds: 6,
+            probe_quota: 2,
+            probes_to_close: 2,
+        },
+        ..SupervisePolicy::default()
+    };
+    let build = || Nautilus::new(&model).with_fault_plan(plan).with_supervision(policy);
+
+    let straight = build().run_baseline(&q, 19).unwrap();
+    assert!(straight.health.breaker_trips > 0, "storm never tripped: {:?}", straight.health);
+    assert!(straight.health.evals_shed > 0, "open breaker never shed: {:?}", straight.health);
+
+    let dir = tempdir("supervised");
+    let cut = build()
+        .with_checkpoints(&dir)
+        .with_budget(RunBudget::new().with_max_generations(5))
+        .run_baseline(&q, 19)
+        .unwrap();
+    assert_eq!(cut.stop, StopReason::GenerationBudget);
+
+    // The resumed run continues in the checkpointed breaker state and its
+    // outcome — health counters included — matches the uninterrupted run.
+    let resumed = build().resume_from(&q, None, &dir).unwrap();
+    assert_eq!(resumed, straight, "supervised resume diverged (incl. health counters)");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

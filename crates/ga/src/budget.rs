@@ -287,6 +287,49 @@ mod tests {
     }
 
     #[test]
+    fn deadline_landing_exactly_on_a_generation_boundary_stops() {
+        // elapsed == deadline at the boundary check is a stop, not a
+        // keep-going: the comparison is `>=`, so a run whose clock lands
+        // exactly on the deadline at a boundary never sneaks in another
+        // generation.
+        let now = Arc::new(Mutex::new(Duration::ZERO));
+        let reader = Arc::clone(&now);
+        let clock: SharedClock = Arc::new(move || *reader.lock().unwrap());
+        let b = RunBudget::new().with_deadline(Duration::from_secs(10)).with_clock(clock);
+        let timer = b.start_timer();
+        *now.lock().unwrap() = Duration::from_secs(10);
+        assert_eq!(timer.elapsed(), Duration::from_secs(10), "clock landed exactly on deadline");
+        assert_eq!(b.stop_reason(3, 0, timer.elapsed()), StopReason::DeadlineExceeded);
+        // One nanosecond earlier the run continues.
+        *now.lock().unwrap() = Duration::from_secs(10) - Duration::from_nanos(1);
+        assert_eq!(b.stop_reason(3, 0, timer.elapsed()), StopReason::Completed);
+    }
+
+    #[test]
+    fn restarted_timer_measures_from_the_resume_not_the_original_origin() {
+        // A resumed run calls start_timer() afresh: the deadline budgets
+        // the *resumed* process, so a run stopped by DeadlineExceeded does
+        // not instantly re-stop on resume.
+        let now = Arc::new(Mutex::new(Duration::from_secs(50)));
+        let reader = Arc::clone(&now);
+        let clock: SharedClock = Arc::new(move || *reader.lock().unwrap());
+        let b = RunBudget::new().with_deadline(Duration::from_secs(10)).with_clock(clock);
+
+        let first = b.start_timer();
+        *now.lock().unwrap() = Duration::from_secs(60);
+        assert_eq!(b.stop_reason(1, 0, first.elapsed()), StopReason::DeadlineExceeded);
+
+        // The "resume": a fresh timer against the same (advanced) clock.
+        let resumed = b.start_timer();
+        assert_eq!(resumed.elapsed(), Duration::ZERO);
+        assert_eq!(b.stop_reason(1, 0, resumed.elapsed()), StopReason::Completed);
+        *now.lock().unwrap() = Duration::from_secs(69);
+        assert_eq!(b.stop_reason(1, 0, resumed.elapsed()), StopReason::Completed);
+        *now.lock().unwrap() = Duration::from_secs(70);
+        assert_eq!(b.stop_reason(1, 0, resumed.elapsed()), StopReason::DeadlineExceeded);
+    }
+
+    #[test]
     fn cancel_flag_takes_priority_over_every_other_limit() {
         let flag = Arc::new(AtomicBool::new(false));
         let b = RunBudget::new()

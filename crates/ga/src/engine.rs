@@ -15,6 +15,11 @@ use crate::ops::{CrossoverOp, MutationOp, OnePointCrossover, OpCtx, UniformMutat
 use crate::rng::SearchRng;
 use crate::select::{ScoredGenome, Selector, Tournament};
 use crate::space::ParamSpace;
+use crate::supervise::{Admission, AttemptOutcome, SuperviseSession, SuperviseStats, Supervisor};
+
+/// Checkpoint aux-blob key carrying the supervision session (circuit
+/// breaker state plus whole-run health counters) across a resume.
+pub const AUX_BREAKER: &str = "ga.breaker";
 
 /// Callback producing auxiliary blobs to embed in every checkpoint (the
 /// `nautilus` crate uses it to carry its report snapshot and synthesis-job
@@ -117,6 +122,10 @@ pub struct GaRun {
     /// Failure/retry/quarantine counters (all zero unless a fallible
     /// evaluator was installed and faults actually occurred).
     pub faults: FaultStats,
+    /// Supervision health counters (all zero unless a [`Supervisor`] was
+    /// installed): watchdog firings, hedge outcomes, breaker transitions
+    /// and shed evaluations.
+    pub health: SuperviseStats,
     /// Why the run stopped: [`StopReason::Completed`] for a full run, any
     /// other value when a [`RunBudget`] halted it at a generation boundary
     /// (in which case `history` covers only the generations scored so far).
@@ -173,6 +182,7 @@ pub struct GaEngine<'a> {
     budget: RunBudget,
     checkpoints: Option<CheckpointStore>,
     aux: Option<AuxSnapshotFn<'a>>,
+    supervisor: Option<&'a Supervisor<'a>>,
 }
 
 impl<'a> GaEngine<'a> {
@@ -193,6 +203,7 @@ impl<'a> GaEngine<'a> {
             budget: RunBudget::new(),
             checkpoints: None,
             aux: None,
+            supervisor: None,
         }
     }
 
@@ -261,6 +272,20 @@ impl<'a> GaEngine<'a> {
     #[must_use]
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    /// Installs a [`Supervisor`]: generational scoring routes through the
+    /// supervised batched path (watchdog deadlines, straggler hedging,
+    /// circuit breaker) at every `eval_workers` setting, and the breaker
+    /// state rides every checkpoint under the [`AUX_BREAKER`] aux key.
+    ///
+    /// The initial population still uses the serial fallible path (if a
+    /// fallible evaluator is installed) or the plain fitness function —
+    /// supervision is a property of the batched generational loop.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: &'a Supervisor<'a>) -> Self {
+        self.supervisor = Some(supervisor);
         self
     }
 
@@ -370,6 +395,13 @@ impl<'a> GaEngine<'a> {
     fn drive(&self, seed: u64, resume: Option<SearchState>) -> Result<GaRun> {
         self.settings.validate()?;
         self.retry.validate().map_err(GaError::InvalidConfig)?;
+        let mut session: Option<SuperviseSession> = match self.supervisor {
+            Some(sup) => {
+                sup.policy().validate().map_err(GaError::InvalidConfig)?;
+                Some(SuperviseSession::new(*sup.policy()))
+            }
+            None => None,
+        };
         let direction = self.fitness.direction();
         let obs = self.observer;
         let run_clock = std::time::Instant::now();
@@ -389,6 +421,16 @@ impl<'a> GaEngine<'a> {
         let mut pinned_best: Option<f64>;
 
         if let Some(state) = resume {
+            // Restore supervision state (breaker + health counters) from
+            // the aux blob before the state's fields are moved out.
+            if let Some(sup) = self.supervisor {
+                if let Some(bytes) = state.aux_blob(AUX_BREAKER) {
+                    session =
+                        Some(SuperviseSession::restore_bytes(*sup.policy(), bytes).map_err(
+                            |e| GaError::Checkpoint(format!("supervision snapshot: {e}")),
+                        )?);
+                }
+            }
             rng = SearchRng::from_state(state.rng);
             cache = EvalCache::restore(&state.cache);
             faults = state.faults;
@@ -469,7 +511,20 @@ impl<'a> GaEngine<'a> {
             // Score the population (cache makes revisits free).
             let scoring_span = nautilus_obs::span(obs, "scoring");
             let workers = resolve_eval_workers(self.settings.eval_workers);
-            let mut scored: Vec<ScoredGenome> = if workers <= 1 {
+            let mut scored: Vec<ScoredGenome> = if let Some(sup) = self.supervisor {
+                // Supervision always takes the batched path: watchdog,
+                // hedging and breaker decisions live in the merge loop,
+                // which is identical at every worker count.
+                self.score_supervised(
+                    &population,
+                    &mut cache,
+                    &mut faults,
+                    workers.max(1),
+                    generation,
+                    sup,
+                    session.as_mut().expect("session exists whenever a supervisor is installed"),
+                )
+            } else if workers <= 1 {
                 population
                     .iter()
                     .map(|g| {
@@ -573,6 +628,10 @@ impl<'a> GaEngine<'a> {
             if let Some(store) = &self.checkpoints {
                 let improved = best_genome.is_some()
                     && pinned_best.is_none_or(|pinned| direction.is_better(best_value, pinned));
+                let mut aux = self.aux.map_or_else(Vec::new, |f| f());
+                if let Some(session) = &session {
+                    aux.push((AUX_BREAKER.to_owned(), session.snapshot_bytes()));
+                }
                 let state = SearchState {
                     seed,
                     run_label: self.run_label.clone(),
@@ -586,7 +645,7 @@ impl<'a> GaEngine<'a> {
                     init_attempts: attempts,
                     cache: cache.snapshot(),
                     faults,
-                    aux: self.aux.map_or_else(Vec::new, |f| f()),
+                    aux,
                 };
                 let receipt = store.write(&state, improved)?;
                 if improved {
@@ -624,7 +683,15 @@ impl<'a> GaEngine<'a> {
                 });
             }
         }
-        Ok(GaRun { history, best_genome, best_value, cache: cache.stats(), faults, stop })
+        Ok(GaRun {
+            history,
+            best_genome,
+            best_value,
+            cache: cache.stats(),
+            faults,
+            health: session.as_ref().map_or_else(SuperviseStats::default, SuperviseSession::stats),
+            stop,
+        })
     }
 
     /// Evaluates `genome` into the cache, charging a hit when memoized.
@@ -797,6 +864,113 @@ impl<'a> GaEngine<'a> {
             .map(|g| {
                 let raw = if fresh.remove(g) {
                     cache.peek(g).expect("batch inserted this genome")
+                } else {
+                    cache.lookup(g).expect("population member must be cached by now")
+                };
+                let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                ScoredGenome { genome: g.clone(), score }
+            })
+            .collect()
+    }
+
+    /// Scores one generation under supervision: breaker admission, worker
+    /// precomputation of attempt outcomes, then a merge-order virtual
+    /// retry loop with watchdog and hedging.
+    ///
+    /// Determinism across worker counts holds because every decision that
+    /// can differ between runs is made on the merge thread in
+    /// first-occurrence miss order: admission is frozen before any
+    /// evaluation starts, workers only precompute the deterministic
+    /// per-genome attempt slices (pulling indices from an atomic cursor,
+    /// results keyed by index), and hedges / post-hedge retries are
+    /// evaluated inline during the merge.
+    #[allow(clippy::too_many_arguments)]
+    fn score_supervised(
+        &self,
+        population: &[Genome],
+        cache: &mut EvalCache,
+        faults: &mut FaultStats,
+        workers: usize,
+        generation: u32,
+        sup: &Supervisor<'_>,
+        session: &mut SuperviseSession,
+    ) -> Vec<ScoredGenome> {
+        let direction = self.fitness.direction();
+        let obs = self.observer;
+        let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
+        let mut misses: Vec<&Genome> = Vec::new();
+        for g in population {
+            if cache.peek(g).is_none() && queued.insert(g) {
+                misses.push(g);
+            }
+        }
+
+        // Admission is frozen at batch start, in first-occurrence order:
+        // a breaker trip mid-merge affects the next batch, never this
+        // one. Shed genomes are quarantined on the spot — degraded
+        // cache-only mode costs no retry budget.
+        session.begin_batch();
+        let mut admitted: Vec<(&Genome, bool)> = Vec::new();
+        for &g in &misses {
+            match session.admit(obs) {
+                Admission::Shed => cache.insert_quarantined(g),
+                Admission::Evaluate => admitted.push((g, false)),
+                Admission::Probe => admitted.push((g, true)),
+            }
+        }
+
+        if obs.enabled() {
+            obs.on_event(&SearchEvent::EvalBatch {
+                generation,
+                size: admitted.len(),
+                workers: workers.min(admitted.len().max(1)),
+            });
+        }
+
+        if !admitted.is_empty() {
+            let retry = self.retry;
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let n = admitted.len();
+            let mut precomputed: Vec<(usize, Vec<AttemptOutcome>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers.min(n))
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let admitted = &admitted;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, sup.precompute(&retry, admitted[i].0)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("supervised evaluation worker panicked"))
+                    .collect()
+            });
+            precomputed.sort_unstable_by_key(|&(i, _)| i);
+            for (&(g, probe), (_, outcomes)) in admitted.iter().zip(&precomputed) {
+                let record = session.resolve(sup.evaluator(), &self.retry, g, outcomes, probe, obs);
+                self.note_record(&record, faults);
+                match record.value {
+                    Some(value) => cache.insert_evaluated(g, value),
+                    None => cache.insert_quarantined(g),
+                }
+            }
+        }
+
+        let mut fresh = queued;
+        population
+            .iter()
+            .map(|g| {
+                let raw = if fresh.remove(g) {
+                    cache.peek(g).expect("batch resolved this genome")
                 } else {
                     cache.lookup(g).expect("population member must be cached by now")
                 };

@@ -115,6 +115,22 @@ pub struct RetryPolicy {
     /// inherently nondeterministic — the chaos harness injects timeouts
     /// deterministically instead.
     pub attempt_deadline_ms: Option<u64>,
+    /// When the *final* allowed attempt completes over
+    /// [`RetryPolicy::attempt_deadline_ms`] with a usable value (feasible
+    /// and finite, or cleanly infeasible), keep the value instead of
+    /// quarantining the genome. The timeout is still recorded as a failed
+    /// attempt — the evaluation counts as recovered, not clean. Default
+    /// on: the work is already paid for, and discarding it turns a slow
+    /// success into a permanently penalized genome.
+    #[serde(default = "default_salvage")]
+    pub salvage_late_success: bool,
+}
+
+// Referenced by name from the `#[serde(default = ...)]` attribute above;
+// minimal serde shims may elide that reference.
+#[allow(dead_code)]
+fn default_salvage() -> bool {
+    true
 }
 
 impl Default for RetryPolicy {
@@ -126,6 +142,7 @@ impl Default for RetryPolicy {
             max_backoff_ms: 1_000,
             jitter: 0.5,
             attempt_deadline_ms: None,
+            salvage_late_success: true,
         }
     }
 }
@@ -169,12 +186,32 @@ impl RetryPolicy {
         }
         let exp =
             self.backoff_multiplier.powi(attempt.saturating_sub(1).min(i32::MAX as u32) as i32);
-        let capped = (self.base_backoff_ms as f64 * exp).min(self.max_backoff_ms as f64);
+        // `powi` overflows to infinity well before attempt 64 for large
+        // multipliers (and a pathological multiplier can yield NaN); a
+        // non-finite product must land on the cap, never poison the cast
+        // below into 0.
+        let raw = self.base_backoff_ms as f64 * exp;
+        let capped = if raw.is_finite() {
+            raw.min(self.max_backoff_ms as f64)
+        } else {
+            self.max_backoff_ms as f64
+        };
         let unit = mix_to_unit(hash_combine(genome_hash ^ JITTER_SALT, u64::from(attempt)));
         let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
         let ms = (capped * factor).max(0.0);
         (ms * 1e6).min(u64::MAX as f64 / 2.0) as u64
     }
+}
+
+/// The backoff [`evaluate_with_retries`] would apply after failed attempt
+/// `attempt` (1-based) of `genome`, in nanoseconds.
+///
+/// Exposed so the supervised (virtual-time) retry loop in
+/// [`crate::supervise`] reports backoff telemetry identical to the
+/// wall-clock loop's without duplicating the jitter derivation.
+#[must_use]
+pub fn retry_backoff(policy: &RetryPolicy, genome: &Genome, attempt: u32) -> u64 {
+    policy.backoff_nanos(genome.stable_hash(JITTER_SALT), attempt)
 }
 
 /// An evaluator whose attempts can fail.
@@ -259,7 +296,11 @@ impl EvalRecord {
 ///    [`EvalFailure::Corrupted`] — garbage metrics must never enter the
 ///    cache as fitness.
 /// 2. With [`RetryPolicy::attempt_deadline_ms`] set, a success measured
-///    over the deadline converts to [`EvalFailure::Timeout`].
+///    over the deadline converts to [`EvalFailure::Timeout`] — except on
+///    the final allowed attempt when
+///    [`RetryPolicy::salvage_late_success`] is set and the value is
+///    usable: the timeout is recorded but the value is kept (the
+///    evaluation counts as recovered, not quarantined).
 /// 3. A retryable failure with attempts remaining records a backoff
 ///    (sleeping only if nonzero) and tries again.
 /// 4. A non-retryable failure, or retry exhaustion, quarantines.
@@ -276,9 +317,23 @@ pub fn evaluate_with_retries(
     for attempt in 1..=max_attempts {
         let started = policy.attempt_deadline_ms.map(|_| std::time::Instant::now());
         let mut result = eval.try_fitness(genome, attempt);
-        if let (Ok(_), Some(t0), Some(limit_ms)) = (&result, started, policy.attempt_deadline_ms) {
+        if let (Ok(value), Some(t0), Some(limit_ms)) =
+            (&result, started, policy.attempt_deadline_ms)
+        {
             let elapsed_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
             if elapsed_ms > limit_ms {
+                let usable = match value {
+                    None => true,
+                    Some(v) => v.is_finite(),
+                };
+                if policy.salvage_late_success && attempt == max_attempts && usable {
+                    // The deadline passed, but the work is done and the
+                    // score is trustworthy: keep it (recording the
+                    // timeout) rather than quarantine a genome whose
+                    // evaluation we already paid for.
+                    failures.push(EvalFailure::Timeout { elapsed_ms, limit_ms });
+                    return EvalRecord { value: Some(*value), failures, backoffs_nanos };
+                }
                 result = Err(EvalFailure::Timeout { elapsed_ms, limit_ms });
             }
         }
@@ -537,11 +592,145 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
             Ok(Some(1.0))
         });
-        let policy =
-            RetryPolicy { max_attempts: 1, attempt_deadline_ms: Some(0), ..RetryPolicy::default() };
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            attempt_deadline_ms: Some(0),
+            salvage_late_success: false,
+            ..RetryPolicy::default()
+        };
         let record = evaluate_with_retries(&eval, &g(6), &policy);
         assert!(record.is_quarantined());
         assert_eq!(record.failures[0].kind(), FailureKind::Timeout);
+    }
+
+    #[test]
+    fn late_final_success_is_salvaged_by_default() {
+        // Regression: a finite score computed by the final allowed attempt
+        // used to be discarded (and the genome quarantined) purely because
+        // the attempt finished over the deadline.
+        let eval = FnFallible::new(|_: &Genome, _| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok(Some(42.0))
+        });
+        let policy =
+            RetryPolicy { max_attempts: 1, attempt_deadline_ms: Some(0), ..RetryPolicy::default() };
+        assert!(policy.salvage_late_success, "salvage must default on");
+        let record = evaluate_with_retries(&eval, &g(6), &policy);
+        assert_eq!(record.value, Some(Some(42.0)), "late value must be salvaged");
+        assert!(!record.is_quarantined());
+        assert_eq!(record.failures.len(), 1, "the timeout is still recorded");
+        assert_eq!(record.failures[0].kind(), FailureKind::Timeout);
+        // The salvaged record folds into FaultStats as a recovery, keeping
+        // the evals_failed == recovered + quarantined identity intact.
+        let mut stats = FaultStats::default();
+        stats.record(&record);
+        assert_eq!(stats.retries_recovered, 1);
+        assert_eq!(stats.quarantined, 0);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn late_non_finite_success_is_never_salvaged() {
+        let eval = FnFallible::new(|_: &Genome, _| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok(Some(f64::NAN))
+        });
+        let policy =
+            RetryPolicy { max_attempts: 1, attempt_deadline_ms: Some(0), ..RetryPolicy::default() };
+        let record = evaluate_with_retries(&eval, &g(7), &policy);
+        assert!(record.is_quarantined(), "garbage metrics must not ride in on the salvage path");
+    }
+
+    #[test]
+    fn late_success_on_a_non_final_attempt_still_times_out_and_retries() {
+        let calls = AtomicU32::new(0);
+        let eval = FnFallible::new(|_: &Genome, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok(Some(1.0))
+        });
+        let policy =
+            RetryPolicy { max_attempts: 2, attempt_deadline_ms: Some(0), ..RetryPolicy::default() };
+        let record = evaluate_with_retries(&eval, &g(8), &policy);
+        // Attempt 1 times out (not final, so no salvage), attempt 2 is
+        // final and salvages.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(record.value, Some(Some(1.0)));
+        assert_eq!(record.failures.len(), 2);
+    }
+
+    #[test]
+    fn backoff_survives_extreme_multipliers_without_overflow() {
+        // multiplier^63 overflows f64 to infinity; the clamp must land on
+        // the cap instead of poisoning the cast.
+        let policy = RetryPolicy {
+            base_backoff_ms: 10,
+            backoff_multiplier: 1e9,
+            max_backoff_ms: 1_000,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let hash = g(3).stable_hash(0);
+        assert_eq!(policy.backoff_nanos(hash, 64), 1_000_000_000);
+        assert_eq!(policy.backoff_nanos(hash, u32::MAX), 1_000_000_000);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn backoff_is_monotone_and_finite_up_to_attempt_64(
+            base in 0u64..10_000,
+            mult in 1.0f64..1e9,
+            max in 0u64..10_000_000,
+            hash in proptest::prelude::any::<u64>(),
+        ) {
+            let policy = RetryPolicy {
+                base_backoff_ms: base,
+                backoff_multiplier: mult,
+                max_backoff_ms: max,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            };
+            let cap_nanos = max.saturating_mul(1_000_000);
+            let mut prev = 0u64;
+            for attempt in 1..=64u32 {
+                let nanos = policy.backoff_nanos(hash, attempt);
+                proptest::prop_assert!(
+                    nanos >= prev,
+                    "backoff shrank at attempt {}: {} < {}", attempt, nanos, prev
+                );
+                proptest::prop_assert!(
+                    nanos <= cap_nanos,
+                    "backoff {} above cap {} at attempt {}", nanos, cap_nanos, attempt
+                );
+                prev = nanos;
+            }
+        }
+
+        #[test]
+        fn jittered_backoff_stays_within_the_jittered_cap(
+            base in 1u64..10_000,
+            mult in 1.0f64..1e9,
+            max in 1u64..10_000_000,
+            jitter in 0.0f64..1.0,
+            hash in proptest::prelude::any::<u64>(),
+        ) {
+            let policy = RetryPolicy {
+                base_backoff_ms: base,
+                backoff_multiplier: mult,
+                max_backoff_ms: max,
+                jitter,
+                ..RetryPolicy::default()
+            };
+            // +1 absorbs f64 rounding at the boundary.
+            let bound = ((max as f64) * (1.0 + jitter) * 1e6) as u64 + 1;
+            for attempt in [1u32, 2, 7, 33, 64] {
+                let nanos = policy.backoff_nanos(hash, attempt);
+                proptest::prop_assert!(
+                    nanos <= bound,
+                    "backoff {} above jittered bound {} at attempt {}", nanos, bound, attempt
+                );
+            }
+        }
     }
 
     #[test]

@@ -58,15 +58,16 @@ pub mod rng;
 mod select;
 mod space;
 mod stats;
+mod supervise;
 
 pub use budget::{BudgetTimer, RunBudget, SharedClock, StopReason};
 pub use cache::{CacheSnapshot, CacheStats, EvalCache};
 pub use checkpoint::{CheckpointError, CheckpointStore, Recovery, SearchState, WriteReceipt};
-pub use engine::{AuxSnapshotFn, GaEngine, GaRun, GaSettings, GenStats};
+pub use engine::{AuxSnapshotFn, GaEngine, GaRun, GaSettings, GenStats, AUX_BREAKER};
 pub use error::{GaError, Result};
 pub use fallible::{
-    evaluate_with_retries, EvalFailure, EvalRecord, FallibleEvaluator, FaultStats, FnFallible,
-    RetryPolicy,
+    evaluate_with_retries, retry_backoff, EvalFailure, EvalRecord, FallibleEvaluator, FaultStats,
+    FnFallible, RetryPolicy,
 };
 pub use fitness::{Direction, FitnessFn, FnFitness};
 pub use genome::Genome;
@@ -80,6 +81,11 @@ pub use select::{
 };
 pub use space::{DesignPoint, FullSweep, ParamSpace, ParamSpaceBuilder};
 pub use stats::{pearson, spearman, Summary};
+pub use supervise::{
+    Admission, AttemptOutcome, BreakerPolicy, CircuitBreaker, HedgePolicy, NeverHangs,
+    ReclaimableWorker, SupervisableEvaluator, SupervisePolicy, SuperviseSession, SuperviseStats,
+    Supervisor, WatchdogPolicy, HEDGE_ATTEMPT_BIT,
+};
 pub use value::ParamValue;
 
 mod value;
@@ -103,5 +109,9 @@ mod tests {
         assert_send_sync::<RetryPolicy>();
         assert_send_sync::<FaultStats>();
         assert_send_sync::<Box<dyn FallibleEvaluator>>();
+        assert_send_sync::<Box<dyn SupervisableEvaluator>>();
+        assert_send_sync::<SupervisePolicy>();
+        assert_send_sync::<SuperviseStats>();
+        assert_send_sync::<CircuitBreaker>();
     }
 }

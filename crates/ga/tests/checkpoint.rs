@@ -398,3 +398,53 @@ fn best_checkpoint_is_pinned_across_retention() {
     assert!(best.best_genome.is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn resume_after_deadline_exceeded_honors_a_fresh_deadline() {
+    // A wall-clock deadline is measured from the start of the *resumed*
+    // process: a run stopped by DeadlineExceeded must not instantly
+    // re-stop on resume, and with the clock quiet it must finish and
+    // match the uninterrupted run exactly.
+    use std::sync::Mutex;
+    let s = space();
+    let f = sphere();
+    let settings = GaSettings { generations: 10, ..Default::default() };
+    let seed = 0xDEAD11;
+    let straight = GaEngine::new(&s, &f).with_settings(settings).run(seed).unwrap();
+
+    // A self-advancing clock: every read moves time forward by `step`,
+    // so the deadline blows mid-run without any cross-thread choreography.
+    let step = Arc::new(Mutex::new(Duration::from_secs(61)));
+    let now = Arc::new(Mutex::new(Duration::ZERO));
+    let clock: SharedClock = {
+        let step = Arc::clone(&step);
+        let now = Arc::clone(&now);
+        Arc::new(move || {
+            let mut t = now.lock().unwrap();
+            *t += *step.lock().unwrap();
+            *t
+        })
+    };
+    let budget =
+        RunBudget::new().with_deadline(Duration::from_secs(60)).with_clock(Arc::clone(&clock));
+
+    let dir = tempdir("deadline-resume");
+    let interrupted = GaEngine::new(&s, &f)
+        .with_settings(settings)
+        .with_budget(budget.clone())
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(seed)
+        .unwrap();
+    assert_eq!(interrupted.stop, StopReason::DeadlineExceeded);
+    assert_eq!(interrupted.history.len(), 1, "stopped at the first boundary");
+
+    // Freeze the clock, then resume with the SAME budget: the fresh
+    // timer origin grants a fresh 60s window that never elapses.
+    *step.lock().unwrap() = Duration::ZERO;
+    let state = CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+    let resumed =
+        GaEngine::new(&s, &f).with_settings(settings).with_budget(budget).resume(state).unwrap();
+    assert_eq!(resumed.stop, StopReason::Completed, "fresh deadline must not re-stop");
+    assert_eq!(resumed, straight, "resumed run must match the uninterrupted one");
+    std::fs::remove_dir_all(&dir).ok();
+}

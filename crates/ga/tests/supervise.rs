@@ -1,0 +1,281 @@
+//! Engine-level supervision tests: cross-worker determinism of the
+//! watchdog/hedging/breaker path, equivalence with the unsupervised
+//! pipeline on a clean backend, and breaker persistence across resume.
+
+use std::path::PathBuf;
+
+use nautilus_ga::rng::{hash_combine, mix_to_unit, splitmix64};
+use nautilus_ga::{
+    AttemptOutcome, BreakerPolicy, CheckpointStore, Direction, EvalFailure, FnFallible, FnFitness,
+    GaEngine, GaError, GaSettings, Genome, NeverHangs, ParamSpace, RunBudget, StopReason,
+    SupervisableEvaluator, SupervisePolicy, Supervisor, WatchdogPolicy, HEDGE_ATTEMPT_BIT,
+};
+use nautilus_obs::HealthState;
+
+fn space() -> ParamSpace {
+    ParamSpace::builder().int("x", 0, 31, 1).int("y", 0, 31, 1).int("z", 0, 31, 1).build().unwrap()
+}
+
+fn sphere() -> FnFitness<impl Fn(&Genome) -> Option<f64> + Send + Sync> {
+    FnFitness::new(Direction::Minimize, |g: &Genome| {
+        Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+    })
+}
+
+fn sphere_value(g: &Genome) -> f64 {
+    g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nautilus-sup-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic chaos evaluator: hangs, transient crashes, stragglers
+/// and successes are all pure functions of (genome, attempt) — the same
+/// discipline `FaultPlan` uses, reproduced locally because `nautilus-ga`
+/// cannot depend on `nautilus-synth`.
+struct ChaoticEval {
+    seed: u64,
+    hang_rate: f64,
+    fail_rate: f64,
+    /// Success durations are uniform over `50..50 + cost_span` ms.
+    cost_span: u64,
+}
+
+impl ChaoticEval {
+    fn draw(&self, genome: &Genome, attempt: u32) -> u64 {
+        let g = genome.stable_hash(splitmix64(self.seed));
+        hash_combine(g, splitmix64(u64::from(attempt)))
+    }
+}
+
+impl SupervisableEvaluator for ChaoticEval {
+    fn attempt(&self, genome: &Genome, attempt: u32) -> AttemptOutcome {
+        let a = self.draw(genome, attempt);
+        if mix_to_unit(hash_combine(a, 1)) < self.hang_rate {
+            return AttemptOutcome::Hang;
+        }
+        if mix_to_unit(hash_combine(a, 2)) < self.fail_rate {
+            return AttemptOutcome::Finished {
+                result: Err(EvalFailure::Transient("injected: worker crashed".into())),
+                cost_ms: 50 + hash_combine(a, 3) % 300,
+            };
+        }
+        AttemptOutcome::Finished {
+            result: Ok(Some(sphere_value(genome))),
+            cost_ms: 50 + hash_combine(a, 4) % self.cost_span,
+        }
+    }
+}
+
+fn chaos_policy() -> SupervisePolicy {
+    SupervisePolicy {
+        watchdog: WatchdogPolicy { deadline_ms: 1_000 },
+        ..SupervisePolicy::default()
+    }
+}
+
+#[test]
+fn supervised_runs_are_identical_at_any_worker_count() {
+    let s = space();
+    let f = sphere();
+    // Success durations spread over 50..=1550ms against a 1000ms
+    // deadline, so some clean results arrive late and are discarded.
+    let eval = ChaoticEval { seed: 0xC4405, hang_rate: 0.10, fail_rate: 0.10, cost_span: 1_501 };
+    let sup = Supervisor::new(&eval).with_policy(chaos_policy());
+
+    let baseline = GaEngine::new(&s, &f)
+        .with_settings(GaSettings { generations: 20, ..Default::default() })
+        .with_supervisor(&sup)
+        .run(0xFEED)
+        .unwrap();
+    assert!(
+        baseline.health.watchdog_fired > 0,
+        "a 10% hang rate over 20 generations should fire the watchdog: {:?}",
+        baseline.health
+    );
+    assert!(baseline.health.reconciles(), "hedge identity broken: {:?}", baseline.health);
+
+    for workers in [2usize, 8] {
+        let settings = GaSettings { generations: 20, eval_workers: workers, ..Default::default() };
+        let run = GaEngine::new(&s, &f)
+            .with_settings(settings)
+            .with_supervisor(&sup)
+            .run(0xFEED)
+            .unwrap();
+        assert_eq!(run, baseline, "supervised run diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn supervision_of_a_clean_backend_matches_the_plain_fallible_path() {
+    let s = space();
+    let f = sphere();
+    let inner = FnFallible::new(|g: &Genome, _| Ok(Some(sphere_value(g))));
+    let adapter = NeverHangs(&inner);
+    let sup = Supervisor::new(&adapter);
+
+    let plain = GaEngine::new(&s, &f).with_fallible_evaluator(&inner).run(0xAB).unwrap();
+    let supervised = GaEngine::new(&s, &f)
+        .with_fallible_evaluator(&inner)
+        .with_supervisor(&sup)
+        .run(0xAB)
+        .unwrap();
+    assert_eq!(supervised.history, plain.history);
+    assert_eq!(supervised.best_genome, plain.best_genome);
+    assert_eq!(supervised.cache, plain.cache);
+    assert_eq!(supervised.faults, plain.faults);
+    // On a clean backend supervision only observes: no watchdog firings,
+    // hedges (all durations are 0), trips or sheds.
+    let h = supervised.health;
+    assert!(h.attempts_supervised > 0);
+    assert_eq!(
+        (h.watchdog_fired, h.hedges_issued, h.breaker_trips, h.evals_shed),
+        (0, 0, 0, 0),
+        "clean backend tripped supervision: {h:?}"
+    );
+}
+
+#[test]
+fn invalid_supervise_policies_are_rejected_at_run_start() {
+    let s = space();
+    let f = sphere();
+    let inner = FnFallible::new(|g: &Genome, _| Ok(Some(sphere_value(g))));
+    let adapter = NeverHangs(&inner);
+    let mut policy = SupervisePolicy::default();
+    policy.watchdog.deadline_ms = 0;
+    let sup = Supervisor::new(&adapter).with_policy(policy);
+    let err = GaEngine::new(&s, &f).with_supervisor(&sup).run(1).unwrap_err();
+    assert!(matches!(err, GaError::InvalidConfig(msg) if msg.contains("deadline_ms")));
+}
+
+/// An evaluator that fails persistently for every genome while `broken`
+/// genomes exist — used to trip the breaker deterministically.
+struct StormEval {
+    seed: u64,
+    persist_rate: f64,
+}
+
+impl SupervisableEvaluator for StormEval {
+    fn attempt(&self, genome: &Genome, _attempt: u32) -> AttemptOutcome {
+        let g = genome.stable_hash(splitmix64(self.seed));
+        if mix_to_unit(hash_combine(g, 7)) < self.persist_rate {
+            return AttemptOutcome::Finished {
+                result: Err(EvalFailure::Persistent("injected: backend storm".into())),
+                cost_ms: 100,
+            };
+        }
+        AttemptOutcome::Finished { result: Ok(Some(sphere_value(genome))), cost_ms: 100 }
+    }
+}
+
+#[test]
+fn breaker_state_and_health_counters_survive_checkpoint_and_resume() {
+    let s = space();
+    let f = sphere();
+    let eval = StormEval { seed: 0x57012, persist_rate: 0.85 };
+    let policy = SupervisePolicy {
+        breaker: BreakerPolicy {
+            window: 8,
+            min_samples: 4,
+            trip_failure_rate: 0.7,
+            cooldown_sheds: 6,
+            probe_quota: 2,
+            probes_to_close: 2,
+        },
+        ..SupervisePolicy::default()
+    };
+    let sup = Supervisor::new(&eval).with_policy(policy);
+    let settings = GaSettings { generations: 16, ..Default::default() };
+    let seed = 0x0DD;
+
+    let straight =
+        GaEngine::new(&s, &f).with_settings(settings).with_supervisor(&sup).run(seed).unwrap();
+    assert!(straight.health.breaker_trips > 0, "storm never tripped: {:?}", straight.health);
+    assert!(straight.health.evals_shed > 0, "open breaker never shed: {:?}", straight.health);
+
+    let dir = tempdir("breaker-resume");
+    let interrupted = GaEngine::new(&s, &f)
+        .with_settings(settings)
+        .with_supervisor(&sup)
+        .with_budget(RunBudget::new().with_max_generations(6))
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(seed)
+        .unwrap();
+    assert_eq!(interrupted.stop, StopReason::GenerationBudget);
+
+    let state = CheckpointStore::create(&dir).unwrap().recover().unwrap().state.unwrap();
+    assert!(
+        state.aux_blob(nautilus_ga::AUX_BREAKER).is_some(),
+        "checkpoint must carry the breaker blob"
+    );
+    let resumed =
+        GaEngine::new(&s, &f).with_settings(settings).with_supervisor(&sup).resume(state).unwrap();
+    assert_eq!(
+        resumed, straight,
+        "resumed run (incl. health counters) must equal the uninterrupted one"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hedges_carry_the_hedge_attempt_bit() {
+    // A straggling primary whose hedge succeeds instantly: the engine
+    // must reach the evaluator with the tagged attempt number.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let s = space();
+    let f = sphere();
+    let hedge_calls = AtomicU64::new(0);
+    struct TaggedEval<'c> {
+        calls: &'c AtomicU64,
+    }
+    impl SupervisableEvaluator for TaggedEval<'_> {
+        fn attempt(&self, genome: &Genome, attempt: u32) -> AttemptOutcome {
+            if attempt & HEDGE_ATTEMPT_BIT != 0 {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                return AttemptOutcome::Finished {
+                    result: Ok(Some(sphere_value(genome))),
+                    cost_ms: 10,
+                };
+            }
+            // Primaries straggle on a deterministic subset of genomes.
+            let slow = genome.stable_hash(0x517).is_multiple_of(8);
+            AttemptOutcome::Finished {
+                result: Ok(Some(sphere_value(genome))),
+                cost_ms: if slow { 900 } else { 60 },
+            }
+        }
+    }
+    let eval = TaggedEval { calls: &hedge_calls };
+    // Per-generation batches are small, so relax the hedge warm-up:
+    // trust the median after 2 samples and a quarter of the batch.
+    let mut policy = chaos_policy();
+    policy.hedge.min_samples = 2;
+    policy.hedge.completion_threshold = 0.25;
+    let sup = Supervisor::new(&eval).with_policy(policy);
+    let run = GaEngine::new(&s, &f)
+        .with_settings(GaSettings { population: 20, generations: 20, ..Default::default() })
+        .with_supervisor(&sup)
+        .run(0x8ED6E)
+        .unwrap();
+    assert!(run.health.hedges_issued > 0, "stragglers never hedged: {:?}", run.health);
+    assert_eq!(run.health.hedges_won, run.health.hedges_issued, "instant hedges must all win");
+    assert_eq!(hedge_calls.load(Ordering::Relaxed), run.health.hedges_issued);
+    assert!(run.health.reconciles());
+}
+
+#[test]
+fn health_state_is_closed_after_a_clean_supervised_run() {
+    let s = space();
+    let f = sphere();
+    // Every duration is well under the deadline: genuinely clean.
+    let eval = ChaoticEval { seed: 1, hang_rate: 0.0, fail_rate: 0.0, cost_span: 500 };
+    let sup = Supervisor::new(&eval).with_policy(chaos_policy());
+    let run = GaEngine::new(&s, &f).with_supervisor(&sup).run(2).unwrap();
+    assert_eq!(run.health.breaker_trips, 0);
+    // HealthState is re-exported for downstream consumers of the report.
+    assert_eq!(HealthState::Closed.as_str(), "closed");
+}

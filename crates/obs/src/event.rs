@@ -91,6 +91,44 @@ impl std::fmt::Display for FailureKind {
     }
 }
 
+/// Health state of the evaluation backend's circuit breaker.
+///
+/// This is the observability-side mirror of the GA crate's breaker state
+/// machine: `Closed` (normal operation) → `Open` (sustained failures;
+/// the engine sheds evaluations and serves the cache only) → `HalfOpen`
+/// (probe evaluations test whether the backend recovered) → `Closed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Normal operation: every evaluation is admitted.
+    Closed,
+    /// Tripped: evaluations are shed; only the cache answers lookups.
+    Open,
+    /// Probing: a limited number of evaluations test the backend.
+    HalfOpen,
+}
+
+impl HealthState {
+    /// Stable lowercase label used in the JSON schema.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Closed => "closed",
+            HealthState::Open => "open",
+            HealthState::HalfOpen => "half_open",
+        }
+    }
+
+    /// All states, in schema order.
+    pub const ALL: [HealthState; 3] =
+        [HealthState::Closed, HealthState::Open, HealthState::HalfOpen];
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One structured telemetry event emitted during a search run.
 ///
 /// Events are emitted in wall-clock order on the thread executing the run,
@@ -302,6 +340,39 @@ pub enum SearchEvent {
         /// Generation the run continues at.
         generation: u32,
     },
+    /// The supervision watchdog abandoned an attempt that exceeded its
+    /// hard wall-clock deadline.
+    WatchdogFired {
+        /// Attempt number the watchdog reclaimed (1-based; hedge
+        /// attempts carry the hedge tag bit).
+        attempt: u32,
+        /// The deadline that was enforced, in milliseconds.
+        limit_ms: u64,
+        /// True when the attempt *did* finish but only after the
+        /// deadline — its result was discarded rather than cached.
+        late_result_discarded: bool,
+    },
+    /// A straggling attempt was duplicated onto a hedge evaluation.
+    HedgeIssued {
+        /// Attempt number of the straggling primary (1-based).
+        attempt: u32,
+    },
+    /// A hedged pair resolved: exactly one of the primary and the
+    /// hedge won (first completion), the other was wasted.
+    HedgeResolved {
+        /// True when the hedge finished before the straggling primary.
+        won: bool,
+    },
+    /// The evaluation circuit breaker changed health state.
+    BreakerTransition {
+        /// State before the transition.
+        from: HealthState,
+        /// State after the transition.
+        to: HealthState,
+    },
+    /// An evaluation was shed because the breaker was open: the genome
+    /// was quarantined without consuming any retry budget.
+    EvalShed,
 }
 
 impl SearchEvent {
@@ -331,6 +402,11 @@ impl SearchEvent {
             SearchEvent::CheckpointCorruptSkipped { .. } => "checkpoint_corrupt_skipped",
             SearchEvent::RunInterrupted { .. } => "run_interrupted",
             SearchEvent::RunResumed { .. } => "run_resumed",
+            SearchEvent::WatchdogFired { .. } => "watchdog_fired",
+            SearchEvent::HedgeIssued { .. } => "hedge_issued",
+            SearchEvent::HedgeResolved { .. } => "hedge_resolved",
+            SearchEvent::BreakerTransition { .. } => "breaker_transition",
+            SearchEvent::EvalShed => "eval_shed",
         }
     }
 
@@ -442,6 +518,21 @@ impl SearchEvent {
                     .u64("seed", *seed)
                     .u64("generation", u64::from(*generation));
             }
+            SearchEvent::WatchdogFired { attempt, limit_ms, late_result_discarded } => {
+                o.u64("attempt", u64::from(*attempt))
+                    .u64("limit_ms", *limit_ms)
+                    .bool("late_result_discarded", *late_result_discarded);
+            }
+            SearchEvent::HedgeIssued { attempt } => {
+                o.u64("attempt", u64::from(*attempt));
+            }
+            SearchEvent::HedgeResolved { won } => {
+                o.bool("won", *won);
+            }
+            SearchEvent::BreakerTransition { from, to } => {
+                o.str("from", from.as_str()).str("to", to.as_str());
+            }
+            SearchEvent::EvalShed => {}
         }
         o.finish()
     }
@@ -515,6 +606,15 @@ mod tests {
             },
             SearchEvent::RunInterrupted { generation: 13, reason: "deadline_exceeded".into() },
             SearchEvent::RunResumed { strategy: "baseline".into(), seed: 7, generation: 13 },
+            SearchEvent::WatchdogFired {
+                attempt: 2,
+                limit_ms: 10_000,
+                late_result_discarded: true,
+            },
+            SearchEvent::HedgeIssued { attempt: 1 },
+            SearchEvent::HedgeResolved { won: true },
+            SearchEvent::BreakerTransition { from: HealthState::Closed, to: HealthState::Open },
+            SearchEvent::EvalShed,
         ]
     }
 
@@ -558,5 +658,22 @@ mod tests {
         let labels: Vec<&str> = FailureKind::ALL.iter().map(|k| k.as_str()).collect();
         assert_eq!(labels, ["transient", "timeout", "corrupted", "persistent"]);
         assert_eq!(FailureKind::Timeout.to_string(), "timeout");
+    }
+
+    #[test]
+    fn health_state_labels_are_stable() {
+        let labels: Vec<&str> = HealthState::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(labels, ["closed", "open", "half_open"]);
+        assert_eq!(HealthState::HalfOpen.to_string(), "half_open");
+    }
+
+    #[test]
+    fn supervision_event_kinds_are_stable() {
+        let e =
+            SearchEvent::BreakerTransition { from: HealthState::Open, to: HealthState::HalfOpen };
+        assert_eq!(e.kind(), "breaker_transition");
+        assert!(e.to_json().contains("\"from\":\"open\""), "{}", e.to_json());
+        assert!(e.to_json().contains("\"to\":\"half_open\""), "{}", e.to_json());
+        assert_eq!(SearchEvent::EvalShed.to_json(), "{\"type\":\"eval_shed\"}");
     }
 }

@@ -49,14 +49,14 @@ pub mod report;
 pub mod sink;
 pub mod wire;
 
-pub use event::{FailureKind, HintKind, SearchEvent};
+pub use event::{FailureKind, HealthState, HintKind, SearchEvent};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot,
 };
 pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
 pub use report::{
-    DurabilityTally, EvalTally, FaultTally, GenerationTelemetry, HintTally, ReportBuilder,
-    RunReport, SpanStat,
+    DurabilityTally, EvalTally, FaultTally, GenerationTelemetry, HealthTally, HintTally,
+    ReportBuilder, RunReport, SpanStat,
 };
 pub use sink::{InMemorySink, JsonlSink};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -328,7 +328,9 @@ impl MetricsSnapshot {
 /// `eval_failures_total`, `eval_failures_<kind>` per [`FailureKind`],
 /// `eval_retries_total`, `evals_recovered`, `genomes_quarantined`,
 /// `checkpoints_written`, `checkpoints_restored`,
-/// `checkpoints_corrupt_skipped`, `runs_interrupted` and `runs_resumed`.
+/// `checkpoints_corrupt_skipped`, `runs_interrupted`, `runs_resumed`,
+/// `watchdog_fired`, `hedges_issued`, `hedges_won`, `hedges_wasted`,
+/// `breaker_transitions` and `evals_shed`.
 /// Span durations land in `span_<name>_secs` histograms, batch sizes in
 /// the `eval_batch_size` histogram, retry backoffs in the
 /// `retry_backoff_secs` histogram, checkpoint record sizes in the
@@ -365,6 +367,12 @@ pub struct MetricsSink {
     checkpoints_corrupt_skipped: Arc<Counter>,
     runs_interrupted: Arc<Counter>,
     runs_resumed: Arc<Counter>,
+    watchdog_fired: Arc<Counter>,
+    hedges_issued: Arc<Counter>,
+    hedges_won: Arc<Counter>,
+    hedges_wasted: Arc<Counter>,
+    breaker_transitions: Arc<Counter>,
+    evals_shed: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -418,6 +426,12 @@ impl MetricsSink {
             checkpoints_corrupt_skipped: registry.counter("checkpoints_corrupt_skipped"),
             runs_interrupted: registry.counter("runs_interrupted"),
             runs_resumed: registry.counter("runs_resumed"),
+            watchdog_fired: registry.counter("watchdog_fired"),
+            hedges_issued: registry.counter("hedges_issued"),
+            hedges_won: registry.counter("hedges_won"),
+            hedges_wasted: registry.counter("hedges_wasted"),
+            breaker_transitions: registry.counter("breaker_transitions"),
+            evals_shed: registry.counter("evals_shed"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -505,6 +519,17 @@ impl SearchObserver for MetricsSink {
             SearchEvent::CheckpointCorruptSkipped { .. } => self.checkpoints_corrupt_skipped.inc(),
             SearchEvent::RunInterrupted { .. } => self.runs_interrupted.inc(),
             SearchEvent::RunResumed { .. } => self.runs_resumed.inc(),
+            SearchEvent::WatchdogFired { .. } => self.watchdog_fired.inc(),
+            SearchEvent::HedgeIssued { .. } => self.hedges_issued.inc(),
+            SearchEvent::HedgeResolved { won } => {
+                if *won {
+                    self.hedges_won.inc();
+                } else {
+                    self.hedges_wasted.inc();
+                }
+            }
+            SearchEvent::BreakerTransition { .. } => self.breaker_transitions.inc(),
+            SearchEvent::EvalShed => self.evals_shed.inc(),
         }
     }
 }
@@ -706,5 +731,33 @@ mod tests {
         assert!((snap.histograms["checkpoint_bytes"].sum - 6144.0).abs() < 1e-6);
         assert_eq!(snap.histograms["checkpoint_write_secs"].count, 2);
         assert!((snap.histograms["checkpoint_write_secs"].sum - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_sink_folds_supervision_events() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.on_event(&SearchEvent::WatchdogFired {
+            attempt: 1,
+            limit_ms: 500,
+            late_result_discarded: false,
+        });
+        sink.on_event(&SearchEvent::HedgeIssued { attempt: 1 });
+        sink.on_event(&SearchEvent::HedgeResolved { won: true });
+        sink.on_event(&SearchEvent::HedgeIssued { attempt: 2 });
+        sink.on_event(&SearchEvent::HedgeResolved { won: false });
+        sink.on_event(&SearchEvent::BreakerTransition {
+            from: crate::event::HealthState::Closed,
+            to: crate::event::HealthState::Open,
+        });
+        sink.on_event(&SearchEvent::EvalShed);
+        sink.on_event(&SearchEvent::EvalShed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["watchdog_fired"], 1);
+        assert_eq!(snap.counters["hedges_issued"], 2);
+        assert_eq!(snap.counters["hedges_won"], 1);
+        assert_eq!(snap.counters["hedges_wasted"], 1);
+        assert_eq!(snap.counters["breaker_transitions"], 1);
+        assert_eq!(snap.counters["evals_shed"], 2);
     }
 }

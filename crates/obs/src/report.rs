@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::event::{FailureKind, HintKind, SearchEvent};
+use crate::event::{FailureKind, HealthState, HintKind, SearchEvent};
 use crate::json::JsonObj;
 use crate::observer::SearchObserver;
 use crate::wire::{WireError, WireReader, WireWriter};
@@ -307,6 +307,77 @@ impl DurabilityTally {
     }
 }
 
+/// Supervision tallies folded from the watchdog / hedging / circuit-breaker
+/// events.
+///
+/// The hedging identity `hedges_issued == hedges_won + hedges_wasted`
+/// holds by construction: every hedge resolves exactly once, either
+/// beating its straggling primary (won) or losing the race (wasted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTally {
+    /// Attempts abandoned by the watchdog deadline.
+    pub watchdog_fired: u64,
+    /// Watchdog firings where the attempt *did* complete, but late — the
+    /// result was discarded instead of cached.
+    pub late_results_discarded: u64,
+    /// Hedged duplicate evaluations dispatched for stragglers.
+    pub hedges_issued: u64,
+    /// Hedges that finished before their straggling primary.
+    pub hedges_won: u64,
+    /// Hedges that lost the race (their work was wasted).
+    pub hedges_wasted: u64,
+    /// Circuit-breaker trips into the `Open` state.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries (`HalfOpen` probe succeeded → `Closed`).
+    pub breaker_recoveries: u64,
+    /// Evaluations shed while the breaker was open (quarantined without
+    /// consuming retry budget).
+    pub evals_shed: u64,
+    /// Final observed breaker state label ("closed" / "open" /
+    /// "half_open"; "closed" when no transition was ever observed).
+    pub breaker_state: String,
+}
+
+impl Default for HealthTally {
+    fn default() -> Self {
+        HealthTally {
+            watchdog_fired: 0,
+            late_results_discarded: 0,
+            hedges_issued: 0,
+            hedges_won: 0,
+            hedges_wasted: 0,
+            breaker_trips: 0,
+            breaker_recoveries: 0,
+            evals_shed: 0,
+            breaker_state: "closed".to_owned(),
+        }
+    }
+}
+
+impl HealthTally {
+    /// Whether the hedging identity reconciles.
+    #[must_use]
+    pub fn hedges_reconcile(&self) -> bool {
+        self.hedges_issued == self.hedges_won + self.hedges_wasted
+    }
+
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("watchdog_fired", self.watchdog_fired)
+            .u64("late_results_discarded", self.late_results_discarded)
+            .u64("hedges_issued", self.hedges_issued)
+            .u64("hedges_won", self.hedges_won)
+            .u64("hedges_wasted", self.hedges_wasted)
+            .u64("breaker_trips", self.breaker_trips)
+            .u64("breaker_recoveries", self.breaker_recoveries)
+            .u64("evals_shed", self.evals_shed)
+            .str("breaker_state", &self.breaker_state);
+        o.finish()
+    }
+}
+
 /// The machine-readable summary of one instrumented search run.
 ///
 /// # Schema version history
@@ -331,6 +402,10 @@ impl DurabilityTally {
 ///   cover the *whole* logical run when the builder was restored from a
 ///   checkpoint snapshot ([`ReportBuilder::restore_bytes`]), and only the
 ///   post-resume tail otherwise.
+/// * **v5** — added the `health` block ([`HealthTally`]: watchdog
+///   firings, hedging identities, circuit-breaker trip/recovery counts,
+///   shed evaluations and the final breaker state). All v4 fields are
+///   unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -370,6 +445,8 @@ pub struct RunReport {
     pub faults: FaultTally,
     /// Checkpoint/resume and interruption tallies.
     pub durability: DurabilityTally,
+    /// Watchdog / hedging / circuit-breaker tallies.
+    pub health: HealthTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -386,7 +463,7 @@ impl RunReport {
         }
         let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
         let mut o = JsonObj::new();
-        o.u64("schema_version", 4)
+        o.u64("schema_version", 5)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -405,6 +482,7 @@ impl RunReport {
             .u64("shard_contentions", self.shard_contentions)
             .raw("faults", &self.faults.to_json())
             .raw("durability", &self.durability.to_json())
+            .raw("health", &self.health.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish());
         o.finish()
@@ -539,6 +617,18 @@ impl ReportBuilder {
         }
         w.u32(state.scoring_gen);
         w.usize(state.num_params);
+        // v2: the health block rides at the end so every v1 field keeps
+        // its offset.
+        let h = &r.health;
+        w.u64(h.watchdog_fired);
+        w.u64(h.late_results_discarded);
+        w.u64(h.hedges_issued);
+        w.u64(h.hedges_won);
+        w.u64(h.hedges_wasted);
+        w.u64(h.breaker_trips);
+        w.u64(h.breaker_recoveries);
+        w.u64(h.evals_shed);
+        w.str(&h.breaker_state);
         w.into_bytes()
     }
 
@@ -628,6 +718,17 @@ impl ReportBuilder {
         }
         let scoring_gen = r.u32()?;
         let num_params = r.len_prefix()?;
+        report.health = HealthTally {
+            watchdog_fired: r.u64()?,
+            late_results_discarded: r.u64()?,
+            hedges_issued: r.u64()?,
+            hedges_won: r.u64()?,
+            hedges_wasted: r.u64()?,
+            breaker_trips: r.u64()?,
+            breaker_recoveries: r.u64()?,
+            evals_shed: r.u64()?,
+            breaker_state: r.str()?,
+        };
         r.finish()?;
         Ok(ReportBuilder {
             state: Mutex::new(ReportState { report, rows, scoring_gen, num_params }),
@@ -636,7 +737,7 @@ impl ReportBuilder {
 }
 
 /// Version tag for the [`ReportBuilder::snapshot_bytes`] wire format.
-const SNAPSHOT_VERSION: u32 = 1;
+const SNAPSHOT_VERSION: u32 = 2;
 
 fn encode_evals(w: &mut WireWriter, e: &EvalTally) {
     w.u64(e.feasible);
@@ -779,6 +880,31 @@ impl SearchObserver for ReportBuilder {
                 state.report.strategy = strategy.clone();
                 state.report.seed = *seed;
             }
+            SearchEvent::WatchdogFired { late_result_discarded, .. } => {
+                state.report.health.watchdog_fired += 1;
+                if *late_result_discarded {
+                    state.report.health.late_results_discarded += 1;
+                }
+            }
+            SearchEvent::HedgeIssued { .. } => state.report.health.hedges_issued += 1,
+            SearchEvent::HedgeResolved { won } => {
+                if *won {
+                    state.report.health.hedges_won += 1;
+                } else {
+                    state.report.health.hedges_wasted += 1;
+                }
+            }
+            SearchEvent::BreakerTransition { from, to } => {
+                let h = &mut state.report.health;
+                if *to == HealthState::Open {
+                    h.breaker_trips += 1;
+                }
+                if *from == HealthState::HalfOpen && *to == HealthState::Closed {
+                    h.breaker_recoveries += 1;
+                }
+                h.breaker_state = to.as_str().to_owned();
+            }
+            SearchEvent::EvalShed => state.report.health.evals_shed += 1,
         }
     }
 }
@@ -936,13 +1062,92 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
         assert!(json.contains("\"mean\":null"));
         assert!(json.contains("\"checkpoints_written\":0"));
         assert!(json.contains("\"stop_reason\":\"completed\""));
+        assert!(json.contains("\"watchdog_fired\":0"));
+        assert!(json.contains("\"breaker_state\":\"closed\""));
+    }
+
+    #[test]
+    fn supervision_events_fold_into_the_health_block() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::WatchdogFired {
+                    attempt: 1,
+                    limit_ms: 500,
+                    late_result_discarded: true,
+                },
+                SearchEvent::WatchdogFired {
+                    attempt: 2,
+                    limit_ms: 500,
+                    late_result_discarded: false,
+                },
+                SearchEvent::HedgeIssued { attempt: 1 },
+                SearchEvent::HedgeResolved { won: true },
+                SearchEvent::HedgeIssued { attempt: 3 },
+                SearchEvent::HedgeResolved { won: false },
+                SearchEvent::BreakerTransition { from: HealthState::Closed, to: HealthState::Open },
+                SearchEvent::EvalShed,
+                SearchEvent::EvalShed,
+                SearchEvent::EvalShed,
+                SearchEvent::BreakerTransition {
+                    from: HealthState::Open,
+                    to: HealthState::HalfOpen,
+                },
+                SearchEvent::BreakerTransition {
+                    from: HealthState::HalfOpen,
+                    to: HealthState::Closed,
+                },
+            ],
+        );
+        let report = builder.finish();
+        let h = &report.health;
+        assert_eq!(h.watchdog_fired, 2);
+        assert_eq!(h.late_results_discarded, 1);
+        assert_eq!(h.hedges_issued, 2);
+        assert_eq!(h.hedges_won, 1);
+        assert_eq!(h.hedges_wasted, 1);
+        assert!(h.hedges_reconcile());
+        assert_eq!(h.breaker_trips, 1);
+        assert_eq!(h.breaker_recoveries, 1);
+        assert_eq!(h.evals_shed, 3);
+        assert_eq!(h.breaker_state, "closed");
+        assert!(is_valid_json(&h.to_json()));
+    }
+
+    #[test]
+    fn health_block_round_trips_through_the_snapshot() {
+        let original = ReportBuilder::new();
+        feed(
+            &original,
+            &[
+                SearchEvent::WatchdogFired {
+                    attempt: 1,
+                    limit_ms: 250,
+                    late_result_discarded: false,
+                },
+                SearchEvent::HedgeIssued { attempt: 1 },
+                SearchEvent::HedgeResolved { won: false },
+                SearchEvent::BreakerTransition { from: HealthState::Closed, to: HealthState::Open },
+                SearchEvent::EvalShed,
+            ],
+        );
+        let bytes = original.snapshot_bytes();
+        let restored = ReportBuilder::restore_bytes(&bytes).expect("snapshot restores");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        let report = restored.finish();
+        assert_eq!(report.health.watchdog_fired, 1);
+        assert_eq!(report.health.hedges_wasted, 1);
+        assert_eq!(report.health.breaker_trips, 1);
+        assert_eq!(report.health.evals_shed, 1);
+        assert_eq!(report.health.breaker_state, "open");
     }
 
     #[test]

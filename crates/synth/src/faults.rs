@@ -17,7 +17,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use nautilus_ga::rng::{hash_combine, mix_to_unit, splitmix64};
-use nautilus_ga::{EvalFailure, FallibleEvaluator, FitnessFn, Genome};
+use nautilus_ga::{
+    AttemptOutcome, EvalFailure, FallibleEvaluator, FitnessFn, Genome, SupervisableEvaluator,
+};
 use nautilus_obs::FailureKind;
 
 /// Salts separating the per-kind fault draws (and this module's hashing
@@ -27,6 +29,29 @@ const SALT_PERSISTENT: u64 = 0x01;
 const SALT_TRANSIENT: u64 = 0x02;
 const SALT_TIMEOUT: u64 = 0x03;
 const SALT_CORRUPT: u64 = 0x04;
+const SALT_HANG: u64 = 0x05;
+const SALT_COST: u64 = 0x06;
+
+/// Everything a [`FaultPlan`] can inject into one evaluation attempt.
+///
+/// The first four kinds map 1:1 onto [`FailureKind`]; [`InjectedFault::Hang`]
+/// is the supervision-only kind: the attempt never returns and only a
+/// watchdog deadline ends it. Under the legacy (unsupervised)
+/// [`FallibleEvaluator`] path a hang degrades to an injected timeout, so
+/// fault plans stay usable — if blunter — without a supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Simulated worker crash; retryable.
+    Transient,
+    /// Simulated tool timeout; retryable.
+    Timeout,
+    /// The tool ran but its report is garbage.
+    Corrupted,
+    /// The design deterministically kills the generator; never retryable.
+    Persistent,
+    /// The attempt hangs forever (supervised runs only).
+    Hang,
+}
 
 /// A seeded, rate-configured fault-injection plan.
 ///
@@ -43,13 +68,15 @@ pub struct FaultPlan {
     timeout: f64,
     corrupt: f64,
     persistent: f64,
+    #[serde(default)]
+    hang: f64,
 }
 
 impl FaultPlan {
     /// A plan with the given seed and all rates at zero.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, transient: 0.0, timeout: 0.0, corrupt: 0.0, persistent: 0.0 }
+        FaultPlan { seed, transient: 0.0, timeout: 0.0, corrupt: 0.0, persistent: 0.0, hang: 0.0 }
     }
 
     /// Sets the transient-failure rate (clamped to `[0, 1]`).
@@ -80,6 +107,15 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the hang rate (clamped to `[0, 1]`). Hangs mix the attempt
+    /// number in, so a retry (or a hedged duplicate, which carries a
+    /// different attempt tag) can recover.
+    #[must_use]
+    pub fn with_hang_rate(mut self, rate: f64) -> Self {
+        self.hang = rate.clamp(0.0, 1.0);
+        self
+    }
+
     /// The plan's seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -88,24 +124,58 @@ impl FaultPlan {
 
     /// Decides the fate of one (genome, attempt) pair: `None` means the
     /// attempt proceeds normally.
+    ///
+    /// This is the legacy (unsupervised) view: an injected hang degrades
+    /// to [`FailureKind::Timeout`], because without a watchdog the only
+    /// honest approximation of "never returns" is "took too long".
     #[must_use]
     pub fn decide(&self, genome: &Genome, attempt: u32) -> Option<FailureKind> {
+        self.decide_full(genome, attempt).map(|fault| match fault {
+            InjectedFault::Transient => FailureKind::Transient,
+            InjectedFault::Timeout | InjectedFault::Hang => FailureKind::Timeout,
+            InjectedFault::Corrupted => FailureKind::Corrupted,
+            InjectedFault::Persistent => FailureKind::Persistent,
+        })
+    }
+
+    /// Decides the fate of one (genome, attempt) pair including the
+    /// supervision-only [`InjectedFault::Hang`] kind.
+    ///
+    /// Hangs draw last: a genome/attempt already fated to fail some
+    /// other way keeps that fate, so enabling a hang rate never *removes*
+    /// faults from an existing plan.
+    #[must_use]
+    pub fn decide_full(&self, genome: &Genome, attempt: u32) -> Option<InjectedFault> {
         let g = genome.stable_hash(splitmix64(self.seed) ^ SALT_PLAN);
         if self.persistent > 0.0 && mix_to_unit(hash_combine(g, SALT_PERSISTENT)) < self.persistent
         {
-            return Some(FailureKind::Persistent);
+            return Some(InjectedFault::Persistent);
         }
         let a = hash_combine(g, splitmix64(u64::from(attempt)));
         if self.transient > 0.0 && mix_to_unit(hash_combine(a, SALT_TRANSIENT)) < self.transient {
-            return Some(FailureKind::Transient);
+            return Some(InjectedFault::Transient);
         }
         if self.timeout > 0.0 && mix_to_unit(hash_combine(a, SALT_TIMEOUT)) < self.timeout {
-            return Some(FailureKind::Timeout);
+            return Some(InjectedFault::Timeout);
         }
         if self.corrupt > 0.0 && mix_to_unit(hash_combine(a, SALT_CORRUPT)) < self.corrupt {
-            return Some(FailureKind::Corrupted);
+            return Some(InjectedFault::Corrupted);
+        }
+        if self.hang > 0.0 && mix_to_unit(hash_combine(a, SALT_HANG)) < self.hang {
+            return Some(InjectedFault::Hang);
         }
         None
+    }
+
+    /// Deterministic virtual duration for one attempt, in milliseconds
+    /// (uniform over `100..=2000`). Supervised runs use this as the
+    /// attempt's wall-clock stand-in, so straggler hedging and watchdog
+    /// decisions replay identically at every worker count.
+    #[must_use]
+    pub fn attempt_cost_ms(&self, genome: &Genome, attempt: u32) -> u64 {
+        let g = genome.stable_hash(splitmix64(self.seed) ^ SALT_PLAN);
+        let a = hash_combine(g, splitmix64(u64::from(attempt)));
+        100 + hash_combine(a, SALT_COST) % 1901
     }
 }
 
@@ -127,13 +197,17 @@ pub struct FaultyEvaluator<'a> {
     inner: &'a dyn FitnessFn,
     plan: FaultPlan,
     injected: [AtomicU64; FailureKind::ALL.len()],
+    /// Hangs tracked separately: they are not a [`FailureKind`] (under
+    /// supervision they surface as watchdog timeouts, unsupervised as
+    /// injected timeouts).
+    hangs: AtomicU64,
 }
 
 impl<'a> FaultyEvaluator<'a> {
     /// Wraps `inner` with `plan`.
     #[must_use]
     pub fn new(inner: &'a dyn FitnessFn, plan: FaultPlan) -> Self {
-        FaultyEvaluator { inner, plan, injected: Default::default() }
+        FaultyEvaluator { inner, plan, injected: Default::default(), hangs: AtomicU64::new(0) }
     }
 
     /// The active fault plan.
@@ -148,10 +222,17 @@ impl<'a> FaultyEvaluator<'a> {
         self.injected[Self::kind_index(kind)].load(Ordering::Relaxed)
     }
 
-    /// Total injected faults across all kinds.
+    /// How many hangs have been injected so far.
+    #[must_use]
+    pub fn injected_hangs(&self) -> u64 {
+        self.hangs.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults across all kinds, hangs included.
     #[must_use]
     pub fn total_injected(&self) -> u64 {
-        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>()
+            + self.hangs.load(Ordering::Relaxed)
     }
 
     fn kind_index(kind: FailureKind) -> usize {
@@ -165,20 +246,26 @@ impl<'a> FaultyEvaluator<'a> {
 
 impl FallibleEvaluator for FaultyEvaluator<'_> {
     fn try_fitness(&self, genome: &Genome, attempt: u32) -> Result<Option<f64>, EvalFailure> {
-        match self.plan.decide(genome, attempt) {
-            Some(FailureKind::Transient) => {
+        match self.plan.decide_full(genome, attempt) {
+            Some(InjectedFault::Transient) => {
                 self.count(FailureKind::Transient);
                 Err(EvalFailure::Transient("injected: synthesis worker crashed".into()))
             }
-            Some(FailureKind::Timeout) => {
+            Some(InjectedFault::Timeout) => {
                 self.count(FailureKind::Timeout);
                 Err(EvalFailure::Timeout { elapsed_ms: 1_001, limit_ms: 1_000 })
             }
-            Some(FailureKind::Persistent) => {
+            Some(InjectedFault::Hang) => {
+                // Without a watchdog the closest honest rendering of
+                // "never returns" is an injected timeout.
+                self.hangs.fetch_add(1, Ordering::Relaxed);
+                Err(EvalFailure::Timeout { elapsed_ms: 1_001, limit_ms: 1_000 })
+            }
+            Some(InjectedFault::Persistent) => {
                 self.count(FailureKind::Persistent);
                 Err(EvalFailure::Persistent("injected: generator rejects this design".into()))
             }
-            Some(FailureKind::Corrupted) => {
+            Some(InjectedFault::Corrupted) => {
                 self.count(FailureKind::Corrupted);
                 // The tool ran (and is charged by the runner) but its
                 // report is garbage.
@@ -186,6 +273,19 @@ impl FallibleEvaluator for FaultyEvaluator<'_> {
                 Ok(Some(f64::NAN))
             }
             None => Ok(self.inner.fitness(genome)),
+        }
+    }
+}
+
+impl SupervisableEvaluator for FaultyEvaluator<'_> {
+    fn attempt(&self, genome: &Genome, attempt: u32) -> AttemptOutcome {
+        if self.plan.decide_full(genome, attempt) == Some(InjectedFault::Hang) {
+            self.hangs.fetch_add(1, Ordering::Relaxed);
+            return AttemptOutcome::Hang;
+        }
+        AttemptOutcome::Finished {
+            result: self.try_fitness(genome, attempt),
+            cost_ms: self.plan.attempt_cost_ms(genome, attempt),
         }
     }
 }
@@ -261,6 +361,94 @@ mod tests {
         let plan = FaultPlan::new(5).with_transient_rate(7.0).with_corrupt_rate(-1.0);
         assert_eq!(plan, FaultPlan::new(5).with_transient_rate(1.0).with_corrupt_rate(0.0));
         assert!(plan.decide(&g(0), 1).is_some(), "rate 1.0 must always inject");
+    }
+
+    #[test]
+    fn hangs_draw_last_and_never_displace_other_faults() {
+        let base = FaultPlan::new(7)
+            .with_transient_rate(0.2)
+            .with_timeout_rate(0.1)
+            .with_corrupt_rate(0.1)
+            .with_persistent_rate(0.1);
+        let hanging = base.with_hang_rate(0.3);
+        let mut hangs = 0;
+        for x in 0..256 {
+            let before = base.decide_full(&g(x), 1);
+            let after = hanging.decide_full(&g(x), 1);
+            match before {
+                Some(fault) => assert_eq!(after, Some(fault), "hang rate displaced a fault"),
+                None => {
+                    assert!(matches!(after, None | Some(InjectedFault::Hang)));
+                    if after == Some(InjectedFault::Hang) {
+                        hangs += 1;
+                    }
+                }
+            }
+        }
+        assert!(hangs > 0, "30% hang rate injected nothing over 256 genomes");
+    }
+
+    #[test]
+    fn hangs_mix_the_attempt_number_so_retries_can_recover() {
+        let plan = FaultPlan::new(8).with_hang_rate(0.5);
+        let recovered = (0..64).any(|x| {
+            plan.decide_full(&g(x), 1) == Some(InjectedFault::Hang)
+                && plan.decide_full(&g(x), 2).is_none()
+        });
+        assert!(recovered, "at 50% some first-attempt hang should clear on attempt 2");
+    }
+
+    #[test]
+    fn attempt_costs_are_deterministic_and_in_range() {
+        let plan = FaultPlan::new(9);
+        for x in 0..64 {
+            for attempt in 1..4 {
+                let cost = plan.attempt_cost_ms(&g(x), attempt);
+                assert_eq!(cost, plan.attempt_cost_ms(&g(x), attempt));
+                assert!((100..=2000).contains(&cost), "cost {cost} outside 100..=2000");
+            }
+        }
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|x| plan.attempt_cost_ms(&g(x), 1)).collect();
+        assert!(spread.len() > 32, "costs should vary across genomes: {}", spread.len());
+    }
+
+    #[test]
+    fn supervised_attempts_hang_where_the_plan_says_and_finish_elsewhere() {
+        let f = value_fn();
+        let plan = FaultPlan::new(10).with_hang_rate(0.4);
+        let eval = FaultyEvaluator::new(&f, plan);
+        let mut saw_hang = false;
+        let mut saw_finish = false;
+        for x in 0..64 {
+            match eval.attempt(&g(x), 1) {
+                AttemptOutcome::Hang => {
+                    assert_eq!(plan.decide_full(&g(x), 1), Some(InjectedFault::Hang));
+                    saw_hang = true;
+                }
+                AttemptOutcome::Finished { result, cost_ms } => {
+                    assert_eq!(result, Ok(Some(f64::from(x))));
+                    assert_eq!(cost_ms, plan.attempt_cost_ms(&g(x), 1));
+                    saw_finish = true;
+                }
+            }
+        }
+        assert!(saw_hang && saw_finish, "40% hang rate should split 64 genomes both ways");
+        assert_eq!(eval.injected_hangs(), eval.total_injected());
+    }
+
+    #[test]
+    fn unsupervised_hangs_degrade_to_injected_timeouts() {
+        let f = value_fn();
+        let plan = FaultPlan::new(10).with_hang_rate(1.0);
+        let eval = FaultyEvaluator::new(&f, plan);
+        assert_eq!(
+            eval.try_fitness(&g(1), 1),
+            Err(EvalFailure::Timeout { elapsed_ms: 1_001, limit_ms: 1_000 })
+        );
+        assert_eq!(eval.injected_hangs(), 1);
+        assert_eq!(eval.injected(FailureKind::Timeout), 0, "a hang is not a timeout injection");
+        assert_eq!(eval.total_injected(), 1);
     }
 
     #[test]

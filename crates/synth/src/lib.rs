@@ -64,7 +64,7 @@ mod shard;
 pub use dataset::{Dataset, DatasetModel, CHARACTERIZE_LIMIT};
 pub use error::{Result, SynthError};
 pub use expr::{ExprDisplay, MetricExpr};
-pub use faults::{FaultPlan, FaultyEvaluator};
+pub use faults::{FaultPlan, FaultyEvaluator, InjectedFault};
 pub use fitness::QueryFitness;
 pub use job::{JobStats, SynthJobRunner};
 pub use metric::{MetricCatalog, MetricDef, MetricId, MetricSet};

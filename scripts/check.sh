@@ -1,13 +1,45 @@
 #!/usr/bin/env bash
 # Offline pre-commit gate: formatting, lints, tests.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--tsan]
 #
 # Runs entirely against the local toolchain and vendored/locked
 # dependencies; no network access is required (--offline everywhere).
+#
+# --tsan (opt-in) instead runs the concurrency hammer tests — the sharded
+# synthesis cache/runner and the supervised-evaluation watchdog workers —
+# under ThreadSanitizer. Requires a nightly toolchain with the rust-src
+# component (`-Zsanitizer=thread` needs an instrumented std via
+# -Zbuild-std; a prebuilt std would report false races inside its own
+# uninstrumented synchronization).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--tsan" ]; then
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "error: --tsan needs a nightly toolchain;" \
+             "install one with: rustup toolchain install nightly" >&2
+        exit 1
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src (installed)'; then
+        echo "error: --tsan needs rust-src on nightly for -Zbuild-std;" \
+             "install it with: rustup component add rust-src --toolchain nightly" >&2
+        exit 1
+    fi
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    echo "==> ThreadSanitizer: sharded-cache and runner hammers"
+    RUSTFLAGS="${RUSTFLAGS:-} -Zsanitizer=thread" cargo +nightly test --offline \
+        -Zbuild-std --target "$host" -p nautilus-synth --lib -- \
+        hammer concurrent_evaluation
+    echo "==> ThreadSanitizer: watchdog worker and supervised engine hammers"
+    RUSTFLAGS="${RUSTFLAGS:-} -Zsanitizer=thread" cargo +nightly test --offline \
+        -Zbuild-std --target "$host" -p nautilus-ga --lib -- \
+        reclaimable_worker
+    echo "TSan checks passed."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -35,6 +67,40 @@ for seed in 1 2 3; do
         exit 1
     fi
 done
+
+echo "==> hang-storm determinism: supervised digests x {1,8} workers"
+for seed in 1 2; do
+    serial="$(target/release/chaos --storm hang --seed "$seed" --workers 1)"
+    parallel="$(target/release/chaos --storm hang --seed "$seed" --workers 8)"
+    if [ "$serial" != "$parallel" ]; then
+        echo "hang-storm digest diverged at seed $seed between 1 and 8 workers" >&2
+        diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+        exit 1
+    fi
+    case "$serial" in
+        *'"watchdog_fired":0,'*)
+            echo "hang-storm digest recorded no watchdog firings at seed $seed" >&2
+            exit 1 ;;
+    esac
+done
+
+echo "==> gate binaries fail loudly: exit codes"
+# The in-process cross-worker self-check must pass...
+target/release/chaos --seed 1 --workers 2 --check-workers 1 >/dev/null
+# ...and both binaries must reject bad invocations nonzero, so a typo in
+# this script can never turn a gate into a silent no-op.
+if target/release/chaos --bogus >/dev/null 2>&1; then
+    echo "chaos binary accepted an unknown argument" >&2
+    exit 1
+fi
+if target/release/chaos --storm gamma-ray >/dev/null 2>&1; then
+    echo "chaos binary accepted an unknown storm kind" >&2
+    exit 1
+fi
+if target/release/resume --kill --victim >/dev/null 2>&1; then
+    echo "resume binary accepted --kill combined with --victim" >&2
+    exit 1
+fi
 
 echo "==> kill-and-resume determinism: interrupt after 2 generations, resume, diff"
 for seed in 1 2 3; do

@@ -10,7 +10,9 @@
 //! event-stream report and the runner's job accounting, and (d) still
 //! beats the unguided baseline.
 
-use nautilus::{Confidence, FaultPlan, Nautilus, Query, RetryPolicy};
+use nautilus::{
+    BreakerPolicy, Confidence, FaultPlan, Nautilus, Query, RetryPolicy, SupervisePolicy,
+};
 use nautilus_bench::data::router_dataset;
 use nautilus_noc::hints::fmax_hints;
 use nautilus_synth::{Dataset, MetricExpr};
@@ -103,6 +105,130 @@ fn chaos_storm_all_fault_kinds_survive_and_reconcile() {
             .run_baseline(&query, seed)
             .unwrap();
         assert_eq!(parallel, serial, "seed {seed}: storm run diverged under 8 workers");
+    }
+}
+
+#[test]
+#[ignore = "heavy supervised hang storm over the full router dataset; scripts/check.sh runs it via --include-ignored"]
+fn hang_storm_acceptance_supervised_search_completes_and_reconciles() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let hints = fmax_hints();
+    let seed = 3u64;
+    // 10% of attempts hang on top of the standard 10% transient storm;
+    // only the watchdog keeps this run from wedging a worker forever.
+    let plan = FaultPlan::new(seed).with_transient_rate(0.10).with_hang_rate(0.10);
+    let supervised = || {
+        Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::default())
+            .with_supervision(SupervisePolicy::default())
+    };
+
+    // (a) The storm run completes with no wedged worker and a real best.
+    let (guided, report) =
+        supervised().run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed).unwrap();
+    assert!(guided.best_value.is_finite());
+    let h = guided.health;
+    assert!(h.watchdog_fired > 0, "hangs must fire the watchdog: {h:?}");
+    assert!(h.reconciles(), "hedge identity broken: {h:?}");
+    assert!(guided.faults.reconciles());
+
+    // (b) Bit-for-bit identical outcome — health counters included — and
+    // report health block at every worker count.
+    for workers in [2usize, 8] {
+        let (w_outcome, w_report) = supervised()
+            .with_eval_workers(workers)
+            .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+            .unwrap();
+        assert_eq!(w_outcome, guided, "supervised outcome diverged at {workers} workers");
+        assert_eq!(
+            w_report.health.to_json(),
+            report.health.to_json(),
+            "report health block diverged at {workers} workers"
+        );
+    }
+
+    // (c) The report's health tally — rebuilt from the event stream alone
+    // — agrees with the engine's ledger, and eval accounting still
+    // reconciles with the runner's job stats under hangs and hedges.
+    assert_eq!(report.health.watchdog_fired, h.watchdog_fired);
+    assert_eq!(report.health.hedges_issued, h.hedges_issued);
+    assert_eq!(report.health.hedges_won, h.hedges_won);
+    assert_eq!(report.health.hedges_wasted, h.hedges_wasted);
+    assert_eq!(report.health.evals_shed, h.evals_shed);
+    assert!(report.health.hedges_reconcile());
+    assert_eq!(report.evals.total_lookups(), guided.jobs.total_lookups());
+
+    // (d) Guidance still pays for itself under the hang storm.
+    let baseline = supervised().run_baseline(&query, seed).unwrap();
+    assert!(baseline.health.reconciles());
+    assert!(
+        guided.best_value >= baseline.best_value,
+        "guided ({}) fell behind baseline ({}) under the hang storm",
+        guided.best_value,
+        baseline.best_value
+    );
+}
+
+#[test]
+#[ignore = "heavy circuit-breaker storm over the full router dataset; scripts/check.sh runs it via --include-ignored"]
+fn circuit_breaker_acceptance_trips_sheds_and_recovers() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let seed = 2u64;
+    // A transient-heavy storm: every failed attempt normally burns retry
+    // budget, so shed evaluations are directly visible as attempts saved.
+    let plan = FaultPlan::new(seed).with_transient_rate(0.5);
+    let breaker = BreakerPolicy {
+        window: 8,
+        min_samples: 8,
+        trip_failure_rate: 0.5,
+        cooldown_sheds: 4,
+        probe_quota: 2,
+        probes_to_close: 2,
+    };
+    let run_with = |policy: SupervisePolicy, workers: usize| {
+        Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::default())
+            .with_supervision(policy)
+            .with_eval_workers(workers)
+            .run_baseline(&query, seed)
+            .unwrap()
+    };
+
+    let strict = SupervisePolicy { breaker, ..SupervisePolicy::default() };
+    let run = run_with(strict, 1);
+    let h = run.health;
+    assert!(run.best_value.is_finite());
+    assert!(h.breaker_trips > 0, "storm never tripped the breaker: {h:?}");
+    assert!(h.evals_shed > 0, "open breaker never shed into cache-only mode: {h:?}");
+    assert!(h.breaker_recoveries > 0, "half-open probes never recovered: {h:?}");
+    assert!(h.breaker_probes > 0);
+    assert!(run.faults.reconciles());
+
+    // Shedding must not burn retry budget: against a lenient breaker that
+    // (practically) never trips, the strict run spends strictly fewer
+    // supervised attempts and retries on the same storm.
+    let lenient = SupervisePolicy {
+        breaker: BreakerPolicy { window: 64, min_samples: 64, trip_failure_rate: 1.0, ..breaker },
+        ..SupervisePolicy::default()
+    };
+    let open_loop = run_with(lenient, 1);
+    assert_eq!(open_loop.health.breaker_trips, 0);
+    assert!(
+        h.attempts_supervised < open_loop.health.attempts_supervised,
+        "shedding saved no attempts: strict {h:?} vs lenient {:?}",
+        open_loop.health
+    );
+
+    // Breaker decisions are part of the deterministic merge path: the
+    // storm run is bit-for-bit identical under parallel evaluation.
+    for workers in [2usize, 8] {
+        assert_eq!(run_with(strict, workers), run, "breaker run diverged at {workers} workers");
     }
 }
 
