@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
-use nautilus::{Nautilus, Query};
+use nautilus::{Nautilus, Phase, Query, Tracer};
 use nautilus_ga::{Direction, GaSettings, Genome};
 use nautilus_noc::router::RouterModel;
 use nautilus_synth::{CostModel, Dataset, MetricExpr, MetricSet, ShardedCache};
@@ -86,6 +86,41 @@ fn bench_eval_batch() -> (f64, f64) {
     let (parallel, parallel_outcome) = run(4);
     assert_eq!(serial_outcome, parallel_outcome, "worker pools must not change outcomes");
     (ms(serial), ms(parallel))
+}
+
+/// Repeats the 4-worker search with a span tracer attached and returns
+/// the per-phase attribution as pre-rendered JSON member lines plus the
+/// top *overhead* phase — the largest self time that is not useful
+/// evaluation work ([`Phase::MissEval`]) — naming where the wall clock
+/// beyond the evaluations themselves goes.
+fn trace_eval_batch() -> (String, String) {
+    let model = SlowRouter { inner: RouterModel::swept() };
+    let fmax = MetricExpr::metric(model.catalog().require("fmax").expect("metric"));
+    let query = Query::maximize("fmax", fmax);
+    let settings = GaSettings { generations: 40, eval_workers: 4, ..GaSettings::default() };
+    let tracer = Tracer::new();
+    let engine = Nautilus::new(&model).with_settings(settings).with_tracer(&tracer);
+    engine.run_baseline(&query, 42).expect("search runs");
+    let stats = tracer.phase_stats();
+    let top = stats
+        .iter()
+        .filter(|(p, _)| **p != Phase::MissEval)
+        .max_by_key(|(_, s)| s.self_nanos)
+        .map(|(p, _)| p.label().to_owned())
+        .expect("traced run records phases");
+    let members: Vec<String> = stats
+        .iter()
+        .map(|(p, s)| {
+            format!(
+                "      \"{}\": {{ \"count\": {}, \"total_ms\": {:.3}, \"self_ms\": {:.3} }}",
+                p.label(),
+                s.count,
+                s.total_nanos as f64 / 1e6,
+                s.self_nanos as f64 / 1e6
+            )
+        })
+        .collect();
+    (members.join(",\n"), top)
 }
 
 /// The pre-refactor cache design, kept here as the measurement baseline:
@@ -153,6 +188,26 @@ fn bench_cache_sharded() -> (f64, f64, u64) {
     (ms(mono_time), ms(sharded_time), sharded.contentions())
 }
 
+/// Repeats the sharded hammer with per-shard lock-wait timing enabled
+/// (untimed pass, so the headline numbers above stay comparable) and
+/// returns `(acquisitions, total wait ms, max wait us)` — the shard
+/// result's own attribution: its only non-work phase is lock waiting.
+fn trace_cache_sharded() -> (u64, f64, f64) {
+    let genomes: Vec<Genome> =
+        (0..HAMMER_DISTINCT).map(|i| Genome::from_genes(vec![i % 64, i / 64, i % 7])).collect();
+    let pick = |t: u32, i: u32| &genomes[((i + t * 37) % HAMMER_DISTINCT) as usize];
+    let sharded = ShardedCache::new();
+    sharded.enable_lock_timing();
+    hammer(|t, i| {
+        let g = pick(t, i);
+        if sharded.lookup(g).is_none() {
+            sharded.insert_or_hit(g, &None, 0);
+        }
+    });
+    let (waits, total_nanos, max_nanos) = sharded.lock_wait_totals();
+    (waits, total_nanos as f64 / 1e6, max_nanos as f64 / 1e3)
+}
+
 fn bench_dataset_query() -> (f64, f64, usize) {
     let router = RouterModel::swept();
     let d = Dataset::characterize(&router, 0).expect("characterizes");
@@ -209,6 +264,12 @@ fn main() -> ExitCode {
     let (linear_ms, indexed_ms, points) = bench_dataset_query();
     eprintln!("  sort-per-call {linear_ms:.1} ms, indexed {indexed_ms:.1} ms");
 
+    eprintln!("phase_attribution: traced re-runs of the batch and shard surfaces ...");
+    let (batch_phases, batch_top) = trace_eval_batch();
+    let (lock_waits, lock_wait_ms, lock_wait_max_us) = trace_cache_sharded();
+    eprintln!("  eval_batch top overhead phase: {batch_top}");
+    eprintln!("  cache_sharded lock waits: {lock_waits} ({lock_wait_ms:.2} ms total)");
+
     let query_speedup = linear_ms / indexed_ms;
     let json = format!(
         concat!(
@@ -237,6 +298,21 @@ fn main() -> ExitCode {
             "    \"sort_per_call_ms\": {linear:.2},\n",
             "    \"indexed_ms\": {indexed:.2},\n",
             "    \"speedup\": {query_speedup:.2}\n",
+            "  }},\n",
+            "  \"phase_attribution\": {{\n",
+            "    \"eval_batch\": {{\n",
+            "      \"workers\": 4,\n",
+            "      \"top_overhead_phase\": \"{batch_top}\",\n",
+            "      \"phases\": {{\n",
+            "{batch_phases}\n",
+            "      }}\n",
+            "    }},\n",
+            "    \"cache_sharded\": {{\n",
+            "      \"top_overhead_phase\": \"shard_lock_wait\",\n",
+            "      \"lock_waits\": {lock_waits},\n",
+            "      \"lock_wait_ms\": {lock_wait_ms:.3},\n",
+            "      \"lock_wait_max_us\": {lock_wait_max_us:.1}\n",
+            "    }}\n",
             "  }}\n",
             "}}\n",
         ),
@@ -256,6 +332,11 @@ fn main() -> ExitCode {
         linear = linear_ms,
         indexed = indexed_ms,
         query_speedup = query_speedup,
+        batch_top = batch_top,
+        batch_phases = batch_phases,
+        lock_waits = lock_waits,
+        lock_wait_ms = lock_wait_ms,
+        lock_wait_max_us = lock_wait_max_us,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--no-csv] [--telemetry DIR] [fig1 fig2 ... | all]
+//! experiments [--quick] [--no-csv] [--telemetry DIR] [--trace DIR] [fig1 fig2 ... | all]
 //! ```
 //!
 //! Prints each experiment's paper-vs-measured headlines and data table,
@@ -14,6 +14,12 @@
 //! variable) it additionally captures an exemplar baseline/guided run pair
 //! with full search telemetry: a JSONL event stream plus an aggregated
 //! run-report JSON per run, written into DIR.
+//!
+//! With `--trace DIR` (or `NAUTILUS_TRACE`) it captures the same pair
+//! with a span tracer attached, writing a Perfetto-loadable
+//! `*.trace.json`, the event stream, and a schema-6 report whose `phases`
+//! block attributes the run's wall clock; inspect with
+//! `nautilus-trace summarize` or at `ui.perfetto.dev`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -47,6 +53,18 @@ fn main() -> ExitCode {
             Some(dir)
         }
         None => std::env::var("NAUTILUS_TELEMETRY").ok().filter(|d| !d.is_empty()),
+    };
+    let trace_dir = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--trace needs a directory argument");
+                return ExitCode::FAILURE;
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            Some(dir)
+        }
+        None => std::env::var("NAUTILUS_TRACE").ok().filter(|d| !d.is_empty()),
     };
     let quick = args.iter().any(|a| a == "--quick");
     let no_csv = args.iter().any(|a| a == "--no-csv");
@@ -141,6 +159,26 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("could not capture telemetry into {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(dir) = trace_dir {
+        match nautilus_bench::capture_traced(Path::new(&dir), 0xDAC_2015) {
+            Ok(artifacts) => {
+                for a in artifacts {
+                    println!(
+                        "captured {} trace: {} + {} + {}",
+                        a.strategy,
+                        a.trace_path.display(),
+                        a.events_path.display(),
+                        a.report_path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("could not capture traces into {dir}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,117 @@
+//! Offline analysis CLI for Nautilus profiling artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! nautilus-trace summarize TRACE.json
+//! nautilus-trace diff A B
+//! nautilus-trace capture DIR [SEED]
+//! ```
+//!
+//! * **summarize** prints the per-phase attribution table (count, total,
+//!   self time, percent of wall), per-track busy time / utilization, and
+//!   a critical-path estimate for one `*.trace.json` file.
+//! * **diff** compares the *logical* content of two artifacts of the same
+//!   kind — two Perfetto trace files (structural digest: tracks, span
+//!   counts, per-track span sequences, aggregate counts) or two JSONL
+//!   event streams (timing fields and batch-shape events normalized
+//!   away). Same-seed runs of the same build must diff clean; exit code 1
+//!   flags differences, 2 flags malformed input.
+//! * **capture** runs the exemplar traced baseline/guided pair (the
+//!   router Fmax query) into DIR, default seed 27; this is what the
+//!   `scripts/check.sh` trace-determinism gate captures twice and diffs.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use nautilus_bench::{capture_traced, diff_artifacts, parse_trace, summarize};
+
+const USAGE: &str = "usage: nautilus-trace summarize TRACE.json | diff A B | capture DIR [SEED]";
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") if args.len() == 2 => {
+            let text = match read(&args[1]) {
+                Ok(text) => text,
+                Err(code) => return code,
+            };
+            match parse_trace(&text) {
+                Ok(data) => {
+                    print!("{}", summarize(&data));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{}: malformed trace: {e}", args[1]);
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("diff") if args.len() == 3 => {
+            let (a, b) = match (read(&args[1]), read(&args[2])) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            match diff_artifacts(&a, &b) {
+                Ok(report) if report.differences.is_empty() => {
+                    println!("identical ({} content)", report.mode);
+                    ExitCode::SUCCESS
+                }
+                Ok(report) => {
+                    println!(
+                        "{} logical difference(s) ({} content):",
+                        report.differences.len(),
+                        report.mode
+                    );
+                    for d in &report.differences {
+                        println!("  {d}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("malformed artifact: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("capture") if args.len() == 2 || args.len() == 3 => {
+            let seed = match args.get(2).map(|s| s.parse::<u64>()) {
+                Some(Ok(seed)) => seed,
+                Some(Err(_)) => {
+                    eprintln!("SEED must be an unsigned integer");
+                    return ExitCode::from(2);
+                }
+                None => 27,
+            };
+            match capture_traced(Path::new(&args[1]), seed) {
+                Ok(artifacts) => {
+                    for a in artifacts {
+                        println!(
+                            "captured {} trace: {} + {} + {}",
+                            a.strategy,
+                            a.trace_path.display(),
+                            a.events_path.display(),
+                            a.report_path.display()
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("could not capture traces into {}: {e}", args[1]);
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod data;
 pub mod figures;
 pub mod report;
 pub mod telemetry;
+pub mod traceview;
 
 pub use chaos::{
     chaos_digest, chaos_recover_digest, chaos_resume_digest, chaos_victim, hang_storm_digest,
@@ -31,4 +32,10 @@ pub use figures::{
     abl_wrong_hints, all_ablations, fig1, fig2, fig3, fig4, fig5, fig6, fig7, Scale,
 };
 pub use report::{render_table_a, ExperimentReport, Headline};
-pub use telemetry::{capture_chaos_telemetry, capture_telemetry, TelemetryArtifacts};
+pub use telemetry::{
+    capture_chaos_telemetry, capture_telemetry, capture_traced, TelemetryArtifacts, TraceArtifacts,
+};
+pub use traceview::{
+    diff_artifacts, digest, parse_trace, summarize, DiffReport, TraceData, TraceDigest,
+    TraceSummary, TraceViewError,
+};

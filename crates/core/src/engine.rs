@@ -6,7 +6,10 @@ use nautilus_ga::{
     CheckpointStore, Direction, FitnessFn, GaEngine, GaError, GaSettings, Genome, RankRoulette,
     RetryPolicy, RunBudget, SearchState, SupervisePolicy, Supervisor,
 };
-use nautilus_obs::{Fanout, ReportBuilder, RunReport, SearchObserver, WireReader, WireWriter};
+use nautilus_obs::{
+    BatchEventBuffer, Fanout, Phase, ReportBuilder, RunReport, SearchObserver, Tracer, WireReader,
+    WireWriter,
+};
 use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, JobStats, SynthJobRunner};
 
 use crate::error::{NautilusError, Result};
@@ -64,6 +67,7 @@ pub struct Nautilus<'m> {
     budget: RunBudget,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_keep_last: Option<usize>,
+    tracer: Option<&'m Tracer>,
 }
 
 impl std::fmt::Debug for Nautilus<'_> {
@@ -80,6 +84,7 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("budget", &self.budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("checkpoint_keep_last", &self.checkpoint_keep_last)
+            .field("traced", &self.tracer.is_some())
             .finish()
     }
 }
@@ -104,6 +109,7 @@ impl<'m> Nautilus<'m> {
             budget: RunBudget::new(),
             checkpoint_dir: None,
             checkpoint_keep_last: None,
+            tracer: None,
         }
     }
 
@@ -218,6 +224,20 @@ impl<'m> Nautilus<'m> {
     #[must_use]
     pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
         self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Records per-phase span timelines of every subsequent run into
+    /// `tracer` (see [`nautilus_obs::Tracer`]): GA phases on the merge
+    /// thread, per-worker evaluation spans, and the synthesis cache's
+    /// shard-lock wait totals folded in as an aggregate.
+    ///
+    /// Tracing is determinism-safe: span buffers flush only at generation
+    /// boundaries and never touch the search RNG or event stream, so
+    /// outcomes are bit-for-bit identical with tracing on or off.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &'m Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -470,7 +490,20 @@ impl<'m> Nautilus<'m> {
         resume: Option<(SearchState, &Path)>,
         report: Option<&ReportBuilder>,
     ) -> Result<SearchOutcome> {
-        let runner = SynthJobRunner::new(self.model).with_observer(observer);
+        // The runner's per-lookup events go through a capture-aware buffer:
+        // when a worker thread evaluates misses under `capture_events`, the
+        // events queue in that worker's frame and the GA engine replays them
+        // at the deterministic merge point, so the stream is byte-identical
+        // at every worker count. Outside a capture frame (the merge thread,
+        // serial runs) the buffer forwards straight through.
+        let buffered = BatchEventBuffer::new(observer);
+        let runner = SynthJobRunner::new(self.model).with_observer(&buffered);
+        if self.tracer.is_some() {
+            // Shard-lock wait timing is off by default (one atomic load per
+            // acquisition when off); traced runs pay for it and fold the
+            // totals into the phase attribution below.
+            runner.enable_lock_timing();
+        }
         // Synthesis-job counters accumulated by the interrupted process
         // ride in the checkpoint's aux blob; the fresh runner restarts at
         // zero and the offset is added back everywhere totals surface.
@@ -542,10 +575,24 @@ impl<'m> Nautilus<'m> {
                 engine = engine.with_crossover(Box::new(xover));
             }
         }
+        if let Some(tracer) = self.tracer {
+            engine = engine.with_tracer(tracer);
+        }
         let run = match resume {
             Some((state, _)) => engine.resume(state)?,
             None => engine.run(seed)?,
         };
+        if let Some(tracer) = self.tracer {
+            // Lock waits happen inside worker evaluation spans; recording
+            // them as an aggregate (not timeline spans) keeps the cache's
+            // hot path allocation-free while the attribution still shows
+            // contention cost.
+            let (waits, total, max) = runner.lock_wait_totals();
+            tracer.add_aggregate(Phase::ShardLockWait, waits, total, max);
+            if let Some(builder) = report {
+                builder.attach_phases(tracer.phase_stats());
+            }
+        }
         Ok(SearchOutcome {
             strategy: label.to_owned(),
             trace: run
@@ -779,6 +826,114 @@ mod tests {
             // absorbs every revisit before it reaches the synthesis runner.
             assert_eq!(b.jobs.cache_hits, 0);
         }
+    }
+
+    #[test]
+    fn tracing_preserves_outcomes_and_attributes_phases() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let h = hints();
+        let plain = Nautilus::new(&model).run_guided(&q, &h, Some(Confidence::STRONG), 17).unwrap();
+        for workers in [1usize, 2, 8] {
+            let tracer = Tracer::new();
+            let engine = Nautilus::new(&model).with_eval_workers(workers).with_tracer(&tracer);
+            let g = engine.run_guided(&q, &h, Some(Confidence::STRONG), 17).unwrap();
+            assert_eq!(g, plain, "tracing perturbed the outcome at {workers} workers");
+            let stats = tracer.phase_stats();
+            for phase in [
+                Phase::Run,
+                Phase::InitPopulation,
+                Phase::Scoring,
+                Phase::Selection,
+                Phase::Crossover,
+                Phase::Mutation,
+                Phase::CacheLookup,
+                Phase::MissEval,
+                Phase::ShardLockWait,
+            ] {
+                assert!(stats.contains_key(&phase), "missing {phase:?} at {workers} workers");
+            }
+            if workers > 1 {
+                assert!(stats.contains_key(&Phase::BatchDispatch));
+                assert!(stats.contains_key(&Phase::BatchMerge));
+            }
+            assert_eq!(stats[&Phase::Run].count, 1);
+            // Every acquisition of a shard lock is timed on traced runs.
+            assert!(stats[&Phase::ShardLockWait].count > 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_streams_are_logically_identical_across_workers() {
+        use nautilus_obs::{InMemorySink, SearchEvent as E};
+
+        // Timing payloads legitimately differ between runs; batch-shape
+        // and shard-contention events are worker-count artifacts the event
+        // contract explicitly exempts. Everything else must match.
+        fn normalize(events: Vec<E>) -> Vec<E> {
+            events
+                .into_iter()
+                .filter(|e| !matches!(e, E::EvalBatch { .. } | E::CacheShardContended { .. }))
+                .map(|e| match e {
+                    E::SpanEnd { name, .. } => E::SpanEnd { name, nanos: 0 },
+                    E::RunEnd { best_value, distinct_evals, .. } => {
+                        E::RunEnd { best_value, distinct_evals, wall_nanos: 0 }
+                    }
+                    other => other,
+                })
+                .collect()
+        }
+
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let h = hints();
+        let run = |workers: usize| {
+            let sink = InMemorySink::new();
+            let tracer = Tracer::new();
+            let engine = Nautilus::new(&model)
+                .with_eval_workers(workers)
+                .with_observer(&sink)
+                .with_tracer(&tracer);
+            engine.run_guided(&q, &h, Some(Confidence::STRONG), 29).unwrap();
+            normalize(sink.events())
+        };
+        let serial = run(1);
+        assert!(!serial.is_empty());
+        for workers in [2usize, 8] {
+            assert_eq!(run(workers), serial, "stream diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn reported_traced_runs_carry_phase_attribution() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let tracer = Tracer::new();
+        let engine = Nautilus::new(&model).with_tracer(&tracer);
+        let (outcome, report) = engine.run_baseline_reported(&q, 13).unwrap();
+        assert!(!report.phases.is_empty(), "traced reported run must carry attribution");
+        let run = &report.phases[&Phase::Run];
+        assert_eq!(run.count, 1);
+        assert!(run.total_nanos > 0);
+        // On a serial run every span nests under `Run` on the merge track,
+        // so per-phase self times telescope to the run's wall clock (the
+        // shard-lock aggregate is extra: its time is inside MissEval spans).
+        let self_sum: u64 = report
+            .phases
+            .iter()
+            .filter(|(p, _)| **p != Phase::ShardLockWait)
+            .map(|(_, s)| s.self_nanos)
+            .sum();
+        assert_eq!(self_sum, run.total_nanos);
+        // Tracing must not perturb the reported search either.
+        let (plain, plain_report) = engine_untraced_baseline(&model, &q);
+        assert_eq!(outcome, plain);
+        assert_eq!(report.distinct_evals, plain_report.distinct_evals);
+        assert!(plain_report.phases.is_empty(), "untraced run must not carry attribution");
+    }
+
+    fn engine_untraced_baseline(model: &StructuredModel, q: &Query) -> (SearchOutcome, RunReport) {
+        Nautilus::new(model).run_baseline_reported(q, 13).unwrap()
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub use nautilus_ga::{
 };
 pub use nautilus_obs::{HealthState, HealthTally};
 
+/// Time-attribution profiling, re-exported from `nautilus-obs`: attach a
+/// [`Tracer`] with [`Nautilus::with_tracer`], export a Chrome/Perfetto
+/// timeline with [`TraceSink`], and read per-[`Phase`] [`PhaseStat`]
+/// attribution off a reported run's [`RunReport::phases`](RunReport).
+pub use nautilus_obs::{Phase, PhaseStat, TraceSink, Tracer};
+
 /// Crash-safe search, re-exported from `nautilus-ga`: cap runs with
 /// [`Nautilus::with_budget`], persist state with
 /// [`Nautilus::with_checkpoints`], continue interrupted searches with

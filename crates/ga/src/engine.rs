@@ -1,6 +1,6 @@
 //! The generational GA engine.
 
-use nautilus_obs::{SearchEvent, SearchObserver};
+use nautilus_obs::{capture_events, Phase, SearchEvent, SearchObserver, SpanRecorder, Tracer};
 
 use crate::budget::{RunBudget, StopReason};
 use crate::cache::{CacheStats, EvalCache};
@@ -183,6 +183,7 @@ pub struct GaEngine<'a> {
     checkpoints: Option<CheckpointStore>,
     aux: Option<AuxSnapshotFn<'a>>,
     supervisor: Option<&'a Supervisor<'a>>,
+    tracer: Option<&'a Tracer>,
 }
 
 impl<'a> GaEngine<'a> {
@@ -204,7 +205,22 @@ impl<'a> GaEngine<'a> {
             checkpoints: None,
             aux: None,
             supervisor: None,
+            tracer: None,
         }
+    }
+
+    /// Attaches a [`Tracer`]: the run records phase spans (scoring,
+    /// breeding operators, cache lookups, miss evaluations, batch
+    /// dispatch/merge, checkpoint I/O) onto per-thread tracks.
+    ///
+    /// Tracing is determinism-safe by construction — recorders never touch
+    /// the RNG or the event stream, and workers buffer spans locally until
+    /// the generation merge point — so a traced run is bit-for-bit
+    /// identical to an untraced one.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Replaces the scalar settings.
@@ -406,6 +422,10 @@ impl<'a> GaEngine<'a> {
         let obs = self.observer;
         let run_clock = std::time::Instant::now();
         let timer = self.budget.start_timer();
+        // Merge-thread span recorder; the root `Run` span makes per-phase
+        // self times telescope to the run's wall clock.
+        let mut rec = self.tracer.map(|t| t.recorder("merge"));
+        let run_span = rec.as_ref().map(SpanRecorder::begin);
 
         let mut rng;
         let mut cache;
@@ -477,6 +497,7 @@ impl<'a> GaEngine<'a> {
             attempts = 0;
             {
                 let _span = nautilus_obs::span(obs, "init_population");
+                let init_start = rec.as_ref().map(SpanRecorder::begin);
                 while population.len() < self.settings.population {
                     if attempts >= max_attempts {
                         if population.is_empty() {
@@ -492,10 +513,14 @@ impl<'a> GaEngine<'a> {
                     }
                     attempts += 1;
                     let g = self.space.random_genome(&mut rng);
-                    let feasible = self.eval_into_cache(&mut cache, &g, &mut faults).is_some();
+                    let feasible =
+                        self.eval_into_cache(&mut cache, &g, &mut faults, &mut rec).is_some();
                     if feasible {
                         population.push(g);
                     }
+                }
+                if let (Some(r), Some(start)) = (rec.as_mut(), init_start) {
+                    r.end(Phase::InitPopulation, start);
                 }
             }
             history = Vec::with_capacity(self.settings.generations as usize + 1);
@@ -510,6 +535,7 @@ impl<'a> GaEngine<'a> {
             }
             // Score the population (cache makes revisits free).
             let scoring_span = nautilus_obs::span(obs, "scoring");
+            let scoring_start = rec.as_ref().map(SpanRecorder::begin);
             let workers = resolve_eval_workers(self.settings.eval_workers);
             let mut scored: Vec<ScoredGenome> = if let Some(sup) = self.supervisor {
                 // Supervision always takes the batched path: watchdog,
@@ -523,18 +549,26 @@ impl<'a> GaEngine<'a> {
                     generation,
                     sup,
                     session.as_mut().expect("session exists whenever a supervisor is installed"),
+                    &mut rec,
                 )
             } else if workers <= 1 {
                 population
                     .iter()
                     .map(|g| {
-                        let raw = self.eval_into_cache(&mut cache, g, &mut faults);
+                        let raw = self.eval_into_cache(&mut cache, g, &mut faults, &mut rec);
                         let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
                         ScoredGenome { genome: g.clone(), score }
                     })
                     .collect()
             } else {
-                self.score_batched(&population, &mut cache, &mut faults, workers, generation)
+                self.score_batched(
+                    &population,
+                    &mut cache,
+                    &mut faults,
+                    workers,
+                    generation,
+                    &mut rec,
+                )
             };
             // Best-first, deterministic tie-break on the genome itself.
             scored.sort_by(|a, b| {
@@ -543,6 +577,9 @@ impl<'a> GaEngine<'a> {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.genome.cmp(&b.genome))
             });
+            if let (Some(r), Some(start)) = (rec.as_mut(), scoring_start) {
+                r.end(Phase::Scoring, start);
+            }
             drop(scoring_span);
 
             let feasible: Vec<f64> = scored
@@ -594,8 +631,12 @@ impl<'a> GaEngine<'a> {
             let mut next: Vec<Genome> =
                 scored.iter().take(self.settings.elitism).map(|s| s.genome.clone()).collect();
             while next.len() < self.settings.population {
-                let pa = &scored[self.selector.select(&scored, &mut rng)].genome;
-                let pb = &scored[self.selector.select(&scored, &mut rng)].genome;
+                let ia =
+                    timed(&mut rec, Phase::Selection, || self.selector.select(&scored, &mut rng));
+                let ib =
+                    timed(&mut rec, Phase::Selection, || self.selector.select(&scored, &mut rng));
+                let pa = &scored[ia].genome;
+                let pb = &scored[ib].genome;
                 if obs.enabled() {
                     let kind = self.selector.name().to_owned();
                     obs.on_event(&SearchEvent::SelectionInvoked { generation, kind: kind.clone() });
@@ -609,14 +650,20 @@ impl<'a> GaEngine<'a> {
                             kind: self.crossover.name().to_owned(),
                         });
                     }
-                    self.crossover.crossover(pa, pb, self.space, &ctx, &mut rng)
+                    timed(&mut rec, Phase::Crossover, || {
+                        self.crossover.crossover(pa, pb, self.space, &ctx, &mut rng)
+                    })
                 } else {
                     (pa.clone(), pb.clone())
                 };
-                self.mutation.mutate(&mut ca, self.space, &ctx, &mut rng);
+                timed(&mut rec, Phase::Mutation, || {
+                    self.mutation.mutate(&mut ca, self.space, &ctx, &mut rng);
+                });
                 next.push(ca);
                 if next.len() < self.settings.population {
-                    self.mutation.mutate(&mut cb, self.space, &ctx, &mut rng);
+                    timed(&mut rec, Phase::Mutation, || {
+                        self.mutation.mutate(&mut cb, self.space, &ctx, &mut rng);
+                    });
                     next.push(cb);
                 }
             }
@@ -647,7 +694,8 @@ impl<'a> GaEngine<'a> {
                     faults,
                     aux,
                 };
-                let receipt = store.write(&state, improved)?;
+                let receipt =
+                    timed(&mut rec, Phase::CheckpointIo, || store.write(&state, improved))?;
                 if improved {
                     pinned_best = Some(best_value);
                 }
@@ -659,6 +707,11 @@ impl<'a> GaEngine<'a> {
                         path: receipt.path.display().to_string(),
                     });
                 }
+            }
+            // Generation boundary is the deterministic flush point for the
+            // merge thread's span buffer.
+            if let Some(r) = rec.as_mut() {
+                r.flush();
             }
             let reason =
                 self.budget.stop_reason(next_generation, cache.distinct_evals(), timer.elapsed());
@@ -683,6 +736,10 @@ impl<'a> GaEngine<'a> {
                 });
             }
         }
+        if let (Some(r), Some(start)) = (rec.as_mut(), run_span) {
+            r.end(Phase::Run, start);
+            r.flush();
+        }
         Ok(GaRun {
             history,
             best_genome,
@@ -705,18 +762,21 @@ impl<'a> GaEngine<'a> {
         cache: &mut EvalCache,
         genome: &Genome,
         faults: &mut FaultStats,
+        rec: &mut Option<SpanRecorder<'_>>,
     ) -> Option<f64> {
-        if let Some(value) = cache.lookup(genome) {
+        if let Some(value) = timed(rec, Phase::CacheLookup, || cache.lookup(genome)) {
             return value;
         }
         match self.fallible {
             None => {
-                let value = self.fitness.fitness(genome);
+                let value = timed(rec, Phase::MissEval, || self.fitness.fitness(genome));
                 cache.insert_evaluated(genome, value);
                 value
             }
             Some(eval) => {
-                let record = evaluate_with_retries(eval, genome, &self.retry);
+                let record = timed(rec, Phase::MissEval, || {
+                    evaluate_with_retries(eval, genome, &self.retry)
+                });
                 self.note_record(&record, faults);
                 match record.value {
                     Some(value) => {
@@ -794,18 +854,22 @@ impl<'a> GaEngine<'a> {
         faults: &mut FaultStats,
         workers: usize,
         generation: u32,
+        rec: &mut Option<SpanRecorder<'_>>,
     ) -> Vec<ScoredGenome> {
         let direction = self.fitness.direction();
+        let obs = self.observer;
         let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
         let mut misses: Vec<&Genome> = Vec::new();
-        for g in population {
-            if cache.peek(g).is_none() && queued.insert(g) {
-                misses.push(g);
+        timed(rec, Phase::CacheLookup, || {
+            for g in population {
+                if cache.peek(g).is_none() && queued.insert(g) {
+                    misses.push(g);
+                }
             }
-        }
+        });
 
-        if self.observer.enabled() {
-            self.observer.on_event(&SearchEvent::EvalBatch {
+        if obs.enabled() {
+            obs.on_event(&SearchEvent::EvalBatch {
                 generation,
                 size: misses.len(),
                 workers: workers.min(misses.len().max(1)),
@@ -816,61 +880,93 @@ impl<'a> GaEngine<'a> {
             let fitness = self.fitness;
             let fallible = self.fallible;
             let retry = self.retry;
+            let tracer = self.tracer;
+            let capture = obs.enabled();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let n = misses.len();
-            let mut results: Vec<(usize, EvalRecord)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers.min(n))
-                    .map(|_| {
-                        let cursor = &cursor;
-                        let misses = &misses;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= n {
-                                    break;
-                                }
-                                let record = match fallible {
-                                    None => EvalRecord::evaluated(fitness.fitness(misses[i])),
-                                    Some(eval) => evaluate_with_retries(eval, misses[i], &retry),
-                                };
-                                local.push((i, record));
-                            }
-                            local
-                        })
+            // A worker evaluates under `capture_events`, so telemetry its
+            // evaluator emits lands in a per-miss local buffer instead of
+            // racing into the shared observer; the merge loop below replays
+            // those buffers in deterministic first-occurrence order.
+            let mut results: Vec<(usize, (EvalRecord, Vec<SearchEvent>))> =
+                timed(rec, Phase::BatchDispatch, || {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..workers.min(n))
+                            .map(|w| {
+                                let cursor = &cursor;
+                                let misses = &misses;
+                                scope.spawn(move || {
+                                    let mut wrec =
+                                        tracer.map(|t| t.recorder(&format!("worker-{w}")));
+                                    let mut local = Vec::new();
+                                    loop {
+                                        let i = cursor
+                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        if i >= n {
+                                            break;
+                                        }
+                                        let eval_one = || match fallible {
+                                            None => {
+                                                EvalRecord::evaluated(fitness.fitness(misses[i]))
+                                            }
+                                            Some(eval) => {
+                                                evaluate_with_retries(eval, misses[i], &retry)
+                                            }
+                                        };
+                                        let outcome = timed(&mut wrec, Phase::MissEval, || {
+                                            if capture {
+                                                capture_events(eval_one)
+                                            } else {
+                                                (eval_one(), Vec::new())
+                                            }
+                                        });
+                                        local.push((i, outcome));
+                                    }
+                                    local
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                            .collect()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
-            });
+                });
             results.sort_unstable_by_key(|&(i, _)| i);
             // Merge in first-occurrence order so cache counters and fault
             // events replay exactly as the serial path would emit them.
-            for (&g, (_, record)) in misses.iter().zip(&results) {
-                self.note_record(record, faults);
-                match record.value {
-                    Some(value) => cache.insert_evaluated(g, value),
-                    None => cache.insert_quarantined(g),
+            timed(rec, Phase::BatchMerge, || {
+                for (&g, (_, (record, events))) in misses.iter().zip(&results) {
+                    if obs.enabled() {
+                        for e in events {
+                            obs.on_event(e);
+                        }
+                    }
+                    self.note_record(record, faults);
+                    match record.value {
+                        Some(value) => cache.insert_evaluated(g, value),
+                        None => cache.insert_quarantined(g),
+                    }
                 }
-            }
+            });
         }
 
         // `queued` doubles as the not-yet-charged first-occurrence set.
         let mut fresh = queued;
-        population
-            .iter()
-            .map(|g| {
-                let raw = if fresh.remove(g) {
-                    cache.peek(g).expect("batch inserted this genome")
-                } else {
-                    cache.lookup(g).expect("population member must be cached by now")
-                };
-                let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                ScoredGenome { genome: g.clone(), score }
-            })
-            .collect()
+        timed(rec, Phase::CacheLookup, || {
+            population
+                .iter()
+                .map(|g| {
+                    let raw = if fresh.remove(g) {
+                        cache.peek(g).expect("batch inserted this genome")
+                    } else {
+                        cache.lookup(g).expect("population member must be cached by now")
+                    };
+                    let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                    ScoredGenome { genome: g.clone(), score }
+                })
+                .collect()
+        })
     }
 
     /// Scores one generation under supervision: breaker admission, worker
@@ -894,16 +990,19 @@ impl<'a> GaEngine<'a> {
         generation: u32,
         sup: &Supervisor<'_>,
         session: &mut SuperviseSession,
+        rec: &mut Option<SpanRecorder<'_>>,
     ) -> Vec<ScoredGenome> {
         let direction = self.fitness.direction();
         let obs = self.observer;
         let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
         let mut misses: Vec<&Genome> = Vec::new();
-        for g in population {
-            if cache.peek(g).is_none() && queued.insert(g) {
-                misses.push(g);
+        timed(rec, Phase::CacheLookup, || {
+            for g in population {
+                if cache.peek(g).is_none() && queued.insert(g) {
+                    misses.push(g);
+                }
             }
-        }
+        });
 
         // Admission is frozen at batch start, in first-occurrence order:
         // a breaker trip mid-merge affects the next batch, never this
@@ -929,55 +1028,101 @@ impl<'a> GaEngine<'a> {
 
         if !admitted.is_empty() {
             let retry = self.retry;
+            let tracer = self.tracer;
+            let capture = obs.enabled();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let n = admitted.len();
-            let mut precomputed: Vec<(usize, Vec<AttemptOutcome>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers.min(n))
-                    .map(|_| {
-                        let cursor = &cursor;
-                        let admitted = &admitted;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= n {
-                                    break;
-                                }
-                                local.push((i, sup.precompute(&retry, admitted[i].0)));
-                            }
-                            local
-                        })
+            let mut precomputed: Vec<PrecomputedAttempts> =
+                timed(rec, Phase::BatchDispatch, || {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..workers.min(n))
+                            .map(|w| {
+                                let cursor = &cursor;
+                                let admitted = &admitted;
+                                scope.spawn(move || {
+                                    let mut wrec =
+                                        tracer.map(|t| t.recorder(&format!("worker-{w}")));
+                                    let mut local = Vec::new();
+                                    loop {
+                                        let i = cursor
+                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        if i >= n {
+                                            break;
+                                        }
+                                        let precompute_one =
+                                            || sup.precompute(&retry, admitted[i].0);
+                                        let outcome = timed(&mut wrec, Phase::MissEval, || {
+                                            if capture {
+                                                capture_events(precompute_one)
+                                            } else {
+                                                (precompute_one(), Vec::new())
+                                            }
+                                        });
+                                        local.push((i, outcome));
+                                    }
+                                    local
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("supervised evaluation worker panicked"))
+                            .collect()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("supervised evaluation worker panicked"))
-                    .collect()
-            });
+                });
             precomputed.sort_unstable_by_key(|&(i, _)| i);
-            for (&(g, probe), (_, outcomes)) in admitted.iter().zip(&precomputed) {
-                let record = session.resolve(sup.evaluator(), &self.retry, g, outcomes, probe, obs);
-                self.note_record(&record, faults);
-                match record.value {
-                    Some(value) => cache.insert_evaluated(g, value),
-                    None => cache.insert_quarantined(g),
+            // Replay every worker's captured telemetry in admitted order
+            // before the first resolve decision — exactly the stream a
+            // single worker would have produced.
+            if obs.enabled() {
+                for (_, (_, events)) in &precomputed {
+                    for e in events {
+                        obs.on_event(e);
+                    }
                 }
             }
+            timed(rec, Phase::BatchMerge, || {
+                for (&(g, probe), (_, (outcomes, _))) in admitted.iter().zip(&precomputed) {
+                    let record =
+                        session.resolve(sup.evaluator(), &self.retry, g, outcomes, probe, obs);
+                    self.note_record(&record, faults);
+                    match record.value {
+                        Some(value) => cache.insert_evaluated(g, value),
+                        None => cache.insert_quarantined(g),
+                    }
+                }
+            });
         }
 
         let mut fresh = queued;
-        population
-            .iter()
-            .map(|g| {
-                let raw = if fresh.remove(g) {
-                    cache.peek(g).expect("batch resolved this genome")
-                } else {
-                    cache.lookup(g).expect("population member must be cached by now")
-                };
-                let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                ScoredGenome { genome: g.clone(), score }
-            })
-            .collect()
+        timed(rec, Phase::CacheLookup, || {
+            population
+                .iter()
+                .map(|g| {
+                    let raw = if fresh.remove(g) {
+                        cache.peek(g).expect("batch resolved this genome")
+                    } else {
+                        cache.lookup(g).expect("population member must be cached by now")
+                    };
+                    let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                    ScoredGenome { genome: g.clone(), score }
+                })
+                .collect()
+        })
+    }
+}
+
+/// One admitted genome's precomputed supervised attempts plus the
+/// telemetry captured while producing them: `(admitted index, (attempt
+/// outcomes, buffered events))`.
+type PrecomputedAttempts = (usize, (Vec<AttemptOutcome>, Vec<SearchEvent>));
+
+/// Runs `f` inside a `phase` span when a recorder is attached; with
+/// tracing off the cost is one branch on a `None`.
+fn timed<R>(rec: &mut Option<SpanRecorder<'_>>, phase: Phase, f: impl FnOnce() -> R) -> R {
+    match rec.as_mut() {
+        Some(r) => r.time(phase, f),
+        None => f(),
     }
 }
 
@@ -1275,6 +1420,112 @@ mod tests {
             (batched_total as u64) <= fresh_after_init,
             "batches can only cover post-init misses"
         );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_and_records_phases() {
+        let s = space();
+        let f = sphere();
+        let baseline = GaEngine::new(&s, &f).run(17).unwrap();
+        for workers in [1, 4] {
+            let settings = GaSettings { eval_workers: workers, ..GaSettings::default() };
+            let tracer = Tracer::new();
+            let run =
+                GaEngine::new(&s, &f).with_settings(settings).with_tracer(&tracer).run(17).unwrap();
+            assert_eq!(run.history, baseline.history, "tracing changed results at {workers}");
+            assert_eq!(run.best_genome, baseline.best_genome);
+            assert_eq!(run.cache, baseline.cache);
+            let stats = tracer.phase_stats();
+            for phase in [
+                Phase::Run,
+                Phase::InitPopulation,
+                Phase::Scoring,
+                Phase::Selection,
+                Phase::Crossover,
+                Phase::Mutation,
+                Phase::CacheLookup,
+                Phase::MissEval,
+            ] {
+                assert!(stats.contains_key(&phase), "missing {phase:?} at workers={workers}");
+            }
+            assert_eq!(stats[&Phase::Run].count, 1);
+            if workers > 1 {
+                assert!(
+                    tracer.tracks().iter().any(|t| t.starts_with("worker-")),
+                    "batched runs should record worker tracks: {:?}",
+                    tracer.tracks()
+                );
+                assert!(stats.contains_key(&Phase::BatchDispatch));
+                assert!(stats.contains_key(&Phase::BatchMerge));
+            }
+            // Merge-track phases nest under the root span, so no phase can
+            // outgrow the run's own wall clock.
+            let run_total = stats[&Phase::Run].total_nanos;
+            assert!(stats[&Phase::Scoring].total_nanos <= run_total);
+        }
+    }
+
+    #[test]
+    fn batched_worker_telemetry_replays_identically_to_serial() {
+        use nautilus_obs::{BatchEventBuffer, InMemorySink, SearchEvent as E};
+
+        // Runs a GA whose fitness function itself emits telemetry through
+        // a capture-aware observer (the way `nautilus`'s synthesis runner
+        // does), and returns the observed stream.
+        fn run(workers: usize) -> (Vec<GenStats>, Vec<E>) {
+            let s = ParamSpace::builder()
+                .int("x", 0, 31, 1)
+                .int("y", 0, 31, 1)
+                .int("z", 0, 31, 1)
+                .build()
+                .unwrap();
+            let sink = InMemorySink::new();
+            let buffered = BatchEventBuffer::new(&sink);
+            let f = FnFitness::new(Direction::Minimize, |g: &Genome| {
+                buffered.on_event(&E::ParetoUpdated { size: g.gene_at(0) as usize });
+                Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+            });
+            let settings =
+                GaSettings { generations: 8, eval_workers: workers, ..GaSettings::default() };
+            let run =
+                GaEngine::new(&s, &f).with_settings(settings).with_observer(&sink).run(13).unwrap();
+            (run.history, sink.events())
+        }
+
+        // Wall-clock payloads (span durations, run wall time) legitimately
+        // differ between runs; everything else must be byte-identical.
+        fn normalize(events: Vec<E>) -> Vec<E> {
+            events
+                .into_iter()
+                .filter(|e| !matches!(e, E::EvalBatch { .. }))
+                .map(|e| match e {
+                    E::SpanEnd { name, .. } => E::SpanEnd { name, nanos: 0 },
+                    E::RunEnd { best_value, distinct_evals, .. } => {
+                        E::RunEnd { best_value, distinct_evals, wall_nanos: 0 }
+                    }
+                    other => other,
+                })
+                .collect()
+        }
+
+        let (serial_history, serial_events) = run(1);
+        assert!(
+            serial_events.iter().any(|e| matches!(e, E::ParetoUpdated { .. })),
+            "fitness telemetry should reach the sink"
+        );
+        let serial_events = normalize(serial_events);
+        for workers in [2, 8] {
+            let (history, events) = run(workers);
+            assert_eq!(history, serial_history, "results diverged at workers={workers}");
+            // The batched stream is the serial stream plus its EvalBatch
+            // markers: worker-side events are captured per miss and
+            // replayed at the merge point in first-occurrence order.
+            assert_eq!(
+                normalize(events),
+                serial_events,
+                "event stream diverged at workers={workers}"
+            );
+        }
     }
 
     #[test]

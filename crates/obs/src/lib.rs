@@ -5,7 +5,7 @@
 //! between "run the search" and a final `SearchOutcome`. This crate makes
 //! the inside visible without adding any external dependency (the build
 //! environment is offline): std atomics, `Mutex`, and a hand-rolled JSON
-//! emitter are the whole footprint. Three pillars:
+//! emitter are the whole footprint. Four pillars:
 //!
 //! 1. **Metrics registry** ([`MetricsRegistry`]) — lock-free [`Counter`]s,
 //!    [`Gauge`]s and fixed-bucket [`Histogram`]s with a cheap
@@ -21,6 +21,14 @@
 //! 3. **Per-run reports** — [`ReportBuilder`] aggregates one run's events
 //!    into a [`RunReport`] (per-generation hint/decay/cache dynamics plus
 //!    whole-run tallies) that serializes to a summary JSON document.
+//! 4. **Time-attribution profiling** — a [`Tracer`] collects per-thread
+//!    [`Phase`] span timelines through buffered [`SpanRecorder`]s (flushed
+//!    only at deterministic merge points, so tracing never perturbs a
+//!    search), exports Chrome/Perfetto trace JSON via [`TraceSink`], and
+//!    aggregates [`Tracer::phase_stats`] for the report's `phases` block.
+//!    [`BatchEventBuffer`] / [`capture_events`] defer worker-side events
+//!    to the same merge points so parallel event streams replay exactly
+//!    like serial ones.
 //!
 //! A typical instrumented run fans a streaming sink and a report builder
 //! out to the same engine:
@@ -41,14 +49,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod buffer;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod sink;
+pub mod span;
 pub mod wire;
 
+pub use buffer::{capture_events, BatchEventBuffer};
 pub use event::{FailureKind, HealthState, HintKind, SearchEvent};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot,
@@ -59,4 +70,5 @@ pub use report::{
     ReportBuilder, RunReport, SpanStat,
 };
 pub use sink::{InMemorySink, JsonlSink};
+pub use span::{Phase, PhaseStat, SpanRecord, SpanRecorder, SpanStart, TraceSink, Tracer};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 use crate::event::{FailureKind, HealthState, HintKind, SearchEvent};
 use crate::json::JsonObj;
 use crate::observer::SearchObserver;
+use crate::span::{Phase, PhaseStat};
 use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Mutation counts broken down by [`HintKind`], plus how many actually
@@ -406,6 +407,12 @@ impl HealthTally {
 ///   firings, hedging identities, circuit-breaker trip/recovery counts,
 ///   shed evaluations and the final breaker state). All v4 fields are
 ///   unchanged.
+/// * **v6** — added the `phases` time-attribution block: one entry per
+///   instrumented [`Phase`] with span count, total and self nanoseconds,
+///   longest span, and percent of the run's wall clock (from
+///   `wall_nanos`). Populated only when the run was traced
+///   ([`ReportBuilder::attach_phases`]); `{}` otherwise. All v5 fields
+///   are unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -451,6 +458,9 @@ pub struct RunReport {
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
     pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Per-phase time attribution from the run's [`crate::Tracer`]
+    /// (empty when the run was not traced).
+    pub phases: BTreeMap<Phase, PhaseStat>,
 }
 
 impl RunReport {
@@ -462,8 +472,18 @@ impl RunReport {
             spans.raw(name, &stat.to_json());
         }
         let gen_rows: Vec<String> = self.generations.iter().map(|g| g.to_json()).collect();
+        let mut phases = JsonObj::new();
+        for (phase, stat) in &self.phases {
+            let mut p = JsonObj::new();
+            p.u64("count", stat.count)
+                .u64("total_nanos", stat.total_nanos)
+                .u64("self_nanos", stat.self_nanos)
+                .u64("max_nanos", stat.max_nanos)
+                .f64("percent_of_wall", percent_of(stat.total_nanos, self.wall_nanos));
+            phases.raw(phase.label(), &p.finish());
+        }
         let mut o = JsonObj::new();
-        o.u64("schema_version", 5)
+        o.u64("schema_version", 6)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -484,8 +504,18 @@ impl RunReport {
             .raw("durability", &self.durability.to_json())
             .raw("health", &self.health.to_json())
             .arr_raw("generations", &gen_rows)
-            .raw("spans", &spans.finish());
+            .raw("spans", &spans.finish())
+            .raw("phases", &phases.finish());
         o.finish()
+    }
+}
+
+/// `part` as a percentage of `whole` (0 when `whole` is 0).
+fn percent_of(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
     }
 }
 
@@ -544,13 +574,26 @@ impl ReportBuilder {
         report
     }
 
+    /// Attaches a traced run's per-phase time attribution (typically
+    /// `tracer.phase_stats()`), replacing any previously attached block.
+    /// The phases surface in the report's schema-6 `phases` JSON object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    pub fn attach_phases(&self, phases: BTreeMap<Phase, PhaseStat>) {
+        self.state.lock().expect("report poisoned").report.phases = phases;
+    }
+
     /// Serializes the builder's accumulated state so a resumed process can
     /// carry the report forward with [`ReportBuilder::restore_bytes`].
     ///
     /// Span timings are deliberately *excluded*: span names are
     /// `&'static str` keys owned by the recording process, and wall-clock
     /// spans from a dead process are not meaningful to splice into a new
-    /// one. Everything else — whole-run tallies, per-generation rows, the
+    /// one. Phase attribution is excluded for the same reason — it is
+    /// re-attached from the live [`crate::Tracer`] at the end of a traced
+    /// run. Everything else — whole-run tallies, per-generation rows, the
     /// durability block — round-trips exactly.
     ///
     /// # Panics
@@ -1062,7 +1105,7 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
@@ -1071,6 +1114,120 @@ mod tests {
         assert!(json.contains("\"stop_reason\":\"completed\""));
         assert!(json.contains("\"watchdog_fired\":0"));
         assert!(json.contains("\"breaker_state\":\"closed\""));
+        assert!(
+            json.contains("\"phases\":{}"),
+            "untraced run must serialize an empty phases block"
+        );
+    }
+
+    #[test]
+    fn attached_phases_serialize_with_percent_of_wall() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[SearchEvent::RunEnd { best_value: 1.0, distinct_evals: 2, wall_nanos: 2000 }],
+        );
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            Phase::Run,
+            PhaseStat { count: 1, total_nanos: 2000, self_nanos: 1000, max_nanos: 2000 },
+        );
+        phases.insert(
+            Phase::Scoring,
+            PhaseStat { count: 4, total_nanos: 1000, self_nanos: 1000, max_nanos: 400 },
+        );
+        builder.attach_phases(phases.clone());
+        let report = builder.finish();
+        assert_eq!(report.phases, phases);
+        let json = report.to_json();
+        assert!(is_valid_json(&json), "invalid report json: {json}");
+        assert!(json.contains(
+            "\"run\":{\"count\":1,\"total_nanos\":2000,\"self_nanos\":1000,\
+             \"max_nanos\":2000,\"percent_of_wall\":100.0}"
+        ));
+        assert!(json.contains("\"scoring\":{\"count\":4,"));
+        assert!(json.contains("\"percent_of_wall\":50.0"));
+    }
+
+    #[test]
+    fn phases_are_rebuilt_not_snapshotted_across_resume() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[SearchEvent::RunEnd { best_value: 1.0, distinct_evals: 1, wall_nanos: 500 }],
+        );
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            Phase::Run,
+            PhaseStat { count: 1, total_nanos: 500, self_nanos: 500, max_nanos: 500 },
+        );
+        builder.attach_phases(phases);
+        let restored = ReportBuilder::restore_bytes(&builder.snapshot_bytes()).unwrap();
+        let report = restored.finish();
+        // Wall-clock attribution from a dead process is not spliced into
+        // the resumed run; the resumed tracer re-attaches fresh stats.
+        assert!(report.phases.is_empty());
+        assert_eq!(report.wall_nanos, 500);
+    }
+
+    /// A schema-5 consumer reads a schema-6 report by ignoring unknown
+    /// keys; every v5 field must still be present with its old shape.
+    #[test]
+    fn schema_5_consumers_can_read_a_schema_6_report() {
+        use crate::json::{parse_json, JsonValue};
+
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::RunStart {
+                    strategy: "baseline".into(),
+                    seed: 1,
+                    params: vec!["n".into()],
+                    population: 2,
+                    generations: 1,
+                },
+                SearchEvent::RunEnd { best_value: 1.0, distinct_evals: 2, wall_nanos: 10 },
+            ],
+        );
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            Phase::Run,
+            PhaseStat { count: 1, total_nanos: 10, self_nanos: 10, max_nanos: 10 },
+        );
+        builder.attach_phases(phases);
+        let parsed = parse_json(&builder.finish().to_json()).unwrap();
+        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(6));
+        // The complete v5 surface, unchanged.
+        for key in [
+            "strategy",
+            "seed",
+            "params",
+            "population",
+            "generation_budget",
+            "best_value",
+            "distinct_evals",
+            "wall_nanos",
+            "evals",
+            "hints",
+            "importance_decays",
+            "pareto_updates",
+            "eval_batches",
+            "batched_evals",
+            "max_batch",
+            "shard_contentions",
+            "faults",
+            "durability",
+            "health",
+            "generations",
+            "spans",
+        ] {
+            assert!(parsed.get(key).is_some(), "v5 key `{key}` missing from v6 report");
+        }
+        // The v6 addition is a well-formed object keyed by phase label.
+        let run = parsed.get("phases").and_then(|p| p.get("run")).expect("phases.run");
+        assert_eq!(run.get("total_nanos").and_then(JsonValue::as_u64), Some(10));
+        assert_eq!(run.get("percent_of_wall").and_then(JsonValue::as_f64), Some(100.0));
     }
 
     #[test]

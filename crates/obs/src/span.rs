@@ -1,0 +1,763 @@
+//! Time-attribution profiling: phase spans, per-worker recorders, and
+//! Chrome/Perfetto trace export.
+//!
+//! The profiling subsystem answers "where did the wall-clock go?" without
+//! perturbing the search: a [`SpanRecorder`] buffers [`SpanRecord`]s in a
+//! thread-local `Vec` (no locks, no allocation once the buffer is warm)
+//! and flushes them into the shared [`Tracer`] only at deterministic
+//! barriers — the generation merge point for the engine's merge thread,
+//! worker teardown for batch workers. Recorders never touch the RNG or
+//! the search-event stream, so a traced run is bit-for-bit identical to
+//! an untraced one.
+//!
+//! Three consumers sit on top:
+//!
+//! * [`Tracer::to_chrome_json`] emits Chrome/Perfetto trace-event JSON
+//!   (one track per worker plus the merge thread) for `ui.perfetto.dev`.
+//! * [`Tracer::phase_stats`] aggregates per-phase total/self time for the
+//!   `phases` block of a schema-6 `RunReport`.
+//! * [`Tracer::wire_bytes`] / [`Tracer::from_wire_bytes`] round-trip the
+//!   raw records through the versioned wire codec for tooling.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::JsonObj;
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// The instrumented phases of a search run.
+///
+/// Ordering is the canonical reporting order: the whole-run root first,
+/// then the merge-thread phases roughly in per-generation execution
+/// order, then worker- and cache-side phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Whole-run root span on the merge track; its self time is the
+    /// wall-clock not attributed to any finer phase.
+    Run,
+    /// Seeding the initial population (generation 0 evaluations).
+    InitPopulation,
+    /// Scoring one generation end to end (lookups, dispatch, merge).
+    Scoring,
+    /// One selection-operator invocation.
+    Selection,
+    /// One crossover-operator invocation.
+    Crossover,
+    /// One mutation-operator invocation.
+    Mutation,
+    /// Evaluation-cache lookups (serial per-genome, batched per-pass).
+    CacheLookup,
+    /// Evaluating one cache miss (worker tracks on batched runs).
+    MissEval,
+    /// Spawning workers and handing the miss list to them.
+    BatchDispatch,
+    /// Folding worker results back into the cache and event stream.
+    BatchMerge,
+    /// Writing one durable checkpoint.
+    CheckpointIo,
+    /// Waiting on sharded-cache locks (aggregate-only; no span records).
+    ShardLockWait,
+}
+
+impl Phase {
+    /// Every phase, in canonical reporting order.
+    pub const ALL: [Phase; 12] = [
+        Phase::Run,
+        Phase::InitPopulation,
+        Phase::Scoring,
+        Phase::Selection,
+        Phase::Crossover,
+        Phase::Mutation,
+        Phase::CacheLookup,
+        Phase::MissEval,
+        Phase::BatchDispatch,
+        Phase::BatchMerge,
+        Phase::CheckpointIo,
+        Phase::ShardLockWait,
+    ];
+
+    /// Stable snake_case label used in trace JSON, report JSON, and the
+    /// wire encoding.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Run => "run",
+            Phase::InitPopulation => "init_population",
+            Phase::Scoring => "scoring",
+            Phase::Selection => "selection",
+            Phase::Crossover => "crossover",
+            Phase::Mutation => "mutation",
+            Phase::CacheLookup => "cache_lookup",
+            Phase::MissEval => "miss_eval",
+            Phase::BatchDispatch => "batch_dispatch",
+            Phase::BatchMerge => "batch_merge",
+            Phase::CheckpointIo => "checkpoint_io",
+            Phase::ShardLockWait => "shard_lock_wait",
+        }
+    }
+
+    /// Inverse of [`Phase::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.label() == label)
+    }
+}
+
+/// One closed span: `phase` ran on `track` for `dur_nanos`, starting
+/// `start_nanos` after the tracer's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Track index (0 = first registered track, usually the merge thread).
+    pub track: u32,
+    /// What ran.
+    pub phase: Phase,
+    /// Start offset from the tracer epoch, in nanoseconds.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+/// Aggregated timing for one phase across every track.
+///
+/// `total_nanos` counts each span's full duration; `self_nanos` subtracts
+/// the time spent in spans nested inside it on the same track, so the
+/// self times of a track's phases telescope to that track's root span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of spans (or aggregate samples) observed.
+    pub count: u64,
+    /// Sum of span durations in nanoseconds.
+    pub total_nanos: u64,
+    /// Sum of span durations minus same-track nested children.
+    pub self_nanos: u64,
+    /// Longest single span in nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// Central collector for span records and phase aggregates.
+///
+/// A `Tracer` is shared by reference across the engine and its workers;
+/// each participant records through its own [`SpanRecorder`] and the
+/// tracer's mutex is touched only on flush.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    state: Mutex<TraceState>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    tracks: Vec<String>,
+    spans: Vec<SpanRecord>,
+    /// Aggregate-only phases: label -> (count, total_nanos, max_nanos).
+    aggregates: BTreeMap<Phase, (u64, u64, u64)>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// Wire-format version of [`Tracer::wire_bytes`].
+const TRACE_WIRE_VERSION: u8 = 1;
+
+/// Initial capacity of a recorder's local buffer; sized so a generation's
+/// worth of spans never reallocates on the hot path.
+const RECORDER_BUF_CAPACITY: usize = 128;
+
+impl Tracer {
+    /// Creates an empty tracer whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer { epoch: Instant::now(), state: Mutex::new(TraceState::default()) }
+    }
+
+    /// Nanoseconds elapsed since the tracer epoch.
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a recorder on the track named `name`, registering the track
+    /// on first use (repeated names share one track).
+    #[must_use]
+    pub fn recorder(&self, name: &str) -> SpanRecorder<'_> {
+        let mut state = self.state.lock().expect("tracer lock poisoned");
+        let track = match state.tracks.iter().position(|t| t == name) {
+            Some(i) => i,
+            None => {
+                state.tracks.push(name.to_owned());
+                state.tracks.len() - 1
+            }
+        };
+        drop(state);
+        let track = u32::try_from(track).expect("track count exceeds u32");
+        SpanRecorder { tracer: self, track, buf: Vec::with_capacity(RECORDER_BUF_CAPACITY) }
+    }
+
+    /// Folds an externally measured aggregate into `phase` — used for
+    /// costs counted off-thread without spans, like sharded-cache lock
+    /// waits.
+    pub fn add_aggregate(&self, phase: Phase, count: u64, total_nanos: u64, max_nanos: u64) {
+        if count == 0 && total_nanos == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("tracer lock poisoned");
+        let slot = state.aggregates.entry(phase).or_insert((0, 0, 0));
+        slot.0 += count;
+        slot.1 += total_nanos;
+        slot.2 = slot.2.max(max_nanos);
+    }
+
+    /// Registered track names, in track-index order.
+    #[must_use]
+    pub fn tracks(&self) -> Vec<String> {
+        self.state.lock().expect("tracer lock poisoned").tracks.clone()
+    }
+
+    /// Every flushed span record (flush order; not sorted).
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.state.lock().expect("tracer lock poisoned").spans.clone()
+    }
+
+    /// Per-phase aggregated stats across all tracks.
+    ///
+    /// Self time is computed per track by interval nesting: spans are
+    /// sorted by start (ties broken longest-first) and each span's
+    /// duration is charged against the innermost enclosing span on the
+    /// same track. Aggregate-only phases contribute their totals as pure
+    /// self time.
+    #[must_use]
+    pub fn phase_stats(&self) -> BTreeMap<Phase, PhaseStat> {
+        let state = self.state.lock().expect("tracer lock poisoned");
+        let mut stats: BTreeMap<Phase, PhaseStat> = BTreeMap::new();
+        let mut by_track: BTreeMap<u32, Vec<SpanRecord>> = BTreeMap::new();
+        for s in &state.spans {
+            let entry = stats.entry(s.phase).or_default();
+            entry.count += 1;
+            entry.total_nanos += s.dur_nanos;
+            entry.max_nanos = entry.max_nanos.max(s.dur_nanos);
+            by_track.entry(s.track).or_default().push(*s);
+        }
+        // Innermost-enclosing attribution per track.
+        struct Open {
+            end: u64,
+            phase: Phase,
+            dur: u64,
+            children: u64,
+        }
+        for spans in by_track.values_mut() {
+            spans.sort_by(|a, b| {
+                a.start_nanos.cmp(&b.start_nanos).then(b.dur_nanos.cmp(&a.dur_nanos))
+            });
+            let mut open: Vec<Open> = Vec::new();
+            let settle = |stats: &mut BTreeMap<Phase, PhaseStat>, o: Open| {
+                let entry = stats.entry(o.phase).or_default();
+                entry.self_nanos += o.dur.saturating_sub(o.children);
+            };
+            for s in spans.iter() {
+                while open.last().is_some_and(|o| o.end <= s.start_nanos) {
+                    let o = open.pop().expect("checked non-empty");
+                    settle(&mut stats, o);
+                }
+                if let Some(parent) = open.last_mut() {
+                    parent.children += s.dur_nanos;
+                }
+                open.push(Open {
+                    end: s.start_nanos.saturating_add(s.dur_nanos),
+                    phase: s.phase,
+                    dur: s.dur_nanos,
+                    children: 0,
+                });
+            }
+            while let Some(o) = open.pop() {
+                settle(&mut stats, o);
+            }
+        }
+        for (&phase, &(count, total, max)) in &state.aggregates {
+            let entry = stats.entry(phase).or_default();
+            entry.count += count;
+            entry.total_nanos += total;
+            entry.self_nanos += total;
+            entry.max_nanos = entry.max_nanos.max(max);
+        }
+        stats
+    }
+
+    /// Serializes every track and span as Chrome trace-event JSON
+    /// (loadable by `ui.perfetto.dev` and `chrome://tracing`).
+    ///
+    /// One metadata event names each track; spans become complete (`"X"`)
+    /// events with microsecond timestamps, sorted by track then start so
+    /// the output is a pure function of the recorded span set. Aggregate
+    /// phases ride in a top-level `phaseAggregates` object that trace
+    /// viewers ignore.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let state = self.state.lock().expect("tracer lock poisoned");
+        let mut events: Vec<String> = Vec::with_capacity(state.tracks.len() + state.spans.len());
+        for (tid, name) in state.tracks.iter().enumerate() {
+            let mut args = JsonObj::new();
+            args.str("name", name);
+            let mut m = JsonObj::new();
+            m.str("ph", "M")
+                .u64("pid", 1)
+                .u64("tid", tid as u64)
+                .str("name", "thread_name")
+                .raw("args", &args.finish());
+            events.push(m.finish());
+        }
+        let mut spans = state.spans.clone();
+        spans.sort_by_key(|s| (s.track, s.start_nanos, std::cmp::Reverse(s.dur_nanos)));
+        for s in &spans {
+            let mut x = JsonObj::new();
+            x.str("ph", "X")
+                .u64("pid", 1)
+                .u64("tid", u64::from(s.track))
+                .str("name", s.phase.label())
+                .str("cat", "nautilus")
+                .f64("ts", s.start_nanos as f64 / 1000.0)
+                .f64("dur", s.dur_nanos as f64 / 1000.0);
+            events.push(x.finish());
+        }
+        let mut aggs = JsonObj::new();
+        for (phase, (count, total, max)) in &state.aggregates {
+            let mut a = JsonObj::new();
+            a.u64("count", *count).u64("total_nanos", *total).u64("max_nanos", *max);
+            aggs.raw(phase.label(), &a.finish());
+        }
+        let mut root = JsonObj::new();
+        root.arr_raw("traceEvents", &events)
+            .str("displayTimeUnit", "ms")
+            .raw("phaseAggregates", &aggs.finish());
+        root.finish()
+    }
+
+    /// Serializes tracks, spans, and aggregates through the versioned
+    /// wire codec (flush order preserved).
+    #[must_use]
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let state = self.state.lock().expect("tracer lock poisoned");
+        let mut w = WireWriter::new();
+        w.u8(TRACE_WIRE_VERSION);
+        w.usize(state.tracks.len());
+        for t in &state.tracks {
+            w.str(t);
+        }
+        w.usize(state.spans.len());
+        for s in &state.spans {
+            w.u32(s.track);
+            w.str(s.phase.label());
+            w.u64(s.start_nanos);
+            w.u64(s.dur_nanos);
+        }
+        w.usize(state.aggregates.len());
+        for (phase, (count, total, max)) in &state.aggregates {
+            w.str(phase.label());
+            w.u64(*count);
+            w.u64(*total);
+            w.u64(*max);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`Tracer::wire_bytes`] blob, validating the version,
+    /// every phase label, and every track reference. The returned
+    /// tracer's epoch is fresh; its records keep their original offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation, trailing bytes, an unknown
+    /// wire version, an unknown phase label, or a span referencing an
+    /// unregistered track.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Tracer, WireError> {
+        let mut r = WireReader::new(bytes);
+        let version = r.u8()?;
+        if version != TRACE_WIRE_VERSION {
+            return Err(WireError(format!("unknown trace wire version {version}")));
+        }
+        let num_tracks = r.len_prefix()?;
+        let mut tracks = Vec::new();
+        for _ in 0..num_tracks {
+            tracks.push(r.str()?);
+        }
+        let num_spans = r.len_prefix()?;
+        let mut spans = Vec::new();
+        for _ in 0..num_spans {
+            let track = r.u32()?;
+            let label = r.str()?;
+            let phase = Phase::from_label(&label)
+                .ok_or_else(|| WireError(format!("unknown phase label `{label}`")))?;
+            if track as usize >= tracks.len() {
+                return Err(WireError(format!("span references unknown track {track}")));
+            }
+            let start_nanos = r.u64()?;
+            let dur_nanos = r.u64()?;
+            spans.push(SpanRecord { track, phase, start_nanos, dur_nanos });
+        }
+        let num_aggs = r.len_prefix()?;
+        let mut aggregates = BTreeMap::new();
+        for _ in 0..num_aggs {
+            let label = r.str()?;
+            let phase = Phase::from_label(&label)
+                .ok_or_else(|| WireError(format!("unknown phase label `{label}`")))?;
+            let count = r.u64()?;
+            let total = r.u64()?;
+            let max = r.u64()?;
+            aggregates.insert(phase, (count, total, max));
+        }
+        r.finish()?;
+        Ok(Tracer {
+            epoch: Instant::now(),
+            state: Mutex::new(TraceState { tracks, spans, aggregates }),
+        })
+    }
+}
+
+/// An in-flight span's start timestamp (nanoseconds past the epoch).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart {
+    nanos: u64,
+}
+
+/// A per-thread span buffer bound to one [`Tracer`] track.
+///
+/// `begin`/`end` only read the clock and push into a preallocated local
+/// `Vec`; the tracer's lock is taken solely by [`SpanRecorder::flush`]
+/// (also run on drop). Keep one recorder per thread and flush at
+/// deterministic barriers.
+#[derive(Debug)]
+pub struct SpanRecorder<'t> {
+    tracer: &'t Tracer,
+    track: u32,
+    buf: Vec<SpanRecord>,
+}
+
+impl SpanRecorder<'_> {
+    /// Marks the start of a span.
+    #[must_use]
+    pub fn begin(&self) -> SpanStart {
+        SpanStart { nanos: self.tracer.now_nanos() }
+    }
+
+    /// Closes a span opened with [`SpanRecorder::begin`] as `phase`.
+    pub fn end(&mut self, phase: Phase, start: SpanStart) {
+        let now = self.tracer.now_nanos();
+        self.buf.push(SpanRecord {
+            track: self.track,
+            phase,
+            start_nanos: start.nanos,
+            dur_nanos: now.saturating_sub(start.nanos),
+        });
+    }
+
+    /// Runs `f` inside a `phase` span.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = self.begin();
+        let out = f();
+        self.end(phase, start);
+        out
+    }
+
+    /// Drains the local buffer into the shared tracer.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut state = self.tracer.state.lock().expect("tracer lock poisoned");
+        state.spans.append(&mut self.buf);
+    }
+}
+
+impl Drop for SpanRecorder<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Writes a [`Tracer`]'s Chrome trace JSON to a file.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    path: PathBuf,
+}
+
+impl TraceSink {
+    /// A sink that will write `path` (parent directories must exist).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> TraceSink {
+        TraceSink { path: path.into() }
+    }
+
+    /// The destination path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serializes `tracer` and writes the trace file, returning the byte
+    /// count written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write(&self, tracer: &Tracer) -> std::io::Result<u64> {
+        let json = tracer.to_chrome_json();
+        std::fs::write(&self.path, json.as_bytes())?;
+        Ok(json.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+
+    fn span(track: u32, phase: Phase, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord { track, phase, start_nanos: start, dur_nanos: dur }
+    }
+
+    /// A tracer with fully controlled contents, for golden tests.
+    fn synthetic(
+        tracks: &[&str],
+        spans: &[SpanRecord],
+        aggregates: &[(Phase, u64, u64, u64)],
+    ) -> Tracer {
+        let tracer = Tracer::new();
+        {
+            let mut state = tracer.state.lock().unwrap();
+            state.tracks = tracks.iter().map(|t| (*t).to_owned()).collect();
+            state.spans = spans.to_vec();
+            for &(phase, count, total, max) in aggregates {
+                state.aggregates.insert(phase, (count, total, max));
+            }
+        }
+        tracer
+    }
+
+    #[test]
+    fn phase_labels_round_trip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_label(phase.label()), Some(phase));
+        }
+        assert_eq!(Phase::from_label("nope"), None);
+    }
+
+    #[test]
+    fn recorder_buffers_locally_and_flushes_to_the_tracer() {
+        let tracer = Tracer::new();
+        let mut rec = tracer.recorder("merge");
+        let out = rec.time(Phase::Scoring, || 42);
+        assert_eq!(out, 42);
+        assert!(tracer.spans().is_empty(), "span must stay local until flush");
+        rec.flush();
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, Phase::Scoring);
+        assert_eq!(spans[0].track, 0);
+        let stats = tracer.phase_stats();
+        assert_eq!(stats[&Phase::Scoring].count, 1);
+    }
+
+    #[test]
+    fn dropping_a_recorder_flushes_it() {
+        let tracer = Tracer::new();
+        {
+            let mut rec = tracer.recorder("worker-0");
+            rec.time(Phase::MissEval, || ());
+        }
+        assert_eq!(tracer.spans().len(), 1);
+        assert_eq!(tracer.tracks(), vec!["worker-0".to_owned()]);
+    }
+
+    #[test]
+    fn repeated_track_names_share_one_track() {
+        let tracer = Tracer::new();
+        {
+            let mut a = tracer.recorder("worker-0");
+            a.time(Phase::MissEval, || ());
+        }
+        {
+            let mut b = tracer.recorder("worker-0");
+            b.time(Phase::MissEval, || ());
+        }
+        assert_eq!(tracer.tracks().len(), 1);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.track == 0));
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_children_per_track() {
+        let tracer = synthetic(
+            &["merge"],
+            &[
+                span(0, Phase::Run, 0, 1000),
+                span(0, Phase::Scoring, 100, 500),
+                span(0, Phase::CacheLookup, 150, 100),
+                span(0, Phase::MissEval, 300, 200),
+                span(0, Phase::Selection, 700, 100),
+            ],
+            &[],
+        );
+        let stats = tracer.phase_stats();
+        assert_eq!(stats[&Phase::Run].total_nanos, 1000);
+        assert_eq!(stats[&Phase::Run].self_nanos, 400); // 1000 - 500 - 100
+        assert_eq!(stats[&Phase::Scoring].self_nanos, 200); // 500 - 100 - 200
+        assert_eq!(stats[&Phase::CacheLookup].self_nanos, 100);
+        assert_eq!(stats[&Phase::MissEval].self_nanos, 200);
+        assert_eq!(stats[&Phase::Selection].self_nanos, 100);
+        // Self times telescope back to the root total.
+        let sum: u64 = stats.values().map(|s| s.self_nanos).sum();
+        assert_eq!(sum, stats[&Phase::Run].total_nanos);
+    }
+
+    #[test]
+    fn tracks_attribute_independently() {
+        let tracer = synthetic(
+            &["merge", "worker-0"],
+            &[
+                span(0, Phase::Run, 0, 1000),
+                // Same window on another track must not nest under Run.
+                span(1, Phase::MissEval, 100, 800),
+            ],
+            &[],
+        );
+        let stats = tracer.phase_stats();
+        assert_eq!(stats[&Phase::Run].self_nanos, 1000);
+        assert_eq!(stats[&Phase::MissEval].self_nanos, 800);
+    }
+
+    #[test]
+    fn aggregates_fold_into_phase_stats_as_self_time() {
+        let tracer = synthetic(&[], &[], &[(Phase::ShardLockWait, 7, 3500, 900)]);
+        let stats = tracer.phase_stats();
+        let s = stats[&Phase::ShardLockWait];
+        assert_eq!(s.count, 7);
+        assert_eq!(s.total_nanos, 3500);
+        assert_eq!(s.self_nanos, 3500);
+        assert_eq!(s.max_nanos, 900);
+    }
+
+    #[test]
+    fn add_aggregate_accumulates_and_skips_empty_samples() {
+        let tracer = Tracer::new();
+        tracer.add_aggregate(Phase::ShardLockWait, 0, 0, 0);
+        assert!(tracer.phase_stats().is_empty());
+        tracer.add_aggregate(Phase::ShardLockWait, 2, 100, 80);
+        tracer.add_aggregate(Phase::ShardLockWait, 1, 50, 50);
+        let s = tracer.phase_stats()[&Phase::ShardLockWait];
+        assert_eq!((s.count, s.total_nanos, s.max_nanos), (3, 150, 80));
+    }
+
+    #[test]
+    fn chrome_json_matches_the_golden_output() {
+        let tracer = synthetic(
+            &["merge", "worker-0"],
+            &[
+                // Deliberately out of order: export must sort by track/start.
+                span(1, Phase::MissEval, 250, 1500),
+                span(0, Phase::Run, 0, 2000),
+            ],
+            &[(Phase::ShardLockWait, 2, 500, 300)],
+        );
+        let json = tracer.to_chrome_json();
+        assert!(is_valid_json(&json), "invalid: {json}");
+        let expected = concat!(
+            r#"{"traceEvents":["#,
+            r#"{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"merge"}},"#,
+            r#"{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"worker-0"}},"#,
+            r#"{"ph":"X","pid":1,"tid":0,"name":"run","cat":"nautilus","ts":0.0,"dur":2.0},"#,
+            r#"{"ph":"X","pid":1,"tid":1,"name":"miss_eval","cat":"nautilus","ts":0.25,"dur":1.5}"#,
+            r#"],"displayTimeUnit":"ms","#,
+            r#""phaseAggregates":{"shard_lock_wait":{"count":2,"total_nanos":500,"max_nanos":300}}}"#,
+        );
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn wire_round_trips_tracks_spans_and_aggregates() {
+        let tracer = synthetic(
+            &["merge", "worker-0", "worker-1"],
+            &[
+                span(0, Phase::Run, 0, 9000),
+                span(1, Phase::MissEval, 10, 20),
+                span(2, Phase::MissEval, 15, 25),
+                span(0, Phase::CheckpointIo, 8000, 500),
+            ],
+            &[(Phase::ShardLockWait, 3, 123, 77)],
+        );
+        let bytes = tracer.wire_bytes();
+        let back = Tracer::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back.tracks(), tracer.tracks());
+        assert_eq!(back.spans(), tracer.spans());
+        assert_eq!(back.phase_stats(), tracer.phase_stats());
+        assert_eq!(back.to_chrome_json(), tracer.to_chrome_json());
+    }
+
+    #[test]
+    fn wire_rejects_corruption() {
+        let tracer = synthetic(&["merge"], &[span(0, Phase::Run, 0, 10)], &[]);
+        let bytes = tracer.wire_bytes();
+        // Truncations at every length never panic and never succeed.
+        for len in 0..bytes.len() {
+            assert!(
+                Tracer::from_wire_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes was accepted"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Tracer::from_wire_bytes(&padded).is_err());
+        // An unknown version is rejected.
+        let mut wrong = bytes;
+        wrong[0] = 99;
+        assert!(Tracer::from_wire_bytes(&wrong).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_unknown_labels_and_dangling_tracks() {
+        // Unknown phase label.
+        let mut w = WireWriter::new();
+        w.u8(TRACE_WIRE_VERSION);
+        w.usize(1);
+        w.str("merge");
+        w.usize(1);
+        w.u32(0);
+        w.str("warp_drive");
+        w.u64(0);
+        w.u64(1);
+        w.usize(0);
+        assert!(Tracer::from_wire_bytes(&w.into_bytes()).is_err());
+        // Span referencing a track that was never registered.
+        let mut w = WireWriter::new();
+        w.u8(TRACE_WIRE_VERSION);
+        w.usize(1);
+        w.str("merge");
+        w.usize(1);
+        w.u32(5);
+        w.str("run");
+        w.u64(0);
+        w.u64(1);
+        w.usize(0);
+        assert!(Tracer::from_wire_bytes(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn trace_sink_writes_a_loadable_file() {
+        let dir = std::env::temp_dir().join(format!("nautilus-span-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let tracer = synthetic(&["merge"], &[span(0, Phase::Run, 0, 100)], &[]);
+        let sink = TraceSink::new(&path);
+        let bytes = sink.write(&tracer).unwrap();
+        let text = std::fs::read_to_string(sink.path()).unwrap();
+        assert_eq!(bytes as usize, text.len());
+        assert!(is_valid_json(&text));
+        assert!(text.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

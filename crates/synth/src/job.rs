@@ -173,6 +173,37 @@ impl<'m> SynthJobRunner<'m> {
     pub fn shard_contentions(&self) -> u64 {
         self.cache.contentions()
     }
+
+    /// Enables per-shard lock-wait timing on the cache (builder form).
+    #[must_use]
+    pub fn with_lock_timing(self) -> Self {
+        self.cache.enable_lock_timing();
+        self
+    }
+
+    /// Enables per-shard lock-wait timing on the cache. Traced runs call
+    /// this so contention can be attributed to the `shard_lock_wait`
+    /// phase; untimed runs pay one relaxed load per acquisition.
+    pub fn enable_lock_timing(&self) {
+        self.cache.enable_lock_timing();
+    }
+
+    /// Per-shard occupancy and hit/miss/contention/lock-wait counters.
+    #[must_use]
+    pub fn shard_metrics(&self) -> Vec<crate::ShardMetrics> {
+        self.cache.shard_metrics()
+    }
+
+    /// Whole-cache lock-wait aggregate: `(waits, total_nanos, max_nanos)`.
+    #[must_use]
+    pub fn lock_wait_totals(&self) -> (u64, u64, u64) {
+        self.cache.lock_wait_totals()
+    }
+
+    /// Publishes per-shard cache gauges onto `registry`.
+    pub fn publish_cache_metrics(&self, registry: &nautilus_obs::MetricsRegistry) {
+        self.cache.publish_metrics(registry);
+    }
 }
 
 impl std::fmt::Debug for SynthJobRunner<'_> {

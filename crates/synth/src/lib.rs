@@ -69,7 +69,7 @@ pub use fitness::QueryFitness;
 pub use job::{JobStats, SynthJobRunner};
 pub use metric::{MetricCatalog, MetricDef, MetricId, MetricSet};
 pub use model::CostModel;
-pub use shard::{InsertOutcome, ShardedCache, NUM_SHARDS};
+pub use shard::{InsertOutcome, ShardMetrics, ShardedCache, NUM_SHARDS};
 
 #[cfg(test)]
 mod tests {

@@ -9,11 +9,13 @@
 //! them into the same [`JobStats`] snapshot callers always saw.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use nautilus_ga::Genome;
+use nautilus_obs::MetricsRegistry;
 
 use crate::job::JobStats;
 use crate::metric::MetricSet;
@@ -41,6 +43,31 @@ pub enum InsertOutcome {
     },
 }
 
+/// Per-shard counter snapshot from [`ShardedCache::shard_metrics`].
+///
+/// `misses` counts winning inserts (feasible jobs plus infeasible probes)
+/// — the lookups this shard resolved by doing new work. Lock-wait fields
+/// are zero unless [`ShardedCache::enable_lock_timing`] was called.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard index (0..[`NUM_SHARDS`]).
+    pub shard: u32,
+    /// Memoized entries currently held (feasible and infeasible).
+    pub entries: usize,
+    /// Lookups served from this shard's map (including lost insert races).
+    pub hits: u64,
+    /// Winning inserts: `jobs + infeasible` for this shard.
+    pub misses: u64,
+    /// Insert races lost on this shard.
+    pub contentions: u64,
+    /// Lock acquisitions measured while lock timing was enabled.
+    pub lock_waits: u64,
+    /// Total nanoseconds spent waiting to acquire this shard's lock.
+    pub lock_wait_nanos: u64,
+    /// Longest single lock wait in nanoseconds.
+    pub lock_wait_max_nanos: u64,
+}
+
 struct Shard {
     map: RwLock<HashMap<Genome, Option<MetricSet>>>,
     jobs: AtomicU64,
@@ -48,6 +75,9 @@ struct Shard {
     cache_hits: AtomicU64,
     tool_secs: AtomicU64,
     contentions: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+    lock_wait_max: AtomicU64,
 }
 
 impl Shard {
@@ -59,7 +89,17 @@ impl Shard {
             cache_hits: AtomicU64::new(0),
             tool_secs: AtomicU64::new(0),
             contentions: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
+            lock_wait_nanos: AtomicU64::new(0),
+            lock_wait_max: AtomicU64::new(0),
         }
+    }
+
+    fn charge_wait(&self, start: Instant) {
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.lock_wait_max.fetch_max(nanos, Ordering::Relaxed);
     }
 }
 
@@ -67,13 +107,58 @@ impl Shard {
 /// independently locked shards, with per-shard [`JobStats`] counters.
 pub struct ShardedCache {
     shards: Vec<Shard>,
+    /// When set, every lock acquisition is timed and charged to its
+    /// shard's lock-wait counters. Off by default: the untimed path costs
+    /// one relaxed load.
+    time_locks: AtomicBool,
 }
 
 impl ShardedCache {
     /// Creates an empty cache with all shards allocated.
     #[must_use]
     pub fn new() -> ShardedCache {
-        ShardedCache { shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect() }
+        ShardedCache {
+            shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect(),
+            time_locks: AtomicBool::new(false),
+        }
+    }
+
+    /// Turns on per-shard lock-wait timing (used when a run is traced, to
+    /// attribute contention to the `shard_lock_wait` phase).
+    pub fn enable_lock_timing(&self) {
+        self.time_locks.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether lock acquisitions are currently being timed.
+    #[must_use]
+    pub fn lock_timing_enabled(&self) -> bool {
+        self.time_locks.load(Ordering::Relaxed)
+    }
+
+    fn read_shard<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> RwLockReadGuard<'s, HashMap<Genome, Option<MetricSet>>> {
+        if !self.time_locks.load(Ordering::Relaxed) {
+            return shard.map.read();
+        }
+        let start = Instant::now();
+        let guard = shard.map.read();
+        shard.charge_wait(start);
+        guard
+    }
+
+    fn write_shard<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> RwLockWriteGuard<'s, HashMap<Genome, Option<MetricSet>>> {
+        if !self.time_locks.load(Ordering::Relaxed) {
+            return shard.map.write();
+        }
+        let start = Instant::now();
+        let guard = shard.map.write();
+        shard.charge_wait(start);
+        guard
     }
 
     fn shard_of(&self, genome: &Genome) -> (usize, &Shard) {
@@ -86,7 +171,7 @@ impl ShardedCache {
     #[must_use]
     pub fn lookup(&self, genome: &Genome) -> Option<Option<MetricSet>> {
         let (_, shard) = self.shard_of(genome);
-        let hit = shard.map.read().get(genome).cloned();
+        let hit = self.read_shard(shard).get(genome).cloned();
         if hit.is_some() {
             shard.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -128,7 +213,7 @@ impl ShardedCache {
         tool_secs: u64,
     ) -> InsertOutcome {
         let (idx, shard) = self.shard_of(genome);
-        let mut map = shard.map.write();
+        let mut map = self.write_shard(shard);
         if let Some(cached) = map.get(genome) {
             let cached = cached.clone();
             drop(map);
@@ -167,6 +252,54 @@ impl ShardedCache {
     #[must_use]
     pub fn contentions(&self) -> u64 {
         self.shards.iter().map(|s| s.contentions.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard counter snapshot, one entry per shard in index order.
+    #[must_use]
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardMetrics {
+                shard: i as u32,
+                entries: s.map.read().len(),
+                hits: s.cache_hits.load(Ordering::Relaxed),
+                misses: s.jobs.load(Ordering::Relaxed) + s.infeasible.load(Ordering::Relaxed),
+                contentions: s.contentions.load(Ordering::Relaxed),
+                lock_waits: s.lock_waits.load(Ordering::Relaxed),
+                lock_wait_nanos: s.lock_wait_nanos.load(Ordering::Relaxed),
+                lock_wait_max_nanos: s.lock_wait_max.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Whole-cache lock-wait aggregate: `(waits, total_nanos, max_nanos)`.
+    /// All zero unless [`ShardedCache::enable_lock_timing`] was called.
+    #[must_use]
+    pub fn lock_wait_totals(&self) -> (u64, u64, u64) {
+        let mut waits = 0;
+        let mut total = 0;
+        let mut max = 0;
+        for s in &self.shards {
+            waits += s.lock_waits.load(Ordering::Relaxed);
+            total += s.lock_wait_nanos.load(Ordering::Relaxed);
+            max = max.max(s.lock_wait_max.load(Ordering::Relaxed));
+        }
+        (waits, total, max)
+    }
+
+    /// Publishes every shard's occupancy and hit/miss/contention counters
+    /// as gauges on `registry` (`cache.shard<i>.entries`, `.hits`,
+    /// `.misses`, `.contentions`, `.lock_wait_nanos`).
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        for m in self.shard_metrics() {
+            let prefix = format!("cache.shard{}", m.shard);
+            registry.gauge(&format!("{prefix}.entries")).set(m.entries as f64);
+            registry.gauge(&format!("{prefix}.hits")).set(m.hits as f64);
+            registry.gauge(&format!("{prefix}.misses")).set(m.misses as f64);
+            registry.gauge(&format!("{prefix}.contentions")).set(m.contentions as f64);
+            registry.gauge(&format!("{prefix}.lock_wait_nanos")).set(m.lock_wait_nanos as f64);
+        }
     }
 
     /// Total memoized entries (feasible and infeasible) across all shards.
@@ -321,6 +454,68 @@ mod tests {
             s.cache_hits
         );
         assert_eq!(s.simulated_tool_secs, u64::from(UNIVERSE / 2) * 10);
+    }
+
+    #[test]
+    fn shard_metrics_reconcile_with_merged_stats() {
+        let cache = ShardedCache::new();
+        for x in 0..40u32 {
+            let g = Genome::from_genes(vec![x, x % 3]);
+            let result = x.is_multiple_of(2).then(|| metrics(f64::from(x)));
+            cache.insert_or_hit(&g, &result, 5);
+        }
+        for x in 0..10u32 {
+            let g = Genome::from_genes(vec![x, x % 3]);
+            let _ = cache.lookup(&g);
+        }
+        let per = cache.shard_metrics();
+        assert_eq!(per.len(), NUM_SHARDS);
+        assert!(per.iter().enumerate().all(|(i, m)| m.shard as usize == i));
+        let s = cache.stats();
+        assert_eq!(per.iter().map(|m| m.entries).sum::<usize>(), cache.len());
+        assert_eq!(per.iter().map(|m| m.hits).sum::<u64>(), s.cache_hits);
+        assert_eq!(per.iter().map(|m| m.misses).sum::<u64>(), s.jobs + s.infeasible);
+        assert_eq!(per.iter().map(|m| m.contentions).sum::<u64>(), cache.contentions());
+        assert!(per.iter().all(|m| m.lock_waits == 0), "lock timing is off by default");
+    }
+
+    #[test]
+    fn lock_timing_is_gated_and_counts_acquisitions() {
+        let cache = ShardedCache::new();
+        let g = Genome::from_genes(vec![1, 2]);
+        cache.insert_or_hit(&g, &Some(metrics(1.0)), 1);
+        let _ = cache.lookup(&g);
+        assert!(!cache.lock_timing_enabled());
+        assert_eq!(cache.lock_wait_totals(), (0, 0, 0), "no timing before enablement");
+
+        cache.enable_lock_timing();
+        assert!(cache.lock_timing_enabled());
+        let _ = cache.lookup(&g); // one timed read acquisition
+        cache.insert_or_hit(&g, &Some(metrics(1.0)), 1); // one timed write acquisition
+        let (waits, total, max) = cache.lock_wait_totals();
+        assert_eq!(waits, 2);
+        assert!(total >= max);
+        let per_shard_waits: u64 = cache.shard_metrics().iter().map(|m| m.lock_waits).sum();
+        assert_eq!(per_shard_waits, waits);
+    }
+
+    #[test]
+    fn publish_metrics_exports_per_shard_gauges() {
+        let cache = ShardedCache::new();
+        let a = Genome::from_genes(vec![3, 4]);
+        let b = Genome::from_genes(vec![5, 6]);
+        cache.insert_or_hit(&a, &Some(metrics(2.0)), 1);
+        cache.insert_or_hit(&b, &None, 0);
+        let _ = cache.lookup(&a);
+        let registry = MetricsRegistry::new();
+        cache.publish_metrics(&registry);
+        let sum = |field: &str| -> f64 {
+            (0..NUM_SHARDS).map(|i| registry.gauge(&format!("cache.shard{i}.{field}")).get()).sum()
+        };
+        assert!((sum("entries") - 2.0).abs() < 1e-9);
+        assert!((sum("hits") - 1.0).abs() < 1e-9);
+        assert!((sum("misses") - 2.0).abs() < 1e-9);
+        assert!((sum("contentions") - 0.0).abs() < 1e-9);
     }
 
     #[test]

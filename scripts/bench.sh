@@ -23,3 +23,11 @@ cargo build --release --offline -p nautilus-bench --bin evalbench
 
 echo "==> evalbench $OUT"
 ./target/release/evalbench "$OUT"
+
+# The attribution block is load-bearing: it names the top overhead phase
+# behind the batch and shard headline numbers. Refuse to publish a
+# result file without it.
+if ! grep -q '"phase_attribution"' "$OUT"; then
+    echo "FAIL: $OUT is missing the phase_attribution section" >&2
+    exit 1
+fi

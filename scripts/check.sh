@@ -129,4 +129,27 @@ if [ "$straight" != "$recovered" ]; then
     exit 1
 fi
 
+echo "==> trace determinism: two same-seed traced runs, nautilus-trace diff"
+cargo build -q --release --offline -p nautilus-bench --bin nautilus-trace
+tracedir_a="$(mktemp -d)"
+tracedir_b="$(mktemp -d)"
+target/release/nautilus-trace capture "$tracedir_a" 27 >/dev/null
+target/release/nautilus-trace capture "$tracedir_b" 27 >/dev/null
+for tag in baseline guided-strong; do
+    # The Perfetto traces must be structurally identical, and the event
+    # streams logically identical, run to run.
+    target/release/nautilus-trace diff \
+        "$tracedir_a/$tag-seed27.trace.json" "$tracedir_b/$tag-seed27.trace.json"
+    target/release/nautilus-trace diff \
+        "$tracedir_a/$tag-seed27.events.jsonl" "$tracedir_b/$tag-seed27.events.jsonl"
+done
+# A malformed trace must be rejected with exit code 2, so a truncated
+# artifact can never slip through the diff gate as "identical".
+if target/release/nautilus-trace summarize "$tracedir_a/baseline-seed27.events.jsonl" \
+        >/dev/null 2>&1; then
+    echo "nautilus-trace accepted a non-trace file as a trace" >&2
+    exit 1
+fi
+rm -rf "$tracedir_a" "$tracedir_b"
+
 echo "All checks passed."
