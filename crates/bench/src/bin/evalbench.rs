@@ -3,19 +3,38 @@
 //! Usage:
 //!
 //! ```text
-//! evalbench [OUTPUT.json]
+//! evalbench [OUTPUT.json] [--floors]
 //! ```
 //!
 //! Times three surfaces and writes a JSON summary (default
 //! `BENCH_evalpipeline.json`):
 //!
-//! * **eval_batch** — one identical GA search, serially and with a full
-//!   worker pool, verifying bit-for-bit equal outcomes along the way.
+//! * **eval_batch** — one identical GA search at every worker count in
+//!   the 1/2/4/8 matrix, verifying bit-for-bit equal outcomes along the
+//!   way and recording per-count wall clock against the serial baseline.
 //! * **cache_sharded** — the pre-refactor monolithic `RwLock<HashMap>`
-//!   cache vs the lock-striped [`ShardedCache`], hammered by 8 threads.
+//!   cache vs the lock-free-read [`ShardedCache`], hammered by 8 threads.
 //! * **dataset_query** — `top_fraction_threshold` on the 27,648-point
 //!   router dataset: the old sort-per-call algorithm vs the memoized
-//!   sorted-column index (the PR's >= 5x acceptance headline).
+//!   sorted-column index (the PR 5's >= 5x acceptance headline).
+//!
+//! `--floors` additionally enforces the perf floors from ISSUE 7 and
+//! exits non-zero on regression:
+//!
+//! * the 1-worker configuration must stay >= 0.99x the serial baseline
+//!   (the "zero-overhead" floor);
+//! * every batched configuration must stay >= 0.90x serial even when
+//!   parallelism cannot help — a sanity bound on pool/SoA overhead that
+//!   tolerates scheduler noise on single-thread shared hosts;
+//! * batched eval must be *strictly faster* than serial when the host
+//!   has >= 2 hardware threads (skipped, loudly, on smaller hosts);
+//! * the sharded cache must be >= 1.0x the monolithic baseline under the
+//!   8-thread read-mostly hammer.
+//!
+//! The dataset-query >= 5x floor is always enforced, with or without
+//! `--floors`. `scripts/bench.sh` decides whether `--floors` applies by
+//! comparing this host's thread count against the committed run's
+//! recorded `host_threads`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -67,7 +86,11 @@ impl CostModel for SlowRouter {
     }
 }
 
-fn bench_eval_batch() -> (f64, f64) {
+/// Worker counts of the eval-batch matrix. `1` is the serial scoring
+/// loop; every other count takes the persistent-pool batched path.
+const WORKER_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_eval_batch() -> (f64, Vec<(usize, f64)>) {
     let model = SlowRouter { inner: RouterModel::swept() };
     let fmax = MetricExpr::metric(model.catalog().require("fmax").expect("metric"));
     let query = Query::maximize("fmax", fmax);
@@ -79,13 +102,25 @@ fn bench_eval_batch() -> (f64, f64) {
         let outcome = engine.run_baseline(&query, 42).expect("search runs");
         (start.elapsed(), outcome)
     };
-    // Warm-up, then measure. Four workers exercises the batched code path
-    // even on hosts where auto-detection would resolve to one.
-    let _ = run(1);
-    let (serial, serial_outcome) = run(1);
-    let (parallel, parallel_outcome) = run(4);
-    assert_eq!(serial_outcome, parallel_outcome, "worker pools must not change outcomes");
-    (ms(serial), ms(parallel))
+    // Warm-up, then the worker matrix. Every run must reproduce the
+    // serial outcome bit for bit. Each configuration reports its best of
+    // `ROUNDS` samples, taken round-robin (each matrix entry once per
+    // round) so every configuration sees the same background-load
+    // regimes rather than its own contiguous window. The workers=1 entry
+    // runs the serial scoring loop, so it *is* the serial baseline.
+    const ROUNDS: usize = 5;
+    let (_, serial_outcome) = run(1);
+    let mut best = vec![f64::INFINITY; WORKER_MATRIX.len()];
+    for _ in 0..ROUNDS {
+        for (slot, workers) in WORKER_MATRIX.into_iter().enumerate() {
+            let (t, outcome) = run(workers);
+            assert_eq!(outcome, serial_outcome, "worker pools must not change outcomes");
+            best[slot] = best[slot].min(ms(t));
+        }
+    }
+    let serial = best[0];
+    let matrix = WORKER_MATRIX.into_iter().zip(best.iter().copied()).collect();
+    (serial, matrix)
 }
 
 /// Repeats the 4-worker search with a span tracer attached and returns
@@ -170,22 +205,34 @@ fn bench_cache_sharded() -> (f64, f64, u64) {
     // Offset start points per thread so first touches interleave.
     let pick = |t: u32, i: u32| &genomes[((i + t * 37) % HAMMER_DISTINCT) as usize];
 
-    let mono = MonolithicCache {
-        map: RwLock::new(HashMap::new()),
-        stats: parking_lot::Mutex::new(nautilus_synth::JobStats::default()),
-    };
-    let mono_time = hammer(|t, i| mono.lookup_or_insert(pick(t, i)));
-    assert_eq!(mono.map.read().len() as u32, HAMMER_DISTINCT);
+    // Same sampling policy as the eval-batch matrix: interleaved
+    // best-of-`ROUNDS`, because the >= 1.0x floor cannot hold on a single
+    // sample from a shared host. Fresh caches each round so every sample
+    // pays the same insert phase.
+    const ROUNDS: usize = 5;
+    let (mut mono_best, mut sharded_best) = (f64::INFINITY, f64::INFINITY);
+    let mut contentions = 0;
+    for _ in 0..ROUNDS {
+        let mono = MonolithicCache {
+            map: RwLock::new(HashMap::new()),
+            stats: parking_lot::Mutex::new(nautilus_synth::JobStats::default()),
+        };
+        let mono_time = hammer(|t, i| mono.lookup_or_insert(pick(t, i)));
+        assert_eq!(mono.map.read().len() as u32, HAMMER_DISTINCT);
+        mono_best = mono_best.min(ms(mono_time));
 
-    let sharded = ShardedCache::new();
-    let sharded_time = hammer(|t, i| {
-        let g = pick(t, i);
-        if sharded.lookup(g).is_none() {
-            sharded.insert_or_hit(g, &None, 0);
-        }
-    });
-    assert_eq!(sharded.len() as u32, HAMMER_DISTINCT);
-    (ms(mono_time), ms(sharded_time), sharded.contentions())
+        let sharded = ShardedCache::new();
+        let sharded_time = hammer(|t, i| {
+            let g = pick(t, i);
+            if sharded.lookup(g).is_none() {
+                sharded.insert_or_hit(g, &None, 0);
+            }
+        });
+        assert_eq!(sharded.len() as u32, HAMMER_DISTINCT);
+        sharded_best = sharded_best.min(ms(sharded_time));
+        contentions = sharded.contentions();
+    }
+    (mono_best, sharded_best, contentions)
 }
 
 /// Repeats the sharded hammer with per-shard lock-wait timing enabled
@@ -250,11 +297,29 @@ fn bench_dataset_query() -> (f64, f64, usize) {
 }
 
 fn main() -> ExitCode {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_evalpipeline.json".to_owned());
+    let mut out_path = "BENCH_evalpipeline.json".to_owned();
+    let mut floors = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--floors" => floors = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}; usage: evalbench [OUTPUT.json] [--floors]");
+                return ExitCode::FAILURE;
+            }
+            path => out_path = path.to_owned(),
+        }
+    }
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
-    eprintln!("eval_batch: identical search, 1 worker vs auto pool ...");
-    let (serial_ms, parallel_ms) = bench_eval_batch();
-    eprintln!("  serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms");
+    eprintln!("eval_batch: identical search across the {WORKER_MATRIX:?} worker matrix ...");
+    let (serial_ms, matrix) = bench_eval_batch();
+    let entry = |workers: usize| {
+        matrix.iter().find(|(w, _)| *w == workers).map(|(_, t)| *t).expect("matrix entry")
+    };
+    let parallel_ms = entry(4);
+    for (workers, t) in &matrix {
+        eprintln!("  workers {workers}: {t:.1} ms ({:.2}x serial)", serial_ms / t);
+    }
 
     eprintln!("cache_sharded: monolithic vs sharded, {HAMMER_THREADS} threads ...");
     let (mono_ms, sharded_ms, contentions) = bench_cache_sharded();
@@ -271,17 +336,29 @@ fn main() -> ExitCode {
     eprintln!("  cache_sharded lock waits: {lock_waits} ({lock_wait_ms:.2} ms total)");
 
     let query_speedup = linear_ms / indexed_ms;
+    let matrix_rows: Vec<String> = matrix
+        .iter()
+        .map(|(workers, t)| {
+            format!(
+                "      {{ \"workers\": {workers}, \"ms\": {t:.2}, \"speedup_vs_serial\": {:.3} }}",
+                serial_ms / t
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"evalpipeline\",\n",
             "  \"host_threads\": {host_threads},\n",
             "  \"eval_batch\": {{\n",
-            "    \"search\": \"router-slow baseline, 40 generations, seed 42, 4 workers\",\n",
+            "    \"search\": \"router-slow baseline, 40 generations, seed 42\",\n",
             "    \"serial_ms\": {serial:.2},\n",
             "    \"parallel_ms\": {parallel:.2},\n",
             "    \"speedup\": {batch_speedup:.2},\n",
-            "    \"outcomes_identical\": true\n",
+            "    \"outcomes_identical\": true,\n",
+            "    \"matrix\": [\n",
+            "{matrix_rows}\n",
+            "    ]\n",
             "  }},\n",
             "  \"cache_sharded\": {{\n",
             "    \"threads\": {threads},\n",
@@ -316,7 +393,8 @@ fn main() -> ExitCode {
             "  }}\n",
             "}}\n",
         ),
-        host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        host_threads = host_threads,
+        matrix_rows = matrix_rows.join(",\n"),
         serial = serial_ms,
         parallel = parallel_ms,
         batch_speedup = serial_ms / parallel_ms,
@@ -346,6 +424,59 @@ fn main() -> ExitCode {
     if query_speedup < 5.0 {
         eprintln!("FAIL: indexed dataset queries only {query_speedup:.1}x faster (need >= 5x)");
         return ExitCode::FAILURE;
+    }
+    if floors {
+        let mut failed = false;
+        // One-worker floor: the matrix's workers=1 entry must stay within
+        // 1% of the serial baseline. The entry currently *is* the
+        // baseline (same serial scoring loop), so this gate documents the
+        // floor and arms it against any future split of the two paths.
+        let one_worker_speedup = serial_ms / entry(1);
+        if one_worker_speedup < 0.99 {
+            eprintln!("FAIL floor: 1-worker eval {one_worker_speedup:.3}x serial (need >= 0.99x)");
+            failed = true;
+        }
+        // Overhead sanity bound for the batched path. On a single-thread
+        // host the pool cannot win, only timeshare; the bound tolerates
+        // scheduler noise (a few percent on shared hosts) while still
+        // catching any return of per-generation spawn/clone overhead.
+        let batched_min_speedup = matrix
+            .iter()
+            .filter(|(w, _)| *w >= 2)
+            .map(|(_, t)| serial_ms / t)
+            .fold(f64::INFINITY, f64::min);
+        if batched_min_speedup < 0.90 {
+            eprintln!("FAIL floor: batched eval {batched_min_speedup:.3}x serial (need >= 0.90x)");
+            failed = true;
+        }
+        let batched_best_speedup =
+            matrix.iter().filter(|(w, _)| *w >= 2).map(|(_, t)| serial_ms / t).fold(0.0, f64::max);
+        if host_threads >= 2 {
+            if batched_best_speedup <= 1.0 {
+                eprintln!(
+                    "FAIL floor: best batched eval {batched_best_speedup:.3}x serial \
+                     (need > 1.0x on a {host_threads}-thread host)"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "floor skipped: strictly-faster-than-serial needs >= 2 host threads \
+                 (this host has {host_threads})"
+            );
+        }
+        let cache_speedup = mono_ms / sharded_ms;
+        if cache_speedup < 1.0 {
+            eprintln!(
+                "FAIL floor: sharded cache {cache_speedup:.3}x monolithic under the \
+                 8-thread hammer (need >= 1.0x)"
+            );
+            failed = true;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("perf floors hold: 1-worker >= 0.99x, batched >= 0.90x, sharded >= 1.0x mono");
     }
     eprintln!("wrote {out_path}");
     ExitCode::SUCCESS

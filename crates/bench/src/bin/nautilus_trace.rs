@@ -8,9 +8,12 @@
 //! nautilus-trace capture DIR [SEED]
 //! ```
 //!
-//! * **summarize** prints the per-phase attribution table (count, total,
-//!   self time, percent of wall), per-track busy time / utilization, and
-//!   a critical-path estimate for one `*.trace.json` file.
+//! * **summarize** prints the per-phase attribution tables (count, total,
+//!   self time, percent of wall) — one for the merge thread's track,
+//!   whose self times telescope to the wall clock, and one aggregating
+//!   the worker tracks' *concurrent* CPU time, which may sum past 100% —
+//!   plus per-track busy time / utilization and a critical-path estimate
+//!   for one `*.trace.json` file.
 //! * **diff** compares the *logical* content of two artifacts of the same
 //!   kind — two Perfetto trace files (structural digest: tracks, span
 //!   counts, per-track span sequences, aggregate counts) or two JSONL

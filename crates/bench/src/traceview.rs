@@ -157,7 +157,7 @@ pub fn parse_trace(text: &str) -> Result<TraceData, TraceViewError> {
     Ok(data)
 }
 
-/// One row of the per-phase attribution table.
+/// One row of a per-phase attribution table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseRow {
     /// Phase label.
@@ -168,7 +168,9 @@ pub struct PhaseRow {
     pub total_us: f64,
     /// Self time (total minus enclosed child spans), microseconds.
     pub self_us: f64,
-    /// Self time as a percentage of the run's wall clock.
+    /// Self time as a percentage of the run's wall clock. In the
+    /// cross-worker table this is CPU time over wall time, so the column
+    /// can legitimately sum past 100% when workers run concurrently.
     pub percent_of_wall: f64,
 }
 
@@ -184,17 +186,37 @@ pub struct TrackRow {
 }
 
 /// The `nautilus-trace summarize` report.
+///
+/// ## Attribution semantics
+///
+/// Phase time is attributed **per track**: self time is computed against
+/// the innermost enclosing span *on the same track*, never across
+/// threads. [`TraceSummary::phases`] covers only the primary track (the
+/// one carrying the `run` root span — the merge thread), so its self
+/// times telescope to the run's wall clock and `wall%` sums to ~100%.
+/// Spans recorded by other tracks (parallel eval workers) land in
+/// [`TraceSummary::worker_phases`] together with aggregate-only phases;
+/// that table reports concurrent CPU time, which exceeds wall clock as
+/// soon as two workers overlap — mixing the two tables into one, as
+/// earlier versions did, silently inflated `wall%` on multi-worker runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
     /// Run wall clock, microseconds (the `run` root span, or the overall
     /// span extent when no root was recorded).
     pub wall_us: f64,
-    /// Per-phase attribution, largest self time first.
+    /// Primary-track (merge-thread) attribution, largest self time first.
+    /// Self times telescope to the wall clock.
     pub phases: Vec<PhaseRow>,
+    /// Cross-worker aggregate: spans from every non-primary track plus
+    /// aggregate-only phases, largest self time first. Totals are summed
+    /// CPU time across concurrent workers and may exceed the wall clock.
+    pub worker_phases: Vec<PhaseRow>,
     /// Per-track busy time and utilization, in track order.
     pub tracks: Vec<TrackRow>,
     /// Estimated wall clock with perfect worker overlap: merge-side time
-    /// plus, per batch-dispatch window, only the busiest worker's time.
+    /// plus, per batch window (`batch_wait`, plus `batch_dispatch` for
+    /// traces predating the dispatch/wait split), only the busiest
+    /// worker's time.
     pub critical_path_us: f64,
 }
 
@@ -223,17 +245,32 @@ pub fn summarize(data: &TraceData) -> TraceSummary {
     let wall_us =
         data.spans.iter().find(|s| s.phase == "run").map_or(extent, |s| s.dur_us).max(1e-9);
 
+    // The primary track carries the `run` root span (the merge thread);
+    // everything else is a worker track whose time is concurrent CPU
+    // time, accumulated into a separate cross-worker table.
+    let primary_track = data
+        .spans
+        .iter()
+        .find(|s| s.phase == "run")
+        .map(|s| s.track)
+        .or_else(|| data.tracks.keys().next().copied());
+
     // Per-phase totals and per-track innermost-enclosing self times (the
-    // same attribution `Tracer::phase_stats` computes pre-export).
-    let mut totals: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+    // same attribution `Tracer::phase_stats` computes pre-export). Self
+    // time is strictly per track: a span never pays for spans that other
+    // threads recorded while it was open.
+    let mut primary: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+    let mut workers: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
     let mut by_track: BTreeMap<u32, Vec<&TraceSpan>> = BTreeMap::new();
     for s in &data.spans {
+        let totals = if Some(s.track) == primary_track { &mut primary } else { &mut workers };
         let entry = totals.entry(s.phase.clone()).or_default();
         entry.0 += 1;
         entry.1 += s.dur_us;
         by_track.entry(s.track).or_default().push(s);
     }
-    for spans in by_track.values_mut() {
+    for (track, spans) in by_track.iter_mut() {
+        let totals = if Some(*track) == primary_track { &mut primary } else { &mut workers };
         spans.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us).then(b.dur_us.total_cmp(&a.dur_us)));
         struct Open<'a> {
             end: f64,
@@ -249,7 +286,7 @@ pub fn summarize(data: &TraceData) -> TraceSummary {
         for s in spans.iter() {
             while open.last().is_some_and(|o| o.end <= s.ts_us) {
                 let o = open.pop().expect("checked non-empty");
-                settle(&mut totals, o);
+                settle(totals, o);
             }
             if let Some(parent) = open.last_mut() {
                 parent.children += s.dur_us;
@@ -262,27 +299,34 @@ pub fn summarize(data: &TraceData) -> TraceSummary {
             });
         }
         while let Some(o) = open.pop() {
-            settle(&mut totals, o);
+            settle(totals, o);
         }
     }
+    // Aggregate-only phases (e.g. shard lock waits) accumulate across all
+    // evaluator threads, so they belong to the cross-worker table.
     for (label, agg) in &data.aggregates {
         let us = agg.total_nanos as f64 / 1000.0;
-        let entry = totals.entry(label.clone()).or_default();
+        let entry = workers.entry(label.clone()).or_default();
         entry.0 += agg.count;
         entry.1 += us;
         entry.2 += us;
     }
-    let mut phases: Vec<PhaseRow> = totals
-        .into_iter()
-        .map(|(phase, (count, total_us, self_us))| PhaseRow {
-            phase,
-            count,
-            total_us,
-            self_us,
-            percent_of_wall: 100.0 * self_us / wall_us,
-        })
-        .collect();
-    phases.sort_by(|a, b| b.self_us.total_cmp(&a.self_us));
+    let rows = |totals: BTreeMap<String, (u64, f64, f64)>| -> Vec<PhaseRow> {
+        let mut rows: Vec<PhaseRow> = totals
+            .into_iter()
+            .map(|(phase, (count, total_us, self_us))| PhaseRow {
+                phase,
+                count,
+                total_us,
+                self_us,
+                percent_of_wall: 100.0 * self_us / wall_us,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.self_us.total_cmp(&a.self_us));
+        rows
+    };
+    let phases = rows(primary);
+    let worker_phases = rows(workers);
 
     let tracks: Vec<TrackRow> = data
         .tracks
@@ -299,11 +343,13 @@ pub fn summarize(data: &TraceData) -> TraceSummary {
         })
         .collect();
 
-    // Critical path: outside batch-dispatch windows the merge thread is
-    // the only actor, so those intervals count in full; inside a window
-    // only the busiest worker bounds progress.
+    // Critical path: outside batch windows the merge thread is the only
+    // actor, so those intervals count in full; inside a window only the
+    // busiest worker bounds progress. `batch_wait` is the blocking window
+    // on the merge thread; `batch_dispatch` is kept for traces recorded
+    // before the dispatch/wait split, where it covered the whole window.
     let mut critical = wall_us;
-    for d in data.spans.iter().filter(|s| s.phase == "batch_dispatch") {
+    for d in data.spans.iter().filter(|s| s.phase == "batch_wait" || s.phase == "batch_dispatch") {
         let (w0, w1) = (d.ts_us, d.ts_us + d.dur_us);
         let busiest = data
             .tracks
@@ -322,7 +368,7 @@ pub fn summarize(data: &TraceData) -> TraceSummary {
         critical -= d.dur_us - busiest.min(d.dur_us);
     }
 
-    TraceSummary { wall_us, phases, tracks, critical_path_us: critical.max(0.0) }
+    TraceSummary { wall_us, phases, worker_phases, tracks, critical_path_us: critical.max(0.0) }
 }
 
 impl fmt::Display for TraceSummary {
@@ -349,6 +395,25 @@ impl fmt::Display for TraceSummary {
                 row.self_us / 1000.0,
                 row.percent_of_wall
             )?;
+        }
+        if !self.worker_phases.is_empty() {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "{:<18} {:>9} {:>12} {:>12} {:>7}",
+                "workers (conc.)", "count", "total ms", "self ms", "wall%"
+            )?;
+            for row in &self.worker_phases {
+                writeln!(
+                    f,
+                    "{:<18} {:>9} {:>12.3} {:>12.3} {:>6.1}%",
+                    row.phase,
+                    row.count,
+                    row.total_us / 1000.0,
+                    row.self_us / 1000.0,
+                    row.percent_of_wall
+                )?;
+            }
         }
         writeln!(f)?;
         writeln!(f, "{:<18} {:>12} {:>12}", "track", "busy ms", "util")?;
@@ -638,19 +703,22 @@ mod tests {
         let data = parse_trace(&tracer.to_chrome_json()).unwrap();
         let summary = summarize(&data);
         assert!(summary.wall_us > 0.0);
-        // Merge-track self times telescope to the run root's wall clock
-        // (the worker track and the aggregate are extra).
-        let merge_self: f64 = summary
-            .phases
-            .iter()
-            .filter(|p| !matches!(p.phase.as_str(), "miss_eval" | "shard_lock_wait"))
-            .map(|p| p.self_us)
-            .sum();
+        // The primary table holds only merge-track phases, so its self
+        // times telescope exactly to the run root's wall clock.
+        let merge_self: f64 = summary.phases.iter().map(|p| p.self_us).sum();
         assert!(
             (merge_self - summary.wall_us).abs() <= summary.wall_us * 0.01,
             "self times must telescope: {merge_self} vs {}",
             summary.wall_us
         );
+        // Worker-track spans and aggregate-only phases land in the
+        // cross-worker table, never in the primary one.
+        assert!(summary.phases.iter().all(|p| p.phase != "miss_eval"));
+        let miss = summary.worker_phases.iter().find(|p| p.phase == "miss_eval").unwrap();
+        assert_eq!(miss.count, 2);
+        let waits = summary.worker_phases.iter().find(|p| p.phase == "shard_lock_wait").unwrap();
+        assert_eq!(waits.count, 4);
+        assert!((waits.total_us - 0.9).abs() < 1e-9);
         let worker = summary.tracks.iter().find(|t| t.track == "worker-0").unwrap();
         assert!(worker.busy_us > 0.0);
         assert!(summary.critical_path_us <= summary.wall_us + 1e-9);

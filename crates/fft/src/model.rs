@@ -15,8 +15,8 @@
 //! throughput-per-LUT is ~1.5–1.7 MSPS/LUT, the values the paper's
 //! Figures 6 and 7 report.
 
-use nautilus_ga::{Genome, ParamSpace};
-use nautilus_synth::noise::noise_factor;
+use nautilus_ga::{GeneRows, Genome, ParamSpace};
+use nautilus_synth::noise::noise_factor_genes;
 use nautilus_synth::{CostModel, MetricCatalog, MetricSet};
 
 use crate::space::{space, FftConfig};
@@ -81,7 +81,22 @@ impl CostModel for FftModel {
     }
 
     fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
-        let c = FftConfig::decode(&self.space, g);
+        self.eval_genes(g.genes())
+    }
+
+    fn evaluate_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<MetricSet>>) {
+        // Slice-native batch kernel: no scratch genome, no per-point
+        // dispatch.
+        for row in rows.iter() {
+            out.push(self.eval_genes(row));
+        }
+    }
+}
+
+impl FftModel {
+    /// Slice-native synthesis kernel over one gene row.
+    fn eval_genes(&self, g: &[u32]) -> Option<MetricSet> {
+        let c = FftConfig::decode_genes(&self.space, g);
         if !c.is_feasible() {
             return None;
         }
@@ -146,13 +161,13 @@ impl CostModel for FftModel {
                 1 => 0.0,
                 _ => 0.50 + 0.10 * n, // giant fanout
             };
-        delay_ns *= noise_factor(g, SALT_FMAX, 0.04);
+        delay_ns *= noise_factor_genes(g, SALT_FMAX, 0.04);
         let fmax = (1000.0 / delay_ns).clamp(80.0, 500.0);
 
         // ---- Derived metrics ---------------------------------------------------
-        luts = (luts * noise_factor(g, SALT_LUTS, 0.05)).round().max(1.0);
+        luts = (luts * noise_factor_genes(g, SALT_LUTS, 0.05)).round().max(1.0);
         let throughput = fmax * samples_per_cycle; // MSPS
-        let snr = (6.02 * b.min(t + 2.0) + 1.76 - 1.4 * n) * noise_factor(g, SALT_SNR, 0.02);
+        let snr = (6.02 * b.min(t + 2.0) + 1.76 - 1.4 * n) * noise_factor_genes(g, SALT_SNR, 0.02);
 
         Some(
             self.catalog
@@ -311,5 +326,21 @@ mod tests {
         let m = FftModel::new();
         let g = m.space().genome_at(7_777);
         assert_eq!(m.evaluate(&g), m.evaluate(&g));
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_per_point_path() {
+        // Includes infeasible rows: the batch kernel must report them as
+        // None in place, exactly like the per-point path.
+        let m = FftModel::new();
+        let genomes: Vec<_> =
+            (0..60u128).map(|i| m.space().genome_at(i * 227 % m.space().cardinality())).collect();
+        let flat: Vec<u32> = genomes.iter().flat_map(|g| g.genes().iter().copied()).collect();
+        let mut batch = Vec::new();
+        m.evaluate_rows(GeneRows::new(&flat, m.space().num_params()), &mut batch);
+        assert!(batch.iter().any(|r| r.is_none()), "sample should hit infeasible points");
+        for (g, got) in genomes.iter().zip(&batch) {
+            assert_eq!(*got, m.evaluate(g), "batch row diverged for {g:?}");
+        }
     }
 }

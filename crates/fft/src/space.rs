@@ -60,19 +60,32 @@ impl FftConfig {
     /// Panics if the genome does not belong to the FFT space.
     #[must_use]
     pub fn decode(space: &ParamSpace, genome: &Genome) -> FftConfig {
+        Self::decode_genes(space, genome.genes())
+    }
+
+    /// Slice-native [`FftConfig::decode`] over a structure-of-arrays gene
+    /// row; identical to decoding the equivalent [`Genome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not belong to the FFT space.
+    #[must_use]
+    pub fn decode_genes(space: &ParamSpace, genes: &[u32]) -> FftConfig {
         let int = |name: &str| -> i64 {
-            match space.value_of(genome, space.id(name).expect("fft param")) {
+            let id = space.id(name).expect("fft param");
+            match space.param(id).domain().value(genes[id.index()] as usize) {
                 ParamValue::Int(v) => v,
                 other => panic!("expected integer for {name}, got {other}"),
             }
         };
+        let gene = |name: &str| genes[space.id(name).expect("fft param").index()];
         FftConfig {
             log2_size: (int("transform_size") as u64).trailing_zeros(),
             log2_width: (int("streaming_width") as u64).trailing_zeros(),
-            arch: genome.gene(space.id("arch").expect("fft param")) as usize,
+            arch: gene("arch") as usize,
             data_width: int("data_width") as u32,
             twiddle_width: int("twiddle_width") as u32,
-            storage: genome.gene(space.id("twiddle_storage").expect("fft param")) as usize,
+            storage: gene("twiddle_storage") as usize,
         }
     }
 

@@ -59,6 +59,23 @@ impl EvalCache {
         self.map.get(genome).copied()
     }
 
+    /// [`EvalCache::peek`] keyed by a raw gene row — no `Genome`
+    /// allocation, used by the structure-of-arrays scoring path.
+    #[must_use]
+    pub fn peek_genes(&self, genes: &[u32]) -> Option<Option<f64>> {
+        self.map.get(genes).copied()
+    }
+
+    /// [`EvalCache::lookup`] keyed by a raw gene row: counts a hit when
+    /// present, without allocating a `Genome`.
+    pub fn lookup_genes(&mut self, genes: &[u32]) -> Option<Option<f64>> {
+        let v = self.map.get(genes).copied();
+        if v.is_some() {
+            self.hits += 1;
+        }
+        v
+    }
+
     /// Looks `genome` up, counting a cache hit when present.
     ///
     /// This is the lookup half of [`EvalCache::get_or_eval`]: it updates
@@ -90,6 +107,30 @@ impl EvalCache {
             None => self.infeasible_misses += 1,
         }
         self.map.insert(genome.clone(), value);
+    }
+
+    /// [`EvalCache::insert_evaluated`] keyed by a raw gene row: the
+    /// owning [`Genome`] is only allocated on an actual insert, so the
+    /// structure-of-arrays merge path pays nothing for re-inserts.
+    pub fn insert_evaluated_genes(&mut self, genes: &[u32], value: Option<f64>) {
+        if self.map.contains_key(genes) {
+            return;
+        }
+        match value {
+            Some(_) => self.feasible_misses += 1,
+            None => self.infeasible_misses += 1,
+        }
+        self.map.insert(Genome::from_genes(genes.to_vec()), value);
+    }
+
+    /// [`EvalCache::insert_quarantined`] keyed by a raw gene row.
+    pub fn insert_quarantined_genes(&mut self, genes: &[u32]) {
+        if self.map.contains_key(genes) {
+            return;
+        }
+        let genome = Genome::from_genes(genes.to_vec());
+        self.map.insert(genome.clone(), None);
+        self.quarantined.insert(genome);
     }
 
     /// Quarantines `genome`: every evaluation attempt failed, so it is

@@ -2,6 +2,7 @@
 
 use nautilus_obs::{capture_events, Phase, SearchEvent, SearchObserver, SpanRecorder, Tracer};
 
+use crate::arena::PopArena;
 use crate::budget::{RunBudget, StopReason};
 use crate::cache::{CacheStats, EvalCache};
 use crate::checkpoint::{CheckpointStore, SearchState};
@@ -9,9 +10,10 @@ use crate::error::{GaError, Result};
 use crate::fallible::{
     evaluate_with_retries, EvalRecord, FallibleEvaluator, FaultStats, RetryPolicy,
 };
-use crate::fitness::FitnessFn;
+use crate::fitness::{FitnessFn, GeneRows};
 use crate::genome::Genome;
 use crate::ops::{CrossoverOp, MutationOp, OnePointCrossover, OpCtx, UniformMutation};
+use crate::pool::EvalPool;
 use crate::rng::SearchRng;
 use crate::select::{ScoredGenome, Selector, Tournament};
 use crate::space::ParamSpace;
@@ -47,10 +49,11 @@ pub struct GaSettings {
     /// `1` (the default) keeps the original inline serial path. `0`
     /// derives the count from [`std::thread::available_parallelism`]. Any
     /// other value spreads each generation's distinct cache misses over
-    /// that many scoped worker threads. Every setting produces
-    /// bit-for-bit identical runs per seed: the RNG is never touched
-    /// during evaluation and results are merged back into the cache in
-    /// deterministic first-occurrence order.
+    /// that many workers: the merge thread plus `workers - 1` persistent
+    /// pool helpers that stay parked between generations. Every setting
+    /// produces bit-for-bit identical runs per seed: the RNG is never
+    /// touched during evaluation and results are merged back into the
+    /// cache in deterministic first-occurrence order.
     pub eval_workers: usize,
 }
 
@@ -422,6 +425,12 @@ impl<'a> GaEngine<'a> {
         let obs = self.observer;
         let run_clock = std::time::Instant::now();
         let timer = self.budget.start_timer();
+        let workers = resolve_eval_workers(self.settings.eval_workers);
+        // Persistent helper pool for the whole run: the merge thread is
+        // worker slot 0 and `workers - 1` parked helpers fill slots
+        // `1..workers`, so per-generation dispatch no longer pays thread
+        // spawn/join. `workers == 1` keeps the pool threadless and free.
+        let pool = EvalPool::new(workers.saturating_sub(1));
         // Merge-thread span recorder; the root `Run` span makes per-phase
         // self times telescope to the run's wall clock.
         let mut rec = self.tracer.map(|t| t.recorder("merge"));
@@ -430,7 +439,7 @@ impl<'a> GaEngine<'a> {
         let mut rng;
         let mut cache;
         let mut faults;
-        let mut population: Vec<Genome>;
+        let mut population: PopArena;
         let mut history: Vec<GenStats>;
         let mut best_genome: Option<Genome>;
         let mut best_value;
@@ -454,7 +463,7 @@ impl<'a> GaEngine<'a> {
             rng = SearchRng::from_state(state.rng);
             cache = EvalCache::restore(&state.cache);
             faults = state.faults;
-            population = state.population;
+            population = PopArena::from_genomes(&state.population);
             history = state.history;
             best_genome = state.best_genome;
             best_value =
@@ -492,22 +501,22 @@ impl<'a> GaEngine<'a> {
             }
 
             // --- Initial population ---------------------------------------
-            population = Vec::with_capacity(self.settings.population);
+            let mut init_pop: Vec<Genome> = Vec::with_capacity(self.settings.population);
             let max_attempts = self.settings.population * self.settings.init_retries;
             attempts = 0;
             {
                 let _span = nautilus_obs::span(obs, "init_population");
                 let init_start = rec.as_ref().map(SpanRecorder::begin);
-                while population.len() < self.settings.population {
+                while init_pop.len() < self.settings.population {
                     if attempts >= max_attempts {
-                        if population.is_empty() {
+                        if init_pop.is_empty() {
                             return Err(GaError::NoFeasibleGenome { attempts });
                         }
                         // Partial population: fill remaining slots with clones
                         // of what we found so we can still proceed.
-                        while population.len() < self.settings.population {
-                            let idx = population.len() % population.len().max(1);
-                            population.push(population[idx].clone());
+                        while init_pop.len() < self.settings.population {
+                            let idx = init_pop.len() % init_pop.len().max(1);
+                            init_pop.push(init_pop[idx].clone());
                         }
                         break;
                     }
@@ -516,13 +525,14 @@ impl<'a> GaEngine<'a> {
                     let feasible =
                         self.eval_into_cache(&mut cache, &g, &mut faults, &mut rec).is_some();
                     if feasible {
-                        population.push(g);
+                        init_pop.push(g);
                     }
                 }
                 if let (Some(r), Some(start)) = (rec.as_mut(), init_start) {
                     r.end(Phase::InitPopulation, start);
                 }
             }
+            population = PopArena::from_genomes(&init_pop);
             history = Vec::with_capacity(self.settings.generations as usize + 1);
         }
 
@@ -536,7 +546,6 @@ impl<'a> GaEngine<'a> {
             // Score the population (cache makes revisits free).
             let scoring_span = nautilus_obs::span(obs, "scoring");
             let scoring_start = rec.as_ref().map(SpanRecorder::begin);
-            let workers = resolve_eval_workers(self.settings.eval_workers);
             let mut scored: Vec<ScoredGenome> = if let Some(sup) = self.supervisor {
                 // Supervision always takes the batched path: watchdog,
                 // hedging and breaker decisions live in the merge loop,
@@ -549,17 +558,19 @@ impl<'a> GaEngine<'a> {
                     generation,
                     sup,
                     session.as_mut().expect("session exists whenever a supervisor is installed"),
+                    &pool,
                     &mut rec,
                 )
             } else if workers <= 1 {
-                population
-                    .iter()
-                    .map(|g| {
-                        let raw = self.eval_into_cache(&mut cache, g, &mut faults, &mut rec);
-                        let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                        ScoredGenome { genome: g.clone(), score }
-                    })
-                    .collect()
+                let mut scratch = Genome::from_genes(Vec::with_capacity(population.gene_len()));
+                let mut scored = Vec::with_capacity(population.len());
+                for i in 0..population.len() {
+                    scratch.copy_from_slice(population.row(i));
+                    let raw = self.eval_into_cache(&mut cache, &scratch, &mut faults, &mut rec);
+                    let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
+                    scored.push(ScoredGenome { genome: scratch.clone(), score });
+                }
+                scored
             } else {
                 self.score_batched(
                     &population,
@@ -567,6 +578,7 @@ impl<'a> GaEngine<'a> {
                     &mut faults,
                     workers,
                     generation,
+                    &pool,
                     &mut rec,
                 )
             };
@@ -628,9 +640,12 @@ impl<'a> GaEngine<'a> {
             // Breed the next generation.
             let _breeding_span = nautilus_obs::span(obs, "breeding");
             let ctx = OpCtx::with_observer(generation, self.settings.generations, obs);
-            let mut next: Vec<Genome> =
-                scored.iter().take(self.settings.elitism).map(|s| s.genome.clone()).collect();
-            while next.len() < self.settings.population {
+            // Children are written into the arena's next-generation buffer
+            // and promoted by one allocation-free swap at the end.
+            for s in scored.iter().take(self.settings.elitism) {
+                population.push_next(s.genome.genes());
+            }
+            while population.next_len() < self.settings.population {
                 let ia =
                     timed(&mut rec, Phase::Selection, || self.selector.select(&scored, &mut rng));
                 let ib =
@@ -659,15 +674,15 @@ impl<'a> GaEngine<'a> {
                 timed(&mut rec, Phase::Mutation, || {
                     self.mutation.mutate(&mut ca, self.space, &ctx, &mut rng);
                 });
-                next.push(ca);
-                if next.len() < self.settings.population {
+                population.push_next(ca.genes());
+                if population.next_len() < self.settings.population {
                     timed(&mut rec, Phase::Mutation, || {
                         self.mutation.mutate(&mut cb, self.space, &ctx, &mut rng);
                     });
-                    next.push(cb);
+                    population.push_next(cb.genes());
                 }
             }
-            population = next;
+            population.swap();
             drop(_breeding_span);
 
             // --- Generation boundary: checkpoint, then budget check -------
@@ -685,7 +700,7 @@ impl<'a> GaEngine<'a> {
                     settings: self.settings,
                     generation: next_generation,
                     rng: rng.state(),
-                    population: population.clone(),
+                    population: population.to_genomes(),
                     history: history.clone(),
                     best_genome: best_genome.clone(),
                     best_value,
@@ -833,119 +848,156 @@ impl<'a> GaEngine<'a> {
     }
 
     /// Scores one generation by evaluating its distinct cache misses as a
-    /// parallel batch.
+    /// parallel batch on the persistent [`EvalPool`].
     ///
     /// Equivalence with the serial path is by construction:
     ///
-    /// 1. Misses are collected in first-occurrence population order — the
-    ///    exact order the serial path would have evaluated them.
-    /// 2. Workers pull miss indices from an atomic work-stealing cursor;
-    ///    the RNG is never touched and completion order is irrelevant
-    ///    because results are keyed by index.
+    /// 1. Misses are collected — as packed gene rows in one contiguous
+    ///    buffer — in first-occurrence population order, the exact order
+    ///    the serial path would have evaluated them.
+    /// 2. Workers pull contiguous row chunks from an atomic cursor; the
+    ///    RNG is never touched and completion order is irrelevant because
+    ///    results are keyed by starting row index.
     /// 3. Results are inserted into the cache in first-occurrence order,
     ///    so miss counters and map contents match the serial path.
+    ///    Captured evaluator telemetry replays in that same order: chunks
+    ///    are contiguous ranges of the miss list, so sorted chunk
+    ///    concatenation *is* the serial per-miss event order.
     /// 4. The scoring pass then charges a cache hit for every lookup the
     ///    serial path would have answered from the cache (everything
     ///    except each miss's first occurrence).
+    #[allow(clippy::too_many_arguments)]
     fn score_batched(
         &self,
-        population: &[Genome],
+        population: &PopArena,
         cache: &mut EvalCache,
         faults: &mut FaultStats,
         workers: usize,
         generation: u32,
+        pool: &EvalPool,
         rec: &mut Option<SpanRecorder<'_>>,
     ) -> Vec<ScoredGenome> {
         let direction = self.fitness.direction();
         let obs = self.observer;
-        let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
-        let mut misses: Vec<&Genome> = Vec::new();
+        let gene_len = population.gene_len();
+        let mut queued: std::collections::HashSet<&[u32]> = std::collections::HashSet::new();
+        let mut miss_buf: Vec<u32> = Vec::new();
         timed(rec, Phase::CacheLookup, || {
-            for g in population {
-                if cache.peek(g).is_none() && queued.insert(g) {
-                    misses.push(g);
+            for row in population.rows() {
+                if cache.peek_genes(row).is_none() && queued.insert(row) {
+                    miss_buf.extend_from_slice(row);
                 }
             }
         });
+        let n = miss_buf.len() / gene_len;
 
         if obs.enabled() {
             obs.on_event(&SearchEvent::EvalBatch {
                 generation,
-                size: misses.len(),
-                workers: workers.min(misses.len().max(1)),
+                size: n,
+                workers: workers.min(n.max(1)),
             });
         }
 
-        if !misses.is_empty() {
+        if n > 0 {
             let fitness = self.fitness;
             let fallible = self.fallible;
             let retry = self.retry;
             let tracer = self.tracer;
             let capture = obs.enabled();
+            let rows = GeneRows::new(&miss_buf, gene_len);
+            let total = workers.min(n);
+            // Four chunks per worker balance tail latency against
+            // per-chunk overhead; chunks stay contiguous so sorted replay
+            // preserves the serial event order.
+            let chunk = n.div_ceil(total * 4).max(1);
             let cursor = std::sync::atomic::AtomicUsize::new(0);
-            let n = misses.len();
-            // A worker evaluates under `capture_events`, so telemetry its
-            // evaluator emits lands in a per-miss local buffer instead of
-            // racing into the shared observer; the merge loop below replays
-            // those buffers in deterministic first-occurrence order.
-            let mut results: Vec<(usize, (EvalRecord, Vec<SearchEvent>))> =
-                timed(rec, Phase::BatchDispatch, || {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..workers.min(n))
-                            .map(|w| {
-                                let cursor = &cursor;
-                                let misses = &misses;
-                                scope.spawn(move || {
-                                    let mut wrec =
-                                        tracer.map(|t| t.recorder(&format!("worker-{w}")));
-                                    let mut local = Vec::new();
-                                    loop {
-                                        let i = cursor
-                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                        if i >= n {
-                                            break;
-                                        }
-                                        let eval_one = || match fallible {
-                                            None => {
-                                                EvalRecord::evaluated(fitness.fitness(misses[i]))
-                                            }
-                                            Some(eval) => {
-                                                evaluate_with_retries(eval, misses[i], &retry)
-                                            }
-                                        };
-                                        let outcome = timed(&mut wrec, Phase::MissEval, || {
-                                            if capture {
-                                                capture_events(eval_one)
-                                            } else {
-                                                (eval_one(), Vec::new())
-                                            }
-                                        });
-                                        local.push((i, outcome));
+            let results: std::sync::Mutex<Vec<ChunkResult>> = std::sync::Mutex::new(Vec::new());
+            // Every worker — the merge thread runs slot 0 itself — drains
+            // chunks off the cursor. Telemetry the evaluator emits is
+            // captured into per-chunk local buffers instead of racing into
+            // the shared observer; the merge loop below replays it all in
+            // deterministic first-occurrence order.
+            let job = |slot: usize| {
+                let mut wrec = tracer.map(|t| t.recorder(&format!("worker-{slot}")));
+                let mut local: Vec<ChunkResult> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    match fallible {
+                        None => {
+                            // Infallible misses evaluate as one SoA batch
+                            // kernel call over the whole chunk.
+                            let view = rows.slice_rows(start, end);
+                            let eval_chunk = || {
+                                let mut vals = Vec::with_capacity(end - start);
+                                fitness.fitness_rows(view, &mut vals);
+                                vals
+                            };
+                            let (vals, events) = timed(&mut wrec, Phase::MissEval, || {
+                                if capture {
+                                    capture_events(eval_chunk)
+                                } else {
+                                    (eval_chunk(), Vec::new())
+                                }
+                            });
+                            let records = vals.into_iter().map(EvalRecord::evaluated).collect();
+                            local.push((start, records, events));
+                        }
+                        Some(eval) => {
+                            // The fallible path stays per-row: each row's
+                            // captured events must interleave with its own
+                            // fault events at the merge.
+                            let mut scratch = Genome::from_genes(Vec::with_capacity(gene_len));
+                            for i in start..end {
+                                scratch.copy_from_slice(rows.row(i));
+                                let eval_one = || evaluate_with_retries(eval, &scratch, &retry);
+                                let (record, events) = timed(&mut wrec, Phase::MissEval, || {
+                                    if capture {
+                                        capture_events(eval_one)
+                                    } else {
+                                        (eval_one(), Vec::new())
                                     }
-                                    local
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                            .collect()
-                    })
-                });
-            results.sort_unstable_by_key(|&(i, _)| i);
+                                });
+                                local.push((i, vec![record], events));
+                            }
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    results.lock().expect("batch results lock").extend(local);
+                }
+            };
+            // Dispatch is the O(1) publish alone. The wake is billed to
+            // `batch_wait` along with the drain: on a single-core host
+            // `notify_all` preempts this thread in favor of the woken
+            // helpers, so the wake call blocks for helper compute time.
+            let ticket =
+                timed(rec, Phase::BatchDispatch, || pool.publish(&job, total.saturating_sub(1)));
+            timed(rec, Phase::BatchWait, || ticket.wake());
+            job(0);
+            timed(rec, Phase::BatchWait, || ticket.wait());
+            let mut results = results.into_inner().expect("batch results lock");
+            results.sort_unstable_by_key(|r| r.0);
             // Merge in first-occurrence order so cache counters and fault
             // events replay exactly as the serial path would emit them.
             timed(rec, Phase::BatchMerge, || {
-                for (&g, (_, (record, events))) in misses.iter().zip(&results) {
+                for (start, records, events) in &results {
                     if obs.enabled() {
                         for e in events {
                             obs.on_event(e);
                         }
                     }
-                    self.note_record(record, faults);
-                    match record.value {
-                        Some(value) => cache.insert_evaluated(g, value),
-                        None => cache.insert_quarantined(g),
+                    for (k, record) in records.iter().enumerate() {
+                        let row = rows.row(start + k);
+                        self.note_record(record, faults);
+                        match record.value {
+                            Some(value) => cache.insert_evaluated_genes(row, value),
+                            None => cache.insert_quarantined_genes(row),
+                        }
                     }
                 }
             });
@@ -955,15 +1007,15 @@ impl<'a> GaEngine<'a> {
         let mut fresh = queued;
         timed(rec, Phase::CacheLookup, || {
             population
-                .iter()
-                .map(|g| {
-                    let raw = if fresh.remove(g) {
-                        cache.peek(g).expect("batch inserted this genome")
+                .rows()
+                .map(|row| {
+                    let raw = if fresh.remove(row) {
+                        cache.peek_genes(row).expect("batch inserted this genome")
                     } else {
-                        cache.lookup(g).expect("population member must be cached by now")
+                        cache.lookup_genes(row).expect("population member must be cached by now")
                     };
                     let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                    ScoredGenome { genome: g.clone(), score }
+                    ScoredGenome { genome: Genome::from_genes(row.to_vec()), score }
                 })
                 .collect()
         })
@@ -983,23 +1035,26 @@ impl<'a> GaEngine<'a> {
     #[allow(clippy::too_many_arguments)]
     fn score_supervised(
         &self,
-        population: &[Genome],
+        population: &PopArena,
         cache: &mut EvalCache,
         faults: &mut FaultStats,
         workers: usize,
         generation: u32,
         sup: &Supervisor<'_>,
         session: &mut SuperviseSession,
+        pool: &EvalPool,
         rec: &mut Option<SpanRecorder<'_>>,
     ) -> Vec<ScoredGenome> {
         let direction = self.fitness.direction();
         let obs = self.observer;
-        let mut queued: std::collections::HashSet<&Genome> = std::collections::HashSet::new();
-        let mut misses: Vec<&Genome> = Vec::new();
+        let mut queued: std::collections::HashSet<&[u32]> = std::collections::HashSet::new();
+        // Supervision hands genomes to evaluator traits, so misses are
+        // rehydrated here (they are few and each costs a full evaluation).
+        let mut misses: Vec<Genome> = Vec::new();
         timed(rec, Phase::CacheLookup, || {
-            for g in population {
-                if cache.peek(g).is_none() && queued.insert(g) {
-                    misses.push(g);
+            for row in population.rows() {
+                if cache.peek_genes(row).is_none() && queued.insert(row) {
+                    misses.push(Genome::from_genes(row.to_vec()));
                 }
             }
         });
@@ -1010,7 +1065,7 @@ impl<'a> GaEngine<'a> {
         // cache-only mode costs no retry budget.
         session.begin_batch();
         let mut admitted: Vec<(&Genome, bool)> = Vec::new();
-        for &g in &misses {
+        for g in &misses {
             match session.admit(obs) {
                 Admission::Shed => cache.insert_quarantined(g),
                 Admission::Evaluate => admitted.push((g, false)),
@@ -1032,44 +1087,38 @@ impl<'a> GaEngine<'a> {
             let capture = obs.enabled();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let n = admitted.len();
-            let mut precomputed: Vec<PrecomputedAttempts> =
-                timed(rec, Phase::BatchDispatch, || {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..workers.min(n))
-                            .map(|w| {
-                                let cursor = &cursor;
-                                let admitted = &admitted;
-                                scope.spawn(move || {
-                                    let mut wrec =
-                                        tracer.map(|t| t.recorder(&format!("worker-{w}")));
-                                    let mut local = Vec::new();
-                                    loop {
-                                        let i = cursor
-                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                        if i >= n {
-                                            break;
-                                        }
-                                        let precompute_one =
-                                            || sup.precompute(&retry, admitted[i].0);
-                                        let outcome = timed(&mut wrec, Phase::MissEval, || {
-                                            if capture {
-                                                capture_events(precompute_one)
-                                            } else {
-                                                (precompute_one(), Vec::new())
-                                            }
-                                        });
-                                        local.push((i, outcome));
-                                    }
-                                    local
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("supervised evaluation worker panicked"))
-                            .collect()
-                    })
-                });
+            let results: std::sync::Mutex<Vec<PrecomputedAttempts>> =
+                std::sync::Mutex::new(Vec::new());
+            let admitted_ref = &admitted;
+            let job = |slot: usize| {
+                let mut wrec = tracer.map(|t| t.recorder(&format!("worker-{slot}")));
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let precompute_one = || sup.precompute(&retry, admitted_ref[i].0);
+                    let outcome = timed(&mut wrec, Phase::MissEval, || {
+                        if capture {
+                            capture_events(precompute_one)
+                        } else {
+                            (precompute_one(), Vec::new())
+                        }
+                    });
+                    local.push((i, outcome));
+                }
+                if !local.is_empty() {
+                    results.lock().expect("precompute results lock").extend(local);
+                }
+            };
+            let ticket = timed(rec, Phase::BatchDispatch, || {
+                pool.publish(&job, workers.min(n).saturating_sub(1))
+            });
+            timed(rec, Phase::BatchWait, || ticket.wake());
+            job(0);
+            timed(rec, Phase::BatchWait, || ticket.wait());
+            let mut precomputed = results.into_inner().expect("precompute results lock");
             precomputed.sort_unstable_by_key(|&(i, _)| i);
             // Replay every worker's captured telemetry in admitted order
             // before the first resolve decision — exactly the stream a
@@ -1097,20 +1146,25 @@ impl<'a> GaEngine<'a> {
         let mut fresh = queued;
         timed(rec, Phase::CacheLookup, || {
             population
-                .iter()
-                .map(|g| {
-                    let raw = if fresh.remove(g) {
-                        cache.peek(g).expect("batch resolved this genome")
+                .rows()
+                .map(|row| {
+                    let raw = if fresh.remove(row) {
+                        cache.peek_genes(row).expect("batch resolved this genome")
                     } else {
-                        cache.lookup(g).expect("population member must be cached by now")
+                        cache.lookup_genes(row).expect("population member must be cached by now")
                     };
                     let score = raw.map_or(f64::NEG_INFINITY, |v| direction.to_score(v));
-                    ScoredGenome { genome: g.clone(), score }
+                    ScoredGenome { genome: Genome::from_genes(row.to_vec()), score }
                 })
                 .collect()
         })
     }
 }
+
+/// One contiguous chunk's merged payload from the batched scoring path:
+/// `(starting miss index, one record per row, telemetry captured while the
+/// chunk evaluated)`.
+type ChunkResult = (usize, Vec<EvalRecord>, Vec<SearchEvent>);
 
 /// One admitted genome's precomputed supervised attempts plus the
 /// telemetry captured while producing them: `(admitted index, (attempt
@@ -1523,6 +1577,72 @@ mod tests {
             assert_eq!(
                 normalize(events),
                 serial_events,
+                "event stream diverged at workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_observed_runs_are_byte_identical_across_worker_counts() {
+        use nautilus_obs::{InMemorySink, SearchEvent as E, Tracer};
+
+        // The tentpole invariant: with tracing AND observation both on,
+        // worker count changes wall-clock only — outcomes and the
+        // normalized event stream are byte-identical at 1, 2 and 8
+        // workers.
+        fn run(workers: usize) -> (GaRun, Vec<E>) {
+            let s = ParamSpace::builder()
+                .int("x", 0, 31, 1)
+                .int("y", 0, 31, 1)
+                .int("z", 0, 31, 1)
+                .build()
+                .unwrap();
+            let f = FnFitness::new(Direction::Minimize, |g: &Genome| {
+                if g.gene_at(1) == 7 {
+                    None // exercise the infeasible merge path too
+                } else {
+                    Some(g.genes().iter().map(|&v| f64::from(v) * f64::from(v)).sum())
+                }
+            });
+            let sink = InMemorySink::new();
+            let tracer = Tracer::new();
+            let settings =
+                GaSettings { generations: 12, eval_workers: workers, ..GaSettings::default() };
+            let run = GaEngine::new(&s, &f)
+                .with_settings(settings)
+                .with_observer(&sink)
+                .with_tracer(&tracer)
+                .run(29)
+                .unwrap();
+            (run, sink.events())
+        }
+
+        fn normalize(events: Vec<E>) -> Vec<E> {
+            events
+                .into_iter()
+                .filter(|e| !matches!(e, E::EvalBatch { .. }))
+                .map(|e| match e {
+                    E::SpanEnd { name, .. } => E::SpanEnd { name, nanos: 0 },
+                    E::RunEnd { best_value, distinct_evals, .. } => {
+                        E::RunEnd { best_value, distinct_evals, wall_nanos: 0 }
+                    }
+                    other => other,
+                })
+                .collect()
+        }
+
+        let (base, base_events) = run(1);
+        let base_events = normalize(base_events);
+        for workers in [2, 8] {
+            let (r, events) = run(workers);
+            assert_eq!(r.history, base.history, "history diverged at workers={workers}");
+            assert_eq!(r.best_genome, base.best_genome);
+            assert_eq!(r.best_value, base.best_value);
+            assert_eq!(r.cache, base.cache, "cache counters diverged at workers={workers}");
+            assert_eq!(r.faults, base.faults);
+            assert_eq!(
+                normalize(events),
+                base_events,
                 "event stream diverged at workers={workers}"
             );
         }

@@ -80,6 +80,102 @@ pub trait FitnessFn: Send + Sync {
 
     /// Evaluates the raw metric value for `genome`, or `None` if infeasible.
     fn fitness(&self, genome: &Genome) -> Option<f64>;
+
+    /// Evaluates a contiguous batch of gene rows, appending one result per
+    /// row to `out` in row order.
+    ///
+    /// The default rehydrates one reused scratch [`Genome`] per row and
+    /// calls [`FitnessFn::fitness`], so observable behavior (values,
+    /// emitted telemetry, call order) is exactly the per-point path.
+    /// Implementations backed by batchable cost models override this to
+    /// evaluate the whole slice without per-point dispatch; overrides must
+    /// preserve row order for both results and any telemetry they emit —
+    /// the engine's cross-worker determinism depends on it.
+    fn fitness_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<f64>>) {
+        let mut scratch = Genome::from_genes(Vec::with_capacity(rows.gene_len()));
+        for row in rows.iter() {
+            scratch.copy_from_slice(row);
+            out.push(self.fitness(&scratch));
+        }
+    }
+}
+
+/// A borrowed structure-of-arrays view over genomes: `len()` rows of
+/// `gene_len()` genes packed back to back in one contiguous slice.
+///
+/// This is the layout the batch evaluation entry points consume
+/// ([`FitnessFn::fitness_rows`], the synthesis models' batch kernels):
+/// contiguous, SIMD-friendly, and free to slice into per-worker chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneRows<'a> {
+    genes: &'a [u32],
+    gene_len: usize,
+}
+
+impl<'a> GeneRows<'a> {
+    /// Wraps a flat gene buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gene_len` is zero or does not divide `genes.len()`.
+    #[must_use]
+    pub fn new(genes: &'a [u32], gene_len: usize) -> GeneRows<'a> {
+        assert!(gene_len > 0, "gene_len must be positive");
+        assert_eq!(genes.len() % gene_len, 0, "flat buffer must hold whole rows");
+        GeneRows { genes, gene_len }
+    }
+
+    /// Genes per row.
+    #[must_use]
+    pub fn gene_len(&self) -> usize {
+        self.gene_len
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.genes.len() / self.gene_len
+    }
+
+    /// Whether the view holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// The `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &'a [u32] {
+        &self.genes[i * self.gene_len..(i + 1) * self.gene_len]
+    }
+
+    /// The underlying contiguous gene slice.
+    #[must_use]
+    pub fn flat(&self) -> &'a [u32] {
+        self.genes
+    }
+
+    /// A sub-view of rows `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice_rows(&self, start: usize, end: usize) -> GeneRows<'a> {
+        GeneRows {
+            genes: &self.genes[start * self.gene_len..end * self.gene_len],
+            gene_len: self.gene_len,
+        }
+    }
+
+    /// Iterates rows in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &'a [u32]> {
+        self.genes.chunks_exact(self.gene_len)
+    }
 }
 
 /// Adapter turning a closure into a [`FitnessFn`].

@@ -114,6 +114,28 @@ impl Genome {
     pub fn stable_hash(&self, salt: u64) -> u64 {
         hash_genes(&self.genes, salt)
     }
+
+    /// Overwrites this genome's genes from a slice, reusing the existing
+    /// allocation when capacities allow.
+    ///
+    /// The hot evaluation path stores populations as flat
+    /// structure-of-arrays rows and rehydrates one scratch `Genome` per
+    /// worker instead of allocating a fresh genome per point.
+    pub fn copy_from_slice(&mut self, genes: &[u32]) {
+        self.genes.clear();
+        self.genes.extend_from_slice(genes);
+    }
+}
+
+/// Genomes borrow as their gene slice, so `HashMap<Genome, _>` keys can be
+/// probed with a `&[u32]` row from a structure-of-arrays population
+/// without allocating. Sound for hashing because `Genome`'s derived
+/// `Hash` hashes exactly its `Vec<u32>`, which hashes identically to the
+/// equivalent `[u32]` slice, and `Eq` compares the same genes.
+impl std::borrow::Borrow<[u32]> for Genome {
+    fn borrow(&self) -> &[u32] {
+        &self.genes
+    }
 }
 
 impl fmt::Display for Genome {

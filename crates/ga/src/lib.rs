@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod budget;
 mod cache;
 pub mod checkpoint;
@@ -54,12 +55,14 @@ mod fitness;
 mod genome;
 pub mod ops;
 mod param;
+pub mod pool;
 pub mod rng;
 mod select;
 mod space;
 mod stats;
 mod supervise;
 
+pub use arena::PopArena;
 pub use budget::{BudgetTimer, RunBudget, SharedClock, StopReason};
 pub use cache::{CacheSnapshot, CacheStats, EvalCache};
 pub use checkpoint::{CheckpointError, CheckpointStore, Recovery, SearchState, WriteReceipt};
@@ -69,13 +72,14 @@ pub use fallible::{
     evaluate_with_retries, retry_backoff, EvalFailure, EvalRecord, FallibleEvaluator, FaultStats,
     FnFallible, RetryPolicy,
 };
-pub use fitness::{Direction, FitnessFn, FnFitness};
+pub use fitness::{Direction, FitnessFn, FnFitness, GeneRows};
 pub use genome::Genome;
 pub use ops::{
     CrossoverOp, MutationOp, OnePointCrossover, OpCtx, StepMutation, TwoPointCrossover,
     UniformCrossover, UniformMutation,
 };
 pub use param::{ParamDef, ParamDomain, ParamId};
+pub use pool::{BatchTicket, EvalPool};
 pub use select::{
     FitnessProportional, RankRoulette, ScoredGenome, Selector, Tournament, Truncation,
 };

@@ -9,8 +9,8 @@
 //! wiring; power from switching plus leakage; and peak bisection bandwidth
 //! from the topology's bisection cut.
 
-use nautilus_ga::{Genome, ParamId, ParamSpace, ParamValue};
-use nautilus_synth::noise::noise_factor;
+use nautilus_ga::{GeneRows, Genome, ParamId, ParamSpace, ParamValue};
+use nautilus_synth::noise::noise_factor_genes;
 use nautilus_synth::{CostModel, MetricCatalog, MetricSet};
 
 use super::topology::Topology;
@@ -113,34 +113,21 @@ impl NocModel {
         Topology::ALL[g.gene(self.topo) as usize]
     }
 
-    fn int(&self, g: &Genome, id: ParamId) -> f64 {
-        match self.space.value_of(g, id) {
+    fn int(&self, genes: &[u32], id: ParamId) -> f64 {
+        match self.space.param(id).domain().value(genes[id.index()] as usize) {
             ParamValue::Int(v) => v as f64,
             other => panic!("expected integer parameter, got {other}"),
         }
     }
-}
 
-impl CostModel for NocModel {
-    fn name(&self) -> &str {
-        "connect-noc"
-    }
-
-    fn space(&self) -> &ParamSpace {
-        &self.space
-    }
-
-    fn catalog(&self) -> &MetricCatalog {
-        &self.catalog
-    }
-
-    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
-        let topo = self.topology_of(g);
+    /// Slice-native characterization kernel over one gene row.
+    fn eval_genes(&self, g: &[u32]) -> Option<MetricSet> {
+        let topo = Topology::ALL[g[self.topo.index()] as usize];
         let s = topo.structure(self.endpoints);
         let vcs = self.int(g, self.vcs);
         let width = self.int(g, self.width);
         let depth = self.int(g, self.depth);
-        let wavefront = g.gene(self.alloc) == 1;
+        let wavefront = g[self.alloc.index()] == 1;
         let radix = s.router_radix as f64;
 
         // ---- Clock frequency (GHz) at 65nm ---------------------------------
@@ -150,7 +137,7 @@ impl CostModel for NocModel {
                 + 0.012 * (radix - 3.0)
                 + 0.04 * (vcs / 2.0).log2()
                 + if wavefront { 0.08 } else { 0.0 });
-        fclk *= noise_factor(g, SALT_FCLK, 0.04);
+        fclk *= noise_factor_genes(g, SALT_FCLK, 0.04);
 
         // ---- Area (mm²) -----------------------------------------------------
         // Per-router logic gates: crossbar + allocators + control.
@@ -172,14 +159,15 @@ impl CostModel for NocModel {
         let wire_mm2 = s.channels as f64 * width * link_mm * tech::WIRE_BIT_MM2_PER_MM;
         let logic_mm2 = s.routers as f64 * logic_mm2_per_router;
         let sram_mm2 = s.routers as f64 * sram_mm2_per_router;
-        let area = (logic_mm2 + sram_mm2 + wire_mm2) * noise_factor(g, SALT_AREA, 0.05);
+        let area = (logic_mm2 + sram_mm2 + wire_mm2) * noise_factor_genes(g, SALT_AREA, 0.05);
 
         // ---- Power (mW) -------------------------------------------------------
         let dyn_logic = logic_mm2 * fclk * tech::DYN_MW_PER_MM2_GHZ;
         let dyn_sram = sram_mm2 * fclk * tech::DYN_MW_PER_MM2_GHZ * 0.55;
         let dyn_chan = s.channels as f64 * width * fclk * tech::CHAN_MW_PER_BIT_GHZ;
         let leakage = area * tech::LEAK_MW_PER_MM2;
-        let power = (dyn_logic + dyn_sram + dyn_chan + leakage) * noise_factor(g, SALT_POWER, 0.05);
+        let power =
+            (dyn_logic + dyn_sram + dyn_chan + leakage) * noise_factor_genes(g, SALT_POWER, 0.05);
 
         // ---- Peak bisection bandwidth (Gbps) ---------------------------------
         let bisection = s.bisection_channels as f64 * width * fclk;
@@ -189,6 +177,32 @@ impl CostModel for NocModel {
                 .set(vec![area, power, bisection, fclk * 1000.0, s.avg_hops])
                 .expect("arity matches catalog"),
         )
+    }
+}
+
+impl CostModel for NocModel {
+    fn name(&self) -> &str {
+        "connect-noc"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+
+    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+        self.eval_genes(g.genes())
+    }
+
+    fn evaluate_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<MetricSet>>) {
+        // Slice-native batch kernel: no scratch genome, no per-point
+        // dispatch.
+        for row in rows.iter() {
+            out.push(self.eval_genes(row));
+        }
     }
 }
 
@@ -223,6 +237,19 @@ mod tests {
         let (_, p_lo) = d.best(&power, Direction::Minimize);
         let (_, p_hi) = d.best(&power, Direction::Maximize);
         assert!(p_hi / p_lo > 30.0, "power spread {p_lo}..{p_hi}");
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_per_point_path() {
+        let m = NocModel::new(64);
+        let genomes: Vec<_> =
+            (0..40u128).map(|i| m.space().genome_at(i * 17 % m.space().cardinality())).collect();
+        let flat: Vec<u32> = genomes.iter().flat_map(|g| g.genes().iter().copied()).collect();
+        let mut batch = Vec::new();
+        m.evaluate_rows(GeneRows::new(&flat, m.space().num_params()), &mut batch);
+        for (g, got) in genomes.iter().zip(&batch) {
+            assert_eq!(*got, m.evaluate(g), "batch row diverged for {g:?}");
+        }
     }
 
     #[test]

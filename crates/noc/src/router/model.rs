@@ -8,9 +8,9 @@
 //! scatter of Figure 1. Absolute values are calibrated to the figure's
 //! ranges (hundreds to ~25k LUTs, ~60–260 MHz).
 
-use nautilus_ga::rng::mix_to_signed_unit;
-use nautilus_ga::{Genome, ParamId, ParamSpace, ParamValue};
-use nautilus_synth::noise::noise_factor;
+use nautilus_ga::rng::{hash_genes, mix_to_signed_unit};
+use nautilus_ga::{GeneRows, Genome, ParamId, ParamSpace, ParamValue};
+use nautilus_synth::noise::noise_factor_genes;
 use nautilus_synth::{CostModel, MetricCatalog, MetricSet};
 
 use super::space::{full_space, swept_space};
@@ -98,36 +98,25 @@ impl RouterModel {
         }
     }
 
-    fn int(&self, g: &Genome, id: ParamId) -> f64 {
-        match self.space.value_of(g, id) {
+    fn int(&self, genes: &[u32], id: ParamId) -> f64 {
+        match self.space.param(id).domain().value(genes[id.index()] as usize) {
             ParamValue::Int(v) => v as f64,
             other => panic!("expected integer parameter, got {other}"),
         }
     }
 
-    fn sym_index(&self, g: &Genome, id: ParamId) -> usize {
-        g.gene(id) as usize
+    fn sym_index(&self, genes: &[u32], id: ParamId) -> usize {
+        genes[id.index()] as usize
     }
 
-    fn flag(&self, g: &Genome, id: ParamId) -> bool {
-        g.gene(id) == 1
-    }
-}
-
-impl CostModel for RouterModel {
-    fn name(&self) -> &str {
-        "vc-router"
+    fn flag(&self, genes: &[u32], id: ParamId) -> bool {
+        genes[id.index()] == 1
     }
 
-    fn space(&self) -> &ParamSpace {
-        &self.space
-    }
-
-    fn catalog(&self) -> &MetricCatalog {
-        &self.catalog
-    }
-
-    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+    /// Slice-native synthesis kernel: the whole model evaluates directly
+    /// over one structure-of-arrays gene row, so the batch entry point
+    /// never rehydrates a [`Genome`] or allocates per point.
+    fn eval_genes(&self, g: &[u32]) -> Option<MetricSet> {
         let vcs = self.int(g, self.ids.vcs);
         let depth = self.int(g, self.ids.depth);
         let width = self.int(g, self.ids.width);
@@ -216,8 +205,7 @@ impl CostModel for RouterModel {
         if self.ids.ports.is_some() {
             // Remaining secondary knobs perturb results a few percent, the
             // way minor RTL parameters do.
-            let tail: Vec<u32> = g.genes()[9..].to_vec();
-            let h = nautilus_ga::rng::hash_genes(&tail, SALT_FULL);
+            let h = hash_genes(&g[9..], SALT_FULL);
             luts *= 1.0 + 0.05 * mix_to_signed_unit(h);
             d_logic *= 1.0 + 0.03 * mix_to_signed_unit(h.rotate_left(13));
         }
@@ -225,10 +213,36 @@ impl CostModel for RouterModel {
         let d_stage = d_logic / stages.powf(0.8) + reg_overhead;
 
         // ---- Synthesis noise ------------------------------------------------
-        luts *= noise_factor(g, SALT_LUTS, 0.06);
-        let fmax = (1000.0 / d_stage * noise_factor(g, SALT_FMAX, 0.05)).max(55.0);
+        luts *= noise_factor_genes(g, SALT_LUTS, 0.06);
+        let fmax = (1000.0 / d_stage * noise_factor_genes(g, SALT_FMAX, 0.05)).max(55.0);
 
         Some(self.catalog.set(vec![luts.round(), fmax, latency]).expect("arity matches catalog"))
+    }
+}
+
+impl CostModel for RouterModel {
+    fn name(&self) -> &str {
+        "vc-router"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+
+    fn evaluate(&self, g: &Genome) -> Option<MetricSet> {
+        self.eval_genes(g.genes())
+    }
+
+    fn evaluate_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<MetricSet>>) {
+        // Slice-native batch kernel: one tight loop over the contiguous
+        // row buffer, no scratch genome, no per-point dispatch.
+        for row in rows.iter() {
+            out.push(self.eval_genes(row));
+        }
     }
 }
 
@@ -271,6 +285,22 @@ mod tests {
         let m = RouterModel::swept();
         let g = m.space().genome_at(12_345);
         assert_eq!(m.evaluate(&g), m.evaluate(&g));
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_per_point_path() {
+        // Both spaces, including the full space's gene-tail hash noise.
+        for m in [RouterModel::swept(), RouterModel::full()] {
+            let genomes: Vec<_> = (0..40u128)
+                .map(|i| m.space().genome_at(i * 197 % m.space().cardinality()))
+                .collect();
+            let flat: Vec<u32> = genomes.iter().flat_map(|g| g.genes().iter().copied()).collect();
+            let mut batch = Vec::new();
+            m.evaluate_rows(GeneRows::new(&flat, m.space().num_params()), &mut batch);
+            for (g, got) in genomes.iter().zip(&batch) {
+                assert_eq!(*got, m.evaluate(g), "batch row diverged for {g:?}");
+            }
+        }
     }
 
     #[test]

@@ -51,8 +51,11 @@ pub enum Phase {
     CacheLookup,
     /// Evaluating one cache miss (worker tracks on batched runs).
     MissEval,
-    /// Spawning workers and handing the miss list to them.
+    /// Handing a generation's miss chunks to the persistent worker pool
+    /// (publish + unpark; the wait is [`Phase::BatchWait`]).
     BatchDispatch,
+    /// Merge thread blocked waiting for pool workers to finish a batch.
+    BatchWait,
     /// Folding worker results back into the cache and event stream.
     BatchMerge,
     /// Writing one durable checkpoint.
@@ -63,7 +66,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical reporting order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Run,
         Phase::InitPopulation,
         Phase::Scoring,
@@ -73,6 +76,7 @@ impl Phase {
         Phase::CacheLookup,
         Phase::MissEval,
         Phase::BatchDispatch,
+        Phase::BatchWait,
         Phase::BatchMerge,
         Phase::CheckpointIo,
         Phase::ShardLockWait,
@@ -92,6 +96,7 @@ impl Phase {
             Phase::CacheLookup => "cache_lookup",
             Phase::MissEval => "miss_eval",
             Phase::BatchDispatch => "batch_dispatch",
+            Phase::BatchWait => "batch_wait",
             Phase::BatchMerge => "batch_merge",
             Phase::CheckpointIo => "checkpoint_io",
             Phase::ShardLockWait => "shard_lock_wait",

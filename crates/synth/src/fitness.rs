@@ -1,6 +1,6 @@
 //! Bridging synthesis jobs to the GA's fitness interface.
 
-use nautilus_ga::{Direction, FitnessFn, Genome};
+use nautilus_ga::{Direction, FitnessFn, GeneRows, Genome};
 
 use crate::expr::MetricExpr;
 use crate::job::SynthJobRunner;
@@ -48,6 +48,20 @@ impl FitnessFn for QueryFitness<'_, '_> {
         // A composite objective can be non-finite (e.g. ratio with a zero
         // denominator); treat such points as infeasible.
         v.is_finite().then_some(v)
+    }
+
+    fn fitness_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<f64>>) {
+        // One batched runner call per slice: the runner deduplicates
+        // within-batch misses and characterizes them through the model's
+        // structure-of-arrays kernel, so a GA worker evaluating a chunk of
+        // the population pays one dynamic dispatch instead of one per
+        // design point. Results and events stay in row order.
+        let mut metrics = Vec::with_capacity(rows.len());
+        self.runner.evaluate_rows(rows, &mut metrics);
+        out.extend(metrics.into_iter().map(|m| {
+            let v = self.expr.eval(&m?);
+            v.is_finite().then_some(v)
+        }));
     }
 }
 
@@ -98,6 +112,28 @@ mod tests {
         let broken = gain / (cost.clone() - cost);
         let f = QueryFitness::new(&runner, broken, Direction::Maximize);
         assert_eq!(f.fitness(&Genome::from_genes(vec![1, 1])), None);
+    }
+
+    #[test]
+    fn fitness_rows_matches_per_point_fitness_and_caches_once() {
+        let model = BowlModel::new(0.04).unwrap();
+        let runner = SynthJobRunner::new(&model);
+        let cost = MetricExpr::metric(model.catalog().require("cost").unwrap());
+        let f = QueryFitness::new(&runner, cost, Direction::Minimize);
+        // Mix feasible points, the infeasible stripe (x == 7) and a
+        // duplicate row.
+        let rows: Vec<[u32; 2]> = vec![[1, 2], [7, 3], [4, 4], [1, 2], [0, 19]];
+        let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+        let mut batch = Vec::new();
+        f.fitness_rows(GeneRows::new(&flat, 2), &mut batch);
+        let serial: Vec<Option<f64>> =
+            rows.iter().map(|r| f.fitness(&Genome::from_genes(r.to_vec()))).collect();
+        assert_eq!(batch, serial);
+        // 4 distinct rows: 3 feasible jobs + 1 infeasible probe, evaluated
+        // once despite the serial re-query afterwards.
+        let s = runner.stats();
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.infeasible, 1);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! striping keeps concurrent evaluators (batched GA scoring, parallel
 //! strategy comparisons) from serializing on one global lock.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
-use nautilus_ga::Genome;
+use nautilus_ga::{GeneRows, Genome};
 use nautilus_obs::{SearchEvent, SearchObserver};
 
 use crate::metric::MetricSet;
@@ -137,6 +138,107 @@ impl<'m> SynthJobRunner<'m> {
                 }
                 self.emit(true, cached.is_some(), 0);
                 cached
+            }
+        }
+    }
+
+    /// Evaluates a contiguous batch of gene rows, appending one result per
+    /// row to `out` in row order.
+    ///
+    /// Observable behavior matches calling
+    /// [`evaluate`](SynthJobRunner::evaluate) once per row in order:
+    /// identical results, one `EvalCompleted` event per row in row order,
+    /// and identical final counter totals. The difference is dispatch
+    /// shape: cache misses are deduplicated within the batch, packed into
+    /// one contiguous structure-of-arrays buffer, and characterized by a
+    /// single [`CostModel::evaluate_rows`] kernel call instead of one
+    /// virtual `evaluate` dispatch per point. Within-batch duplicate
+    /// misses resolve as cache hits, exactly as the serial order would
+    /// produce.
+    pub fn evaluate_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<MetricSet>>) {
+        /// How row `i` resolves once the miss kernel has run.
+        enum Slot {
+            /// Served by the read path in pass 1 (always a plain hit).
+            Hit(Option<MetricSet>),
+            /// First occurrence of miss `idx`: inserts the kernel result.
+            MissFirst(usize),
+            /// Later occurrence of a within-batch miss: re-probes the
+            /// cache after the first occurrence has inserted.
+            MissDup(usize),
+        }
+
+        let gene_len = rows.gene_len();
+        let mut slots: Vec<Slot> = Vec::with_capacity(rows.len());
+        let mut miss_flat: Vec<u32> = Vec::new();
+        let mut miss_genomes: Vec<Genome> = Vec::new();
+        // First-occurrence index of each within-batch miss row; keys
+        // borrow directly from the caller's flat buffer.
+        let mut first_of: HashMap<&[u32], usize> = HashMap::new();
+        let mut scratch = Genome::from_genes(Vec::with_capacity(gene_len));
+        for row in rows.iter() {
+            if let Some(&idx) = first_of.get(row) {
+                slots.push(Slot::MissDup(idx));
+                continue;
+            }
+            scratch.copy_from_slice(row);
+            if let Some(cached) = self.cache.lookup(&scratch) {
+                slots.push(Slot::Hit(cached));
+            } else {
+                first_of.insert(row, miss_genomes.len());
+                slots.push(Slot::MissFirst(miss_genomes.len()));
+                miss_flat.extend_from_slice(row);
+                miss_genomes.push(scratch.clone());
+            }
+        }
+
+        // One kernel call characterizes every distinct miss in the batch.
+        let mut results: Vec<Option<MetricSet>> = Vec::with_capacity(miss_genomes.len());
+        if !miss_genomes.is_empty() {
+            self.model.evaluate_rows(GeneRows::new(&miss_flat, gene_len), &mut results);
+            assert_eq!(
+                results.len(),
+                miss_genomes.len(),
+                "cost model batch kernel must return one result per row"
+            );
+        }
+
+        // Resolve rows in order so events and insert order match the
+        // serial path exactly.
+        for slot in slots {
+            match slot {
+                Slot::Hit(cached) => {
+                    self.emit(true, cached.is_some(), 0);
+                    out.push(cached);
+                }
+                Slot::MissFirst(idx) => {
+                    let genome = &miss_genomes[idx];
+                    let result = results[idx].clone();
+                    let tool_secs = match &result {
+                        Some(_) => self.model.synth_time(genome).as_secs(),
+                        None => 0,
+                    };
+                    match self.cache.insert_or_hit(genome, &result, tool_secs) {
+                        InsertOutcome::Inserted => {
+                            self.emit(false, result.is_some(), tool_secs);
+                            out.push(result);
+                        }
+                        InsertOutcome::Lost { cached, shard } => {
+                            if self.observer.enabled() {
+                                self.observer.on_event(&SearchEvent::CacheShardContended { shard });
+                            }
+                            self.emit(true, cached.is_some(), 0);
+                            out.push(cached);
+                        }
+                    }
+                }
+                Slot::MissDup(idx) => {
+                    let cached = self
+                        .cache
+                        .lookup(&miss_genomes[idx])
+                        .expect("first occurrence inserted earlier in this pass");
+                    self.emit(true, cached.is_some(), 0);
+                    out.push(cached);
+                }
             }
         }
     }
@@ -430,6 +532,54 @@ mod tests {
         assert_eq!(s.cache_hits, u64::from(THREADS * ITERS) - 20);
         // Infeasible jobs charge no tool time; feasible ones charge some.
         assert!(s.simulated_tool_secs > 0);
+    }
+
+    #[test]
+    fn batch_evaluate_rows_matches_serial_results_events_and_counters() {
+        let model = BowlModel::new(0.03).unwrap();
+        // Rows mix fresh misses, an infeasible point, a pre-cached hit and
+        // within-batch duplicates (one duplicated miss, one duplicated hit).
+        let rows: Vec<[u32; 2]> =
+            vec![[1, 2], [7, 0], [1, 2], [3, 11], [5, 5], [3, 11], [2, 2], [1, 2]];
+        let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+
+        let serial_sink = nautilus_obs::InMemorySink::new();
+        let serial = SynthJobRunner::new(&model).with_observer(&serial_sink);
+        serial.evaluate(&Genome::from_genes(vec![9, 9])); // pre-cache a point
+        let serial_out: Vec<Option<MetricSet>> =
+            rows.iter().map(|r| serial.evaluate(&Genome::from_genes(r.to_vec()))).collect();
+
+        let batch_sink = nautilus_obs::InMemorySink::new();
+        let batch = SynthJobRunner::new(&model).with_observer(&batch_sink);
+        batch.evaluate(&Genome::from_genes(vec![9, 9]));
+        let mut batch_out = Vec::new();
+        batch.evaluate_rows(GeneRows::new(&flat, 2), &mut batch_out);
+
+        assert_eq!(batch_out, serial_out, "batch results must match the serial path");
+        assert_eq!(batch.stats(), serial.stats(), "counter totals must match");
+        assert_eq!(batch.cached_points(), serial.cached_points());
+        assert_eq!(
+            batch_sink.events(),
+            serial_sink.events(),
+            "per-row events must match serial order"
+        );
+    }
+
+    #[test]
+    fn batch_miss_kernel_runs_once_per_distinct_miss() {
+        let model = CountingModel::new();
+        let runner = SynthJobRunner::new(&model);
+        // 4 distinct points, each duplicated: only 4 kernel rows evaluate.
+        let flat: Vec<u32> =
+            [[0u32, 0], [1, 1], [0, 0], [2, 2], [1, 1], [3, 0]].iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        runner.evaluate_rows(GeneRows::new(&flat, 2), &mut out);
+        assert_eq!(out.len(), 6);
+        assert_eq!(model.evals.load(Ordering::Relaxed), 4, "duplicates must not re-evaluate");
+        let s = runner.stats();
+        assert_eq!(s.jobs + s.infeasible, 4);
+        assert_eq!(s.cache_hits, 2, "within-batch duplicates resolve as hits");
+        assert_eq!(out[0], out[2], "duplicate rows observe the first row's result");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use nautilus_ga::{Genome, ParamSpace};
+use nautilus_ga::{GeneRows, Genome, ParamSpace};
 
 use crate::metric::{MetricCatalog, MetricSet};
 use crate::noise::uniform_in;
@@ -30,6 +30,24 @@ pub trait CostModel: Send + Sync {
 
     /// Characterizes one design point, or `None` if infeasible.
     fn evaluate(&self, genome: &Genome) -> Option<MetricSet>;
+
+    /// Characterizes a contiguous batch of gene rows, appending one result
+    /// per row to `out` in row order.
+    ///
+    /// This is the structure-of-arrays entry point the parallel hot path
+    /// uses: a worker hands the model one contiguous slice of design
+    /// points instead of dispatching per genome. The default rehydrates a
+    /// single reused scratch [`Genome`] (no per-row allocation) and calls
+    /// [`CostModel::evaluate`]; slice-native models override this to skip
+    /// the rehydration entirely. Overrides must return bit-identical
+    /// results in row order — cross-worker determinism depends on it.
+    fn evaluate_rows(&self, rows: GeneRows<'_>, out: &mut Vec<Option<MetricSet>>) {
+        let mut scratch = Genome::from_genes(Vec::with_capacity(rows.gene_len()));
+        for row in rows.iter() {
+            scratch.copy_from_slice(row);
+            out.push(self.evaluate(&scratch));
+        }
+    }
 
     /// Simulated EDA tool runtime for synthesizing this design point.
     ///
@@ -133,6 +151,20 @@ mod tests {
         assert_eq!(t, m.synth_time(&g));
         assert!(t >= Duration::from_secs(5 * 60));
         assert!(t <= Duration::from_secs(45 * 60));
+    }
+
+    #[test]
+    fn default_evaluate_rows_matches_per_point_evaluation() {
+        let m = BowlModel::new(0.05).unwrap();
+        let points: Vec<[u32; 2]> = (0..30).map(|i| [i % 20, (i * 3) % 20]).collect();
+        let flat: Vec<u32> = points.iter().flatten().copied().collect();
+        let mut batch = Vec::new();
+        m.evaluate_rows(GeneRows::new(&flat, 2), &mut batch);
+        assert_eq!(batch.len(), points.len());
+        for (p, got) in points.iter().zip(&batch) {
+            let serial = m.evaluate(&Genome::from_genes(p.to_vec()));
+            assert_eq!(*got, serial, "batch row diverged for {p:?}");
+        }
     }
 
     #[test]

@@ -1,18 +1,57 @@
-//! Lock-striped synthesis-result cache.
+//! Lock-striped synthesis-result cache with a lock-free read path.
 //!
 //! The [`SynthJobRunner`](crate::SynthJobRunner) used to guard one big
 //! `HashMap` with a single `RwLock`, which serializes every insert across
 //! the whole cache. [`ShardedCache`] stripes the map across [`NUM_SHARDS`]
-//! independently locked shards, routed by the genome's stable hash, so
-//! concurrent evaluators only contend when they touch the *same* stripe.
-//! Each shard keeps its own atomic counters; [`ShardedCache::stats`] merges
-//! them into the same [`JobStats`] snapshot callers always saw.
+//! independent shards, routed by the genome's stable hash. Within a
+//! shard, **reads never block**: each shard publishes an insert-only
+//! open-addressing table of atomically-published entry pointers, so a
+//! lookup is an acquire load of the table pointer plus a linear probe —
+//! no lock, no reference counting, no waiting on writers. Writes are
+//! serialized by a per-shard mutex.
+//!
+//! ## Snapshot-read protocol
+//!
+//! * A shard's current table lives behind an `AtomicPtr<Table>`. Readers
+//!   acquire-load it and probe; writers (holding the shard's write mutex)
+//!   release-publish individual entries into free slots.
+//! * The table is insert-only — no entry is ever removed or mutated after
+//!   its release-store — so a probe either finds a fully initialized
+//!   entry or stops at a null slot (a *racy miss*, linearized at the load
+//!   of that slot).
+//! * Growth is publish-and-retire: the writer allocates a table of twice
+//!   the capacity, re-slots the existing entry *pointers* (entries are
+//!   individually boxed and never move), release-publishes the new table
+//!   pointer, and pushes the old table onto a retired list. Readers that
+//!   loaded the old pointer keep probing a complete — merely stale —
+//!   table; anything published after the swap is a racy miss for them.
+//! * Retired tables (and all entries, which every retired table shares
+//!   with the current one) are freed only in `Drop`, so no reader can
+//!   ever observe freed memory. A search caches a few thousand entries at
+//!   most; retaining `log2(n)` retired slot arrays costs less than one
+//!   extra copy of the map.
+//!
+//! A racy miss is harmless for correctness *and* accounting: the missing
+//! reader proceeds to evaluate and then calls
+//! [`ShardedCache::insert_or_hit`], which double-checks under the write
+//! mutex and converts the duplicate into a `Lost` hit, exactly as before.
+//!
+//! ## Why no loom interleaving test
+//!
+//! `loom` is not available in this dependency set, so the snapshot-swap
+//! protocol is argued above and exercised by deterministic growth tests
+//! plus a multi-threaded hammer below instead of exhaustive interleaving
+//! exploration. The protocol keeps the unsafe surface narrow on purpose:
+//! the only orderings that matter are the release-publish of an entry (or
+//! table) against the acquire-load in `probe`, and reclamation is
+//! deferred to `&mut self` drop where no concurrent reader can exist.
 
+#[cfg(test)]
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, MutexGuard};
 
 use nautilus_ga::Genome;
 use nautilus_obs::MetricsRegistry;
@@ -27,6 +66,13 @@ pub const NUM_SHARDS: usize = 16;
 /// Salt for shard routing. Fixed so the shard of a genome is stable
 /// across runs (and distinct from any user-visible hashing).
 const SHARD_SALT: u64 = 0x5348_4152_4421_6361; // "SHARD!ca"
+
+/// Salt for in-shard probing. Distinct from [`SHARD_SALT`] so slot
+/// indices are uncorrelated with the bits that routed the genome here.
+const ENTRY_SALT: u64 = 0x4C4F_434B_4652_4545; // "LOCKFREE"
+
+/// Slots per shard table at construction; grows by doubling.
+const INITIAL_SLOTS: usize = 16;
 
 /// Outcome of a [`ShardedCache::insert_or_hit`] call.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +93,8 @@ pub enum InsertOutcome {
 ///
 /// `misses` counts winning inserts (feasible jobs plus infeasible probes)
 /// — the lookups this shard resolved by doing new work. Lock-wait fields
-/// are zero unless [`ShardedCache::enable_lock_timing`] was called.
+/// are zero unless [`ShardedCache::enable_lock_timing`] was called; since
+/// the read path is lock-free, they count **writer** acquisitions only.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
     /// Shard index (0..[`NUM_SHARDS`]).
@@ -60,16 +107,91 @@ pub struct ShardMetrics {
     pub misses: u64,
     /// Insert races lost on this shard.
     pub contentions: u64,
-    /// Lock acquisitions measured while lock timing was enabled.
+    /// Writer-lock acquisitions measured while lock timing was enabled
+    /// (reads are lock-free and never wait).
     pub lock_waits: u64,
-    /// Total nanoseconds spent waiting to acquire this shard's lock.
+    /// Total nanoseconds spent waiting to acquire this shard's write lock.
     pub lock_wait_nanos: u64,
-    /// Longest single lock wait in nanoseconds.
+    /// Longest single write-lock wait in nanoseconds.
     pub lock_wait_max_nanos: u64,
 }
 
+/// One memoized evaluation. Immutable after its release-publish; readers
+/// hold `&Entry` borrows that stay valid until the cache is dropped.
+struct Entry {
+    hash: u64,
+    genome: Genome,
+    result: Option<MetricSet>,
+}
+
+/// An insert-only open-addressing table of published entry pointers.
+struct Table {
+    mask: usize,
+    /// Entries published into this table (writer-maintained).
+    len: AtomicUsize,
+    slots: Box<[AtomicPtr<Entry>]>,
+}
+
+impl Table {
+    fn with_capacity(cap: usize) -> Box<Table> {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[AtomicPtr<Entry>]> =
+            (0..cap).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        Box::new(Table { mask: cap - 1, len: AtomicUsize::new(0), slots })
+    }
+
+    /// Lock-free probe: linear scan from the hash's home slot, stopping
+    /// at the first null (insert-only tables make that a definitive
+    /// "not published yet").
+    fn probe(&self, hash: u64, genome: &Genome) -> Option<&Entry> {
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let p = self.slots[i].load(Ordering::Acquire);
+            if p.is_null() {
+                return None;
+            }
+            // SAFETY: a non-null slot was release-published after the
+            // entry was fully initialized, and entries are only freed in
+            // `ShardedCache::drop` (which requires exclusive access).
+            let e = unsafe { &*p };
+            if e.hash == hash && e.genome == *genome {
+                return Some(e);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Writer-only (callers hold the shard write mutex): publish `entry`
+    /// into the first free slot of its probe sequence.
+    fn place(&self, entry: *mut Entry) {
+        // SAFETY: `entry` is a valid, initialized allocation owned by the
+        // table from this point on.
+        let hash = unsafe { &*entry }.hash;
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            if self.slots[i].load(Ordering::Relaxed).is_null() {
+                self.slots[i].store(entry, Ordering::Release);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Raw retired-table pointer, held until `Drop`. Send so the owning
+/// mutex (and thus the shard) stays Send; the pointee is never touched
+/// again until reclamation.
+struct TablePtr(*mut Table);
+// SAFETY: the pointer is only dereferenced in `Shard::drop`, with
+// exclusive access.
+unsafe impl Send for TablePtr {}
+
 struct Shard {
-    map: RwLock<HashMap<Genome, Option<MetricSet>>>,
+    /// Current published table. Readers acquire-load and probe without
+    /// any lock; writers swap it on growth under `write`.
+    table: AtomicPtr<Table>,
+    /// Serializes all mutation; owns the retired-table list.
+    write: Mutex<Vec<TablePtr>>,
     jobs: AtomicU64,
     infeasible: AtomicU64,
     cache_hits: AtomicU64,
@@ -83,7 +205,8 @@ struct Shard {
 impl Shard {
     fn new() -> Shard {
         Shard {
-            map: RwLock::new(HashMap::new()),
+            table: AtomicPtr::new(Box::into_raw(Table::with_capacity(INITIAL_SLOTS))),
+            write: Mutex::new(Vec::new()),
             jobs: AtomicU64::new(0),
             infeasible: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -95,6 +218,13 @@ impl Shard {
         }
     }
 
+    /// The currently published table.
+    fn current(&self) -> &Table {
+        // SAFETY: the pointer is always a valid table; tables are only
+        // freed in `drop`, which cannot run while `&self` exists.
+        unsafe { &*self.table.load(Ordering::Acquire) }
+    }
+
     fn charge_wait(&self, start: Instant) {
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.lock_waits.fetch_add(1, Ordering::Relaxed);
@@ -103,13 +233,39 @@ impl Shard {
     }
 }
 
-/// A `HashMap<Genome, Option<MetricSet>>` striped over [`NUM_SHARDS`]
-/// independently locked shards, with per-shard [`JobStats`] counters.
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // Deferred reclamation happens here, with exclusive access: free
+        // every entry exactly once via the current table (retired tables
+        // re-slotted the same pointers), then every table allocation.
+        let table = *self.table.get_mut();
+        // SAFETY: `table` is the valid current table; `&mut self` means
+        // no reader exists.
+        let table = unsafe { Box::from_raw(table) };
+        for slot in table.slots.iter() {
+            let p = slot.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: each entry pointer appears exactly once per
+                // table and is freed only from the current table.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+        for TablePtr(p) in self.write.get_mut().drain(..) {
+            // SAFETY: retired tables are never touched after being
+            // swapped out; their entries were freed above.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// A genome-keyed result map striped over [`NUM_SHARDS`] shards with
+/// lock-free reads, per-shard serialized writes, and per-shard
+/// [`JobStats`] counters.
 pub struct ShardedCache {
     shards: Vec<Shard>,
-    /// When set, every lock acquisition is timed and charged to its
+    /// When set, every write-lock acquisition is timed and charged to its
     /// shard's lock-wait counters. Off by default: the untimed path costs
-    /// one relaxed load.
+    /// one relaxed load. Reads are lock-free and never charged.
     time_locks: AtomicBool,
 }
 
@@ -123,40 +279,24 @@ impl ShardedCache {
         }
     }
 
-    /// Turns on per-shard lock-wait timing (used when a run is traced, to
-    /// attribute contention to the `shard_lock_wait` phase).
+    /// Turns on per-shard write-lock wait timing (used when a run is
+    /// traced, to attribute contention to the `shard_lock_wait` phase).
     pub fn enable_lock_timing(&self) {
         self.time_locks.store(true, Ordering::Relaxed);
     }
 
-    /// Whether lock acquisitions are currently being timed.
+    /// Whether write-lock acquisitions are currently being timed.
     #[must_use]
     pub fn lock_timing_enabled(&self) -> bool {
         self.time_locks.load(Ordering::Relaxed)
     }
 
-    fn read_shard<'s>(
-        &self,
-        shard: &'s Shard,
-    ) -> RwLockReadGuard<'s, HashMap<Genome, Option<MetricSet>>> {
+    fn lock_writer<'s>(&self, shard: &'s Shard) -> MutexGuard<'s, Vec<TablePtr>> {
         if !self.time_locks.load(Ordering::Relaxed) {
-            return shard.map.read();
+            return shard.write.lock();
         }
         let start = Instant::now();
-        let guard = shard.map.read();
-        shard.charge_wait(start);
-        guard
-    }
-
-    fn write_shard<'s>(
-        &self,
-        shard: &'s Shard,
-    ) -> RwLockWriteGuard<'s, HashMap<Genome, Option<MetricSet>>> {
-        if !self.time_locks.load(Ordering::Relaxed) {
-            return shard.map.write();
-        }
-        let start = Instant::now();
-        let guard = shard.map.write();
+        let guard = shard.write.lock();
         shard.charge_wait(start);
         guard
     }
@@ -166,12 +306,19 @@ impl ShardedCache {
         (idx, &self.shards[idx])
     }
 
-    /// Looks `genome` up; on a hit the shard's `cache_hits` counter is
-    /// charged and the cached result cloned out.
+    /// Looks `genome` up without taking any lock; on a hit the shard's
+    /// `cache_hits` counter is charged and the cached result cloned out.
+    ///
+    /// A concurrent insert of the same genome may or may not be visible —
+    /// a miss here is linearized at the probe's null-slot load, and the
+    /// follow-up [`insert_or_hit`](ShardedCache::insert_or_hit)
+    /// double-checks under the write lock, so the accounting identity is
+    /// unaffected by the race.
     #[must_use]
     pub fn lookup(&self, genome: &Genome) -> Option<Option<MetricSet>> {
         let (_, shard) = self.shard_of(genome);
-        let hit = self.read_shard(shard).get(genome).cloned();
+        let hash = genome.stable_hash(ENTRY_SALT);
+        let hit = shard.current().probe(hash, genome).map(|e| e.result.clone());
         if hit.is_some() {
             shard.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -179,7 +326,7 @@ impl ShardedCache {
     }
 
     /// Inserts an evaluated result, double-checking for a concurrent
-    /// insert under the write lock.
+    /// insert under the shard's write lock.
     ///
     /// On the winning path the shard's job counters are charged
     /// (`jobs` + `tool_secs` for feasible results, `infeasible` otherwise).
@@ -213,16 +360,44 @@ impl ShardedCache {
         tool_secs: u64,
     ) -> InsertOutcome {
         let (idx, shard) = self.shard_of(genome);
-        let mut map = self.write_shard(shard);
-        if let Some(cached) = map.get(genome) {
-            let cached = cached.clone();
-            drop(map);
+        let hash = genome.stable_hash(ENTRY_SALT);
+        let mut retired = self.lock_writer(shard);
+        // Double-check under the writer lock: this is what linearizes a
+        // racy read-path miss into a Lost hit.
+        let table = shard.current();
+        if let Some(e) = table.probe(hash, genome) {
+            let cached = e.result.clone();
+            drop(retired);
             shard.cache_hits.fetch_add(1, Ordering::Relaxed);
             shard.contentions.fetch_add(1, Ordering::Relaxed);
             return InsertOutcome::Lost { cached, shard: idx as u32 };
         }
-        map.insert(genome.clone(), result.clone());
-        drop(map);
+        // Grow at 50% occupancy so probes stay short. Entry pointers are
+        // re-slotted (entries never move); the old table is retired, not
+        // freed — concurrent readers may still be probing it.
+        let len = table.len.load(Ordering::Relaxed);
+        let table = if (len + 1) * 2 > table.slots.len() {
+            let new = Table::with_capacity(table.slots.len() * 2);
+            for slot in table.slots.iter() {
+                let p = slot.load(Ordering::Relaxed);
+                if !p.is_null() {
+                    new.place(p);
+                }
+            }
+            new.len.store(len, Ordering::Relaxed);
+            let new_ptr = Box::into_raw(new);
+            let old = shard.table.swap(new_ptr, Ordering::AcqRel);
+            retired.push(TablePtr(old));
+            // SAFETY: just published; freed only in drop.
+            unsafe { &*new_ptr }
+        } else {
+            table
+        };
+        let entry =
+            Box::into_raw(Box::new(Entry { hash, genome: genome.clone(), result: result.clone() }));
+        table.place(entry);
+        table.len.fetch_add(1, Ordering::Relaxed);
+        drop(retired);
         match result {
             Some(_) => {
                 shard.jobs.fetch_add(1, Ordering::Relaxed);
@@ -262,7 +437,7 @@ impl ShardedCache {
             .enumerate()
             .map(|(i, s)| ShardMetrics {
                 shard: i as u32,
-                entries: s.map.read().len(),
+                entries: s.current().len.load(Ordering::Relaxed),
                 hits: s.cache_hits.load(Ordering::Relaxed),
                 misses: s.jobs.load(Ordering::Relaxed) + s.infeasible.load(Ordering::Relaxed),
                 contentions: s.contentions.load(Ordering::Relaxed),
@@ -274,7 +449,8 @@ impl ShardedCache {
     }
 
     /// Whole-cache lock-wait aggregate: `(waits, total_nanos, max_nanos)`.
-    /// All zero unless [`ShardedCache::enable_lock_timing`] was called.
+    /// All zero unless [`ShardedCache::enable_lock_timing`] was called;
+    /// counts writer acquisitions only (reads never wait).
     #[must_use]
     pub fn lock_wait_totals(&self) -> (u64, u64, u64) {
         let mut waits = 0;
@@ -305,7 +481,7 @@ impl ShardedCache {
     /// Total memoized entries (feasible and infeasible) across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.read().len()).sum()
+        self.shards.iter().map(|s| s.current().len.load(Ordering::Relaxed)).sum()
     }
 
     /// Whether no entry has been cached yet.
@@ -313,7 +489,32 @@ impl ShardedCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drains the cache into a plain map (test/diagnostic helper).
+    #[cfg(test)]
+    fn to_map(&self) -> HashMap<Genome, Option<MetricSet>> {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            let table = shard.current();
+            for slot in table.slots.iter() {
+                let p = slot.load(Ordering::Acquire);
+                if !p.is_null() {
+                    // SAFETY: published entries are valid until drop.
+                    let e = unsafe { &*p };
+                    out.insert(e.genome.clone(), e.result.clone());
+                }
+            }
+        }
+        out
+    }
 }
+
+// Keep the public type's auto traits explicit: the raw pointers inside
+// are owned by the cache and synchronized as documented above.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedCache>();
+};
 
 impl Default for ShardedCache {
     fn default() -> Self {
@@ -370,6 +571,7 @@ mod tests {
         assert_eq!(s.jobs, 0);
         assert_eq!(s.infeasible, 1);
         assert_eq!(s.simulated_tool_secs, 0);
+        assert_eq!(cache.lookup(&g), Some(None), "infeasible is memoized, not a miss");
     }
 
     #[test]
@@ -391,6 +593,32 @@ mod tests {
         assert_eq!(s.simulated_tool_secs, 60);
         assert_eq!(cache.contentions(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn growth_republishes_every_entry_and_retires_old_tables() {
+        // Force many growths in every shard and verify no entry is lost
+        // or corrupted across republishes: after each insert, all earlier
+        // entries must still resolve to their exact original values.
+        let cache = ShardedCache::new();
+        let n = 512u32;
+        for x in 0..n {
+            let g = Genome::from_genes(vec![x, x ^ 0x2A]);
+            let result = (!x.is_multiple_of(5)).then(|| metrics(f64::from(x) * 0.5));
+            assert_eq!(cache.insert_or_hit(&g, &result, 1), InsertOutcome::Inserted);
+            // Spot-check a sliding window of earlier inserts (checking
+            // all 512 each round would be quadratic for no extra value).
+            let lo = x.saturating_sub(40);
+            for y in lo..=x {
+                let old = Genome::from_genes(vec![y, y ^ 0x2A]);
+                let expect = (!y.is_multiple_of(5)).then(|| metrics(f64::from(y) * 0.5));
+                assert_eq!(cache.lookup(&old), Some(expect), "entry {y} lost after insert {x}");
+            }
+        }
+        assert_eq!(cache.len(), n as usize);
+        assert_eq!(cache.to_map().len(), n as usize);
+        let s = cache.stats();
+        assert_eq!(s.jobs + s.infeasible, u64::from(n));
     }
 
     #[test]
@@ -457,6 +685,93 @@ mod tests {
     }
 
     #[test]
+    fn lockfree_readers_hammer_against_racing_inserts_without_torn_reads() {
+        // 4 pure reader threads spin lock-free lookups across the whole
+        // key range while 4 writer threads insert and grow tables
+        // underneath them. Every hit a reader observes must carry the
+        // exact value the key was inserted with (no torn or stale-entry
+        // reads), and the final counters must reconcile exactly:
+        // hits charged == hits observed, wins == distinct keys.
+        use std::sync::{Arc, Barrier};
+
+        const READERS: usize = 4;
+        const WRITERS: usize = 4;
+        const KEYS: u32 = 600; // forces several growths per shard
+        const READER_SWEEPS: usize = 40;
+
+        fn value_of(x: u32) -> Option<MetricSet> {
+            (!x.is_multiple_of(7)).then(|| metrics(f64::from(x) * 3.0 + 0.25))
+        }
+
+        let cache = Arc::new(ShardedCache::new());
+        let barrier = Arc::new(Barrier::new(READERS + WRITERS));
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut resolves = 0u64;
+                // Writers cover overlapping striped ranges so insert
+                // races actually happen.
+                for i in 0..KEYS {
+                    let x = (i + (w as u32) * 151) % KEYS;
+                    let g = Genome::from_genes(vec![x, x.rotate_left(3)]);
+                    if cache.lookup(&g).is_some() {
+                        resolves += 1;
+                        continue;
+                    }
+                    match cache.insert_or_hit(&g, &value_of(x), 2) {
+                        InsertOutcome::Inserted => resolves += 1,
+                        InsertOutcome::Lost { cached, .. } => {
+                            assert_eq!(cached, value_of(x), "lost race returned wrong value");
+                            resolves += 1;
+                        }
+                    }
+                }
+                resolves
+            }));
+        }
+        let mut reader_handles = Vec::new();
+        for _ in 0..READERS {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            reader_handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut hits = 0u64;
+                for _ in 0..READER_SWEEPS {
+                    for x in 0..KEYS {
+                        let g = Genome::from_genes(vec![x, x.rotate_left(3)]);
+                        if let Some(cached) = cache.lookup(&g) {
+                            assert_eq!(cached, value_of(x), "torn or stale read for key {x}");
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            }));
+        }
+        let writer_resolves: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let reader_hits: u64 = reader_handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        let s = cache.stats();
+        assert_eq!(cache.len() as u32, KEYS, "every key resolved exactly once");
+        assert_eq!(s.jobs + s.infeasible, u64::from(KEYS));
+        assert_eq!(
+            s.jobs + s.infeasible + s.cache_hits,
+            writer_resolves + reader_hits,
+            "charged counters must reconcile with observed operations"
+        );
+        assert!(cache.contentions() <= s.cache_hits);
+        // Post-race, the full map must be exactly the expected function.
+        let map = cache.to_map();
+        assert_eq!(map.len() as u32, KEYS);
+        for (g, v) in map {
+            assert_eq!(v, value_of(g.gene_at(0)));
+        }
+    }
+
+    #[test]
     fn shard_metrics_reconcile_with_merged_stats() {
         let cache = ShardedCache::new();
         for x in 0..40u32 {
@@ -480,7 +795,7 @@ mod tests {
     }
 
     #[test]
-    fn lock_timing_is_gated_and_counts_acquisitions() {
+    fn lock_timing_is_gated_and_counts_writer_acquisitions_only() {
         let cache = ShardedCache::new();
         let g = Genome::from_genes(vec![1, 2]);
         cache.insert_or_hit(&g, &Some(metrics(1.0)), 1);
@@ -490,10 +805,10 @@ mod tests {
 
         cache.enable_lock_timing();
         assert!(cache.lock_timing_enabled());
-        let _ = cache.lookup(&g); // one timed read acquisition
+        let _ = cache.lookup(&g); // lock-free: acquires nothing, charges nothing
         cache.insert_or_hit(&g, &Some(metrics(1.0)), 1); // one timed write acquisition
         let (waits, total, max) = cache.lock_wait_totals();
-        assert_eq!(waits, 2);
+        assert_eq!(waits, 1, "reads are lock-free; only the writer acquisition is timed");
         assert!(total >= max);
         let per_shard_waits: u64 = cache.shard_metrics().iter().map(|m| m.lock_waits).sum();
         assert_eq!(per_shard_waits, waits);
@@ -526,7 +841,7 @@ mod tests {
             cache.insert_or_hit(&g, &None, 0);
         }
         assert_eq!(cache.len(), 64);
-        let populated = cache.shards.iter().filter(|s| !s.map.read().is_empty()).count();
+        let populated = cache.shard_metrics().iter().filter(|m| m.entries > 0).count();
         assert!(populated > NUM_SHARDS / 2, "only {populated} shards populated");
     }
 }

@@ -56,27 +56,35 @@ cargo test -q --workspace --offline
 echo "==> chaos storm (ignored tests)"
 cargo test -q --release --offline -p nautilus-bench --test chaos -- --include-ignored
 
-echo "==> chaos determinism: seed matrix x {1,8} workers"
+echo "==> lock-free cache and pool hammers (release)"
+cargo test -q --release --offline -p nautilus-synth --lib -- hammer
+cargo test -q --release --offline -p nautilus-ga --lib -- pool:: batched
+
+echo "==> chaos determinism: seed matrix x {1,2,8} workers"
 cargo build -q --release --offline -p nautilus-bench --bin chaos --bin resume
 for seed in 1 2 3; do
     serial="$(target/release/chaos --seed "$seed" --workers 1)"
-    parallel="$(target/release/chaos --seed "$seed" --workers 8)"
-    if [ "$serial" != "$parallel" ]; then
-        echo "chaos digest diverged at seed $seed between 1 and 8 workers" >&2
-        diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
-        exit 1
-    fi
+    for workers in 2 8; do
+        parallel="$(target/release/chaos --seed "$seed" --workers "$workers")"
+        if [ "$serial" != "$parallel" ]; then
+            echo "chaos digest diverged at seed $seed between 1 and $workers workers" >&2
+            diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+            exit 1
+        fi
+    done
 done
 
-echo "==> hang-storm determinism: supervised digests x {1,8} workers"
+echo "==> hang-storm determinism: supervised digests x {1,2,8} workers"
 for seed in 1 2; do
     serial="$(target/release/chaos --storm hang --seed "$seed" --workers 1)"
-    parallel="$(target/release/chaos --storm hang --seed "$seed" --workers 8)"
-    if [ "$serial" != "$parallel" ]; then
-        echo "hang-storm digest diverged at seed $seed between 1 and 8 workers" >&2
-        diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
-        exit 1
-    fi
+    for workers in 2 8; do
+        parallel="$(target/release/chaos --storm hang --seed "$seed" --workers "$workers")"
+        if [ "$serial" != "$parallel" ]; then
+            echo "hang-storm digest diverged at seed $seed between 1 and $workers workers" >&2
+            diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+            exit 1
+        fi
+    done
     case "$serial" in
         *'"watchdog_fired":0,'*)
             echo "hang-storm digest recorded no watchdog firings at seed $seed" >&2
