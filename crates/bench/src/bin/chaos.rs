@@ -1,23 +1,36 @@
 //! Prints the deterministic chaos-run digest for one (seed, workers)
 //! pair. `scripts/check.sh` diffs this binary's output across worker
-//! counts to gate on evaluation-pipeline determinism under faults.
+//! counts — and across the process boundary — to gate on
+//! evaluation-pipeline determinism under faults.
 //!
 //! ```text
 //! cargo run --release -p nautilus-bench --bin chaos -- --seed 3 --workers 8
 //! cargo run --release -p nautilus-bench --bin chaos -- --storm hang --workers 8
+//! cargo run --release -p nautilus-bench --bin chaos -- --subprocess target/release/mock-synth
 //! ```
 //!
-//! `--storm hang` selects the supervised hang-storm digest (watchdog,
-//! hedging and circuit-breaker counters included). `--check-workers N`
+//! `--storm` selects the digest family: `transient` (default), `hang`
+//! (supervised hang storm, health counters included), or `clean` (no
+//! faults). `--subprocess TOOL` reruns the *same* digest with every
+//! evaluation served by a `mock-synth` pool at TOOL — fault storms move
+//! to the tool side (`--plan-seed`), crashes become real process deaths —
+//! and exits nonzero if the two digests differ by even one byte; the
+//! in-process digest is printed either way. `--check-workers N`
 //! additionally recomputes the digest at `N` workers in-process and exits
 //! nonzero with a one-line reason if the two diverge, so the gate fails
 //! loudly even when the calling script forgets to diff.
 
-use nautilus_bench::{chaos_digest, hang_storm_digest};
+use std::path::PathBuf;
+
+use nautilus_bench::{
+    chaos_digest, clean_digest, hang_storm_digest, subprocess_chaos_digest,
+    subprocess_clean_digest, subprocess_storm_digest,
+};
 
 enum Storm {
     Transient,
     Hang,
+    Clean,
 }
 
 fn main() {
@@ -25,6 +38,7 @@ fn main() {
     let mut workers = 1usize;
     let mut storm = Storm::Transient;
     let mut check_workers: Option<usize> = None;
+    let mut subprocess: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,8 +57,9 @@ fn main() {
             "--storm" => match args.next().as_deref() {
                 Some("transient") => storm = Storm::Transient,
                 Some("hang") => storm = Storm::Hang,
+                Some("clean") => storm = Storm::Clean,
                 _ => {
-                    eprintln!("--storm expects `transient` or `hang`");
+                    eprintln!("--storm expects `transient`, `hang` or `clean`");
                     std::process::exit(2);
                 }
             },
@@ -54,10 +69,16 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--subprocess" => {
+                subprocess = args.next().map(PathBuf::from).or_else(|| {
+                    eprintln!("--subprocess expects a path to a NAUTPROC tool");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: chaos [--seed N] [--workers N] \
-                     [--storm transient|hang] [--check-workers N]"
+                     [--storm transient|hang|clean] [--check-workers N] [--subprocess TOOL]"
                 );
                 std::process::exit(2);
             }
@@ -66,9 +87,24 @@ fn main() {
     let digest_at = |workers: usize| match storm {
         Storm::Transient => chaos_digest(seed, workers),
         Storm::Hang => hang_storm_digest(seed, workers),
+        Storm::Clean => clean_digest(seed, workers),
     };
     let digest = digest_at(workers);
     println!("{digest}");
+    if let Some(tool) = &subprocess {
+        let routed = match storm {
+            Storm::Transient => subprocess_chaos_digest(seed, workers, tool),
+            Storm::Hang => subprocess_storm_digest(seed, workers, tool),
+            Storm::Clean => subprocess_clean_digest(seed, workers, tool),
+        };
+        if routed != digest {
+            eprintln!(
+                "chaos digest diverged across the process boundary at seed {seed}: \
+                 subprocess said\n{routed}"
+            );
+            std::process::exit(1);
+        }
+    }
     if let Some(other) = check_workers {
         if digest_at(other) != digest {
             eprintln!("chaos digest diverged between {workers} and {other} workers at seed {seed}");

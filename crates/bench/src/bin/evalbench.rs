@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! evalbench [OUTPUT.json] [--floors]
+//! evalbench [OUTPUT.json] [--floors] [--mock-synth PATH]
 //! ```
 //!
 //! Times three surfaces and writes a JSON summary (default
@@ -17,6 +17,12 @@
 //! * **dataset_query** — `top_fraction_threshold` on the 27,648-point
 //!   router dataset: the old sort-per-call algorithm vs the memoized
 //!   sorted-column index (the PR 5's >= 5x acceptance headline).
+//! * **subprocess_dispatch** (with `--mock-synth PATH`) — the same short
+//!   router search in-process and through one `mock-synth` child,
+//!   reporting the per-job cost of crossing the `NAUTPROC` process
+//!   boundary. Skipped (with a marker in the JSON) when the flag is
+//!   absent, because the mock tool binary only exists after a test
+//!   build.
 //!
 //! `--floors` additionally enforces the perf floors from ISSUE 7 and
 //! exits non-zero on regression:
@@ -299,11 +305,23 @@ fn bench_dataset_query() -> (f64, f64, usize) {
 fn main() -> ExitCode {
     let mut out_path = "BENCH_evalpipeline.json".to_owned();
     let mut floors = false;
-    for arg in std::env::args().skip(1) {
+    let mut mock_synth: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--floors" => floors = true,
+            "--mock-synth" => match args.next() {
+                Some(path) => mock_synth = Some(path),
+                None => {
+                    eprintln!("--mock-synth expects a path to the mock tool binary");
+                    return ExitCode::FAILURE;
+                }
+            },
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag {flag}; usage: evalbench [OUTPUT.json] [--floors]");
+                eprintln!(
+                    "unknown flag {flag}; usage: evalbench [OUTPUT.json] [--floors] \
+                     [--mock-synth PATH]"
+                );
                 return ExitCode::FAILURE;
             }
             path => out_path = path.to_owned(),
@@ -328,6 +346,36 @@ fn main() -> ExitCode {
     eprintln!("dataset_query: {QUERY_CALLS} thresholds on the router dataset ...");
     let (linear_ms, indexed_ms, points) = bench_dataset_query();
     eprintln!("  sort-per-call {linear_ms:.1} ms, indexed {indexed_ms:.1} ms");
+
+    // Optional: per-job cost of the NAUTPROC process boundary, measured
+    // against a real mock-synth child with bit-identical outcomes
+    // verified inside the measurement itself.
+    let subprocess_block = match &mock_synth {
+        Some(tool) => {
+            eprintln!("subprocess_dispatch: short router search across the process boundary ...");
+            let r = nautilus_bench::measure_subprocess_dispatch(std::path::Path::new(tool));
+            eprintln!(
+                "  in-process {:.1} ms, subprocess {:.1} ms, {:.1} us/job over {} jobs",
+                r.inprocess_ms, r.subprocess_ms, r.overhead_us_per_job, r.jobs
+            );
+            format!(
+                concat!(
+                    "  \"subprocess_dispatch\": {{\n",
+                    "    \"search\": \"router baseline, 20 generations, seed 42\",\n",
+                    "    \"inprocess_ms\": {:.2},\n",
+                    "    \"subprocess_ms\": {:.2},\n",
+                    "    \"jobs\": {},\n",
+                    "    \"overhead_us_per_job\": {:.1},\n",
+                    "    \"outcomes_identical\": true\n",
+                    "  }},"
+                ),
+                r.inprocess_ms, r.subprocess_ms, r.jobs, r.overhead_us_per_job
+            )
+        }
+        None => {
+            "  \"subprocess_dispatch\": { \"skipped\": \"pass --mock-synth PATH\" },".to_owned()
+        }
+    };
 
     eprintln!("phase_attribution: traced re-runs of the batch and shard surfaces ...");
     let (batch_phases, batch_top) = trace_eval_batch();
@@ -376,6 +424,7 @@ fn main() -> ExitCode {
             "    \"indexed_ms\": {indexed:.2},\n",
             "    \"speedup\": {query_speedup:.2}\n",
             "  }},\n",
+            "{subprocess_block}\n",
             "  \"phase_attribution\": {{\n",
             "    \"eval_batch\": {{\n",
             "      \"workers\": 4,\n",
@@ -410,6 +459,7 @@ fn main() -> ExitCode {
         linear = linear_ms,
         indexed = indexed_ms,
         query_speedup = query_speedup,
+        subprocess_block = subprocess_block,
         batch_top = batch_top,
         batch_phases = batch_phases,
         lock_waits = lock_waits,

@@ -1,0 +1,132 @@
+//! `mock-synth` — a stand-in synthesis tool speaking the `NAUTPROC`
+//! protocol over stdin/stdout.
+//!
+//! This is the out-of-process counterpart of the in-process cost models:
+//! it characterizes the same dataset the parent replays and answers every
+//! `Eval` frame from it, so a search routed through
+//! `Nautilus::with_subprocess_evaluator` lands on byte-identical outcomes.
+//! Fault knobs turn it into a chaos instrument — the seeded `FaultPlan`
+//! mirrors `--fault-plan` runs bit for bit, while `--crash-after`,
+//! `--hang-on-hash` and `--garbage-rate` model the messier ways real
+//! tools die (no reply, silence, undecodable output).
+//!
+//! ```text
+//! mock-synth --model router --plan-seed 3 --transient-rate 0.10
+//! mock-synth --model router --crash-after 40        # dies every 40th request
+//! mock-synth --model fft --garbage-rate 0.05 --slow-ms 2
+//! ```
+//!
+//! Exit codes: 0 orderly shutdown, 1 protocol error, 2 bad usage,
+//! 101 dying-gasp transient, 102 crash-after, 103 wrote garbage.
+
+use std::io::Write;
+
+use nautilus::proc::{serve, ServeExit, ServeOptions};
+use nautilus_bench::data::{connect_dataset, fft_dataset, router_dataset};
+use nautilus_synth::FaultPlan;
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut model_name = String::from("router");
+    let mut plan_seed: Option<u64> = None;
+    let mut transient_rate = 0.0f64;
+    let mut timeout_rate = 0.0f64;
+    let mut corrupt_rate = 0.0f64;
+    let mut persistent_rate = 0.0f64;
+    let mut hang_rate = 0.0f64;
+    let mut opts = ServeOptions::default();
+    let mut log_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => model_name = parse(&mut args, "--model"),
+            "--plan-seed" => plan_seed = Some(parse(&mut args, "--plan-seed")),
+            "--transient-rate" => transient_rate = parse(&mut args, "--transient-rate"),
+            "--timeout-rate" => timeout_rate = parse(&mut args, "--timeout-rate"),
+            "--corrupt-rate" => corrupt_rate = parse(&mut args, "--corrupt-rate"),
+            "--persistent-rate" => persistent_rate = parse(&mut args, "--persistent-rate"),
+            "--hang-rate" => hang_rate = parse(&mut args, "--hang-rate"),
+            "--crash-after" => opts.crash_after = Some(parse(&mut args, "--crash-after")),
+            "--hang-on-hash" => opts.hang_on_hash = Some(parse(&mut args, "--hang-on-hash")),
+            "--garbage-rate" => opts.garbage_rate = parse(&mut args, "--garbage-rate"),
+            "--garbage-seed" => opts.garbage_seed = parse(&mut args, "--garbage-seed"),
+            "--slow-ms" => opts.slow_ms = parse(&mut args, "--slow-ms"),
+            "--log" => log_path = Some(parse(&mut args, "--log")),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: mock-synth [--model router|connect|fft] \
+                     [--plan-seed S] [--transient-rate R] [--timeout-rate R] [--corrupt-rate R] \
+                     [--persistent-rate R] [--hang-rate R] [--crash-after K] [--hang-on-hash H] \
+                     [--garbage-rate R] [--garbage-seed S] [--slow-ms M] [--log FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    opts.plan = plan_seed.map(|seed| {
+        FaultPlan::new(seed)
+            .with_transient_rate(transient_rate)
+            .with_timeout_rate(timeout_rate)
+            .with_corrupt_rate(corrupt_rate)
+            .with_persistent_rate(persistent_rate)
+            .with_hang_rate(hang_rate)
+    });
+    if opts.plan.is_none()
+        && (transient_rate > 0.0
+            || timeout_rate > 0.0
+            || corrupt_rate > 0.0
+            || persistent_rate > 0.0
+            || hang_rate > 0.0)
+    {
+        eprintln!("fault rates require --plan-seed");
+        std::process::exit(2);
+    }
+
+    let dataset = match model_name.as_str() {
+        "router" => router_dataset(),
+        "connect" => connect_dataset(),
+        "fft" => fft_dataset(),
+        other => {
+            eprintln!("unknown model `{other}`; expected router, connect or fft");
+            std::process::exit(2);
+        }
+    };
+    let model = dataset.as_model();
+
+    let mut log = log_path.map(|p| {
+        std::fs::OpenOptions::new().create(true).append(true).open(&p).unwrap_or_else(|e| {
+            eprintln!("cannot open --log {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let on_request = |hash: u64, attempt: u32| {
+        if let Some(f) = log.as_mut() {
+            let _ = writeln!(f, "{hash} {attempt}");
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let exit = serve(&model, &opts, &mut stdin.lock(), &mut stdout.lock(), on_request);
+    match exit {
+        Ok(ServeExit::Shutdown) => {}
+        Ok(ServeExit::Dying) => std::process::exit(101),
+        Ok(ServeExit::CrashRequested) => std::process::exit(102),
+        Ok(ServeExit::HangRequested) => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+        Ok(ServeExit::WroteGarbage) => std::process::exit(103),
+        Err(e) => {
+            eprintln!("mock-synth protocol error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -32,7 +32,7 @@ pub const CHAOS_TRANSIENT_RATE: f64 = 0.10;
 /// distinct genomes hang").
 pub const STORM_HANG_RATE: f64 = 0.10;
 
-fn outcome_json(outcome: &SearchOutcome) -> String {
+pub(crate) fn outcome_json(outcome: &SearchOutcome) -> String {
     let f = &outcome.faults;
     let h = &outcome.health;
     let mut o = JsonObj::new();
@@ -122,15 +122,22 @@ pub fn hang_storm_digest(seed: u64, workers: usize) -> String {
     let guided = engine
         .run_guided(&query, &fmax_hints(), Some(Confidence::STRONG), seed)
         .expect("hang-storm guided run");
-    for outcome in [&baseline, &guided] {
+    storm_pair(seed, &baseline, &guided)
+}
+
+/// Digest assembly for a supervised hang-storm pair — shared with the
+/// subprocess digests so the process boundary can be diffed byte for
+/// byte. Asserts the hedging identity of both outcomes.
+pub(crate) fn storm_pair(seed: u64, baseline: &SearchOutcome, guided: &SearchOutcome) -> String {
+    for outcome in [baseline, guided] {
         assert!(outcome.health.reconciles(), "hedge identity broken: {:?}", outcome.health);
     }
     let mut o = JsonObj::new();
     o.u64("storm_seed", seed)
         .f64("hang_rate", STORM_HANG_RATE)
         .f64("transient_rate", CHAOS_TRANSIENT_RATE)
-        .raw("baseline", &outcome_json(&baseline))
-        .raw("guided", &outcome_json(&guided));
+        .raw("baseline", &outcome_json(baseline))
+        .raw("guided", &outcome_json(guided));
     o.finish()
 }
 
@@ -147,12 +154,12 @@ fn storm_engine<'m>(model: &'m dyn CostModel, seed: u64, workers: usize) -> Naut
         .with_eval_workers(workers)
 }
 
-fn router_query(catalog: &MetricCatalog) -> Query {
+pub(crate) fn router_query(catalog: &MetricCatalog) -> Query {
     let fmax = MetricExpr::metric(catalog.require("fmax").expect("router metric"));
     Query::maximize("fmax", fmax)
 }
 
-fn digest_pair(seed: u64, baseline: &SearchOutcome, guided: &SearchOutcome) -> String {
+pub(crate) fn digest_pair(seed: u64, baseline: &SearchOutcome, guided: &SearchOutcome) -> String {
     let mut o = JsonObj::new();
     o.u64("chaos_seed", seed)
         .f64("transient_rate", CHAOS_TRANSIENT_RATE)

@@ -20,6 +20,7 @@ pub mod chaos;
 pub mod data;
 pub mod figures;
 pub mod report;
+pub mod subprocess;
 pub mod telemetry;
 pub mod traceview;
 
@@ -32,6 +33,10 @@ pub use figures::{
     abl_wrong_hints, all_ablations, fig1, fig2, fig3, fig4, fig5, fig6, fig7, Scale,
 };
 pub use report::{render_table_a, ExperimentReport, Headline};
+pub use subprocess::{
+    clean_digest, measure_subprocess_dispatch, subprocess_chaos_digest, subprocess_clean_digest,
+    subprocess_storm_digest, DispatchReport,
+};
 pub use telemetry::{
     capture_chaos_telemetry, capture_telemetry, capture_traced, TelemetryArtifacts, TraceArtifacts,
 };

@@ -10,6 +10,7 @@ use nautilus_obs::{
     BatchEventBuffer, Fanout, Phase, ReportBuilder, RunReport, SearchObserver, Tracer, WireReader,
     WireWriter,
 };
+use nautilus_proc::{StashModel, SubprocessConfig, SubprocessEvaluator};
 use nautilus_synth::{CostModel, FaultPlan, FaultyEvaluator, JobStats, SynthJobRunner};
 
 use crate::error::{NautilusError, Result};
@@ -63,6 +64,7 @@ pub struct Nautilus<'m> {
     observer: &'m dyn SearchObserver,
     retry: RetryPolicy,
     fault_plan: Option<FaultPlan>,
+    subprocess: Option<SubprocessConfig>,
     supervision: Option<SupervisePolicy>,
     budget: RunBudget,
     checkpoint_dir: Option<PathBuf>,
@@ -80,6 +82,7 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("observer_enabled", &self.observer.enabled())
             .field("retry", &self.retry)
             .field("fault_plan", &self.fault_plan)
+            .field("subprocess", &self.subprocess)
             .field("supervision", &self.supervision)
             .field("budget", &self.budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
@@ -105,6 +108,7 @@ impl<'m> Nautilus<'m> {
             observer: nautilus_obs::noop(),
             retry: RetryPolicy::default(),
             fault_plan: None,
+            subprocess: None,
             supervision: None,
             budget: RunBudget::new(),
             checkpoint_dir: None,
@@ -180,6 +184,28 @@ impl<'m> Nautilus<'m> {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Evaluates every design through an external tool process per
+    /// `config` on subsequent runs (see [`nautilus_proc::SubprocessEvaluator`]):
+    /// a pool of warm children speaking the `NAUTPROC` framing over
+    /// stdin/stdout, with kill-on-timeout, respawn-with-backoff, and the
+    /// engine's full retry/quarantine taxonomy mapped over the process
+    /// boundary.
+    ///
+    /// Determinism is preserved: a clean run through a faithful tool
+    /// produces the byte-identical outcome, `RunReport`, and logical
+    /// event stream of the same search run in-process, at any
+    /// [`Nautilus::with_eval_workers`] setting. Child crashes, hangs and
+    /// garbage surface as [`EvalFailure`](nautilus_ga::EvalFailure)s
+    /// exactly like a [`Nautilus::with_fault_plan`] run — and for that
+    /// reason the two are mutually exclusive: combining them is rejected
+    /// at run start (drive chaos from the tool side instead, e.g.
+    /// `mock-synth --plan-seed`).
+    #[must_use]
+    pub fn with_subprocess_evaluator(mut self, config: SubprocessConfig) -> Self {
+        self.subprocess = Some(config);
         self
     }
 
@@ -496,8 +522,24 @@ impl<'m> Nautilus<'m> {
         // at the deterministic merge point, so the stream is byte-identical
         // at every worker count. Outside a capture frame (the merge thread,
         // serial runs) the buffer forwards straight through.
+        if self.subprocess.is_some() && self.fault_plan.is_some() {
+            return Err(NautilusError::Subprocess(
+                "a fault plan and a subprocess evaluator are mutually exclusive: drive chaos \
+                 from the tool side instead (e.g. mock-synth --plan-seed)"
+                    .to_owned(),
+            ));
+        }
         let buffered = BatchEventBuffer::new(observer);
-        let runner = SynthJobRunner::new(self.model).with_observer(&buffered);
+        // With a subprocess evaluator installed, the job runner charges
+        // and caches over a stand-in model that serves the child tool's
+        // stashed replies — so job accounting, cache behaviour, and
+        // EvalCompleted telemetry are identical to an in-process run.
+        let stash_model = self.subprocess.as_ref().map(|_| StashModel::new(self.model));
+        let runner = match &stash_model {
+            Some(stash) => SynthJobRunner::new(stash),
+            None => SynthJobRunner::new(self.model),
+        }
+        .with_observer(&buffered);
         if self.tracer.is_some() {
             // Shard-lock wait timing is off by default (one atomic load per
             // acquisition when off); traced runs pay for it and fold the
@@ -518,11 +560,20 @@ impl<'m> Nautilus<'m> {
         };
         let fitness = QueryOverRunner { runner: &runner, query };
         let faulty = self.fault_plan.map(|plan| FaultyEvaluator::new(&fitness, plan));
+        let subproc = match &self.subprocess {
+            Some(config) => Some(
+                SubprocessEvaluator::spawn(config.clone(), self.model, &fitness, &buffered)
+                    .map_err(|e| NautilusError::Subprocess(e.to_string()))?,
+            ),
+            None => None,
+        };
         // Supervision wraps the supervisable evaluation path; without one
-        // (no fault plan) there is nothing to hang or trip, so the policy
-        // is inert by design — mirroring the retry policy's contract.
-        let supervisor = match (&faulty, self.supervision) {
-            (Some(f), Some(policy)) => Some(Supervisor::new(f).with_policy(policy)),
+        // (no fault plan or subprocess pool) there is nothing to hang or
+        // trip, so the policy is inert by design — mirroring the retry
+        // policy's contract.
+        let supervisor = match (&faulty, &subproc, self.supervision) {
+            (Some(f), _, Some(policy)) => Some(Supervisor::new(f).with_policy(policy)),
+            (None, Some(s), Some(policy)) => Some(Supervisor::new(s).with_policy(policy)),
             _ => None,
         };
         // Snapshot closure run at every checkpoint boundary: cumulative job
@@ -556,6 +607,9 @@ impl<'m> Nautilus<'m> {
         }
         if let Some(faulty) = &faulty {
             engine = engine.with_fallible_evaluator(faulty);
+        }
+        if let Some(sub) = &subproc {
+            engine = engine.with_fallible_evaluator(sub);
         }
         if let Some(sup) = &supervisor {
             engine = engine.with_supervisor(sup);
@@ -867,13 +921,24 @@ mod tests {
     fn telemetry_streams_are_logically_identical_across_workers() {
         use nautilus_obs::{InMemorySink, SearchEvent as E};
 
-        // Timing payloads legitimately differ between runs; batch-shape
-        // and shard-contention events are worker-count artifacts the event
-        // contract explicitly exempts. Everything else must match.
+        // Timing payloads legitimately differ between runs; batch-shape,
+        // shard-contention, and child-lifecycle events are worker-count
+        // (or scheduling) artifacts the event contract explicitly
+        // exempts. Everything else must match.
         fn normalize(events: Vec<E>) -> Vec<E> {
             events
                 .into_iter()
-                .filter(|e| !matches!(e, E::EvalBatch { .. } | E::CacheShardContended { .. }))
+                .filter(|e| {
+                    !matches!(
+                        e,
+                        E::EvalBatch { .. }
+                            | E::CacheShardContended { .. }
+                            | E::ChildSpawned { .. }
+                            | E::ChildKilled { .. }
+                            | E::ChildRespawned { .. }
+                            | E::ChildProtocolError { .. }
+                    )
+                })
                 .map(|e| match e {
                     E::SpanEnd { name, .. } => E::SpanEnd { name, nanos: 0 },
                     E::RunEnd { best_value, distinct_evals, .. } => {
@@ -1177,6 +1242,31 @@ mod tests {
         // Attaching the report observer must not perturb the search.
         let plain = engine.run_baseline(&q, 43).unwrap();
         assert_eq!(outcome, plain);
+    }
+
+    #[test]
+    fn subprocess_and_fault_plan_are_mutually_exclusive() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let err = Nautilus::new(&model)
+            .with_fault_plan(FaultPlan::new(1).with_transient_rate(0.1))
+            .with_subprocess_evaluator(SubprocessConfig::new("/bin/true"))
+            .run_baseline(&q, 1)
+            .expect_err("fault plan + subprocess accepted");
+        assert!(matches!(err, NautilusError::Subprocess(_)), "{err:?}");
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn unspawnable_subprocess_tool_fails_the_run_cleanly() {
+        let model = StructuredModel::new();
+        let q = query(&model);
+        let err = Nautilus::new(&model)
+            .with_subprocess_evaluator(SubprocessConfig::new("/nonexistent/mock-synth"))
+            .run_baseline(&q, 1)
+            .expect_err("run over a nonexistent tool succeeded");
+        assert!(matches!(err, NautilusError::Subprocess(_)), "{err:?}");
+        assert!(err.to_string().contains("failed to spawn"), "{err}");
     }
 
     #[test]

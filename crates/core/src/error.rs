@@ -38,6 +38,9 @@ pub enum NautilusError {
     Synth(SynthError),
     /// A search was configured with an empty evaluation budget.
     EmptyBudget,
+    /// An out-of-process evaluator could not be set up or was configured
+    /// inconsistently (e.g. combined with an in-process fault plan).
+    Subprocess(String),
 }
 
 impl fmt::Display for NautilusError {
@@ -59,6 +62,9 @@ impl fmt::Display for NautilusError {
             NautilusError::Ga(e) => write!(f, "genetic algorithm error: {e}"),
             NautilusError::Synth(e) => write!(f, "synthesis substrate error: {e}"),
             NautilusError::EmptyBudget => write!(f, "search budget must be at least 1 evaluation"),
+            NautilusError::Subprocess(detail) => {
+                write!(f, "subprocess evaluator error: {detail}")
+            }
         }
     }
 }

@@ -124,6 +124,17 @@ pub use nautilus_obs::{
 pub use nautilus_ga::{EvalFailure, FallibleEvaluator, FaultStats, RetryPolicy};
 pub use nautilus_synth::{FaultPlan, FaultyEvaluator, InjectedFault};
 
+pub use nautilus_obs::SubprocessTally;
+/// Out-of-process evaluation, re-exported from `nautilus-proc`: point
+/// [`Nautilus::with_subprocess_evaluator`] at any binary speaking the
+/// `NAUTPROC` framing (see [`proc`]) and every design is synthesized by
+/// an external tool process — with kill-on-timeout, respawn-with-backoff,
+/// and child failures mapped onto the engine's [`EvalFailure`] taxonomy.
+/// The run's child-lifecycle tallies surface in
+/// [`RunReport::subprocess`](RunReport) ([`SubprocessTally`]).
+pub use nautilus_proc as proc;
+pub use nautilus_proc::{ProcError, SubprocessConfig, SubprocessEvaluator, SubprocessStats};
+
 /// Supervised evaluation, re-exported from `nautilus-ga` / `nautilus-obs`:
 /// enable a watchdog deadline, straggler hedging and a circuit breaker with
 /// [`Nautilus::with_supervision`], and read the intervention counters off

@@ -373,6 +373,36 @@ pub enum SearchEvent {
     /// An evaluation was shed because the breaker was open: the genome
     /// was quarantined without consuming any retry budget.
     EvalShed,
+    /// A subprocess evaluator launched a warm child into a pool slot.
+    ChildSpawned {
+        /// Pool slot index the child occupies.
+        slot: u32,
+    },
+    /// A subprocess evaluator's child left service involuntarily
+    /// (killed by the parent, crashed, or exited on its own).
+    ChildKilled {
+        /// Pool slot index the child occupied.
+        slot: u32,
+        /// Deterministic reason label: `"exited"`, `"io_timeout"`, or
+        /// `"protocol_error"`.
+        reason: String,
+    },
+    /// A killed child's pool slot was refilled with a fresh child.
+    ChildRespawned {
+        /// Pool slot index that was refilled.
+        slot: u32,
+        /// Backoff applied before the respawn, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A child produced bytes that violate the wire protocol (garbage,
+    /// bad CRC, unexpected frame), or could not be respawned.
+    ChildProtocolError {
+        /// Pool slot index of the offending child.
+        slot: u32,
+        /// Deterministic error label (e.g. `"bad_magic"`, `"bad_crc"`,
+        /// `"truncated"`, `"respawn_failed"`).
+        detail: String,
+    },
 }
 
 impl SearchEvent {
@@ -407,6 +437,10 @@ impl SearchEvent {
             SearchEvent::HedgeResolved { .. } => "hedge_resolved",
             SearchEvent::BreakerTransition { .. } => "breaker_transition",
             SearchEvent::EvalShed => "eval_shed",
+            SearchEvent::ChildSpawned { .. } => "child_spawned",
+            SearchEvent::ChildKilled { .. } => "child_killed",
+            SearchEvent::ChildRespawned { .. } => "child_respawned",
+            SearchEvent::ChildProtocolError { .. } => "child_protocol_error",
         }
     }
 
@@ -533,6 +567,18 @@ impl SearchEvent {
                 o.str("from", from.as_str()).str("to", to.as_str());
             }
             SearchEvent::EvalShed => {}
+            SearchEvent::ChildSpawned { slot } => {
+                o.u64("slot", u64::from(*slot));
+            }
+            SearchEvent::ChildKilled { slot, reason } => {
+                o.u64("slot", u64::from(*slot)).str("reason", reason);
+            }
+            SearchEvent::ChildRespawned { slot, backoff_ms } => {
+                o.u64("slot", u64::from(*slot)).u64("backoff_ms", *backoff_ms);
+            }
+            SearchEvent::ChildProtocolError { slot, detail } => {
+                o.u64("slot", u64::from(*slot)).str("detail", detail);
+            }
         }
         o.finish()
     }
@@ -615,6 +661,10 @@ mod tests {
             SearchEvent::HedgeResolved { won: true },
             SearchEvent::BreakerTransition { from: HealthState::Closed, to: HealthState::Open },
             SearchEvent::EvalShed,
+            SearchEvent::ChildSpawned { slot: 0 },
+            SearchEvent::ChildKilled { slot: 1, reason: "io_timeout".into() },
+            SearchEvent::ChildRespawned { slot: 1, backoff_ms: 2 },
+            SearchEvent::ChildProtocolError { slot: 0, detail: "bad_crc".into() },
         ]
     }
 
@@ -675,5 +725,20 @@ mod tests {
         assert!(e.to_json().contains("\"from\":\"open\""), "{}", e.to_json());
         assert!(e.to_json().contains("\"to\":\"half_open\""), "{}", e.to_json());
         assert_eq!(SearchEvent::EvalShed.to_json(), "{\"type\":\"eval_shed\"}");
+    }
+
+    #[test]
+    fn subprocess_event_kinds_are_stable() {
+        let e = SearchEvent::ChildKilled { slot: 3, reason: "io_timeout".into() };
+        assert_eq!(e.kind(), "child_killed");
+        assert!(e.to_json().contains("\"reason\":\"io_timeout\""), "{}", e.to_json());
+        assert_eq!(
+            SearchEvent::ChildSpawned { slot: 0 }.to_json(),
+            "{\"type\":\"child_spawned\",\"slot\":0}"
+        );
+        let e = SearchEvent::ChildRespawned { slot: 1, backoff_ms: 4 };
+        assert!(e.to_json().contains("\"backoff_ms\":4"), "{}", e.to_json());
+        let e = SearchEvent::ChildProtocolError { slot: 0, detail: "bad_crc".into() };
+        assert!(e.to_json().contains("\"detail\":\"bad_crc\""), "{}", e.to_json());
     }
 }

@@ -330,7 +330,8 @@ impl MetricsSnapshot {
 /// `checkpoints_written`, `checkpoints_restored`,
 /// `checkpoints_corrupt_skipped`, `runs_interrupted`, `runs_resumed`,
 /// `watchdog_fired`, `hedges_issued`, `hedges_won`, `hedges_wasted`,
-/// `breaker_transitions` and `evals_shed`.
+/// `breaker_transitions`, `evals_shed`, `children_spawned`,
+/// `children_killed`, `children_respawned` and `child_protocol_errors`.
 /// Span durations land in `span_<name>_secs` histograms, batch sizes in
 /// the `eval_batch_size` histogram, retry backoffs in the
 /// `retry_backoff_secs` histogram, checkpoint record sizes in the
@@ -373,6 +374,10 @@ pub struct MetricsSink {
     hedges_wasted: Arc<Counter>,
     breaker_transitions: Arc<Counter>,
     evals_shed: Arc<Counter>,
+    children_spawned: Arc<Counter>,
+    children_killed: Arc<Counter>,
+    children_respawned: Arc<Counter>,
+    child_protocol_errors: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -432,6 +437,10 @@ impl MetricsSink {
             hedges_wasted: registry.counter("hedges_wasted"),
             breaker_transitions: registry.counter("breaker_transitions"),
             evals_shed: registry.counter("evals_shed"),
+            children_spawned: registry.counter("children_spawned"),
+            children_killed: registry.counter("children_killed"),
+            children_respawned: registry.counter("children_respawned"),
+            child_protocol_errors: registry.counter("child_protocol_errors"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -530,6 +539,10 @@ impl SearchObserver for MetricsSink {
             }
             SearchEvent::BreakerTransition { .. } => self.breaker_transitions.inc(),
             SearchEvent::EvalShed => self.evals_shed.inc(),
+            SearchEvent::ChildSpawned { .. } => self.children_spawned.inc(),
+            SearchEvent::ChildKilled { .. } => self.children_killed.inc(),
+            SearchEvent::ChildRespawned { .. } => self.children_respawned.inc(),
+            SearchEvent::ChildProtocolError { .. } => self.child_protocol_errors.inc(),
         }
     }
 }

@@ -379,6 +379,45 @@ impl HealthTally {
     }
 }
 
+/// Subprocess-evaluator child lifecycle tallies (schema v7).
+///
+/// Folded from the `ChildSpawned` / `ChildKilled` / `ChildRespawned` /
+/// `ChildProtocolError` events emitted by an out-of-process evaluator
+/// pool. All zero on in-process runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubprocessTally {
+    /// Child processes spawned (initial pool fills and respawns alike).
+    pub spawned: u64,
+    /// Children killed by the parent (hang, protocol error, or death
+    /// detected mid-request).
+    pub killed: u64,
+    /// Children respawned after a kill.
+    pub respawned: u64,
+    /// Protocol-level violations observed on child pipes (bad magic,
+    /// CRC mismatch, truncation, desynchronized reply ids).
+    pub protocol_errors: u64,
+}
+
+impl SubprocessTally {
+    /// Whether the kill/respawn identity reconciles: every kill the
+    /// parent performed was followed by a respawn attempt.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.killed == self.respawned
+    }
+
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("spawned", self.spawned)
+            .u64("killed", self.killed)
+            .u64("respawned", self.respawned)
+            .u64("protocol_errors", self.protocol_errors);
+        o.finish()
+    }
+}
+
 /// The machine-readable summary of one instrumented search run.
 ///
 /// # Schema version history
@@ -413,6 +452,10 @@ impl HealthTally {
 ///   `wall_nanos`). Populated only when the run was traced
 ///   ([`ReportBuilder::attach_phases`]); `{}` otherwise. All v5 fields
 ///   are unchanged.
+/// * **v7** — added the `subprocess` block ([`SubprocessTally`]: child
+///   spawn/kill/respawn and protocol-error counts from out-of-process
+///   evaluator pools). All zero on in-process runs. All v6 fields are
+///   unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -454,6 +497,9 @@ pub struct RunReport {
     pub durability: DurabilityTally,
     /// Watchdog / hedging / circuit-breaker tallies.
     pub health: HealthTally,
+    /// Subprocess-evaluator child lifecycle tallies (all zero on
+    /// in-process runs).
+    pub subprocess: SubprocessTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -483,7 +529,7 @@ impl RunReport {
             phases.raw(phase.label(), &p.finish());
         }
         let mut o = JsonObj::new();
-        o.u64("schema_version", 6)
+        o.u64("schema_version", 7)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -503,6 +549,7 @@ impl RunReport {
             .raw("faults", &self.faults.to_json())
             .raw("durability", &self.durability.to_json())
             .raw("health", &self.health.to_json())
+            .raw("subprocess", &self.subprocess.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish())
             .raw("phases", &phases.finish());
@@ -672,6 +719,13 @@ impl ReportBuilder {
         w.u64(h.breaker_recoveries);
         w.u64(h.evals_shed);
         w.str(&h.breaker_state);
+        // v3: the subprocess block rides after the health block so every
+        // earlier field keeps its offset.
+        let s = &r.subprocess;
+        w.u64(s.spawned);
+        w.u64(s.killed);
+        w.u64(s.respawned);
+        w.u64(s.protocol_errors);
         w.into_bytes()
     }
 
@@ -772,6 +826,12 @@ impl ReportBuilder {
             evals_shed: r.u64()?,
             breaker_state: r.str()?,
         };
+        report.subprocess = SubprocessTally {
+            spawned: r.u64()?,
+            killed: r.u64()?,
+            respawned: r.u64()?,
+            protocol_errors: r.u64()?,
+        };
         r.finish()?;
         Ok(ReportBuilder {
             state: Mutex::new(ReportState { report, rows, scoring_gen, num_params }),
@@ -780,7 +840,7 @@ impl ReportBuilder {
 }
 
 /// Version tag for the [`ReportBuilder::snapshot_bytes`] wire format.
-const SNAPSHOT_VERSION: u32 = 2;
+const SNAPSHOT_VERSION: u32 = 3;
 
 fn encode_evals(w: &mut WireWriter, e: &EvalTally) {
     w.u64(e.feasible);
@@ -948,6 +1008,12 @@ impl SearchObserver for ReportBuilder {
                 h.breaker_state = to.as_str().to_owned();
             }
             SearchEvent::EvalShed => state.report.health.evals_shed += 1,
+            SearchEvent::ChildSpawned { .. } => state.report.subprocess.spawned += 1,
+            SearchEvent::ChildKilled { .. } => state.report.subprocess.killed += 1,
+            SearchEvent::ChildRespawned { .. } => state.report.subprocess.respawned += 1,
+            SearchEvent::ChildProtocolError { .. } => {
+                state.report.subprocess.protocol_errors += 1;
+            }
         }
     }
 }
@@ -1105,7 +1171,7 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":6"));
+        assert!(json.contains("\"schema_version\":7"));
         assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
@@ -1197,8 +1263,8 @@ mod tests {
         );
         builder.attach_phases(phases);
         let parsed = parse_json(&builder.finish().to_json()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(6));
-        // The complete v5 surface, unchanged.
+        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(7));
+        // The complete v6 surface, unchanged.
         for key in [
             "strategy",
             "seed",
@@ -1222,8 +1288,11 @@ mod tests {
             "generations",
             "spans",
         ] {
-            assert!(parsed.get(key).is_some(), "v5 key `{key}` missing from v6 report");
+            assert!(parsed.get(key).is_some(), "v6 key `{key}` missing from v7 report");
         }
+        // The v7 addition is a well-formed subprocess block.
+        let sub = parsed.get("subprocess").expect("subprocess block");
+        assert_eq!(sub.get("spawned").and_then(JsonValue::as_u64), Some(0));
         // The v6 addition is a well-formed object keyed by phase label.
         let run = parsed.get("phases").and_then(|p| p.get("run")).expect("phases.run");
         assert_eq!(run.get("total_nanos").and_then(JsonValue::as_u64), Some(10));
@@ -1277,6 +1346,32 @@ mod tests {
         assert_eq!(h.evals_shed, 3);
         assert_eq!(h.breaker_state, "closed");
         assert!(is_valid_json(&h.to_json()));
+    }
+
+    #[test]
+    fn child_lifecycle_events_fold_into_the_subprocess_block() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::ChildSpawned { slot: 0 },
+                SearchEvent::ChildSpawned { slot: 1 },
+                SearchEvent::ChildKilled { slot: 0, reason: "io_timeout".into() },
+                SearchEvent::ChildRespawned { slot: 0, backoff_ms: 1 },
+                SearchEvent::ChildProtocolError { slot: 1, detail: "bad_crc".into() },
+            ],
+        );
+        let bytes = builder.snapshot_bytes();
+        let restored = ReportBuilder::restore_bytes(&bytes).expect("snapshot restores");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        let report = restored.finish();
+        let s = &report.subprocess;
+        assert_eq!(s.spawned, 2);
+        assert_eq!(s.killed, 1);
+        assert_eq!(s.respawned, 1);
+        assert_eq!(s.protocol_errors, 1);
+        assert!(s.reconciles());
+        assert!(is_valid_json(&s.to_json()));
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The child-side serve loop: what a synthesis-tool shim runs.
+//!
+//! [`serve`] is generic over `Read`/`Write` so the exact conversation a
+//! `mock-synth` process holds over stdin/stdout is also unit-testable
+//! in-memory against byte buffers. The loop sends the [`Frame::Hello`]
+//! handshake, then answers one [`Frame::Result`] per [`Frame::Eval`]
+//! until a [`Frame::Shutdown`] (or clean EOF) arrives.
+//!
+//! Fault knobs mirror the in-process `FaultyEvaluator` bit for bit: the
+//! same seeded [`FaultPlan`] decides each (genome, attempt) fate, and the
+//! reply carries the same classification, virtual timings, and attempt
+//! costs the in-process path would have produced — that is what makes
+//! in-process and out-of-process runs byte-identical under fault storms.
+
+use std::io::{Read, Write};
+
+use nautilus_ga::rng::{hash_combine, mix_to_unit, splitmix64};
+use nautilus_ga::Genome;
+use nautilus_synth::{CostModel, FaultPlan, InjectedFault};
+
+use crate::protocol::{
+    Frame, ProtoError, WireOutcome, WIRE_FAULT_PERSISTENT, WIRE_FAULT_TIMEOUT, WIRE_FAULT_TRANSIENT,
+};
+
+/// Salt for the independent garbage-output fate draw (`--garbage-rate`).
+const SALT_GARBAGE: u64 = 0x6761_7262;
+
+/// Deterministic byte count of a garbage burst.
+const GARBAGE_LEN: usize = 64;
+
+/// Fault and shaping knobs for one serve session.
+///
+/// All knobs are deterministic functions of the genome (and attempt)
+/// being evaluated — never of wall time or request order — with one
+/// deliberate exception: [`ServeOptions::crash_after`] counts requests
+/// *per child*, modelling a tool that leaks until it dies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Inject classified faults per this plan (same rules as in-process).
+    pub plan: Option<FaultPlan>,
+    /// Crash without replying on the K-th request this child serves.
+    pub crash_after: Option<u64>,
+    /// Hang forever on the genome whose `stable_hash(0)` equals this.
+    pub hang_on_hash: Option<u64>,
+    /// Probability a reply is replaced by garbage bytes, drawn per
+    /// (genome, attempt) under [`ServeOptions::garbage_seed`].
+    pub garbage_rate: f64,
+    /// Seed for the garbage draw.
+    pub garbage_seed: u64,
+    /// Sleep this long before every reply (simulated tool latency).
+    pub slow_ms: u64,
+}
+
+/// Why [`serve`] returned control to the caller.
+///
+/// The serve loop never exits the process or blocks forever itself;
+/// it reports *what the tool would do next* and the binary decides
+/// (exit nonzero, sleep forever, ...). That keeps every pathway
+/// drivable from an in-memory unit test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// Orderly shutdown: a [`Frame::Shutdown`] or clean EOF arrived.
+    Shutdown,
+    /// A dying-gasp transient fault was flushed; the tool now exits
+    /// nonzero. The parent got the classified reply *before* the death,
+    /// so accounting stays exact while the crash is still real.
+    Dying,
+    /// `--crash-after` fired: the tool dies without replying at all.
+    CrashRequested,
+    /// A hang fate fired: the tool goes silent forever (the parent's
+    /// watchdog or I/O deadline is the only way out).
+    HangRequested,
+    /// Garbage bytes were written in place of a frame; the tool exits.
+    WroteGarbage,
+}
+
+/// Runs the child side of the protocol until the conversation ends.
+///
+/// `on_request` observes every evaluation request as
+/// `(stable_hash(0), attempt)` — the request-log hook `mock-synth --log`
+/// uses to prove a quarantined genome is never re-requested after a
+/// checkpoint resume.
+///
+/// # Errors
+///
+/// Returns any framing or I/O error. A genome whose length disagrees
+/// with the model's parameter count is [`ProtoError::Malformed`]: the
+/// parent and child disagree about the space, and continuing would
+/// corrupt accounting silently.
+pub fn serve(
+    model: &dyn CostModel,
+    opts: &ServeOptions,
+    r: &mut impl Read,
+    w: &mut impl Write,
+    mut on_request: impl FnMut(u64, u32),
+) -> Result<ServeExit, ProtoError> {
+    let space = model.space();
+    let hello = Frame::Hello {
+        model: model.name().to_owned(),
+        gene_len: space.num_params() as u32,
+        metric_len: model.catalog().len() as u32,
+    };
+    hello.write_to(w)?;
+
+    let mut served: u64 = 0;
+    loop {
+        let frame = match Frame::read_from(r) {
+            Ok(frame) => frame,
+            Err(ProtoError::CleanEof) => return Ok(ServeExit::Shutdown),
+            Err(e) => return Err(e),
+        };
+        let (id, attempt, genes) = match frame {
+            Frame::Shutdown => return Ok(ServeExit::Shutdown),
+            Frame::Eval { id, attempt, genes } => (id, attempt, genes),
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unexpected frame from parent: {other:?}"
+                )))
+            }
+        };
+        if genes.len() != space.num_params() {
+            return Err(ProtoError::Malformed(format!(
+                "genome length {} does not match the {}-parameter space",
+                genes.len(),
+                space.num_params()
+            )));
+        }
+
+        served += 1;
+        if opts.crash_after.is_some_and(|k| served >= k.max(1)) {
+            return Ok(ServeExit::CrashRequested);
+        }
+
+        let genome = Genome::from_genes(genes);
+        on_request(genome.stable_hash(0), attempt);
+
+        if opts.hang_on_hash == Some(genome.stable_hash(0)) {
+            return Ok(ServeExit::HangRequested);
+        }
+
+        if opts.slow_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.slow_ms));
+        }
+
+        if garbage_fate(opts, &genome, attempt) {
+            w.write_all(&garbage_bytes(opts, &genome, attempt)).map_err(ProtoError::Io)?;
+            w.flush().map_err(ProtoError::Io)?;
+            return Ok(ServeExit::WroteGarbage);
+        }
+
+        let fate = opts.plan.and_then(|p| p.decide_full(&genome, attempt));
+        let cost_ms = match &opts.plan {
+            Some(plan) => plan.attempt_cost_ms(&genome, attempt),
+            None => opts.slow_ms,
+        };
+        let outcome = match fate {
+            Some(InjectedFault::Hang) => return Ok(ServeExit::HangRequested),
+            Some(InjectedFault::Transient) => {
+                // Dying gasp: classify the fault on the wire, then die for
+                // real. The parent reaps and respawns this child.
+                let gasp = Frame::Result {
+                    id,
+                    outcome: WireOutcome::Fault {
+                        kind: WIRE_FAULT_TRANSIENT,
+                        elapsed_ms: 0,
+                        limit_ms: 0,
+                        message: "injected: synthesis worker crashed".into(),
+                        cost_ms,
+                        dying: true,
+                    },
+                };
+                gasp.write_to(w)?;
+                return Ok(ServeExit::Dying);
+            }
+            Some(InjectedFault::Timeout) => WireOutcome::Fault {
+                kind: WIRE_FAULT_TIMEOUT,
+                elapsed_ms: 1_001,
+                limit_ms: 1_000,
+                message: "injected: synthesis tool deadline".into(),
+                cost_ms,
+                dying: false,
+            },
+            Some(InjectedFault::Persistent) => WireOutcome::Fault {
+                kind: WIRE_FAULT_PERSISTENT,
+                elapsed_ms: 0,
+                limit_ms: 0,
+                message: "injected: generator rejects this design".into(),
+                cost_ms,
+                dying: false,
+            },
+            Some(InjectedFault::Corrupted) => evaluate(model, &genome, cost_ms, true),
+            None => evaluate(model, &genome, cost_ms, false),
+        };
+        Frame::Result { id, outcome }.write_to(w)?;
+    }
+}
+
+/// Evaluates `genome` through the real cost model and packages the reply.
+fn evaluate(model: &dyn CostModel, genome: &Genome, cost_ms: u64, garbled: bool) -> WireOutcome {
+    match model.evaluate(genome) {
+        Some(metrics) => WireOutcome::Metrics {
+            garbled,
+            tool_secs: model.synth_time(genome).as_secs(),
+            cost_ms,
+            values: metrics.values().to_vec(),
+        },
+        None => WireOutcome::Infeasible { cost_ms },
+    }
+}
+
+/// The seeded per-(genome, attempt) garbage draw. Mixing the attempt in
+/// keeps garbage retryable, mirroring the plan's retryable fault kinds.
+fn garbage_fate(opts: &ServeOptions, genome: &Genome, attempt: u32) -> bool {
+    if opts.garbage_rate <= 0.0 {
+        return false;
+    }
+    let g = genome.stable_hash(splitmix64(opts.garbage_seed) ^ SALT_GARBAGE);
+    let a = hash_combine(g, splitmix64(u64::from(attempt)));
+    mix_to_unit(hash_combine(a, SALT_GARBAGE)) < opts.garbage_rate
+}
+
+/// A deterministic garbage burst that can never be mistaken for a frame:
+/// the first byte always disagrees with `MAGIC[0]`.
+fn garbage_bytes(opts: &ServeOptions, genome: &Genome, attempt: u32) -> Vec<u8> {
+    let mut x = hash_combine(
+        genome.stable_hash(splitmix64(opts.garbage_seed) ^ SALT_GARBAGE),
+        u64::from(attempt),
+    );
+    let mut out = Vec::with_capacity(GARBAGE_LEN);
+    for _ in 0..GARBAGE_LEN {
+        x = splitmix64(x);
+        out.push((x >> 32) as u8);
+    }
+    if out[0] == crate::protocol::MAGIC[0] {
+        out[0] ^= 0xFF;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testmodel::TestModel;
+
+    /// Drives `serve` against an in-memory request script and returns
+    /// (exit, reply frames decoded from the output buffer).
+    fn drive(
+        model: &dyn CostModel,
+        opts: &ServeOptions,
+        requests: &[Frame],
+    ) -> (ServeExit, Vec<Frame>, Vec<(u64, u32)>) {
+        let mut input = Vec::new();
+        for f in requests {
+            f.write_to(&mut input).unwrap();
+        }
+        let mut output = Vec::new();
+        let mut seen = Vec::new();
+        let exit = serve(model, opts, &mut &input[..], &mut output, |h, a| seen.push((h, a)))
+            .expect("serve");
+        let mut frames = Vec::new();
+        let mut r = &output[..];
+        loop {
+            match Frame::read_from(&mut r) {
+                Ok(f) => frames.push(f),
+                Err(ProtoError::CleanEof) => break,
+                Err(e) => panic!("undecodable server output: {e}"),
+            }
+        }
+        (exit, frames, seen)
+    }
+
+    fn eval(id: u64, genes: Vec<u32>) -> Frame {
+        Frame::Eval { id, attempt: 0, genes }
+    }
+
+    #[test]
+    fn serves_hello_then_metrics_then_shutdown() {
+        let model = TestModel::new();
+        let (exit, frames, seen) =
+            drive(&model, &ServeOptions::default(), &[eval(1, vec![3, 11]), Frame::Shutdown]);
+        assert_eq!(exit, ServeExit::Shutdown);
+        assert_eq!(seen.len(), 1);
+        assert!(matches!(
+            &frames[0],
+            Frame::Hello { gene_len: 2, metric_len, .. } if *metric_len == model.catalog().len() as u32
+        ));
+        let expected = model.evaluate(&Genome::from_genes(vec![3, 11])).unwrap();
+        match &frames[1] {
+            Frame::Result {
+                id: 1,
+                outcome: WireOutcome::Metrics { garbled, values, tool_secs, .. },
+            } => {
+                assert!(!garbled);
+                assert_eq!(values, expected.values());
+                assert_eq!(
+                    *tool_secs,
+                    model.synth_time(&Genome::from_genes(vec![3, 11])).as_secs()
+                );
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_points_reply_infeasible() {
+        // TestModel's x == 7 stripe is infeasible.
+        let model = TestModel::new();
+        let (_, frames, _) = drive(&model, &ServeOptions::default(), &[eval(2, vec![7, 0])]);
+        assert!(matches!(
+            frames[1],
+            Frame::Result { id: 2, outcome: WireOutcome::Infeasible { .. } }
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_an_orderly_shutdown() {
+        let model = TestModel::new();
+        let (exit, frames, _) = drive(&model, &ServeOptions::default(), &[]);
+        assert_eq!(exit, ServeExit::Shutdown);
+        assert_eq!(frames.len(), 1); // just the Hello
+    }
+
+    #[test]
+    fn crash_after_dies_without_replying() {
+        let model = TestModel::new();
+        let opts = ServeOptions { crash_after: Some(2), ..ServeOptions::default() };
+        let (exit, frames, _) =
+            drive(&model, &opts, &[eval(1, vec![0, 0]), eval(2, vec![1, 1]), eval(3, vec![2, 2])]);
+        assert_eq!(exit, ServeExit::CrashRequested);
+        // Hello + exactly one reply: request 2 died unanswered.
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(frames[1], Frame::Result { id: 1, .. }));
+    }
+
+    #[test]
+    fn hang_on_hash_goes_silent_on_the_victim_only() {
+        let model = TestModel::new();
+        let victim = Genome::from_genes(vec![5, 5]).stable_hash(0);
+        let opts = ServeOptions { hang_on_hash: Some(victim), ..ServeOptions::default() };
+        let (exit, frames, _) = drive(&model, &opts, &[eval(1, vec![1, 2]), eval(2, vec![5, 5])]);
+        assert_eq!(exit, ServeExit::HangRequested);
+        assert_eq!(frames.len(), 2); // Hello + reply to the innocent request
+    }
+
+    #[test]
+    fn plan_fates_mirror_the_in_process_evaluator() {
+        let model = TestModel::new();
+        let plan = FaultPlan::new(11)
+            .with_transient_rate(0.2)
+            .with_timeout_rate(0.2)
+            .with_corrupt_rate(0.2)
+            .with_persistent_rate(0.2);
+        let opts = ServeOptions { plan: Some(plan), ..ServeOptions::default() };
+        // Sweep genomes until every fate class has been observed, checking
+        // each wire reply against the plan's own decision.
+        let mut hit = [false; 4];
+        'outer: for x in 0..12u32 {
+            for y in 0..12u32 {
+                let genes = vec![x, y];
+                let genome = Genome::from_genes(genes.clone());
+                let fate = plan.decide_full(&genome, 0);
+                let (exit, frames, _) = drive(&model, &opts, &[eval(9, genes)]);
+                match fate {
+                    Some(InjectedFault::Transient) => {
+                        hit[0] = true;
+                        assert_eq!(exit, ServeExit::Dying);
+                        assert!(matches!(
+                            &frames[1],
+                            Frame::Result {
+                                outcome: WireOutcome::Fault {
+                                    kind: WIRE_FAULT_TRANSIENT,
+                                    dying: true,
+                                    cost_ms,
+                                    ..
+                                },
+                                ..
+                            } if *cost_ms == plan.attempt_cost_ms(&genome, 0)
+                        ));
+                    }
+                    Some(InjectedFault::Timeout) => {
+                        hit[1] = true;
+                        assert!(matches!(
+                            &frames[1],
+                            Frame::Result {
+                                outcome: WireOutcome::Fault {
+                                    kind: WIRE_FAULT_TIMEOUT,
+                                    elapsed_ms: 1_001,
+                                    limit_ms: 1_000,
+                                    dying: false,
+                                    ..
+                                },
+                                ..
+                            }
+                        ));
+                    }
+                    Some(InjectedFault::Corrupted) => {
+                        hit[2] = true;
+                        assert!(matches!(
+                            &frames[1],
+                            Frame::Result {
+                                outcome: WireOutcome::Metrics { garbled: true, .. },
+                                ..
+                            }
+                        ));
+                    }
+                    Some(InjectedFault::Persistent) => {
+                        hit[3] = true;
+                        assert!(matches!(
+                            &frames[1],
+                            Frame::Result {
+                                outcome: WireOutcome::Fault { kind: WIRE_FAULT_PERSISTENT, .. },
+                                ..
+                            }
+                        ));
+                    }
+                    Some(InjectedFault::Hang) => unreachable!("no hang rate configured"),
+                    None => {
+                        assert!(matches!(
+                            &frames[1],
+                            Frame::Result {
+                                outcome: WireOutcome::Metrics { garbled: false, .. },
+                                ..
+                            } | Frame::Result { outcome: WireOutcome::Infeasible { .. }, .. }
+                        ));
+                    }
+                }
+                if hit.iter().all(|&h| h) {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "fate sweep never hit all four kinds: {hit:?}");
+    }
+
+    #[test]
+    fn garbage_bursts_are_deterministic_and_never_frames() {
+        let model = TestModel::new();
+        let opts = ServeOptions { garbage_rate: 1.0, garbage_seed: 3, ..ServeOptions::default() };
+        let mut input = Vec::new();
+        eval(1, vec![4, 4]).write_to(&mut input).unwrap();
+        let mut out = Vec::new();
+        let exit_a = serve(&model, &opts, &mut &input[..], &mut out, |_, _| {}).unwrap();
+        assert_eq!(exit_a, ServeExit::WroteGarbage);
+        // Re-serve and compare raw output bytes for determinism.
+        let run = |input: &[u8]| {
+            let mut out = Vec::new();
+            let mut r = input;
+            serve(&model, &opts, &mut r, &mut out, |_, _| {}).unwrap();
+            out
+        };
+        let a = run(&input);
+        let b = run(&input);
+        assert_eq!(a, b);
+        // After the Hello, the burst must not decode as a frame.
+        let hello_len = {
+            let mut r = &a[..];
+            Frame::read_from(&mut r).unwrap();
+            a.len() - r.len()
+        };
+        let mut r = &a[hello_len..];
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn genome_length_mismatch_is_a_protocol_error() {
+        let model = TestModel::new();
+        let mut input = Vec::new();
+        eval(1, vec![1, 2, 3]).write_to(&mut input).unwrap();
+        let mut out = Vec::new();
+        let err = serve(&model, &ServeOptions::default(), &mut &input[..], &mut out, |_, _| {})
+            .expect_err("length mismatch accepted");
+        assert!(matches!(err, ProtoError::Malformed(_)));
+    }
+}

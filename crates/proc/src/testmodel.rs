@@ -1,0 +1,55 @@
+//! A tiny closed-form cost model shared by this crate's tests.
+
+use std::time::Duration;
+
+use nautilus_ga::{Genome, ParamSpace};
+use nautilus_synth::{CostModel, MetricCatalog, MetricSet};
+
+/// Quadratic bowl over a 12x12 integer lattice with one infeasible
+/// stripe (`x == 7`), mirroring the synth crate's internal test model.
+#[derive(Debug)]
+pub struct TestModel {
+    space: ParamSpace,
+    catalog: MetricCatalog,
+}
+
+impl TestModel {
+    pub fn new() -> TestModel {
+        let space = ParamSpace::builder()
+            .int_list("x", (0..12).collect::<Vec<i64>>())
+            .int_list("y", (0..12).collect::<Vec<i64>>())
+            .build()
+            .expect("valid test space");
+        let catalog =
+            MetricCatalog::new([("cost", "units"), ("gain", "units")]).expect("valid catalog");
+        TestModel { space, catalog }
+    }
+}
+
+impl CostModel for TestModel {
+    fn name(&self) -> &str {
+        "proc-test-bowl"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+
+    fn evaluate(&self, genome: &Genome) -> Option<MetricSet> {
+        let x = genome.gene_at(0) as f64;
+        let y = genome.gene_at(1) as f64;
+        if genome.gene_at(0) == 7 {
+            return None;
+        }
+        let cost = (x - 3.0).powi(2) + (y - 5.0).powi(2);
+        Some(self.catalog.set(vec![cost, 100.0 - cost]).expect("arity"))
+    }
+
+    fn synth_time(&self, _genome: &Genome) -> Duration {
+        Duration::from_secs(60)
+    }
+}

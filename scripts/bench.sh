@@ -5,7 +5,9 @@
 #
 # Builds the release tree, runs the `evalbench` binary, and writes the
 # measured headline numbers to BENCH_evalpipeline.json (or OUTPUT.json),
-# including the 1/2/4/8 eval-worker matrix and this host's thread count.
+# including the 1/2/4/8 eval-worker matrix, this host's thread count, and
+# the per-job overhead of dispatching evaluations to a `mock-synth`
+# child over the NAUTPROC subprocess protocol.
 #
 # Perf floors (enforced by evalbench --floors, non-zero exit on
 # regression): the indexed dataset-query speedup must stay >= 5x, the
@@ -26,8 +28,8 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_evalpipeline.json}"
 
-echo "==> cargo build --release -p nautilus-bench --bin evalbench"
-cargo build --release --offline -p nautilus-bench --bin evalbench
+echo "==> cargo build --release -p nautilus-bench --bin evalbench --bin mock-synth"
+cargo build --release --offline -p nautilus-bench --bin evalbench --bin mock-synth
 
 # Floors recorded on a bigger host than this one cannot be reproduced
 # here; run without gating (still measured and written) and say so.
@@ -42,8 +44,16 @@ if [ -f "$OUT" ]; then
     fi
 fi
 
-echo "==> evalbench $OUT ${FLOORS[*]:-}"
-./target/release/evalbench "$OUT" ${FLOORS[@]+"${FLOORS[@]}"}
+echo "==> evalbench $OUT ${FLOORS[*]:-} --mock-synth target/release/mock-synth"
+./target/release/evalbench "$OUT" ${FLOORS[@]+"${FLOORS[@]}"} \
+    --mock-synth target/release/mock-synth
+
+# The dispatch-overhead block proves the NAUTPROC boundary was actually
+# measured (and its outcomes verified identical), not skipped.
+if ! grep -q '"subprocess_dispatch"' "$OUT" || grep -q '"skipped"' "$OUT"; then
+    echo "FAIL: $OUT is missing the measured subprocess_dispatch section" >&2
+    exit 1
+fi
 
 # The attribution block is load-bearing: it names the top overhead phase
 # behind the batch and shard headline numbers. Refuse to publish a

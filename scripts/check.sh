@@ -56,12 +56,15 @@ cargo test -q --workspace --offline
 echo "==> chaos storm (ignored tests)"
 cargo test -q --release --offline -p nautilus-bench --test chaos -- --include-ignored
 
+echo "==> subprocess chaos battery (ignored tests)"
+cargo test -q --release --offline -p nautilus-bench --test subprocess_chaos -- --include-ignored
+
 echo "==> lock-free cache and pool hammers (release)"
 cargo test -q --release --offline -p nautilus-synth --lib -- hammer
 cargo test -q --release --offline -p nautilus-ga --lib -- pool:: batched
 
 echo "==> chaos determinism: seed matrix x {1,2,8} workers"
-cargo build -q --release --offline -p nautilus-bench --bin chaos --bin resume
+cargo build -q --release --offline -p nautilus-bench --bin chaos --bin resume --bin mock-synth
 for seed in 1 2 3; do
     serial="$(target/release/chaos --seed "$seed" --workers 1)"
     for workers in 2 8; do
@@ -92,6 +95,27 @@ for seed in 1 2; do
     esac
 done
 
+echo "==> subprocess determinism: NAUTPROC digests x {1,2,8} workers"
+# The chaos binary reruns each digest with every evaluation served by a
+# mock-synth pool and exits nonzero on any byte of divergence, so each
+# invocation below is a pass/fail gate in itself.
+MOCK=target/release/mock-synth
+for workers in 1 2 8; do
+    target/release/chaos --storm clean --seed 1 --workers "$workers" \
+        --subprocess "$MOCK" >/dev/null
+done
+
+echo "==> subprocess crash storm: real child deaths x {1,8} workers"
+# The same seeded 10% transient plan, decided tool-side: every injected
+# crash is a dying gasp followed by a real process death, and the digest
+# must still match the in-process storm bit for bit.
+for workers in 1 8; do
+    target/release/chaos --seed 3 --workers "$workers" --subprocess "$MOCK" >/dev/null
+done
+
+echo "==> subprocess hang storm: supervised kills and respawns, 2 workers"
+target/release/chaos --storm hang --seed 3 --workers 2 --subprocess "$MOCK" >/dev/null
+
 echo "==> gate binaries fail loudly: exit codes"
 # The in-process cross-worker self-check must pass...
 target/release/chaos --seed 1 --workers 2 --check-workers 1 >/dev/null
@@ -107,6 +131,10 @@ if target/release/chaos --storm gamma-ray >/dev/null 2>&1; then
 fi
 if target/release/resume --kill --victim >/dev/null 2>&1; then
     echo "resume binary accepted --kill combined with --victim" >&2
+    exit 1
+fi
+if target/release/mock-synth --transient-rate 0.5 >/dev/null 2>&1 </dev/null; then
+    echo "mock-synth accepted fault rates without --plan-seed" >&2
     exit 1
 fi
 

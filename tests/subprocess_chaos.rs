@@ -1,0 +1,483 @@
+//! Out-of-process chaos acceptance tests: the full stack (dataset →
+//! subprocess evaluator → `mock-synth` children over the `NAUTPROC`
+//! protocol → retries/supervision → GA engine → telemetry report) under
+//! real process failure.
+//!
+//! The headline property: a search routed through
+//! [`nautilus::SubprocessEvaluator`] produces a **byte-identical
+//! outcome, run report (modulo the child-lifecycle tally), and
+//! normalized event stream** to the same search run in-process — at
+//! `eval_workers` ∈ {1, 2, 8}, and not only on sunny days: also while
+//! children are crashing every K requests, dying mid-storm, hanging
+//! past the I/O deadline, or replying with garbage bytes. Kills and
+//! respawns must reconcile exactly in the report's schema-7
+//! `subprocess` block.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use nautilus::{
+    Confidence, InMemorySink, Nautilus, NautilusError, Query, RetryPolicy, RunBudget, RunReport,
+    SearchEvent, SearchOutcome, SubprocessConfig, SupervisePolicy,
+};
+use nautilus_bench::data::router_dataset;
+use nautilus_bench::subprocess::{chaos_tool_config, router_tool_config, storm_tool_config};
+use nautilus_ga::Genome;
+use nautilus_noc::hints::fmax_hints;
+use nautilus_synth::{Dataset, FaultPlan, MetricExpr};
+
+/// The committed mock tool, built by Cargo alongside this test.
+fn tool() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_mock-synth"))
+}
+
+fn fmax_query(d: &Dataset) -> Query {
+    Query::maximize("fmax", MetricExpr::metric(d.catalog().require("fmax").expect("router metric")))
+}
+
+/// The logical-stream contract: drop batching/contention/child-lifecycle
+/// artifacts (all legitimately schedule- or boundary-dependent), zero the
+/// wall-clock payloads, keep everything else in order.
+fn normalize(events: Vec<SearchEvent>) -> Vec<SearchEvent> {
+    events
+        .into_iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                SearchEvent::EvalBatch { .. }
+                    | SearchEvent::CacheShardContended { .. }
+                    | SearchEvent::ChildSpawned { .. }
+                    | SearchEvent::ChildKilled { .. }
+                    | SearchEvent::ChildRespawned { .. }
+                    | SearchEvent::ChildProtocolError { .. }
+            )
+        })
+        .map(|e| match e {
+            SearchEvent::SpanEnd { name, .. } => SearchEvent::SpanEnd { name, nanos: 0 },
+            SearchEvent::RunEnd { best_value, distinct_evals, .. } => {
+                SearchEvent::RunEnd { best_value, distinct_evals, wall_nanos: 0 }
+            }
+            other => other,
+        })
+        .collect()
+}
+
+/// Zeroes every occurrence of a `"key":<digits>` member in place.
+fn zero_field(json: &mut String, key: &str) {
+    let needle = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(&needle) {
+        let start = from + pos + needle.len();
+        let end =
+            json[start..].find(|c: char| !c.is_ascii_digit()).map_or(json.len(), |off| start + off);
+        json.replace_range(start..end, "0");
+        from = start;
+    }
+}
+
+/// The logical-report contract, mirroring [`normalize`]: splice out the
+/// `subprocess` tally (the child lifecycle is the *only* block allowed to
+/// differ across the process boundary) and zero the wall-clock span
+/// payloads plus the batching/contention counters (the report's analog of
+/// the filtered `eval_batch` / shard-contention events — all legitimately
+/// worker-dependent); everything else must match byte for byte.
+fn normalized_report(report: &RunReport) -> String {
+    let json = report.to_json();
+    let start = json.find("\"subprocess\":{").expect("schema-7 report has a subprocess block");
+    let end = start + json[start..].find('}').expect("tally closes") + 1;
+    let mut out = format!("{}{}", &json[..start], &json[end..]);
+    for key in [
+        "wall_nanos",
+        "total_nanos",
+        "max_nanos",
+        "eval_batches",
+        "batched_evals",
+        "max_batch",
+        "shard_contentions",
+    ] {
+        zero_field(&mut out, key);
+    }
+    out
+}
+
+fn request_log(log: &Path) -> BTreeSet<(u64, u32)> {
+    std::fs::read_to_string(log)
+        .expect("mock-synth request log readable")
+        .lines()
+        .map(|line| {
+            let mut parts = line.split_whitespace();
+            let hash = parts.next().and_then(|h| h.parse().ok()).expect("hash field");
+            let attempt = parts.next().and_then(|a| a.parse().ok()).expect("attempt field");
+            (hash, attempt)
+        })
+        .collect()
+}
+
+#[test]
+fn clean_subprocess_searches_match_in_process_at_every_worker_count() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let hints = fmax_hints();
+    let seed = 5u64;
+
+    // In-process reference, with the event stream and report captured.
+    let sink = InMemorySink::new();
+    let (reference, ref_report) = Nautilus::new(&model)
+        .with_observer(&sink)
+        .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+        .unwrap();
+    let ref_stream = normalize(sink.events());
+    let ref_report_json = normalized_report(&ref_report);
+    assert_eq!(
+        ref_report.subprocess,
+        nautilus::SubprocessTally::default(),
+        "an in-process run must report an empty subprocess block"
+    );
+
+    for workers in [1usize, 2, 8] {
+        let sink = InMemorySink::new();
+        let (outcome, report): (SearchOutcome, RunReport) = Nautilus::new(&model)
+            .with_observer(&sink)
+            .with_eval_workers(workers)
+            .with_subprocess_evaluator(router_tool_config(tool()))
+            .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+            .unwrap();
+        assert_eq!(outcome, reference, "subprocess outcome diverged at {workers} workers");
+        assert_eq!(
+            normalized_report(&report),
+            ref_report_json,
+            "subprocess report diverged at {workers} workers"
+        );
+        assert_eq!(
+            normalize(sink.events()),
+            ref_stream,
+            "subprocess event stream diverged at {workers} workers"
+        );
+        let s = &report.subprocess;
+        assert!(s.spawned >= 1, "children must be spawned: {s:?}");
+        assert_eq!(s.killed, 0, "a clean run kills no children: {s:?}");
+        assert!(s.reconciles(), "kill/respawn ledger out of balance: {s:?}");
+    }
+}
+
+#[test]
+fn children_crashing_every_k_requests_never_change_the_answer() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let seed = 7u64;
+
+    let reference = Nautilus::new(&model).run_baseline(&query, seed).unwrap();
+
+    // Every child leaks until it dies on its 120th request — without
+    // replying, the messiest exit there is. The transparent transport
+    // retry must absorb each death invisibly.
+    let config = SubprocessConfig::new(tool())
+        .args(["--model", "router", "--crash-after", "120"])
+        .with_pool_size(1);
+    let (outcome, report) = Nautilus::new(&model)
+        .with_subprocess_evaluator(config)
+        .run_baseline_reported(&query, seed)
+        .unwrap();
+    assert_eq!(outcome, reference, "crash-storm outcome diverged from in-process");
+    assert_eq!(outcome.faults.evals_failed, 0, "transport deaths must stay invisible to retries");
+    let s = &report.subprocess;
+    assert!(s.killed >= 1, "a 120-request crash cadence must kill at least once: {s:?}");
+    assert_eq!(s.killed, s.respawned, "every kill must respawn: {s:?}");
+    assert!(s.reconciles());
+}
+
+#[test]
+fn garbage_replies_are_rejected_recovered_and_deterministic() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let seed = 9u64;
+
+    // 3% of replies are garbage bursts: undecodable bytes instead of a
+    // frame. Each must surface as a corrupted-eval failure, kill the
+    // child, and be recovered by a retry (the garbage draw mixes the
+    // attempt, mirroring retryable fault kinds).
+    let run = |workers: usize| {
+        let config = SubprocessConfig::new(tool())
+            .args(["--model", "router", "--garbage-rate", "0.03", "--garbage-seed", "9"])
+            .with_pool_size(2);
+        Nautilus::new(&model)
+            .with_retry_policy(RetryPolicy::default())
+            .with_eval_workers(workers)
+            .with_subprocess_evaluator(config)
+            .run_baseline_reported(&query, seed)
+            .unwrap()
+    };
+    let (outcome, report) = run(1);
+    assert!(outcome.best_value.is_finite());
+    assert!(outcome.faults.evals_failed > 0, "a 3% garbage rate must record failures");
+    assert!(outcome.faults.reconciles());
+    let s = &report.subprocess;
+    assert!(s.protocol_errors >= 1, "garbage must be counted as protocol errors: {s:?}");
+    assert_eq!(s.killed, s.respawned, "every garbage kill must respawn: {s:?}");
+    assert_eq!(report.faults.evals_failed(), outcome.faults.evals_failed);
+
+    let (again, _) = run(2);
+    assert_eq!(again, outcome, "garbage recovery diverged across worker counts");
+}
+
+#[test]
+fn malformed_handshakes_fail_the_run_cleanly() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+
+    // A tool that exits after half a magic number: a truncated frame.
+    let truncated = SubprocessConfig::new("/bin/sh").args(["-c", "printf NAUT"]);
+    let err = Nautilus::new(&model)
+        .with_subprocess_evaluator(truncated)
+        .run_baseline(&query, 1)
+        .unwrap_err();
+    assert!(matches!(err, NautilusError::Subprocess(_)), "unexpected error: {err}");
+
+    // A tool that greets with garbage: a clean exit, wrong protocol.
+    let garbage = SubprocessConfig::new("/bin/sh").args(["-c", "echo not-a-nautproc-tool"]);
+    let err = Nautilus::new(&model)
+        .with_subprocess_evaluator(garbage)
+        .run_baseline(&query, 1)
+        .unwrap_err();
+    assert!(matches!(err, NautilusError::Subprocess(_)), "unexpected error: {err}");
+
+    // A tool that never starts at all.
+    let missing = SubprocessConfig::new("/nonexistent/mock-synth");
+    let err = Nautilus::new(&model)
+        .with_subprocess_evaluator(missing)
+        .run_baseline(&query, 1)
+        .unwrap_err();
+    assert!(err.to_string().contains("failed to spawn"), "unexpected error: {err}");
+}
+
+#[test]
+#[ignore = "heavy subprocess transient storm with real child deaths; scripts/check.sh runs it via --include-ignored"]
+fn transient_storm_of_real_child_deaths_matches_in_process_chaos() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let hints = fmax_hints();
+    let seed = 3u64;
+
+    // In-process twin: the standard 10% transient chaos plan.
+    let plan = FaultPlan::new(seed).with_transient_rate(0.10);
+    let sink = InMemorySink::new();
+    let (reference, ref_report) = Nautilus::new(&model)
+        .with_observer(&sink)
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy::default())
+        .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+        .unwrap();
+    let ref_stream = normalize(sink.events());
+    assert!(reference.faults.evals_failed > 0, "a 10% storm must record failures");
+
+    // Subprocess twin: the same seeded plan decided child-side, every
+    // injected transient a real process death (dying gasp, nonzero exit),
+    // the parent respawning as it retries. Workers=2 also crosses the
+    // parallel merge path.
+    let sink = InMemorySink::new();
+    let (outcome, report) = Nautilus::new(&model)
+        .with_observer(&sink)
+        .with_retry_policy(RetryPolicy::default())
+        .with_eval_workers(2)
+        .with_subprocess_evaluator(chaos_tool_config(tool(), seed))
+        .run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+        .unwrap();
+    assert_eq!(outcome, reference, "subprocess chaos outcome diverged from in-process");
+    assert_eq!(
+        normalized_report(&report),
+        normalized_report(&ref_report),
+        "subprocess chaos report diverged from in-process"
+    );
+    assert_eq!(normalize(sink.events()), ref_stream, "subprocess chaos event stream diverged");
+    let s = &report.subprocess;
+    assert!(s.killed >= 1, "dying-gasp transients must kill children: {s:?}");
+    assert_eq!(s.killed, s.respawned, "every death must respawn: {s:?}");
+    assert!(s.reconciles());
+}
+
+#[test]
+#[ignore = "heavy supervised mixed storm (crashes + real hangs past the I/O deadline); scripts/check.sh runs it via --include-ignored"]
+fn mixed_storm_with_real_hangs_matches_in_process_and_guided_still_wins() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let hints = fmax_hints();
+    let seed = 3u64;
+
+    // In-process twin of the supervised hang storm (10% transients + 10%
+    // hangs under the default watchdog/hedging/breaker policy).
+    let plan = FaultPlan::new(seed).with_transient_rate(0.10).with_hang_rate(0.10);
+    let in_process = |guided: bool| {
+        let engine = Nautilus::new(&model)
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::default())
+            .with_supervision(SupervisePolicy::default());
+        if guided {
+            engine.run_guided(&query, &hints, Some(Confidence::STRONG), seed)
+        } else {
+            engine.run_baseline(&query, seed)
+        }
+        .unwrap()
+    };
+    let subprocess = |guided: bool| {
+        let engine = Nautilus::new(&model)
+            .with_retry_policy(RetryPolicy::default())
+            .with_supervision(SupervisePolicy::default())
+            .with_eval_workers(2)
+            .with_subprocess_evaluator(storm_tool_config(tool(), seed));
+        if guided {
+            engine.run_guided_reported(&query, &hints, Some(Confidence::STRONG), seed)
+        } else {
+            engine.run_baseline_reported(&query, seed)
+        }
+        .unwrap()
+    };
+
+    let ref_baseline = in_process(false);
+    let ref_guided = in_process(true);
+    let (sub_baseline, baseline_report) = subprocess(false);
+    let (sub_guided, guided_report) = subprocess(true);
+
+    // Byte-identical across the boundary, health counters included: every
+    // real hang was abandoned at the I/O deadline and classified exactly
+    // like its virtual in-process twin.
+    assert_eq!(sub_baseline, ref_baseline, "storm baseline diverged across the boundary");
+    assert_eq!(sub_guided, ref_guided, "storm guided run diverged across the boundary");
+    for (outcome, report) in [(&sub_baseline, &baseline_report), (&sub_guided, &guided_report)] {
+        assert!(outcome.health.watchdog_fired > 0, "hangs must fire the watchdog");
+        assert!(outcome.health.reconciles(), "hedge identity broken: {:?}", outcome.health);
+        assert!(outcome.faults.reconciles());
+        let s = &report.subprocess;
+        assert!(s.killed >= 1, "hanging children must be killed: {s:?}");
+        assert_eq!(s.killed, s.respawned, "every kill must respawn: {s:?}");
+        assert!(s.reconciles());
+    }
+
+    // Guidance still pays for itself on the 27,648-point router dataset
+    // even when the synthesis tool is crashing and hanging under it.
+    assert!(
+        sub_guided.best_value >= sub_baseline.best_value,
+        "guided ({}) fell behind baseline ({}) under the subprocess storm",
+        sub_guided.best_value,
+        sub_baseline.best_value
+    );
+}
+
+#[test]
+#[ignore = "heavy hang-victim quarantine run; scripts/check.sh runs it via --include-ignored"]
+fn a_genome_that_always_hangs_is_quarantined_and_the_search_completes() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let seed = 5u64;
+
+    // Pick a genome the clean run certainly evaluates: its winner.
+    let clean = Nautilus::new(&model).run_baseline(&query, seed).unwrap();
+    let genes: Vec<u32> = clean
+        .best_genome
+        .to_string()
+        .trim_matches(['[', ']'])
+        .split(',')
+        .map(|g| g.parse().expect("genome display is comma-separated genes"))
+        .collect();
+    let victim = Genome::from_genes(genes);
+
+    // The child goes silent forever on exactly that genome; the parent's
+    // I/O deadline is the only way out. Retries hang again (the fate is
+    // keyed on the genome), so the victim must end up quarantined.
+    let config = SubprocessConfig::new(tool())
+        .args(["--model", "router", "--hang-on-hash"])
+        .arg(victim.stable_hash(0).to_string())
+        .with_pool_size(1)
+        .with_io_timeout(std::time::Duration::from_millis(200));
+    let (outcome, report) = Nautilus::new(&model)
+        .with_retry_policy(RetryPolicy::default())
+        .with_supervision(SupervisePolicy::default())
+        .with_subprocess_evaluator(config)
+        .run_baseline_reported(&query, seed)
+        .unwrap();
+
+    assert!(outcome.best_value.is_finite(), "the search must survive its best genome hanging");
+    assert_ne!(
+        outcome.best_genome, clean.best_genome,
+        "the hanging winner cannot win: it never returns a result"
+    );
+    assert!(outcome.health.watchdog_fired > 0, "hangs must fire the watchdog");
+    assert!(outcome.faults.quarantined >= 1, "the hanging genome must be quarantined");
+    assert!(outcome.faults.reconciles());
+    let s = &report.subprocess;
+    assert!(s.killed >= 1, "each hang must kill the wedged child: {s:?}");
+    assert_eq!(s.killed, s.respawned);
+    assert!(s.reconciles());
+}
+
+#[test]
+#[ignore = "heavy checkpoint-resume-under-faults sweep; scripts/check.sh runs it via --include-ignored"]
+fn quarantine_rides_checkpoints_across_the_subprocess_boundary() {
+    let d = router_dataset();
+    let model = d.as_model();
+    let query = fmax_query(d);
+    let seed = 11u64;
+    let scratch =
+        std::env::temp_dir().join(format!("nautilus-subproc-resume-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    // A storm with teeth: 10% transients plus 5% *persistent* rejections,
+    // so the interrupted run quarantines genomes before the cut. The
+    // child logs every (genome hash, attempt) it is asked to evaluate.
+    let config = |log: &Path| {
+        SubprocessConfig::new(tool())
+            .args(["--model", "router", "--plan-seed"])
+            .arg(seed.to_string())
+            .args(["--transient-rate", "0.10", "--persistent-rate", "0.05", "--log"])
+            .arg(log.display().to_string())
+            .with_pool_size(1)
+    };
+    let engine = |log: &Path| {
+        Nautilus::new(&model)
+            .with_retry_policy(RetryPolicy::default())
+            .with_subprocess_evaluator(config(log))
+    };
+
+    let straight_log = scratch.join("straight.log");
+    let straight = engine(&straight_log).run_baseline(&query, seed).unwrap();
+    assert!(straight.faults.quarantined > 0, "a 5% persistent rate must quarantine");
+
+    let cut_log = scratch.join("cut.log");
+    let ckpt = scratch.join("ckpt");
+    let cut = engine(&cut_log)
+        .with_checkpoints(&ckpt)
+        .with_budget(RunBudget::new().with_max_generations(2))
+        .run_baseline(&query, seed)
+        .unwrap();
+    assert!(cut.stop.is_interrupted(), "a 2-generation budget must interrupt the run");
+
+    let resume_log = scratch.join("resume.log");
+    let resumed = engine(&resume_log).resume_from(&query, None, &ckpt).unwrap();
+    assert_eq!(resumed, straight, "resumed subprocess run diverged from the straight run");
+
+    // The sharp edge: quarantine and cache state rode the checkpoint, so
+    // the resumed children are asked for *exactly* the requests the
+    // straight run makes after generation 2 — no quarantined genome is
+    // ever re-synthesized, no cached genome re-evaluated.
+    let straight_reqs = request_log(&straight_log);
+    let cut_reqs = request_log(&cut_log);
+    let resume_reqs = request_log(&resume_log);
+    assert!(
+        cut_reqs.is_disjoint(&resume_reqs),
+        "resume re-requested work the checkpoint already recorded"
+    );
+    let mut union = cut_reqs;
+    union.extend(&resume_reqs);
+    assert_eq!(
+        union, straight_reqs,
+        "interrupt + resume must request exactly the straight run's evaluations"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
