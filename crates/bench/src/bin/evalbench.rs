@@ -17,6 +17,9 @@
 //! * **dataset_query** — `top_fraction_threshold` on the 27,648-point
 //!   router dataset: the old sort-per-call algorithm vs the memoized
 //!   sorted-column index (the PR 5's >= 5x acceptance headline).
+//! * **service_latency** — submit -> result round-trip for a trivial
+//!   search through an in-process `nautilus-serve` daemon over real
+//!   localhost TCP: the fixed tax of going through the service.
 //! * **subprocess_dispatch** (with `--mock-synth PATH`) — the same short
 //!   router search in-process and through one `mock-synth` child,
 //!   reporting the per-job cost of crossing the `NAUTPROC` process
@@ -261,6 +264,47 @@ fn trace_cache_sharded() -> (u64, f64, f64) {
     (waits, total_nanos as f64 / 1e6, max_nanos as f64 / 1e3)
 }
 
+/// Submit -> result round-trip latency through a real `nautilus-serve`
+/// daemon (in-process instance, real TCP, real state directory): the
+/// fixed service tax a client pays over calling the engine directly.
+/// Returns `(best ms, mean ms, jobs)`.
+fn bench_service_latency() -> (f64, f64, usize) {
+    use nautilus_serve::job::JobSpec;
+    use nautilus_serve::{Daemon, DaemonConfig, ServeClient};
+
+    let dir = std::env::temp_dir().join(format!("nautilus-evalbench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create daemon state dir");
+    let daemon = Daemon::start(DaemonConfig::new(&dir)).expect("start daemon");
+    let client = ServeClient::from_state_dir(&dir).expect("read endpoint");
+
+    const JOBS: usize = 8;
+    let mut samples = Vec::with_capacity(JOBS);
+    for seed in 0..JOBS {
+        let spec = JobSpec {
+            tenant: "bench".into(),
+            model: "bowl".into(),
+            strategy: "baseline".into(),
+            seed: seed as u64,
+            generations: 4,
+            eval_workers: 1,
+            max_evals: 0,
+            deadline_ms: 0,
+            eval_delay_us: 0,
+        };
+        let start = Instant::now();
+        let job = client.submit(&spec).expect("submit").expect("admitted");
+        client.wait_result(job, Duration::from_secs(60)).expect("result");
+        samples.push(ms(start.elapsed()));
+    }
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (best, mean, JOBS)
+}
+
 fn bench_dataset_query() -> (f64, f64, usize) {
     let router = RouterModel::swept();
     let d = Dataset::characterize(&router, 0).expect("characterizes");
@@ -347,6 +391,10 @@ fn main() -> ExitCode {
     let (linear_ms, indexed_ms, points) = bench_dataset_query();
     eprintln!("  sort-per-call {linear_ms:.1} ms, indexed {indexed_ms:.1} ms");
 
+    eprintln!("service_latency: submit -> result through a nautilus-serve daemon ...");
+    let (service_best_ms, service_mean_ms, service_jobs) = bench_service_latency();
+    eprintln!("  {service_jobs} jobs, best {service_best_ms:.1} ms, mean {service_mean_ms:.1} ms");
+
     // Optional: per-job cost of the NAUTPROC process boundary, measured
     // against a real mock-synth child with bit-identical outcomes
     // verified inside the measurement itself.
@@ -424,6 +472,12 @@ fn main() -> ExitCode {
             "    \"indexed_ms\": {indexed:.2},\n",
             "    \"speedup\": {query_speedup:.2}\n",
             "  }},\n",
+            "  \"service_latency\": {{\n",
+            "    \"search\": \"bowl baseline, 4 generations, via nautilus-serve\",\n",
+            "    \"jobs\": {service_jobs},\n",
+            "    \"submit_to_result_best_ms\": {service_best:.2},\n",
+            "    \"submit_to_result_mean_ms\": {service_mean:.2}\n",
+            "  }},\n",
             "{subprocess_block}\n",
             "  \"phase_attribution\": {{\n",
             "    \"eval_batch\": {{\n",
@@ -459,6 +513,9 @@ fn main() -> ExitCode {
         linear = linear_ms,
         indexed = indexed_ms,
         query_speedup = query_speedup,
+        service_jobs = service_jobs,
+        service_best = service_best_ms,
+        service_mean = service_mean_ms,
         subprocess_block = subprocess_block,
         batch_top = batch_top,
         batch_phases = batch_phases,

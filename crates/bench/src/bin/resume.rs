@@ -19,9 +19,10 @@
 //!   resume --seed 1 --workers 1 --dir /tmp/ckpt --kill
 //!   ```
 //!
-//! The victim additionally wires SIGINT to the run budget's cooperative
-//! cancel flag: Ctrl-C stops at the next generation boundary with a final
-//! checkpoint instead of tearing the process down mid-write.
+//! The victim additionally wires SIGINT and SIGTERM to the run budget's
+//! cooperative cancel flag: Ctrl-C or a service manager's stop both halt
+//! at the next generation boundary with a final checkpoint instead of
+//! tearing the process down mid-write.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +33,9 @@ use nautilus_bench::{chaos_digest, chaos_recover_digest, chaos_resume_digest, ch
 
 /// SIGINT's POSIX signal number.
 const SIGINT: i32 = 2;
+/// SIGTERM's POSIX signal number — service managers send this on stop,
+/// and it must drain exactly like Ctrl-C rather than kill mid-write.
+const SIGTERM: i32 = 15;
 
 static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
@@ -41,7 +45,8 @@ extern "C" fn on_sigint(_signum: i32) {
     }
 }
 
-/// Installs `on_sigint` for SIGINT and returns the cancel flag it raises.
+/// Installs `on_sigint` for SIGINT and SIGTERM and returns the cancel
+/// flag it raises.
 fn install_sigint_cancel() -> Arc<AtomicBool> {
     let flag = CANCEL.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
     extern "C" {
@@ -49,6 +54,7 @@ fn install_sigint_cancel() -> Arc<AtomicBool> {
     }
     unsafe {
         signal(SIGINT, on_sigint);
+        signal(SIGTERM, on_sigint);
     }
     flag
 }

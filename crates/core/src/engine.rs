@@ -473,6 +473,61 @@ impl<'m> Nautilus<'m> {
         Ok((outcome, report.finish()))
     }
 
+    /// True when `dir` exists and holds at least one intact checkpoint —
+    /// i.e. [`Nautilus::resume_from`] on that directory would restore
+    /// state rather than fail.
+    ///
+    /// Corrupt or truncated files never count: the probe runs the same
+    /// validation as recovery, so a directory full of damaged records
+    /// answers `false`. A daemon re-adopting orphaned runs uses this to
+    /// decide between resuming and restarting from scratch without
+    /// consuming the checkpoint.
+    #[must_use]
+    pub fn has_resumable_checkpoint(dir: impl AsRef<Path>) -> bool {
+        CheckpointStore::create(dir.as_ref())
+            .ok()
+            .and_then(|store| store.recover().ok())
+            .is_some_and(|recovery| recovery.state.is_some())
+    }
+
+    /// Resumes from the configured checkpoint directory when it holds an
+    /// intact checkpoint, otherwise starts the run fresh — the idempotent
+    /// entry point a supervisor calls after adopting a run it may or may
+    /// not have executed before.
+    ///
+    /// Requires [`Nautilus::with_checkpoints`]; the same directory serves
+    /// as both the resume source and the fresh run's checkpoint target, so
+    /// calling this again after *any* interruption continues where the
+    /// previous attempt stopped. Either way the result covers the whole
+    /// search: resumed runs restore the report snapshot embedded in the
+    /// checkpoint and replay bit-for-bit what an uninterrupted run would
+    /// have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::InvalidConfig`] when no checkpoint directory is
+    /// configured, plus anything [`Nautilus::resume_from_reported`] or the
+    /// fresh `_reported` entry points can return.
+    pub fn resume_or_start_reported(
+        &self,
+        query: &Query,
+        hints: Option<(&HintSet, Option<Confidence>)>,
+        seed: u64,
+    ) -> Result<(SearchOutcome, RunReport)> {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return Err(NautilusError::Ga(GaError::InvalidConfig(
+                "resume_or_start_reported requires with_checkpoints(dir)".into(),
+            )));
+        };
+        if Self::has_resumable_checkpoint(&dir) {
+            return self.resume_from_reported(query, hints, &dir);
+        }
+        match hints {
+            Some((h, confidence)) => self.run_guided_reported(query, h, confidence, seed),
+            None => self.run_baseline_reported(query, seed),
+        }
+    }
+
     /// Rejects a resume whose guidance configuration cannot have produced
     /// the checkpointed run: the strategy label is part of the persisted
     /// state precisely so a guided run cannot silently continue as a

@@ -275,3 +275,57 @@ fn resume_from_empty_directory_errors_cleanly() {
     assert!(err.to_string().contains("no intact checkpoint"), "unexpected error: {err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn resume_or_start_is_idempotent_across_interruptions() {
+    let model = RidgeModel::new();
+    let q = query(&model);
+    let h = hints();
+    let seed = 4242;
+
+    let (straight, straight_report) =
+        Nautilus::new(&model).run_guided_reported(&q, &h, Some(Confidence::STRONG), seed).unwrap();
+
+    // Empty directory: nothing to resume, so the call starts fresh and
+    // checkpoints into the same directory.
+    let dir = tempdir("resume-or-start");
+    assert!(!Nautilus::has_resumable_checkpoint(&dir));
+    let (first, first_report) = Nautilus::new(&model)
+        .with_checkpoints(&dir)
+        .resume_or_start_reported(&q, Some((&h, Some(Confidence::STRONG))), seed)
+        .unwrap();
+    assert_eq!(first, straight, "fresh start must match a plain guided run");
+    assert_eq!(normalize(first_report), normalize(straight_report.clone()));
+    assert!(Nautilus::has_resumable_checkpoint(&dir));
+
+    // Interrupt a run part-way, then let resume_or_start pick it up: it
+    // must resume (not restart) and still land on the straight result.
+    let cut_dir = tempdir("resume-or-start-cut");
+    let (cut, _) = Nautilus::new(&model)
+        .with_checkpoints(&cut_dir)
+        .with_budget(RunBudget::new().with_max_generations(3))
+        .run_guided_reported(&q, &h, Some(Confidence::STRONG), seed)
+        .unwrap();
+    assert_eq!(cut.stop, StopReason::GenerationBudget);
+    assert!(Nautilus::has_resumable_checkpoint(&cut_dir));
+    let (resumed, resumed_report) = Nautilus::new(&model)
+        .with_checkpoints(&cut_dir)
+        .resume_or_start_reported(&q, Some((&h, Some(Confidence::STRONG))), seed)
+        .unwrap();
+    assert_eq!(resumed, straight, "adopted run must replay the uninterrupted one");
+    assert_eq!(normalize(resumed_report), normalize(straight_report));
+
+    // Without a configured checkpoint directory the call is a config error,
+    // and a directory of corrupt records is not "resumable".
+    let err = Nautilus::new(&model)
+        .resume_or_start_reported(&q, Some((&h, Some(Confidence::STRONG))), seed)
+        .expect_err("missing with_checkpoints must be rejected");
+    assert!(err.to_string().contains("with_checkpoints"), "{err}");
+    let junk_dir = tempdir("resume-or-start-junk");
+    std::fs::write(junk_dir.join("ckpt-00000001.nckpt"), b"not a checkpoint").unwrap();
+    assert!(!Nautilus::has_resumable_checkpoint(&junk_dir));
+
+    for dir in [dir, cut_dir, junk_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -514,6 +514,12 @@ impl CheckpointStore {
     /// by the next recovery scan), never a corrupt final file from this
     /// code path.
     ///
+    /// A *failed* write (disk full, permission error, blocked rename)
+    /// removes its temporary before returning, so repeated failures
+    /// cannot litter the directory, and never touches the finished
+    /// checkpoints already present: the store stays fully recoverable to
+    /// its pre-failure state.
+    ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on any filesystem failure.
@@ -543,12 +549,21 @@ impl CheckpointStore {
             .and_then(|n| n.to_str())
             .ok_or_else(|| CheckpointError::Malformed("non-utf8 checkpoint name".into()))?;
         let tmp_path = self.dir.join(format!(".{file_name}.tmp"));
-        {
-            let mut tmp = fs::File::create(&tmp_path)?;
-            tmp.write_all(record)?;
-            tmp.sync_all()?;
+        let attempt = (|| -> Result<(), CheckpointError> {
+            {
+                let mut tmp = fs::File::create(&tmp_path)?;
+                tmp.write_all(record)?;
+                tmp.sync_all()?;
+            }
+            fs::rename(&tmp_path, final_path)?;
+            Ok(())
+        })();
+        if let Err(e) = attempt {
+            // Leave no temporary behind on ENOSPC / permission / rename
+            // failures; the finished checkpoints are untouched.
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e);
         }
-        fs::rename(&tmp_path, final_path)?;
         // Make the rename itself durable: fsync the directory entry.
         if let Ok(dir) = fs::File::open(&self.dir) {
             let _ = dir.sync_all();
@@ -826,6 +841,93 @@ mod tests {
         assert_eq!(recovery.skipped.len(), 1);
         assert!(recovery.skipped[0].1.contains("checksum"), "{:?}", recovery.skipped);
         assert!(!stray.exists(), "stray tmp cleaned");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_cleans_up_tmp_and_preserves_store() {
+        let dir = tempdir("store-blocked-write");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut state = sample_state();
+        state.generation = 1;
+        store.write(&state, false).unwrap();
+
+        // Block the next generation's final path with a non-empty directory:
+        // `fs::rename` over it fails on every platform, even as root (where
+        // permission bits alone would not stop a write).
+        let blocked = store.dir().join("ckpt-00000002.nckpt");
+        std::fs::create_dir(&blocked).unwrap();
+        std::fs::write(blocked.join("occupied"), b"x").unwrap();
+
+        state.generation = 2;
+        let err = store.write(&state, false).expect_err("blocked rename must surface");
+        assert!(matches!(err, CheckpointError::Io(_)), "unexpected error: {err}");
+        // No half-written temporary may survive the failure...
+        assert!(
+            !store.dir().join(".ckpt-00000002.nckpt.tmp").exists(),
+            "failed write left a stray .tmp behind"
+        );
+        // ...and the checkpoints that already existed stay fully readable.
+        std::fs::remove_file(blocked.join("occupied")).unwrap();
+        std::fs::remove_dir(&blocked).unwrap();
+        let recovery = store.recover().unwrap();
+        let recovered = recovery.state.expect("earlier checkpoint intact");
+        assert_eq!(recovered.generation, 1);
+        state.generation = 1;
+        assert!(states_equal(&recovered, &state));
+        assert!(recovery.skipped.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_tmp_create_is_a_clean_error() {
+        let dir = tempdir("store-blocked-tmp");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut state = sample_state();
+        state.generation = 1;
+        store.write(&state, false).unwrap();
+
+        // Occupy the dot-tmp path itself so `File::create` fails before any
+        // bytes are staged.
+        let tmp = store.dir().join(".ckpt-00000002.nckpt.tmp");
+        std::fs::create_dir(&tmp).unwrap();
+
+        state.generation = 2;
+        let err = store.write(&state, false).expect_err("blocked tmp create must surface");
+        assert!(matches!(err, CheckpointError::Io(_)), "unexpected error: {err}");
+        std::fs::remove_dir(&tmp).unwrap();
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.state.expect("earlier checkpoint intact").generation, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_directory_fails_cleanly_without_corrupting_store() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = tempdir("store-readonly");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut state = sample_state();
+        state.generation = 1;
+        store.write(&state, false).unwrap();
+
+        let mut perms = std::fs::metadata(&dir).unwrap().permissions();
+        perms.set_mode(0o555);
+        std::fs::set_permissions(&dir, perms).unwrap();
+        // Root ignores permission bits; probe before asserting anything.
+        let probe = dir.join(".perm-probe");
+        if std::fs::write(&probe, b"x").is_ok() {
+            std::fs::remove_file(&probe).ok();
+        } else {
+            state.generation = 2;
+            let err = store.write(&state, false).expect_err("read-only dir must surface");
+            assert!(matches!(err, CheckpointError::Io(_)), "unexpected error: {err}");
+            assert!(!store.dir().join(".ckpt-00000002.nckpt.tmp").exists());
+        }
+        let mut perms = std::fs::metadata(&dir).unwrap().permissions();
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&dir, perms).unwrap();
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.state.expect("earlier checkpoint intact").generation, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

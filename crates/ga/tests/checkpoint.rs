@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use nautilus_ga::{
-    CheckpointStore, Direction, FnFitness, GaEngine, GaSettings, Genome, ParamSpace, RunBudget,
-    SearchState, SharedClock, StopReason,
+    CheckpointStore, Direction, FnFitness, GaEngine, GaError, GaSettings, Genome, ParamSpace,
+    RunBudget, SearchState, SharedClock, StopReason,
 };
 use nautilus_obs::{InMemorySink, SearchEvent};
 
@@ -446,5 +446,50 @@ fn resume_after_deadline_exceeded_honors_a_fresh_deadline() {
         GaEngine::new(&s, &f).with_settings(settings).with_budget(budget).resume(state).unwrap();
     assert_eq!(resumed.stop, StopReason::Completed, "fresh deadline must not re-stop");
     assert_eq!(resumed, straight, "resumed run must match the uninterrupted one");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_dir_going_read_only_mid_run_is_a_clean_error_not_a_corrupt_store() {
+    let s = space();
+    let f = sphere();
+    let seed = 0xFA17;
+    let settings = GaSettings { generations: 10, ..Default::default() };
+
+    // Simulate the checkpoint directory becoming unwritable between
+    // generations: pre-block generation 4's final path with a non-empty
+    // directory so the publishing rename fails. (Permission bits alone do
+    // not stop root, so the test injects the fault at the rename instead.)
+    let dir = tempdir("midrun-fault");
+    let blocked = dir.join("ckpt-00000004.nckpt");
+    std::fs::create_dir(&blocked).unwrap();
+    std::fs::write(blocked.join("occupied"), b"x").unwrap();
+
+    let err = GaEngine::new(&s, &f)
+        .with_settings(settings)
+        .with_checkpoints(CheckpointStore::create(&dir).unwrap())
+        .run(seed)
+        .expect_err("checkpoint write failure must stop the run");
+    assert!(matches!(err, GaError::Checkpoint(_)), "expected a checkpoint error, got {err:?}");
+    assert!(err.to_string().contains("i/o failure"), "{err}");
+
+    // The failed write left no temporary and every earlier checkpoint is
+    // intact: recovery lands on the last generation written before the
+    // fault, and a resumed run completes normally.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "stray temporary {name} after failed write");
+    }
+    std::fs::remove_file(blocked.join("occupied")).unwrap();
+    std::fs::remove_dir(&blocked).unwrap();
+    let recovery = CheckpointStore::create(&dir).unwrap().recover().unwrap();
+    assert!(recovery.skipped.is_empty(), "no corrupt files: {:?}", recovery.skipped);
+    let state = recovery.state.expect("generations before the fault recoverable");
+    assert_eq!(state.generation, 3, "newest intact checkpoint is the pre-fault one");
+
+    let resumed = GaEngine::new(&s, &f).with_settings(settings).resume(state).unwrap();
+    assert_eq!(resumed.stop, StopReason::Completed);
+    let straight = GaEngine::new(&s, &f).with_settings(settings).run(seed).unwrap();
+    assert_eq!(resumed, straight, "recovery after the fault stays byte-identical");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -403,6 +403,49 @@ pub enum SearchEvent {
         /// `"truncated"`, `"respawn_failed"`).
         detail: String,
     },
+    /// A search-service daemon accepted a job into its submission queue.
+    JobQueued {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Tenant the job was submitted under.
+        tenant: String,
+    },
+    /// A queued job was claimed by a run slot and began executing.
+    JobStarted {
+        /// Daemon-assigned job id.
+        job: u64,
+    },
+    /// A job reached a terminal state and its result was persisted.
+    JobFinished {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Terminal outcome label: `"done"`, `"failed"`, or
+        /// `"cancelled"`.
+        outcome: String,
+    },
+    /// A cancel request was accepted for a queued or running job.
+    JobCancelled {
+        /// Daemon-assigned job id.
+        job: u64,
+    },
+    /// A submission was refused with a typed backpressure reply (the job
+    /// was never enqueued; nothing was silently dropped).
+    JobRejected {
+        /// Tenant whose submission was refused.
+        tenant: String,
+        /// Deterministic backpressure label (e.g. `"queue_full"`,
+        /// `"deadline_too_long"`, `"breaker_open"`, `"draining"`).
+        reason: String,
+    },
+    /// A restarted daemon found an orphaned job on disk and re-adopted
+    /// it into the queue.
+    JobAdopted {
+        /// Daemon-assigned job id (preserved across the restart).
+        job: u64,
+        /// True when an intact checkpoint lets the run resume mid-search
+        /// rather than restart from generation zero.
+        resumable: bool,
+    },
 }
 
 impl SearchEvent {
@@ -441,6 +484,12 @@ impl SearchEvent {
             SearchEvent::ChildKilled { .. } => "child_killed",
             SearchEvent::ChildRespawned { .. } => "child_respawned",
             SearchEvent::ChildProtocolError { .. } => "child_protocol_error",
+            SearchEvent::JobQueued { .. } => "job_queued",
+            SearchEvent::JobStarted { .. } => "job_started",
+            SearchEvent::JobFinished { .. } => "job_finished",
+            SearchEvent::JobCancelled { .. } => "job_cancelled",
+            SearchEvent::JobRejected { .. } => "job_rejected",
+            SearchEvent::JobAdopted { .. } => "job_adopted",
         }
     }
 
@@ -579,6 +628,24 @@ impl SearchEvent {
             SearchEvent::ChildProtocolError { slot, detail } => {
                 o.u64("slot", u64::from(*slot)).str("detail", detail);
             }
+            SearchEvent::JobQueued { job, tenant } => {
+                o.u64("job", *job).str("tenant", tenant);
+            }
+            SearchEvent::JobStarted { job } => {
+                o.u64("job", *job);
+            }
+            SearchEvent::JobFinished { job, outcome } => {
+                o.u64("job", *job).str("outcome", outcome);
+            }
+            SearchEvent::JobCancelled { job } => {
+                o.u64("job", *job);
+            }
+            SearchEvent::JobRejected { tenant, reason } => {
+                o.str("tenant", tenant).str("reason", reason);
+            }
+            SearchEvent::JobAdopted { job, resumable } => {
+                o.u64("job", *job).bool("resumable", *resumable);
+            }
         }
         o.finish()
     }
@@ -665,6 +732,12 @@ mod tests {
             SearchEvent::ChildKilled { slot: 1, reason: "io_timeout".into() },
             SearchEvent::ChildRespawned { slot: 1, backoff_ms: 2 },
             SearchEvent::ChildProtocolError { slot: 0, detail: "bad_crc".into() },
+            SearchEvent::JobQueued { job: 1, tenant: "acme".into() },
+            SearchEvent::JobStarted { job: 1 },
+            SearchEvent::JobFinished { job: 1, outcome: "done".into() },
+            SearchEvent::JobCancelled { job: 2 },
+            SearchEvent::JobRejected { tenant: "acme".into(), reason: "queue_full".into() },
+            SearchEvent::JobAdopted { job: 3, resumable: true },
         ]
     }
 
@@ -740,5 +813,27 @@ mod tests {
         assert!(e.to_json().contains("\"backoff_ms\":4"), "{}", e.to_json());
         let e = SearchEvent::ChildProtocolError { slot: 0, detail: "bad_crc".into() };
         assert!(e.to_json().contains("\"detail\":\"bad_crc\""), "{}", e.to_json());
+    }
+
+    #[test]
+    fn job_lifecycle_event_kinds_are_stable() {
+        assert_eq!(
+            SearchEvent::JobQueued { job: 7, tenant: "acme".into() }.to_json(),
+            "{\"type\":\"job_queued\",\"job\":7,\"tenant\":\"acme\"}"
+        );
+        assert_eq!(
+            SearchEvent::JobStarted { job: 7 }.to_json(),
+            "{\"type\":\"job_started\",\"job\":7}"
+        );
+        let e = SearchEvent::JobFinished { job: 7, outcome: "cancelled".into() };
+        assert!(e.to_json().contains("\"outcome\":\"cancelled\""), "{}", e.to_json());
+        let e = SearchEvent::JobRejected { tenant: "acme".into(), reason: "queue_full".into() };
+        assert!(e.to_json().contains("\"reason\":\"queue_full\""), "{}", e.to_json());
+        let e = SearchEvent::JobAdopted { job: 3, resumable: false };
+        assert!(e.to_json().contains("\"resumable\":false"), "{}", e.to_json());
+        assert_eq!(
+            SearchEvent::JobCancelled { job: 2 }.to_json(),
+            "{\"type\":\"job_cancelled\",\"job\":2}"
+        );
     }
 }

@@ -67,7 +67,7 @@ pub use metrics::{
 pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
 pub use report::{
     DurabilityTally, EvalTally, FaultTally, GenerationTelemetry, HealthTally, HintTally,
-    ReportBuilder, RunReport, SpanStat, SubprocessTally,
+    ReportBuilder, RunReport, ServiceTally, SpanStat, SubprocessTally,
 };
 pub use sink::{InMemorySink, JsonlSink};
 pub use span::{Phase, PhaseStat, SpanRecord, SpanRecorder, SpanStart, TraceSink, Tracer};

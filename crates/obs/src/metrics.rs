@@ -331,7 +331,9 @@ impl MetricsSnapshot {
 /// `checkpoints_corrupt_skipped`, `runs_interrupted`, `runs_resumed`,
 /// `watchdog_fired`, `hedges_issued`, `hedges_won`, `hedges_wasted`,
 /// `breaker_transitions`, `evals_shed`, `children_spawned`,
-/// `children_killed`, `children_respawned` and `child_protocol_errors`.
+/// `children_killed`, `children_respawned`, `child_protocol_errors`,
+/// `jobs_queued`, `jobs_started`, `jobs_finished`, `jobs_cancelled`,
+/// `jobs_rejected` and `jobs_adopted`.
 /// Span durations land in `span_<name>_secs` histograms, batch sizes in
 /// the `eval_batch_size` histogram, retry backoffs in the
 /// `retry_backoff_secs` histogram, checkpoint record sizes in the
@@ -378,6 +380,12 @@ pub struct MetricsSink {
     children_killed: Arc<Counter>,
     children_respawned: Arc<Counter>,
     child_protocol_errors: Arc<Counter>,
+    jobs_queued: Arc<Counter>,
+    jobs_started: Arc<Counter>,
+    jobs_finished: Arc<Counter>,
+    jobs_cancelled: Arc<Counter>,
+    jobs_rejected: Arc<Counter>,
+    jobs_adopted: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -441,6 +449,12 @@ impl MetricsSink {
             children_killed: registry.counter("children_killed"),
             children_respawned: registry.counter("children_respawned"),
             child_protocol_errors: registry.counter("child_protocol_errors"),
+            jobs_queued: registry.counter("jobs_queued"),
+            jobs_started: registry.counter("jobs_started"),
+            jobs_finished: registry.counter("jobs_finished"),
+            jobs_cancelled: registry.counter("jobs_cancelled"),
+            jobs_rejected: registry.counter("jobs_rejected"),
+            jobs_adopted: registry.counter("jobs_adopted"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -543,6 +557,12 @@ impl SearchObserver for MetricsSink {
             SearchEvent::ChildKilled { .. } => self.children_killed.inc(),
             SearchEvent::ChildRespawned { .. } => self.children_respawned.inc(),
             SearchEvent::ChildProtocolError { .. } => self.child_protocol_errors.inc(),
+            SearchEvent::JobQueued { .. } => self.jobs_queued.inc(),
+            SearchEvent::JobStarted { .. } => self.jobs_started.inc(),
+            SearchEvent::JobFinished { .. } => self.jobs_finished.inc(),
+            SearchEvent::JobCancelled { .. } => self.jobs_cancelled.inc(),
+            SearchEvent::JobRejected { .. } => self.jobs_rejected.inc(),
+            SearchEvent::JobAdopted { .. } => self.jobs_adopted.inc(),
         }
     }
 }

@@ -418,6 +418,50 @@ impl SubprocessTally {
     }
 }
 
+/// Search-service job-lifecycle tallies (schema v8).
+///
+/// Folded from the `JobQueued` / `JobStarted` / `JobFinished` /
+/// `JobCancelled` / `JobRejected` / `JobAdopted` events emitted by a
+/// `nautilus-serve` daemon. All zero on plain (non-daemon) runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceTally {
+    /// Jobs accepted into the submission queue.
+    pub queued: u64,
+    /// Jobs claimed by a run slot.
+    pub started: u64,
+    /// Jobs that reached a terminal state with a persisted result.
+    pub finished: u64,
+    /// Cancel requests accepted.
+    pub cancelled: u64,
+    /// Submissions refused with a typed backpressure reply.
+    pub rejected: u64,
+    /// Orphaned jobs re-adopted after a daemon restart.
+    pub adopted: u64,
+}
+
+impl ServiceTally {
+    /// Whether the lifecycle identities reconcile: nothing finished that
+    /// never started, and nothing started that was never queued or
+    /// adopted.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.finished <= self.started && self.started <= self.queued + self.adopted
+    }
+
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("queued", self.queued)
+            .u64("started", self.started)
+            .u64("finished", self.finished)
+            .u64("cancelled", self.cancelled)
+            .u64("rejected", self.rejected)
+            .u64("adopted", self.adopted);
+        o.finish()
+    }
+}
+
 /// The machine-readable summary of one instrumented search run.
 ///
 /// # Schema version history
@@ -456,6 +500,10 @@ impl SubprocessTally {
 ///   spawn/kill/respawn and protocol-error counts from out-of-process
 ///   evaluator pools). All zero on in-process runs. All v6 fields are
 ///   unchanged.
+/// * **v8** — added the `service` block ([`ServiceTally`]: daemon
+///   job-lifecycle counts — queued/started/finished/cancelled/rejected
+///   submissions and crash-recovery adoptions). All zero on plain runs.
+///   All v7 fields are unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -500,6 +548,8 @@ pub struct RunReport {
     /// Subprocess-evaluator child lifecycle tallies (all zero on
     /// in-process runs).
     pub subprocess: SubprocessTally,
+    /// Search-service job-lifecycle tallies (all zero on plain runs).
+    pub service: ServiceTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -529,7 +579,7 @@ impl RunReport {
             phases.raw(phase.label(), &p.finish());
         }
         let mut o = JsonObj::new();
-        o.u64("schema_version", 7)
+        o.u64("schema_version", 8)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -550,6 +600,7 @@ impl RunReport {
             .raw("durability", &self.durability.to_json())
             .raw("health", &self.health.to_json())
             .raw("subprocess", &self.subprocess.to_json())
+            .raw("service", &self.service.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish())
             .raw("phases", &phases.finish());
@@ -726,6 +777,15 @@ impl ReportBuilder {
         w.u64(s.killed);
         w.u64(s.respawned);
         w.u64(s.protocol_errors);
+        // v4: the service block rides last so every earlier field keeps
+        // its offset.
+        let j = &r.service;
+        w.u64(j.queued);
+        w.u64(j.started);
+        w.u64(j.finished);
+        w.u64(j.cancelled);
+        w.u64(j.rejected);
+        w.u64(j.adopted);
         w.into_bytes()
     }
 
@@ -832,6 +892,14 @@ impl ReportBuilder {
             respawned: r.u64()?,
             protocol_errors: r.u64()?,
         };
+        report.service = ServiceTally {
+            queued: r.u64()?,
+            started: r.u64()?,
+            finished: r.u64()?,
+            cancelled: r.u64()?,
+            rejected: r.u64()?,
+            adopted: r.u64()?,
+        };
         r.finish()?;
         Ok(ReportBuilder {
             state: Mutex::new(ReportState { report, rows, scoring_gen, num_params }),
@@ -840,7 +908,7 @@ impl ReportBuilder {
 }
 
 /// Version tag for the [`ReportBuilder::snapshot_bytes`] wire format.
-const SNAPSHOT_VERSION: u32 = 3;
+const SNAPSHOT_VERSION: u32 = 4;
 
 fn encode_evals(w: &mut WireWriter, e: &EvalTally) {
     w.u64(e.feasible);
@@ -1014,6 +1082,12 @@ impl SearchObserver for ReportBuilder {
             SearchEvent::ChildProtocolError { .. } => {
                 state.report.subprocess.protocol_errors += 1;
             }
+            SearchEvent::JobQueued { .. } => state.report.service.queued += 1,
+            SearchEvent::JobStarted { .. } => state.report.service.started += 1,
+            SearchEvent::JobFinished { .. } => state.report.service.finished += 1,
+            SearchEvent::JobCancelled { .. } => state.report.service.cancelled += 1,
+            SearchEvent::JobRejected { .. } => state.report.service.rejected += 1,
+            SearchEvent::JobAdopted { .. } => state.report.service.adopted += 1,
         }
     }
 }
@@ -1171,7 +1245,7 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":7"));
+        assert!(json.contains("\"schema_version\":8"));
         assert!(json.contains("\"eval_batches\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
@@ -1263,7 +1337,7 @@ mod tests {
         );
         builder.attach_phases(phases);
         let parsed = parse_json(&builder.finish().to_json()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(8));
         // The complete v6 surface, unchanged.
         for key in [
             "strategy",
@@ -1288,11 +1362,15 @@ mod tests {
             "generations",
             "spans",
         ] {
-            assert!(parsed.get(key).is_some(), "v6 key `{key}` missing from v7 report");
+            assert!(parsed.get(key).is_some(), "v6 key `{key}` missing from v8 report");
         }
         // The v7 addition is a well-formed subprocess block.
         let sub = parsed.get("subprocess").expect("subprocess block");
         assert_eq!(sub.get("spawned").and_then(JsonValue::as_u64), Some(0));
+        // The v8 addition is a well-formed service block.
+        let svc = parsed.get("service").expect("service block");
+        assert_eq!(svc.get("queued").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(svc.get("adopted").and_then(JsonValue::as_u64), Some(0));
         // The v6 addition is a well-formed object keyed by phase label.
         let run = parsed.get("phases").and_then(|p| p.get("run")).expect("phases.run");
         assert_eq!(run.get("total_nanos").and_then(JsonValue::as_u64), Some(10));
@@ -1370,6 +1448,38 @@ mod tests {
         assert_eq!(s.killed, 1);
         assert_eq!(s.respawned, 1);
         assert_eq!(s.protocol_errors, 1);
+        assert!(s.reconciles());
+        assert!(is_valid_json(&s.to_json()));
+    }
+
+    #[test]
+    fn job_lifecycle_events_fold_into_the_service_block() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::JobQueued { job: 1, tenant: "acme".into() },
+                SearchEvent::JobQueued { job: 2, tenant: "acme".into() },
+                SearchEvent::JobRejected { tenant: "acme".into(), reason: "queue_full".into() },
+                SearchEvent::JobAdopted { job: 3, resumable: true },
+                SearchEvent::JobStarted { job: 1 },
+                SearchEvent::JobStarted { job: 3 },
+                SearchEvent::JobCancelled { job: 2 },
+                SearchEvent::JobFinished { job: 1, outcome: "done".into() },
+                SearchEvent::JobFinished { job: 3, outcome: "done".into() },
+            ],
+        );
+        let bytes = builder.snapshot_bytes();
+        let restored = ReportBuilder::restore_bytes(&bytes).expect("snapshot restores");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        let report = restored.finish();
+        let s = &report.service;
+        assert_eq!(s.queued, 2);
+        assert_eq!(s.started, 2);
+        assert_eq!(s.finished, 2);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.adopted, 1);
         assert!(s.reconciles());
         assert!(is_valid_json(&s.to_json()));
     }

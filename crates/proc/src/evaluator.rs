@@ -825,6 +825,83 @@ mod tests {
     }
 
     #[test]
+    fn hello_with_wrong_version_is_a_clean_protocol_error() {
+        // A tool built against a future protocol: its Hello is structurally
+        // fine but carries version 99. The version field is vetted before
+        // the checksum, so no CRC fixup is needed — and the reader must
+        // reject it outright instead of guessing at the layout.
+        let mut bytes =
+            Frame::Hello { model: "proc-test-bowl".into(), gene_len: 2, metric_len: 2 }.encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let path =
+            std::env::temp_dir().join(format!("nautproc-hello-v99-{}.bin", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let model = TestModel::new();
+        let score = score();
+        let err = SubprocessEvaluator::spawn(
+            SubprocessConfig::new("/bin/sh")
+                .args(["-c", &format!("cat {}; sleep 5", path.display())]),
+            &model,
+            &score,
+            &NoopObserver,
+        )
+        .expect_err("future-versioned tool accepted");
+        std::fs::remove_file(&path).ok();
+        match err {
+            ProcError::Handshake { slot: 0, reason } => {
+                assert!(reason.contains("unsupported protocol version 99"), "{reason}");
+            }
+            other => panic!("expected handshake failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_version_mismatch_is_killed_and_respawned_without_hanging() {
+        // The child handshakes correctly, then replies to the first eval
+        // with a version-99 frame. That must surface as one clean protocol
+        // error — accounted, child killed and respawned — never a hang or
+        // a panic.
+        let hello =
+            Frame::Hello { model: "proc-test-bowl".into(), gene_len: 2, metric_len: 2 }.encode();
+        let mut bad =
+            Frame::Result { id: 1, outcome: WireOutcome::Infeasible { cost_ms: 0 } }.encode();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let mut replay = hello;
+        replay.extend_from_slice(&bad);
+        let path =
+            std::env::temp_dir().join(format!("nautproc-midrun-v99-{}.bin", std::process::id()));
+        std::fs::write(&path, &replay).unwrap();
+
+        let model = TestModel::new();
+        let score = score();
+        let evaluator = SubprocessEvaluator::spawn(
+            SubprocessConfig::new("/bin/sh")
+                .args(["-c", &format!("cat {}; sleep 5", path.display())]),
+            &model,
+            &score,
+            &NoopObserver,
+        )
+        .expect("handshake itself is valid");
+
+        let err = evaluator
+            .try_fitness(&Genome::from_genes(vec![1, 2]), 0)
+            .expect_err("version-99 reply scored");
+        match err {
+            EvalFailure::Corrupted(reason) => {
+                assert!(reason.contains("unsupported_version"), "{reason}");
+            }
+            other => panic!("expected a corrupted-reply failure, got {other:?}"),
+        }
+
+        let stats = evaluator.stats();
+        assert_eq!(stats.protocol_errors, 1, "{stats:?}");
+        assert_eq!(stats.killed, 1, "{stats:?}");
+        assert_eq!(stats.respawned, 1, "{stats:?}");
+        assert!(stats.reconciles(), "{stats:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn config_builder_accumulates() {
         let cfg = SubprocessConfig::new("tool")
             .arg("--model")

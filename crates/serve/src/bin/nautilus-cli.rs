@@ -1,0 +1,162 @@
+//! Command-line client for `nautilus-serve`.
+//!
+//! ```text
+//! nautilus-cli ping     --dir PATH
+//! nautilus-cli submit   --dir PATH --model M --strategy S [spec flags]
+//! nautilus-cli status   --dir PATH --job ID
+//! nautilus-cli result   --dir PATH --job ID [--wait SECS]
+//! nautilus-cli cancel   --dir PATH --job ID
+//! nautilus-cli drain    --dir PATH
+//! nautilus-cli straight --model M --strategy S [spec flags]
+//! ```
+//!
+//! `result` and `straight` print the same three-part digest — outcome
+//! JSON, normalized report JSON, then the normalized event stream — so a
+//! daemon-recovered run can be `diff`ed against an uninterrupted
+//! in-process run of the same spec.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nautilus_serve::job::JobSpec;
+use nautilus_serve::proto::Reply;
+use nautilus_serve::{runner, ServeClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nautilus-cli <ping|submit|status|result|cancel|drain|straight> \
+         [--dir PATH] [--job ID] [--wait SECS] [--tenant T] [--model M] \
+         [--strategy S] [--seed N] [--generations N] [--workers N] \
+         [--max-evals N] [--deadline-ms N] [--eval-delay-us N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("nautilus-cli: {message}");
+    std::process::exit(1);
+}
+
+struct Cli {
+    command: String,
+    dir: Option<PathBuf>,
+    job: Option<u64>,
+    wait_secs: u64,
+    spec: JobSpec,
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let mut cli = Cli {
+        command,
+        dir: None,
+        job: None,
+        wait_secs: 120,
+        spec: JobSpec {
+            tenant: "default".into(),
+            model: String::new(),
+            strategy: "guided-strong".into(),
+            seed: 1,
+            generations: 8,
+            eval_workers: 1,
+            max_evals: 0,
+            deadline_ms: 0,
+            eval_delay_us: 0,
+        },
+    };
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--dir" => cli.dir = Some(PathBuf::from(value())),
+            "--job" => cli.job = value().parse().ok().or_else(|| usage()),
+            "--wait" => cli.wait_secs = value().parse().unwrap_or_else(|_| usage()),
+            "--tenant" => cli.spec.tenant = value(),
+            "--model" => cli.spec.model = value(),
+            "--strategy" => cli.spec.strategy = value(),
+            "--seed" => cli.spec.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--generations" => {
+                cli.spec.generations = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                cli.spec.eval_workers = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--max-evals" => cli.spec.max_evals = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                cli.spec.deadline_ms = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--eval-delay-us" => {
+                cli.spec.eval_delay_us = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn client_for(cli: &Cli) -> ServeClient {
+    let Some(dir) = &cli.dir else { usage() };
+    ServeClient::from_state_dir(dir).unwrap_or_else(|e| fail(e))
+}
+
+fn job_for(cli: &Cli) -> u64 {
+    cli.job.unwrap_or_else(|| usage())
+}
+
+fn print_digest(outcome_json: &str, report_json: &str, events_jsonl: &str) {
+    println!("{outcome_json}");
+    println!("{report_json}");
+    print!("{events_jsonl}");
+}
+
+fn main() {
+    let cli = parse_cli();
+    match cli.command.as_str() {
+        "ping" => {
+            let jobs = client_for(&cli).ping().unwrap_or_else(|e| fail(e));
+            println!("pong: {jobs} jobs");
+        }
+        "submit" => {
+            if cli.spec.model.is_empty() {
+                usage();
+            }
+            match client_for(&cli).submit(&cli.spec).unwrap_or_else(|e| fail(e)) {
+                Ok(job) => println!("{job}"),
+                Err(bp) => fail(format!("rejected: {bp}")),
+            }
+        }
+        "status" => {
+            let (phase, detail) =
+                client_for(&cli).status(job_for(&cli)).unwrap_or_else(|e| fail(e));
+            println!("{}: {detail}", phase.label());
+        }
+        "result" => {
+            let reply = client_for(&cli)
+                .wait_result(job_for(&cli), Duration::from_secs(cli.wait_secs))
+                .unwrap_or_else(|e| fail(e));
+            let Reply::Result { phase, outcome_json, report_json, events_jsonl, .. } = reply else {
+                fail("daemon returned a non-result reply");
+            };
+            if !phase.is_terminal() {
+                fail(format!("job still {}", phase.label()));
+            }
+            print_digest(&outcome_json, &report_json, &events_jsonl);
+        }
+        "cancel" => {
+            client_for(&cli).cancel(job_for(&cli)).unwrap_or_else(|e| fail(e));
+            println!("cancel requested");
+        }
+        "drain" => {
+            let pending = client_for(&cli).drain().unwrap_or_else(|e| fail(e));
+            println!("draining, {pending} jobs pending");
+        }
+        "straight" => {
+            if cli.spec.model.is_empty() {
+                usage();
+            }
+            let artifacts = runner::straight(&cli.spec).unwrap_or_else(|e| fail(e));
+            print_digest(&artifacts.outcome_json, &artifacts.report_json, &artifacts.events_jsonl);
+        }
+        _ => usage(),
+    }
+}

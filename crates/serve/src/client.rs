@@ -1,0 +1,133 @@
+//! Blocking client for the daemon's one-request-per-connection protocol.
+//!
+//! Each call opens a fresh TCP connection to the daemon, writes one
+//! request frame, reads one reply frame, and closes. Because neither
+//! side keeps connection state, a client is equally happy talking to
+//! the daemon incarnation that accepted its job or to the one that
+//! recovered it after a crash.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::job::{JobPhase, JobSpec};
+use crate::proto::{Frame, ProtoError, Reply, Request};
+
+/// A handle on a running daemon, addressed by its TCP endpoint.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: SocketAddr,
+}
+
+impl ServeClient {
+    /// Client for a daemon at a known address.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> ServeClient {
+        ServeClient { addr }
+    }
+
+    /// Client for the daemon serving `state_dir`, read from the
+    /// `endpoint` file the daemon publishes on startup.
+    pub fn from_state_dir(state_dir: impl AsRef<Path>) -> Result<ServeClient, ProtoError> {
+        let raw = std::fs::read_to_string(state_dir.as_ref().join("endpoint"))?;
+        let addr = raw.trim().parse::<SocketAddr>().map_err(|e| {
+            ProtoError::Malformed(format!("endpoint file holds `{}`: {e}", raw.trim()))
+        })?;
+        Ok(ServeClient { addr })
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One round trip: connect, send `request`, read the reply.
+    pub fn call(&self, request: Request) -> Result<Reply, ProtoError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        Frame::Request(request).write_to(&mut stream)?;
+        match Frame::read_from(&mut stream)? {
+            Frame::Reply(reply) => Ok(reply),
+            Frame::Request(_) => Err(ProtoError::Malformed("daemon sent a request frame".into())),
+        }
+    }
+
+    /// Liveness probe; returns the daemon's total job count.
+    pub fn ping(&self) -> Result<u64, ProtoError> {
+        match self.call(Request::Ping)? {
+            Reply::Pong { jobs } => Ok(jobs),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Submit a job. `Ok(Ok(id))` on admission, `Ok(Err(bp))` on a
+    /// typed refusal.
+    pub fn submit(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<Result<u64, crate::quota::Backpressure>, ProtoError> {
+        match self.call(Request::Submit { spec: spec.clone() })? {
+            Reply::Submitted { job } => Ok(Ok(job)),
+            Reply::Rejected { reason } => Ok(Err(reason)),
+            other => Err(unexpected("Submitted/Rejected", &other)),
+        }
+    }
+
+    /// Phase and detail line for one job.
+    pub fn status(&self, job: u64) -> Result<(JobPhase, String), ProtoError> {
+        match self.call(Request::Status { job })? {
+            Reply::Status { phase, detail, .. } => Ok((phase, detail)),
+            Reply::Error { message } => Err(ProtoError::Malformed(message)),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Fetch a finished job's result reply, `None` while still pending.
+    pub fn result(&self, job: u64) -> Result<Option<Reply>, ProtoError> {
+        match self.call(Request::Result { job })? {
+            r @ Reply::Result { .. } => Ok(Some(r)),
+            Reply::Status { .. } => Ok(None),
+            Reply::Error { message } => Err(ProtoError::Malformed(message)),
+            other => Err(unexpected("Result/Status", &other)),
+        }
+    }
+
+    /// Request cancellation of a job.
+    pub fn cancel(&self, job: u64) -> Result<(), ProtoError> {
+        match self.call(Request::Cancel { job })? {
+            Reply::Cancelled { .. } => Ok(()),
+            Reply::Error { message } => Err(ProtoError::Malformed(message)),
+            other => Err(unexpected("Cancelled", &other)),
+        }
+    }
+
+    /// Ask the daemon to drain; returns the number of still-pending jobs.
+    pub fn drain(&self) -> Result<u64, ProtoError> {
+        match self.call(Request::Drain)? {
+            Reply::Draining { pending } => Ok(pending),
+            other => Err(unexpected("Draining", &other)),
+        }
+    }
+
+    /// Poll until `job` reaches a terminal phase and its result record
+    /// is durable, or `timeout` elapses.
+    pub fn wait_result(&self, job: u64, timeout: Duration) -> Result<Reply, ProtoError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(reply) = self.result(job)? {
+                return Ok(reply);
+            }
+            if Instant::now() >= deadline {
+                return Err(ProtoError::Malformed(format!(
+                    "timed out waiting for job {job} result"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ProtoError {
+    ProtoError::Malformed(format!("expected {wanted} reply, got {got:?}"))
+}

@@ -1,0 +1,44 @@
+//! nautilus-serve: a supervised, crash-recovering multi-tenant search daemon.
+//!
+//! This crate turns the in-process Nautilus search engine into a small
+//! service. A daemon ([`Daemon`]) listens on localhost, accepts search
+//! submissions over a length-prefixed CRC-trailed wire protocol
+//! ([`proto`]), schedules them across a fixed pool of worker slots, and
+//! persists every job's spec, checkpoints, events, and result under a
+//! state directory so that a `SIGKILL` at any instant loses nothing: the
+//! next incarnation re-adopts orphaned jobs and resumes them from their
+//! last durable checkpoint, producing byte-identical outcomes.
+//!
+//! Layers, bottom up:
+//!
+//! * [`proto`] — the `NAUTSRVC` frame format and request/reply types.
+//!   One request, one reply, one connection; the daemon holds no
+//!   connection state, which is what makes restarts invisible.
+//! * [`job`] — on-disk layout of a job: spec and result stored as the
+//!   same CRC-protected wire frames that cross the network, plus the
+//!   engine checkpoint store and per-incarnation event logs.
+//! * [`quota`] — per-tenant admission limits and the typed
+//!   [`Backpressure`] taxonomy returned on refusal.
+//! * [`registry`] — named cost models and strategies, so a persisted
+//!   spec resolves to an identical search in every incarnation.
+//! * [`runner`] — executes one job: resume-or-start, per-line-flushed
+//!   event logging, and splicing event logs across incarnations.
+//! * [`daemon`] — the supervisor: queue, worker slots, per-model circuit
+//!   breakers, drain, and crash recovery.
+//! * [`client`] — a small blocking client used by `nautilus-cli` and
+//!   the integration tests.
+
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod proto;
+pub mod quota;
+pub mod registry;
+pub mod runner;
+
+pub use client::ServeClient;
+pub use daemon::{Daemon, DaemonConfig};
+pub use job::{JobDir, JobPhase, JobSpec};
+pub use proto::{Frame, ProtoError, Reply, Request};
+pub use quota::{Backpressure, TenantQuota};
+pub use runner::RunArtifacts;

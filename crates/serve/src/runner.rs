@@ -1,0 +1,432 @@
+//! Executes one job on a scheduler slot: resolve the spec, resume or
+//! start the checkpointed search, and compose crash-stable artifacts.
+//!
+//! The artifacts are built to one invariant: **a run that was interrupted
+//! any number of times produces byte-identical artifacts to a run that was
+//! never interrupted.** Three pieces make that hold:
+//!
+//! * The engine's checkpoint/resume discipline replays the search
+//!   bit-for-bit ([`nautilus::Nautilus::resume_or_start_reported`]).
+//! * Every incarnation streams raw events to its own per-line-flushed
+//!   `events-NNN.jsonl`; [`compose_events`] splices the logs at checkpoint
+//!   boundaries, discarding exactly the generation fragments the resumed
+//!   incarnation re-executed.
+//! * Reports and event streams are normalized the same way the engine's
+//!   own resume tests normalize them: wall-clock, span timings, and
+//!   durability-only events are excluded; everything else must match.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+
+use nautilus::{InMemorySink, Nautilus, RunBudget, RunReport, SearchOutcome, StopReason};
+use nautilus_ga::GaSettings;
+use nautilus_obs::json::{is_valid_json, parse_json, JsonObj, JsonValue};
+use nautilus_obs::{SearchEvent, SearchObserver};
+
+use crate::job::{JobDir, JobSpec};
+use crate::registry::{resolve, Strategy};
+
+/// Everything a finished run leaves behind.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// How the search stopped.
+    pub stop: StopReason,
+    /// Deterministic outcome digest.
+    pub outcome_json: String,
+    /// Normalized [`RunReport`] JSON.
+    pub report_json: String,
+    /// Normalized event stream, one JSON object per line.
+    pub events_jsonl: String,
+}
+
+/// Runs `spec` inside `dir`, resuming from the job's checkpoints when an
+/// earlier incarnation left any. `cancel` is the cooperative stop flag:
+/// raising it halts the run at the next generation boundary with a final
+/// checkpoint on disk.
+///
+/// # Errors
+///
+/// A human-readable failure message (unknown strategy/model, engine
+/// error). The caller decides whether that trips the model's breaker.
+pub fn execute(
+    spec: &JobSpec,
+    dir: &JobDir,
+    cancel: &Arc<AtomicBool>,
+) -> Result<RunArtifacts, String> {
+    let strategy = Strategy::parse(&spec.strategy).map_err(|b| b.detail())?;
+    let resolved = resolve(&spec.model, spec.eval_delay_us).map_err(|b| b.detail())?;
+    let log = EventLog::create(&dir.next_event_log()).map_err(|e| e.to_string())?;
+
+    let mut budget = RunBudget::new().with_cancel_flag(Arc::clone(cancel));
+    if spec.max_evals > 0 {
+        budget = budget.with_max_evaluations(spec.max_evals);
+    }
+    if spec.deadline_ms > 0 {
+        budget = budget.with_deadline(std::time::Duration::from_millis(spec.deadline_ms));
+    }
+
+    let engine = Nautilus::new(resolved.model.as_ref())
+        .with_observer(&log)
+        .with_settings(settings_for(spec))
+        .with_budget(budget)
+        .with_checkpoints(dir.checkpoint_dir());
+    let guidance = strategy.confidence().map(|c| (&resolved.hints, Some(c)));
+    let (outcome, report) = engine
+        .resume_or_start_reported(&resolved.query, guidance, spec.seed)
+        .map_err(|e| e.to_string())?;
+    drop(engine);
+    log.flush();
+
+    let events = compose_events(dir).map_err(|e| e.to_string())?;
+    Ok(artifacts(&outcome, report, events))
+}
+
+/// Runs `spec` start-to-finish in-process with no checkpoints and no
+/// daemon: the uninterrupted comparator the chaos gates diff against.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn straight(spec: &JobSpec) -> Result<RunArtifacts, String> {
+    let strategy = Strategy::parse(&spec.strategy).map_err(|b| b.detail())?;
+    let resolved = resolve(&spec.model, spec.eval_delay_us).map_err(|b| b.detail())?;
+    let sink = InMemorySink::new();
+    let mut budget = RunBudget::new();
+    if spec.max_evals > 0 {
+        budget = budget.with_max_evaluations(spec.max_evals);
+    }
+    let engine = Nautilus::new(resolved.model.as_ref())
+        .with_observer(&sink)
+        .with_settings(settings_for(spec))
+        .with_budget(budget);
+    let (outcome, report) = match strategy.confidence() {
+        Some(c) => engine
+            .run_guided_reported(&resolved.query, &resolved.hints, Some(c), spec.seed)
+            .map_err(|e| e.to_string())?,
+        None => {
+            engine.run_baseline_reported(&resolved.query, spec.seed).map_err(|e| e.to_string())?
+        }
+    };
+    let events: Vec<String> = sink.events().iter().map(SearchEvent::to_json).collect();
+    Ok(artifacts(&outcome, report, events))
+}
+
+fn settings_for(spec: &JobSpec) -> GaSettings {
+    let defaults = GaSettings::default();
+    GaSettings {
+        generations: spec.generations,
+        eval_workers: if spec.eval_workers == 0 {
+            defaults.eval_workers
+        } else {
+            spec.eval_workers as usize
+        },
+        // Mirror `Nautilus::new`'s paper-default single elite.
+        elitism: 1,
+        ..defaults
+    }
+}
+
+fn artifacts(outcome: &SearchOutcome, report: RunReport, events: Vec<String>) -> RunArtifacts {
+    let mut stream = String::new();
+    for line in events.iter().filter(|l| !is_durability_event(l)) {
+        stream.push_str(line);
+        stream.push('\n');
+    }
+    RunArtifacts {
+        stop: outcome.stop,
+        outcome_json: outcome_json(outcome),
+        report_json: normalize_report(report).to_json(),
+        events_jsonl: stream,
+    }
+}
+
+/// The event kinds a resume is allowed to differ in: span/run timings and
+/// the durability machinery itself. Mirrors the engine's resume tests.
+fn is_durability_event(line: &str) -> bool {
+    let Ok(value) = parse_json(line) else { return false };
+    let Some(kind) = value.get("type").and_then(JsonValue::as_str) else { return false };
+    matches!(
+        kind,
+        "span_end"
+            | "run_end"
+            | "eval_batch"
+            | "checkpoint_written"
+            | "checkpoint_restored"
+            | "checkpoint_corrupt_skipped"
+            | "run_interrupted"
+            | "run_resumed"
+    )
+}
+
+/// Blanks the report fields a resume is allowed to differ in.
+fn normalize_report(mut report: RunReport) -> RunReport {
+    report.wall_nanos = 0;
+    report.spans.clear();
+    report.durability = Default::default();
+    report
+}
+
+/// Deterministic single-line digest of a [`SearchOutcome`] — the same
+/// shape the bench chaos gates use, so daemon digests diff cleanly
+/// against straight-run digests.
+#[must_use]
+pub fn outcome_json(outcome: &SearchOutcome) -> String {
+    let f = &outcome.faults;
+    let h = &outcome.health;
+    let mut o = JsonObj::new();
+    o.str("strategy", &outcome.strategy)
+        .str("stop", outcome.stop.as_str())
+        .str("best_genome", &outcome.best_genome.to_string())
+        .f64("best_value", outcome.best_value)
+        .u64("trace_points", outcome.trace.len() as u64)
+        .u64("jobs", outcome.jobs.jobs)
+        .u64("infeasible", outcome.jobs.infeasible)
+        .u64("cache_hits", outcome.jobs.cache_hits)
+        .u64("tool_secs", outcome.jobs.simulated_tool_secs)
+        .u64("evals_failed", f.evals_failed)
+        .u64("retries", f.retries)
+        .u64("retries_recovered", f.retries_recovered)
+        .u64("quarantined", f.quarantined)
+        .u64("breaker_trips", h.breaker_trips)
+        .u64("evals_shed", h.evals_shed);
+    o.finish()
+}
+
+/// Splices the job's per-incarnation event logs into the single stream an
+/// uninterrupted run would have produced (before normalization).
+///
+/// For every incarnation that was followed by another: if the successor
+/// resumed from checkpoint generation `G`, the predecessor's log is cut
+/// just after its `checkpoint_written` line for `G` — everything past
+/// that point belongs to generation work the successor re-executed. If
+/// the successor started fresh (no intact checkpoint survived), the
+/// predecessor's events are discarded wholesale. Lines truncated mid-write
+/// by a kill are dropped.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the logs.
+pub fn compose_events(dir: &JobDir) -> std::io::Result<Vec<String>> {
+    let mut spliced: Vec<String> = Vec::new();
+    let logs = dir.event_logs();
+    for path in &logs {
+        let lines = read_complete_lines(path)?;
+        match restored_generation(&lines) {
+            Restore::Fresh => spliced.clear(),
+            Restore::FromCheckpoint(generation) => {
+                truncate_at_checkpoint(&mut spliced, generation);
+            }
+        }
+        spliced.extend(lines);
+    }
+    Ok(spliced)
+}
+
+enum Restore {
+    /// The incarnation started (or restarted) the search from scratch.
+    Fresh,
+    /// The incarnation resumed from this checkpoint generation.
+    FromCheckpoint(u64),
+}
+
+/// What the incarnation's opening events say about how it started. The
+/// recovery replay emits `checkpoint_restored` before any run event, so
+/// scanning for the first run-ish event terminates the search early.
+fn restored_generation(lines: &[String]) -> Restore {
+    for line in lines {
+        let Ok(value) = parse_json(line) else { continue };
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("checkpoint_restored") => {
+                if let Some(generation) = value.get("generation").and_then(JsonValue::as_u64) {
+                    return Restore::FromCheckpoint(generation);
+                }
+            }
+            Some("checkpoint_corrupt_skipped") | None => continue,
+            Some(_) => break,
+        }
+    }
+    Restore::Fresh
+}
+
+/// Cuts `spliced` just after the `checkpoint_written` line for
+/// `generation`. When the line is absent the kill raced the event flush:
+/// the log already ends at (or before) that checkpoint boundary, so the
+/// whole prefix stands.
+fn truncate_at_checkpoint(spliced: &mut Vec<String>, generation: u64) {
+    for (idx, line) in spliced.iter().enumerate().rev() {
+        let Ok(value) = parse_json(line) else { continue };
+        if value.get("type").and_then(JsonValue::as_str) == Some("checkpoint_written")
+            && value.get("generation").and_then(JsonValue::as_u64) == Some(generation)
+        {
+            spliced.truncate(idx + 1);
+            return;
+        }
+    }
+}
+
+fn read_complete_lines(path: &Path) -> std::io::Result<Vec<String>> {
+    let raw = fs::read_to_string(path)?;
+    let mut lines: Vec<String> = Vec::new();
+    let ends_clean = raw.ends_with('\n');
+    let mut it = raw.lines().peekable();
+    while let Some(line) = it.next() {
+        let last = it.peek().is_none();
+        // A kill mid-write can strand a torn final line; never let it
+        // masquerade as an event.
+        if last && (!ends_clean || !is_valid_json(line)) {
+            break;
+        }
+        lines.push(line.to_owned());
+    }
+    Ok(lines)
+}
+
+/// A [`SearchObserver`] that appends every event to a JSONL file and
+/// flushes per line, so a SIGKILL can lose at most one torn trailing
+/// line — never a flushed prefix.
+#[derive(Debug)]
+pub struct EventLog {
+    file: Mutex<fs::File>,
+}
+
+impl EventLog {
+    /// Creates (or truncates) the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> std::io::Result<EventLog> {
+        Ok(EventLog { file: Mutex::new(fs::File::create(path)?) })
+    }
+
+    /// Opens the log at `path` for appending, creating it if missing —
+    /// the daemon's own lifecycle log spans incarnations this way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn append(path: &Path) -> std::io::Result<EventLog> {
+        let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog { file: Mutex::new(file) })
+    }
+
+    /// Best-effort fsync of everything written so far.
+    pub fn flush(&self) {
+        if let Ok(f) = self.file.lock() {
+            let _ = f.sync_all();
+        }
+    }
+}
+
+impl SearchObserver for EventLog {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_event(&self, event: &SearchEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Ok(mut f) = self.file.lock() {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("nautilus-serve-runner-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(model: &str, strategy: &str) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            model: model.into(),
+            strategy: strategy.into(),
+            seed: 7,
+            generations: 8,
+            eval_workers: 1,
+            max_evals: 0,
+            deadline_ms: 0,
+            eval_delay_us: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_execute_matches_straight_run() {
+        for strategy in ["baseline", "guided-weak", "guided-strong"] {
+            let root = tempdir(&format!("fresh-{strategy}"));
+            let dir = JobDir::create(&root, 1).unwrap();
+            let s = spec("bowl", strategy);
+            let cancel = Arc::new(AtomicBool::new(false));
+            let daemon_side = execute(&s, &dir, &cancel).unwrap();
+            let straight_side = straight(&s).unwrap();
+            assert_eq!(daemon_side.stop, StopReason::Completed);
+            assert_eq!(daemon_side.outcome_json, straight_side.outcome_json);
+            assert_eq!(daemon_side.report_json, straight_side.report_json);
+            assert_eq!(daemon_side.events_jsonl, straight_side.events_jsonl);
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn cancelled_then_reexecuted_job_matches_straight_run() {
+        let root = tempdir("cancel-resume");
+        let dir = JobDir::create(&root, 1).unwrap();
+        let s = spec("ridge", "guided-strong");
+
+        // First incarnation: cancel before it starts a single generation
+        // boundary... too racy. Instead cancel immediately: the budget
+        // fires at the first boundary, leaving a checkpoint behind.
+        let cancel = Arc::new(AtomicBool::new(true));
+        let first = execute(&s, &dir, &cancel).unwrap();
+        assert_eq!(first.stop, StopReason::Cancelled);
+
+        let cancel = Arc::new(AtomicBool::new(false));
+        let second = execute(&s, &dir, &cancel).unwrap();
+        assert_eq!(second.stop, StopReason::Completed);
+
+        let straight_side = straight(&s).unwrap();
+        assert_eq!(second.outcome_json, straight_side.outcome_json);
+        assert_eq!(second.report_json, straight_side.report_json);
+        assert_eq!(second.events_jsonl, straight_side.events_jsonl);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failures_surface_as_messages_not_panics() {
+        let root = tempdir("failures");
+        let dir = JobDir::create(&root, 1).unwrap();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let err = execute(&spec("warp-core", "baseline"), &dir, &cancel).unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+        let err = execute(&spec("bowl", "psychic"), &dir, &cancel).unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+        let err = execute(&spec("barren", "baseline"), &dir, &cancel).unwrap_err();
+        assert!(err.contains("no feasible genome"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_trailing_lines_are_dropped() {
+        let root = tempdir("torn");
+        let dir = JobDir::create(&root, 1).unwrap();
+        fs::write(
+            dir.path().join("events-000.jsonl"),
+            "{\"type\":\"run_start\",\"label\":\"baseline\"}\n{\"type\":\"span_st",
+        )
+        .unwrap();
+        let lines = compose_events(&dir).unwrap();
+        assert_eq!(lines.len(), 1, "torn tail dropped: {lines:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -7,7 +7,8 @@
 # measured headline numbers to BENCH_evalpipeline.json (or OUTPUT.json),
 # including the 1/2/4/8 eval-worker matrix, this host's thread count, and
 # the per-job overhead of dispatching evaluations to a `mock-synth`
-# child over the NAUTPROC subprocess protocol.
+# child over the NAUTPROC subprocess protocol, plus the submit -> result
+# round-trip latency through a `nautilus-serve` daemon.
 #
 # Perf floors (enforced by evalbench --floors, non-zero exit on
 # regression): the indexed dataset-query speedup must stay >= 5x, the
@@ -52,6 +53,14 @@ echo "==> evalbench $OUT ${FLOORS[*]:-} --mock-synth target/release/mock-synth"
 # measured (and its outcomes verified identical), not skipped.
 if ! grep -q '"subprocess_dispatch"' "$OUT" || grep -q '"skipped"' "$OUT"; then
     echo "FAIL: $OUT is missing the measured subprocess_dispatch section" >&2
+    exit 1
+fi
+
+# The service-latency block proves the submit -> result path through a
+# real nautilus-serve daemon was measured, not skipped.
+if ! grep -q '"service_latency"' "$OUT" \
+        || ! grep -q '"submit_to_result_best_ms"' "$OUT"; then
+    echo "FAIL: $OUT is missing the measured service_latency section" >&2
     exit 1
 fi
 

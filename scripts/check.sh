@@ -188,4 +188,102 @@ if target/release/nautilus-trace summarize "$tracedir_a/baseline-seed27.events.j
 fi
 rm -rf "$tracedir_a" "$tracedir_b"
 
+echo "==> daemon crash recovery: SIGKILL nautilus-serve twice, recover, diff"
+cargo build -q --release --offline -p nautilus-serve --bin nautilus-serve --bin nautilus-cli
+SERVE=target/release/nautilus-serve
+CLI=target/release/nautilus-cli
+servedir="$(mktemp -d)"
+
+start_daemon() {
+    "$SERVE" --dir "$servedir" --slots 2 >/dev/null 2>&1 &
+    SERVE_PID=$!
+    # Out of the job table so kill -9 does not spam "Killed" job noise.
+    disown "$SERVE_PID"
+    for _ in $(seq 1 500); do
+        if "$CLI" ping --dir "$servedir" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.01
+    done
+    echo "nautilus-serve never answered a ping" >&2
+    exit 1
+}
+ckpt_count() {
+    find "$servedir/jobs" -name '*.nckpt' 2>/dev/null | wc -l
+}
+wait_dead() {
+    # `wait` cannot reap a disowned pid; poll until the process is gone.
+    for _ in $(seq 1 2000); do
+        if ! kill -0 "$1" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.01
+    done
+    echo "nautilus-serve (pid $1) refused to die" >&2
+    exit 1
+}
+wait_for_ckpts() {
+    for _ in $(seq 1 2000); do
+        if [ "$(ckpt_count)" -ge "$1" ]; then
+            return 0
+        fi
+        sleep 0.01
+    done
+    echo "daemon made no durable progress to destroy" >&2
+    exit 1
+}
+
+start_daemon
+# Three searches, slowed so they are still mid-flight when the daemon
+# dies. Budgets are passed explicitly so the uninterrupted comparator
+# below runs the byte-identical spec.
+SPECS="bowl:guided-strong:101:1 ridge:guided-strong:102:2 bowl:baseline:103:8"
+JOB_IDS=""
+for spec in $SPECS; do
+    IFS=: read -r model strategy seed workers <<< "$spec"
+    id="$("$CLI" submit --dir "$servedir" --model "$model" --strategy "$strategy" \
+        --seed "$seed" --workers "$workers" --generations 10 \
+        --eval-delay-us 700 --max-evals 2000000)"
+    JOB_IDS="$JOB_IDS $id"
+done
+
+# Kill #1 once the first durable checkpoints exist; kill #2 after the
+# second incarnation has re-adopted the jobs and progressed further.
+wait_for_ckpts 2
+kill -9 "$SERVE_PID" 2>/dev/null
+wait_dead "$SERVE_PID"
+before="$(ckpt_count)"
+start_daemon
+wait_for_ckpts "$((before + 2))"
+kill -9 "$SERVE_PID" 2>/dev/null
+wait_dead "$SERVE_PID"
+
+# The third incarnation finishes everything; each recovered digest must
+# equal an uninterrupted in-process run of the same spec.
+start_daemon
+set -- $JOB_IDS
+for spec in $SPECS; do
+    IFS=: read -r model strategy seed workers <<< "$spec"
+    job="$1"; shift
+    recovered="$("$CLI" result --dir "$servedir" --job "$job" --wait 120)"
+    straight="$("$CLI" straight --model "$model" --strategy "$strategy" \
+        --seed "$seed" --workers "$workers" --generations 10 \
+        --eval-delay-us 700 --max-evals 2000000)"
+    if [ "$recovered" != "$straight" ]; then
+        echo "daemon-recovered digest diverged for job $job" \
+             "($model/$strategy seed $seed workers $workers)" >&2
+        diff <(printf '%s\n' "$straight") <(printf '%s\n' "$recovered") >&2 || true
+        exit 1
+    fi
+done
+
+# Graceful goodbye: SIGTERM must drain and remove the endpoint file.
+kill -15 "$SERVE_PID" 2>/dev/null
+wait_dead "$SERVE_PID"
+if [ -e "$servedir/endpoint" ]; then
+    echo "nautilus-serve left its endpoint file behind after SIGTERM" >&2
+    exit 1
+fi
+rm -rf "$servedir"
+
 echo "All checks passed."
