@@ -291,6 +291,7 @@ fn bench_service_latency() -> (f64, f64, usize) {
             max_evals: 0,
             deadline_ms: 0,
             eval_delay_us: 0,
+            dedupe_key: String::new(),
         };
         let start = Instant::now();
         let job = client.submit(&spec).expect("submit").expect("admitted");

@@ -3,8 +3,8 @@
 use std::path::{Path, PathBuf};
 
 use nautilus_ga::{
-    CheckpointStore, Direction, FitnessFn, GaEngine, GaError, GaSettings, Genome, RankRoulette,
-    RetryPolicy, RunBudget, SearchState, SupervisePolicy, Supervisor,
+    CheckpointStore, Direction, DurableIo, FitnessFn, GaEngine, GaError, GaSettings, Genome,
+    RankRoulette, RetryPolicy, RunBudget, SearchState, SupervisePolicy, Supervisor,
 };
 use nautilus_obs::{
     BatchEventBuffer, Fanout, Phase, ReportBuilder, RunReport, SearchObserver, Tracer, WireReader,
@@ -69,6 +69,7 @@ pub struct Nautilus<'m> {
     budget: RunBudget,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_keep_last: Option<usize>,
+    checkpoint_io: DurableIo,
     tracer: Option<&'m Tracer>,
 }
 
@@ -87,6 +88,7 @@ impl std::fmt::Debug for Nautilus<'_> {
             .field("budget", &self.budget)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("checkpoint_keep_last", &self.checkpoint_keep_last)
+            .field("checkpoint_io_instrumented", &self.checkpoint_io.is_instrumented())
             .field("traced", &self.tracer.is_some())
             .finish()
     }
@@ -113,6 +115,7 @@ impl<'m> Nautilus<'m> {
             budget: RunBudget::new(),
             checkpoint_dir: None,
             checkpoint_keep_last: None,
+            checkpoint_io: DurableIo::real(),
             tracer: None,
         }
     }
@@ -273,6 +276,17 @@ impl<'m> Nautilus<'m> {
     #[must_use]
     pub fn with_checkpoint_keep_last(mut self, keep: usize) -> Self {
         self.checkpoint_keep_last = Some(keep);
+        self
+    }
+
+    /// Routes checkpoint writes through `io`, the deterministic
+    /// fault-injection / census handle of [`nautilus_ga::durable`]. The
+    /// default is the pass-through real-filesystem handle; a hostile-
+    /// environment harness arms it with an [`nautilus_ga::IoFaultPlan`]
+    /// to fail chosen write points and prove recovery stays byte-exact.
+    #[must_use]
+    pub fn with_checkpoint_io(mut self, io: DurableIo) -> Self {
+        self.checkpoint_io = io;
         self
     }
 
@@ -654,7 +668,9 @@ impl<'m> Nautilus<'m> {
         let checkpoint_dir =
             resume.as_ref().map(|(_, dir)| *dir).or(self.checkpoint_dir.as_deref());
         if let Some(dir) = checkpoint_dir {
-            let mut store = CheckpointStore::create(dir).map_err(GaError::from)?;
+            let mut store = CheckpointStore::create(dir)
+                .map_err(GaError::from)?
+                .with_io(self.checkpoint_io.clone());
             if let Some(keep) = self.checkpoint_keep_last {
                 store = store.with_keep_last(keep);
             }

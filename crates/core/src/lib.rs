@@ -161,6 +161,13 @@ pub use nautilus_ga::{
     StopReason,
 };
 
+/// Hostile-environment hardening, re-exported from `nautilus-ga`: route
+/// durable writes through a [`DurableIo`] handle armed with a seeded
+/// [`IoFaultPlan`] (via [`Nautilus::with_checkpoint_io`]) to inject
+/// ENOSPC, fsync, rename, torn-write and dir-fsync failures at chosen
+/// write points and prove typed-error-or-byte-exact-recovery behavior.
+pub use nautilus_ga::{DurableIo, IoFaultKind, IoFaultPlan, WritePoint};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,12 +41,12 @@
 //! `best.nckpt`.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use nautilus_obs::{SearchEvent, SearchObserver, WireError, WireReader, WireWriter};
 
 use crate::cache::CacheSnapshot;
+use crate::durable::DurableIo;
 use crate::engine::{GaSettings, GenStats};
 use crate::fallible::FaultStats;
 use crate::genome::Genome;
@@ -467,6 +467,7 @@ impl Recovery {
 pub struct CheckpointStore {
     dir: PathBuf,
     keep_last: usize,
+    io: DurableIo,
 }
 
 impl CheckpointStore {
@@ -479,7 +480,16 @@ impl CheckpointStore {
     pub fn create(dir: impl Into<PathBuf>) -> Result<CheckpointStore, CheckpointError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, keep_last: 3 })
+        Ok(CheckpointStore { dir, keep_last: 3, io: DurableIo::real() })
+    }
+
+    /// Routes this store's durable writes through `io` — the fault
+    /// injection / census handle of [`crate::durable`]. The default is
+    /// the pass-through real-filesystem handle.
+    #[must_use]
+    pub fn with_io(mut self, io: DurableIo) -> CheckpointStore {
+        self.io = io;
+        self
     }
 
     /// Sets how many generation checkpoints to retain (minimum 1). The
@@ -531,9 +541,9 @@ impl CheckpointStore {
         let started = std::time::Instant::now();
         let record = state.encode();
         let final_path = self.generation_path(state.generation);
-        self.write_atomic(&final_path, &record)?;
+        self.write_atomic(&final_path, &record, "ckpt.gen")?;
         if pin_best {
-            self.write_atomic(&self.best_path(), &record)?;
+            self.write_atomic(&self.best_path(), &record, "ckpt.best")?;
         }
         self.apply_retention()?;
         Ok(WriteReceipt {
@@ -543,31 +553,20 @@ impl CheckpointStore {
         })
     }
 
-    fn write_atomic(&self, final_path: &Path, record: &[u8]) -> Result<(), CheckpointError> {
+    fn write_atomic(
+        &self,
+        final_path: &Path,
+        record: &[u8],
+        site: &str,
+    ) -> Result<(), CheckpointError> {
         let file_name = final_path
             .file_name()
             .and_then(|n| n.to_str())
             .ok_or_else(|| CheckpointError::Malformed("non-utf8 checkpoint name".into()))?;
-        let tmp_path = self.dir.join(format!(".{file_name}.tmp"));
-        let attempt = (|| -> Result<(), CheckpointError> {
-            {
-                let mut tmp = fs::File::create(&tmp_path)?;
-                tmp.write_all(record)?;
-                tmp.sync_all()?;
-            }
-            fs::rename(&tmp_path, final_path)?;
-            Ok(())
-        })();
-        if let Err(e) = attempt {
-            // Leave no temporary behind on ENOSPC / permission / rename
-            // failures; the finished checkpoints are untouched.
-            let _ = fs::remove_file(&tmp_path);
-            return Err(e);
-        }
-        // Make the rename itself durable: fsync the directory entry.
-        if let Ok(dir) = fs::File::open(&self.dir) {
-            let _ = dir.sync_all();
-        }
+        // The tmp/fsync/rename/dir-fsync discipline (and its cleanup on
+        // failure) lives in [`DurableIo`], shared with every other
+        // durable writer in the workspace and fault-injectable there.
+        self.io.write_atomic(&self.dir, file_name, record, site)?;
         Ok(())
     }
 
@@ -877,6 +876,45 @@ mod tests {
         assert!(states_equal(&recovered, &state));
         assert!(recovery.skipped.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_faults_surface_typed_and_leave_the_store_recoverable() {
+        use crate::durable::{DurableIo, IoFaultKind, IoFaultPlan};
+        for (i, kind) in IoFaultKind::ALL.into_iter().enumerate() {
+            let dir = tempdir(&format!("store-injected-{i}"));
+            let io = DurableIo::with_plan(IoFaultPlan::new().fail_at(1, kind));
+            let store = CheckpointStore::create(&dir).unwrap().with_io(io.clone());
+            let mut state = sample_state();
+            state.generation = 1;
+            store.write(&state, false).unwrap(); // write point 0: clean
+
+            state.generation = 2;
+            let err = store.write(&state, false).expect_err("injected fault must surface");
+            assert!(matches!(err, CheckpointError::Io(_)), "unexpected error: {err}");
+            assert!(err.to_string().contains(kind.label()), "{err}");
+            assert_eq!(io.injected_faults(), 1);
+
+            // Whatever the fault broke, recovery lands on an intact state:
+            // generation 1 for data-path faults, generation 2 when only
+            // the directory-entry fsync failed (the rename itself landed).
+            let recovery = store.recover().unwrap();
+            let recovered = recovery.state.expect("store recoverable after fault");
+            match kind {
+                IoFaultKind::DirSyncFail => assert_eq!(recovered.generation, 2),
+                _ => assert_eq!(recovered.generation, 1),
+            }
+            assert!(recovery.skipped.is_empty(), "no corrupt record: {:?}", recovery.skipped);
+            // The recovery scan swept any torn-write residue.
+            assert!(
+                !store.dir().join(".ckpt-00000002.nckpt.tmp").exists(),
+                "{kind:?} residue survived recovery"
+            );
+            // And the store keeps working with the plan spent.
+            state.generation = 3;
+            store.write(&state, false).unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

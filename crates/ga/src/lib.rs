@@ -48,6 +48,7 @@ pub mod arena;
 pub mod budget;
 mod cache;
 pub mod checkpoint;
+pub mod durable;
 mod engine;
 mod error;
 mod fallible;
@@ -66,6 +67,7 @@ pub use arena::PopArena;
 pub use budget::{BudgetTimer, RunBudget, SharedClock, StopReason};
 pub use cache::{CacheSnapshot, CacheStats, EvalCache};
 pub use checkpoint::{CheckpointError, CheckpointStore, Recovery, SearchState, WriteReceipt};
+pub use durable::{fault_label, DurableIo, IoFaultKind, IoFaultPlan, WritePoint};
 pub use engine::{AuxSnapshotFn, GaEngine, GaRun, GaSettings, GenStats, AUX_BREAKER};
 pub use error::{GaError, Result};
 pub use fallible::{
@@ -117,5 +119,7 @@ mod tests {
         assert_send_sync::<SupervisePolicy>();
         assert_send_sync::<SuperviseStats>();
         assert_send_sync::<CircuitBreaker>();
+        assert_send_sync::<DurableIo>();
+        assert_send_sync::<IoFaultPlan>();
     }
 }

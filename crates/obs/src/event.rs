@@ -446,6 +446,53 @@ pub enum SearchEvent {
         /// rather than restart from generation zero.
         resumable: bool,
     },
+    /// A durable write (checkpoint, job spec, result record, event log,
+    /// cancel marker, endpoint file) failed — disk full, fsync error,
+    /// blocked rename. Durable-state writers never swallow these; the
+    /// event names what broke so operators can tell a hostile
+    /// environment from a software fault.
+    DurableWriteFailed {
+        /// Stable write-site label (`ckpt.gen`, `job.spec`,
+        /// `job.events`, `job.result`, `job.cancel`,
+        /// `daemon.endpoint`, ...).
+        site: String,
+        /// Deterministic failure label (`enospc`, `sync_fail`,
+        /// `rename_fail`, `torn_write`, `dir_sync_fail`, or `io` for an
+        /// unclassified filesystem error).
+        detail: String,
+    },
+    /// The daemon refused a connection because its concurrent-connection
+    /// cap was reached; the socket got a typed backpressure reply and
+    /// was closed without spawning a handler thread.
+    ConnShed {
+        /// Connections being served when the cap fired.
+        active: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A connection hit its read or write deadline and was closed so it
+    /// could not pin a serve thread.
+    ConnStalled {
+        /// Which direction stalled: `"read"` or `"write"`.
+        phase: String,
+    },
+    /// The accept loop saw an `accept(2)` error (e.g. EMFILE) and backed
+    /// off with a bounded sleep instead of hot-spinning.
+    AcceptBackoff {
+        /// Consecutive accept errors so far.
+        errors: u64,
+        /// The sleep applied before the next accept attempt.
+        backoff_ms: u64,
+    },
+    /// A submission carried a dedupe key the daemon had already
+    /// accepted; the original job id was returned instead of enqueueing
+    /// a duplicate.
+    DuplicateSubmit {
+        /// The job id of the original submission.
+        job: u64,
+        /// Tenant the duplicate arrived under.
+        tenant: String,
+    },
 }
 
 impl SearchEvent {
@@ -490,6 +537,11 @@ impl SearchEvent {
             SearchEvent::JobCancelled { .. } => "job_cancelled",
             SearchEvent::JobRejected { .. } => "job_rejected",
             SearchEvent::JobAdopted { .. } => "job_adopted",
+            SearchEvent::DurableWriteFailed { .. } => "durable_write_failed",
+            SearchEvent::ConnShed { .. } => "conn_shed",
+            SearchEvent::ConnStalled { .. } => "conn_stalled",
+            SearchEvent::AcceptBackoff { .. } => "accept_backoff",
+            SearchEvent::DuplicateSubmit { .. } => "duplicate_submit",
         }
     }
 
@@ -646,6 +698,21 @@ impl SearchEvent {
             SearchEvent::JobAdopted { job, resumable } => {
                 o.u64("job", *job).bool("resumable", *resumable);
             }
+            SearchEvent::DurableWriteFailed { site, detail } => {
+                o.str("site", site).str("detail", detail);
+            }
+            SearchEvent::ConnShed { active, limit } => {
+                o.u64("active", *active).u64("limit", *limit);
+            }
+            SearchEvent::ConnStalled { phase } => {
+                o.str("phase", phase);
+            }
+            SearchEvent::AcceptBackoff { errors, backoff_ms } => {
+                o.u64("errors", *errors).u64("backoff_ms", *backoff_ms);
+            }
+            SearchEvent::DuplicateSubmit { job, tenant } => {
+                o.u64("job", *job).str("tenant", tenant);
+            }
         }
         o.finish()
     }
@@ -738,6 +805,11 @@ mod tests {
             SearchEvent::JobCancelled { job: 2 },
             SearchEvent::JobRejected { tenant: "acme".into(), reason: "queue_full".into() },
             SearchEvent::JobAdopted { job: 3, resumable: true },
+            SearchEvent::DurableWriteFailed { site: "ckpt.gen".into(), detail: "enospc".into() },
+            SearchEvent::ConnShed { active: 64, limit: 64 },
+            SearchEvent::ConnStalled { phase: "read".into() },
+            SearchEvent::AcceptBackoff { errors: 3, backoff_ms: 40 },
+            SearchEvent::DuplicateSubmit { job: 1, tenant: "acme".into() },
         ]
     }
 
@@ -834,6 +906,31 @@ mod tests {
         assert_eq!(
             SearchEvent::JobCancelled { job: 2 }.to_json(),
             "{\"type\":\"job_cancelled\",\"job\":2}"
+        );
+    }
+
+    #[test]
+    fn hostile_environment_event_kinds_are_stable() {
+        assert_eq!(
+            SearchEvent::DurableWriteFailed { site: "job.result".into(), detail: "enospc".into() }
+                .to_json(),
+            "{\"type\":\"durable_write_failed\",\"site\":\"job.result\",\"detail\":\"enospc\"}"
+        );
+        assert_eq!(
+            SearchEvent::ConnShed { active: 8, limit: 8 }.to_json(),
+            "{\"type\":\"conn_shed\",\"active\":8,\"limit\":8}"
+        );
+        assert_eq!(
+            SearchEvent::ConnStalled { phase: "read".into() }.to_json(),
+            "{\"type\":\"conn_stalled\",\"phase\":\"read\"}"
+        );
+        assert_eq!(
+            SearchEvent::AcceptBackoff { errors: 2, backoff_ms: 20 }.to_json(),
+            "{\"type\":\"accept_backoff\",\"errors\":2,\"backoff_ms\":20}"
+        );
+        assert_eq!(
+            SearchEvent::DuplicateSubmit { job: 4, tenant: "acme".into() }.to_json(),
+            "{\"type\":\"duplicate_submit\",\"job\":4,\"tenant\":\"acme\"}"
         );
     }
 }

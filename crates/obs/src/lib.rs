@@ -66,7 +66,7 @@ pub use metrics::{
 };
 pub use observer::{noop, span, Fanout, NoopObserver, SearchObserver, SpanGuard};
 pub use report::{
-    DurabilityTally, EvalTally, FaultTally, GenerationTelemetry, HealthTally, HintTally,
+    DurabilityTally, EdgeTally, EvalTally, FaultTally, GenerationTelemetry, HealthTally, HintTally,
     ReportBuilder, RunReport, ServiceTally, SpanStat, SubprocessTally,
 };
 pub use sink::{InMemorySink, JsonlSink};

@@ -386,6 +386,11 @@ pub struct MetricsSink {
     jobs_cancelled: Arc<Counter>,
     jobs_rejected: Arc<Counter>,
     jobs_adopted: Arc<Counter>,
+    durable_write_failures: Arc<Counter>,
+    conns_shed: Arc<Counter>,
+    conn_stalls: Arc<Counter>,
+    accept_backoffs: Arc<Counter>,
+    dedupe_hits: Arc<Counter>,
     best_value: Arc<Gauge>,
     per_param: Mutex<Vec<Arc<Counter>>>,
 }
@@ -455,6 +460,11 @@ impl MetricsSink {
             jobs_cancelled: registry.counter("jobs_cancelled"),
             jobs_rejected: registry.counter("jobs_rejected"),
             jobs_adopted: registry.counter("jobs_adopted"),
+            durable_write_failures: registry.counter("durable_write_failures"),
+            conns_shed: registry.counter("conns_shed"),
+            conn_stalls: registry.counter("conn_stalls"),
+            accept_backoffs: registry.counter("accept_backoffs"),
+            dedupe_hits: registry.counter("dedupe_hits"),
             best_value: registry.gauge("best_value"),
             per_param: Mutex::new(Vec::new()),
             registry,
@@ -563,6 +573,11 @@ impl SearchObserver for MetricsSink {
             SearchEvent::JobCancelled { .. } => self.jobs_cancelled.inc(),
             SearchEvent::JobRejected { .. } => self.jobs_rejected.inc(),
             SearchEvent::JobAdopted { .. } => self.jobs_adopted.inc(),
+            SearchEvent::DurableWriteFailed { .. } => self.durable_write_failures.inc(),
+            SearchEvent::ConnShed { .. } => self.conns_shed.inc(),
+            SearchEvent::ConnStalled { .. } => self.conn_stalls.inc(),
+            SearchEvent::AcceptBackoff { .. } => self.accept_backoffs.inc(),
+            SearchEvent::DuplicateSubmit { .. } => self.dedupe_hits.inc(),
         }
     }
 }

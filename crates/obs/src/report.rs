@@ -462,6 +462,48 @@ impl ServiceTally {
     }
 }
 
+/// Hostile-environment tallies (schema v9).
+///
+/// Folded from the `DurableWriteFailed` / `ConnShed` / `ConnStalled` /
+/// `AcceptBackoff` / `DuplicateSubmit` events a hardened `nautilus-serve`
+/// daemon emits when the world misbehaves: full disks, stalled or
+/// flooding clients, duplicate submissions after lost replies. All zero
+/// on healthy plain runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeTally {
+    /// Durable writes (checkpoints, specs, results, event logs, cancel
+    /// markers, endpoint files) that failed and were surfaced as typed
+    /// faults rather than swallowed.
+    pub durable_write_failures: u64,
+    /// The subset of durable-write failures where an `fsync` (file or
+    /// directory entry) failed — the classic silently-swallowed error.
+    pub fsync_failures: u64,
+    /// Connections refused at the concurrent-connection cap.
+    pub conns_shed: u64,
+    /// Connections closed at a read/write deadline.
+    pub conn_stalls: u64,
+    /// Accept-loop backoff sleeps taken on `accept(2)` errors.
+    pub accept_backoffs: u64,
+    /// Duplicate submissions resolved to their original job id by
+    /// dedupe key.
+    pub dedupe_hits: u64,
+}
+
+impl EdgeTally {
+    /// Serializes as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("durable_write_failures", self.durable_write_failures)
+            .u64("fsync_failures", self.fsync_failures)
+            .u64("conns_shed", self.conns_shed)
+            .u64("conn_stalls", self.conn_stalls)
+            .u64("accept_backoffs", self.accept_backoffs)
+            .u64("dedupe_hits", self.dedupe_hits);
+        o.finish()
+    }
+}
+
 /// The machine-readable summary of one instrumented search run.
 ///
 /// # Schema version history
@@ -504,6 +546,11 @@ impl ServiceTally {
 ///   job-lifecycle counts — queued/started/finished/cancelled/rejected
 ///   submissions and crash-recovery adoptions). All zero on plain runs.
 ///   All v7 fields are unchanged.
+/// * **v9** — added the `edge` block ([`EdgeTally`]: hostile-environment
+///   counts — surfaced durable-write and fsync failures, connections
+///   shed at the cap, stalled connections closed at their deadline,
+///   accept-loop backoffs, and dedupe-key duplicate submissions). All
+///   zero on healthy plain runs. All v8 fields are unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Strategy label from [`SearchEvent::RunStart`].
@@ -550,6 +597,8 @@ pub struct RunReport {
     pub subprocess: SubprocessTally,
     /// Search-service job-lifecycle tallies (all zero on plain runs).
     pub service: ServiceTally,
+    /// Hostile-environment tallies (all zero on healthy plain runs).
+    pub edge: EdgeTally,
     /// Per-generation telemetry, in generation order.
     pub generations: Vec<GenerationTelemetry>,
     /// Aggregated span timings by span name.
@@ -579,7 +628,7 @@ impl RunReport {
             phases.raw(phase.label(), &p.finish());
         }
         let mut o = JsonObj::new();
-        o.u64("schema_version", 8)
+        o.u64("schema_version", 9)
             .str("strategy", &self.strategy)
             .u64("seed", self.seed)
             .arr_str("params", &self.params)
@@ -601,6 +650,7 @@ impl RunReport {
             .raw("health", &self.health.to_json())
             .raw("subprocess", &self.subprocess.to_json())
             .raw("service", &self.service.to_json())
+            .raw("edge", &self.edge.to_json())
             .arr_raw("generations", &gen_rows)
             .raw("spans", &spans.finish())
             .raw("phases", &phases.finish());
@@ -786,6 +836,15 @@ impl ReportBuilder {
         w.u64(j.cancelled);
         w.u64(j.rejected);
         w.u64(j.adopted);
+        // v5: the edge block rides last so every earlier field keeps its
+        // offset.
+        let e = &r.edge;
+        w.u64(e.durable_write_failures);
+        w.u64(e.fsync_failures);
+        w.u64(e.conns_shed);
+        w.u64(e.conn_stalls);
+        w.u64(e.accept_backoffs);
+        w.u64(e.dedupe_hits);
         w.into_bytes()
     }
 
@@ -900,6 +959,14 @@ impl ReportBuilder {
             rejected: r.u64()?,
             adopted: r.u64()?,
         };
+        report.edge = EdgeTally {
+            durable_write_failures: r.u64()?,
+            fsync_failures: r.u64()?,
+            conns_shed: r.u64()?,
+            conn_stalls: r.u64()?,
+            accept_backoffs: r.u64()?,
+            dedupe_hits: r.u64()?,
+        };
         r.finish()?;
         Ok(ReportBuilder {
             state: Mutex::new(ReportState { report, rows, scoring_gen, num_params }),
@@ -908,7 +975,7 @@ impl ReportBuilder {
 }
 
 /// Version tag for the [`ReportBuilder::snapshot_bytes`] wire format.
-const SNAPSHOT_VERSION: u32 = 4;
+const SNAPSHOT_VERSION: u32 = 5;
 
 fn encode_evals(w: &mut WireWriter, e: &EvalTally) {
     w.u64(e.feasible);
@@ -1088,6 +1155,17 @@ impl SearchObserver for ReportBuilder {
             SearchEvent::JobCancelled { .. } => state.report.service.cancelled += 1,
             SearchEvent::JobRejected { .. } => state.report.service.rejected += 1,
             SearchEvent::JobAdopted { .. } => state.report.service.adopted += 1,
+            SearchEvent::DurableWriteFailed { detail, .. } => {
+                let e = &mut state.report.edge;
+                e.durable_write_failures += 1;
+                if detail.contains("sync") {
+                    e.fsync_failures += 1;
+                }
+            }
+            SearchEvent::ConnShed { .. } => state.report.edge.conns_shed += 1,
+            SearchEvent::ConnStalled { .. } => state.report.edge.conn_stalls += 1,
+            SearchEvent::AcceptBackoff { .. } => state.report.edge.accept_backoffs += 1,
+            SearchEvent::DuplicateSubmit { .. } => state.report.edge.dedupe_hits += 1,
         }
     }
 }
@@ -1245,8 +1323,10 @@ mod tests {
         );
         let json = builder.finish().to_json();
         assert!(is_valid_json(&json), "invalid report json: {json}");
-        assert!(json.contains("\"schema_version\":8"));
+        assert!(json.contains("\"schema_version\":9"));
         assert!(json.contains("\"eval_batches\":0"));
+        assert!(json.contains("\"durable_write_failures\":0"));
+        assert!(json.contains("\"conns_shed\":0"));
         assert!(json.contains("\"evals_failed\":0"));
         assert!(json.contains("\"quarantined\":0"));
         assert!(json.contains("\"mean\":null"));
@@ -1337,7 +1417,7 @@ mod tests {
         );
         builder.attach_phases(phases);
         let parsed = parse_json(&builder.finish().to_json()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(parsed.get("schema_version").and_then(JsonValue::as_u64), Some(9));
         // The complete v6 surface, unchanged.
         for key in [
             "strategy",
@@ -1482,6 +1562,45 @@ mod tests {
         assert_eq!(s.adopted, 1);
         assert!(s.reconciles());
         assert!(is_valid_json(&s.to_json()));
+    }
+
+    #[test]
+    fn hostile_environment_events_fold_into_the_edge_block() {
+        let builder = ReportBuilder::new();
+        feed(
+            &builder,
+            &[
+                SearchEvent::DurableWriteFailed {
+                    site: "ckpt.gen".into(),
+                    detail: "enospc".into(),
+                },
+                SearchEvent::DurableWriteFailed {
+                    site: "job.events".into(),
+                    detail: "sync_fail".into(),
+                },
+                SearchEvent::DurableWriteFailed {
+                    site: "job.result".into(),
+                    detail: "dir_sync_fail".into(),
+                },
+                SearchEvent::ConnShed { active: 8, limit: 8 },
+                SearchEvent::ConnStalled { phase: "read".into() },
+                SearchEvent::ConnStalled { phase: "write".into() },
+                SearchEvent::AcceptBackoff { errors: 1, backoff_ms: 10 },
+                SearchEvent::DuplicateSubmit { job: 1, tenant: "acme".into() },
+            ],
+        );
+        let bytes = builder.snapshot_bytes();
+        let restored = ReportBuilder::restore_bytes(&bytes).expect("snapshot restores");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        let report = restored.finish();
+        let e = &report.edge;
+        assert_eq!(e.durable_write_failures, 3);
+        assert_eq!(e.fsync_failures, 2, "sync_fail and dir_sync_fail both count");
+        assert_eq!(e.conns_shed, 1);
+        assert_eq!(e.conn_stalls, 2);
+        assert_eq!(e.accept_backoffs, 1);
+        assert_eq!(e.dedupe_hits, 1);
+        assert!(is_valid_json(&e.to_json()));
     }
 
     #[test]

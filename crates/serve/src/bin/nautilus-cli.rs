@@ -27,7 +27,7 @@ fn usage() -> ! {
         "usage: nautilus-cli <ping|submit|status|result|cancel|drain|straight> \
          [--dir PATH] [--job ID] [--wait SECS] [--tenant T] [--model M] \
          [--strategy S] [--seed N] [--generations N] [--workers N] \
-         [--max-evals N] [--deadline-ms N] [--eval-delay-us N]"
+         [--max-evals N] [--deadline-ms N] [--eval-delay-us N] [--dedupe-key K]"
     );
     std::process::exit(2);
 }
@@ -63,6 +63,7 @@ fn parse_cli() -> Cli {
             max_evals: 0,
             deadline_ms: 0,
             eval_delay_us: 0,
+            dedupe_key: String::new(),
         },
     };
     while let Some(arg) = args.next() {
@@ -82,6 +83,7 @@ fn parse_cli() -> Cli {
                 cli.spec.eval_workers = value().parse().unwrap_or_else(|_| usage());
             }
             "--max-evals" => cli.spec.max_evals = value().parse().unwrap_or_else(|_| usage()),
+            "--dedupe-key" => cli.spec.dedupe_key = value(),
             "--deadline-ms" => {
                 cli.spec.deadline_ms = value().parse().unwrap_or_else(|_| usage());
             }

@@ -5,6 +5,16 @@
 //! side keeps connection state, a client is equally happy talking to
 //! the daemon incarnation that accepted its job or to the one that
 //! recovered it after a crash.
+//!
+//! # Retry safety
+//!
+//! [`ServeClient::with_retries`] arms transparent retry-with-backoff for
+//! transport faults (refused connection, reset, timeout). Queries
+//! (`ping`, `status`, `result`, `drain`, `cancel`) are idempotent and
+//! always retried. `submit` is retried **only when the spec carries a
+//! dedupe key**: a retried submission whose first attempt actually
+//! landed would otherwise enqueue the job twice. With a key the daemon
+//! answers the retry with the original job id.
 
 use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
@@ -17,13 +27,17 @@ use crate::proto::{Frame, ProtoError, Reply, Request};
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     addr: SocketAddr,
+    timeout: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
 }
 
 impl ServeClient {
-    /// Client for a daemon at a known address.
+    /// Client for a daemon at a known address. No timeouts, no retries —
+    /// exactly one attempt per call.
     #[must_use]
     pub fn new(addr: SocketAddr) -> ServeClient {
-        ServeClient { addr }
+        ServeClient { addr, timeout: None, retries: 0, backoff: Duration::from_millis(50) }
     }
 
     /// Client for the daemon serving `state_dir`, read from the
@@ -33,7 +47,26 @@ impl ServeClient {
         let addr = raw.trim().parse::<SocketAddr>().map_err(|e| {
             ProtoError::Malformed(format!("endpoint file holds `{}`: {e}", raw.trim()))
         })?;
-        Ok(ServeClient { addr })
+        Ok(ServeClient::new(addr))
+    }
+
+    /// Applies `timeout` to connect, request write, and reply read, so a
+    /// dead or wedged daemon surfaces as a typed error instead of a
+    /// forever-blocked call.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> ServeClient {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Retries transport faults up to `retries` extra attempts, sleeping
+    /// `backoff * attempt` between tries (linear backoff). See the
+    /// module docs for which requests are eligible.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32, backoff: Duration) -> ServeClient {
+        self.retries = retries;
+        self.backoff = backoff;
+        self
     }
 
     /// The daemon address this client talks to.
@@ -42,14 +75,56 @@ impl ServeClient {
         self.addr
     }
 
-    /// One round trip: connect, send `request`, read the reply.
-    pub fn call(&self, request: Request) -> Result<Reply, ProtoError> {
-        let mut stream = TcpStream::connect(self.addr)?;
+    fn call_once(&self, request: &Request) -> Result<Reply, ProtoError> {
+        let mut stream = match self.timeout {
+            Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+            None => TcpStream::connect(self.addr)?,
+        };
         stream.set_nodelay(true).ok();
-        Frame::Request(request).write_to(&mut stream)?;
+        if let Some(t) = self.timeout {
+            stream.set_read_timeout(Some(t)).ok();
+            stream.set_write_timeout(Some(t)).ok();
+        }
+        Frame::Request(request.clone()).write_to(&mut stream)?;
         match Frame::read_from(&mut stream)? {
             Frame::Reply(reply) => Ok(reply),
             Frame::Request(_) => Err(ProtoError::Malformed("daemon sent a request frame".into())),
+        }
+    }
+
+    /// True for faults where the request may simply be resent: the
+    /// transport broke before a well-formed reply arrived.
+    fn is_retryable(err: &ProtoError) -> bool {
+        matches!(err, ProtoError::Io(_) | ProtoError::CleanEof | ProtoError::Truncated)
+    }
+
+    /// Whether a lost reply to `request` can be safely re-asked.
+    fn is_idempotent(request: &Request) -> bool {
+        match request {
+            Request::Ping
+            | Request::Status { .. }
+            | Request::Result { .. }
+            | Request::Cancel { .. }
+            | Request::Drain => true,
+            // Resubmission is only safe when the daemon can dedupe it.
+            Request::Submit { spec } => !spec.dedupe_key.is_empty(),
+        }
+    }
+
+    /// One round trip: connect, send `request`, read the reply. Armed
+    /// retries apply when the request is idempotent (see module docs).
+    pub fn call(&self, request: Request) -> Result<Reply, ProtoError> {
+        let budget = if Self::is_idempotent(&request) { self.retries } else { 0 };
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(&request) {
+                Ok(reply) => return Ok(reply),
+                Err(err) if attempt < budget && Self::is_retryable(&err) => {
+                    attempt += 1;
+                    std::thread::sleep(self.backoff * attempt);
+                }
+                Err(err) => return Err(err),
+            }
         }
     }
 

@@ -27,22 +27,23 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs;
-use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use nautilus::Nautilus;
-use nautilus_obs::{SearchEvent, SearchObserver, ServiceTally};
+use nautilus::{DurableIo, Nautilus};
+use nautilus_ga::fault_label;
+use nautilus_obs::{EdgeTally, SearchEvent, SearchObserver, ServiceTally};
 
 use crate::job::{JobDir, JobPhase, JobSpec};
 use crate::proto::{Frame, ProtoError, Reply, Request};
 use crate::quota::{Backpressure, TenantQuota};
 use crate::registry::{Strategy, MODELS};
-use crate::runner::{self, EventLog};
+use crate::runner::{self, EventLog, FaultClass, RunFault};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -58,11 +59,29 @@ pub struct DaemonConfig {
     pub breaker_trip: u32,
     /// Shed submissions an open breaker absorbs before half-opening.
     pub breaker_cooldown: u32,
+    /// Durable-write handle every piece of daemon state (endpoint file,
+    /// job dirs, event logs, checkpoints) writes through. Real
+    /// filesystem by default; the disk-fault battery arms it with a
+    /// deterministic [`nautilus_ga::IoFaultPlan`].
+    pub io: DurableIo,
+    /// Concurrent connections served at once; arrivals beyond the cap
+    /// are shed with a typed [`Backpressure::TooManyConnections`] reply.
+    pub max_connections: usize,
+    /// How long a connection may take to deliver its request frame
+    /// before being closed (a stalled client must not pin a thread).
+    pub conn_read_timeout: Duration,
+    /// How long a reply write may block before the connection is closed.
+    pub conn_write_timeout: Duration,
+    /// In-incarnation retries a job gets after a *recoverable* durable
+    /// fault (failed checkpoint or result write) before it is parked for
+    /// the next incarnation.
+    pub env_requeue_limit: u32,
 }
 
 impl DaemonConfig {
     /// Defaults rooted at `state_dir`: 2 slots, default quota, trip after
-    /// 3 consecutive failures, half-open after 2 sheds.
+    /// 3 consecutive failures, half-open after 2 sheds, 64 connections,
+    /// 10-second connection deadlines, 2 durable-fault requeues.
     #[must_use]
     pub fn new(state_dir: impl Into<PathBuf>) -> DaemonConfig {
         DaemonConfig {
@@ -71,6 +90,11 @@ impl DaemonConfig {
             quota: TenantQuota::default(),
             breaker_trip: 3,
             breaker_cooldown: 2,
+            io: DurableIo::real(),
+            max_connections: 64,
+            conn_read_timeout: Duration::from_secs(10),
+            conn_write_timeout: Duration::from_secs(10),
+            env_requeue_limit: 2,
         }
     }
 }
@@ -101,6 +125,9 @@ struct JobEntry {
     cancel: Arc<AtomicBool>,
     user_cancel: bool,
     dir: JobDir,
+    /// Recoverable durable faults absorbed by requeueing this job in
+    /// this incarnation.
+    env_requeues: u32,
 }
 
 struct State {
@@ -109,6 +136,7 @@ struct State {
     next_id: u64,
     breakers: HashMap<String, Breaker>,
     tally: ServiceTally,
+    edge: EdgeTally,
 }
 
 struct Shared {
@@ -117,6 +145,8 @@ struct Shared {
     work: Condvar,
     drain: AtomicBool,
     shutdown: AtomicBool,
+    /// Connections currently being served (accept-side admission gate).
+    conns: AtomicUsize,
     /// Daemon-lifecycle event log, appended across incarnations.
     events: EventLog,
 }
@@ -161,13 +191,14 @@ impl Daemon {
             next_id: 1,
             breakers: HashMap::new(),
             tally: ServiceTally::default(),
+            edge: EdgeTally::default(),
         };
         let mut adopted: Vec<SearchEvent> = Vec::new();
-        recover(&jobs_root, &mut state, &mut adopted)?;
+        recover(&jobs_root, &cfg.io, &mut state, &mut adopted)?;
 
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        publish_endpoint(&cfg.state_dir, &addr)?;
+        publish_endpoint(&cfg.state_dir, &addr, &cfg.io)?;
 
         let slots = cfg.slots.max(1);
         let shared = Arc::new(Shared {
@@ -176,6 +207,7 @@ impl Daemon {
             work: Condvar::new(),
             drain: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
             events,
         });
         for event in &adopted {
@@ -218,6 +250,14 @@ impl Daemon {
         self.shared.state.lock().expect("daemon state lock").tally.clone()
     }
 
+    /// Snapshot of the hostile-environment tally (durable-write
+    /// failures, shed connections, stalls, dedupe hits) for this
+    /// incarnation.
+    #[must_use]
+    pub fn edge_tally(&self) -> EdgeTally {
+        self.shared.state.lock().expect("daemon state lock").edge.clone()
+    }
+
     /// Initiates a graceful drain: admissions stop, running jobs halt at
     /// their next generation boundary (final checkpoint on disk), queued
     /// jobs stay queued for the next incarnation.
@@ -247,20 +287,22 @@ impl Daemon {
     }
 }
 
-fn publish_endpoint(state_dir: &std::path::Path, addr: &SocketAddr) -> std::io::Result<()> {
-    let tmp = state_dir.join(".endpoint.tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(addr.to_string().as_bytes())?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, state_dir.join("endpoint"))
+fn publish_endpoint(
+    state_dir: &std::path::Path,
+    addr: &SocketAddr,
+    io: &DurableIo,
+) -> std::io::Result<()> {
+    io.write_atomic(state_dir, "endpoint", addr.to_string().as_bytes(), "daemon.endpoint")
 }
 
 /// Scans `jobs/` and rebuilds the in-memory table: terminal jobs from
-/// their result records, orphans re-adopted into the queue.
+/// their result records, orphans re-adopted into the queue. Residue of
+/// atomic writes interrupted by the previous incarnation's death (stray
+/// dot-tmp files) is swept first, so a torn write never survives as a
+/// half-file next to the intact state.
 fn recover(
     jobs_root: &std::path::Path,
+    io: &DurableIo,
     state: &mut State,
     events: &mut Vec<SearchEvent>,
 ) -> std::io::Result<()> {
@@ -270,7 +312,8 @@ fn recover(
         .collect();
     ids.sort_unstable();
     for id in ids {
-        let dir = JobDir::open(jobs_root.join(format!("{id:08}")));
+        let dir = JobDir::open(jobs_root.join(format!("{id:08}"))).with_io(io.clone());
+        dir.clean_stray_tmps();
         let Ok(spec) = dir.read_spec() else {
             // A corrupt spec is unrunnable and unreportable; leave the
             // directory for post-mortem but keep it out of the table.
@@ -312,6 +355,7 @@ fn recover(
                 cancel: Arc::new(AtomicBool::new(false)),
                 user_cancel: false,
                 dir,
+                env_requeues: 0,
             },
         );
     }
@@ -333,19 +377,87 @@ fn initiate_drain(shared: &Arc<Shared>) {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut consecutive_errors: u32 = 0;
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let Ok(stream) = conn else { continue };
-        let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
-            .name("serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared));
+        let stream = match conn {
+            Ok(stream) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(_) => {
+                // accept(2) errors like EMFILE tend to persist; spinning
+                // on them burns the core the searches need. Back off
+                // exponentially, capped at a second, and say so.
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                let backoff_ms = (10u64 << consecutive_errors.min(7).saturating_sub(1)).min(1000);
+                {
+                    let mut state = shared.state.lock().expect("daemon state lock");
+                    state.edge.accept_backoffs += 1;
+                }
+                shared.emit(&SearchEvent::AcceptBackoff {
+                    errors: u64::from(consecutive_errors),
+                    backoff_ms,
+                });
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+                continue;
+            }
+        };
+        let active = shared.conns.load(Ordering::Acquire);
+        if active >= shared.cfg.max_connections {
+            shed_connection(stream, shared, active);
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::AcqRel);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new().name("serve-conn".into()).spawn(move || {
+            handle_connection(stream, &conn_shared);
+            conn_shared.conns.fetch_sub(1, Ordering::AcqRel);
+        });
+        if spawned.is_err() {
+            shared.conns.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
+/// Refuses a connection over the cap with a typed reply. The write uses
+/// a short fixed timeout (not the configured one): this runs on the
+/// accept thread, and a peer that won't read a 50-byte reply must not
+/// stall admission for everyone else.
+fn shed_connection(mut stream: TcpStream, shared: &Arc<Shared>, active: usize) {
+    let limit = shared.cfg.max_connections as u64;
+    {
+        let mut state = shared.state.lock().expect("daemon state lock");
+        state.edge.conns_shed += 1;
+    }
+    shared.emit(&SearchEvent::ConnShed { active: active as u64, limit });
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let reply = Reply::Rejected {
+        reason: Backpressure::TooManyConnections { active: active as u64, limit },
+    };
+    let _ = Frame::Reply(reply).write_to(&mut stream);
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+fn note_stall(shared: &Arc<Shared>, phase: &str) {
+    {
+        let mut state = shared.state.lock().expect("daemon state lock");
+        state.edge.conn_stalls += 1;
+    }
+    shared.emit(&SearchEvent::ConnStalled { phase: phase.to_owned() });
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Deadlines on both directions: a client that connects and goes
+    // silent (or stops reading its reply) is closed, not serviced
+    // forever.
+    let _ = stream.set_read_timeout(Some(shared.cfg.conn_read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.conn_write_timeout));
     let request = match Frame::read_from(&mut stream) {
         Ok(Frame::Request(req)) => req,
         Ok(Frame::Reply(_)) => {
@@ -354,6 +466,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
         Err(ProtoError::CleanEof) => return,
+        Err(ProtoError::Io(e)) if is_timeout(&e) => {
+            note_stall(shared, "read");
+            let reply = Reply::Error { message: "connection deadline exceeded".into() };
+            let _ = Frame::Reply(reply).write_to(&mut stream);
+            return;
+        }
         Err(err) => {
             // Framing faults still get a typed reply when the socket is
             // writable; a garbage-spewing client just sees the close.
@@ -363,7 +481,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         }
     };
     let reply = serve_request(shared, request);
-    let _ = Frame::Reply(reply).write_to(&mut stream);
+    if let Err(ProtoError::Io(e)) = Frame::Reply(reply).write_to(&mut stream) {
+        if is_timeout(&e) {
+            note_stall(shared, "write");
+        }
+    }
 }
 
 fn serve_request(shared: &Arc<Shared>, request: Request) -> Reply {
@@ -422,7 +544,36 @@ fn reject(shared: &Arc<Shared>, tenant: &str, reason: Backpressure) -> Reply {
     Reply::Rejected { reason }
 }
 
+/// Bumps the durable-failure counters and returns the deterministic
+/// fault label for the telemetry event. Caller still holds the state
+/// lock; emit after dropping it.
+fn note_durable_failure(state: &mut State, message: &str) -> String {
+    let label = fault_label(message).to_owned();
+    state.edge.durable_write_failures += 1;
+    if label.contains("sync") {
+        state.edge.fsync_failures += 1;
+    }
+    label
+}
+
 fn submit(shared: &Arc<Shared>, mut spec: JobSpec) -> Reply {
+    // Idempotent resubmission first, even while draining: a client that
+    // lost its `Submitted` reply retries with the same dedupe key and
+    // must get the original id back — the work was already accepted.
+    if !spec.dedupe_key.is_empty() {
+        let mut state = shared.state.lock().expect("daemon state lock");
+        let original = state
+            .jobs
+            .iter()
+            .find(|(_, e)| e.spec.tenant == spec.tenant && e.spec.dedupe_key == spec.dedupe_key)
+            .map(|(&id, _)| id);
+        if let Some(id) = original {
+            state.edge.dedupe_hits += 1;
+            drop(state);
+            shared.emit(&SearchEvent::DuplicateSubmit { job: id, tenant: spec.tenant.clone() });
+            return Reply::Submitted { job: id };
+        }
+    }
     if shared.drain.load(Ordering::Acquire) {
         return reject(shared, &spec.tenant, Backpressure::Draining);
     }
@@ -506,10 +657,16 @@ fn submit(shared: &Arc<Shared>, mut spec: JobSpec) -> Reply {
     state.next_id += 1;
     let jobs_root = shared.cfg.state_dir.join("jobs");
     let dir = match JobDir::create(&jobs_root, id) {
-        Ok(dir) => dir,
+        Ok(dir) => dir.with_io(shared.cfg.io.clone()),
         Err(e) => return Reply::Error { message: format!("cannot create job dir: {e}") },
     };
     if let Err(e) = dir.write_spec(&spec) {
+        // An unrecorded job must not exist: remove the directory so the
+        // next incarnation never adopts a spec-less orphan.
+        let _ = fs::remove_dir_all(dir.path());
+        let label = note_durable_failure(&mut state, &e.to_string());
+        drop(state);
+        shared.emit(&SearchEvent::DurableWriteFailed { site: "job.spec".into(), detail: label });
         return Reply::Error { message: format!("cannot persist job spec: {e}") };
     }
     let tenant = spec.tenant.clone();
@@ -522,6 +679,7 @@ fn submit(shared: &Arc<Shared>, mut spec: JobSpec) -> Reply {
             cancel: Arc::new(AtomicBool::new(false)),
             user_cancel: false,
             dir,
+            env_requeues: 0,
         },
     );
     state.queue.push_back(id);
@@ -540,7 +698,17 @@ fn cancel(shared: &Arc<Shared>, job: u64) -> Reply {
     if entry.phase.is_terminal() {
         return Reply::Cancelled { job };
     }
-    let _ = entry.dir.mark_cancel_requested();
+    let marker = entry.dir.mark_cancel_requested();
+    if let Err(e) = marker {
+        // Without a durable marker a crash would resurrect the job; a
+        // cancel the daemon cannot prove later is a cancel it must not
+        // half-apply in memory.
+        let label = note_durable_failure(&mut state, &e.to_string());
+        drop(state);
+        shared.emit(&SearchEvent::DurableWriteFailed { site: "job.cancel".into(), detail: label });
+        return Reply::Error { message: format!("cannot persist cancel marker: {e}") };
+    }
+    let entry = state.jobs.get_mut(&job).expect("entry present above");
     entry.user_cancel = true;
     entry.cancel.store(true, Ordering::Release);
     if entry.phase == JobPhase::Queued {
@@ -591,7 +759,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-type RunResult = std::thread::Result<Result<runner::RunArtifacts, String>>;
+type RunResult = std::thread::Result<Result<runner::RunArtifacts, RunFault>>;
 
 fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, result: RunResult) {
     let verdict = match result {
@@ -609,7 +777,10 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
                 Verdict::Done(artifacts)
             }
         }
-        Ok(Err(message)) => Verdict::Failed(message),
+        Ok(Err(fault)) => match fault.class {
+            FaultClass::Model => Verdict::Failed(fault.message),
+            FaultClass::Durable => Verdict::EnvFault(fault),
+        },
         Err(panic) => {
             let message = panic
                 .downcast_ref::<&str>()
@@ -621,7 +792,8 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
     };
 
     let mut state = shared.state.lock().expect("daemon state lock");
-    let mut event = None;
+    let mut events: Vec<SearchEvent> = Vec::new();
+    let mut requeued = false;
     match verdict {
         Verdict::Done(artifacts) => {
             let reply = Reply::Result {
@@ -631,26 +803,81 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
                 report_json: artifacts.report_json,
                 events_jsonl: artifacts.events_jsonl,
             };
-            let mut durable = false;
+            let mut write_err = None;
             if let Some(entry) = state.jobs.get_mut(&id) {
                 match entry.dir.write_result(&reply) {
                     Ok(()) => {
                         entry.phase = JobPhase::Done;
                         entry.detail = format!("stop: {}", artifacts.stop.as_str());
-                        durable = true;
                     }
-                    Err(e) => {
-                        // The run finished but its artifacts are not
-                        // durable; park it adoptable rather than lie.
-                        entry.phase = JobPhase::Queued;
-                        entry.detail = format!("result persist failed: {e}");
-                    }
+                    Err(e) => write_err = Some(e),
                 }
             }
-            if durable {
+            match write_err {
+                None => {
+                    state.tally.finished += 1;
+                    events.push(SearchEvent::JobFinished { job: id, outcome: "done".into() });
+                    breaker_success(&mut state, &spec.model);
+                }
+                Some(e) => {
+                    // The run finished but its artifacts are not durable.
+                    // Requeue (the resume replays from the terminal
+                    // checkpoint and rewrites the result) or, when out of
+                    // retries, park adoptable rather than lie.
+                    let label = note_durable_failure(&mut state, &e.to_string());
+                    events.push(SearchEvent::DurableWriteFailed {
+                        site: "job.result".into(),
+                        detail: label,
+                    });
+                    requeued = requeue_or_park(
+                        &mut state,
+                        &mut events,
+                        shared.cfg.env_requeue_limit,
+                        id,
+                        &format!("result persist failed: {e}"),
+                    );
+                }
+            }
+        }
+        Verdict::EnvFault(fault) => {
+            let label = note_durable_failure(&mut state, &fault.message);
+            events
+                .push(SearchEvent::DurableWriteFailed { site: fault.site.clone(), detail: label });
+            if fault.recoverable {
+                requeued = requeue_or_park(
+                    &mut state,
+                    &mut events,
+                    shared.cfg.env_requeue_limit,
+                    id,
+                    &fault.to_string(),
+                );
+            } else {
+                // Terminal typed failure that does NOT trip the model's
+                // breaker: the environment broke, not the search.
+                let reply = Reply::Result {
+                    job: id,
+                    phase: JobPhase::Failed,
+                    outcome_json: format!("{{\"error\":{:?}}}", fault.to_string()),
+                    report_json: String::new(),
+                    events_jsonl: String::new(),
+                };
+                let mut second = None;
+                if let Some(entry) = state.jobs.get_mut(&id) {
+                    if let Err(e) = entry.dir.write_result(&reply) {
+                        second = Some(e);
+                    }
+                    entry.phase = JobPhase::Failed;
+                    entry.detail = fault.to_string();
+                }
+                if let Some(e) = second {
+                    let label = note_durable_failure(&mut state, &e.to_string());
+                    events.push(SearchEvent::DurableWriteFailed {
+                        site: "job.result".into(),
+                        detail: label,
+                    });
+                }
                 state.tally.finished += 1;
-                event = Some(SearchEvent::JobFinished { job: id, outcome: "done".into() });
-                breaker_success(&mut state, &spec.model);
+                events.push(SearchEvent::JobFinished { job: id, outcome: "failed".into() });
             }
         }
         Verdict::Failed(message) => {
@@ -661,12 +888,16 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
                 report_json: String::new(),
                 events_jsonl: String::new(),
             };
+            let mut present = false;
             if let Some(entry) = state.jobs.get_mut(&id) {
                 let _ = entry.dir.write_result(&reply);
                 entry.phase = JobPhase::Failed;
                 entry.detail = message;
+                present = true;
+            }
+            if present {
                 state.tally.finished += 1;
-                event = Some(SearchEvent::JobFinished { job: id, outcome: "failed".into() });
+                events.push(SearchEvent::JobFinished { job: id, outcome: "failed".into() });
                 breaker_failure(&mut state, &spec.model, shared.cfg.breaker_trip);
             }
         }
@@ -678,12 +909,16 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
                 report_json: String::new(),
                 events_jsonl: String::new(),
             };
+            let mut present = false;
             if let Some(entry) = state.jobs.get_mut(&id) {
                 let _ = entry.dir.write_result(&reply);
                 entry.phase = JobPhase::Cancelled;
                 entry.detail = "cancelled while running".into();
+                present = true;
+            }
+            if present {
                 state.tally.cancelled += 1;
-                event = Some(SearchEvent::JobCancelled { job: id });
+                events.push(SearchEvent::JobCancelled { job: id });
             }
         }
         Verdict::Parked => {
@@ -694,14 +929,53 @@ fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, dir: &JobDir, resul
         }
     }
     drop(state);
-    if let Some(event) = event {
-        shared.emit(&event);
+    for event in &events {
+        shared.emit(event);
     }
+    if requeued {
+        shared.work.notify_all();
+    }
+}
+
+/// After a recoverable durable fault: requeue the job for another
+/// in-incarnation attempt while it has retries left, otherwise park it
+/// `Queued`-but-not-enqueued so the *next* incarnation re-adopts it.
+/// Returns true when the job went back on the live queue.
+fn requeue_or_park(
+    state: &mut State,
+    events: &mut Vec<SearchEvent>,
+    limit: u32,
+    id: u64,
+    detail: &str,
+) -> bool {
+    let retry = state.jobs.get(&id).is_some_and(|e| e.env_requeues < limit);
+    let mut resumable = false;
+    {
+        let Some(entry) = state.jobs.get_mut(&id) else { return false };
+        entry.phase = JobPhase::Queued;
+        if retry {
+            entry.env_requeues += 1;
+            entry.detail = format!("requeued after durable fault: {detail}");
+            resumable = Nautilus::has_resumable_checkpoint(entry.dir.checkpoint_dir());
+        } else {
+            entry.detail = format!("parked after durable fault: {detail}");
+        }
+    }
+    if retry {
+        state.queue.push_back(id);
+        // Accounting-wise a requeue is a re-adoption: `started` will be
+        // bumped again on the next claim, and `queued + adopted` must
+        // keep pace for the tally to reconcile.
+        state.tally.adopted += 1;
+        events.push(SearchEvent::JobAdopted { job: id, resumable });
+    }
+    retry
 }
 
 enum Verdict {
     Done(runner::RunArtifacts),
     Failed(String),
+    EnvFault(RunFault),
     Cancelled,
     Parked,
 }

@@ -18,9 +18,9 @@
 //! the resumed search replays bit-for-bit.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use nautilus_ga::DurableIo;
 use nautilus_obs::{WireError, WireReader, WireWriter};
 
 use crate::proto::{Frame, ProtoError, Reply, Request};
@@ -53,6 +53,13 @@ pub struct JobSpec {
     /// Artificial per-evaluation latency in microseconds — stands in for
     /// a slow EDA tool so interruption tests can land mid-run.
     pub eval_delay_us: u64,
+    /// Client-supplied idempotency key (empty = none). A resubmission
+    /// carrying the same `(tenant, dedupe_key)` as an already-accepted
+    /// job returns the original job id instead of enqueueing a
+    /// duplicate — so a client that lost a `Submitted` reply can safely
+    /// retry. Persisted in the spec record, so dedupe survives daemon
+    /// restarts.
+    pub dedupe_key: String,
 }
 
 impl JobSpec {
@@ -66,6 +73,7 @@ impl JobSpec {
         w.u64(self.max_evals);
         w.u64(self.deadline_ms);
         w.u64(self.eval_delay_us);
+        w.str(&self.dedupe_key);
     }
 
     pub(crate) fn decode_from(r: &mut WireReader<'_>) -> Result<JobSpec, WireError> {
@@ -79,6 +87,7 @@ impl JobSpec {
             max_evals: r.u64()?,
             deadline_ms: r.u64()?,
             eval_delay_us: r.u64()?,
+            dedupe_key: r.str()?,
         })
     }
 }
@@ -146,6 +155,7 @@ impl JobPhase {
 #[derive(Debug, Clone)]
 pub struct JobDir {
     root: PathBuf,
+    io: DurableIo,
 }
 
 impl JobDir {
@@ -157,13 +167,34 @@ impl JobDir {
     pub fn create(jobs_root: &Path, id: u64) -> std::io::Result<JobDir> {
         let root = jobs_root.join(format!("{id:08}"));
         fs::create_dir_all(&root)?;
-        Ok(JobDir { root })
+        Ok(JobDir { root, io: DurableIo::real() })
     }
 
     /// Opens an existing job directory without creating anything.
     #[must_use]
     pub fn open(root: PathBuf) -> JobDir {
-        JobDir { root }
+        JobDir { root, io: DurableIo::real() }
+    }
+
+    /// Routes this job's durable writes (spec, result, cancel marker,
+    /// event logs, checkpoints) through `io` — the fault-injection /
+    /// census handle of [`nautilus_ga::durable`].
+    #[must_use]
+    pub fn with_io(mut self, io: DurableIo) -> JobDir {
+        self.io = io;
+        self
+    }
+
+    /// The durable-write handle this job was opened with.
+    #[must_use]
+    pub fn io(&self) -> &DurableIo {
+        &self.io
+    }
+
+    /// Sweeps residue of interrupted atomic writes (stray dot-`.tmp`
+    /// files) out of the job directory; returns how many were removed.
+    pub fn clean_stray_tmps(&self) -> usize {
+        DurableIo::clean_stray_tmps(&self.root).len()
     }
 
     /// The job directory itself.
@@ -185,7 +216,7 @@ impl JobDir {
     /// Propagates I/O failures; a failed write leaves no partial file.
     pub fn write_spec(&self, spec: &JobSpec) -> std::io::Result<()> {
         let record = Frame::Request(Request::Submit { spec: spec.clone() }).encode();
-        write_atomic(&self.root, "spec", &record)
+        self.io.write_atomic(&self.root, "spec", &record, "job.spec")
     }
 
     /// Loads and validates the spec record.
@@ -209,7 +240,7 @@ impl JobDir {
     /// Propagates I/O failures; a failed write leaves no partial file.
     pub fn write_result(&self, reply: &Reply) -> std::io::Result<()> {
         let record = Frame::Reply(reply.clone()).encode();
-        write_atomic(&self.root, "result", &record)
+        self.io.write_atomic(&self.root, "result", &record, "job.result")
     }
 
     /// Loads the terminal result reply, if the job has one.
@@ -235,7 +266,7 @@ impl JobDir {
     ///
     /// Propagates I/O failures.
     pub fn mark_cancel_requested(&self) -> std::io::Result<()> {
-        write_atomic(&self.root, "cancel", b"")
+        self.io.write_atomic(&self.root, "cancel", b"", "job.cancel")
     }
 
     /// True when a user cancel was recorded (possibly by a previous
@@ -272,30 +303,6 @@ impl JobDir {
     }
 }
 
-/// Dot-tmp + fsync + rename, the `NAUTCKPT` durability discipline: a
-/// reader never observes a partial record, and a failed write removes its
-/// temporary.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = dir.join(format!(".{name}.tmp"));
-    let attempt = (|| -> std::io::Result<()> {
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, dir.join(name))?;
-        Ok(())
-    })();
-    if let Err(e) = attempt {
-        let _ = fs::remove_file(&tmp);
-        return Err(e);
-    }
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +331,7 @@ mod tests {
             max_evals: 0,
             deadline_ms: 0,
             eval_delay_us: 0,
+            dedupe_key: String::new(),
         };
         dir.write_spec(&spec).unwrap();
         assert_eq!(dir.read_spec().unwrap(), spec);
@@ -364,6 +372,7 @@ mod tests {
             max_evals: 0,
             deadline_ms: 0,
             eval_delay_us: 0,
+            dedupe_key: String::new(),
         };
         dir.write_spec(&spec).unwrap();
         let path = dir.path().join("spec");

@@ -26,7 +26,20 @@
 //! * [`daemon`] — the supervisor: queue, worker slots, per-model circuit
 //!   breakers, drain, and crash recovery.
 //! * [`client`] — a small blocking client used by `nautilus-cli` and
-//!   the integration tests.
+//!   the integration tests; optional retry/backoff with idempotency
+//!   gating ([`ServeClient::with_retries`]).
+//!
+//! # Hostile environments
+//!
+//! Every durable write (endpoint file, job specs/results/cancel markers,
+//! event logs, checkpoints) goes through a [`nautilus::DurableIo`]
+//! handle ([`DaemonConfig::io`]), so the disk-fault battery can fail any
+//! single write deterministically and prove the daemon either surfaces a
+//! typed error or recovers byte-identically. The service edge sheds
+//! overload instead of queueing it: connection caps
+//! ([`Backpressure::TooManyConnections`]), per-connection read/write
+//! deadlines, bounded accept-error backoff, and dedupe-keyed idempotent
+//! submission.
 
 pub mod client;
 pub mod daemon;
@@ -41,4 +54,4 @@ pub use daemon::{Daemon, DaemonConfig};
 pub use job::{JobDir, JobPhase, JobSpec};
 pub use proto::{Frame, ProtoError, Reply, Request};
 pub use quota::{Backpressure, TenantQuota};
-pub use runner::RunArtifacts;
+pub use runner::{FaultClass, RunArtifacts, RunFault};

@@ -41,7 +41,11 @@ pub const MAGIC: &[u8; 8] = b"NAUTSRVC";
 
 /// Current protocol version. Bump on any layout change; readers reject
 /// unknown versions outright rather than guessing.
-pub const VERSION: u32 = 1;
+///
+/// * v1 — initial protocol.
+/// * v2 — [`JobSpec`] grew a trailing `dedupe_key` string (idempotent
+///   resubmission).
+pub const VERSION: u32 = 2;
 
 /// Upper bound on a frame body, enforced *before* allocation so a
 /// corrupted length prefix cannot drive an OOM. Result frames carry full
@@ -483,6 +487,7 @@ mod tests {
             max_evals: 500,
             deadline_ms: 0,
             eval_delay_us: 250,
+            dedupe_key: "retry-42".into(),
         }
     }
 
@@ -530,10 +535,10 @@ mod tests {
 
     #[test]
     fn golden_ping_bytes_are_stable() {
-        // Layout freeze: magic, version 1, one-byte body, CRC trailer.
+        // Layout freeze: magic, version 2, one-byte body, CRC trailer.
         let record = Frame::Request(Request::Ping).encode();
         assert_eq!(&record[..8], b"NAUTSRVC");
-        assert_eq!(&record[8..12], &1u32.to_le_bytes());
+        assert_eq!(&record[8..12], &2u32.to_le_bytes());
         assert_eq!(&record[12..20], &1u64.to_le_bytes());
         assert_eq!(record[20], KIND_PING);
         let crc = crc32(&record[..21]);

@@ -68,6 +68,15 @@ pub enum Backpressure {
         /// The unrecognized name.
         name: String,
     },
+    /// The daemon is already serving its configured maximum of
+    /// concurrent connections; overload is shed at accept time instead
+    /// of queueing unboundedly.
+    TooManyConnections {
+        /// Connections being served when this one arrived.
+        active: u64,
+        /// The daemon's `max_connections` cap.
+        limit: u64,
+    },
 }
 
 const BP_QUEUE_FULL: u8 = 0;
@@ -77,6 +86,7 @@ const BP_BREAKER: u8 = 3;
 const BP_DRAINING: u8 = 4;
 const BP_UNKNOWN_MODEL: u8 = 5;
 const BP_UNKNOWN_STRATEGY: u8 = 6;
+const BP_TOO_MANY_CONNS: u8 = 7;
 
 impl Backpressure {
     /// Short, stable label for telemetry and event payloads.
@@ -90,6 +100,7 @@ impl Backpressure {
             Backpressure::Draining => "draining",
             Backpressure::UnknownModel { .. } => "unknown_model",
             Backpressure::UnknownStrategy { .. } => "unknown_strategy",
+            Backpressure::TooManyConnections { .. } => "too_many_connections",
         }
     }
 
@@ -112,6 +123,9 @@ impl Backpressure {
             Backpressure::Draining => "daemon is draining".to_owned(),
             Backpressure::UnknownModel { name } => format!("unknown model `{name}`"),
             Backpressure::UnknownStrategy { name } => format!("unknown strategy `{name}`"),
+            Backpressure::TooManyConnections { active, limit } => {
+                format!("daemon already serving {active} of {limit} connections")
+            }
         }
     }
 
@@ -145,6 +159,11 @@ impl Backpressure {
                 w.u8(BP_UNKNOWN_STRATEGY);
                 w.str(name);
             }
+            Backpressure::TooManyConnections { active, limit } => {
+                w.u8(BP_TOO_MANY_CONNS);
+                w.u64(*active);
+                w.u64(*limit);
+            }
         }
     }
 
@@ -161,6 +180,9 @@ impl Backpressure {
             BP_DRAINING => Backpressure::Draining,
             BP_UNKNOWN_MODEL => Backpressure::UnknownModel { name: r.str()? },
             BP_UNKNOWN_STRATEGY => Backpressure::UnknownStrategy { name: r.str()? },
+            BP_TOO_MANY_CONNS => {
+                Backpressure::TooManyConnections { active: r.u64()?, limit: r.u64()? }
+            }
             other => return Err(WireError(format!("unknown backpressure kind {other}"))),
         })
     }
@@ -185,6 +207,7 @@ mod tests {
             Backpressure::Draining,
             Backpressure::UnknownModel { name: "warp".into() },
             Backpressure::UnknownStrategy { name: "psychic".into() },
+            Backpressure::TooManyConnections { active: 64, limit: 64 },
         ]
     }
 
@@ -211,6 +234,7 @@ mod tests {
             "draining",
             "unknown_model",
             "unknown_strategy",
+            "too_many_connections",
         ];
         for (bp, label) in samples().iter().zip(expected) {
             assert_eq!(bp.label(), label);

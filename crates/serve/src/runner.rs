@@ -16,18 +16,77 @@
 //!   durability-only events are excluded; everything else must match.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 
-use nautilus::{InMemorySink, Nautilus, RunBudget, RunReport, SearchOutcome, StopReason};
-use nautilus_ga::GaSettings;
+use nautilus::{DurableIo, StopReason};
+use nautilus::{InMemorySink, Nautilus, NautilusError, RunBudget, RunReport, SearchOutcome};
+use nautilus_ga::{GaError, GaSettings};
 use nautilus_obs::json::{is_valid_json, parse_json, JsonObj, JsonValue};
 use nautilus_obs::{SearchEvent, SearchObserver};
 
 use crate::job::{JobDir, JobSpec};
 use crate::registry::{resolve, Strategy};
+
+/// What kind of thing failed, which decides who pays for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The model/strategy/search itself misbehaved — counts against the
+    /// model's circuit breaker.
+    Model,
+    /// The environment failed a durable write (disk full, fsync error,
+    /// ...) — never trips a breaker; the daemon retries or parks the job.
+    Durable,
+}
+
+/// A typed execution failure: the class drives breaker accounting, the
+/// `recoverable` flag drives requeue-vs-terminal handling, and `site`
+/// names the durable write that failed (empty for model faults).
+#[derive(Debug, Clone)]
+pub struct RunFault {
+    /// Who pays: the model's breaker, or nobody.
+    pub class: FaultClass,
+    /// Durable-write site label (`job.events`, `ckpt`, ...); empty for
+    /// model faults.
+    pub site: String,
+    /// True when a retry from the surviving on-disk state can succeed
+    /// without losing history. Event-log damage is *not* recoverable:
+    /// replaying would drop already-logged lines and break the
+    /// byte-identical artifact invariant.
+    pub recoverable: bool,
+    /// Human-readable failure message.
+    pub message: String,
+}
+
+impl RunFault {
+    pub(crate) fn model(message: impl Into<String>) -> RunFault {
+        RunFault {
+            class: FaultClass::Model,
+            site: String::new(),
+            recoverable: false,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn durable(site: &str, recoverable: bool, message: impl Into<String>) -> RunFault {
+        RunFault {
+            class: FaultClass::Durable,
+            site: site.to_owned(),
+            recoverable,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            FaultClass::Model => write!(f, "{}", self.message),
+            FaultClass::Durable => write!(f, "durable fault at {}: {}", self.site, self.message),
+        }
+    }
+}
 
 /// Everything a finished run leaves behind.
 #[derive(Debug, Clone)]
@@ -49,16 +108,22 @@ pub struct RunArtifacts {
 ///
 /// # Errors
 ///
-/// A human-readable failure message (unknown strategy/model, engine
-/// error). The caller decides whether that trips the model's breaker.
+/// A typed [`RunFault`]: model faults (unknown strategy/model, engine
+/// error) count against the model's breaker; durable faults (a failed
+/// checkpoint, event-log, or spec write) never do — the caller requeues
+/// recoverable ones and parks the rest.
 pub fn execute(
     spec: &JobSpec,
     dir: &JobDir,
     cancel: &Arc<AtomicBool>,
-) -> Result<RunArtifacts, String> {
-    let strategy = Strategy::parse(&spec.strategy).map_err(|b| b.detail())?;
-    let resolved = resolve(&spec.model, spec.eval_delay_us).map_err(|b| b.detail())?;
-    let log = EventLog::create(&dir.next_event_log()).map_err(|e| e.to_string())?;
+) -> Result<RunArtifacts, RunFault> {
+    let strategy = Strategy::parse(&spec.strategy).map_err(|b| RunFault::model(b.detail()))?;
+    let resolved =
+        resolve(&spec.model, spec.eval_delay_us).map_err(|b| RunFault::model(b.detail()))?;
+    // A create failure loses nothing: the engine never ran, so a fresh
+    // incarnation replays from the surviving checkpoints.
+    let log = EventLog::create(&dir.next_event_log(), dir.io().clone())
+        .map_err(|e| RunFault::durable("job.events", true, e.to_string()))?;
 
     let mut budget = RunBudget::new().with_cancel_flag(Arc::clone(cancel));
     if spec.max_evals > 0 {
@@ -72,16 +137,31 @@ pub fn execute(
         .with_observer(&log)
         .with_settings(settings_for(spec))
         .with_budget(budget)
-        .with_checkpoints(dir.checkpoint_dir());
+        .with_checkpoints(dir.checkpoint_dir())
+        .with_checkpoint_io(dir.io().clone());
     let guidance = strategy.confidence().map(|c| (&resolved.hints, Some(c)));
-    let (outcome, report) = engine
-        .resume_or_start_reported(&resolved.query, guidance, spec.seed)
-        .map_err(|e| e.to_string())?;
+    let run = engine.resume_or_start_reported(&resolved.query, guidance, spec.seed);
     drop(engine);
-    log.flush();
+    let (outcome, report) = run.map_err(classify_engine_error)?;
 
-    let events = compose_events(dir).map_err(|e| e.to_string())?;
+    // Event-log damage is terminal: some already-emitted lines may be
+    // missing from disk, and a replay incarnation would splice a stream
+    // that silently dropped them.
+    log.sync().map_err(|m| RunFault::durable("job.events", false, m))?;
+
+    let events =
+        compose_events(dir).map_err(|e| RunFault::durable("job.events", true, e.to_string()))?;
     Ok(artifacts(&outcome, report, events))
+}
+
+/// A checkpoint-write failure aborted the engine mid-run: the last intact
+/// checkpoint still replays bit-for-bit, so the fault is recoverable.
+/// Everything else is the model's problem.
+fn classify_engine_error(e: NautilusError) -> RunFault {
+    match &e {
+        NautilusError::Ga(GaError::Checkpoint(_)) => RunFault::durable("ckpt", true, e.to_string()),
+        _ => RunFault::model(e.to_string()),
+    }
 }
 
 /// Runs `spec` start-to-finish in-process with no checkpoints and no
@@ -287,37 +367,77 @@ fn read_complete_lines(path: &Path) -> std::io::Result<Vec<String>> {
 /// A [`SearchObserver`] that appends every event to a JSONL file and
 /// flushes per line, so a SIGKILL can lose at most one torn trailing
 /// line — never a flushed prefix.
+///
+/// Write failures **poison** the log: the first error is recorded, every
+/// later event is dropped without touching the file (and without
+/// consuming fault-injection write points), and [`EventLog::sync`]
+/// surfaces the stored fault. A half-written log never silently
+/// masquerades as a complete one.
 #[derive(Debug)]
 pub struct EventLog {
-    file: Mutex<fs::File>,
+    inner: Mutex<LogInner>,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    file: fs::File,
+    io: DurableIo,
+    site: &'static str,
+    fault: Option<String>,
 }
 
 impl EventLog {
-    /// Creates (or truncates) the log at `path`.
+    /// Creates (or truncates) the log at `path`, routing appends and
+    /// syncs through `io` under the `job.events` site label.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation failures.
-    pub fn create(path: &Path) -> std::io::Result<EventLog> {
-        Ok(EventLog { file: Mutex::new(fs::File::create(path)?) })
+    /// Propagates file-creation failures (including injected ones).
+    pub fn create(path: &Path, io: DurableIo) -> std::io::Result<EventLog> {
+        let file = io.create(path, "job.events")?;
+        Ok(EventLog { inner: Mutex::new(LogInner { file, io, site: "job.events", fault: None }) })
     }
 
     /// Opens the log at `path` for appending, creating it if missing —
-    /// the daemon's own lifecycle log spans incarnations this way.
+    /// the daemon's own lifecycle log spans incarnations this way. The
+    /// service log is advisory telemetry, not recovery-critical state,
+    /// so it always writes through the real filesystem: its appends race
+    /// across connection threads and must not perturb the deterministic
+    /// write-point sequence of the durable job state.
     ///
     /// # Errors
     ///
     /// Propagates file-open failures.
     pub fn append(path: &Path) -> std::io::Result<EventLog> {
         let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(EventLog { file: Mutex::new(file) })
+        Ok(EventLog {
+            inner: Mutex::new(LogInner {
+                file,
+                io: DurableIo::real(),
+                site: "daemon.service_log",
+                fault: None,
+            }),
+        })
     }
 
-    /// Best-effort fsync of everything written so far.
-    pub fn flush(&self) {
-        if let Ok(f) = self.file.lock() {
-            let _ = f.sync_all();
+    /// Fsyncs everything written so far, surfacing the first append
+    /// failure recorded by [`SearchObserver::on_event`] if there was one.
+    ///
+    /// # Errors
+    ///
+    /// The stored append fault, or the sync failure itself.
+    pub fn sync(&self) -> Result<(), String> {
+        let inner = self.inner.lock().expect("event log lock");
+        if let Some(fault) = &inner.fault {
+            return Err(fault.clone());
         }
+        inner.io.sync(&inner.file, inner.site).map_err(|e| e.to_string())
+    }
+
+    /// The first append failure, if any event write has failed so far.
+    #[must_use]
+    pub fn fault(&self) -> Option<String> {
+        self.inner.lock().expect("event log lock").fault.clone()
     }
 }
 
@@ -329,8 +449,13 @@ impl SearchObserver for EventLog {
     fn on_event(&self, event: &SearchEvent) {
         let mut line = event.to_json();
         line.push('\n');
-        if let Ok(mut f) = self.file.lock() {
-            let _ = f.write_all(line.as_bytes());
+        let Ok(mut inner) = self.inner.lock() else { return };
+        if inner.fault.is_some() {
+            return;
+        }
+        let LogInner { file, io, site, fault } = &mut *inner;
+        if let Err(e) = io.append(file, line.as_bytes(), site) {
+            *fault = Some(format!("event log append failed: {e}"));
         }
     }
 }
@@ -358,6 +483,7 @@ mod tests {
             max_evals: 0,
             deadline_ms: 0,
             eval_delay_us: 0,
+            dedupe_key: String::new(),
         }
     }
 
@@ -403,16 +529,36 @@ mod tests {
     }
 
     #[test]
-    fn failures_surface_as_messages_not_panics() {
+    fn failures_surface_as_typed_model_faults_not_panics() {
         let root = tempdir("failures");
         let dir = JobDir::create(&root, 1).unwrap();
         let cancel = Arc::new(AtomicBool::new(false));
         let err = execute(&spec("warp-core", "baseline"), &dir, &cancel).unwrap_err();
-        assert!(err.contains("unknown model"), "{err}");
+        assert_eq!(err.class, FaultClass::Model);
+        assert!(err.message.contains("unknown model"), "{err}");
         let err = execute(&spec("bowl", "psychic"), &dir, &cancel).unwrap_err();
-        assert!(err.contains("unknown strategy"), "{err}");
+        assert!(err.message.contains("unknown strategy"), "{err}");
         let err = execute(&spec("barren", "baseline"), &dir, &cancel).unwrap_err();
-        assert!(err.contains("no feasible genome"), "{err}");
+        assert_eq!(err.class, FaultClass::Model);
+        assert!(!err.recoverable);
+        assert!(err.message.contains("no feasible genome"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_poisoned_event_log_is_a_terminal_durable_fault() {
+        use nautilus_ga::{IoFaultKind, IoFaultPlan};
+        let root = tempdir("poisoned-log");
+        // Write point 0 is the event-log create; point 3 lands mid-run on
+        // an event append, poisoning the log.
+        let io = DurableIo::with_plan(IoFaultPlan::new().fail_at(3, IoFaultKind::WriteEnospc));
+        let dir = JobDir::create(&root, 1).unwrap().with_io(io);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let err = execute(&spec("bowl", "baseline"), &dir, &cancel).unwrap_err();
+        assert_eq!(err.class, FaultClass::Durable);
+        assert_eq!(err.site, "job.events");
+        assert!(!err.recoverable, "event-log damage must not be retried: {err}");
+        assert!(err.message.contains("enospc"), "{err}");
         let _ = fs::remove_dir_all(&root);
     }
 

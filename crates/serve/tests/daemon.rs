@@ -28,6 +28,7 @@ fn spec(model: &str, strategy: &str, seed: u64, workers: u32) -> JobSpec {
         max_evals: 0,
         deadline_ms: 0,
         eval_delay_us: 0,
+        dedupe_key: String::new(),
     }
 }
 

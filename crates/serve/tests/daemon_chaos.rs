@@ -94,6 +94,7 @@ fn killing_the_daemon_twice_mid_run_changes_nothing() {
                 max_evals: 0,
                 deadline_ms: 0,
                 eval_delay_us: 700,
+                dedupe_key: String::new(),
             })
             .collect();
 
@@ -150,6 +151,7 @@ fn sigterm_drains_and_the_next_incarnation_finishes_the_job() {
         max_evals: 0,
         deadline_ms: 0,
         eval_delay_us: 700,
+        dedupe_key: String::new(),
     };
 
     let (child, client) = spawn_daemon(&dir);
